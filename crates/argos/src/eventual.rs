@@ -1,0 +1,198 @@
+//! One-shot futures (`ABT_eventual` analogue).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A one-shot, thread-safe future: a value that will be set exactly once and
+/// can be awaited by any number of waiters.
+///
+/// This is the analogue of Argobots' `ABT_eventual`, used throughout the
+/// stack for task completion, asynchronous batch flushes, and RPC responses.
+///
+/// Cloning an `Eventual` is cheap; all clones observe the same value.
+pub struct Eventual<T> {
+    inner: Arc<Inner<T>>,
+}
+
+struct Inner<T> {
+    slot: Mutex<Option<T>>,
+    cond: Condvar,
+}
+
+impl<T> Clone for Eventual<T> {
+    fn clone(&self) -> Self {
+        Eventual {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for Eventual<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Eventual<T> {
+    /// Create a new, unset eventual.
+    pub fn new() -> Self {
+        Eventual {
+            inner: Arc::new(Inner {
+                slot: Mutex::new(None),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Set the value, waking all waiters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the eventual was already set: a one-shot future must be
+    /// resolved exactly once, and double-resolution indicates a logic error
+    /// in the caller (e.g. an RPC answered twice).
+    pub fn set(&self, value: T) {
+        let mut slot = self.inner.slot.lock();
+        assert!(slot.is_none(), "Eventual::set called twice");
+        *slot = Some(value);
+        self.inner.cond.notify_all();
+    }
+
+    /// Returns `true` if the value has been set.
+    pub fn is_set(&self) -> bool {
+        self.inner.slot.lock().is_some()
+    }
+
+    /// Block until the value is set, then take it.
+    ///
+    /// Exactly one waiter receives the value; this mirrors
+    /// `ABT_eventual_wait` followed by a move out of the buffer. Use
+    /// [`Eventual::wait_cloned`] when several waiters need the result.
+    pub fn wait(self) -> T {
+        let mut slot = self.inner.slot.lock();
+        loop {
+            if let Some(v) = slot.take() {
+                return v;
+            }
+            self.inner.cond.wait(&mut slot);
+        }
+    }
+
+    /// Block until the value is set, with a timeout. Returns `Err(self)` on
+    /// timeout so the caller can keep waiting or give up.
+    pub fn wait_timeout(self, dur: Duration) -> Result<T, Self> {
+        let deadline = std::time::Instant::now() + dur;
+        let mut slot = self.inner.slot.lock();
+        loop {
+            if let Some(v) = slot.take() {
+                return Ok(v);
+            }
+            if self.inner.cond.wait_until(&mut slot, deadline).timed_out() {
+                return match slot.take() {
+                    Some(v) => Ok(v),
+                    None => {
+                        drop(slot);
+                        Err(self)
+                    }
+                };
+            }
+        }
+    }
+
+    /// Take the value if it is already set, without blocking.
+    pub fn try_take(&self) -> Option<T> {
+        self.inner.slot.lock().take()
+    }
+}
+
+impl<T: Clone> Eventual<T> {
+    /// Block until the value is set and return a clone, leaving the value in
+    /// place for other waiters.
+    pub fn wait_cloned(&self) -> T {
+        let mut slot = self.inner.slot.lock();
+        loop {
+            if let Some(v) = slot.as_ref() {
+                return v.clone();
+            }
+            self.inner.cond.wait(&mut slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn set_then_wait() {
+        let e = Eventual::new();
+        e.set(5u32);
+        assert!(e.is_set());
+        assert_eq!(e.wait(), 5);
+    }
+
+    #[test]
+    fn wait_blocks_until_set() {
+        let e = Eventual::new();
+        let e2 = e.clone();
+        let t = thread::spawn(move || e2.wait());
+        thread::sleep(Duration::from_millis(20));
+        e.set("done");
+        assert_eq!(t.join().unwrap(), "done");
+    }
+
+    #[test]
+    fn wait_cloned_leaves_value() {
+        let e = Eventual::new();
+        e.set(7u64);
+        assert_eq!(e.wait_cloned(), 7);
+        assert_eq!(e.wait_cloned(), 7);
+        assert_eq!(e.try_take(), Some(7));
+        assert_eq!(e.try_take(), None);
+    }
+
+    #[test]
+    fn wait_timeout_times_out() {
+        let e: Eventual<u8> = Eventual::new();
+        let r = e.wait_timeout(Duration::from_millis(10));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn wait_timeout_succeeds() {
+        let e = Eventual::new();
+        let e2 = e.clone();
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            e2.set(9i32);
+        });
+        assert_eq!(e.wait_timeout(Duration::from_secs(5)).ok(), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "set called twice")]
+    fn double_set_panics() {
+        let e = Eventual::new();
+        e.set(1);
+        e.set(2);
+    }
+
+    #[test]
+    fn many_waiters_cloned() {
+        let e: Eventual<u32> = Eventual::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let e = e.clone();
+                thread::spawn(move || e.wait_cloned())
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(10));
+        e.set(1234);
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1234);
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Work pools and scheduling disciplines (`ABT_pool` analogue).
+
+use crate::eventual::Eventual;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A unit of work pushed into a [`Pool`]: a boxed closure run to completion
+/// by whichever execution stream pops it.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Priority of a task in a [`SchedulingDiscipline::Priority`] pool.
+/// Larger values run first; FIFO order breaks ties.
+pub type TaskPriority = u8;
+
+/// The scheduling discipline of a pool, mirroring the scheduler choices
+/// Bedrock exposes for Argobots pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulingDiscipline {
+    /// First-in first-out.
+    Fifo,
+    /// Highest [`TaskPriority`] first, FIFO among equal priorities.
+    Priority,
+}
+
+impl SchedulingDiscipline {
+    /// Parse from the names used in Bedrock-style JSON configs.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fifo" | "fifo_wait" | "basic" | "basic_wait" => Some(Self::Fifo),
+            "prio" | "priority" | "prio_wait" => Some(Self::Priority),
+            _ => None,
+        }
+    }
+}
+
+struct PrioTask {
+    prio: TaskPriority,
+    seq: u64,
+    task: Task,
+}
+
+impl PartialEq for PrioTask {
+    fn eq(&self, other: &Self) -> bool {
+        self.prio == other.prio && self.seq == other.seq
+    }
+}
+impl Eq for PrioTask {}
+impl PartialOrd for PrioTask {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PrioTask {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap on priority; min on sequence number for FIFO tie-break.
+        self.prio
+            .cmp(&other.prio)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+enum Queue {
+    Fifo(VecDeque<Task>),
+    Priority(BinaryHeap<PrioTask>),
+}
+
+impl Queue {
+    fn len(&self) -> usize {
+        match self {
+            Queue::Fifo(q) => q.len(),
+            Queue::Priority(q) => q.len(),
+        }
+    }
+    fn pop(&mut self) -> Option<Task> {
+        match self {
+            Queue::Fifo(q) => q.pop_front(),
+            Queue::Priority(q) => q.pop().map(|p| p.task),
+        }
+    }
+}
+
+struct PoolInner {
+    queue: Mutex<Queue>,
+    cond: Condvar,
+    closed: Mutex<bool>,
+    seq: AtomicU64,
+    pushed: AtomicU64,
+    popped: AtomicU64,
+    name: String,
+}
+
+/// A thread-safe work queue shared between producers (RPC dispatch, client
+/// code) and consumer execution streams.
+///
+/// Pools are the placement mechanism of the Mochi stack: a provider is mapped
+/// to a pool, and the xstreams draining that pool are the compute resources
+/// that execute the provider's RPCs.
+#[derive(Clone)]
+pub struct Pool {
+    inner: Arc<PoolInner>,
+}
+
+/// Counters describing pool traffic, for monitoring and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks pushed since creation.
+    pub pushed: u64,
+    /// Tasks popped since creation.
+    pub popped: u64,
+    /// Tasks currently queued.
+    pub queued: usize,
+}
+
+impl Pool {
+    /// Create a new pool with the given name and discipline.
+    pub fn new(name: impl Into<String>, discipline: SchedulingDiscipline) -> Self {
+        let queue = match discipline {
+            SchedulingDiscipline::Fifo => Queue::Fifo(VecDeque::new()),
+            SchedulingDiscipline::Priority => Queue::Priority(BinaryHeap::new()),
+        };
+        Pool {
+            inner: Arc::new(PoolInner {
+                queue: Mutex::new(queue),
+                cond: Condvar::new(),
+                closed: Mutex::new(false),
+                seq: AtomicU64::new(0),
+                pushed: AtomicU64::new(0),
+                popped: AtomicU64::new(0),
+                name: name.into(),
+            }),
+        }
+    }
+
+    /// The pool's name (unique within a [`crate::Runtime`]).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Push a raw task with default priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is closed: submitting work during teardown is a
+    /// lifecycle bug in the caller.
+    pub fn push(&self, task: Task) {
+        self.push_prio(task, 0)
+    }
+
+    /// Push a raw task with an explicit priority (ignored by FIFO pools).
+    pub fn push_prio(&self, task: Task, prio: TaskPriority) {
+        assert!(!*self.inner.closed.lock(), "push into closed pool");
+        let mut q = self.inner.queue.lock();
+        match &mut *q {
+            Queue::Fifo(q) => q.push_back(task),
+            Queue::Priority(q) => {
+                let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+                q.push(PrioTask { prio, seq, task });
+            }
+        }
+        self.inner.pushed.fetch_add(1, Ordering::Relaxed);
+        drop(q);
+        self.inner.cond.notify_one();
+    }
+
+    /// Spawn a closure returning a value; the result is retrieved through the
+    /// returned [`JoinHandle`].
+    pub fn spawn<T, F>(&self, f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.spawn_prio(f, 0)
+    }
+
+    /// Spawn with an explicit priority.
+    pub fn spawn_prio<T, F>(&self, f: F, prio: TaskPriority) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let ev = Eventual::new();
+        let ev2 = ev.clone();
+        self.push_prio(Box::new(move || ev2.set(f())), prio);
+        JoinHandle { ev }
+    }
+
+    /// Pop a task, blocking up to `timeout`. Returns `None` on timeout or if
+    /// the pool is closed and empty.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<Task> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.inner.queue.lock();
+        loop {
+            if let Some(t) = q.pop() {
+                self.inner.popped.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+            if *self.inner.closed.lock() {
+                return None;
+            }
+            if self.inner.cond.wait_until(&mut q, deadline).timed_out() {
+                let t = q.pop();
+                if t.is_some() {
+                    self.inner.popped.fetch_add(1, Ordering::Relaxed);
+                }
+                return t;
+            }
+        }
+    }
+
+    /// Pop without blocking.
+    pub fn try_pop(&self) -> Option<Task> {
+        let t = self.inner.queue.lock().pop();
+        if t.is_some() {
+            self.inner.popped.fetch_add(1, Ordering::Relaxed);
+        }
+        t
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mark the pool closed and wake all waiting consumers. Queued tasks are
+    /// still drained; new pushes panic.
+    pub fn close(&self) {
+        *self.inner.closed.lock() = true;
+        self.inner.cond.notify_all();
+    }
+
+    /// Whether [`Pool::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        *self.inner.closed.lock()
+    }
+
+    /// Snapshot of traffic counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            pushed: self.inner.pushed.load(Ordering::Relaxed),
+            popped: self.inner.popped.load(Ordering::Relaxed),
+            queued: self.len(),
+        }
+    }
+}
+
+/// Handle to a spawned task's result.
+pub struct JoinHandle<T> {
+    ev: Eventual<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Block until the task completes and return its result.
+    pub fn join(self) -> T {
+        self.ev.wait()
+    }
+
+    /// Block with a timeout; `Err(self)` on timeout.
+    pub fn join_timeout(self, dur: Duration) -> Result<T, Self> {
+        self.ev.wait_timeout(dur).map_err(|ev| JoinHandle { ev })
+    }
+
+    /// Whether the task has finished.
+    pub fn is_finished(&self) -> bool {
+        self.ev.is_set()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn drain(pool: &Pool) -> usize {
+        let mut n = 0;
+        while let Some(t) = pool.try_pop() {
+            t();
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn fifo_order() {
+        let pool = Pool::new("p", SchedulingDiscipline::Fifo);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..5 {
+            let log = Arc::clone(&log);
+            pool.push(Box::new(move || log.lock().push(i)));
+        }
+        assert_eq!(drain(&pool), 5);
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn priority_order_with_fifo_tiebreak() {
+        let pool = Pool::new("p", SchedulingDiscipline::Priority);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (i, prio) in [(0, 1u8), (1, 3), (2, 3), (3, 0), (4, 2)] {
+            let log = Arc::clone(&log);
+            pool.push_prio(Box::new(move || log.lock().push(i)), prio);
+        }
+        drain(&pool);
+        assert_eq!(*log.lock(), vec![1, 2, 4, 0, 3]);
+    }
+
+    #[test]
+    fn spawn_join() {
+        let pool = Pool::new("p", SchedulingDiscipline::Fifo);
+        let h = pool.spawn(|| 10);
+        let t = pool.try_pop().unwrap();
+        t();
+        assert!(h.is_finished());
+        assert_eq!(h.join(), 10);
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let pool = Pool::new("p", SchedulingDiscipline::Fifo);
+        pool.push(Box::new(|| ()));
+        pool.push(Box::new(|| ()));
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                pushed: 2,
+                popped: 0,
+                queued: 2
+            }
+        );
+        pool.try_pop().unwrap()();
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                pushed: 2,
+                popped: 1,
+                queued: 1
+            }
+        );
+    }
+
+    #[test]
+    fn pop_timeout_returns_none_when_empty() {
+        let pool = Pool::new("p", SchedulingDiscipline::Fifo);
+        assert!(pool.pop_timeout(Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn close_wakes_poppers() {
+        let pool = Pool::new("p", SchedulingDiscipline::Fifo);
+        let p2 = pool.clone();
+        let t = std::thread::spawn(move || p2.pop_timeout(Duration::from_secs(30)).is_none());
+        std::thread::sleep(Duration::from_millis(10));
+        pool.close();
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn close_still_drains_queued_tasks() {
+        let pool = Pool::new("p", SchedulingDiscipline::Fifo);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.push(Box::new(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        }));
+        pool.close();
+        pool.pop_timeout(Duration::from_millis(10)).unwrap()();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed pool")]
+    fn push_after_close_panics() {
+        let pool = Pool::new("p", SchedulingDiscipline::Fifo);
+        pool.close();
+        pool.push(Box::new(|| ()));
+    }
+
+    #[test]
+    fn discipline_parse() {
+        assert_eq!(
+            SchedulingDiscipline::parse("fifo_wait"),
+            Some(SchedulingDiscipline::Fifo)
+        );
+        assert_eq!(
+            SchedulingDiscipline::parse("prio"),
+            Some(SchedulingDiscipline::Priority)
+        );
+        assert_eq!(SchedulingDiscipline::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,309 @@
+//! Task-level synchronization primitives (`ABT_mutex`/`ABT_barrier`
+//! analogues).
+//!
+//! These are thin, documented wrappers over `parking_lot` so that code
+//! written against the argos API does not reach for `std::sync` directly
+//! (matching how Mochi code uses `ABT_mutex` instead of `pthread_mutex`).
+//! Since argos tasks run to completion on xstream threads, blocking a task
+//! blocks its xstream — exactly the cost model a Mochi provider sees when it
+//! holds `ABT_mutex` across a long critical section.
+
+use parking_lot::{Condvar, Mutex as PlMutex, RwLock as PlRwLock};
+use std::sync::Arc;
+
+/// Mutual exclusion usable from any task.
+pub struct Mutex<T> {
+    inner: PlMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: PlMutex::new(value),
+        }
+    }
+
+    /// Lock, blocking the calling xstream if contended.
+    pub fn lock(&self) -> parking_lot::MutexGuard<'_, T> {
+        self.inner.lock()
+    }
+
+    /// Try to lock without blocking.
+    pub fn try_lock(&self) -> Option<parking_lot::MutexGuard<'_, T>> {
+        self.inner.try_lock()
+    }
+
+    /// Consume the mutex and return the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// Reader-writer lock usable from any task.
+pub struct RwLock<T> {
+    inner: PlRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new rwlock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: PlRwLock::new(value),
+        }
+    }
+
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> parking_lot::RwLockReadGuard<'_, T> {
+        self.inner.read()
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> parking_lot::RwLockWriteGuard<'_, T> {
+        self.inner.write()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+struct BarrierState {
+    waiting: usize,
+    generation: u64,
+}
+
+/// A reusable barrier for `n` participants (`ABT_barrier` analogue).
+#[derive(Clone)]
+pub struct Barrier {
+    n: usize,
+    state: Arc<(PlMutex<BarrierState>, Condvar)>,
+}
+
+impl Barrier {
+    /// Create a barrier for `n` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one participant");
+        Barrier {
+            n,
+            state: Arc::new((
+                PlMutex::new(BarrierState {
+                    waiting: 0,
+                    generation: 0,
+                }),
+                Condvar::new(),
+            )),
+        }
+    }
+
+    /// Wait until all `n` participants arrive. Returns `true` for exactly one
+    /// "leader" arrival per generation.
+    pub fn wait(&self) -> bool {
+        let (lock, cond) = &*self.state;
+        let mut st = lock.lock();
+        let gen = st.generation;
+        st.waiting += 1;
+        if st.waiting == self.n {
+            st.waiting = 0;
+            st.generation = st.generation.wrapping_add(1);
+            cond.notify_all();
+            return true;
+        }
+        while st.generation == gen {
+            cond.wait(&mut st);
+        }
+        false
+    }
+}
+
+struct SemState {
+    permits: usize,
+}
+
+/// A counting semaphore, useful for bounding in-flight work (e.g. limiting
+/// outstanding asynchronous flushes against one provider).
+#[derive(Clone)]
+pub struct Semaphore {
+    state: Arc<(PlMutex<SemState>, Condvar)>,
+}
+
+impl Semaphore {
+    /// Create a semaphore with `permits` initial permits.
+    pub fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            state: Arc::new((PlMutex::new(SemState { permits }), Condvar::new())),
+        }
+    }
+
+    /// Acquire one permit, blocking until available. Returns a guard that
+    /// releases the permit on drop.
+    pub fn acquire(&self) -> SemaphoreGuard {
+        let (lock, cond) = &*self.state;
+        let mut st = lock.lock();
+        while st.permits == 0 {
+            cond.wait(&mut st);
+        }
+        st.permits -= 1;
+        SemaphoreGuard { sem: self.clone() }
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_acquire(&self) -> Option<SemaphoreGuard> {
+        let (lock, _) = &*self.state;
+        let mut st = lock.lock();
+        if st.permits == 0 {
+            return None;
+        }
+        st.permits -= 1;
+        Some(SemaphoreGuard { sem: self.clone() })
+    }
+
+    /// Currently available permits.
+    pub fn available(&self) -> usize {
+        self.state.0.lock().permits
+    }
+
+    fn release(&self) {
+        let (lock, cond) = &*self.state;
+        lock.lock().permits += 1;
+        cond.notify_one();
+    }
+}
+
+/// Releases its permit when dropped.
+pub struct SemaphoreGuard {
+    sem: Semaphore,
+}
+
+impl Drop for SemaphoreGuard {
+    fn drop(&mut self) {
+        self.sem.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn mutex_guards_exclusive_access() {
+        let m = Arc::new(Mutex::new(0u64));
+        let mut ts = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            ts.push(thread::spawn(move || {
+                for _ in 0..1000 {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for t in ts {
+            t.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn rwlock_many_readers() {
+        let l = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let mut ts = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            ts.push(thread::spawn(move || l.read().iter().sum::<i32>()));
+        }
+        for t in ts {
+            assert_eq!(t.join().unwrap(), 6);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_and_elects_one_leader() {
+        let b = Barrier::new(4);
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let mut ts = Vec::new();
+        for _ in 0..4 {
+            let b = b.clone();
+            let leaders = Arc::clone(&leaders);
+            ts.push(thread::spawn(move || {
+                if b.wait() {
+                    leaders.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for t in ts {
+            t.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let b = Barrier::new(2);
+        let b2 = b.clone();
+        let t = thread::spawn(move || {
+            for _ in 0..10 {
+                b2.wait();
+            }
+        });
+        for _ in 0..10 {
+            b.wait();
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_barrier_panics() {
+        let _ = Barrier::new(0);
+    }
+
+    #[test]
+    fn semaphore_bounds_concurrency() {
+        let sem = Semaphore::new(2);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let current = Arc::new(AtomicUsize::new(0));
+        let mut ts = Vec::new();
+        for _ in 0..8 {
+            let sem = sem.clone();
+            let peak = Arc::clone(&peak);
+            let current = Arc::clone(&current);
+            ts.push(thread::spawn(move || {
+                let _g = sem.acquire();
+                let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                thread::sleep(std::time::Duration::from_millis(5));
+                current.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for t in ts {
+            t.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    fn semaphore_try_acquire() {
+        let sem = Semaphore::new(1);
+        let g = sem.try_acquire().unwrap();
+        assert!(sem.try_acquire().is_none());
+        assert_eq!(sem.available(), 0);
+        drop(g);
+        assert_eq!(sem.available(), 1);
+        assert!(sem.try_acquire().is_some());
+    }
+}

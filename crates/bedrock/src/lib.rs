@@ -1,0 +1,637 @@
+//! `bedrock` — JSON-driven bootstrap for Mochi-style services.
+//!
+//! The paper (§II-B) describes Bedrock as the component that "takes a JSON
+//! configuration describing the service and spins up the components
+//! according to this configuration": Argobots execution streams and pools,
+//! Mercury settings, and the list of providers with their databases and
+//! pool mappings. That configurability is what let the authors tune HEPnOS
+//! (by hand and with ML-based autotuning) into the §IV-D deployment: 16
+//! providers per node, each on its own execution stream, serving 8 event
+//! and 8 product databases.
+//!
+//! This crate reproduces that layer:
+//!
+//! * [`ServiceConfig`] — the JSON schema (serde);
+//! * [`launch`] — build the [`argos::Runtime`], wrap the endpoint in a
+//!   [`margo::MargoInstance`], register a [`yokan::YokanService`], create
+//!   the backends, and return a running [`BedrockServer`];
+//! * [`ServiceConfig::hepnos_node`] — generator for the paper's per-node
+//!   topology;
+//! * [`ConnectionDescriptor`] — the address book handed to clients (the
+//!   paper's `connect("config.json")`).
+//!
+//! # Example
+//!
+//! ```
+//! use mercurio::local::Fabric;
+//!
+//! let fabric = Fabric::new(Default::default());
+//! let cfg = bedrock::ServiceConfig::hepnos_node(2, 2, 2, bedrock::BackendKind::Map, None);
+//! let server = bedrock::launch(fabric.endpoint("node0"), &cfg).unwrap();
+//! assert_eq!(server.descriptor().providers.len(), 4);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+use argos::{Runtime, SchedulingDiscipline};
+use margo::MargoInstance;
+use mercurio::Endpoint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+use yokan::{LsmBackend, MemBackend, YokanService};
+
+/// Which storage backend a database uses (Bedrock's `type` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum BackendKind {
+    /// In-memory ordered map (`std::map` analogue).
+    Map,
+    /// Persistent LSM engine (RocksDB analogue).
+    Lsm,
+}
+
+/// One pool declaration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Pool name, unique within the instance.
+    pub name: String,
+    /// Scheduler kind: `fifo`, `fifo_wait`, `prio`, ...
+    #[serde(default = "default_kind")]
+    pub kind: String,
+}
+
+fn default_kind() -> String {
+    "fifo_wait".to_string()
+}
+
+/// One execution-stream declaration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct XstreamConfig {
+    /// Xstream name.
+    pub name: String,
+    /// Pools drained by this xstream, in round-robin order.
+    pub pools: Vec<String>,
+}
+
+/// The `argobots` section.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArgobotsConfig {
+    /// Declared pools.
+    pub pools: Vec<PoolConfig>,
+    /// Declared execution streams.
+    pub xstreams: Vec<XstreamConfig>,
+}
+
+/// The `margo` section.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MargoConfig {
+    /// Argobots resources.
+    pub argobots: ArgobotsConfig,
+    /// Pool handling RPCs whose provider has no dedicated pool.
+    #[serde(default = "default_rpc_pool")]
+    pub rpc_pool: String,
+}
+
+fn default_rpc_pool() -> String {
+    "default".to_string()
+}
+
+/// One database served by a provider.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatabaseConfig {
+    /// Database name, unique within its provider.
+    pub name: String,
+    /// Backend kind.
+    #[serde(rename = "type")]
+    pub kind: BackendKind,
+    /// Directory for persistent backends (required for `lsm`).
+    #[serde(default)]
+    pub path: Option<PathBuf>,
+}
+
+/// One provider declaration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProviderConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Provider id clients address.
+    pub provider_id: u16,
+    /// Pool RPCs for this provider run in.
+    pub pool: String,
+    /// Databases served.
+    pub databases: Vec<DatabaseConfig>,
+}
+
+/// A full Bedrock service configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Margo/Argobots resources.
+    pub margo: MargoConfig,
+    /// Yokan providers.
+    pub providers: Vec<ProviderConfig>,
+}
+
+/// Errors raised during bootstrap.
+#[derive(Debug)]
+pub enum BedrockError {
+    /// Config could not be parsed.
+    Parse(String),
+    /// Runtime construction failed (duplicate names, unknown pools...).
+    Runtime(argos::RuntimeError),
+    /// Margo wiring failed.
+    Margo(margo::MargoError),
+    /// A database backend could not be created.
+    Backend(String),
+    /// The configuration is structurally invalid.
+    Invalid(String),
+}
+
+impl fmt::Display for BedrockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BedrockError::Parse(m) => write!(f, "config parse error: {m}"),
+            BedrockError::Runtime(e) => write!(f, "runtime error: {e}"),
+            BedrockError::Margo(e) => write!(f, "margo error: {e}"),
+            BedrockError::Backend(m) => write!(f, "backend error: {m}"),
+            BedrockError::Invalid(m) => write!(f, "invalid config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BedrockError {}
+
+impl ServiceConfig {
+    /// Parse from JSON text.
+    pub fn from_json(text: &str) -> Result<ServiceConfig, BedrockError> {
+        serde_json::from_str(text).map_err(|e| BedrockError::Parse(e.to_string()))
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serialization cannot fail")
+    }
+
+    /// Generate the paper's per-node server topology (§IV-D): one provider
+    /// per database, each on a dedicated pool and execution stream, serving
+    /// `n_event_dbs` event databases and `n_product_dbs` product databases,
+    /// with `extra_xstreams` additional xstreams draining the shared RPC
+    /// pool. For `Lsm`, `data_dir` is the root under which each database
+    /// gets a subdirectory (the node-local SSD).
+    pub fn hepnos_node(
+        n_event_dbs: usize,
+        n_product_dbs: usize,
+        extra_xstreams: usize,
+        backend: BackendKind,
+        data_dir: Option<PathBuf>,
+    ) -> ServiceConfig {
+        let mut pools = vec![PoolConfig {
+            name: "default".into(),
+            kind: "fifo_wait".into(),
+        }];
+        let mut xstreams = Vec::new();
+        let mut providers = Vec::new();
+        let mut provider_id = 0u16;
+        let mut add = |label: &str, idx: usize, provider_id: u16| {
+            let pool_name = format!("pool_{label}_{idx}");
+            pools.push(PoolConfig {
+                name: pool_name.clone(),
+                kind: "fifo_wait".into(),
+            });
+            xstreams.push(XstreamConfig {
+                name: format!("es_{label}_{idx}"),
+                pools: vec![pool_name.clone(), "default".into()],
+            });
+            let db_name = format!("{label}_{idx}");
+            providers.push(ProviderConfig {
+                name: format!("yokan_{label}_{idx}"),
+                provider_id,
+                pool: pool_name,
+                databases: vec![DatabaseConfig {
+                    name: db_name.clone(),
+                    kind: backend,
+                    path: data_dir.as_ref().map(|d| d.join(&db_name)),
+                }],
+            });
+        };
+        for i in 0..n_event_dbs {
+            add("events", i, provider_id);
+            provider_id += 1;
+        }
+        for i in 0..n_product_dbs {
+            add("products", i, provider_id);
+            provider_id += 1;
+        }
+        for i in 0..extra_xstreams {
+            xstreams.push(XstreamConfig {
+                name: format!("es_rpc_{i}"),
+                pools: vec!["default".into()],
+            });
+        }
+        if extra_xstreams == 0 && xstreams.is_empty() {
+            xstreams.push(XstreamConfig {
+                name: "es_rpc_0".into(),
+                pools: vec!["default".into()],
+            });
+        }
+        ServiceConfig {
+            margo: MargoConfig {
+                argobots: ArgobotsConfig { pools, xstreams },
+                rpc_pool: "default".into(),
+            },
+            providers,
+        }
+    }
+}
+
+/// How many databases of each container kind a HEPnOS deployment uses
+/// (paper §II-C1: "The number of databases for each type of container is
+/// independently configurable").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DbCounts {
+    /// Dataset databases (paths → UUIDs).
+    pub datasets: usize,
+    /// Run databases.
+    pub runs: usize,
+    /// Subrun databases.
+    pub subruns: usize,
+    /// Event databases.
+    pub events: usize,
+    /// Product databases.
+    pub products: usize,
+}
+
+impl Default for DbCounts {
+    /// The paper's per-node layout: 8 event + 8 product databases, one of
+    /// each container-metadata database.
+    fn default() -> Self {
+        DbCounts {
+            datasets: 1,
+            runs: 1,
+            subruns: 1,
+            events: 8,
+            products: 8,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Generate a full HEPnOS server node: one provider per database, each
+    /// with a dedicated pool and execution stream, covering all five
+    /// container kinds.
+    pub fn hepnos_topology(
+        counts: DbCounts,
+        backend: BackendKind,
+        data_dir: Option<PathBuf>,
+    ) -> ServiceConfig {
+        let mut cfg = ServiceConfig {
+            margo: MargoConfig {
+                argobots: ArgobotsConfig {
+                    pools: vec![PoolConfig {
+                        name: "default".into(),
+                        kind: "fifo_wait".into(),
+                    }],
+                    xstreams: vec![XstreamConfig {
+                        name: "es_rpc".into(),
+                        pools: vec!["default".into()],
+                    }],
+                },
+                rpc_pool: "default".into(),
+            },
+            providers: Vec::new(),
+        };
+        let mut provider_id = 0u16;
+        for (label, n) in [
+            ("datasets", counts.datasets),
+            ("runs", counts.runs),
+            ("subruns", counts.subruns),
+            ("events", counts.events),
+            ("products", counts.products),
+        ] {
+            for i in 0..n {
+                let pool_name = format!("pool_{label}_{i}");
+                cfg.margo.argobots.pools.push(PoolConfig {
+                    name: pool_name.clone(),
+                    kind: "fifo_wait".into(),
+                });
+                cfg.margo.argobots.xstreams.push(XstreamConfig {
+                    name: format!("es_{label}_{i}"),
+                    pools: vec![pool_name.clone(), "default".into()],
+                });
+                let db_name = format!("{label}_{i}");
+                cfg.providers.push(ProviderConfig {
+                    name: format!("yokan_{label}_{i}"),
+                    provider_id,
+                    pool: pool_name,
+                    databases: vec![DatabaseConfig {
+                        name: db_name.clone(),
+                        kind: backend,
+                        path: data_dir.as_ref().map(|d| d.join(&db_name)),
+                    }],
+                });
+                provider_id += 1;
+            }
+        }
+        cfg
+    }
+}
+
+/// What a client needs to reach one provider.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ProviderDescriptor {
+    /// Provider id.
+    pub provider_id: u16,
+    /// Databases served, sorted.
+    pub databases: Vec<String>,
+}
+
+/// What a client needs to reach one server — the paper's
+/// `connect("config.json")` payload for a single node.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ConnectionDescriptor {
+    /// Routable endpoint address.
+    pub address: String,
+    /// Providers on this server.
+    pub providers: Vec<ProviderDescriptor>,
+}
+
+impl ConnectionDescriptor {
+    /// Parse a deployment-wide connection file: a JSON array of per-server
+    /// descriptors (what a job script aggregates from every server's
+    /// [`BedrockServer::descriptor`]). This is the payload behind the
+    /// paper's `DataStore::connect("config.json")`.
+    pub fn parse_deployment(json: &str) -> Result<Vec<ConnectionDescriptor>, BedrockError> {
+        serde_json::from_str(json).map_err(|e| BedrockError::Parse(e.to_string()))
+    }
+
+    /// Serialize a deployment's descriptors to the connection-file JSON.
+    pub fn deployment_to_json(descriptors: &[ConnectionDescriptor]) -> String {
+        serde_json::to_string_pretty(descriptors).expect("descriptor serialization cannot fail")
+    }
+}
+
+/// A running Bedrock-bootstrapped server.
+pub struct BedrockServer {
+    margo: MargoInstance,
+    yokan: YokanService,
+    descriptor: ConnectionDescriptor,
+}
+
+impl fmt::Debug for BedrockServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BedrockServer")
+            .field("descriptor", &self.descriptor)
+            .finish()
+    }
+}
+
+impl BedrockServer {
+    /// The Margo instance (address, runtime, forward).
+    pub fn margo(&self) -> &MargoInstance {
+        &self.margo
+    }
+
+    /// The Yokan service (databases).
+    pub fn yokan(&self) -> &YokanService {
+        &self.yokan
+    }
+
+    /// This server's routable address.
+    pub fn address(&self) -> String {
+        self.margo.address()
+    }
+
+    /// The connection descriptor clients use to find providers/databases.
+    pub fn descriptor(&self) -> &ConnectionDescriptor {
+        &self.descriptor
+    }
+
+    /// Graceful teardown: stop serving, drain pools, join xstreams.
+    pub fn shutdown(self) {
+        self.margo.finalize();
+    }
+}
+
+/// Bootstrap a server on `endpoint` from `config`.
+pub fn launch(
+    endpoint: Arc<dyn Endpoint>,
+    config: &ServiceConfig,
+) -> Result<BedrockServer, BedrockError> {
+    // Build the argos runtime.
+    let mut rb = Runtime::builder();
+    for p in &config.margo.argobots.pools {
+        let disc = SchedulingDiscipline::parse(&p.kind)
+            .ok_or_else(|| BedrockError::Invalid(format!("unknown scheduler kind: {}", p.kind)))?;
+        rb = rb.pool(&p.name, disc);
+    }
+    for x in &config.margo.argobots.xstreams {
+        let pool_refs: Vec<&str> = x.pools.iter().map(|s| s.as_str()).collect();
+        rb = rb.xstream(&x.name, &pool_refs);
+    }
+    let runtime = rb.build().map_err(BedrockError::Runtime)?;
+    let margo = MargoInstance::new(endpoint, runtime, &config.margo.rpc_pool)
+        .map_err(BedrockError::Margo)?;
+    let yokan = YokanService::register(&margo);
+    let mut providers = Vec::new();
+    for p in &config.providers {
+        yokan
+            .add_provider(&margo, p.provider_id, &p.pool)
+            .map_err(BedrockError::Margo)?;
+        let mut names = Vec::new();
+        for db in &p.databases {
+            let backend: Arc<dyn yokan::Backend> = match db.kind {
+                BackendKind::Map => Arc::new(MemBackend::new()),
+                BackendKind::Lsm => {
+                    let path = db.path.as_ref().ok_or_else(|| {
+                        BedrockError::Invalid(format!("database {} needs a path", db.name))
+                    })?;
+                    Arc::new(
+                        LsmBackend::open(path)
+                            .map_err(|e| BedrockError::Backend(e.to_string()))?,
+                    )
+                }
+            };
+            yokan.add_database(p.provider_id, &db.name, backend);
+            names.push(db.name.clone());
+        }
+        names.sort();
+        providers.push(ProviderDescriptor {
+            provider_id: p.provider_id,
+            databases: names,
+        });
+    }
+    providers.sort_by_key(|p| p.provider_id);
+    let descriptor = ConnectionDescriptor {
+        address: margo.address(),
+        providers,
+    };
+    Ok(BedrockServer {
+        margo,
+        yokan,
+        descriptor,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercurio::local::Fabric;
+    use yokan::{DbTarget, YokanClient};
+
+    #[test]
+    fn hepnos_node_topology_matches_paper_shape() {
+        let cfg = ServiceConfig::hepnos_node(8, 8, 0, BackendKind::Map, None);
+        assert_eq!(cfg.providers.len(), 16);
+        // one pool per provider + default
+        assert_eq!(cfg.margo.argobots.pools.len(), 17);
+        assert_eq!(cfg.margo.argobots.xstreams.len(), 16);
+        let event_dbs: Vec<_> = cfg
+            .providers
+            .iter()
+            .flat_map(|p| &p.databases)
+            .filter(|d| d.name.starts_with("events"))
+            .collect();
+        assert_eq!(event_dbs.len(), 8);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cfg = ServiceConfig::hepnos_node(2, 2, 1, BackendKind::Map, None);
+        let text = cfg.to_json();
+        let parsed = ServiceConfig::from_json(&text).unwrap();
+        assert_eq!(parsed.providers.len(), 4);
+        assert_eq!(parsed.margo.rpc_pool, "default");
+    }
+
+    #[test]
+    fn parse_handwritten_config() {
+        let text = r#"{
+            "margo": {
+                "argobots": {
+                    "pools": [{"name": "default", "kind": "fifo_wait"}],
+                    "xstreams": [{"name": "es0", "pools": ["default"]}]
+                },
+                "rpc_pool": "default"
+            },
+            "providers": [{
+                "name": "kv",
+                "provider_id": 3,
+                "pool": "default",
+                "databases": [{"name": "events_0", "type": "map"}]
+            }]
+        }"#;
+        let cfg = ServiceConfig::from_json(text).unwrap();
+        assert_eq!(cfg.providers[0].provider_id, 3);
+        assert_eq!(cfg.providers[0].databases[0].kind, BackendKind::Map);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ServiceConfig::from_json("{not json").is_err());
+        assert!(ServiceConfig::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn launch_and_serve() {
+        let fabric = Fabric::new(Default::default());
+        let cfg = ServiceConfig::hepnos_node(2, 2, 1, BackendKind::Map, None);
+        let server = launch(fabric.endpoint("node0"), &cfg).unwrap();
+        let desc = server.descriptor().clone();
+        assert_eq!(desc.providers.len(), 4);
+        assert_eq!(desc.address, server.address());
+        let client = YokanClient::new(fabric.endpoint("client"));
+        let t = DbTarget::new(desc.address.clone(), 0, "events_0");
+        client.put(&t, b"k", b"v").unwrap();
+        assert_eq!(client.get(&t, b"k").unwrap(), Some(b"v".to_vec()));
+        // Database list matches the descriptor.
+        let dbs = client.list_databases(&desc.address, 0).unwrap();
+        assert_eq!(dbs, desc.providers[0].databases);
+        server.shutdown();
+    }
+
+    #[test]
+    fn launch_lsm_requires_path() {
+        let fabric = Fabric::new(Default::default());
+        let mut cfg = ServiceConfig::hepnos_node(1, 0, 0, BackendKind::Lsm, None);
+        cfg.providers[0].databases[0].path = None;
+        let err = launch(fabric.endpoint("n"), &cfg).unwrap_err();
+        assert!(matches!(err, BedrockError::Invalid(_)));
+    }
+
+    #[test]
+    fn launch_lsm_with_path_persists() {
+        let dir = std::env::temp_dir().join(format!("bedrock-lsm-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let fabric = Fabric::new(Default::default());
+        let cfg = ServiceConfig::hepnos_node(1, 1, 0, BackendKind::Lsm, Some(dir.clone()));
+        let server = launch(fabric.endpoint("n"), &cfg).unwrap();
+        let client = YokanClient::new(fabric.endpoint("c"));
+        let t = DbTarget::new(server.address(), 0, "events_0");
+        client.put(&t, b"persist", b"yes").unwrap();
+        server.shutdown();
+        assert!(dir.join("events_0").join("MANIFEST").exists() || dir.join("events_0").join("wal.log").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn descriptor_serializes_for_clients() {
+        let fabric = Fabric::new(Default::default());
+        let cfg = ServiceConfig::hepnos_node(1, 1, 0, BackendKind::Map, None);
+        let server = launch(fabric.endpoint("node0"), &cfg).unwrap();
+        let json = serde_json::to_string(server.descriptor()).unwrap();
+        let parsed: ConnectionDescriptor = serde_json::from_str(&json).unwrap();
+        assert_eq!(&parsed, server.descriptor());
+        server.shutdown();
+    }
+
+    #[test]
+    fn invalid_scheduler_kind_rejected() {
+        let fabric = Fabric::new(Default::default());
+        let mut cfg = ServiceConfig::hepnos_node(1, 0, 0, BackendKind::Map, None);
+        cfg.margo.argobots.pools[0].kind = "quantum".into();
+        let err = launch(fabric.endpoint("x"), &cfg).unwrap_err();
+        assert!(matches!(err, BedrockError::Invalid(_)));
+    }
+}
+
+#[cfg(test)]
+mod topology_tests {
+    use super::*;
+    use mercurio::local::Fabric;
+
+    #[test]
+    fn hepnos_topology_covers_all_kinds() {
+        let counts = DbCounts::default();
+        let cfg = ServiceConfig::hepnos_topology(counts, BackendKind::Map, None);
+        assert_eq!(cfg.providers.len(), 1 + 1 + 1 + 8 + 8);
+        let names: Vec<&str> = cfg
+            .providers
+            .iter()
+            .flat_map(|p| &p.databases)
+            .map(|d| d.name.as_str())
+            .collect();
+        assert!(names.contains(&"datasets_0"));
+        assert!(names.contains(&"runs_0"));
+        assert!(names.contains(&"subruns_0"));
+        assert!(names.contains(&"events_7"));
+        assert!(names.contains(&"products_7"));
+    }
+
+    #[test]
+    fn hepnos_topology_launches() {
+        let fabric = Fabric::new(Default::default());
+        let counts = DbCounts {
+            datasets: 1,
+            runs: 1,
+            subruns: 1,
+            events: 2,
+            products: 2,
+        };
+        let cfg = ServiceConfig::hepnos_topology(counts, BackendKind::Map, None);
+        let server = launch(fabric.endpoint("node0"), &cfg).unwrap();
+        assert_eq!(server.descriptor().providers.len(), 7);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,93 @@
+//! Ablation C: in-memory vs LSM backend raw key-value throughput — the
+//! server-side half of Fig. 2's in-memory vs RocksDB comparison, measured
+//! on the real backends through the Yokan `Backend` trait.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::path::PathBuf;
+use std::time::Duration;
+use yokan::{Backend, LsmBackend, MemBackend};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("yokan-bench-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn backends(tag: &str) -> Vec<(&'static str, Box<dyn Backend>, Option<PathBuf>)> {
+    let dir = tmpdir(tag);
+    vec![
+        ("map", Box::new(MemBackend::new()) as Box<dyn Backend>, None),
+        (
+            "lsm",
+            Box::new(LsmBackend::open(&dir).unwrap()),
+            Some(dir),
+        ),
+    ]
+}
+
+fn bench_put_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend_put_get");
+    for (name, backend, dir) in backends("pg") {
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::new("put_360B", name), &(), |b, _| {
+            b.iter(|| {
+                i += 1;
+                backend.put(&i.to_be_bytes(), &[0u8; 360]).unwrap();
+            })
+        });
+        // Preload for gets.
+        for k in 0..20_000u64 {
+            backend.put(&k.to_be_bytes(), &[1u8; 360]).unwrap();
+        }
+        let mut j = 0u64;
+        g.bench_with_input(BenchmarkId::new("get_360B", name), &(), |b, _| {
+            b.iter(|| {
+                j = (j + 7919) % 20_000;
+                black_box(backend.get(&j.to_be_bytes()).unwrap());
+            })
+        });
+        drop(backend);
+        if let Some(d) = dir {
+            std::fs::remove_dir_all(&d).ok();
+        }
+    }
+    g.finish();
+}
+
+fn bench_batch_listing(c: &mut Criterion) {
+    // The PEP read path: list_keyvals in large pages — the batch the paper
+    // sizes at 16384.
+    let mut g = c.benchmark_group("backend_list");
+    g.sample_size(10);
+    for (name, backend, dir) in backends("ls") {
+        for k in 0..50_000u64 {
+            backend.put(&k.to_be_bytes(), &[2u8; 360]).unwrap();
+        }
+        for page in [64usize, 1024, 16384] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("list_keyvals_{page}"), name),
+                &page,
+                |b, &page| {
+                    b.iter(|| {
+                        black_box(backend.list_keyvals(&[], &[], page).unwrap());
+                    })
+                },
+            );
+        }
+        drop(backend);
+        if let Some(d) = dir {
+            std::fs::remove_dir_all(&d).ok();
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_put_get, bench_batch_listing
+}
+criterion_main!(benches);

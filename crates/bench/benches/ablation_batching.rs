@@ -1,0 +1,110 @@
+//! Ablation A (paper §II-D): batching amortizes per-RPC cost when storing
+//! many small products. Sweeps the WriteBatch flush limit from 1 (every
+//! store is its own RPC) to 4096, on a live in-process deployment with a
+//! realistic per-RPC network latency.
+
+use bedrock::DbCounts;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hepnos::testing::{local_deployment_with, LocalDeployment};
+use hepnos::{ProductLabel, WriteBatch};
+use mercurio::NetworkModel;
+use std::time::Duration;
+
+fn deployment() -> LocalDeployment {
+    // A non-ideal network: each RPC costs 20us each way, so batching wins.
+    local_deployment_with(
+        1,
+        DbCounts::default(),
+        bedrock::BackendKind::Map,
+        None,
+        NetworkModel {
+            latency: Duration::from_micros(20),
+            ..Default::default()
+        },
+    )
+}
+
+fn bench_store_batching(c: &mut Criterion) {
+    let dep = deployment();
+    let store = dep.datastore();
+    let ds = store.root().create_dataset("ablation").unwrap();
+    let uuid = ds.uuid().unwrap();
+    let label = ProductLabel::new("hits");
+    let mut g = c.benchmark_group("write_batching");
+    g.sample_size(10);
+    let mut subrun_counter = 0u64;
+    const N_PRODUCTS: u64 = 256;
+    for batch_limit in [1usize, 16, 64, 1024] {
+        g.bench_with_input(
+            BenchmarkId::new("store_256_products", batch_limit),
+            &batch_limit,
+            |b, &limit| {
+                b.iter(|| {
+                    subrun_counter += 1;
+                    let run = ds.create_run(1).unwrap();
+                    let sr = run.create_subrun(subrun_counter).unwrap();
+                    let mut batch = WriteBatch::new(&store).with_per_db_limit(limit);
+                    for e in 0..N_PRODUCTS {
+                        let ev = batch.create_event(&sr, &uuid, e).unwrap();
+                        batch.store(&ev, &label, &vec![e as f32; 16]).unwrap();
+                    }
+                    batch.flush().unwrap();
+                })
+            },
+        );
+    }
+    g.finish();
+    dep.shutdown();
+}
+
+fn bench_async_overlap(c: &mut Criterion) {
+    // AsyncWriteBatch ships full groups in the background (paper §II-D);
+    // under visible RPC latency the overlap beats the synchronous batch.
+    let dep = deployment();
+    let store = dep.datastore();
+    let ds = store.root().create_dataset("async-ablation").unwrap();
+    let uuid = ds.uuid().unwrap();
+    let label = hepnos::ProductLabel::new("hits");
+    let rt = argos::Runtime::simple(2);
+    let mut g = c.benchmark_group("async_vs_sync_batch");
+    g.sample_size(10);
+    let mut subrun_counter = 1_000_000u64;
+    g.bench_function("sync_512_products_limit64", |b| {
+        b.iter(|| {
+            subrun_counter += 1;
+            let sr = ds.create_run(2).unwrap().create_subrun(subrun_counter).unwrap();
+            let mut batch = WriteBatch::new(&store).with_per_db_limit(64);
+            for e in 0..512u64 {
+                let ev = batch.create_event(&sr, &uuid, e).unwrap();
+                batch.store(&ev, &label, &vec![e as f32; 8]).unwrap();
+            }
+            batch.flush().unwrap();
+        })
+    });
+    g.bench_function("async_512_products_limit64", |b| {
+        b.iter(|| {
+            subrun_counter += 1;
+            let sr = ds.create_run(2).unwrap().create_subrun(subrun_counter).unwrap();
+            let mut batch = hepnos::AsyncWriteBatch::new(&store, rt.default_pool().unwrap())
+                .with_per_db_limit(64);
+            for e in 0..512u64 {
+                let ev = batch.create_event(&sr, &uuid, e).unwrap();
+                batch.store(&ev, &label, &vec![e as f32; 8]).unwrap();
+            }
+            batch.wait().unwrap();
+        })
+    });
+    g.finish();
+    rt.shutdown();
+    dep.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_store_batching, bench_async_overlap
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Ablation B (paper §IV-D): the ParallelEventProcessor's two batch sizes —
+//! large *load* batches (paper: 16384; fewer RPCs, bigger payloads) and
+//! small *dispatch* batches (paper: 64; fine-grained load balancing).
+//! Sweeps both over a live deployment with per-RPC latency.
+
+use bedrock::DbCounts;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hepnos::testing::local_deployment_with;
+use hepnos::{ParallelEventProcessor, PepOptions, ProductLabel, WriteBatch};
+use mercurio::NetworkModel;
+use std::time::Duration;
+
+fn bench_pep_batches(c: &mut Criterion) {
+    let dep = local_deployment_with(
+        1,
+        DbCounts::default(),
+        bedrock::BackendKind::Map,
+        None,
+        NetworkModel {
+            latency: Duration::from_micros(20),
+            ..Default::default()
+        },
+    );
+    let store = dep.datastore();
+    let ds = store.root().create_dataset("pep").unwrap();
+    let uuid = ds.uuid().unwrap();
+    let label = ProductLabel::new("p");
+    let run = ds.create_run(1).unwrap();
+    for s in 0..8u64 {
+        let sr = run.create_subrun(s).unwrap();
+        let mut batch = WriteBatch::new(&store);
+        for e in 0..500u64 {
+            let ev = batch.create_event(&sr, &uuid, e).unwrap();
+            batch.store(&ev, &label, &vec![1.0f32; 8]).unwrap();
+        }
+        batch.flush().unwrap();
+    }
+    let mut g = c.benchmark_group("pep_batches");
+    g.sample_size(10);
+    for load_batch in [256usize, 4096] {
+        for dispatch_batch in [8usize, 64, 512] {
+            let id = format!("load{load_batch}_dispatch{dispatch_batch}");
+            g.bench_with_input(BenchmarkId::new("process_4000", id), &(), |b, _| {
+                b.iter(|| {
+                    let pep = ParallelEventProcessor::new(
+                        store.clone(),
+                        PepOptions {
+                            load_batch_size: load_batch,
+                            dispatch_batch_size: dispatch_batch,
+                            num_workers: 4,
+                            ..Default::default()
+                        },
+                    );
+                    let stats = pep.process(&ds, |_w, _e| {}).unwrap();
+                    assert_eq!(stats.total_events, 4000);
+                })
+            });
+        }
+    }
+    g.finish();
+    dep.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_pep_batches
+}
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Ablation D (paper §II-C3): placement by hash of the *parent* key keeps
+//! all children of a container in one database, so iteration is a single
+//! database's sorted scan. The alternative the paper rejects — consistent
+//! hashing of the *full* key — would require "interrogating all the servers
+//! and merging their results". We measure both strategies against the same
+//! deployment: the parent-key path uses the normal HEPnOS iterator; the
+//! full-key path is emulated by scatter-gathering over every event
+//! database and merging.
+
+use bedrock::DbCounts;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hepnos::testing::local_deployment_with;
+use hepnos::WriteBatch;
+use mercurio::NetworkModel;
+use std::time::Duration;
+use yokan::{DbTarget, YokanClient};
+
+fn bench_placement_strategies(c: &mut Criterion) {
+    let dep = local_deployment_with(
+        2,
+        DbCounts {
+            datasets: 1,
+            runs: 1,
+            subruns: 1,
+            events: 8,
+            products: 8,
+        },
+        bedrock::BackendKind::Map,
+        None,
+        NetworkModel {
+            latency: Duration::from_micros(20),
+            ..Default::default()
+        },
+    );
+    let store = dep.datastore();
+    let ds = store.root().create_dataset("placement").unwrap();
+    let uuid = ds.uuid().unwrap();
+    let run = ds.create_run(1).unwrap();
+    for s in 0..16u64 {
+        let sr = run.create_subrun(s).unwrap();
+        let mut batch = WriteBatch::new(&store);
+        for e in 0..200u64 {
+            batch.create_event(&sr, &uuid, e).unwrap();
+        }
+        batch.flush().unwrap();
+    }
+    let sr5 = run.subrun(5).unwrap();
+    // Scatter-gather emulation: ask every event database for the subrun's
+    // prefix and merge (only one actually has data under parent-key
+    // placement, but a full-key scheme would spread them and *every*
+    // database must be asked either way — the cost being measured).
+    let client = YokanClient::new(dep.fabric().endpoint("placement-bench"));
+    let event_dbs: Vec<DbTarget> = dep
+        .descriptors()
+        .iter()
+        .flat_map(|d| {
+            d.providers.iter().flat_map(|p| {
+                p.databases
+                    .iter()
+                    .filter(|n| n.starts_with("events"))
+                    .map(|n| DbTarget::new(d.address.clone(), p.provider_id, n))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    assert_eq!(event_dbs.len(), 16);
+    let prefix = sr5.key().to_vec();
+
+    let mut g = c.benchmark_group("placement_iteration");
+    g.sample_size(10);
+    g.bench_function("parent_key_single_db", |b| {
+        b.iter(|| {
+            let evs = sr5.events().unwrap();
+            assert_eq!(evs.len(), 200);
+            black_box(evs);
+        })
+    });
+    g.bench_function("full_key_scatter_gather", |b| {
+        b.iter(|| {
+            let mut all = Vec::new();
+            for db in &event_dbs {
+                let keys = client.list_keys(db, &prefix, &prefix, 0).unwrap();
+                all.extend(keys);
+            }
+            all.sort();
+            assert_eq!(all.len(), 200);
+            black_box(all);
+        })
+    });
+    g.finish();
+    dep.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_placement_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion companion to the `figure2`/`figure3` binaries: times one
+//! virtual-time simulation of each workflow model at the paper's largest
+//! configuration, demonstrating the whole 256-node sweep costs milliseconds
+//! — the point of simulating Theta instead of sleeping through it.
+
+use cluster::{
+    Backend, CostModel, DatasetSpec, FileWorkflowModel, HepnosWorkflowModel, ThetaMachine,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_models(c: &mut Criterion) {
+    let d = DatasetSpec::nova_replicated(4);
+    let mut g = c.benchmark_group("cluster_models");
+    g.sample_size(10);
+    g.bench_function("file_workflow_256_nodes", |b| {
+        b.iter(|| {
+            let r = FileWorkflowModel {
+                n_nodes: 256,
+                machine: ThetaMachine::default(),
+                dataset: d,
+                costs: CostModel::default(),
+            }
+            .simulate();
+            black_box(r.throughput);
+        })
+    });
+    g.bench_function("hepnos_memory_256_nodes", |b| {
+        b.iter(|| {
+            let r = HepnosWorkflowModel {
+                n_nodes: 256,
+                machine: ThetaMachine::default(),
+                dataset: d,
+                costs: CostModel::default(),
+                backend: Backend::Memory,
+            }
+            .simulate();
+            black_box(r.throughput);
+        })
+    });
+    g.bench_function("hepnos_lsm_256_nodes", |b| {
+        b.iter(|| {
+            let r = HepnosWorkflowModel {
+                n_nodes: 256,
+                machine: ThetaMachine::default(),
+                dataset: d,
+                costs: CostModel::default(),
+                backend: Backend::Lsm,
+            }
+            .simulate();
+            black_box(r.throughput);
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_models
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Microbenchmark: product serialization (the Boost-serialization analogue)
+//! — the per-product CPU cost every store/load pays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nova::{NovaGenerator, SliceQuantities};
+use std::time::Duration;
+
+fn bench_binser(c: &mut Criterion) {
+    let gen = NovaGenerator::new(5);
+    let ev = gen.generate(1, 2, 3);
+    let slices: Vec<SliceQuantities> = ev.slices.clone();
+    let bytes = hepnos::binser::to_bytes(&slices).unwrap();
+    let mut g = c.benchmark_group("binser");
+    g.throughput(criterion::Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("serialize_slice_vec", |b| {
+        b.iter(|| hepnos::binser::to_bytes(black_box(&slices)).unwrap())
+    });
+    g.bench_function("deserialize_slice_vec", |b| {
+        b.iter(|| {
+            let v: Vec<SliceQuantities> =
+                hepnos::binser::from_bytes(black_box(&bytes)).unwrap();
+            v
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench_binser
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Microbenchmark: key encoding/decoding throughput (the metadata hot path
+//! of every store/load/iterate operation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hepnos::keys;
+use hepnos::placement::{ModuloPlacement, Placement, RingPlacement};
+use hepnos::Uuid;
+use std::time::Duration;
+
+fn bench_keys(c: &mut Criterion) {
+    let uuid = Uuid::from_bytes([7u8; 16]);
+    let mut g = c.benchmark_group("keys");
+    g.bench_function("event_key_encode", |b| {
+        b.iter(|| keys::event_key(black_box(&uuid), 12, 34, 56))
+    });
+    let ek = keys::event_key(&uuid, 12, 34, 56);
+    g.bench_function("event_key_parse", |b| {
+        b.iter(|| keys::parse_event_key(black_box(&ek)))
+    });
+    g.bench_function("product_key_encode", |b| {
+        b.iter(|| keys::product_key(black_box(&ek), "rec.slc", "Vec<SliceQuantities>"))
+    });
+    g.bench_function("dataset_key_encode", |b| {
+        b.iter(|| keys::dataset_key(black_box("fermilab/nova"), "mc"))
+    });
+    g.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let uuid = Uuid::from_bytes([9u8; 16]);
+    let subrun_key = keys::subrun_key(&uuid, 3, 4);
+    let modulo = ModuloPlacement;
+    let ring = RingPlacement::default();
+    let mut g = c.benchmark_group("placement");
+    g.bench_function("modulo_place", |b| {
+        b.iter(|| modulo.place(black_box(&subrun_key), 64))
+    });
+    g.bench_function("ring_place", |b| {
+        b.iter(|| ring.place(black_box(&subrun_key), 64))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench_keys, bench_placement
+}
+criterion_main!(benches);

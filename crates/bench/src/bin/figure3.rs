@@ -1,0 +1,89 @@
+//! Regenerates **Figure 3** of the paper: throughput vs dataset size at a
+//! fixed 128-node allocation.
+//!
+//! Datasets are the paper's three samples: 1929 / 3858 / 7716 files
+//! (4,359,414 / 8,718,828 / 17,437,656 events). The paper's observation:
+//! the file-based workflow is hampered on the smaller datasets (only 24% of
+//! cores busy at 1929 files) while HEPnOS is far less sensitive.
+//!
+//! Run: `cargo run --release -p hepnos-bench --bin figure3`
+
+use cluster::{
+    Backend, CostModel, DatasetSpec, FileWorkflowModel, HepnosWorkflowModel, ThetaMachine,
+};
+use hepnos_bench::fmt_throughput;
+
+fn main() {
+    const NODES: usize = 128;
+    let costs = CostModel::default();
+    let machine = ThetaMachine::default();
+    println!("# Figure 3 — throughput vs dataset size at {NODES} nodes");
+    println!("# throughput in slices/second (virtual-time cluster model, Theta-shaped)");
+    println!(
+        "{:>6} {:>10} {:>18} {:>18} {:>18} {:>11}",
+        "files", "events", "file-based", "hepnos-rocksdb", "hepnos-memory", "cores-busy"
+    );
+    let mut rows = Vec::new();
+    for k in [1u64, 2, 4] {
+        let dataset = DatasetSpec::nova_replicated(k);
+        let file = FileWorkflowModel {
+            n_nodes: NODES,
+            machine: machine.clone(),
+            dataset,
+            costs: costs.clone(),
+        }
+        .simulate();
+        let lsm = HepnosWorkflowModel {
+            n_nodes: NODES,
+            machine: machine.clone(),
+            dataset,
+            costs: costs.clone(),
+            backend: Backend::Lsm,
+        }
+        .simulate();
+        let mem = HepnosWorkflowModel {
+            n_nodes: NODES,
+            machine: machine.clone(),
+            dataset,
+            costs: costs.clone(),
+            backend: Backend::Memory,
+        }
+        .simulate();
+        println!(
+            "{:>6} {:>10} {:>18} {:>18} {:>18} {:>10.0}%",
+            dataset.n_files,
+            dataset.n_events,
+            fmt_throughput(file.throughput),
+            fmt_throughput(lsm.throughput),
+            fmt_throughput(mem.throughput),
+            file.cores_busy_fraction * 100.0
+        );
+        rows.push((file, lsm, mem));
+    }
+    println!("\n# claims check:");
+    let busy_small = rows[0].0.cores_busy_fraction;
+    println!(
+        "#  - only ~24% of cores busy for the 1929-file sample ({:.0}%): {}",
+        busy_small * 100.0,
+        yesno((0.20..0.28).contains(&busy_small))
+    );
+    let all_win = rows.iter().all(|(f, l, m)| {
+        l.throughput > f.throughput && m.throughput > f.throughput
+    });
+    println!("#  - HEPnOS superior at every dataset size: {}", yesno(all_win));
+    let file_spread = rows[2].0.throughput / rows[0].0.throughput;
+    let mem_spread = rows[2].2.throughput / rows[0].2.throughput;
+    println!(
+        "#  - file-based much more size-sensitive (x{file_spread:.2} over sizes) \
+         than HEPnOS (x{mem_spread:.2}): {}",
+        yesno(file_spread > mem_spread * 1.3)
+    );
+}
+
+fn yesno(b: bool) -> &'static str {
+    if b {
+        "PASS"
+    } else {
+        "FAIL"
+    }
+}

@@ -1,0 +1,80 @@
+//! Weak scaling: the paper's §I promises to "demonstrate the reading speed
+//! and scalability (both weak and strong) of HEPnOS"; the figures show the
+//! strong-scaling and dataset-size sweeps, so this harness completes the
+//! pair: the dataset grows proportionally with the allocation (constant
+//! work per node), and ideal behaviour is constant per-node throughput.
+//!
+//! The file-based workflow degrades at scale even here, because the
+//! parallel file system's aggregate bandwidth and metadata service are
+//! shared global resources, while HEPnOS's servers grow with the
+//! allocation.
+//!
+//! Run: `cargo run --release -p hepnos-bench --bin weak_scaling`
+
+use cluster::{
+    Backend, CostModel, DatasetSpec, FileWorkflowModel, HepnosWorkflowModel, ThetaMachine,
+};
+use hepnos_bench::fmt_throughput;
+
+fn main() {
+    let costs = CostModel::default();
+    let machine = ThetaMachine::default();
+    println!("# Weak scaling — dataset grows with the allocation (1929 files per 16 nodes)");
+    println!("# per-node throughput in slices/second/node");
+    println!(
+        "{:>6} {:>8} {:>16} {:>16} {:>16}",
+        "nodes", "files", "file-based", "hepnos-rocksdb", "hepnos-memory"
+    );
+    let mut first: Option<(f64, f64, f64)> = None;
+    let mut last = (0.0, 0.0, 0.0);
+    for k in [1u64, 2, 4, 8, 16] {
+        let n_nodes = (16 * k) as usize;
+        let dataset = DatasetSpec::nova_replicated(k);
+        let file = FileWorkflowModel {
+            n_nodes,
+            machine: machine.clone(),
+            dataset,
+            costs: costs.clone(),
+        }
+        .simulate()
+        .throughput
+            / n_nodes as f64;
+        let lsm = HepnosWorkflowModel {
+            n_nodes,
+            machine: machine.clone(),
+            dataset,
+            costs: costs.clone(),
+            backend: Backend::Lsm,
+        }
+        .simulate()
+        .throughput
+            / n_nodes as f64;
+        let mem = HepnosWorkflowModel {
+            n_nodes,
+            machine: machine.clone(),
+            dataset,
+            costs: costs.clone(),
+            backend: Backend::Memory,
+        }
+        .simulate()
+        .throughput
+            / n_nodes as f64;
+        println!(
+            "{:>6} {:>8} {:>16} {:>16} {:>16}",
+            n_nodes,
+            dataset.n_files,
+            fmt_throughput(file),
+            fmt_throughput(lsm),
+            fmt_throughput(mem)
+        );
+        if first.is_none() {
+            first = Some((file, lsm, mem));
+        }
+        last = (file, lsm, mem);
+    }
+    let first = first.expect("at least one row");
+    println!("\n# weak-scaling efficiency (per-node throughput retained, 16 -> 256 nodes):");
+    println!("#   file-based:     {:>5.1}%", last.0 / first.0 * 100.0);
+    println!("#   hepnos-rocksdb: {:>5.1}%", last.1 / first.1 * 100.0);
+    println!("#   hepnos-memory:  {:>5.1}%", last.2 / first.2 * 100.0);
+}

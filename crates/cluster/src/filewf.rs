@@ -1,0 +1,156 @@
+//! Virtual-time model of the traditional file-based workflow (§IV-A).
+//!
+//! Workers (one per core, as in the paper's Python-multiprocessing runs)
+//! pull files from a shared list. Each file costs: one metadata operation
+//! (serialized on the PFS metadata server), a data read (reserved on the
+//! shared PFS bandwidth timeline), and per-slice selection compute on the
+//! worker's core. The file is the atomic unit of work — the model's whole
+//! point — so surplus cores simply never receive work.
+
+use crate::theta::{CostModel, DatasetSpec, ThetaMachine};
+use crate::vt::{Timeline, WorkerHeap};
+
+/// The file-based workflow at a given allocation.
+#[derive(Debug, Clone)]
+pub struct FileWorkflowModel {
+    /// Total allocated nodes (all run workers in this workflow).
+    pub n_nodes: usize,
+    /// Machine shape.
+    pub machine: ThetaMachine,
+    /// Dataset to process.
+    pub dataset: DatasetSpec,
+    /// Cost parameters.
+    pub costs: CostModel,
+}
+
+/// Outcome of one simulated run.
+#[derive(Debug, Clone, Copy)]
+pub struct FileWorkflowResult {
+    /// Start-to-last-finish duration (seconds, virtual).
+    pub makespan: f64,
+    /// Slices per second over the makespan.
+    pub throughput: f64,
+    /// Fraction of worker-cores that received at least one file.
+    pub cores_busy_fraction: f64,
+    /// Fraction of total core-time spent computing.
+    pub utilization: f64,
+}
+
+impl FileWorkflowModel {
+    /// Run the simulation (deterministic).
+    pub fn simulate(&self) -> FileWorkflowResult {
+        let n_workers = self.n_nodes * self.machine.cores_per_node;
+        let n_files = self.dataset.n_files as usize;
+        let slices_per_file = self.dataset.slices_per_file();
+        let read_time = self.dataset.bytes_per_file as f64; // bytes, converted below
+        let mut meta = Timeline::new();
+        let mut pfs = Timeline::new();
+        let mut workers = WorkerHeap::new(n_workers);
+        let mut busy_workers = vec![false; n_workers];
+        let mut compute_total = 0.0f64;
+        for _file in 0..n_files {
+            let (mut t, id) = workers.pop().expect("workers never exhausted");
+            if !busy_workers[id] {
+                // First file on this worker: pay the process startup
+                // (loading the analysis executable and libraries).
+                t += self.costs.grid_worker_startup;
+                busy_workers[id] = true;
+            }
+            // Metadata: serialized on the metadata server.
+            t = meta.reserve(t, self.costs.pfs_metadata_service);
+            // Data: reserved on the shared bandwidth timeline.
+            t = pfs.reserve(t, read_time / self.costs.pfs_aggregate_bandwidth);
+            // Compute: parse/deserialize the whole file, then run the
+            // selection over its slices — all on this worker's core.
+            let compute = self.dataset.bytes_per_file as f64 * self.costs.file_parse_per_byte
+                + slices_per_file * self.costs.slice_compute;
+            t += compute;
+            compute_total += compute;
+            workers.push(t, id);
+        }
+        let busy = busy_workers.iter().filter(|&&b| b).count();
+        let makespan = workers.drain_max();
+        FileWorkflowResult {
+            makespan,
+            throughput: if makespan > 0.0 {
+                self.dataset.n_slices as f64 / makespan
+            } else {
+                0.0
+            },
+            cores_busy_fraction: busy as f64 / n_workers as f64,
+            utilization: if makespan > 0.0 {
+                compute_total / (makespan * n_workers as f64)
+            } else {
+                1.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(n_nodes: usize, dataset: DatasetSpec) -> FileWorkflowModel {
+        FileWorkflowModel {
+            n_nodes,
+            machine: ThetaMachine::default(),
+            dataset,
+            costs: CostModel::default(),
+        }
+    }
+
+    #[test]
+    fn throughput_grows_until_cores_exceed_files() {
+        let d = DatasetSpec::nova_replicated(4); // 7716 files
+        let t16 = model(16, d).simulate().throughput;
+        let t64 = model(64, d).simulate().throughput;
+        let t128 = model(128, d).simulate().throughput;
+        let t256 = model(256, d).simulate().throughput;
+        assert!(t64 > t16 * 2.0, "t16={t16:.0} t64={t64:.0}");
+        // Past 64 nodes (4096 cores) the 7716 files stop feeding new cores
+        // well; 128 nodes = 8192 cores > 7716 files, so scaling collapses.
+        let gain_128 = t128 / t64;
+        let gain_256 = t256 / t128;
+        assert!(gain_128 < 1.8, "gain to 128 nodes too good: {gain_128}");
+        assert!(gain_256 < 1.15, "no files left to feed 256 nodes: {gain_256}");
+    }
+
+    #[test]
+    fn small_dataset_leaves_cores_idle() {
+        // Fig. 3's observation: 1929 files on 128 nodes (8192 cores) keeps
+        // only ~24% of cores busy.
+        let r = model(128, DatasetSpec::nova_base()).simulate();
+        assert!(
+            (0.20..0.28).contains(&r.cores_busy_fraction),
+            "busy fraction {}",
+            r.cores_busy_fraction
+        );
+    }
+
+    #[test]
+    fn bigger_dataset_higher_throughput_at_fixed_nodes() {
+        let t1 = model(128, DatasetSpec::nova_base()).simulate().throughput;
+        let t4 = model(128, DatasetSpec::nova_replicated(4))
+            .simulate()
+            .throughput;
+        assert!(t4 > t1 * 1.5, "t1={t1:.0} t4={t4:.0}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = DatasetSpec::nova_base();
+        let a = model(32, d).simulate();
+        let b = model(32, d).simulate();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.throughput, b.throughput);
+    }
+
+    #[test]
+    fn single_node_processes_everything() {
+        let r = model(1, DatasetSpec::nova_base()).simulate();
+        assert!(r.makespan > 0.0);
+        assert!(r.cores_busy_fraction <= 1.0);
+        assert!(r.utilization > 0.5); // 64 cores, 1929 files: well fed
+    }
+}

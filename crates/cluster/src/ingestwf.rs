@@ -1,0 +1,135 @@
+//! Virtual-time model of the ingestion step (HDF2HEPnOS's DataLoader,
+//! paper §IV-B).
+//!
+//! Loader ranks pull files from a shared list; each file is opened and read
+//! from the PFS, parsed, and its events shipped to the HEPnOS servers as
+//! batched writes over the servers' NICs. The paper's §IV-B claim is that
+//! ingestion is "the only step whose scalability is constrained by the
+//! number of files": once loader ranks outnumber files, extra ranks idle,
+//! while the event-granular steps after it keep scaling.
+
+use crate::theta::{CostModel, DatasetSpec, ThetaMachine};
+use crate::vt::{Timeline, WorkerHeap};
+
+/// The ingestion workflow at a given allocation.
+#[derive(Debug, Clone)]
+pub struct IngestModel {
+    /// Total allocated nodes (servers + loader clients).
+    pub n_nodes: usize,
+    /// Machine shape.
+    pub machine: ThetaMachine,
+    /// Dataset to ingest.
+    pub dataset: DatasetSpec,
+    /// Cost parameters.
+    pub costs: CostModel,
+}
+
+/// Outcome of one simulated ingestion.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestResult {
+    /// Start-to-finish duration (seconds, virtual).
+    pub makespan: f64,
+    /// Events ingested per second.
+    pub events_per_second: f64,
+    /// Fraction of loader ranks that received at least one file.
+    pub loaders_busy_fraction: f64,
+}
+
+impl IngestModel {
+    /// Run the simulation (deterministic).
+    pub fn simulate(&self) -> IngestResult {
+        let m = &self.machine;
+        let c = &self.costs;
+        let n_servers = (self.n_nodes / m.server_node_fraction).max(1);
+        let n_clients = self.n_nodes.saturating_sub(n_servers).max(1);
+        let n_loaders = n_clients * m.ranks_per_client_node;
+        let n_files = self.dataset.n_files as usize;
+        let events_per_file = self.dataset.n_events as f64 / self.dataset.n_files as f64;
+        let bytes_out_per_file = events_per_file * c.bytes_per_event;
+        let mut meta = Timeline::new();
+        let mut pfs = Timeline::new();
+        let mut nics: Vec<Timeline> = vec![Timeline::new(); n_servers];
+        let mut loaders = WorkerHeap::new(n_loaders);
+        let mut busy = vec![false; n_loaders];
+        for file in 0..n_files {
+            let (mut t, id) = loaders.pop().expect("loaders never exhausted");
+            busy[id] = true;
+            // Read the file from the PFS.
+            t = meta.reserve(t, c.pfs_metadata_service);
+            t = pfs.reserve(
+                t,
+                self.dataset.bytes_per_file as f64 / c.pfs_aggregate_bandwidth,
+            );
+            // Parse it on the loader's core.
+            t += self.dataset.bytes_per_file as f64 * c.file_parse_per_byte;
+            // Ship the events to a server (files spread round-robin; batched
+            // writes serialize on that server's NIC).
+            let server = file % n_servers;
+            t = nics[server].reserve(t, bytes_out_per_file / c.nic_bandwidth);
+            loaders.push(t, id);
+        }
+        let busy_count = busy.iter().filter(|&&b| b).count();
+        let makespan = loaders.drain_max();
+        IngestResult {
+            makespan,
+            events_per_second: if makespan > 0.0 {
+                self.dataset.n_events as f64 / makespan
+            } else {
+                0.0
+            },
+            loaders_busy_fraction: busy_count as f64 / n_loaders as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(n_nodes: usize, d: DatasetSpec) -> IngestModel {
+        IngestModel {
+            n_nodes,
+            machine: ThetaMachine::default(),
+            dataset: d,
+            costs: CostModel::default(),
+        }
+    }
+
+    #[test]
+    fn ingestion_is_constrained_by_file_count() {
+        // 1929 files: at 16 nodes there are 896 loader ranks (all busy);
+        // at 64 nodes there are 3584 ranks for 1929 files — extra ranks
+        // idle and throughput stops improving proportionally.
+        let d = DatasetSpec::nova_base();
+        let r16 = model(16, d).simulate();
+        let r64 = model(64, d).simulate();
+        let r256 = model(256, d).simulate();
+        assert!((r16.loaders_busy_fraction - 1.0).abs() < 1e-9);
+        assert!(r64.loaders_busy_fraction < 0.6);
+        assert!(r256.loaders_busy_fraction < 0.15);
+        // Speedup 64 -> 256 collapses (4x nodes, < 1.5x gain).
+        assert!(
+            r256.events_per_second / r64.events_per_second < 1.5,
+            "ingest kept scaling: {} -> {}",
+            r64.events_per_second,
+            r256.events_per_second
+        );
+    }
+
+    #[test]
+    fn more_files_restore_ingest_scaling() {
+        let d4 = DatasetSpec::nova_replicated(4);
+        let r64 = model(64, d4).simulate();
+        let r16 = model(16, d4).simulate();
+        assert!(r64.events_per_second > r16.events_per_second * 2.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = DatasetSpec::nova_base();
+        assert_eq!(
+            model(32, d).simulate().makespan,
+            model(32, d).simulate().makespan
+        );
+    }
+}

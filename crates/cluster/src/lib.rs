@@ -1,0 +1,39 @@
+//! `cluster` — a deterministic discrete-event simulator of the paper's
+//! Theta deployment.
+//!
+//! The evaluation (§IV) runs on 16–256 Cray XC40 nodes; this reproduction
+//! runs on one machine, so the *figure-scale* experiments execute the two
+//! workflow models in **virtual time**: every resource (worker cores, the
+//! parallel file system, Yokan databases) is a timeline, and the simulation
+//! advances reservations on those timelines instead of sleeping. The models
+//! are deliberately simple queueing models — the paper's claims are about
+//! *shape* (who wins, where scaling saturates), which these mechanisms
+//! produce:
+//!
+//! * [`filewf`] — the traditional workflow: workers pull whole **files**
+//!   from a shared list; the PFS charges per-open metadata latency and
+//!   shared aggregate bandwidth. When cores outnumber files, the surplus
+//!   cores idle (Fig. 2's plateau past 64 nodes); when the dataset is
+//!   small, utilization collapses (Fig. 3's 24%-busy point).
+//! * [`hepnoswf`] — the HEPnOS workflow: readers page **event batches**
+//!   out of per-server databases into a shared queue drained by worker
+//!   ranks in dispatch batches; server service cost depends on the backend
+//!   (in-memory vs LSM-on-SSD), and fixed per-run costs erode strong
+//!   scaling exactly as constant terms must.
+//!
+//! Cost parameters ([`theta::CostModel`]) are defaults shaped by the
+//! microbenchmarks of the real implementation in this workspace; the bench
+//! harness can override them with freshly calibrated values.
+
+#![warn(missing_docs)]
+
+pub mod filewf;
+pub mod hepnoswf;
+pub mod ingestwf;
+pub mod theta;
+pub mod vt;
+
+pub use filewf::{FileWorkflowModel, FileWorkflowResult};
+pub use hepnoswf::{Backend, HepnosWorkflowModel, HepnosWorkflowResult};
+pub use ingestwf::{IngestModel, IngestResult};
+pub use theta::{CostModel, DatasetSpec, ThetaMachine};

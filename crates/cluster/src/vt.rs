@@ -1,0 +1,156 @@
+//! Virtual-time primitives.
+//!
+//! Simulated time is `f64` seconds. A [`Timeline`] is a serially-shared
+//! resource (a PFS data path, a database provider): requests reserve the
+//! earliest slot at or after their arrival and advance the timeline by
+//! their service time — the standard single-server FIFO queue in virtual
+//! time. A [`WorkerHeap`] tracks many independent actors (cores, ranks) by
+//! their next-free time.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A serially-shared resource timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    next_free: f64,
+    busy_total: f64,
+}
+
+impl Timeline {
+    /// A fresh, idle timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Reserve `service` seconds at or after `arrival`; returns the
+    /// completion time.
+    pub fn reserve(&mut self, arrival: f64, service: f64) -> f64 {
+        let start = self.next_free.max(arrival);
+        self.next_free = start + service;
+        self.busy_total += service;
+        self.next_free
+    }
+
+    /// When the resource next becomes free.
+    pub fn next_free(&self) -> f64 {
+        self.next_free
+    }
+
+    /// Total busy time accumulated.
+    pub fn busy_total(&self) -> f64 {
+        self.busy_total
+    }
+}
+
+/// Ordered wrapper for f64 times (they are never NaN in the models).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Time(pub f64);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("virtual times are never NaN")
+    }
+}
+
+/// A min-heap of `(next_free_time, worker_id)` actors.
+#[derive(Debug, Clone)]
+pub struct WorkerHeap {
+    heap: BinaryHeap<Reverse<(Time, usize)>>,
+}
+
+impl WorkerHeap {
+    /// `n` workers, all free at time 0.
+    pub fn new(n: usize) -> WorkerHeap {
+        WorkerHeap {
+            heap: (0..n).map(|i| Reverse((Time(0.0), i))).collect(),
+        }
+    }
+
+    /// Pop the earliest-free worker.
+    pub fn pop(&mut self) -> Option<(f64, usize)> {
+        self.heap.pop().map(|Reverse((t, i))| (t.0, i))
+    }
+
+    /// Push a worker back with its new free time.
+    pub fn push(&mut self, free_at: f64, id: usize) {
+        self.heap.push(Reverse((Time(free_at), id)));
+    }
+
+    /// Latest free time among all workers (consumes the heap).
+    pub fn drain_max(mut self) -> f64 {
+        let mut max = 0.0f64;
+        while let Some((t, _)) = self.pop() {
+            max = max.max(t);
+        }
+        max
+    }
+
+    /// Number of workers in the heap.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_serializes_overlapping_requests() {
+        let mut t = Timeline::new();
+        assert_eq!(t.reserve(0.0, 1.0), 1.0);
+        // Arrives during the first service: queues behind it.
+        assert_eq!(t.reserve(0.5, 1.0), 2.0);
+        // Arrives after the resource is free: no queueing.
+        assert_eq!(t.reserve(10.0, 0.5), 10.5);
+        assert_eq!(t.busy_total(), 2.5);
+    }
+
+    #[test]
+    fn timeline_zero_service_is_free() {
+        let mut t = Timeline::new();
+        assert_eq!(t.reserve(3.0, 0.0), 3.0);
+        assert_eq!(t.next_free(), 3.0);
+    }
+
+    #[test]
+    fn worker_heap_orders_by_time() {
+        let mut h = WorkerHeap::new(3);
+        let (t, a) = h.pop().unwrap();
+        assert_eq!(t, 0.0);
+        h.push(5.0, a);
+        let (t, b) = h.pop().unwrap();
+        assert_eq!(t, 0.0);
+        h.push(2.0, b);
+        let (t, c) = h.pop().unwrap();
+        assert_eq!(t, 0.0);
+        h.push(9.0, c);
+        assert_eq!(h.pop().unwrap().0, 2.0);
+        assert_eq!(h.pop().unwrap().0, 5.0);
+        assert_eq!(h.pop().unwrap().0, 9.0);
+    }
+
+    #[test]
+    fn drain_max_finds_makespan() {
+        let mut h = WorkerHeap::new(2);
+        let (_, a) = h.pop().unwrap();
+        h.push(4.0, a);
+        let (_, b) = h.pop().unwrap();
+        h.push(7.5, b);
+        assert_eq!(h.drain_max(), 7.5);
+    }
+}

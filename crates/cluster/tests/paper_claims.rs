@@ -1,0 +1,135 @@
+//! Cross-model tests: the simulated workflows must reproduce the paper's
+//! qualitative claims (Fig. 2 and Fig. 3).
+
+use cluster::{
+    Backend, CostModel, DatasetSpec, FileWorkflowModel, HepnosWorkflowModel, ThetaMachine,
+};
+
+fn file_model(n_nodes: usize, d: DatasetSpec) -> FileWorkflowModel {
+    FileWorkflowModel {
+        n_nodes,
+        machine: ThetaMachine::default(),
+        dataset: d,
+        costs: CostModel::default(),
+    }
+}
+
+fn hepnos_model(n_nodes: usize, backend: Backend, d: DatasetSpec) -> HepnosWorkflowModel {
+    HepnosWorkflowModel {
+        n_nodes,
+        machine: ThetaMachine::default(),
+        dataset: d,
+        costs: CostModel::default(),
+        backend,
+    }
+}
+
+/// Fig. 2, headline claim: "The performance of the HEPnOS based workflow is
+/// superior across all the different number of nodes used."
+#[test]
+fn fig2_hepnos_beats_file_based_at_every_node_count() {
+    let d = DatasetSpec::nova_replicated(4);
+    for n in [16, 32, 64, 128, 256] {
+        let file = file_model(n, d).simulate().throughput;
+        let mem = hepnos_model(n, Backend::Memory, d).simulate().throughput;
+        let lsm = hepnos_model(n, Backend::Lsm, d).simulate().throughput;
+        assert!(
+            mem > file,
+            "at {n} nodes: hepnos-mem {mem:.0} <= file {file:.0}"
+        );
+        assert!(
+            lsm > file,
+            "at {n} nodes: hepnos-lsm {lsm:.0} <= file {file:.0}"
+        );
+    }
+}
+
+/// Fig. 2: in-memory reaches ~85% strong-scaling efficiency at 128 nodes.
+#[test]
+fn fig2_memory_backend_strong_scaling_efficiency() {
+    let d = DatasetSpec::nova_replicated(4);
+    let t16 = hepnos_model(16, Backend::Memory, d).simulate().throughput;
+    let t128 = hepnos_model(128, Backend::Memory, d).simulate().throughput;
+    let eff = t128 / (t16 * 8.0);
+    assert!(
+        (0.78..0.95).contains(&eff),
+        "strong-scaling efficiency at 128 nodes: {eff:.2} (paper: ~0.85)"
+    );
+}
+
+/// Fig. 2: the backends are comparable up to 32 nodes; in-memory is up to
+/// ~2x faster at the highest node counts.
+#[test]
+fn fig2_backend_gap_grows_with_scale() {
+    let d = DatasetSpec::nova_replicated(4);
+    for n in [16, 32] {
+        let mem = hepnos_model(n, Backend::Memory, d).simulate().throughput;
+        let lsm = hepnos_model(n, Backend::Lsm, d).simulate().throughput;
+        assert!(mem / lsm < 1.25, "gap at {n} nodes: {:.2}", mem / lsm);
+    }
+    let mem = hepnos_model(256, Backend::Memory, d).simulate().throughput;
+    let lsm = hepnos_model(256, Backend::Lsm, d).simulate().throughput;
+    assert!(
+        (1.5..2.6).contains(&(mem / lsm)),
+        "gap at 256 nodes: {:.2} (paper: up to ~2x)",
+        mem / lsm
+    );
+}
+
+/// Fig. 2: the file-based workflow scales poorly past 64 nodes, where cores
+/// outnumber the 7716 files.
+#[test]
+fn fig2_file_based_saturates_when_cores_exceed_files() {
+    let d = DatasetSpec::nova_replicated(4);
+    let t64 = file_model(64, d).simulate().throughput;
+    let t256 = file_model(256, d).simulate().throughput;
+    assert!(
+        t256 < t64 * 1.6,
+        "file-based kept scaling: t64={t64:.0}, t256={t256:.0}"
+    );
+    // Meanwhile HEPnOS keeps gaining over the same range.
+    let h64 = hepnos_model(64, Backend::Memory, d).simulate().throughput;
+    let h256 = hepnos_model(256, Backend::Memory, d).simulate().throughput;
+    assert!(h256 > h64 * 2.0, "hepnos stalled: {h64:.0} -> {h256:.0}");
+}
+
+/// Fig. 3 at 128 nodes: the file-based workflow is especially poor on the
+/// smaller datasets (24% of cores busy at 1929 files), while HEPnOS is much
+/// less sensitive to dataset size.
+#[test]
+fn fig3_dataset_size_sensitivity() {
+    let sizes = [1u64, 2, 4];
+    let file: Vec<f64> = sizes
+        .iter()
+        .map(|&k| {
+            file_model(128, DatasetSpec::nova_replicated(k))
+                .simulate()
+                .throughput
+        })
+        .collect();
+    let hepnos: Vec<f64> = sizes
+        .iter()
+        .map(|&k| {
+            hepnos_model(128, Backend::Memory, DatasetSpec::nova_replicated(k))
+                .simulate()
+                .throughput
+        })
+        .collect();
+    // HEPnOS wins at every size.
+    for (f, h) in file.iter().zip(&hepnos) {
+        assert!(h > f);
+    }
+    // File-based throughput varies much more strongly with dataset size
+    // than HEPnOS's does.
+    let file_spread = file[2] / file[0];
+    let hepnos_spread = hepnos[2] / hepnos[0];
+    assert!(
+        file_spread > hepnos_spread * 1.3,
+        "file spread {file_spread:.2} vs hepnos spread {hepnos_spread:.2}"
+    );
+    // The 24%-cores-busy observation for the smallest dataset.
+    let busy = file_model(128, DatasetSpec::nova_base())
+        .simulate()
+        .cores_busy_fraction;
+    assert!((0.20..0.28).contains(&busy), "busy {busy:.2}");
+}

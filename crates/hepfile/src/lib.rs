@@ -1,0 +1,29 @@
+//! `hepfile` — the file-based substrate of the traditional HEP workflow.
+//!
+//! The paper's baseline (§III, §IV-A) is the grid-style workflow: data lives
+//! in HDF5 files on a parallel file system, and a pool of independent
+//! processes pulls files from a shared list, each processing its files
+//! sequentially. This crate provides the three pieces needed to reproduce
+//! that baseline without HDF5, Theta's Lustre, or Python multiprocessing:
+//!
+//! * [`table`] — a columnar event-file format with the paper's HDF5 layout
+//!   (§IV-B): named leaf groups, one per stored C++ class, each holding
+//!   1-D columns of identical length, three of which are `run`, `subrun`
+//!   and `event`;
+//! * [`pfs`] — a simulated parallel file system: shared aggregate bandwidth
+//!   and per-open metadata latency, so that many concurrent readers contend
+//!   the way they do on a real PFS (this is what makes the file-based
+//!   workflow's small-dataset throughput collapse in Fig. 3);
+//! * [`gridrun`] — the workflow runner: N workers pulling work (files) from
+//!   a shared queue, with per-worker busy/idle accounting (the Python
+//!   `multiprocessing` analogue of §IV-A).
+
+#![warn(missing_docs)]
+
+pub mod gridrun;
+pub mod pfs;
+pub mod table;
+
+pub use gridrun::{run_file_workflow, run_file_workflow_blocks, GridStats, WorkerReport};
+pub use pfs::{PfsConfig, SimPfs};
+pub use table::{ColumnData, ColumnType, TableFileReader, TableFileWriter, TableGroup};

@@ -1,0 +1,201 @@
+//! A simulated parallel file system.
+//!
+//! The paper's Fig. 3 attributes the traditional workflow's poor throughput
+//! on small datasets to "constraints set by the performance of the parallel
+//! file system". Two properties produce that behaviour and are modeled
+//! here:
+//!
+//! * a **shared aggregate bandwidth**: concurrent readers queue behind one
+//!   another, so doubling readers does not double delivered bytes/second;
+//! * a **per-open metadata latency**: every file open pays a fixed cost on
+//!   the metadata server, which dominates when files are small or many.
+//!
+//! The model is a virtual-time queue: each request reserves the next free
+//! slot on the shared resource and the caller sleeps until its reservation
+//! completes. This reproduces convoy effects without any real disk.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Parameters of the simulated PFS.
+#[derive(Debug, Clone)]
+pub struct PfsConfig {
+    /// Aggregate delivered bandwidth in bytes/second (shared by all
+    /// readers). `f64::INFINITY` disables the data-path model.
+    pub aggregate_bandwidth: f64,
+    /// Fixed latency charged per `open` (metadata server round trip).
+    pub metadata_latency: Duration,
+    /// Time scale: all modeled waits are multiplied by this factor, so a
+    /// benchmark can run a "Theta-scale" workload in milliseconds. 1.0 =
+    /// real time.
+    pub time_scale: f64,
+}
+
+impl Default for PfsConfig {
+    /// Roughly Theta's `theta-fs0` Lustre delivered to one job: ~ tens of
+    /// GB/s aggregate and ~1 ms metadata operations.
+    fn default() -> Self {
+        PfsConfig {
+            aggregate_bandwidth: 40.0e9,
+            metadata_latency: Duration::from_millis(1),
+            time_scale: 1.0,
+        }
+    }
+}
+
+struct PfsState {
+    /// Virtual time (relative to `epoch`) at which the shared data path is
+    /// next free.
+    next_free: Duration,
+}
+
+/// A shared, simulated parallel file system.
+#[derive(Clone)]
+pub struct SimPfs {
+    config: PfsConfig,
+    state: Arc<Mutex<PfsState>>,
+    epoch: Instant,
+    opens: Arc<AtomicU64>,
+    bytes_read: Arc<AtomicU64>,
+}
+
+impl SimPfs {
+    /// Create a PFS with the given parameters.
+    pub fn new(config: PfsConfig) -> SimPfs {
+        SimPfs {
+            config,
+            state: Arc::new(Mutex::new(PfsState {
+                next_free: Duration::ZERO,
+            })),
+            epoch: Instant::now(),
+            opens: Arc::new(AtomicU64::new(0)),
+            bytes_read: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PfsConfig {
+        &self.config
+    }
+
+    /// Charge one file open (metadata latency); blocks the caller.
+    pub fn open(&self) {
+        self.opens.fetch_add(1, Ordering::Relaxed);
+        let wait = self.config.metadata_latency.mul_f64(self.config.time_scale);
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+    }
+
+    /// Charge a read of `bytes`; blocks the caller until its reservation on
+    /// the shared data path completes.
+    pub fn read(&self, bytes: u64) {
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        if self.config.aggregate_bandwidth.is_infinite() {
+            return;
+        }
+        let service = Duration::from_secs_f64(
+            bytes as f64 / self.config.aggregate_bandwidth * self.config.time_scale,
+        );
+        let completion = {
+            let mut st = self.state.lock();
+            let now = self.epoch.elapsed();
+            let start = st.next_free.max(now);
+            st.next_free = start + service;
+            st.next_free
+        };
+        let now = self.epoch.elapsed();
+        if completion > now {
+            std::thread::sleep(completion - now);
+        }
+    }
+
+    /// Total opens charged so far.
+    pub fn total_opens(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes charged so far.
+    pub fn total_bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_bandwidth_is_free() {
+        let pfs = SimPfs::new(PfsConfig {
+            aggregate_bandwidth: f64::INFINITY,
+            metadata_latency: Duration::ZERO,
+            time_scale: 1.0,
+        });
+        let t = Instant::now();
+        for _ in 0..100 {
+            pfs.open();
+            pfs.read(1 << 30);
+        }
+        assert!(t.elapsed() < Duration::from_millis(100));
+        assert_eq!(pfs.total_opens(), 100);
+        assert_eq!(pfs.total_bytes_read(), 100 << 30);
+    }
+
+    #[test]
+    fn metadata_latency_is_charged_per_open() {
+        let pfs = SimPfs::new(PfsConfig {
+            aggregate_bandwidth: f64::INFINITY,
+            metadata_latency: Duration::from_millis(5),
+            time_scale: 1.0,
+        });
+        let t = Instant::now();
+        for _ in 0..4 {
+            pfs.open();
+        }
+        assert!(t.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn bandwidth_is_shared_not_per_reader() {
+        // 10 MB/s aggregate; two threads each read 0.25 MB => 0.5 MB total
+        // => >= 50 ms wall time even though the reads are concurrent.
+        let pfs = SimPfs::new(PfsConfig {
+            aggregate_bandwidth: 10.0e6,
+            metadata_latency: Duration::ZERO,
+            time_scale: 1.0,
+        });
+        let t = Instant::now();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let pfs = pfs.clone();
+                std::thread::spawn(move || pfs.read(250_000))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let elapsed = t.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(48),
+            "bandwidth not shared: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn time_scale_compresses_waits() {
+        let pfs = SimPfs::new(PfsConfig {
+            aggregate_bandwidth: 1.0e6, // 1 MB/s: 1 MB would take 1 s...
+            metadata_latency: Duration::from_secs(1),
+            time_scale: 0.001, // ...but scaled to 1 ms
+        });
+        let t = Instant::now();
+        pfs.open();
+        pfs.read(1_000_000);
+        let elapsed = t.elapsed();
+        assert!(elapsed >= Duration::from_millis(2));
+        assert!(elapsed < Duration::from_millis(500));
+    }
+}

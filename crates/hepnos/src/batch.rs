@@ -1,0 +1,363 @@
+//! Batched and asynchronous writes (paper §II-D).
+//!
+//! Storing millions of small products one RPC at a time is dominated by
+//! per-RPC overhead. A [`WriteBatch`] accumulates container creations and
+//! product stores in a local buffer, *grouped by target database* (since not
+//! all updates target the same database), and ships each group as one
+//! `put_multi` RPC on flush (or drop). An [`AsyncWriteBatch`] additionally
+//! overlaps the flush RPCs with the caller by issuing them from an
+//! [`argos::Pool`] and joining them in its destructor.
+
+use crate::datastore::{DataSet, DataStore, Event, ProductLabel, Run, SubRun};
+use crate::error::HepnosError;
+use crate::keys::{self, EventNumber, RunNumber, SubRunNumber};
+use crate::binser;
+use argos::Pool;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::Arc;
+use yokan::DbTarget;
+
+/// A resolved write destination: which database, which key.
+pub(crate) struct WriteTarget {
+    pub(crate) db: DbTarget,
+    pub(crate) key: Vec<u8>,
+}
+
+/// Default number of queued pairs per database that triggers an eager flush.
+const DEFAULT_PER_DB_LIMIT: usize = 4096;
+
+/// Per-database buffer of queued key/value pairs.
+type DbBuffers = HashMap<DbTarget, Vec<(Vec<u8>, Vec<u8>)>>;
+
+/// A synchronous write batch: updates are buffered per target database and
+/// flushed together.
+pub struct WriteBatch {
+    store: DataStore,
+    buffers: DbBuffers,
+    per_db_limit: usize,
+    queued: usize,
+    flushed_pairs: u64,
+    flush_rpcs: u64,
+}
+
+impl WriteBatch {
+    /// Create a batch writing through `store`.
+    pub fn new(store: &DataStore) -> WriteBatch {
+        WriteBatch {
+            store: store.clone(),
+            buffers: HashMap::new(),
+            per_db_limit: DEFAULT_PER_DB_LIMIT,
+            queued: 0,
+            flushed_pairs: 0,
+            flush_rpcs: 0,
+        }
+    }
+
+    /// Override the per-database eager-flush limit.
+    pub fn with_per_db_limit(mut self, limit: usize) -> WriteBatch {
+        self.per_db_limit = limit.max(1);
+        self
+    }
+
+    /// Number of currently buffered pairs.
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Total pairs flushed so far.
+    pub fn flushed_pairs(&self) -> u64 {
+        self.flushed_pairs
+    }
+
+    /// Total `put_multi` RPCs issued so far.
+    pub fn flush_rpcs(&self) -> u64 {
+        self.flush_rpcs
+    }
+
+    fn push(&mut self, db: DbTarget, key: Vec<u8>, value: Vec<u8>) -> Result<(), HepnosError> {
+        let buf = self.buffers.entry(db.clone()).or_default();
+        buf.push((key, value));
+        self.queued += 1;
+        if buf.len() >= self.per_db_limit {
+            let pairs = std::mem::take(self.buffers.get_mut(&db).expect("entry exists"));
+            self.flush_pairs(&db, pairs)?;
+        }
+        Ok(())
+    }
+
+    fn flush_pairs(
+        &mut self,
+        db: &DbTarget,
+        pairs: Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> Result<(), HepnosError> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        self.queued -= pairs.len();
+        self.flushed_pairs += pairs.len() as u64;
+        self.flush_rpcs += 1;
+        self.store.inner.client.put_multi(db, &pairs)?;
+        Ok(())
+    }
+
+    /// Queue creation of a run; the returned handle is usable immediately
+    /// for queueing children into the same batch.
+    pub fn create_run(&mut self, dataset: &DataSet, number: RunNumber) -> Result<Run, HepnosError> {
+        let uuid = dataset.uuid().ok_or_else(|| {
+            HepnosError::InvalidPath("the root dataset cannot hold runs".into())
+        })?;
+        let (db, key) = self.store.write_target_for_run(&uuid, number);
+        self.push(db, key, Vec::new())?;
+        // The handle is optimistic: the key is queued, not yet visible.
+        dataset_run(dataset, number)
+    }
+
+    /// Queue creation of a subrun.
+    pub fn create_subrun(&mut self, run: &Run, number: SubRunNumber) -> Result<SubRun, HepnosError> {
+        let (db, key) =
+            self.store
+                .write_target_for_subrun(&run.dataset_uuid(), run.number(), number);
+        self.push(db, key, Vec::new())?;
+        run_subrun(run, number)
+    }
+
+    /// Queue creation of an event.
+    pub fn create_event(
+        &mut self,
+        subrun: &SubRun,
+        dataset: &crate::Uuid,
+        number: EventNumber,
+    ) -> Result<Event, HepnosError> {
+        let (db, key) = self.store.write_target_for_event(
+            dataset,
+            subrun.run_number(),
+            subrun.number(),
+            number,
+        );
+        self.push(db, key, Vec::new())?;
+        subrun_event(subrun, number)
+    }
+
+    /// Queue a typed product store on an event.
+    pub fn store<T: Serialize>(
+        &mut self,
+        event: &Event,
+        label: &ProductLabel,
+        value: &T,
+    ) -> Result<(), HepnosError> {
+        let bytes =
+            binser::to_bytes(value).map_err(|e| HepnosError::Serialization(e.to_string()))?;
+        let type_name = keys::short_type_name::<T>();
+        self.store_raw(event, label, &type_name, bytes)
+    }
+
+    /// Queue pre-serialized product bytes.
+    pub fn store_raw(
+        &mut self,
+        event: &Event,
+        label: &ProductLabel,
+        type_name: &str,
+        bytes: Vec<u8>,
+    ) -> Result<(), HepnosError> {
+        let target = self
+            .store
+            .write_target_for_product(event.key(), label, type_name);
+        self.push(target.db, target.key, bytes)
+    }
+
+    /// Flush every buffered group (one `put_multi` per database).
+    pub fn flush(&mut self) -> Result<(), HepnosError> {
+        let dbs: Vec<DbTarget> = self.buffers.keys().cloned().collect();
+        for db in dbs {
+            let pairs = std::mem::take(self.buffers.get_mut(&db).expect("entry exists"));
+            self.flush_pairs(&db, pairs)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for WriteBatch {
+    /// Flushes remaining updates, matching the C++ semantics of sending
+    /// "batch updates upon destruction".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the final flush fails (data would be silently lost
+    /// otherwise); call [`WriteBatch::flush`] first to handle errors.
+    fn drop(&mut self) {
+        if self.queued > 0 && !std::thread::panicking() {
+            self.flush().expect("WriteBatch final flush failed");
+        }
+    }
+}
+
+// The optimistic-handle constructors below re-derive child handles without
+// existence checks, since the keys are queued in this batch.
+fn dataset_run(dataset: &DataSet, number: RunNumber) -> Result<Run, HepnosError> {
+    // A queued run is not yet visible; build the handle directly.
+    Ok(Run::unchecked(
+        dataset.store_inner().clone(),
+        dataset.uuid().expect("checked by caller"),
+        number,
+    ))
+}
+
+fn run_subrun(run: &Run, number: SubRunNumber) -> Result<SubRun, HepnosError> {
+    Ok(SubRun::unchecked(run, number))
+}
+
+fn subrun_event(subrun: &SubRun, number: EventNumber) -> Result<Event, HepnosError> {
+    Ok(Event::unchecked(subrun, number))
+}
+
+/// An asynchronous write batch: flushes run on an [`argos::Pool`] in the
+/// background; [`AsyncWriteBatch::wait`] (or drop) joins them all and
+/// reports the first error.
+pub struct AsyncWriteBatch {
+    batch: WriteBatch,
+    pool: Pool,
+    pending: Vec<argos::JoinHandle<Result<(), HepnosError>>>,
+    errors: Arc<Mutex<Vec<HepnosError>>>,
+}
+
+impl AsyncWriteBatch {
+    /// Create an asynchronous batch flushing through `pool`.
+    pub fn new(store: &DataStore, pool: Pool) -> AsyncWriteBatch {
+        AsyncWriteBatch {
+            batch: WriteBatch::new(store),
+            pool,
+            pending: Vec::new(),
+            errors: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Override the per-database eager-flush limit.
+    pub fn with_per_db_limit(mut self, limit: usize) -> AsyncWriteBatch {
+        self.batch.per_db_limit = limit.max(1);
+        self
+    }
+
+    /// Queue a typed product store (see [`WriteBatch::store`]).
+    pub fn store<T: Serialize>(
+        &mut self,
+        event: &Event,
+        label: &ProductLabel,
+        value: &T,
+    ) -> Result<(), HepnosError> {
+        let bytes =
+            binser::to_bytes(value).map_err(|e| HepnosError::Serialization(e.to_string()))?;
+        let type_name = keys::short_type_name::<T>();
+        self.store_raw(event, label, &type_name, bytes)
+    }
+
+    /// Queue pre-serialized product bytes; full groups are shipped in the
+    /// background immediately.
+    pub fn store_raw(
+        &mut self,
+        event: &Event,
+        label: &ProductLabel,
+        type_name: &str,
+        bytes: Vec<u8>,
+    ) -> Result<(), HepnosError> {
+        let target = self
+            .batch
+            .store
+            .write_target_for_product(event.key(), label, type_name);
+        let buf = self.batch.buffers.entry(target.db.clone()).or_default();
+        buf.push((target.key, bytes));
+        self.batch.queued += 1;
+        if buf.len() >= self.batch.per_db_limit {
+            self.ship(target.db);
+        }
+        Ok(())
+    }
+
+    /// Queue creation of an event.
+    pub fn create_event(
+        &mut self,
+        subrun: &SubRun,
+        dataset: &crate::Uuid,
+        number: EventNumber,
+    ) -> Result<Event, HepnosError> {
+        let (db, key) = self.batch.store.write_target_for_event(
+            dataset,
+            subrun.run_number(),
+            subrun.number(),
+            number,
+        );
+        let buf = self.batch.buffers.entry(db.clone()).or_default();
+        buf.push((key, Vec::new()));
+        self.batch.queued += 1;
+        if buf.len() >= self.batch.per_db_limit {
+            self.ship(db);
+        }
+        subrun_event(subrun, number)
+    }
+
+    fn ship(&mut self, db: DbTarget) {
+        let pairs = std::mem::take(self.batch.buffers.get_mut(&db).expect("entry exists"));
+        if pairs.is_empty() {
+            return;
+        }
+        self.batch.queued -= pairs.len();
+        self.batch.flushed_pairs += pairs.len() as u64;
+        self.batch.flush_rpcs += 1;
+        let client = self.batch.store.inner.client.clone();
+        let errors = Arc::clone(&self.errors);
+        let handle = self.pool.spawn(move || {
+            let res = client
+                .put_multi(&db, &pairs)
+                .map_err(HepnosError::from);
+            if let Err(e) = &res {
+                errors.lock().push(e.clone());
+            }
+            res
+        });
+        self.pending.push(handle);
+    }
+
+    /// Ship every buffered group and wait for all background flushes;
+    /// returns the first error encountered.
+    pub fn wait(&mut self) -> Result<(), HepnosError> {
+        let dbs: Vec<DbTarget> = self.batch.buffers.keys().cloned().collect();
+        for db in dbs {
+            self.ship(db);
+        }
+        for h in self.pending.drain(..) {
+            let _ = h.join();
+        }
+        let mut errs = self.errors.lock();
+        if let Some(e) = errs.first().cloned() {
+            errs.clear();
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Pairs flushed so far (shipped to the pool).
+    pub fn flushed_pairs(&self) -> u64 {
+        self.batch.flushed_pairs
+    }
+
+    /// Number of background `put_multi` RPCs issued.
+    pub fn flush_rpcs(&self) -> u64 {
+        self.batch.flush_rpcs
+    }
+}
+
+impl Drop for AsyncWriteBatch {
+    /// Ensures "all the updates are completed when its destructor is
+    /// called" (paper §II-D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a background flush failed; call [`AsyncWriteBatch::wait`]
+    /// first to handle errors.
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            self.wait().expect("AsyncWriteBatch final wait failed");
+        }
+    }
+}

@@ -1,0 +1,717 @@
+//! Compact binary serialization for products.
+//!
+//! The C++ HEPnOS serializes products with **Boost serialization**: a
+//! non-self-describing binary format where the reader must know the type.
+//! This module is the Rust analogue, built on serde: fixed-width
+//! little-endian scalars, `u32`-length-prefixed strings/sequences/maps, one
+//! `u8` for `Option` tags and `u32` for enum variant indices. Field names
+//! are never written — like Boost, the byte stream is positional.
+//!
+//! # Example
+//!
+//! ```
+//! use serde::{Serialize, Deserialize};
+//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! struct Particle { x: f32, y: f32, z: f32 }
+//!
+//! let p = Particle { x: 1.0, y: 2.0, z: 3.0 };
+//! let bytes = hepnos::binser::to_bytes(&p).unwrap();
+//! assert_eq!(bytes.len(), 12); // three f32s, nothing else
+//! let q: Particle = hepnos::binser::from_bytes(&bytes).unwrap();
+//! assert_eq!(p, q);
+//! ```
+
+use serde::{de, ser, Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinserError(pub String);
+
+impl fmt::Display for BinserError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "binser: {}", self.0)
+    }
+}
+
+impl std::error::Error for BinserError {}
+
+impl ser::Error for BinserError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        BinserError(msg.to_string())
+    }
+}
+
+impl de::Error for BinserError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        BinserError(msg.to_string())
+    }
+}
+
+/// Serialize `value` to a byte vector.
+pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, BinserError> {
+    let mut out = Vec::with_capacity(64);
+    value.serialize(&mut Serializer { out: &mut out })?;
+    Ok(out)
+}
+
+/// Deserialize a `T` from `bytes`; the entire input must be consumed.
+pub fn from_bytes<'a, T: Deserialize<'a>>(bytes: &'a [u8]) -> Result<T, BinserError> {
+    let mut de = Deserializer { input: bytes };
+    let value = T::deserialize(&mut de)?;
+    if !de.input.is_empty() {
+        return Err(BinserError(format!(
+            "{} trailing bytes after value",
+            de.input.len()
+        )));
+    }
+    Ok(value)
+}
+
+struct Serializer<'o> {
+    out: &'o mut Vec<u8>,
+}
+
+impl<'o> Serializer<'o> {
+    fn put_len(&mut self, len: usize) -> Result<(), BinserError> {
+        let len32: u32 = len
+            .try_into()
+            .map_err(|_| BinserError("length exceeds u32".into()))?;
+        self.out.extend_from_slice(&len32.to_le_bytes());
+        Ok(())
+    }
+}
+
+macro_rules! ser_scalar {
+    ($name:ident, $ty:ty) => {
+        fn $name(self, v: $ty) -> Result<(), BinserError> {
+            self.out.extend_from_slice(&v.to_le_bytes());
+            Ok(())
+        }
+    };
+}
+
+impl<'a, 'o> ser::Serializer for &'a mut Serializer<'o> {
+    type Ok = ();
+    type Error = BinserError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), BinserError> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+
+    ser_scalar!(serialize_i8, i8);
+    ser_scalar!(serialize_i16, i16);
+    ser_scalar!(serialize_i32, i32);
+    ser_scalar!(serialize_i64, i64);
+    ser_scalar!(serialize_i128, i128);
+    ser_scalar!(serialize_u8, u8);
+    ser_scalar!(serialize_u16, u16);
+    ser_scalar!(serialize_u32, u32);
+    ser_scalar!(serialize_u64, u64);
+    ser_scalar!(serialize_u128, u128);
+    ser_scalar!(serialize_f32, f32);
+    ser_scalar!(serialize_f64, f64);
+
+    fn serialize_char(self, v: char) -> Result<(), BinserError> {
+        self.serialize_u32(v as u32)
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), BinserError> {
+        self.put_len(v.len())?;
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), BinserError> {
+        self.put_len(v.len())?;
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), BinserError> {
+        self.out.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), BinserError> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), BinserError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), BinserError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), BinserError> {
+        self.serialize_u32(variant_index)
+    }
+
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), BinserError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), BinserError> {
+        self.serialize_u32(variant_index)?;
+        value.serialize(&mut *self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, BinserError> {
+        let len = len.ok_or_else(|| BinserError("sequences must have a known length".into()))?;
+        self.put_len(len)?;
+        Ok(self)
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self, BinserError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self, BinserError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, BinserError> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, BinserError> {
+        let len = len.ok_or_else(|| BinserError("maps must have a known length".into()))?;
+        self.put_len(len)?;
+        Ok(self)
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, BinserError> {
+        Ok(self)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, BinserError> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+}
+
+macro_rules! ser_compound {
+    ($trait:path, $elem:ident $(, $key:ident)?) => {
+        impl<'a, 'o> $trait for &'a mut Serializer<'o> {
+            type Ok = ();
+            type Error = BinserError;
+
+            fn $elem<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), BinserError> {
+                value.serialize(&mut **self)
+            }
+
+            $(fn $key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), BinserError> {
+                key.serialize(&mut **self)
+            })?
+
+            fn end(self) -> Result<(), BinserError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+ser_compound!(ser::SerializeSeq, serialize_element);
+ser_compound!(ser::SerializeTuple, serialize_element);
+ser_compound!(ser::SerializeTupleStruct, serialize_field);
+ser_compound!(ser::SerializeTupleVariant, serialize_field);
+ser_compound!(ser::SerializeMap, serialize_value, serialize_key);
+
+impl<'a, 'o> ser::SerializeStruct for &'a mut Serializer<'o> {
+    type Ok = ();
+    type Error = BinserError;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), BinserError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), BinserError> {
+        Ok(())
+    }
+}
+
+impl<'a, 'o> ser::SerializeStructVariant for &'a mut Serializer<'o> {
+    type Ok = ();
+    type Error = BinserError;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), BinserError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), BinserError> {
+        Ok(())
+    }
+}
+
+struct Deserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Deserializer<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], BinserError> {
+        if self.input.len() < n {
+            return Err(BinserError(format!(
+                "unexpected end of input: wanted {n} bytes, have {}",
+                self.input.len()
+            )));
+        }
+        let (head, rest) = self.input.split_at(n);
+        self.input = rest;
+        Ok(head)
+    }
+
+    fn take_len(&mut self) -> Result<usize, BinserError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize)
+    }
+}
+
+macro_rules! de_scalar {
+    ($name:ident, $visit:ident, $ty:ty, $n:expr) => {
+        fn $name<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, BinserError> {
+            let b = self.take($n)?;
+            visitor.$visit(<$ty>::from_le_bytes(b.try_into().expect("fixed width")))
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
+    type Error = BinserError;
+
+    fn deserialize_any<V: de::Visitor<'de>>(self, _visitor: V) -> Result<V::Value, BinserError> {
+        Err(BinserError(
+            "binser is not self-describing; deserialize_any unsupported".into(),
+        ))
+    }
+
+    fn deserialize_bool<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, BinserError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            b => Err(BinserError(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    de_scalar!(deserialize_i8, visit_i8, i8, 1);
+    de_scalar!(deserialize_i16, visit_i16, i16, 2);
+    de_scalar!(deserialize_i32, visit_i32, i32, 4);
+    de_scalar!(deserialize_i64, visit_i64, i64, 8);
+    de_scalar!(deserialize_i128, visit_i128, i128, 16);
+    de_scalar!(deserialize_u8, visit_u8, u8, 1);
+    de_scalar!(deserialize_u16, visit_u16, u16, 2);
+    de_scalar!(deserialize_u32, visit_u32, u32, 4);
+    de_scalar!(deserialize_u64, visit_u64, u64, 8);
+    de_scalar!(deserialize_u128, visit_u128, u128, 16);
+    de_scalar!(deserialize_f32, visit_f32, f32, 4);
+    de_scalar!(deserialize_f64, visit_f64, f64, 8);
+
+    fn deserialize_char<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, BinserError> {
+        let b = self.take(4)?;
+        let code = u32::from_le_bytes(b.try_into().expect("4 bytes"));
+        let c = char::from_u32(code)
+            .ok_or_else(|| BinserError(format!("invalid char code {code}")))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, BinserError> {
+        let len = self.take_len()?;
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|e| BinserError(e.to_string()))?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, BinserError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, BinserError> {
+        let len = self.take_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: de::Visitor<'de>>(
+        self,
+        visitor: V,
+    ) -> Result<V::Value, BinserError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, BinserError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(BinserError(format!("invalid option tag {b}"))),
+        }
+    }
+
+    fn deserialize_unit<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, BinserError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, BinserError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, BinserError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, BinserError> {
+        let len = self.take_len()?;
+        visitor.visit_seq(Counted { de: self, left: len })
+    }
+
+    fn deserialize_tuple<V: de::Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, BinserError> {
+        visitor.visit_seq(Counted { de: self, left: len })
+    }
+
+    fn deserialize_tuple_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, BinserError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, BinserError> {
+        let len = self.take_len()?;
+        visitor.visit_map(Counted { de: self, left: len })
+    }
+
+    fn deserialize_struct<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, BinserError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: de::Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, BinserError> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: de::Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, BinserError> {
+        Err(BinserError("binser does not encode identifiers".into()))
+    }
+
+    fn deserialize_ignored_any<V: de::Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, BinserError> {
+        Err(BinserError(
+            "cannot skip values in a non-self-describing format".into(),
+        ))
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+    left: usize,
+}
+
+impl<'a, 'de> de::SeqAccess<'de> for Counted<'a, 'de> {
+    type Error = BinserError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, BinserError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+impl<'a, 'de> de::MapAccess<'de> for Counted<'a, 'de> {
+    type Error = BinserError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, BinserError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, BinserError> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = BinserError;
+    type Variant = Self;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self), BinserError> {
+        let b = self.de.take(4)?;
+        let index = u32::from_le_bytes(b.try_into().expect("4 bytes"));
+        let value = seed.deserialize(de::value::U32Deserializer::<BinserError>::new(index))?;
+        Ok((value, self))
+    }
+}
+
+impl<'a, 'de> de::VariantAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = BinserError;
+
+    fn unit_variant(self) -> Result<(), BinserError> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, BinserError> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: de::Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, BinserError> {
+        de::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+
+    fn struct_variant<V: de::Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, BinserError> {
+        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn round_trip<T: Serialize + for<'a> Deserialize<'a> + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = to_bytes(v).unwrap();
+        let back: T = from_bytes(&bytes).unwrap();
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn scalars() {
+        round_trip(&true);
+        round_trip(&false);
+        round_trip(&42u8);
+        round_trip(&-7i64);
+        round_trip(&3.5f32);
+        round_trip(&f64::MIN_POSITIVE);
+        round_trip(&u128::MAX);
+        round_trip(&'é');
+    }
+
+    #[test]
+    fn strings_and_bytes() {
+        round_trip(&String::from("neutrino"));
+        round_trip(&String::new());
+        round_trip(&vec![0u8, 255, 7]);
+    }
+
+    #[test]
+    fn options_and_units() {
+        round_trip(&Some(99u32));
+        round_trip(&Option::<u32>::None);
+        round_trip(&());
+        round_trip(&Some(Some(1u8)));
+    }
+
+    #[test]
+    fn sequences_and_maps() {
+        round_trip(&vec![1u64, 2, 3]);
+        round_trip(&Vec::<String>::new());
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1i32, 2]);
+        m.insert("b".to_string(), vec![]);
+        round_trip(&m);
+        round_trip(&(1u8, String::from("two"), 3.0f64));
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Particle {
+        x: f32,
+        y: f32,
+        z: f32,
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Slice {
+        id: u64,
+        hits: Vec<u32>,
+        energy: f64,
+        label: Option<String>,
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Reco {
+        Empty,
+        Track { length: f64, hits: u32 },
+        Shower(f64),
+        Pair(u8, u8),
+    }
+
+    #[test]
+    fn structs_like_the_paper_listing() {
+        // The paper's Listing 1 stores a std::vector<Particle>.
+        let vp = vec![
+            Particle { x: 1.0, y: 2.0, z: 3.0 },
+            Particle { x: -1.0, y: 0.5, z: 9.75 },
+        ];
+        let bytes = to_bytes(&vp).unwrap();
+        // 4 (len) + 2 * 12 bytes: as tight as Boost binary archives.
+        assert_eq!(bytes.len(), 4 + 24);
+        round_trip(&vp);
+    }
+
+    #[test]
+    fn nested_structs() {
+        round_trip(&Slice {
+            id: 9,
+            hits: vec![1, 2, 3],
+            energy: 2.5,
+            label: Some("numu".into()),
+        });
+    }
+
+    #[test]
+    fn enums_all_variant_shapes() {
+        round_trip(&Reco::Empty);
+        round_trip(&Reco::Track {
+            length: 1.5,
+            hits: 42,
+        });
+        round_trip(&Reco::Shower(0.25));
+        round_trip(&Reco::Pair(1, 2));
+        round_trip(&vec![Reco::Empty, Reco::Shower(1.0)]);
+    }
+
+    #[test]
+    fn truncated_input_fails() {
+        let bytes = to_bytes(&vec![1u64, 2, 3]).unwrap();
+        let err = from_bytes::<Vec<u64>>(&bytes[..bytes.len() - 1]).unwrap_err();
+        assert!(err.0.contains("end of input"));
+    }
+
+    #[test]
+    fn trailing_bytes_fail() {
+        let mut bytes = to_bytes(&7u32).unwrap();
+        bytes.push(0);
+        let err = from_bytes::<u32>(&bytes).unwrap_err();
+        assert!(err.0.contains("trailing"));
+    }
+
+    #[test]
+    fn invalid_bool_and_option_tags_fail() {
+        assert!(from_bytes::<bool>(&[2]).is_err());
+        assert!(from_bytes::<Option<u8>>(&[9]).is_err());
+    }
+
+    #[test]
+    fn wrong_type_is_not_silently_accepted() {
+        // A 4-byte f32 cannot deserialize as a (length-prefixed) String of
+        // matching length unless the bytes happen to be valid — here they
+        // declare a huge length and fail.
+        let bytes = to_bytes(&f32::MAX).unwrap();
+        assert!(from_bytes::<String>(&bytes).is_err());
+    }
+}

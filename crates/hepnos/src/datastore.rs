@@ -1,0 +1,1086 @@
+//! The client-facing object store API: [`DataStore`], [`DataSet`], [`Run`],
+//! [`SubRun`], [`Event`] and typed products.
+//!
+//! The API shape follows the paper's Listing 1: navigating the hierarchy
+//! looks like indexing C++ containers, products are stored/loaded by label
+//! with the concrete type recorded in the key, and every container kind is
+//! iterable in sorted order.
+
+use crate::batch::WriteTarget;
+use crate::binser;
+use crate::error::HepnosError;
+use crate::keys::{self, DatasetPath, EventNumber, RunNumber, SubRunNumber};
+use crate::placement::{ModuloPlacement, Placement};
+use crate::uuid::Uuid;
+use bedrock::ConnectionDescriptor;
+use mercurio::Endpoint;
+use parking_lot::RwLock;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::Arc;
+use yokan::{DbTarget, YokanClient};
+
+/// Number of keys fetched per `list_keys` RPC while iterating containers.
+const ITER_PAGE: usize = 1024;
+
+/// A validated product label (must not contain `#`, the label/type
+/// separator in product keys).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProductLabel(String);
+
+impl ProductLabel {
+    /// Create a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label contains `#` — the character is reserved by the
+    /// key format (paper §II-C2).
+    pub fn new(label: impl Into<String>) -> ProductLabel {
+        let label = label.into();
+        assert!(
+            !label.contains('#'),
+            "product labels must not contain '#'"
+        );
+        ProductLabel(label)
+    }
+
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for ProductLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The five database groups of a HEPnOS deployment, each sorted identically
+/// on every client so placement agrees everywhere.
+#[derive(Debug, Clone)]
+pub(crate) struct Topology {
+    pub(crate) dataset_dbs: Vec<DbTarget>,
+    pub(crate) run_dbs: Vec<DbTarget>,
+    pub(crate) subrun_dbs: Vec<DbTarget>,
+    pub(crate) event_dbs: Vec<DbTarget>,
+    pub(crate) product_dbs: Vec<DbTarget>,
+}
+
+impl Topology {
+    fn classify(descriptors: &[ConnectionDescriptor]) -> Result<Topology, HepnosError> {
+        let mut topo = Topology {
+            dataset_dbs: Vec::new(),
+            run_dbs: Vec::new(),
+            subrun_dbs: Vec::new(),
+            event_dbs: Vec::new(),
+            product_dbs: Vec::new(),
+        };
+        for server in descriptors {
+            for prov in &server.providers {
+                for db in &prov.databases {
+                    let target = DbTarget::new(server.address.clone(), prov.provider_id, db);
+                    if db.starts_with("datasets") {
+                        topo.dataset_dbs.push(target);
+                    } else if db.starts_with("runs") {
+                        topo.run_dbs.push(target);
+                    } else if db.starts_with("subruns") {
+                        topo.subrun_dbs.push(target);
+                    } else if db.starts_with("events") {
+                        topo.event_dbs.push(target);
+                    } else if db.starts_with("products") {
+                        topo.product_dbs.push(target);
+                    }
+                    // Unknown databases are simply not part of the HEPnOS
+                    // namespace; ignore them.
+                }
+            }
+        }
+        // A deterministic global order: every client must agree on the index
+        // of each database or placement breaks.
+        for group in [
+            &mut topo.dataset_dbs,
+            &mut topo.run_dbs,
+            &mut topo.subrun_dbs,
+            &mut topo.event_dbs,
+            &mut topo.product_dbs,
+        ] {
+            group.sort();
+        }
+        for (name, group) in [
+            ("datasets", &topo.dataset_dbs),
+            ("runs", &topo.run_dbs),
+            ("subruns", &topo.subrun_dbs),
+            ("events", &topo.event_dbs),
+            ("products", &topo.product_dbs),
+        ] {
+            if group.is_empty() {
+                return Err(HepnosError::Topology(format!(
+                    "deployment has no {name} databases"
+                )));
+            }
+        }
+        Ok(topo)
+    }
+}
+
+pub(crate) struct DataStoreInner {
+    pub(crate) client: YokanClient,
+    pub(crate) topo: Topology,
+    pub(crate) placement: Box<dyn Placement>,
+    uuid_cache: RwLock<HashMap<String, Uuid>>,
+}
+
+impl DataStoreInner {
+    pub(crate) fn dataset_db(&self, parent_full: &str) -> &DbTarget {
+        let idx = self.placement.place(
+            &keys::dataset_parent_bytes(parent_full),
+            self.topo.dataset_dbs.len(),
+        );
+        &self.topo.dataset_dbs[idx]
+    }
+
+    pub(crate) fn run_db(&self, dataset: &Uuid) -> &DbTarget {
+        let idx = self
+            .placement
+            .place(dataset.as_bytes(), self.topo.run_dbs.len());
+        &self.topo.run_dbs[idx]
+    }
+
+    pub(crate) fn subrun_db(&self, run_key: &[u8]) -> &DbTarget {
+        let idx = self.placement.place(run_key, self.topo.subrun_dbs.len());
+        &self.topo.subrun_dbs[idx]
+    }
+
+    pub(crate) fn event_db(&self, subrun_key: &[u8]) -> &DbTarget {
+        let idx = self.placement.place(subrun_key, self.topo.event_dbs.len());
+        &self.topo.event_dbs[idx]
+    }
+
+    pub(crate) fn product_db(&self, container_key: &[u8]) -> &DbTarget {
+        let idx = self
+            .placement
+            .place(container_key, self.topo.product_dbs.len());
+        &self.topo.product_dbs[idx]
+    }
+}
+
+/// A handle to a HEPnOS deployment: the analogue of
+/// `hepnos::DataStore::connect("config.json")`.
+///
+/// Cloning is cheap (shared `Arc`).
+#[derive(Clone)]
+pub struct DataStore {
+    pub(crate) inner: Arc<DataStoreInner>,
+}
+
+impl DataStore {
+    /// Connect through `endpoint` to the servers described by
+    /// `descriptors` (one [`ConnectionDescriptor`] per server node, as
+    /// produced by [`bedrock::BedrockServer::descriptor`]).
+    pub fn connect(
+        endpoint: Arc<dyn Endpoint>,
+        descriptors: &[ConnectionDescriptor],
+    ) -> Result<DataStore, HepnosError> {
+        Self::connect_with_placement(endpoint, descriptors, Box::new(ModuloPlacement))
+    }
+
+    /// Connect from a connection file's JSON contents — the direct analogue
+    /// of the paper's `DataStore::connect("config.json")` (Listing 1). The
+    /// file holds the JSON array of per-server descriptors a deployment
+    /// script gathers at server startup.
+    pub fn connect_from_json(
+        endpoint: Arc<dyn Endpoint>,
+        json: &str,
+    ) -> Result<DataStore, HepnosError> {
+        let descriptors = ConnectionDescriptor::parse_deployment(json)
+            .map_err(|e| HepnosError::Topology(e.to_string()))?;
+        Self::connect(endpoint, &descriptors)
+    }
+
+    /// Connect with an explicit placement strategy (see [`crate::placement`]).
+    pub fn connect_with_placement(
+        endpoint: Arc<dyn Endpoint>,
+        descriptors: &[ConnectionDescriptor],
+        placement: Box<dyn Placement>,
+    ) -> Result<DataStore, HepnosError> {
+        let topo = Topology::classify(descriptors)?;
+        Ok(DataStore {
+            inner: Arc::new(DataStoreInner {
+                client: YokanClient::new(endpoint),
+                topo,
+                placement,
+                uuid_cache: RwLock::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// The virtual root dataset (it always exists and holds the top-level
+    /// datasets).
+    pub fn root(&self) -> DataSet {
+        DataSet {
+            store: Arc::clone(&self.inner),
+            path: None,
+            uuid: None,
+        }
+    }
+
+    /// Open an existing dataset by full path — `datastore["path/to/ds"]` in
+    /// the paper's Listing 1.
+    pub fn dataset(&self, path: &str) -> Result<DataSet, HepnosError> {
+        let path = DatasetPath::parse(path)?;
+        let uuid = self.resolve(&path)?;
+        Ok(DataSet {
+            store: Arc::clone(&self.inner),
+            path: Some(path),
+            uuid: Some(uuid),
+        })
+    }
+
+    /// Number of event databases in the deployment (drives the default
+    /// reader count of the [`crate::ParallelEventProcessor`]).
+    pub fn num_event_databases(&self) -> usize {
+        self.inner.topo.event_dbs.len()
+    }
+
+    /// Network counters of this client's endpoint (requests sent, bytes
+    /// moved) — the monitoring surface used to verify batching behaviour.
+    pub fn endpoint_stats(&self) -> mercurio::EndpointStats {
+        self.inner.client.endpoint().stats()
+    }
+
+    /// Number of product databases in the deployment.
+    pub fn num_product_databases(&self) -> usize {
+        self.inner.topo.product_dbs.len()
+    }
+
+    /// Resolve a dataset path to its UUID, using the client-side cache.
+    fn resolve(&self, path: &DatasetPath) -> Result<Uuid, HepnosError> {
+        if let Some(u) = self.inner.uuid_cache.read().get(&path.full()) {
+            return Ok(*u);
+        }
+        let parent_full = path.parent().map(|p| p.full()).unwrap_or_default();
+        let key = keys::dataset_key(&parent_full, path.name());
+        let db = self.inner.dataset_db(&parent_full);
+        let value = self
+            .inner
+            .client
+            .get(db, &key)?
+            .ok_or_else(|| HepnosError::NoSuchDataset(path.full()))?;
+        let uuid = Uuid::from_slice(&value)
+            .ok_or_else(|| HepnosError::Storage(yokan::YokanError::Protocol(
+                "dataset value is not a UUID".into(),
+            )))?;
+        self.inner.uuid_cache.write().insert(path.full(), uuid);
+        Ok(uuid)
+    }
+}
+
+impl std::fmt::Debug for DataStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataStore")
+            .field("event_dbs", &self.inner.topo.event_dbs.len())
+            .field("product_dbs", &self.inner.topo.product_dbs.len())
+            .finish()
+    }
+}
+
+/// Shared implementation of typed product storage for any container.
+fn store_product<T: Serialize>(
+    store: &DataStoreInner,
+    container_key: &[u8],
+    label: &ProductLabel,
+    value: &T,
+) -> Result<(), HepnosError> {
+    let bytes =
+        binser::to_bytes(value).map_err(|e| HepnosError::Serialization(e.to_string()))?;
+    let type_name = keys::short_type_name::<T>();
+    let pk = keys::product_key(container_key, label.as_str(), &type_name);
+    let db = store.product_db(container_key);
+    store.client.put(db, &pk, &bytes)?;
+    Ok(())
+}
+
+fn load_product<T: DeserializeOwned>(
+    store: &DataStoreInner,
+    container_key: &[u8],
+    label: &ProductLabel,
+) -> Result<Option<T>, HepnosError> {
+    let type_name = keys::short_type_name::<T>();
+    let pk = keys::product_key(container_key, label.as_str(), &type_name);
+    let db = store.product_db(container_key);
+    match store.client.get(db, &pk)? {
+        None => Ok(None),
+        Some(bytes) => {
+            let v = binser::from_bytes(&bytes)
+                .map_err(|e| HepnosError::Serialization(e.to_string()))?;
+            Ok(Some(v))
+        }
+    }
+}
+
+/// A dataset: a named container of datasets and runs.
+#[derive(Clone)]
+pub struct DataSet {
+    store: Arc<DataStoreInner>,
+    /// `None` for the virtual root.
+    path: Option<DatasetPath>,
+    uuid: Option<Uuid>,
+}
+
+impl DataSet {
+    /// This dataset's full path (`""` for the root).
+    pub fn full_path(&self) -> String {
+        self.path.as_ref().map(|p| p.full()).unwrap_or_default()
+    }
+
+    /// This dataset's name (`""` for the root).
+    pub fn name(&self) -> String {
+        self.path
+            .as_ref()
+            .map(|p| p.name().to_string())
+            .unwrap_or_default()
+    }
+
+    /// The dataset's UUID (`None` for the root, which needs none).
+    pub fn uuid(&self) -> Option<Uuid> {
+        self.uuid
+    }
+
+    /// Create a child dataset (`mkdir -p` semantics: missing intermediate
+    /// datasets are created, existing ones are reused).
+    pub fn create_dataset(&self, rel_path: &str) -> Result<DataSet, HepnosError> {
+        let rel = DatasetPath::parse(rel_path)?;
+        let mut current_full = self.full_path();
+        let mut current_uuid = self.uuid;
+        let mut current_path = self.path.clone();
+        for comp in rel.components() {
+            let key = keys::dataset_key(&current_full, comp);
+            let db = self.store.dataset_db(&current_full).clone();
+            // Concurrent creators race on the UUID registration: the
+            // server-side put-if-absent makes exactly one of them win and
+            // hands the winning UUID to everyone else (a plain get-then-put
+            // would orphan the loser's children under a dangling UUID).
+            let fresh = Uuid::generate();
+            let uuid = match self
+                .store
+                .client
+                .put_if_absent(&db, &key, fresh.as_bytes())?
+            {
+                None => fresh,
+                Some(v) => Uuid::from_slice(&v).ok_or_else(|| {
+                    HepnosError::Storage(yokan::YokanError::Protocol(
+                        "dataset value is not a UUID".into(),
+                    ))
+                })?,
+            };
+            current_path = Some(match &current_path {
+                Some(p) => p.child(comp)?,
+                None => DatasetPath::parse(comp)?,
+            });
+            current_full = current_path.as_ref().expect("path was just set").full();
+            self.store
+                .uuid_cache
+                .write()
+                .insert(current_full.clone(), uuid);
+            current_uuid = Some(uuid);
+        }
+        Ok(DataSet {
+            store: Arc::clone(&self.store),
+            path: current_path,
+            uuid: current_uuid,
+        })
+    }
+
+    /// Open an existing child dataset; errors if it does not exist.
+    pub fn dataset(&self, rel_path: &str) -> Result<DataSet, HepnosError> {
+        let rel = DatasetPath::parse(rel_path)?;
+        let full = match &self.path {
+            Some(p) => {
+                let mut c = p.components().to_vec();
+                c.extend(rel.components().iter().cloned());
+                DatasetPath::from_components(c)?
+            }
+            None => rel,
+        };
+        let ds = DataStore {
+            inner: Arc::clone(&self.store),
+        };
+        ds.dataset(&full.full())
+    }
+
+    /// List the names of direct child datasets, sorted.
+    pub fn datasets(&self) -> Result<Vec<DataSet>, HepnosError> {
+        let full = self.full_path();
+        let prefix = keys::dataset_children_prefix(&full);
+        let db = self.store.dataset_db(&full).clone();
+        let mut out = Vec::new();
+        let mut from = prefix.clone();
+        loop {
+            let page = self.store.client.list_keyvals(&db, &from, &prefix, ITER_PAGE)?;
+            if page.is_empty() {
+                break;
+            }
+            from = page.last().expect("page is non-empty").0.clone();
+            for (k, v) in page {
+                let name = keys::dataset_key_name(&k).ok_or_else(|| {
+                    HepnosError::Storage(yokan::YokanError::Protocol(
+                        "malformed dataset key".into(),
+                    ))
+                })?;
+                let uuid = Uuid::from_slice(&v).ok_or_else(|| {
+                    HepnosError::Storage(yokan::YokanError::Protocol(
+                        "dataset value is not a UUID".into(),
+                    ))
+                })?;
+                let child_path = match &self.path {
+                    Some(p) => p.child(name)?,
+                    None => DatasetPath::parse(name)?,
+                };
+                out.push(DataSet {
+                    store: Arc::clone(&self.store),
+                    path: Some(child_path),
+                    uuid: Some(uuid),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// All events of this dataset, across every run and subrun, in key
+    /// order (dataset UUID, then run/subrun/event numerically).
+    ///
+    /// This is the sequential counterpart of the
+    /// [`crate::ParallelEventProcessor`]: each event database is paged with
+    /// the dataset-UUID prefix and the per-database results are merged.
+    pub fn events(&self) -> Result<Vec<Event>, HepnosError> {
+        let uuid = self.require_uuid()?;
+        let prefix: Vec<u8> = uuid.as_bytes().to_vec();
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        for db in &self.store.topo.event_dbs {
+            let mut from = prefix.clone();
+            loop {
+                let page = self.store.client.list_keys(db, &from, &prefix, ITER_PAGE)?;
+                if page.is_empty() {
+                    break;
+                }
+                from = page.last().expect("page is non-empty").clone();
+                keys.extend(page);
+            }
+        }
+        keys.sort();
+        keys.into_iter()
+            .map(|k| {
+                let (u, run, subrun, number) = keys::parse_event_key(&k).ok_or_else(|| {
+                    HepnosError::Storage(yokan::YokanError::Protocol(
+                        "malformed event key".into(),
+                    ))
+                })?;
+                Ok(Event {
+                    store: Arc::clone(&self.store),
+                    dataset: u,
+                    run,
+                    subrun,
+                    number,
+                    key: k,
+                })
+            })
+            .collect()
+    }
+
+    fn require_uuid(&self) -> Result<Uuid, HepnosError> {
+        self.uuid.ok_or_else(|| {
+            HepnosError::InvalidPath("the root dataset cannot hold runs".into())
+        })
+    }
+
+    /// Create run `number` (idempotent).
+    pub fn create_run(&self, number: RunNumber) -> Result<Run, HepnosError> {
+        let uuid = self.require_uuid()?;
+        let key = keys::run_key(&uuid, number);
+        let db = self.store.run_db(&uuid).clone();
+        self.store.client.put(&db, &key, &[])?;
+        Ok(Run {
+            store: Arc::clone(&self.store),
+            dataset: uuid,
+            number,
+            key,
+        })
+    }
+
+    /// Open run `number`; errors if absent.
+    pub fn run(&self, number: RunNumber) -> Result<Run, HepnosError> {
+        let uuid = self.require_uuid()?;
+        let key = keys::run_key(&uuid, number);
+        let db = self.store.run_db(&uuid).clone();
+        if !self.store.client.exists(&db, &key)? {
+            return Err(HepnosError::NoSuchContainer(format!(
+                "run {number} in {}",
+                self.full_path()
+            )));
+        }
+        Ok(Run {
+            store: Arc::clone(&self.store),
+            dataset: uuid,
+            number,
+            key,
+        })
+    }
+
+    /// Iterate all runs in ascending number order.
+    pub fn runs(&self) -> Result<Vec<Run>, HepnosError> {
+        let uuid = self.require_uuid()?;
+        let prefix: Vec<u8> = uuid.as_bytes().to_vec();
+        let db = self.store.run_db(&uuid).clone();
+        let mut out = Vec::new();
+        let mut from = prefix.clone();
+        loop {
+            let page = self.store.client.list_keys(&db, &from, &prefix, ITER_PAGE)?;
+            if page.is_empty() {
+                break;
+            }
+            from = page.last().expect("page is non-empty").clone();
+            for k in page {
+                let number = keys::trailing_number(&k).ok_or_else(|| {
+                    HepnosError::Storage(yokan::YokanError::Protocol("malformed run key".into()))
+                })?;
+                out.push(Run {
+                    store: Arc::clone(&self.store),
+                    dataset: uuid,
+                    number,
+                    key: k,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    pub(crate) fn store_inner(&self) -> &Arc<DataStoreInner> {
+        &self.store
+    }
+}
+
+impl std::fmt::Debug for DataSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DataSet({})", self.full_path())
+    }
+}
+
+/// A run within a dataset.
+#[derive(Clone)]
+pub struct Run {
+    store: Arc<DataStoreInner>,
+    dataset: Uuid,
+    number: RunNumber,
+    key: Vec<u8>,
+}
+
+impl Run {
+    /// The run number.
+    pub fn number(&self) -> RunNumber {
+        self.number
+    }
+
+    /// The owning dataset's UUID.
+    pub fn dataset_uuid(&self) -> Uuid {
+        self.dataset
+    }
+
+    /// Create subrun `number` (idempotent).
+    pub fn create_subrun(&self, number: SubRunNumber) -> Result<SubRun, HepnosError> {
+        let key = keys::subrun_key(&self.dataset, self.number, number);
+        let db = self.store.subrun_db(&self.key).clone();
+        self.store.client.put(&db, &key, &[])?;
+        Ok(SubRun {
+            store: Arc::clone(&self.store),
+            dataset: self.dataset,
+            run: self.number,
+            number,
+            key,
+        })
+    }
+
+    /// Open subrun `number`; errors if absent.
+    pub fn subrun(&self, number: SubRunNumber) -> Result<SubRun, HepnosError> {
+        let key = keys::subrun_key(&self.dataset, self.number, number);
+        let db = self.store.subrun_db(&self.key).clone();
+        if !self.store.client.exists(&db, &key)? {
+            return Err(HepnosError::NoSuchContainer(format!(
+                "subrun {number} in run {}",
+                self.number
+            )));
+        }
+        Ok(SubRun {
+            store: Arc::clone(&self.store),
+            dataset: self.dataset,
+            run: self.number,
+            number,
+            key,
+        })
+    }
+
+    /// Iterate all subruns in ascending number order.
+    pub fn subruns(&self) -> Result<Vec<SubRun>, HepnosError> {
+        let db = self.store.subrun_db(&self.key).clone();
+        let prefix = self.key.clone();
+        let mut out = Vec::new();
+        let mut from = prefix.clone();
+        loop {
+            let page = self.store.client.list_keys(&db, &from, &prefix, ITER_PAGE)?;
+            if page.is_empty() {
+                break;
+            }
+            from = page.last().expect("page is non-empty").clone();
+            for k in page {
+                let number = keys::trailing_number(&k).ok_or_else(|| {
+                    HepnosError::Storage(yokan::YokanError::Protocol(
+                        "malformed subrun key".into(),
+                    ))
+                })?;
+                out.push(SubRun {
+                    store: Arc::clone(&self.store),
+                    dataset: self.dataset,
+                    run: self.number,
+                    number,
+                    key: k,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// All events of this run across every subrun, in (subrun, event)
+    /// order. Subruns hash to different event databases, so each database
+    /// is scanned with the run's 24-byte key prefix and the results merged.
+    pub fn events(&self) -> Result<Vec<Event>, HepnosError> {
+        let prefix = self.key.clone();
+        let mut keys_found: Vec<Vec<u8>> = Vec::new();
+        for db in &self.store.topo.event_dbs {
+            let mut from = prefix.clone();
+            loop {
+                let page = self.store.client.list_keys(db, &from, &prefix, ITER_PAGE)?;
+                if page.is_empty() {
+                    break;
+                }
+                from = page.last().expect("page is non-empty").clone();
+                keys_found.extend(page);
+            }
+        }
+        keys_found.sort();
+        keys_found
+            .into_iter()
+            .map(|k| {
+                let (u, run, subrun, number) = keys::parse_event_key(&k).ok_or_else(|| {
+                    HepnosError::Storage(yokan::YokanError::Protocol(
+                        "malformed event key".into(),
+                    ))
+                })?;
+                Ok(Event {
+                    store: Arc::clone(&self.store),
+                    dataset: u,
+                    run,
+                    subrun,
+                    number,
+                    key: k,
+                })
+            })
+            .collect()
+    }
+
+    /// Store a typed product on this run.
+    pub fn store<T: Serialize>(
+        &self,
+        label: &ProductLabel,
+        value: &T,
+    ) -> Result<(), HepnosError> {
+        store_product(&self.store, &self.key, label, value)
+    }
+
+    /// Load a typed product from this run.
+    pub fn load<T: DeserializeOwned>(
+        &self,
+        label: &ProductLabel,
+    ) -> Result<Option<T>, HepnosError> {
+        load_product(&self.store, &self.key, label)
+    }
+
+    /// The run's full storage key.
+    pub fn key(&self) -> &[u8] {
+        &self.key
+    }
+}
+
+impl std::fmt::Debug for Run {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Run({})", self.number)
+    }
+}
+
+/// A subrun within a run.
+#[derive(Clone)]
+pub struct SubRun {
+    store: Arc<DataStoreInner>,
+    dataset: Uuid,
+    run: RunNumber,
+    number: SubRunNumber,
+    key: Vec<u8>,
+}
+
+impl SubRun {
+    /// The subrun number.
+    pub fn number(&self) -> SubRunNumber {
+        self.number
+    }
+
+    /// The owning run number.
+    pub fn run_number(&self) -> RunNumber {
+        self.run
+    }
+
+    /// Create event `number` (idempotent).
+    pub fn create_event(&self, number: EventNumber) -> Result<Event, HepnosError> {
+        let key = keys::event_key(&self.dataset, self.run, self.number, number);
+        let db = self.store.event_db(&self.key).clone();
+        self.store.client.put(&db, &key, &[])?;
+        Ok(Event {
+            store: Arc::clone(&self.store),
+            dataset: self.dataset,
+            run: self.run,
+            subrun: self.number,
+            number,
+            key,
+        })
+    }
+
+    /// Open event `number`; errors if absent.
+    pub fn event(&self, number: EventNumber) -> Result<Event, HepnosError> {
+        let key = keys::event_key(&self.dataset, self.run, self.number, number);
+        let db = self.store.event_db(&self.key).clone();
+        if !self.store.client.exists(&db, &key)? {
+            return Err(HepnosError::NoSuchContainer(format!(
+                "event {number} in subrun {}",
+                self.number
+            )));
+        }
+        Ok(Event {
+            store: Arc::clone(&self.store),
+            dataset: self.dataset,
+            run: self.run,
+            subrun: self.number,
+            number,
+            key,
+        })
+    }
+
+    /// Iterate all events in ascending number order.
+    pub fn events(&self) -> Result<Vec<Event>, HepnosError> {
+        let db = self.store.event_db(&self.key).clone();
+        let prefix = self.key.clone();
+        let mut out = Vec::new();
+        let mut from = prefix.clone();
+        loop {
+            let page = self.store.client.list_keys(&db, &from, &prefix, ITER_PAGE)?;
+            if page.is_empty() {
+                break;
+            }
+            from = page.last().expect("page is non-empty").clone();
+            for k in page {
+                let number = keys::trailing_number(&k).ok_or_else(|| {
+                    HepnosError::Storage(yokan::YokanError::Protocol(
+                        "malformed event key".into(),
+                    ))
+                })?;
+                out.push(Event {
+                    store: Arc::clone(&self.store),
+                    dataset: self.dataset,
+                    run: self.run,
+                    subrun: self.number,
+                    number,
+                    key: k,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Events with numbers in `[lo, hi)`, in ascending order — a ranged
+    /// variant of [`SubRun::events`] exploiting the big-endian key order
+    /// (a single bounded scan on one database).
+    pub fn events_range(
+        &self,
+        lo: EventNumber,
+        hi: EventNumber,
+    ) -> Result<Vec<Event>, HepnosError> {
+        if hi <= lo {
+            return Ok(Vec::new());
+        }
+        let db = self.store.event_db(&self.key).clone();
+        let prefix = self.key.clone();
+        // list_keys' lower bound is exclusive: starting from event `lo-1`'s
+        // key admits `lo` itself (even across gaps); for `lo == 0` the
+        // subrun prefix sorts below every event key.
+        let mut from = if lo == 0 {
+            prefix.clone()
+        } else {
+            keys::event_key(&self.dataset, self.run, self.number, lo - 1)
+        };
+        let mut out = Vec::new();
+        loop {
+            let page = self.store.client.list_keys(&db, &from, &prefix, ITER_PAGE)?;
+            if page.is_empty() {
+                break;
+            }
+            from = page.last().expect("page is non-empty").clone();
+            let mut done = false;
+            for k in page {
+                let number = keys::trailing_number(&k).ok_or_else(|| {
+                    HepnosError::Storage(yokan::YokanError::Protocol(
+                        "malformed event key".into(),
+                    ))
+                })?;
+                if number < lo {
+                    continue;
+                }
+                if number >= hi {
+                    done = true;
+                    break;
+                }
+                out.push(Event {
+                    store: Arc::clone(&self.store),
+                    dataset: self.dataset,
+                    run: self.run,
+                    subrun: self.number,
+                    number,
+                    key: k,
+                });
+            }
+            if done {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Store a typed product on this subrun.
+    pub fn store<T: Serialize>(
+        &self,
+        label: &ProductLabel,
+        value: &T,
+    ) -> Result<(), HepnosError> {
+        store_product(&self.store, &self.key, label, value)
+    }
+
+    /// Load a typed product from this subrun.
+    pub fn load<T: DeserializeOwned>(
+        &self,
+        label: &ProductLabel,
+    ) -> Result<Option<T>, HepnosError> {
+        load_product(&self.store, &self.key, label)
+    }
+
+    /// The subrun's full storage key.
+    pub fn key(&self) -> &[u8] {
+        &self.key
+    }
+}
+
+impl std::fmt::Debug for SubRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SubRun({}/{})", self.run, self.number)
+    }
+}
+
+/// An event: the natural atomic unit of HEP data (paper §I).
+#[derive(Clone)]
+pub struct Event {
+    store: Arc<DataStoreInner>,
+    dataset: Uuid,
+    run: RunNumber,
+    subrun: SubRunNumber,
+    number: EventNumber,
+    key: Vec<u8>,
+}
+
+impl Event {
+    /// The event number.
+    pub fn number(&self) -> EventNumber {
+        self.number
+    }
+
+    /// The owning (run, subrun) numbers.
+    pub fn coordinates(&self) -> (RunNumber, SubRunNumber, EventNumber) {
+        (self.run, self.subrun, self.number)
+    }
+
+    /// Store a typed product (`ev.store(vp1)` in Listing 1, with an explicit
+    /// label).
+    pub fn store<T: Serialize>(
+        &self,
+        label: &ProductLabel,
+        value: &T,
+    ) -> Result<(), HepnosError> {
+        store_product(&self.store, &self.key, label, value)
+    }
+
+    /// Load a typed product (`ev.load(vp2)` in Listing 1).
+    pub fn load<T: DeserializeOwned>(
+        &self,
+        label: &ProductLabel,
+    ) -> Result<Option<T>, HepnosError> {
+        load_product(&self.store, &self.key, label)
+    }
+
+    /// Store pre-serialized bytes under an explicit type name (used by the
+    /// batched writers).
+    pub fn store_raw(
+        &self,
+        label: &ProductLabel,
+        type_name: &str,
+        bytes: &[u8],
+    ) -> Result<(), HepnosError> {
+        let pk = keys::product_key(&self.key, label.as_str(), type_name);
+        let db = self.store.product_db(&self.key);
+        self.store.client.put(db, &pk, bytes)?;
+        Ok(())
+    }
+
+    /// Load raw product bytes under an explicit type name.
+    pub fn load_raw(
+        &self,
+        label: &ProductLabel,
+        type_name: &str,
+    ) -> Result<Option<Vec<u8>>, HepnosError> {
+        let pk = keys::product_key(&self.key, label.as_str(), type_name);
+        let db = self.store.product_db(&self.key);
+        Ok(self.store.client.get(db, &pk)?)
+    }
+
+    /// The event's full storage key.
+    pub fn key(&self) -> &[u8] {
+        &self.key
+    }
+
+    /// A plain-data descriptor for queueing (see
+    /// [`crate::ParallelEventProcessor`]).
+    pub fn descriptor(&self) -> crate::pep::EventDescriptor {
+        crate::pep::EventDescriptor {
+            dataset: self.dataset,
+            run: self.run,
+            subrun: self.subrun,
+            event: self.number,
+        }
+    }
+
+    /// Rebuild an event handle from a descriptor (no RPC).
+    pub fn from_descriptor(
+        store: &DataStore,
+        d: &crate::pep::EventDescriptor,
+    ) -> Event {
+        Event {
+            store: Arc::clone(&store.inner),
+            dataset: d.dataset,
+            run: d.run,
+            subrun: d.subrun,
+            number: d.event,
+            key: keys::event_key(&d.dataset, d.run, d.subrun, d.event),
+        }
+    }
+}
+
+impl std::fmt::Debug for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Event({}/{}/{})", self.run, self.subrun, self.number)
+    }
+}
+
+impl Run {
+    /// Build a handle without an existence check (used by [`crate::WriteBatch`],
+    /// which has the creation queued).
+    pub(crate) fn unchecked(
+        store: Arc<DataStoreInner>,
+        dataset: Uuid,
+        number: RunNumber,
+    ) -> Run {
+        let key = keys::run_key(&dataset, number);
+        Run {
+            store,
+            dataset,
+            number,
+            key,
+        }
+    }
+}
+
+impl SubRun {
+    pub(crate) fn unchecked(run: &Run, number: SubRunNumber) -> SubRun {
+        SubRun {
+            store: Arc::clone(&run.store),
+            dataset: run.dataset,
+            run: run.number,
+            number,
+            key: keys::subrun_key(&run.dataset, run.number, number),
+        }
+    }
+}
+
+impl Event {
+    pub(crate) fn unchecked(subrun: &SubRun, number: EventNumber) -> Event {
+        Event {
+            store: Arc::clone(&subrun.store),
+            dataset: subrun.dataset,
+            run: subrun.run,
+            subrun: subrun.number,
+            number,
+            key: keys::event_key(&subrun.dataset, subrun.run, subrun.number, number),
+        }
+    }
+}
+
+/// Internal access for the batching layer.
+impl DataStore {
+    pub(crate) fn write_target_for_run(
+        &self,
+        dataset: &Uuid,
+        run: RunNumber,
+    ) -> (DbTarget, Vec<u8>) {
+        let key = keys::run_key(dataset, run);
+        (self.inner.run_db(dataset).clone(), key)
+    }
+
+    pub(crate) fn write_target_for_subrun(
+        &self,
+        dataset: &Uuid,
+        run: RunNumber,
+        subrun: SubRunNumber,
+    ) -> (DbTarget, Vec<u8>) {
+        let run_key = keys::run_key(dataset, run);
+        let key = keys::subrun_key(dataset, run, subrun);
+        (self.inner.subrun_db(&run_key).clone(), key)
+    }
+
+    pub(crate) fn write_target_for_event(
+        &self,
+        dataset: &Uuid,
+        run: RunNumber,
+        subrun: SubRunNumber,
+        event: EventNumber,
+    ) -> (DbTarget, Vec<u8>) {
+        let subrun_key = keys::subrun_key(dataset, run, subrun);
+        let key = keys::event_key(dataset, run, subrun, event);
+        (self.inner.event_db(&subrun_key).clone(), key)
+    }
+
+    pub(crate) fn write_target_for_product(
+        &self,
+        container_key: &[u8],
+        label: &ProductLabel,
+        type_name: &str,
+    ) -> WriteTarget {
+        let key = keys::product_key(container_key, label.as_str(), type_name);
+        WriteTarget {
+            db: self.inner.product_db(container_key).clone(),
+            key,
+        }
+    }
+}

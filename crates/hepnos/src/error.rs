@@ -1,0 +1,60 @@
+//! HEPnOS error type.
+
+use std::fmt;
+use yokan::YokanError;
+
+/// Errors surfaced by the HEPnOS API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HepnosError {
+    /// The referenced dataset does not exist.
+    NoSuchDataset(String),
+    /// The referenced run/subrun/event does not exist.
+    NoSuchContainer(String),
+    /// A container with this name/number already exists.
+    AlreadyExists(String),
+    /// A dataset path was syntactically invalid (empty component, ...).
+    InvalidPath(String),
+    /// Product (de)serialization failed.
+    Serialization(String),
+    /// The underlying storage service failed.
+    Storage(YokanError),
+    /// The deployment topology is unusable (no databases of a needed kind).
+    Topology(String),
+}
+
+impl fmt::Display for HepnosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HepnosError::NoSuchDataset(p) => write!(f, "no such dataset: {p}"),
+            HepnosError::NoSuchContainer(c) => write!(f, "no such container: {c}"),
+            HepnosError::AlreadyExists(c) => write!(f, "already exists: {c}"),
+            HepnosError::InvalidPath(p) => write!(f, "invalid dataset path: {p}"),
+            HepnosError::Serialization(m) => write!(f, "serialization error: {m}"),
+            HepnosError::Storage(e) => write!(f, "storage error: {e}"),
+            HepnosError::Topology(m) => write!(f, "topology error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HepnosError {}
+
+impl From<YokanError> for HepnosError {
+    fn from(e: YokanError) -> Self {
+        HepnosError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(HepnosError::NoSuchDataset("/a/b".into())
+            .to_string()
+            .contains("/a/b"));
+        assert!(HepnosError::Storage(YokanError::NoSuchProvider(3))
+            .to_string()
+            .contains("provider"));
+    }
+}

@@ -1,0 +1,410 @@
+//! The `ParallelEventProcessor` (paper §II-D, §IV-B, §IV-D).
+//!
+//! A group of workers iterates over all events of a dataset in parallel and
+//! load-balanced fashion:
+//!
+//! * a subset of participants act as **readers** — by default one per event
+//!   database — which page event keys out of their database in large *load
+//!   batches* (default 16384; "fewer RPCs but with a large data transfer
+//!   payload");
+//! * readers optionally **prefetch** the products associated with each
+//!   loaded event (batched `get_multi` per product database);
+//! * loaded events are pushed into a shared queue and handed to workers in
+//!   small *dispatch batches* (default 64; "fine-grain load-balancing once
+//!   events are loaded into worker memory");
+//! * every worker invokes the user callback on each event it receives.
+//!
+//! The paper's implementation spreads ranks over MPI; this reproduction
+//! spreads workers over threads sharing the same queue — the scheduling
+//! structure (readers → distributed queue → workers) is identical.
+
+use crate::datastore::{DataSet, DataStore, Event, ProductLabel};
+use crate::error::HepnosError;
+use crate::keys::{self, EventNumber, RunNumber, SubRunNumber};
+use crate::uuid::Uuid;
+use crate::binser;
+use crossbeam::channel;
+use parking_lot::Mutex;
+use serde::de::DeserializeOwned;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Plain-data identification of one event, cheap to queue and ship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventDescriptor {
+    /// Owning dataset.
+    pub dataset: Uuid,
+    /// Run number.
+    pub run: RunNumber,
+    /// Subrun number.
+    pub subrun: SubRunNumber,
+    /// Event number.
+    pub event: EventNumber,
+}
+
+/// Options mirroring the paper's tuned deployment (§IV-D).
+#[derive(Debug, Clone)]
+pub struct PepOptions {
+    /// Events loaded from a database per `list_keys` RPC (paper: 16384).
+    pub load_batch_size: usize,
+    /// Events handed to a worker at a time (paper: 64).
+    pub dispatch_batch_size: usize,
+    /// Reader threads; `0` means one per event database (the paper's
+    /// "typically as many readers as databases to read from").
+    pub num_readers: usize,
+    /// Worker threads invoking the callback.
+    pub num_workers: usize,
+    /// Products to prefetch alongside events: `(label, type name)` pairs.
+    pub prefetch: Vec<(ProductLabel, String)>,
+    /// Capacity of the shared queue, in dispatch batches.
+    pub queue_capacity: usize,
+}
+
+impl Default for PepOptions {
+    fn default() -> Self {
+        PepOptions {
+            load_batch_size: 16384,
+            dispatch_batch_size: 64,
+            num_readers: 0,
+            num_workers: 4,
+            prefetch: Vec::new(),
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Per-worker timing statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// Events this worker processed.
+    pub events_processed: u64,
+    /// Time spent inside the user callback.
+    pub processing_time: Duration,
+    /// Time spent waiting on the shared queue.
+    pub waiting_time: Duration,
+}
+
+/// Per-reader timing statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReaderStats {
+    /// Events this reader loaded.
+    pub events_loaded: u64,
+    /// Time spent in storage RPCs (key listing + product prefetch).
+    pub load_time: Duration,
+}
+
+/// Aggregate statistics of one `process` call.
+#[derive(Debug, Clone, Default)]
+pub struct PepStatistics {
+    /// Total events processed (exactly once each).
+    pub total_events: u64,
+    /// Wall-clock duration of the whole call.
+    pub wall_time: Duration,
+    /// Per-worker breakdown.
+    pub workers: Vec<WorkerStats>,
+    /// Per-reader breakdown.
+    pub readers: Vec<ReaderStats>,
+}
+
+impl PepStatistics {
+    /// Ratio of the busiest worker's event count to the mean — 1.0 is
+    /// perfectly balanced. This is the quantity the paper's load-balancing
+    /// argument is about.
+    pub fn load_imbalance(&self) -> f64 {
+        if self.workers.is_empty() || self.total_events == 0 {
+            return 1.0;
+        }
+        let max = self
+            .workers
+            .iter()
+            .map(|w| w.events_processed)
+            .max()
+            .unwrap_or(0) as f64;
+        let mean = self.total_events as f64 / self.workers.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Events per second of wall time.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_time.is_zero() {
+            0.0
+        } else {
+            self.total_events as f64 / self.wall_time.as_secs_f64()
+        }
+    }
+}
+
+/// One event as delivered to the callback, with any prefetched products.
+pub struct PrefetchedEvent {
+    event: Event,
+    /// Prefetched raw product bytes, aligned with `PepOptions::prefetch`.
+    products: Vec<Option<Vec<u8>>>,
+    labels: Arc<Vec<(ProductLabel, String)>>,
+}
+
+impl PrefetchedEvent {
+    /// Build a prefetched event from parts (used by the PEP readers and the
+    /// standalone [`crate::prefetch::Prefetcher`]).
+    pub(crate) fn assemble(
+        event: Event,
+        products: Vec<Option<Vec<u8>>>,
+        labels: Arc<Vec<(ProductLabel, String)>>,
+    ) -> PrefetchedEvent {
+        PrefetchedEvent {
+            event,
+            products,
+            labels,
+        }
+    }
+
+    /// The event handle.
+    pub fn event(&self) -> &Event {
+        &self.event
+    }
+
+    /// Load a product: served from the prefetched bytes when the
+    /// `(label, type)` pair was in [`PepOptions::prefetch`], otherwise a
+    /// direct storage read.
+    pub fn load<T: DeserializeOwned>(
+        &self,
+        label: &ProductLabel,
+    ) -> Result<Option<T>, HepnosError> {
+        let type_name = keys::short_type_name::<T>();
+        if let Some(idx) = self
+            .labels
+            .iter()
+            .position(|(l, t)| l == label && *t == type_name)
+        {
+            return match &self.products[idx] {
+                None => Ok(None),
+                Some(bytes) => binser::from_bytes(bytes)
+                    .map(Some)
+                    .map_err(|e| HepnosError::Serialization(e.to_string())),
+            };
+        }
+        self.event.load(label)
+    }
+}
+
+/// The parallel, load-balanced event iterator.
+pub struct ParallelEventProcessor {
+    datastore: DataStore,
+    options: PepOptions,
+}
+
+type DispatchBatch = Vec<(EventDescriptor, Vec<Option<Vec<u8>>>)>;
+
+impl ParallelEventProcessor {
+    /// Create a processor over `datastore`.
+    pub fn new(datastore: DataStore, options: PepOptions) -> ParallelEventProcessor {
+        ParallelEventProcessor { datastore, options }
+    }
+
+    /// Iterate every event in `dataset`, invoking `callback(worker_id,
+    /// prefetched_event)` exactly once per event, and return the timing
+    /// statistics.
+    pub fn process<F>(
+        &self,
+        dataset: &DataSet,
+        callback: F,
+    ) -> Result<PepStatistics, HepnosError>
+    where
+        F: Fn(usize, &PrefetchedEvent) + Send + Sync,
+    {
+        let uuid = dataset.uuid().ok_or_else(|| {
+            HepnosError::InvalidPath("cannot process the root dataset".into())
+        })?;
+        let opts = &self.options;
+        let n_dbs = self.datastore.num_event_databases();
+        let n_readers = if opts.num_readers == 0 {
+            n_dbs
+        } else {
+            opts.num_readers.min(n_dbs).max(1)
+        };
+        let n_workers = opts.num_workers.max(1);
+        let labels = Arc::new(opts.prefetch.clone());
+        let (tx, rx) = channel::bounded::<DispatchBatch>(opts.queue_capacity.max(1));
+        let reader_stats: Arc<Mutex<Vec<ReaderStats>>> =
+            Arc::new(Mutex::new(vec![ReaderStats::default(); n_readers]));
+        let worker_stats: Arc<Mutex<Vec<WorkerStats>>> =
+            Arc::new(Mutex::new(vec![WorkerStats::default(); n_workers]));
+        let first_error: Arc<Mutex<Option<HepnosError>>> = Arc::new(Mutex::new(None));
+        let t0 = Instant::now();
+        let callback = &callback;
+
+        std::thread::scope(|scope| {
+            // ------------------------------------------------ readers
+            for reader_id in 0..n_readers {
+                let tx = tx.clone();
+                let datastore = self.datastore.clone();
+                let labels = Arc::clone(&labels);
+                let reader_stats = Arc::clone(&reader_stats);
+                let first_error = Arc::clone(&first_error);
+                let opts = opts.clone();
+                scope.spawn(move || {
+                    // Round-robin assignment of event databases to readers.
+                    let my_dbs: Vec<usize> = (0..n_dbs)
+                        .filter(|db| db % n_readers == reader_id)
+                        .collect();
+                    let mut stats = ReaderStats::default();
+                    for db_idx in my_dbs {
+                        if let Err(e) = read_database(
+                            &datastore,
+                            &uuid,
+                            db_idx,
+                            &opts,
+                            &labels,
+                            &tx,
+                            &mut stats,
+                        ) {
+                            *first_error.lock() = Some(e);
+                            break;
+                        }
+                    }
+                    reader_stats.lock()[reader_id] = stats;
+                });
+            }
+            drop(tx); // workers see channel close when all readers finish
+
+            // ------------------------------------------------ workers
+            for worker_id in 0..n_workers {
+                let rx = rx.clone();
+                let datastore = self.datastore.clone();
+                let labels = Arc::clone(&labels);
+                let worker_stats = Arc::clone(&worker_stats);
+                scope.spawn(move || {
+                    let mut stats = WorkerStats::default();
+                    loop {
+                        let wait_start = Instant::now();
+                        let batch = match rx.recv() {
+                            Ok(b) => b,
+                            Err(_) => break, // all readers done, queue drained
+                        };
+                        stats.waiting_time += wait_start.elapsed();
+                        let work_start = Instant::now();
+                        for (desc, products) in batch {
+                            let ev = Event::from_descriptor(&datastore, &desc);
+                            let pe = PrefetchedEvent {
+                                event: ev,
+                                products,
+                                labels: Arc::clone(&labels),
+                            };
+                            callback(worker_id, &pe);
+                            stats.events_processed += 1;
+                        }
+                        stats.processing_time += work_start.elapsed();
+                    }
+                    worker_stats.lock()[worker_id] = stats;
+                });
+            }
+        });
+
+        if let Some(e) = first_error.lock().take() {
+            return Err(e);
+        }
+        let workers = worker_stats.lock().clone();
+        let readers = reader_stats.lock().clone();
+        Ok(PepStatistics {
+            total_events: workers.iter().map(|w| w.events_processed).sum(),
+            wall_time: t0.elapsed(),
+            workers,
+            readers,
+        })
+    }
+}
+
+/// Page all events of `dataset` out of event database `db_idx`, prefetching
+/// products and emitting dispatch batches.
+fn read_database(
+    datastore: &DataStore,
+    dataset: &Uuid,
+    db_idx: usize,
+    opts: &PepOptions,
+    labels: &Arc<Vec<(ProductLabel, String)>>,
+    tx: &channel::Sender<DispatchBatch>,
+    stats: &mut ReaderStats,
+) -> Result<(), HepnosError> {
+    let db = datastore.inner.topo.event_dbs[db_idx].clone();
+    let prefix: Vec<u8> = dataset.as_bytes().to_vec();
+    let mut from = prefix.clone();
+    loop {
+        let t = Instant::now();
+        let page = datastore
+            .inner
+            .client
+            .list_keys(&db, &from, &prefix, opts.load_batch_size)?;
+        stats.load_time += t.elapsed();
+        if page.is_empty() {
+            return Ok(());
+        }
+        from = page.last().expect("page is non-empty").clone();
+        // Decode descriptors.
+        let mut descriptors = Vec::with_capacity(page.len());
+        for key in &page {
+            let (u, r, s, e) = keys::parse_event_key(key).ok_or_else(|| {
+                HepnosError::Storage(yokan::YokanError::Protocol("malformed event key".into()))
+            })?;
+            descriptors.push(EventDescriptor {
+                dataset: u,
+                run: r,
+                subrun: s,
+                event: e,
+            });
+        }
+        // Prefetch products: group product keys by product database, issue
+        // one get_multi per database per label, then scatter back.
+        let mut products: Vec<Vec<Option<Vec<u8>>>> =
+            vec![vec![None; labels.len()]; descriptors.len()];
+        if !labels.is_empty() {
+            let t = Instant::now();
+            prefetch_products(datastore, &page, labels, &mut products)?;
+            stats.load_time += t.elapsed();
+        }
+        stats.events_loaded += descriptors.len() as u64;
+        // Emit dispatch batches.
+        let mut batch: DispatchBatch = Vec::with_capacity(opts.dispatch_batch_size);
+        for (desc, prods) in descriptors.into_iter().zip(products) {
+            batch.push((desc, prods));
+            if batch.len() >= opts.dispatch_batch_size {
+                if tx.send(std::mem::take(&mut batch)).is_err() {
+                    return Ok(()); // workers gone (error path)
+                }
+                batch = Vec::with_capacity(opts.dispatch_batch_size);
+            }
+        }
+        if !batch.is_empty() && tx.send(batch).is_err() {
+            return Ok(());
+        }
+    }
+}
+
+fn prefetch_products(
+    datastore: &DataStore,
+    event_keys: &[Vec<u8>],
+    labels: &[(ProductLabel, String)],
+    out: &mut [Vec<Option<Vec<u8>>>],
+) -> Result<(), HepnosError> {
+    // (db, label_idx) -> (event_idx, product_key)
+    let mut by_db: HashMap<yokan::DbTarget, Vec<(usize, usize, Vec<u8>)>> = HashMap::new();
+    for (ev_idx, ev_key) in event_keys.iter().enumerate() {
+        let db = datastore.inner.product_db(ev_key).clone();
+        let entry = by_db.entry(db).or_default();
+        for (l_idx, (label, type_name)) in labels.iter().enumerate() {
+            let pk = keys::product_key(ev_key, label.as_str(), type_name);
+            entry.push((ev_idx, l_idx, pk));
+        }
+    }
+    for (db, items) in by_db {
+        let keys: Vec<Vec<u8>> = items.iter().map(|(_, _, k)| k.clone()).collect();
+        let values = datastore.inner.client.get_multi(&db, &keys)?;
+        for ((ev_idx, l_idx, _), value) in items.into_iter().zip(values) {
+            out[ev_idx][l_idx] = value;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,166 @@
+//! Standalone product prefetching for sequential iteration (paper §II-D:
+//! "The ParallelEventProcessor object also takes care of prefetching
+//! products associated with an event if requested by the program" — this
+//! module offers the same capability to plain, single-threaded iteration).
+//!
+//! A [`Prefetcher`] is configured with the `(label, type)` pairs to fetch;
+//! given a slice of events it groups the product keys by their home
+//! database and issues one batched `get_multi` per database, turning
+//! `N_events × N_labels` RPCs into `~N_databases`.
+
+use crate::datastore::{DataStore, Event, ProductLabel};
+use crate::error::HepnosError;
+use crate::keys;
+use crate::pep::PrefetchedEvent;
+use std::collections::HashMap;
+
+/// Batched product loader for sequential event iteration.
+pub struct Prefetcher {
+    store: DataStore,
+    labels: Vec<(ProductLabel, String)>,
+}
+
+impl Prefetcher {
+    /// Create a prefetcher over `store` with no labels (add with
+    /// [`Prefetcher::label`]).
+    pub fn new(store: &DataStore) -> Prefetcher {
+        Prefetcher {
+            store: store.clone(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Add a `(label, type)` pair to prefetch. The type name must match
+    /// [`keys::short_type_name`] of the type later loaded.
+    pub fn label(mut self, label: ProductLabel, type_name: impl Into<String>) -> Prefetcher {
+        self.labels.push((label, type_name.into()));
+        self
+    }
+
+    /// Convenience: add a label for type `T`.
+    pub fn label_for<T>(self, label: ProductLabel) -> Prefetcher {
+        let t = keys::short_type_name::<T>();
+        self.label(label, t)
+    }
+
+    /// The configured `(label, type)` pairs.
+    pub fn labels(&self) -> &[(ProductLabel, String)] {
+        &self.labels
+    }
+
+    /// Fetch all configured products for `events` with batched RPCs,
+    /// returning one [`PrefetchedEvent`] per input event (same order).
+    pub fn fetch(&self, events: &[Event]) -> Result<Vec<PrefetchedEvent>, HepnosError> {
+        let labels = std::sync::Arc::new(self.labels.clone());
+        let mut products: Vec<Vec<Option<Vec<u8>>>> =
+            vec![vec![None; self.labels.len()]; events.len()];
+        if !self.labels.is_empty() {
+            // Group product keys by home database.
+            let mut by_db: HashMap<yokan::DbTarget, Vec<(usize, usize, Vec<u8>)>> =
+                HashMap::new();
+            for (ev_idx, ev) in events.iter().enumerate() {
+                let db = self.store.inner.product_db(ev.key()).clone();
+                let entry = by_db.entry(db).or_default();
+                for (l_idx, (label, type_name)) in self.labels.iter().enumerate() {
+                    let pk = keys::product_key(ev.key(), label.as_str(), type_name);
+                    entry.push((ev_idx, l_idx, pk));
+                }
+            }
+            for (db, items) in by_db {
+                let keys: Vec<Vec<u8>> = items.iter().map(|(_, _, k)| k.clone()).collect();
+                let values = self.store.inner.client.get_multi(&db, &keys)?;
+                for ((ev_idx, l_idx, _), value) in items.into_iter().zip(values) {
+                    products[ev_idx][l_idx] = value;
+                }
+            }
+        }
+        Ok(events
+            .iter()
+            .zip(products)
+            .map(|(ev, prods)| {
+                PrefetchedEvent::assemble(ev.clone(), prods, std::sync::Arc::clone(&labels))
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::local_deployment;
+    use crate::WriteBatch;
+    use bedrock::DbCounts;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Calo {
+        e: f32,
+    }
+
+    #[test]
+    fn fetch_serves_products_in_order() {
+        let dep = local_deployment(1, DbCounts::default());
+        let store = dep.datastore();
+        let ds = store.root().create_dataset("pf").unwrap();
+        let sr = ds.create_run(1).unwrap().create_subrun(0).unwrap();
+        let label = ProductLabel::new("calo");
+        let mut batch = WriteBatch::new(&store);
+        for e in 0..50u64 {
+            let ev = batch.create_event(&sr, &ds.uuid().unwrap(), e).unwrap();
+            batch.store(&ev, &label, &Calo { e: e as f32 }).unwrap();
+        }
+        batch.flush().unwrap();
+        let events = sr.events().unwrap();
+        let prefetcher = Prefetcher::new(&store).label_for::<Calo>(label.clone());
+        let fetched = prefetcher.fetch(&events).unwrap();
+        assert_eq!(fetched.len(), 50);
+        for pe in &fetched {
+            let c: Calo = pe.load(&label).unwrap().unwrap();
+            assert_eq!(c.e, pe.event().number() as f32);
+        }
+        dep.shutdown();
+    }
+
+    #[test]
+    fn fetch_uses_batched_rpcs() {
+        let dep = local_deployment(1, DbCounts::default());
+        let store = dep.datastore();
+        let ds = store.root().create_dataset("pf2").unwrap();
+        let sr = ds.create_run(1).unwrap().create_subrun(0).unwrap();
+        let label = ProductLabel::new("calo");
+        let mut batch = WriteBatch::new(&store);
+        for e in 0..200u64 {
+            let ev = batch.create_event(&sr, &ds.uuid().unwrap(), e).unwrap();
+            batch.store(&ev, &label, &Calo { e: 0.0 }).unwrap();
+        }
+        batch.flush().unwrap();
+        let events = sr.events().unwrap();
+        // Count client RPCs around the fetch: at most one get_multi per
+        // product database (8 by default), far fewer than 200 gets.
+        let before = store.endpoint_stats().requests_sent;
+        let prefetcher = Prefetcher::new(&store).label_for::<Calo>(label.clone());
+        prefetcher.fetch(&events).unwrap();
+        let after = store.endpoint_stats().requests_sent;
+        assert!(
+            after - before <= 8,
+            "prefetch used {} RPCs for 200 events",
+            after - before
+        );
+        dep.shutdown();
+    }
+
+    #[test]
+    fn missing_products_are_none() {
+        let dep = local_deployment(1, DbCounts::default());
+        let store = dep.datastore();
+        let ds = store.root().create_dataset("pf3").unwrap();
+        let sr = ds.create_run(1).unwrap().create_subrun(0).unwrap();
+        let ev = sr.create_event(1).unwrap();
+        let prefetcher =
+            Prefetcher::new(&store).label_for::<Calo>(ProductLabel::new("absent"));
+        let fetched = prefetcher.fetch(&[ev]).unwrap();
+        let c: Option<Calo> = fetched[0].load(&ProductLabel::new("absent")).unwrap();
+        assert_eq!(c, None);
+        dep.shutdown();
+    }
+}

@@ -1,0 +1,179 @@
+//! Storage rescaling: redistributing keys after databases are added to or
+//! removed from a deployment.
+//!
+//! The paper's related work (§V) cites Pufferscale (ref. 27), "a technique that
+//! could further improve HEPnOS's potential by allowing users to add and
+//! remove storage resources to it while HEP applications are using it".
+//! This module implements the data-movement half of that idea: given the
+//! *old* and *new* database groups, every key is re-placed by its parent
+//! key and moved if its home changed. Combined with
+//! [`crate::placement::RingPlacement`], growth by one database moves only
+//! ~1/n of the keys (see the placement tests).
+//!
+//! Keys are moved in batches (`put_multi` + `erase`), scanning each old
+//! database with the same paging protocol the iterators use.
+
+use crate::error::HepnosError;
+use crate::keys;
+use crate::placement::Placement;
+use yokan::{DbTarget, YokanClient};
+
+/// Outcome of one rescale pass over a database group.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RescaleStats {
+    /// Keys examined.
+    pub keys_scanned: u64,
+    /// Keys whose home database changed (moved).
+    pub keys_moved: u64,
+    /// Total bytes (keys + values) rewritten.
+    pub bytes_moved: u64,
+}
+
+impl RescaleStats {
+    /// Fraction of scanned keys that had to move.
+    pub fn moved_fraction(&self) -> f64 {
+        if self.keys_scanned == 0 {
+            0.0
+        } else {
+            self.keys_moved as f64 / self.keys_scanned as f64
+        }
+    }
+}
+
+/// How to derive a key's placement input (its parent key) from the key
+/// itself, per database group.
+pub enum PlacementInput {
+    /// Container keys: the placement input is a fixed-length prefix
+    /// (32 bytes for events — the subrun key; 24 for subruns; 16 for runs).
+    Prefix(usize),
+    /// Product keys: the container key is a 24/32/40-byte prefix followed
+    /// by `label#type`. The true length is recovered by checking which
+    /// candidate explains the key's current database under the old
+    /// topology (the key *was* placed by its true parent), preferring the
+    /// longest candidate on ties.
+    Product,
+}
+
+fn product_parent<'k>(
+    key: &'k [u8],
+    current_db: usize,
+    n_old: usize,
+    placement: &dyn Placement,
+) -> Option<&'k [u8]> {
+    for len in [40usize, 32, 24] {
+        if key.len() > len {
+            let suffix = &key[len..];
+            if suffix.contains(&keys::PRODUCT_SEP)
+                && placement.place(&key[..len], n_old) == current_db
+            {
+                return Some(&key[..len]);
+            }
+        }
+    }
+    None
+}
+
+/// Rescale one database group from `old` to `new` membership.
+///
+/// Both slices must be in the canonical (sorted) order the
+/// [`crate::DataStore`] uses; `new` may be larger (growth) or smaller
+/// (shrink) than `old`. Keys already in the right place are not touched.
+pub fn rescale_group(
+    client: &YokanClient,
+    old: &[DbTarget],
+    new: &[DbTarget],
+    placement: &dyn Placement,
+    input: PlacementInput,
+) -> Result<RescaleStats, HepnosError> {
+    const PAGE: usize = 1024;
+    if old.is_empty() || new.is_empty() {
+        return Err(HepnosError::Topology(
+            "rescale needs non-empty old and new groups".into(),
+        ));
+    }
+    let mut stats = RescaleStats::default();
+    // Phase 1: scan every old database and classify. Applying moves only
+    // after the full scan keeps the scan a consistent snapshot (a key moved
+    // into a not-yet-scanned old database would otherwise be re-scanned).
+    let mut moves: Vec<(usize, usize, Vec<u8>, Vec<u8>)> = Vec::new(); // (from, to, k, v)
+    for (old_idx, db) in old.iter().enumerate() {
+        let mut from: Vec<u8> = Vec::new();
+        loop {
+            let page = client.list_keyvals(db, &from, &[], PAGE)?;
+            if page.is_empty() {
+                break;
+            }
+            from = page.last().expect("page non-empty").0.clone();
+            for (k, v) in page {
+                stats.keys_scanned += 1;
+                let parent: &[u8] = match input {
+                    PlacementInput::Prefix(n) => {
+                        if k.len() < n {
+                            // Foreign/garbage key: leave it alone.
+                            continue;
+                        }
+                        &k[..n]
+                    }
+                    PlacementInput::Product => {
+                        match product_parent(&k, old_idx, old.len(), placement) {
+                            Some(p) => p,
+                            None => continue,
+                        }
+                    }
+                };
+                let new_idx = placement.place(parent, new.len());
+                if new[new_idx] != *db {
+                    stats.keys_moved += 1;
+                    stats.bytes_moved += (k.len() + v.len()) as u64;
+                    moves.push((old_idx, new_idx, k, v));
+                }
+            }
+        }
+    }
+    // Phase 2: apply, grouped per destination (one put_multi each), then
+    // erase the originals. Write-before-erase means a crash in between
+    // leaves duplicates, never losses; re-running the rescale converges.
+    moves.sort_by_key(|(_, to, _, _)| *to);
+    let mut i = 0;
+    while i < moves.len() {
+        let to = moves[i].1;
+        let mut batch = Vec::new();
+        let start = i;
+        while i < moves.len() && moves[i].1 == to {
+            batch.push((moves[i].2.clone(), moves[i].3.clone()));
+            i += 1;
+        }
+        client.put_multi(&new[to], &batch)?;
+        // Erase the originals, batched per source database.
+        let mut by_src: std::collections::HashMap<usize, Vec<Vec<u8>>> =
+            std::collections::HashMap::new();
+        for (from_idx, _, k, _) in &moves[start..i] {
+            by_src.entry(*from_idx).or_default().push(k.clone());
+        }
+        for (from_idx, keys) in by_src {
+            client.erase_multi(&old[from_idx], &keys)?;
+        }
+    }
+    Ok(stats)
+}
+
+/// Convenience: rescale the *event* group (placement input = 32-byte subrun
+/// prefix).
+pub fn rescale_events(
+    client: &YokanClient,
+    old: &[DbTarget],
+    new: &[DbTarget],
+    placement: &dyn Placement,
+) -> Result<RescaleStats, HepnosError> {
+    rescale_group(client, old, new, placement, PlacementInput::Prefix(32))
+}
+
+/// Convenience: rescale the *product* group.
+pub fn rescale_products(
+    client: &YokanClient,
+    old: &[DbTarget],
+    new: &[DbTarget],
+    placement: &dyn Placement,
+) -> Result<RescaleStats, HepnosError> {
+    rescale_group(client, old, new, placement, PlacementInput::Product)
+}

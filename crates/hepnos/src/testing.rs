@@ -1,0 +1,103 @@
+//! In-process deployments for tests, examples and benchmarks.
+//!
+//! A [`LocalDeployment`] stands in for the paper's Theta allocation: `n`
+//! server "nodes" (Bedrock-bootstrapped endpoints on one shared local
+//! fabric) plus a client endpoint, with a configurable network model and
+//! backend.
+
+use crate::datastore::DataStore;
+use bedrock::{BackendKind, BedrockServer, ConnectionDescriptor, DbCounts, ServiceConfig};
+use mercurio::local::Fabric;
+use mercurio::NetworkModel;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DEPLOYMENT_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A running in-process HEPnOS deployment.
+pub struct LocalDeployment {
+    fabric: Fabric,
+    servers: Vec<BedrockServer>,
+    datastore: DataStore,
+    descriptors: Vec<ConnectionDescriptor>,
+}
+
+/// Start `n_nodes` in-memory server nodes on an ideal network.
+pub fn local_deployment(n_nodes: usize, counts: DbCounts) -> LocalDeployment {
+    local_deployment_with(
+        n_nodes,
+        counts,
+        BackendKind::Map,
+        None,
+        NetworkModel::default(),
+    )
+}
+
+/// Start a deployment with explicit backend, data directory (for
+/// [`BackendKind::Lsm`]) and network model.
+pub fn local_deployment_with(
+    n_nodes: usize,
+    counts: DbCounts,
+    backend: BackendKind,
+    data_dir: Option<PathBuf>,
+    model: NetworkModel,
+) -> LocalDeployment {
+    assert!(n_nodes > 0, "deployment needs at least one server node");
+    let id = DEPLOYMENT_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let fabric = Fabric::new(model);
+    let mut servers = Vec::with_capacity(n_nodes);
+    let mut descriptors = Vec::with_capacity(n_nodes);
+    for node in 0..n_nodes {
+        let node_dir = data_dir.as_ref().map(|d| d.join(format!("node{node}")));
+        let cfg = ServiceConfig::hepnos_topology(counts, backend, node_dir);
+        let server = bedrock::launch(fabric.endpoint(&format!("server{id}-{node}")), &cfg)
+            .expect("deployment bootstrap failed");
+        descriptors.push(server.descriptor().clone());
+        servers.push(server);
+    }
+    let client_ep = fabric.endpoint(&format!("client{id}"));
+    let datastore =
+        DataStore::connect(client_ep, &descriptors).expect("datastore connect failed");
+    LocalDeployment {
+        fabric,
+        servers,
+        datastore,
+        descriptors,
+    }
+}
+
+impl LocalDeployment {
+    /// A handle to the datastore (cheap clone).
+    pub fn datastore(&self) -> DataStore {
+        self.datastore.clone()
+    }
+
+    /// The shared fabric, for creating extra client endpoints.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Connection descriptors of all server nodes.
+    pub fn descriptors(&self) -> &[ConnectionDescriptor] {
+        &self.descriptors
+    }
+
+    /// Number of server nodes.
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Connect an additional, independent client (its own endpoint).
+    pub fn connect_client(&self, name: &str) -> DataStore {
+        DataStore::connect(self.fabric.endpoint(name), &self.descriptors)
+            .expect("datastore connect failed")
+    }
+
+    /// Tear everything down.
+    pub fn shutdown(self) {
+        for s in self.servers {
+            s.shutdown();
+        }
+        self.fabric.stop();
+    }
+}

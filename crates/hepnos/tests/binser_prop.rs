@@ -1,0 +1,142 @@
+//! Property tests for the binary product serializer: arbitrary nested
+//! values must round-trip exactly, and truncated or extended payloads must
+//! error rather than decode silently.
+
+use hepnos::binser::{from_bytes, to_bytes};
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FlatQuantities {
+    a: u8,
+    b: i16,
+    c: u32,
+    d: i64,
+    e: f32,
+    f: f64,
+    g: bool,
+}
+
+fn flat_strategy() -> impl Strategy<Value = FlatQuantities> {
+    (
+        any::<u8>(),
+        any::<i16>(),
+        any::<u32>(),
+        any::<i64>(),
+        any::<f32>(),
+        any::<f64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(a, b, c, d, e, f, g)| FlatQuantities { a, b, c, d, e, f, g })
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum RecoObject {
+    Nothing,
+    Track { length: f64, hits: u32 },
+    Shower(f32),
+    Pair(u8, i8),
+    Labeled(String),
+}
+
+fn reco_strategy() -> impl Strategy<Value = RecoObject> {
+    prop_oneof![
+        Just(RecoObject::Nothing),
+        (any::<f64>(), any::<u32>())
+            .prop_map(|(length, hits)| RecoObject::Track { length, hits }),
+        any::<f32>().prop_map(RecoObject::Shower),
+        (any::<u8>(), any::<i8>()).prop_map(|(a, b)| RecoObject::Pair(a, b)),
+        ".{0,24}".prop_map(RecoObject::Labeled),
+    ]
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct EventLike {
+    run: u64,
+    subrun: u64,
+    event: u64,
+    quantities: Vec<FlatQuantities>,
+    objects: Vec<RecoObject>,
+    tags: BTreeMap<String, u32>,
+    note: Option<String>,
+    blob: Vec<u8>,
+}
+
+fn event_strategy() -> impl Strategy<Value = EventLike> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(flat_strategy(), 0..6),
+        proptest::collection::vec(reco_strategy(), 0..6),
+        proptest::collection::btree_map(".{0,8}", any::<u32>(), 0..4),
+        proptest::option::of(".{0,16}"),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(
+            |(run, subrun, event, quantities, objects, tags, note, blob)| EventLike {
+                run,
+                subrun,
+                event,
+                quantities,
+                objects,
+                tags,
+                note,
+                blob,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn scalars_round_trip(x in any::<u64>(), y in any::<i32>(), s in ".*") {
+        prop_assert_eq!(from_bytes::<u64>(&to_bytes(&x).unwrap()).unwrap(), x);
+        prop_assert_eq!(from_bytes::<i32>(&to_bytes(&y).unwrap()).unwrap(), y);
+        prop_assert_eq!(from_bytes::<String>(&to_bytes(&s).unwrap()).unwrap(), s);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exact(x in any::<f32>(), y in any::<f64>()) {
+        let bx: f32 = from_bytes(&to_bytes(&x).unwrap()).unwrap();
+        let by: f64 = from_bytes(&to_bytes(&y).unwrap()).unwrap();
+        prop_assert_eq!(bx.to_bits(), x.to_bits());
+        prop_assert_eq!(by.to_bits(), y.to_bits());
+    }
+
+    #[test]
+    fn nested_structures_round_trip(ev in event_strategy()) {
+        let bytes = to_bytes(&ev).unwrap();
+        let back: EventLike = from_bytes(&bytes).unwrap();
+        // Re-encoding the decoded value must give identical bytes (covers
+        // NaN fields, which PartialEq would reject).
+        prop_assert_eq!(to_bytes(&back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn vectors_and_options(v in proptest::collection::vec(
+        proptest::option::of(proptest::collection::vec(any::<u16>(), 0..8)), 0..20)
+    ) {
+        let bytes = to_bytes(&v).unwrap();
+        prop_assert_eq!(from_bytes::<Vec<Option<Vec<u16>>>>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn truncation_and_extension_always_error(
+        ev in event_strategy(),
+        cut in 1usize..16,
+    ) {
+        let bytes = to_bytes(&ev).unwrap();
+        if bytes.len() > cut {
+            prop_assert!(from_bytes::<EventLike>(&bytes[..bytes.len()-cut]).is_err());
+        }
+        let mut longer = bytes.clone();
+        longer.extend(std::iter::repeat_n(0u8, cut));
+        prop_assert!(from_bytes::<EventLike>(&longer).is_err());
+    }
+
+    #[test]
+    fn encoding_is_deterministic(ev in event_strategy()) {
+        prop_assert_eq!(to_bytes(&ev).unwrap(), to_bytes(&ev.clone()).unwrap());
+    }
+}

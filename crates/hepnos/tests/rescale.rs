@@ -1,0 +1,237 @@
+//! Tests for storage rescaling (the Pufferscale-style extension): after
+//! growing or shrinking the event/product database groups, every key must
+//! be reachable at its new home, and ring placement must move only a small
+//! fraction of keys.
+
+use bedrock::{ConnectionDescriptor, DbCounts};
+use hepnos::placement::{ModuloPlacement, RingPlacement};
+use hepnos::rescale::{rescale_events, rescale_products};
+use hepnos::testing::local_deployment;
+use hepnos::{DataStore, ProductLabel, WriteBatch};
+use yokan::{DbTarget, YokanClient};
+
+/// Restrict descriptors to the databases a "smaller" deployment would see:
+/// only events_/products_ indices below the given bounds.
+fn shrink_descriptors(
+    full: &[ConnectionDescriptor],
+    max_events: usize,
+    max_products: usize,
+) -> Vec<ConnectionDescriptor> {
+    full.iter()
+        .map(|d| {
+            let mut d = d.clone();
+            for p in &mut d.providers {
+                p.databases.retain(|name| {
+                    let keep = |prefix: &str, max: usize| {
+                        name.strip_prefix(prefix)
+                            .and_then(|s| s.strip_prefix('_'))
+                            .and_then(|s| s.parse::<usize>().ok())
+                            .map(|i| i < max)
+                    };
+                    if name.starts_with("events") {
+                        keep("events", max_events).unwrap_or(false)
+                    } else if name.starts_with("products") {
+                        keep("products", max_products).unwrap_or(false)
+                    } else {
+                        true
+                    }
+                });
+            }
+            d.providers.retain(|p| !p.databases.is_empty());
+            d
+        })
+        .collect()
+}
+
+fn event_targets(descriptors: &[ConnectionDescriptor], prefix: &str) -> Vec<DbTarget> {
+    let mut v: Vec<DbTarget> = descriptors
+        .iter()
+        .flat_map(|d| {
+            d.providers.iter().flat_map(|p| {
+                p.databases
+                    .iter()
+                    .filter(|n| n.starts_with(prefix))
+                    .map(|n| DbTarget::new(d.address.clone(), p.provider_id, n))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn growth_keeps_every_event_and_product_reachable() {
+    // Deploy with 4 event + 4 product dbs, but initially *use* only 2+2.
+    let dep = local_deployment(
+        1,
+        DbCounts {
+            datasets: 1,
+            runs: 1,
+            subruns: 1,
+            events: 4,
+            products: 4,
+        },
+    );
+    let full = dep.descriptors().to_vec();
+    let small = shrink_descriptors(&full, 2, 2);
+    let store_small =
+        DataStore::connect(dep.fabric().endpoint("small-client"), &small).unwrap();
+    assert_eq!(store_small.num_event_databases(), 2);
+
+    // Populate through the small topology.
+    let ds = store_small.root().create_dataset("rescale").unwrap();
+    let uuid = ds.uuid().unwrap();
+    let label = ProductLabel::new("payload");
+    let run = ds.create_run(1).unwrap();
+    for s in 0..10u64 {
+        let sr = run.create_subrun(s).unwrap();
+        let mut batch = WriteBatch::new(&store_small);
+        for e in 0..30u64 {
+            let ev = batch.create_event(&sr, &uuid, e).unwrap();
+            batch.store(&ev, &label, &vec![(s * 100 + e) as u32; 4]).unwrap();
+        }
+        batch.flush().unwrap();
+    }
+
+    // Grow to the full 4+4 topology and migrate.
+    let client = YokanClient::new(dep.fabric().endpoint("rescale-client"));
+    let placement = ModuloPlacement;
+    let ev_stats = rescale_events(
+        &client,
+        &event_targets(&small, "events"),
+        &event_targets(&full, "events"),
+        &placement,
+    )
+    .unwrap();
+    let pr_stats = rescale_products(
+        &client,
+        &event_targets(&small, "products"),
+        &event_targets(&full, "products"),
+        &placement,
+    )
+    .unwrap();
+    assert_eq!(ev_stats.keys_scanned, 300);
+    assert!(ev_stats.keys_moved > 0, "growth moved nothing: {ev_stats:?}");
+    assert_eq!(pr_stats.keys_scanned, 300);
+    assert!(pr_stats.keys_moved > 0);
+
+    // A client of the NEW topology must see everything in the right place.
+    let store_full = DataStore::connect(dep.fabric().endpoint("full-client"), &full).unwrap();
+    let ds2 = store_full.dataset("rescale").unwrap();
+    let run2 = ds2.run(1).unwrap();
+    let mut total = 0u64;
+    for sr in run2.subruns().unwrap() {
+        let events = sr.events().unwrap();
+        assert_eq!(events.len(), 30, "subrun {} lost events", sr.number());
+        for ev in events {
+            let v: Vec<u32> = ev.load(&label).unwrap().expect("product survived");
+            assert_eq!(v, vec![(sr.number() * 100 + ev.number()) as u32; 4]);
+            total += 1;
+        }
+    }
+    assert_eq!(total, 300);
+    dep.shutdown();
+}
+
+#[test]
+fn shrink_consolidates_back() {
+    let dep = local_deployment(
+        1,
+        DbCounts {
+            datasets: 1,
+            runs: 1,
+            subruns: 1,
+            events: 3,
+            products: 1,
+        },
+    );
+    let full = dep.descriptors().to_vec();
+    let small = shrink_descriptors(&full, 1, 1);
+    let store_full = dep.datastore();
+    let ds = store_full.root().create_dataset("shrink").unwrap();
+    let run = ds.create_run(1).unwrap();
+    for s in 0..9u64 {
+        run.create_subrun(s).unwrap().create_event(0).unwrap();
+    }
+    let client = YokanClient::new(dep.fabric().endpoint("shrink-client"));
+    let stats = rescale_events(
+        &client,
+        &event_targets(&full, "events"),
+        &event_targets(&small, "events"),
+        &ModuloPlacement,
+    )
+    .unwrap();
+    assert_eq!(stats.keys_scanned, 9);
+    // Everything now lives in the single surviving db.
+    let store_small =
+        DataStore::connect(dep.fabric().endpoint("small-client"), &small).unwrap();
+    let run2 = store_small.dataset("shrink").unwrap().run(1).unwrap();
+    let mut n = 0;
+    for sr in run2.subruns().unwrap() {
+        n += sr.events().unwrap().len();
+    }
+    assert_eq!(n, 9);
+    dep.shutdown();
+}
+
+#[test]
+fn ring_placement_moves_fewer_keys_than_modulo() {
+    // The Pufferscale motivation: under consistent hashing, growth by one
+    // database moves ~1/n of the keys; modulo reshuffles most of them.
+    for (name, fraction_limit, use_ring) in
+        [("ring", 0.55, true), ("modulo", 1.0, false)]
+    {
+        let dep = local_deployment(
+            1,
+            DbCounts {
+                datasets: 1,
+                runs: 1,
+                subruns: 1,
+                events: 8,
+                products: 1,
+            },
+        );
+        let full = dep.descriptors().to_vec();
+        let small = shrink_descriptors(&full, 7, 1);
+        let ring = RingPlacement::new(128);
+        let modulo = ModuloPlacement;
+        let placement: &dyn hepnos::placement::Placement =
+            if use_ring { &ring } else { &modulo };
+        let store_small = DataStore::connect_with_placement(
+            dep.fabric().endpoint("client-a"),
+            &small,
+            if use_ring {
+                Box::new(RingPlacement::new(128))
+            } else {
+                Box::new(ModuloPlacement)
+            },
+        )
+        .unwrap();
+        let ds = store_small.root().create_dataset("frac").unwrap();
+        let run = ds.create_run(1).unwrap();
+        for s in 0..200u64 {
+            run.create_subrun(s).unwrap().create_event(0).unwrap();
+        }
+        let client = YokanClient::new(dep.fabric().endpoint("client-b"));
+        let stats = rescale_events(
+            &client,
+            &event_targets(&small, "events"),
+            &event_targets(&full, "events"),
+            placement,
+        )
+        .unwrap();
+        assert_eq!(stats.keys_scanned, 200);
+        let frac = stats.moved_fraction();
+        assert!(
+            frac <= fraction_limit,
+            "{name} moved {frac:.2} of keys (limit {fraction_limit})"
+        );
+        if use_ring {
+            assert!(frac < 0.45, "ring should move ~1/8 of keys, moved {frac:.2}");
+        } else {
+            assert!(frac > 0.5, "modulo should reshuffle most keys, moved {frac:.2}");
+        }
+        dep.shutdown();
+    }
+}

@@ -1,0 +1,150 @@
+//! Read cache for point lookups — the analogue of RocksDB's block cache.
+//!
+//! The cache holds recently-read values keyed by user key, bounded by an
+//! approximate byte budget with LRU eviction. Writes and deletes invalidate
+//! their keys; compaction does not (values are unchanged by it).
+
+use std::collections::{BTreeMap, HashMap};
+
+/// An LRU value cache with byte-budget eviction.
+pub(crate) struct ReadCache {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    seq: u64,
+    /// key -> (value, last-use sequence)
+    map: HashMap<Vec<u8>, (Vec<u8>, u64)>,
+    /// last-use sequence -> key (unique: sequences never repeat)
+    order: BTreeMap<u64, Vec<u8>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ReadCache {
+    pub(crate) fn new(capacity_bytes: usize) -> ReadCache {
+        ReadCache {
+            capacity_bytes,
+            used_bytes: 0,
+            seq: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn touch(&mut self, key: &[u8]) {
+        if let Some((_, old_seq)) = self.map.get(key) {
+            let old_seq = *old_seq;
+            self.order.remove(&old_seq);
+            self.seq += 1;
+            self.order.insert(self.seq, key.to_vec());
+            self.map.get_mut(key).expect("key present").1 = self.seq;
+        }
+    }
+
+    pub(crate) fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        if self.map.contains_key(key) {
+            self.touch(key);
+            self.hits += 1;
+            self.map.get(key).map(|(v, _)| v.clone())
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    pub(crate) fn insert(&mut self, key: &[u8], value: &[u8]) {
+        let entry_size = key.len() + value.len();
+        if entry_size > self.capacity_bytes {
+            return; // larger than the whole cache: skip
+        }
+        self.invalidate(key);
+        self.seq += 1;
+        self.map
+            .insert(key.to_vec(), (value.to_vec(), self.seq));
+        self.order.insert(self.seq, key.to_vec());
+        self.used_bytes += entry_size;
+        while self.used_bytes > self.capacity_bytes {
+            let Some((&oldest, _)) = self.order.iter().next() else {
+                break;
+            };
+            let victim = self.order.remove(&oldest).expect("entry exists");
+            if let Some((v, _)) = self.map.remove(&victim) {
+                self.used_bytes -= victim.len() + v.len();
+            }
+        }
+    }
+
+    pub(crate) fn invalidate(&mut self, key: &[u8]) {
+        if let Some((v, seq)) = self.map.remove(key) {
+            self.order.remove(&seq);
+            self.used_bytes -= key.len() + v.len();
+        }
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_invalidate() {
+        let mut c = ReadCache::new(1024);
+        c.insert(b"a", b"1");
+        assert_eq!(c.get(b"a"), Some(b"1".to_vec()));
+        assert_eq!(c.get(b"b"), None);
+        c.invalidate(b"a");
+        assert_eq!(c.get(b"a"), None);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        // Each entry is 2 bytes; capacity 6 = three entries.
+        let mut c = ReadCache::new(6);
+        c.insert(b"a", b"1");
+        c.insert(b"b", b"2");
+        c.insert(b"c", b"3");
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(c.get(b"a").is_some());
+        c.insert(b"d", b"4");
+        assert_eq!(c.get(b"b"), None, "b should have been evicted");
+        assert!(c.get(b"a").is_some());
+        assert!(c.get(b"c").is_some());
+        assert!(c.get(b"d").is_some());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn overwrite_replaces_and_accounts_bytes() {
+        let mut c = ReadCache::new(100);
+        c.insert(b"k", b"short");
+        c.insert(b"k", b"a much longer value than before");
+        assert_eq!(
+            c.get(b"k"),
+            Some(b"a much longer value than before".to_vec())
+        );
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn oversized_entries_are_skipped() {
+        let mut c = ReadCache::new(4);
+        c.insert(b"key", b"value-too-big");
+        assert_eq!(c.get(b"key"), None);
+    }
+}

@@ -1,0 +1,963 @@
+//! The LSM database: WAL + memtable + leveled SSTables.
+//!
+//! Two levels are maintained, which is enough to reproduce RocksDB's cost
+//! structure at the scales HEPnOS databases see:
+//!
+//! * **L0** — tables flushed straight from the memtable; they may overlap,
+//!   and the read path must consult them newest-first;
+//! * **L1** — a sorted, non-overlapping run produced by compaction; it is
+//!   the bottom level, so compaction into it drops tombstones.
+//!
+//! All mutations go through the WAL first; `open` replays any WAL left by a
+//! crash. A plain-text `MANIFEST` (updated via atomic rename) records the
+//! set of live tables.
+
+use crate::cache::ReadCache;
+use crate::memtable::{Memtable, Value};
+use parking_lot::Mutex;
+use crate::sstable::{SstError, SstReader, SstWriter};
+use crate::wal::{Wal, WalRecord};
+use parking_lot::RwLock;
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tuning knobs for a [`Db`].
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Memtable size that triggers a flush to L0.
+    pub memtable_bytes: usize,
+    /// Number of L0 tables that triggers compaction into L1.
+    pub l0_compaction_trigger: usize,
+    /// Target size of each compacted L1 table.
+    pub l1_target_bytes: usize,
+    /// fsync the WAL on every write.
+    pub sync_wal: bool,
+    /// Bloom filter density.
+    pub bloom_bits_per_key: usize,
+    /// Byte budget of the read (value) cache; `0` disables it. This is the
+    /// RocksDB block-cache analogue, serving repeated point lookups from
+    /// memory.
+    pub read_cache_bytes: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            memtable_bytes: 4 << 20,
+            l0_compaction_trigger: 4,
+            l1_target_bytes: 16 << 20,
+            sync_wal: false,
+            bloom_bits_per_key: 10,
+            read_cache_bytes: 0,
+        }
+    }
+}
+
+/// Errors from database operations.
+#[derive(Debug)]
+pub enum DbError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// An SSTable was corrupt or unreadable.
+    Sst(SstError),
+    /// The manifest references a missing file or is malformed.
+    Manifest(String),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Io(e) => write!(f, "db io error: {e}"),
+            DbError::Sst(e) => write!(f, "db sstable error: {e}"),
+            DbError::Manifest(m) => write!(f, "db manifest error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(e)
+    }
+}
+
+impl From<SstError> for DbError {
+    fn from(e: SstError) -> Self {
+        DbError::Sst(e)
+    }
+}
+
+/// An owned key/value pair as returned by scans.
+pub type KeyValue = (Vec<u8>, Vec<u8>);
+
+/// One iterator source feeding the k-way merge.
+type MergeSource = Box<dyn Iterator<Item = (Vec<u8>, Value)>>;
+
+/// A batch of writes applied atomically (single lock acquisition, single WAL
+/// flush). This is what Yokan's `put_multi` maps onto.
+#[derive(Debug, Default, Clone)]
+pub struct WriteBatch {
+    ops: Vec<WalRecord>,
+}
+
+impl WriteBatch {
+    /// Create an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue an insertion.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> &mut Self {
+        self.ops.push(WalRecord::Put(key.to_vec(), value.to_vec()));
+        self
+    }
+
+    /// Queue a deletion.
+    pub fn delete(&mut self, key: &[u8]) -> &mut Self {
+        self.ops.push(WalRecord::Delete(key.to_vec()));
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Operational counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DbStats {
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Entries currently in the memtable.
+    pub memtable_entries: usize,
+    /// Live L0 table count.
+    pub l0_tables: usize,
+    /// Live L1 table count.
+    pub l1_tables: usize,
+}
+
+struct State {
+    memtable: Memtable,
+    wal: Wal,
+    l0: Vec<Arc<SstReader>>, // newest last
+    l1: Vec<Arc<SstReader>>, // sorted by min_key, non-overlapping
+    next_file: u64,
+}
+
+/// An LSM-tree key-value database rooted at a directory.
+pub struct Db {
+    dir: PathBuf,
+    opts: Options,
+    state: RwLock<State>,
+    cache: Option<Mutex<ReadCache>>,
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+}
+
+impl Db {
+    /// Open (creating if needed) a database in `dir`, replaying any WAL and
+    /// manifest left by a previous incarnation.
+    pub fn open(dir: &Path, opts: Options) -> Result<Db, DbError> {
+        std::fs::create_dir_all(dir)?;
+        let manifest = dir.join("MANIFEST");
+        let mut l0 = Vec::new();
+        let mut l1 = Vec::new();
+        let mut next_file = 1u64;
+        if manifest.exists() {
+            let text = std::fs::read_to_string(&manifest)?;
+            for line in text.lines() {
+                let mut parts = line.split_whitespace();
+                match (parts.next(), parts.next()) {
+                    (Some("NEXT"), Some(n)) => {
+                        next_file = n
+                            .parse()
+                            .map_err(|_| DbError::Manifest(format!("bad NEXT line: {line}")))?;
+                    }
+                    (Some("L0"), Some(name)) => {
+                        l0.push(Arc::new(SstReader::open(&dir.join(name))?));
+                    }
+                    (Some("L1"), Some(name)) => {
+                        l1.push(Arc::new(SstReader::open(&dir.join(name))?));
+                    }
+                    (None, _) => {}
+                    _ => return Err(DbError::Manifest(format!("bad line: {line}"))),
+                }
+            }
+        }
+        l1.sort_by(|a, b| a.min_key().cmp(b.min_key()));
+        // Replay the WAL into a fresh memtable, then start a new WAL
+        // containing exactly the replayed state.
+        let wal_path = dir.join("wal.log");
+        let replayed = Wal::replay(&wal_path)?;
+        let mut memtable = Memtable::new();
+        let mut wal = Wal::create(&dir.join("wal.new"), opts.sync_wal)?;
+        for rec in &replayed {
+            wal.append(rec)?;
+            match rec {
+                WalRecord::Put(k, v) => memtable.put(k, v),
+                WalRecord::Delete(k) => memtable.delete(k),
+            }
+        }
+        wal.flush()?;
+        std::fs::rename(dir.join("wal.new"), &wal_path)?;
+        // The renamed file is still open under its old name on some
+        // platforms; recreate the writer against the final path by
+        // re-appending nothing (Unix: the fd follows the inode, which is now
+        // at wal_path, so appends continue to land in the right file).
+        let cache = if opts.read_cache_bytes > 0 {
+            Some(Mutex::new(ReadCache::new(opts.read_cache_bytes)))
+        } else {
+            None
+        };
+        let db = Db {
+            dir: dir.to_path_buf(),
+            opts,
+            state: RwLock::new(State {
+                memtable,
+                wal,
+                l0,
+                l1,
+                next_file,
+            }),
+            cache,
+            flushes: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+        };
+        Ok(db)
+    }
+
+    /// Insert or overwrite a key.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), DbError> {
+        let mut st = self.state.write();
+        st.wal.append(&WalRecord::Put(key.to_vec(), value.to_vec()))?;
+        if !self.opts.sync_wal {
+            st.wal.flush()?;
+        }
+        st.memtable.put(key, value);
+        if let Some(c) = &self.cache {
+            c.lock().invalidate(key);
+        }
+        self.maybe_flush(&mut st)
+    }
+
+    /// Delete a key (idempotent).
+    pub fn delete(&self, key: &[u8]) -> Result<(), DbError> {
+        let mut st = self.state.write();
+        st.wal.append(&WalRecord::Delete(key.to_vec()))?;
+        if !self.opts.sync_wal {
+            st.wal.flush()?;
+        }
+        st.memtable.delete(key);
+        if let Some(c) = &self.cache {
+            c.lock().invalidate(key);
+        }
+        self.maybe_flush(&mut st)
+    }
+
+    /// Apply a batch atomically.
+    pub fn write(&self, batch: &WriteBatch) -> Result<(), DbError> {
+        let mut st = self.state.write();
+        for op in &batch.ops {
+            st.wal.append(op)?;
+        }
+        st.wal.flush()?;
+        for op in &batch.ops {
+            match op {
+                WalRecord::Put(k, v) => st.memtable.put(k, v),
+                WalRecord::Delete(k) => st.memtable.delete(k),
+            }
+            if let Some(c) = &self.cache {
+                let key = match op {
+                    WalRecord::Put(k, _) | WalRecord::Delete(k) => k,
+                };
+                c.lock().invalidate(key);
+            }
+        }
+        self.maybe_flush(&mut st)
+    }
+
+    /// Point lookup over an already-held state guard (no cache involvement).
+    fn get_in(st: &State, key: &[u8]) -> Result<Option<Vec<u8>>, DbError> {
+        if let Some(v) = st.memtable.get(key) {
+            return Ok(match v {
+                Value::Put(data) => Some(data.clone()),
+                Value::Tombstone => None,
+            });
+        }
+        for sst in st.l0.iter().rev() {
+            if let Some(v) = sst.get(key)? {
+                return Ok(match v {
+                    Value::Put(data) => Some(data),
+                    Value::Tombstone => None,
+                });
+            }
+        }
+        let idx = st.l1.partition_point(|t| t.max_key() < key);
+        if let Some(t) = st.l1.get(idx) {
+            if let Some(v) = t.get(key)? {
+                return Ok(match v {
+                    Value::Put(data) => Some(data),
+                    Value::Tombstone => None,
+                });
+            }
+        }
+        Ok(None)
+    }
+
+    /// Atomically insert `value` unless `key` already exists; returns the
+    /// existing value if there is one (and writes nothing). This is the
+    /// primitive concurrent creators race on (e.g. two clients registering
+    /// the same dataset), so it must hold the write lock across the check
+    /// and the insert.
+    pub fn put_if_absent(
+        &self,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<Option<Vec<u8>>, DbError> {
+        let mut st = self.state.write();
+        if let Some(existing) = Self::get_in(&st, key)? {
+            return Ok(Some(existing));
+        }
+        st.wal.append(&WalRecord::Put(key.to_vec(), value.to_vec()))?;
+        if !self.opts.sync_wal {
+            st.wal.flush()?;
+        }
+        st.memtable.put(key, value);
+        if let Some(c) = &self.cache {
+            c.lock().invalidate(key);
+        }
+        self.maybe_flush(&mut st)?;
+        Ok(None)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, DbError> {
+        let st = self.state.read();
+        if let Some(v) = st.memtable.get(key) {
+            return Ok(match v {
+                Value::Put(data) => Some(data.clone()),
+                Value::Tombstone => None,
+            });
+        }
+        // Not in the write buffer: the read cache may serve it without
+        // touching any table.
+        if let Some(c) = &self.cache {
+            if let Some(v) = c.lock().get(key) {
+                return Ok(Some(v));
+            }
+        }
+        let fill = |data: &Vec<u8>| {
+            if let Some(c) = &self.cache {
+                c.lock().insert(key, data);
+            }
+        };
+        for sst in st.l0.iter().rev() {
+            if let Some(v) = sst.get(key)? {
+                return Ok(match v {
+                    Value::Put(data) => {
+                        fill(&data);
+                        Some(data)
+                    }
+                    Value::Tombstone => None,
+                });
+            }
+        }
+        // L1 is non-overlapping: at most one candidate table.
+        let idx = st.l1.partition_point(|t| t.max_key() < key);
+        if let Some(t) = st.l1.get(idx) {
+            if let Some(v) = t.get(key)? {
+                return Ok(match v {
+                    Value::Put(data) => {
+                        fill(&data);
+                        Some(data)
+                    }
+                    Value::Tombstone => None,
+                });
+            }
+        }
+        Ok(None)
+    }
+
+    /// `(hits, misses)` of the read cache (zeros when disabled).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        match &self.cache {
+            Some(c) => {
+                let c = c.lock();
+                (c.hits(), c.misses())
+            }
+            None => (0, 0),
+        }
+    }
+
+    /// Whether the key exists.
+    pub fn contains(&self, key: &[u8]) -> Result<bool, DbError> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Collect up to `limit` live entries with key `>= lower` and
+    /// (optionally) `< upper`, in sorted key order. `limit = 0` means
+    /// unlimited. This is the primitive behind Yokan's `list_keys` /
+    /// `list_keyvals`.
+    pub fn scan(
+        &self,
+        lower: &[u8],
+        upper: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<KeyValue>, DbError> {
+        if upper.is_some_and(|u| u <= lower) {
+            return Ok(Vec::new());
+        }
+        let st = self.state.read();
+        // Sources in precedence order: memtable, L0 newest→oldest, L1.
+        let mut sources: Vec<MergeSource> = Vec::new();
+        let mem_iter = st
+            .memtable
+            .range(
+                Bound::Included(lower),
+                upper.map_or(Bound::Unbounded, Bound::Excluded),
+            )
+            .map(|(k, v)| (k.to_vec(), v.clone()))
+            .collect::<Vec<_>>();
+        sources.push(Box::new(mem_iter.into_iter()));
+        for sst in st.l0.iter().rev() {
+            sources.push(Box::new(sst.iter_range(lower, upper)?));
+        }
+        for sst in &st.l1 {
+            if upper.is_some_and(|u| sst.min_key() >= u) {
+                continue;
+            }
+            if sst.max_key() < lower {
+                continue;
+            }
+            sources.push(Box::new(sst.iter_range(lower, upper)?));
+        }
+        drop(st);
+        let mut merged = MergeIter::new(sources);
+        let mut out = Vec::new();
+        while let Some((k, v)) = merged.next_entry() {
+            if let Value::Put(data) = v {
+                out.push((k, data));
+                if limit != 0 && out.len() >= limit {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Count live entries in `[lower, upper)` (full scan; use sparingly).
+    pub fn count_range(&self, lower: &[u8], upper: Option<&[u8]>) -> Result<usize, DbError> {
+        Ok(self.scan(lower, upper, 0)?.len())
+    }
+
+    /// Force the memtable to L0 regardless of size.
+    pub fn flush(&self) -> Result<(), DbError> {
+        let mut st = self.state.write();
+        self.flush_locked(&mut st)
+    }
+
+    /// Force compaction of all tables into a fresh L1 run.
+    pub fn compact(&self) -> Result<(), DbError> {
+        let mut st = self.state.write();
+        self.flush_locked(&mut st)?;
+        self.compact_locked(&mut st)
+    }
+
+    /// Operational counters.
+    pub fn stats(&self) -> DbStats {
+        let st = self.state.read();
+        DbStats {
+            flushes: self.flushes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            memtable_entries: st.memtable.len(),
+            l0_tables: st.l0.len(),
+            l1_tables: st.l1.len(),
+        }
+    }
+
+    fn maybe_flush(&self, st: &mut State) -> Result<(), DbError> {
+        if st.memtable.approx_bytes() >= self.opts.memtable_bytes {
+            self.flush_locked(st)?;
+            if st.l0.len() >= self.opts.l0_compaction_trigger {
+                self.compact_locked(st)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn sst_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("{id:08}.sst"))
+    }
+
+    fn flush_locked(&self, st: &mut State) -> Result<(), DbError> {
+        if st.memtable.is_empty() {
+            return Ok(());
+        }
+        let id = st.next_file;
+        st.next_file += 1;
+        let path = self.sst_path(id);
+        let mut w = SstWriter::create(&path, self.opts.bloom_bits_per_key)?;
+        for (k, v) in st.memtable.iter() {
+            w.add(k, v)?;
+        }
+        let reader = w.finish()?;
+        st.l0.push(Arc::new(reader));
+        st.memtable = Memtable::new();
+        st.wal = Wal::create(&self.dir.join("wal.log"), self.opts.sync_wal)?;
+        self.write_manifest(st)?;
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn compact_locked(&self, st: &mut State) -> Result<(), DbError> {
+        if st.l0.is_empty() && st.l1.len() <= 1 {
+            return Ok(());
+        }
+        let mut sources: Vec<MergeSource> = Vec::new();
+        for sst in st.l0.iter().rev() {
+            sources.push(Box::new(sst.iter_all()?));
+        }
+        for sst in &st.l1 {
+            sources.push(Box::new(sst.iter_all()?));
+        }
+        let mut merged = MergeIter::new(sources);
+        let mut new_l1: Vec<Arc<SstReader>> = Vec::new();
+        let mut writer: Option<SstWriter> = None;
+        let mut written = 0usize;
+        while let Some((k, v)) = merged.next_entry() {
+            // Bottom level: tombstones shadow nothing below them, drop them.
+            let Value::Put(data) = v else { continue };
+            if writer.is_none() {
+                let id = st.next_file;
+                st.next_file += 1;
+                writer = Some(SstWriter::create(
+                    &self.sst_path(id),
+                    self.opts.bloom_bits_per_key,
+                )?);
+                written = 0;
+            }
+            let w = writer.as_mut().expect("writer was just created");
+            w.add(&k, &Value::Put(data.clone()))?;
+            written += k.len() + data.len();
+            if written >= self.opts.l1_target_bytes {
+                let r = writer.take().expect("writer present").finish()?;
+                new_l1.push(Arc::new(r));
+            }
+        }
+        if let Some(w) = writer {
+            new_l1.push(Arc::new(w.finish()?));
+        }
+        let old: Vec<PathBuf> = st
+            .l0
+            .iter()
+            .chain(st.l1.iter())
+            .map(|t| t.path().to_path_buf())
+            .collect();
+        st.l0.clear();
+        st.l1 = new_l1;
+        self.write_manifest(st)?;
+        for p in old {
+            std::fs::remove_file(&p).ok();
+        }
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_manifest(&self, st: &State) -> Result<(), DbError> {
+        let mut text = format!("NEXT {}\n", st.next_file);
+        for t in &st.l0 {
+            let name = t
+                .path()
+                .file_name()
+                .and_then(|n| n.to_str())
+                .ok_or_else(|| DbError::Manifest("bad sst filename".into()))?;
+            text.push_str(&format!("L0 {name}\n"));
+        }
+        for t in &st.l1 {
+            let name = t
+                .path()
+                .file_name()
+                .and_then(|n| n.to_str())
+                .ok_or_else(|| DbError::Manifest("bad sst filename".into()))?;
+            text.push_str(&format!("L1 {name}\n"));
+        }
+        let tmp = self.dir.join("MANIFEST.tmp");
+        std::fs::write(&tmp, &text)?;
+        std::fs::rename(&tmp, self.dir.join("MANIFEST"))?;
+        Ok(())
+    }
+}
+
+/// K-way merge over precedence-ordered sources (earlier sources win on
+/// duplicate keys). Sources must each yield sorted, per-source-unique keys.
+struct MergeIter {
+    sources: Vec<std::iter::Peekable<MergeSource>>,
+}
+
+impl MergeIter {
+    fn new(sources: Vec<MergeSource>) -> Self {
+        MergeIter {
+            sources: sources.into_iter().map(|s| s.peekable()).collect(),
+        }
+    }
+
+    fn next_entry(&mut self) -> Option<(Vec<u8>, Value)> {
+        // Find the smallest key among the heads.
+        let mut min_key: Option<Vec<u8>> = None;
+        for src in self.sources.iter_mut() {
+            if let Some((k, _)) = src.peek() {
+                if min_key.as_ref().is_none_or(|m| k < m) {
+                    min_key = Some(k.clone());
+                }
+            }
+        }
+        let key = min_key?;
+        // Take from the highest-precedence source holding that key; advance
+        // every other source past it.
+        let mut winner: Option<Value> = None;
+        for src in self.sources.iter_mut() {
+            if src.peek().is_some_and(|(k, _)| k == &key) {
+                let (_, v) = src.next().expect("peeked entry must exist");
+                if winner.is_none() {
+                    winner = Some(v);
+                }
+            }
+        }
+        Some((key, winner.expect("at least one source held the key")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "lsmdb-db-{}-{name}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn small_opts() -> Options {
+        Options {
+            memtable_bytes: 1024,
+            l0_compaction_trigger: 3,
+            l1_target_bytes: 4096,
+            sync_wal: false,
+            bloom_bits_per_key: 10,
+            read_cache_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn put_get_delete_basic() {
+        let d = tmpdir("basic");
+        let db = Db::open(&d, Options::default()).unwrap();
+        db.put(b"k1", b"v1").unwrap();
+        assert_eq!(db.get(b"k1").unwrap(), Some(b"v1".to_vec()));
+        assert!(db.contains(b"k1").unwrap());
+        db.delete(b"k1").unwrap();
+        assert_eq!(db.get(b"k1").unwrap(), None);
+        assert!(!db.contains(b"k1").unwrap());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn survives_flush_and_compaction() {
+        let d = tmpdir("flushcompact");
+        let db = Db::open(&d, small_opts()).unwrap();
+        let mut model = BTreeMap::new();
+        for i in 0..2000u32 {
+            let k = format!("key{:06}", i % 700);
+            let v = format!("value-{i}");
+            db.put(k.as_bytes(), v.as_bytes()).unwrap();
+            model.insert(k, v);
+        }
+        let stats = db.stats();
+        assert!(stats.flushes > 0, "expected flushes, got {stats:?}");
+        assert!(stats.compactions > 0, "expected compactions, got {stats:?}");
+        for (k, v) in &model {
+            assert_eq!(
+                db.get(k.as_bytes()).unwrap(),
+                Some(v.clone().into_bytes()),
+                "key {k}"
+            );
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn deletes_survive_compaction() {
+        let d = tmpdir("delcompact");
+        let db = Db::open(&d, small_opts()).unwrap();
+        for i in 0..500u32 {
+            db.put(format!("k{i:04}").as_bytes(), &[0u8; 16]).unwrap();
+        }
+        for i in (0..500u32).step_by(2) {
+            db.delete(format!("k{i:04}").as_bytes()).unwrap();
+        }
+        db.compact().unwrap();
+        for i in 0..500u32 {
+            let got = db.get(format!("k{i:04}").as_bytes()).unwrap();
+            if i % 2 == 0 {
+                assert_eq!(got, None, "k{i:04} should be deleted");
+            } else {
+                assert!(got.is_some(), "k{i:04} should exist");
+            }
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn scan_is_sorted_and_bounded() {
+        let d = tmpdir("scan");
+        let db = Db::open(&d, small_opts()).unwrap();
+        for i in (0..100u32).rev() {
+            db.put(format!("k{i:04}").as_bytes(), format!("{i}").as_bytes())
+                .unwrap();
+        }
+        let all = db.scan(b"", None, 0).unwrap();
+        assert_eq!(all.len(), 100);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        let bounded = db.scan(b"k0010", Some(b"k0020"), 0).unwrap();
+        assert_eq!(bounded.len(), 10);
+        assert_eq!(bounded[0].0, b"k0010".to_vec());
+        let limited = db.scan(b"", None, 7).unwrap();
+        assert_eq!(limited.len(), 7);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn scan_sees_through_levels_with_correct_precedence() {
+        let d = tmpdir("scanlevels");
+        let db = Db::open(&d, small_opts()).unwrap();
+        db.put(b"a", b"old").unwrap();
+        db.flush().unwrap();
+        db.put(b"a", b"mid").unwrap();
+        db.flush().unwrap();
+        db.put(b"a", b"new").unwrap(); // memtable
+        db.put(b"b", b"1").unwrap();
+        db.delete(b"b").unwrap();
+        let got = db.scan(b"", None, 0).unwrap();
+        assert_eq!(got, vec![(b"a".to_vec(), b"new".to_vec())]);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn write_batch_is_atomic_and_visible() {
+        let d = tmpdir("batch");
+        let db = Db::open(&d, Options::default()).unwrap();
+        let mut batch = WriteBatch::new();
+        batch.put(b"x", b"1").put(b"y", b"2").delete(b"x");
+        assert_eq!(batch.len(), 3);
+        db.write(&batch).unwrap();
+        assert_eq!(db.get(b"x").unwrap(), None);
+        assert_eq!(db.get(b"y").unwrap(), Some(b"2".to_vec()));
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn reopen_recovers_from_wal() {
+        let d = tmpdir("walrecover");
+        {
+            let db = Db::open(&d, Options::default()).unwrap();
+            db.put(b"persist", b"me").unwrap();
+            db.delete(b"gone").unwrap();
+            // Dropped without flush: data only in WAL.
+        }
+        let db = Db::open(&d, Options::default()).unwrap();
+        assert_eq!(db.get(b"persist").unwrap(), Some(b"me".to_vec()));
+        assert_eq!(db.get(b"gone").unwrap(), None);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn reopen_recovers_ssts_and_wal_together() {
+        let d = tmpdir("fullrecover");
+        {
+            let db = Db::open(&d, small_opts()).unwrap();
+            for i in 0..300u32 {
+                db.put(format!("k{i:05}").as_bytes(), &[7u8; 32]).unwrap();
+            }
+            db.put(b"late", b"write").unwrap();
+        }
+        let db = Db::open(&d, small_opts()).unwrap();
+        for i in 0..300u32 {
+            assert!(db.get(format!("k{i:05}").as_bytes()).unwrap().is_some());
+        }
+        assert_eq!(db.get(b"late").unwrap(), Some(b"write".to_vec()));
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn overwrite_across_reopen() {
+        let d = tmpdir("overwrite");
+        {
+            let db = Db::open(&d, small_opts()).unwrap();
+            db.put(b"k", b"v1").unwrap();
+            db.flush().unwrap();
+            db.put(b"k", b"v2").unwrap();
+        }
+        let db = Db::open(&d, small_opts()).unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v2".to_vec()));
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn count_range() {
+        let d = tmpdir("count");
+        let db = Db::open(&d, Options::default()).unwrap();
+        for i in 0..50u32 {
+            db.put(format!("p{i:03}").as_bytes(), b"x").unwrap();
+        }
+        assert_eq!(db.count_range(b"p", None).unwrap(), 50);
+        assert_eq!(db.count_range(b"p010", Some(b"p020")).unwrap(), 10);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn concurrent_readers_during_writes() {
+        let d = tmpdir("concurrent");
+        let db = Arc::new(Db::open(&d, small_opts()).unwrap());
+        let writer = {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for i in 0..1000u32 {
+                    db.put(format!("k{i:06}").as_bytes(), &[1u8; 64]).unwrap();
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for i in 0..1000u32 {
+                        // Reads may or may not find the key; they must not
+                        // error or return torn data.
+                        if let Some(v) = db.get(format!("k{i:06}").as_bytes()).unwrap() {
+                            assert_eq!(v, vec![1u8; 64]);
+                        }
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        for i in 0..1000u32 {
+            assert!(db.get(format!("k{i:06}").as_bytes()).unwrap().is_some());
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn empty_db_operations() {
+        let d = tmpdir("empty");
+        let db = Db::open(&d, Options::default()).unwrap();
+        assert_eq!(db.get(b"nothing").unwrap(), None);
+        assert!(db.scan(b"", None, 0).unwrap().is_empty());
+        db.flush().unwrap();
+        db.compact().unwrap();
+        std::fs::remove_dir_all(&d).ok();
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "lsmdb-cache-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn cached_opts() -> Options {
+        Options {
+            memtable_bytes: 512,
+            read_cache_bytes: 1 << 20,
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn repeated_sst_reads_hit_the_cache() {
+        let d = tmpdir("hits");
+        let db = Db::open(&d, cached_opts()).unwrap();
+        for i in 0..200u64 {
+            db.put(&i.to_be_bytes(), &[7u8; 64]).unwrap();
+        }
+        db.flush().unwrap(); // everything on "disk"
+        assert_eq!(db.get(&42u64.to_be_bytes()).unwrap(), Some(vec![7u8; 64]));
+        let (h0, m0) = db.cache_stats();
+        assert_eq!(db.get(&42u64.to_be_bytes()).unwrap(), Some(vec![7u8; 64]));
+        let (h1, m1) = db.cache_stats();
+        assert_eq!(h1, h0 + 1, "second read should hit");
+        assert_eq!(m1, m0);
+        drop(db);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn writes_invalidate_cached_values() {
+        let d = tmpdir("invalidate");
+        let db = Db::open(&d, cached_opts()).unwrap();
+        db.put(b"k", b"v1").unwrap();
+        db.flush().unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v1".to_vec())); // fills cache
+        db.put(b"k", b"v2").unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v2".to_vec()));
+        db.flush().unwrap();
+        db.delete(b"k").unwrap();
+        assert_eq!(db.get(b"k").unwrap(), None);
+        drop(db);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn batch_writes_invalidate_too() {
+        let d = tmpdir("batch");
+        let db = Db::open(&d, cached_opts()).unwrap();
+        db.put(b"a", b"old").unwrap();
+        db.flush().unwrap();
+        assert_eq!(db.get(b"a").unwrap(), Some(b"old".to_vec()));
+        let mut wb = WriteBatch::new();
+        wb.put(b"a", b"new").delete(b"b");
+        db.write(&wb).unwrap();
+        assert_eq!(db.get(b"a").unwrap(), Some(b"new".to_vec()));
+        drop(db);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn disabled_cache_reports_zeros() {
+        let d = tmpdir("disabled");
+        let db = Db::open(&d, Options::default()).unwrap();
+        db.put(b"x", b"y").unwrap();
+        db.flush().unwrap();
+        db.get(b"x").unwrap();
+        db.get(b"x").unwrap();
+        assert_eq!(db.cache_stats(), (0, 0));
+        drop(db);
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

@@ -1,0 +1,44 @@
+//! `lsmdb` — a log-structured merge-tree storage engine.
+//!
+//! This crate is the reproduction's substitute for **RocksDB**, which the
+//! paper uses (through Yokan) as HEPnOS's persistent backend writing to
+//! node-local SSDs (§IV-D). The evaluation's in-memory-vs-RocksDB gap at
+//! high node counts (Fig. 2) comes from the LSM cost structure — WAL
+//! appends, memtable flushes, SST read paths and compaction — so the
+//! substitute implements a faithful LSM rather than wrapping a hash map in
+//! a file:
+//!
+//! * [`wal`] — a checksummed write-ahead log replayed on open;
+//! * a sorted in-memory *memtable* with tombstones;
+//! * [`sstable`] — immutable sorted-string tables with a sparse index and a
+//!   [`bloom`] filter per table;
+//! * size-tiered compaction merging level-0 tables into a sorted level-1 run
+//!   and dropping tombstones at the bottom level;
+//! * a `MANIFEST` recording the set of live tables, replayed on open.
+//!
+//! The public entry point is [`Db`].
+//!
+//! # Example
+//!
+//! ```
+//! let dir = std::env::temp_dir().join(format!("lsmdb-doc-{}", std::process::id()));
+//! let db = lsmdb::Db::open(&dir, lsmdb::Options::default()).unwrap();
+//! db.put(b"run/0001", b"payload").unwrap();
+//! assert_eq!(db.get(b"run/0001").unwrap().as_deref(), Some(&b"payload"[..]));
+//! db.delete(b"run/0001").unwrap();
+//! assert_eq!(db.get(b"run/0001").unwrap(), None);
+//! # drop(db); std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bloom;
+mod cache;
+mod crc32;
+mod db;
+mod memtable;
+pub mod sstable;
+pub mod wal;
+
+pub use db::{Db, DbError, DbStats, Options, WriteBatch};
+pub use memtable::Value;

@@ -1,0 +1,623 @@
+//! Sorted-string tables: immutable on-disk runs of sorted key/value entries.
+//!
+//! Layout:
+//!
+//! ```text
+//! [ entries... ][ sparse index ][ bloom filter ][ footer ]
+//! ```
+//!
+//! * entries — `key_len u32 | kind u8 | val_len u32 | key | value`, sorted
+//!   by key, possibly containing tombstones;
+//! * sparse index — every `INDEX_INTERVAL`-th key with its file offset, for
+//!   binary search;
+//! * bloom filter — all keys, consulted before any disk access;
+//! * footer — offsets/lengths of the two metadata sections, entry count,
+//!   min/max keys, and a magic number, all checksummed.
+//!
+//! Readers keep the index and bloom filter in memory and perform positioned
+//! reads for data, which is the RocksDB cost structure (index/filter blocks
+//! pinned, data blocks from disk).
+
+use crate::bloom::BloomFilter;
+use crate::crc32::crc32;
+use crate::memtable::Value;
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: u64 = 0x4845_504E_4F53_5354; // "HEPNOSST"
+const INDEX_INTERVAL: usize = 16;
+const KIND_PUT: u8 = 1;
+const KIND_TOMBSTONE: u8 = 2;
+
+/// Errors from SSTable I/O.
+#[derive(Debug)]
+pub enum SstError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a valid SSTable (bad magic, checksum, or framing).
+    Corrupt(String),
+    /// Keys were added out of order.
+    OutOfOrder,
+}
+
+impl std::fmt::Display for SstError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SstError::Io(e) => write!(f, "sstable io error: {e}"),
+            SstError::Corrupt(m) => write!(f, "corrupt sstable: {m}"),
+            SstError::OutOfOrder => write!(f, "keys added out of sorted order"),
+        }
+    }
+}
+
+impl std::error::Error for SstError {}
+
+impl From<std::io::Error> for SstError {
+    fn from(e: std::io::Error) -> Self {
+        SstError::Io(e)
+    }
+}
+
+fn encode_entry(out: &mut Vec<u8>, key: &[u8], value: &Value) {
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    match value {
+        Value::Put(v) => {
+            out.push(KIND_PUT);
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(key);
+            out.extend_from_slice(v);
+        }
+        Value::Tombstone => {
+            out.push(KIND_TOMBSTONE);
+            out.extend_from_slice(&0u32.to_le_bytes());
+            out.extend_from_slice(key);
+        }
+    }
+}
+
+fn read_entry<R: Read>(r: &mut R) -> Result<Option<(Vec<u8>, Value)>, SstError> {
+    let mut hdr = [0u8; 9];
+    match r.read_exact(&mut hdr[..4]) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    r.read_exact(&mut hdr[4..])?;
+    let key_len = u32::from_le_bytes(hdr[..4].try_into().unwrap()) as usize;
+    let kind = hdr[4];
+    let val_len = u32::from_le_bytes(hdr[5..9].try_into().unwrap()) as usize;
+    let mut key = vec![0u8; key_len];
+    r.read_exact(&mut key)?;
+    let value = match kind {
+        KIND_PUT => {
+            let mut v = vec![0u8; val_len];
+            r.read_exact(&mut v)?;
+            Value::Put(v)
+        }
+        KIND_TOMBSTONE => Value::Tombstone,
+        k => return Err(SstError::Corrupt(format!("bad entry kind {k}"))),
+    };
+    Ok(Some((key, value)))
+}
+
+/// Builds an SSTable; keys must be added in strictly increasing order.
+pub struct SstWriter {
+    path: PathBuf,
+    file: BufWriter<File>,
+    offset: u64,
+    index: Vec<(Vec<u8>, u64)>,
+    keys: Vec<Vec<u8>>,
+    last_key: Option<Vec<u8>>,
+    first_key: Option<Vec<u8>>,
+    count: usize,
+    bits_per_key: usize,
+}
+
+impl SstWriter {
+    /// Start writing a table at `path`.
+    pub fn create(path: &Path, bits_per_key: usize) -> Result<SstWriter, SstError> {
+        let file = BufWriter::new(File::create(path)?);
+        Ok(SstWriter {
+            path: path.to_path_buf(),
+            file,
+            offset: 0,
+            index: Vec::new(),
+            keys: Vec::new(),
+            last_key: None,
+            first_key: None,
+            count: 0,
+            bits_per_key,
+        })
+    }
+
+    /// Append one entry.
+    pub fn add(&mut self, key: &[u8], value: &Value) -> Result<(), SstError> {
+        if let Some(last) = &self.last_key {
+            if key <= last.as_slice() {
+                return Err(SstError::OutOfOrder);
+            }
+        }
+        if self.count.is_multiple_of(INDEX_INTERVAL) {
+            self.index.push((key.to_vec(), self.offset));
+        }
+        let mut buf = Vec::with_capacity(9 + key.len() + 64);
+        encode_entry(&mut buf, key, value);
+        self.file.write_all(&buf)?;
+        self.offset += buf.len() as u64;
+        self.keys.push(key.to_vec());
+        if self.first_key.is_none() {
+            self.first_key = Some(key.to_vec());
+        }
+        self.last_key = Some(key.to_vec());
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Write metadata sections and the footer; returns a reader over the
+    /// finished table.
+    pub fn finish(mut self) -> Result<SstReader, SstError> {
+        // Index section.
+        let index_offset = self.offset;
+        let mut index_buf = Vec::new();
+        index_buf.extend_from_slice(&(self.index.len() as u32).to_le_bytes());
+        for (key, off) in &self.index {
+            index_buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            index_buf.extend_from_slice(key);
+            index_buf.extend_from_slice(&off.to_le_bytes());
+        }
+        self.file.write_all(&index_buf)?;
+        // Bloom section.
+        let bloom_offset = index_offset + index_buf.len() as u64;
+        let mut bloom = BloomFilter::new(self.keys.len(), self.bits_per_key);
+        for k in &self.keys {
+            bloom.insert(k);
+        }
+        let bloom_buf = bloom.encode();
+        self.file.write_all(&bloom_buf)?;
+        // Footer: min/max keys then fixed trailer.
+        let min_key = self.first_key.clone().unwrap_or_default();
+        let max_key = self.last_key.clone().unwrap_or_default();
+        let mut footer = Vec::new();
+        footer.extend_from_slice(&(min_key.len() as u32).to_le_bytes());
+        footer.extend_from_slice(&min_key);
+        footer.extend_from_slice(&(max_key.len() as u32).to_le_bytes());
+        footer.extend_from_slice(&max_key);
+        footer.extend_from_slice(&index_offset.to_le_bytes());
+        footer.extend_from_slice(&(index_buf.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&bloom_offset.to_le_bytes());
+        footer.extend_from_slice(&(bloom_buf.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&(self.count as u64).to_le_bytes());
+        let crc = crc32(&footer);
+        self.file.write_all(&footer)?;
+        self.file.write_all(&crc.to_le_bytes())?;
+        self.file.write_all(&(footer.len() as u32).to_le_bytes())?;
+        self.file.write_all(&MAGIC.to_le_bytes())?;
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        let path = self.path;
+        SstReader::open(&path)
+    }
+}
+
+struct IndexEntry {
+    key: Vec<u8>,
+    offset: u64,
+}
+
+/// A reader over one finished SSTable. Index and bloom filter are held in
+/// memory; entry data is read from disk on demand.
+pub struct SstReader {
+    path: PathBuf,
+    file: Mutex<BufReader<File>>,
+    index: Vec<IndexEntry>,
+    bloom: BloomFilter,
+    min_key: Vec<u8>,
+    max_key: Vec<u8>,
+    count: u64,
+    data_end: u64,
+    file_size: u64,
+}
+
+impl SstReader {
+    /// Open and validate a table.
+    pub fn open(path: &Path) -> Result<SstReader, SstError> {
+        let mut f = File::open(path)?;
+        let file_size = f.metadata()?.len();
+        if file_size < 16 {
+            return Err(SstError::Corrupt("file too small".into()));
+        }
+        // Trailer: crc u32 | footer_len u32 | magic u64.
+        f.seek(SeekFrom::End(-16))?;
+        let mut tail = [0u8; 16];
+        f.read_exact(&mut tail)?;
+        let crc_stored = u32::from_le_bytes(tail[..4].try_into().unwrap());
+        let footer_len = u32::from_le_bytes(tail[4..8].try_into().unwrap()) as u64;
+        let magic = u64::from_le_bytes(tail[8..].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(SstError::Corrupt("bad magic".into()));
+        }
+        if footer_len + 16 > file_size {
+            return Err(SstError::Corrupt("bad footer length".into()));
+        }
+        f.seek(SeekFrom::End(-16 - footer_len as i64))?;
+        let mut footer = vec![0u8; footer_len as usize];
+        f.read_exact(&mut footer)?;
+        if crc32(&footer) != crc_stored {
+            return Err(SstError::Corrupt("footer checksum mismatch".into()));
+        }
+        let mut pos = 0usize;
+        let take_u32 = |pos: &mut usize| -> Result<u32, SstError> {
+            let v = footer
+                .get(*pos..*pos + 4)
+                .ok_or_else(|| SstError::Corrupt("short footer".into()))?;
+            *pos += 4;
+            Ok(u32::from_le_bytes(v.try_into().unwrap()))
+        };
+        let min_len = take_u32(&mut pos)? as usize;
+        let min_key = footer
+            .get(pos..pos + min_len)
+            .ok_or_else(|| SstError::Corrupt("short footer".into()))?
+            .to_vec();
+        pos += min_len;
+        let max_len = take_u32(&mut pos)? as usize;
+        let max_key = footer
+            .get(pos..pos + max_len)
+            .ok_or_else(|| SstError::Corrupt("short footer".into()))?
+            .to_vec();
+        pos += max_len;
+        let take_u64 = |pos: &mut usize| -> Result<u64, SstError> {
+            let v = footer
+                .get(*pos..*pos + 8)
+                .ok_or_else(|| SstError::Corrupt("short footer".into()))?;
+            *pos += 8;
+            Ok(u64::from_le_bytes(v.try_into().unwrap()))
+        };
+        let index_offset = take_u64(&mut pos)?;
+        let index_len = take_u64(&mut pos)?;
+        let bloom_offset = take_u64(&mut pos)?;
+        let bloom_len = take_u64(&mut pos)?;
+        let count = take_u64(&mut pos)?;
+        // Load index.
+        f.seek(SeekFrom::Start(index_offset))?;
+        let mut index_buf = vec![0u8; index_len as usize];
+        f.read_exact(&mut index_buf)?;
+        let mut index = Vec::new();
+        let mut ip = 0usize;
+        if index_buf.len() < 4 {
+            return Err(SstError::Corrupt("short index".into()));
+        }
+        let n_index = u32::from_le_bytes(index_buf[..4].try_into().unwrap()) as usize;
+        ip += 4;
+        for _ in 0..n_index {
+            let klen = u32::from_le_bytes(
+                index_buf
+                    .get(ip..ip + 4)
+                    .ok_or_else(|| SstError::Corrupt("short index".into()))?
+                    .try_into()
+                    .unwrap(),
+            ) as usize;
+            ip += 4;
+            let key = index_buf
+                .get(ip..ip + klen)
+                .ok_or_else(|| SstError::Corrupt("short index".into()))?
+                .to_vec();
+            ip += klen;
+            let offset = u64::from_le_bytes(
+                index_buf
+                    .get(ip..ip + 8)
+                    .ok_or_else(|| SstError::Corrupt("short index".into()))?
+                    .try_into()
+                    .unwrap(),
+            );
+            ip += 8;
+            index.push(IndexEntry { key, offset });
+        }
+        // Load bloom.
+        f.seek(SeekFrom::Start(bloom_offset))?;
+        let mut bloom_buf = vec![0u8; bloom_len as usize];
+        f.read_exact(&mut bloom_buf)?;
+        let bloom = BloomFilter::decode(&bloom_buf)
+            .ok_or_else(|| SstError::Corrupt("bad bloom filter".into()))?;
+        Ok(SstReader {
+            path: path.to_path_buf(),
+            file: Mutex::new(BufReader::new(File::open(path)?)),
+            index,
+            bloom,
+            min_key,
+            max_key,
+            count,
+            data_end: index_offset,
+            file_size,
+        })
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn entry_count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest key in the table.
+    pub fn min_key(&self) -> &[u8] {
+        &self.min_key
+    }
+
+    /// Largest key in the table.
+    pub fn max_key(&self) -> &[u8] {
+        &self.max_key
+    }
+
+    /// On-disk size in bytes.
+    pub fn file_size(&self) -> u64 {
+        self.file_size
+    }
+
+    /// The table's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether the key may be present, per the bloom filter and key range.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        if self.count == 0 {
+            return false;
+        }
+        key >= self.min_key.as_slice()
+            && key <= self.max_key.as_slice()
+            && self.bloom.may_contain(key)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Value>, SstError> {
+        if !self.may_contain(key) {
+            return Ok(None);
+        }
+        let start = self.seek_offset(key);
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(start))?;
+        let mut pos = start;
+        while pos < self.data_end {
+            match read_entry(&mut *f)? {
+                None => break,
+                Some((k, v)) => {
+                    pos = f.stream_position()?;
+                    match k.as_slice().cmp(key) {
+                        std::cmp::Ordering::Less => continue,
+                        std::cmp::Ordering::Equal => return Ok(Some(v)),
+                        std::cmp::Ordering::Greater => return Ok(None),
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Greatest indexed offset whose key is `<= key` (0 if none).
+    fn seek_offset(&self, key: &[u8]) -> u64 {
+        match self
+            .index
+            .binary_search_by(|e| e.key.as_slice().cmp(key))
+        {
+            Ok(i) => self.index[i].offset,
+            Err(0) => 0,
+            Err(i) => self.index[i - 1].offset,
+        }
+    }
+
+    /// Iterate entries with keys in `[lower, upper)`; `upper = None` means
+    /// unbounded. Entries stream from disk in order.
+    pub fn iter_range(
+        &self,
+        lower: &[u8],
+        upper: Option<&[u8]>,
+    ) -> Result<SstRangeIter, SstError> {
+        let start = self.seek_offset(lower);
+        let mut reader = BufReader::new(File::open(&self.path)?);
+        reader.seek(SeekFrom::Start(start))?;
+        Ok(SstRangeIter {
+            reader,
+            pos: start,
+            data_end: self.data_end,
+            lower: lower.to_vec(),
+            upper: upper.map(|u| u.to_vec()),
+        })
+    }
+
+    /// Iterate the entire table.
+    pub fn iter_all(&self) -> Result<SstRangeIter, SstError> {
+        self.iter_range(&[], None)
+    }
+}
+
+/// Streaming iterator over a key range of one table.
+pub struct SstRangeIter {
+    reader: BufReader<File>,
+    pos: u64,
+    data_end: u64,
+    lower: Vec<u8>,
+    upper: Option<Vec<u8>>,
+}
+
+impl Iterator for SstRangeIter {
+    type Item = (Vec<u8>, Value);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.pos < self.data_end {
+            let entry = read_entry(&mut self.reader).ok()??;
+            self.pos = self.reader.stream_position().ok()?;
+            let (k, v) = entry;
+            if k.as_slice() < self.lower.as_slice() {
+                continue;
+            }
+            if let Some(u) = &self.upper {
+                if k.as_slice() >= u.as_slice() {
+                    return None;
+                }
+            }
+            return Some((k, v));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lsmdb-sst-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn build_table(path: &Path, n: u32) -> SstReader {
+        let mut w = SstWriter::create(path, 10).unwrap();
+        for i in 0..n {
+            let key = format!("key{i:06}");
+            if i % 7 == 3 {
+                w.add(key.as_bytes(), &Value::Tombstone).unwrap();
+            } else {
+                w.add(key.as_bytes(), &Value::Put(format!("val{i}").into_bytes()))
+                    .unwrap();
+            }
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let d = tmpdir("rt");
+        let r = build_table(&d.join("t1.sst"), 1000);
+        assert_eq!(r.entry_count(), 1000);
+        assert_eq!(r.min_key(), b"key000000");
+        assert_eq!(r.max_key(), b"key000999");
+        // 501 % 7 != 3, so it is a live entry (500 is a tombstone).
+        assert_eq!(
+            r.get(b"key000501").unwrap(),
+            Some(Value::Put(b"val501".to_vec()))
+        );
+        assert_eq!(r.get(b"key000003").unwrap(), Some(Value::Tombstone));
+        assert_eq!(r.get(b"key001000").unwrap(), None);
+        assert_eq!(r.get(b"absent").unwrap(), None);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn every_key_is_retrievable() {
+        let d = tmpdir("all");
+        let r = build_table(&d.join("t.sst"), 500);
+        for i in 0..500u32 {
+            let key = format!("key{i:06}");
+            let got = r.get(key.as_bytes()).unwrap().unwrap();
+            if i % 7 == 3 {
+                assert_eq!(got, Value::Tombstone);
+            } else {
+                assert_eq!(got, Value::Put(format!("val{i}").into_bytes()));
+            }
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn range_iteration() {
+        let d = tmpdir("range");
+        let r = build_table(&d.join("t.sst"), 100);
+        let got: Vec<_> = r
+            .iter_range(b"key000010", Some(b"key000015"))
+            .unwrap()
+            .map(|(k, _)| String::from_utf8(k).unwrap())
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                "key000010",
+                "key000011",
+                "key000012",
+                "key000013",
+                "key000014"
+            ]
+        );
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn full_iteration_is_sorted_and_complete() {
+        let d = tmpdir("full");
+        let r = build_table(&d.join("t.sst"), 300);
+        let keys: Vec<_> = r.iter_all().unwrap().map(|(k, _)| k).collect();
+        assert_eq!(keys.len(), 300);
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn out_of_order_add_is_rejected() {
+        let d = tmpdir("ooo");
+        let mut w = SstWriter::create(&d.join("t.sst"), 10).unwrap();
+        w.add(b"b", &Value::Put(b"1".to_vec())).unwrap();
+        assert!(matches!(
+            w.add(b"a", &Value::Put(b"2".to_vec())),
+            Err(SstError::OutOfOrder)
+        ));
+        assert!(matches!(
+            w.add(b"b", &Value::Put(b"2".to_vec())),
+            Err(SstError::OutOfOrder)
+        ));
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn empty_table() {
+        let d = tmpdir("empty");
+        let w = SstWriter::create(&d.join("t.sst"), 10).unwrap();
+        let r = w.finish().unwrap();
+        assert_eq!(r.entry_count(), 0);
+        assert_eq!(r.get(b"anything").unwrap(), None);
+        assert_eq!(r.iter_all().unwrap().count(), 0);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let d = tmpdir("badmagic");
+        let p = d.join("t.sst");
+        build_table(&p, 10);
+        let mut data = std::fs::read(&p).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0xFF;
+        std::fs::write(&p, &data).unwrap();
+        assert!(matches!(SstReader::open(&p), Err(SstError::Corrupt(_))));
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn corrupt_footer_checksum_is_rejected() {
+        let d = tmpdir("badcrc");
+        let p = d.join("t.sst");
+        build_table(&p, 10);
+        let mut data = std::fs::read(&p).unwrap();
+        let n = data.len();
+        data[n - 20] ^= 0xFF; // inside the footer body
+        std::fs::write(&p, &data).unwrap();
+        assert!(matches!(SstReader::open(&p), Err(SstError::Corrupt(_))));
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn bloom_filters_skip_absent_prefix() {
+        let d = tmpdir("bloomskip");
+        let r = build_table(&d.join("t.sst"), 1000);
+        // Keys outside [min,max] short-circuit without bloom.
+        assert!(!r.may_contain(b"aaa"));
+        assert!(!r.may_contain(b"zzz"));
+        // In-range absent keys: bloom should reject nearly all.
+        let hits = (0..1000)
+            .filter(|i| r.may_contain(format!("key{i:06}x").as_bytes()))
+            .count();
+        assert!(hits < 100, "bloom passes too many absent keys: {hits}");
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

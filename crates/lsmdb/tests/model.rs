@@ -1,0 +1,146 @@
+//! Property tests: `lsmdb::Db` must behave exactly like an in-memory
+//! `BTreeMap` under arbitrary operation sequences, including across flush,
+//! compaction, and reopen boundaries.
+
+use lsmdb::{Db, Options, WriteBatch};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Batch(Vec<(Vec<u8>, Option<Vec<u8>>)>),
+    Flush,
+    Compact,
+    Reopen,
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Small key space to force overwrites and delete-then-reinsert patterns.
+    (0u32..64).prop_map(|i| format!("key{i:03}").into_bytes())
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (key_strategy(), proptest::collection::vec(any::<u8>(), 0..128))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        2 => key_strategy().prop_map(Op::Delete),
+        1 => proptest::collection::vec(
+            (key_strategy(), proptest::option::of(proptest::collection::vec(any::<u8>(), 0..32))),
+            1..8
+        ).prop_map(Op::Batch),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+fn tiny_opts() -> Options {
+    Options {
+        memtable_bytes: 256, // force frequent flushes
+        l0_compaction_trigger: 2,
+        l1_target_bytes: 1024,
+        sync_wal: false,
+        bloom_bits_per_key: 8,
+        read_cache_bytes: 64, // tiny, to exercise eviction under the model test
+    }
+}
+
+fn fresh_dir(case: u64) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "lsmdb-prop-{}-{case}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    #[test]
+    fn db_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..120), seed in any::<u64>()) {
+        let dir = fresh_dir(seed);
+        let mut db = Db::open(&dir, tiny_opts()).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    db.put(k, v).unwrap();
+                    model.insert(k.clone(), v.clone());
+                }
+                Op::Delete(k) => {
+                    db.delete(k).unwrap();
+                    model.remove(k);
+                }
+                Op::Batch(items) => {
+                    let mut batch = WriteBatch::new();
+                    for (k, v) in items {
+                        match v {
+                            Some(v) => {
+                                batch.put(k, v);
+                                model.insert(k.clone(), v.clone());
+                            }
+                            None => {
+                                batch.delete(k);
+                                model.remove(k);
+                            }
+                        }
+                    }
+                    db.write(&batch).unwrap();
+                }
+                Op::Flush => db.flush().unwrap(),
+                Op::Compact => db.compact().unwrap(),
+                Op::Reopen => {
+                    drop(db);
+                    db = Db::open(&dir, tiny_opts()).unwrap();
+                }
+            }
+        }
+        // Point lookups agree for every key ever touched.
+        for i in 0u32..64 {
+            let k = format!("key{i:03}").into_bytes();
+            prop_assert_eq!(db.get(&k).unwrap(), model.get(&k).cloned());
+        }
+        // Full scan agrees exactly (order and content).
+        let scanned = db.scan(b"", None, 0).unwrap();
+        let expected: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(scanned, expected);
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_bounds_match_model(
+        keys in proptest::collection::btree_set(key_strategy(), 1..40),
+        lo in 0u32..64,
+        hi in 0u32..64,
+        limit in 0usize..20,
+    ) {
+        let dir = fresh_dir(lo as u64 * 1000 + hi as u64 + 7_000_000);
+        let db = Db::open(&dir, tiny_opts()).unwrap();
+        for k in &keys {
+            db.put(k, b"v").unwrap();
+        }
+        let lower = format!("key{lo:03}").into_bytes();
+        let upper = format!("key{hi:03}").into_bytes();
+        let got = db.scan(&lower, Some(&upper), limit).unwrap();
+        let mut expected: Vec<Vec<u8>> = keys
+            .iter()
+            .filter(|k| k.as_slice() >= lower.as_slice() && k.as_slice() < upper.as_slice())
+            .cloned()
+            .collect();
+        expected.sort();
+        if limit != 0 {
+            expected.truncate(limit);
+        }
+        let got_keys: Vec<Vec<u8>> = got.into_iter().map(|(k, _)| k).collect();
+        prop_assert_eq!(got_keys, expected);
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,79 @@
+//! Bulk (RDMA stand-in) regions and handles.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A handle to a read-only memory region exposed by some endpoint, the
+/// analogue of a Mercury bulk handle.
+///
+/// Handles are plain data and are meant to be embedded inside RPC payloads
+/// ([`BulkHandle::encode`] / [`BulkHandle::decode`]); the peer then pulls
+/// the bytes with [`crate::Endpoint::bulk_pull`], which models an RDMA get.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BulkHandle {
+    /// Region id, unique within the owning endpoint.
+    pub id: u64,
+    /// Region size in bytes.
+    pub len: usize,
+}
+
+impl BulkHandle {
+    /// Encoded size on the wire.
+    pub const WIRE_LEN: usize = 8 + 8;
+
+    /// Append this handle to a buffer.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.id);
+        buf.put_u64_le(self.len as u64);
+    }
+
+    /// Encode to a standalone buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(Self::WIRE_LEN);
+        self.encode_into(&mut b);
+        b.freeze()
+    }
+
+    /// Decode from the front of `buf`, advancing it.
+    pub fn decode_from(buf: &mut Bytes) -> Option<BulkHandle> {
+        if buf.remaining() < Self::WIRE_LEN {
+            return None;
+        }
+        let id = buf.get_u64_le();
+        let len = buf.get_u64_le() as usize;
+        Some(BulkHandle { id, len })
+    }
+
+    /// Decode from an exact buffer.
+    pub fn decode(mut buf: Bytes) -> Option<BulkHandle> {
+        Self::decode_from(&mut buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let h = BulkHandle { id: 99, len: 1 << 20 };
+        assert_eq!(BulkHandle::decode(h.encode()), Some(h));
+    }
+
+    #[test]
+    fn decode_short_buffer_is_none() {
+        assert_eq!(BulkHandle::decode(Bytes::from_static(b"123")), None);
+    }
+
+    #[test]
+    fn decode_from_advances() {
+        let a = BulkHandle { id: 1, len: 2 };
+        let b = BulkHandle { id: 3, len: 4 };
+        let mut buf = BytesMut::new();
+        a.encode_into(&mut buf);
+        b.encode_into(&mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(BulkHandle::decode_from(&mut bytes), Some(a));
+        assert_eq!(BulkHandle::decode_from(&mut bytes), Some(b));
+        assert_eq!(BulkHandle::decode_from(&mut bytes), None);
+    }
+}

@@ -1,0 +1,154 @@
+//! The transport-independent endpoint API.
+
+use crate::bulk::BulkHandle;
+use crate::error::RpcError;
+use crate::wire::RpcId;
+use argos::Eventual;
+use bytes::Bytes;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An incoming RPC as seen by a handler.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Address of the calling endpoint.
+    pub source: String,
+    /// The RPC id that was invoked.
+    pub rpc_id: RpcId,
+    /// Provider id the caller targeted (Mochi multiplexes several providers
+    /// behind one endpoint).
+    pub provider_id: u16,
+    /// The inlined payload.
+    pub payload: Bytes,
+}
+
+/// A registered RPC handler. Closures `Fn(Request) -> Result<Bytes, RpcError>`
+/// implement this automatically.
+pub trait RpcHandler: Send + Sync {
+    /// Handle one request, producing the response payload.
+    fn handle(&self, req: Request) -> Result<Bytes, RpcError>;
+}
+
+impl<F> RpcHandler for F
+where
+    F: Fn(Request) -> Result<Bytes, RpcError> + Send + Sync,
+{
+    fn handle(&self, req: Request) -> Result<Bytes, RpcError> {
+        self(req)
+    }
+}
+
+/// Decides *where* a handler invocation runs.
+///
+/// The default executor runs handlers inline on the transport's delivery
+/// thread (Mercury without Margo). Margo installs an executor that pushes
+/// the closure into the argos pool configured for `(rpc_id, provider_id)`.
+pub type Executor =
+    Arc<dyn Fn(RpcId, u16, Box<dyn FnOnce() + Send + 'static>) + Send + Sync + 'static>;
+
+/// The in-flight result of an asynchronous call.
+pub struct PendingResponse {
+    pub(crate) ev: Eventual<Result<Bytes, RpcError>>,
+}
+
+impl PendingResponse {
+    pub(crate) fn new(ev: Eventual<Result<Bytes, RpcError>>) -> Self {
+        PendingResponse { ev }
+    }
+
+    /// An already-failed response (e.g. the send itself failed).
+    pub(crate) fn failed(err: RpcError) -> Self {
+        let ev = Eventual::new();
+        ev.set(Err(err));
+        PendingResponse { ev }
+    }
+
+    /// Block until the response arrives.
+    pub fn wait(self) -> Result<Bytes, RpcError> {
+        self.ev.wait()
+    }
+
+    /// Block with a timeout.
+    pub fn wait_timeout(self, dur: Duration) -> Result<Bytes, RpcError> {
+        match self.ev.wait_timeout(dur) {
+            Ok(r) => r,
+            Err(_) => Err(RpcError::Timeout),
+        }
+    }
+
+    /// Whether the response has arrived.
+    pub fn is_ready(&self) -> bool {
+        self.ev.is_set()
+    }
+}
+
+/// Traffic counters for one endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Requests sent by this endpoint.
+    pub requests_sent: u64,
+    /// Requests received (and dispatched to handlers).
+    pub requests_received: u64,
+    /// Total bytes sent (headers + payloads + bulk).
+    pub bytes_sent: u64,
+    /// Total bytes received.
+    pub bytes_received: u64,
+    /// Bulk bytes pulled *from* this endpoint by remote peers.
+    pub bulk_bytes_served: u64,
+}
+
+/// The common endpoint API implemented by [`crate::local::LocalEndpoint`] and
+/// [`crate::tcp::TcpEndpoint`].
+pub trait Endpoint: Send + Sync {
+    /// This endpoint's address, routable by peers on the same transport.
+    fn address(&self) -> String;
+
+    /// Register (or replace) the handler for an RPC id.
+    fn register(&self, id: RpcId, handler: Arc<dyn RpcHandler>);
+
+    /// Install the executor deciding where handlers run.
+    fn set_executor(&self, exec: Executor);
+
+    /// Issue an asynchronous call; the response is delivered through the
+    /// returned [`PendingResponse`].
+    fn call_async(
+        &self,
+        target: &str,
+        id: RpcId,
+        provider_id: u16,
+        payload: Bytes,
+    ) -> PendingResponse;
+
+    /// Issue a blocking call.
+    fn call(
+        &self,
+        target: &str,
+        id: RpcId,
+        provider_id: u16,
+        payload: Bytes,
+    ) -> Result<Bytes, RpcError> {
+        self.call_async(target, id, provider_id, payload).wait()
+    }
+
+    /// Expose a read-only memory region for remote bulk pulls; returns a
+    /// handle that can be embedded in RPC payloads.
+    fn expose_bulk(&self, data: Bytes) -> BulkHandle;
+
+    /// Release a previously exposed bulk region.
+    fn release_bulk(&self, handle: &BulkHandle);
+
+    /// Pull `len` bytes at `offset` from a bulk region exposed by `owner`.
+    fn bulk_pull(
+        &self,
+        owner: &str,
+        handle: &BulkHandle,
+        offset: usize,
+        len: usize,
+    ) -> Result<Bytes, RpcError>;
+
+    /// Traffic counters.
+    fn stats(&self) -> EndpointStats;
+
+    /// Stop serving; in-flight calls fail with [`RpcError::Shutdown`].
+    fn shutdown(&self);
+}

@@ -1,0 +1,143 @@
+//! RPC error type.
+
+use std::fmt;
+
+/// Errors surfaced by RPC calls and bulk transfers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The target address is not registered on the fabric / reachable.
+    NoSuchEndpoint(String),
+    /// The target endpoint has no handler for the requested RPC id.
+    NoSuchRpc(u16),
+    /// The handler ran and returned an application-level error.
+    Handler(String),
+    /// The call did not complete within the configured timeout.
+    Timeout,
+    /// The sending NIC exceeded its injection bandwidth budget and the
+    /// network model is configured to fail on saturation (the Aries failure
+    /// mode from the paper's evaluation).
+    NetworkSaturated,
+    /// The referenced bulk region does not exist (or was released).
+    NoSuchBulk(u64),
+    /// Requested byte range exceeds the bulk region.
+    BulkOutOfRange {
+        /// Offset requested.
+        offset: usize,
+        /// Length requested.
+        len: usize,
+        /// Actual region size.
+        size: usize,
+    },
+    /// Transport-level failure (connection refused, reset, framing error...).
+    Transport(String),
+    /// A message could not be encoded or decoded.
+    Protocol(String),
+    /// The endpoint is shutting down.
+    Shutdown,
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::NoSuchEndpoint(a) => write!(f, "no such endpoint: {a}"),
+            RpcError::NoSuchRpc(id) => write!(f, "no handler registered for rpc id {id}"),
+            RpcError::Handler(msg) => write!(f, "handler error: {msg}"),
+            RpcError::Timeout => write!(f, "rpc timed out"),
+            RpcError::NetworkSaturated => write!(f, "NIC injection bandwidth saturated"),
+            RpcError::NoSuchBulk(id) => write!(f, "no such bulk region: {id}"),
+            RpcError::BulkOutOfRange { offset, len, size } => write!(
+                f,
+                "bulk range {offset}..{} out of bounds for region of {size} bytes",
+                offset + len
+            ),
+            RpcError::Transport(msg) => write!(f, "transport error: {msg}"),
+            RpcError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            RpcError::Shutdown => write!(f, "endpoint is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// Compact status codes used on the wire to carry errors back to callers.
+impl RpcError {
+    pub(crate) fn to_wire(&self) -> (u8, String) {
+        match self {
+            RpcError::NoSuchEndpoint(a) => (1, a.clone()),
+            RpcError::NoSuchRpc(id) => (2, id.to_string()),
+            RpcError::Handler(m) => (3, m.clone()),
+            RpcError::Timeout => (4, String::new()),
+            RpcError::NetworkSaturated => (5, String::new()),
+            RpcError::NoSuchBulk(id) => (6, id.to_string()),
+            RpcError::BulkOutOfRange { offset, len, size } => {
+                (7, format!("{offset}:{len}:{size}"))
+            }
+            RpcError::Transport(m) => (8, m.clone()),
+            RpcError::Protocol(m) => (9, m.clone()),
+            RpcError::Shutdown => (10, String::new()),
+        }
+    }
+
+    pub(crate) fn from_wire(code: u8, detail: &str) -> RpcError {
+        match code {
+            1 => RpcError::NoSuchEndpoint(detail.to_string()),
+            2 => RpcError::NoSuchRpc(detail.parse().unwrap_or(0)),
+            3 => RpcError::Handler(detail.to_string()),
+            4 => RpcError::Timeout,
+            5 => RpcError::NetworkSaturated,
+            6 => RpcError::NoSuchBulk(detail.parse().unwrap_or(0)),
+            7 => {
+                let mut it = detail.splitn(3, ':').map(|s| s.parse().unwrap_or(0));
+                RpcError::BulkOutOfRange {
+                    offset: it.next().unwrap_or(0),
+                    len: it.next().unwrap_or(0),
+                    size: it.next().unwrap_or(0),
+                }
+            }
+            8 => RpcError::Transport(detail.to_string()),
+            10 => RpcError::Shutdown,
+            _ => RpcError::Protocol(detail.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        let cases = vec![
+            RpcError::NoSuchEndpoint("x".into()),
+            RpcError::NoSuchRpc(9),
+            RpcError::Handler("boom".into()),
+            RpcError::Timeout,
+            RpcError::NetworkSaturated,
+            RpcError::NoSuchBulk(42),
+            RpcError::BulkOutOfRange {
+                offset: 1,
+                len: 2,
+                size: 3,
+            },
+            RpcError::Transport("reset".into()),
+            RpcError::Protocol("bad frame".into()),
+            RpcError::Shutdown,
+        ];
+        for e in cases {
+            let (code, detail) = e.to_wire();
+            assert_eq!(RpcError::from_wire(code, &detail), e);
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = RpcError::BulkOutOfRange {
+            offset: 10,
+            len: 5,
+            size: 12,
+        }
+        .to_string();
+        assert!(s.contains("10..15"));
+        assert!(s.contains("12 bytes"));
+    }
+}

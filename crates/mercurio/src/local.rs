@@ -1,0 +1,780 @@
+//! In-process transport: endpoints routed through a shared [`Fabric`] under
+//! a configurable [`NetworkModel`].
+//!
+//! This is the substitute for Mercury-over-uGNI on the Cray Aries fabric:
+//! every "node" of a simulated deployment creates one endpoint on a common
+//! fabric, and the model injects per-message latency, size-dependent
+//! transfer time, and per-NIC injection-bandwidth accounting (optionally
+//! failing on saturation, as the Aries NIC did in the paper's runs).
+
+use crate::bulk::BulkHandle;
+use crate::endpoint::{Endpoint, EndpointStats, Executor, PendingResponse, Request, RpcHandler};
+use crate::error::RpcError;
+use crate::model::{InjectionGauge, NetworkModel};
+use crate::wire::{Frame, RpcId};
+use argos::Eventual;
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Address scheme prefix for the local transport.
+pub const SCHEME: &str = "local://";
+
+type DeliveryFn = Box<dyn FnOnce() + Send + 'static>;
+
+struct DelayItem {
+    due: Instant,
+    seq: u64,
+    run: DeliveryFn,
+}
+
+impl PartialEq for DelayItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for DelayItem {}
+impl PartialOrd for DelayItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DelayItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by due time (BinaryHeap is a max-heap).
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct DelayLine {
+    queue: Mutex<BinaryHeap<DelayItem>>,
+    cond: Condvar,
+    stop: AtomicBool,
+    seq: AtomicU64,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl DelayLine {
+    fn start() -> Arc<DelayLine> {
+        let line = Arc::new(DelayLine {
+            queue: Mutex::new(BinaryHeap::new()),
+            cond: Condvar::new(),
+            stop: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            handle: Mutex::new(None),
+        });
+        let l2 = Arc::clone(&line);
+        let h = std::thread::Builder::new()
+            .name("mercurio-delay".into())
+            .spawn(move || l2.run())
+            .expect("failed to spawn delay-line thread");
+        *line.handle.lock() = Some(h);
+        line
+    }
+
+    fn schedule(&self, delay: Duration, run: DeliveryFn) {
+        let item = DelayItem {
+            due: Instant::now() + delay,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            run,
+        };
+        self.queue.lock().push(item);
+        self.cond.notify_one();
+    }
+
+    fn run(&self) {
+        let mut q = self.queue.lock();
+        loop {
+            let now = Instant::now();
+            while q.peek().is_some_and(|i| i.due <= now) {
+                let item = q.pop().expect("peeked item must pop");
+                drop(q);
+                (item.run)();
+                q = self.queue.lock();
+            }
+            if self.stop.load(Ordering::Acquire) && q.is_empty() {
+                return;
+            }
+            match q.peek().map(|i| i.due) {
+                Some(due) => {
+                    self.cond.wait_until(&mut q, due);
+                }
+                None => {
+                    self.cond
+                        .wait_for(&mut q, Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.cond.notify_all();
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests_sent: AtomicU64,
+    requests_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    bulk_bytes_served: AtomicU64,
+}
+
+struct EndpointInner {
+    addr: String,
+    handlers: RwLock<HashMap<RpcId, Arc<dyn RpcHandler>>>,
+    executor: RwLock<Executor>,
+    pending: Mutex<HashMap<u64, Eventual<Result<Bytes, RpcError>>>>,
+    next_req: AtomicU64,
+    next_bulk: AtomicU64,
+    bulks: RwLock<HashMap<u64, Bytes>>,
+    gauge: InjectionGauge,
+    counters: Counters,
+    down: AtomicBool,
+}
+
+struct FabricInner {
+    model: NetworkModel,
+    endpoints: RwLock<HashMap<String, Arc<EndpointInner>>>,
+    delay: Option<Arc<DelayLine>>,
+}
+
+/// An in-process network shared by a set of [`LocalEndpoint`]s.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+impl Fabric {
+    /// Create a fabric with the given network model. [`NetworkModel::default`]
+    /// gives an ideal network with synchronous delivery.
+    pub fn new(model: NetworkModel) -> Fabric {
+        let delay = if model.is_ideal() {
+            None
+        } else {
+            Some(DelayLine::start())
+        };
+        Fabric {
+            inner: Arc::new(FabricInner {
+                model,
+                endpoints: RwLock::new(HashMap::new()),
+                delay,
+            }),
+        }
+    }
+
+    /// The fabric's network model.
+    pub fn model(&self) -> &NetworkModel {
+        &self.inner.model
+    }
+
+    /// Create and register an endpoint named `name` (address
+    /// `local://<name>`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken — endpoint identity must be
+    /// unambiguous on a fabric.
+    pub fn endpoint(&self, name: &str) -> Arc<LocalEndpoint> {
+        let addr = format!("{SCHEME}{name}");
+        let inner = Arc::new(EndpointInner {
+            addr: addr.clone(),
+            handlers: RwLock::new(HashMap::new()),
+            executor: RwLock::new(Arc::new(|_, _, f: Box<dyn FnOnce() + Send>| f())),
+            pending: Mutex::new(HashMap::new()),
+            next_req: AtomicU64::new(1),
+            next_bulk: AtomicU64::new(1),
+            bulks: RwLock::new(HashMap::new()),
+            gauge: InjectionGauge::new(&self.inner.model),
+            counters: Counters::default(),
+            down: AtomicBool::new(false),
+        });
+        let mut eps = self.inner.endpoints.write();
+        assert!(
+            !eps.contains_key(&addr),
+            "endpoint name already registered: {addr}"
+        );
+        eps.insert(addr, Arc::clone(&inner));
+        drop(eps);
+        Arc::new(LocalEndpoint {
+            inner,
+            fabric: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Addresses of all registered endpoints.
+    pub fn addresses(&self) -> Vec<String> {
+        let mut v: Vec<_> = self.inner.endpoints.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Stop the delay-line thread (if any). Endpoints remain usable with
+    /// synchronous delivery semantics afterwards only on an ideal model;
+    /// normally called at teardown.
+    pub fn stop(&self) {
+        if let Some(d) = &self.inner.delay {
+            d.stop();
+        }
+    }
+
+    /// Whether an endpoint with this address is currently registered.
+    pub fn is_registered(&self, addr: &str) -> bool {
+        self.inner.endpoints.read().contains_key(addr)
+    }
+}
+
+impl FabricInner {
+    /// Deliver a closure after the model's transfer time for `bytes`.
+    fn deliver(&self, bytes: usize, run: DeliveryFn) {
+        match &self.delay {
+            None => run(),
+            Some(line) => {
+                let t = self.model.transfer_time(bytes);
+                if t.is_zero() {
+                    run()
+                } else {
+                    line.schedule(t, run)
+                }
+            }
+        }
+    }
+}
+
+/// One endpoint on a local [`Fabric`].
+pub struct LocalEndpoint {
+    inner: Arc<EndpointInner>,
+    fabric: Arc<FabricInner>,
+}
+
+impl LocalEndpoint {
+    /// Bytes this endpoint has pushed through its NIC injection gauge.
+    pub fn injected_bytes(&self) -> u64 {
+        self.inner.gauge.total_bytes()
+    }
+
+    /// Number of sends that exceeded the injection budget.
+    pub fn saturation_events(&self) -> u64 {
+        self.inner.gauge.saturation_events()
+    }
+
+    fn check_injection(&self, bytes: usize) -> Result<(), RpcError> {
+        let ok = self.inner.gauge.inject(bytes);
+        if !ok && self.fabric.model.fail_on_saturation {
+            return Err(RpcError::NetworkSaturated);
+        }
+        Ok(())
+    }
+
+    fn dispatch_request(
+        self_fabric: &Arc<FabricInner>,
+        target: &Arc<EndpointInner>,
+        src_addr: String,
+        req_id: u64,
+        rpc_id: RpcId,
+        provider_id: u16,
+        payload: Bytes,
+    ) {
+        target
+            .counters
+            .requests_received
+            .fetch_add(1, Ordering::Relaxed);
+        target
+            .counters
+            .bytes_received
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let handler = target.handlers.read().get(&rpc_id).cloned();
+        let fabric = Arc::clone(self_fabric);
+        let target2 = Arc::clone(target);
+        let exec = target.executor.read().clone();
+        let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+            let result = match handler {
+                None => Err(RpcError::NoSuchRpc(rpc_id.0)),
+                Some(h) => {
+                    if target2.down.load(Ordering::Acquire) {
+                        Err(RpcError::Shutdown)
+                    } else {
+                        h.handle(Request {
+                            source: src_addr.clone(),
+                            rpc_id,
+                            provider_id,
+                            payload,
+                        })
+                    }
+                }
+            };
+            // Send the response back through the fabric (also modeled).
+            let resp_len = match &result {
+                Ok(b) => b.len(),
+                Err(_) => 32,
+            };
+            target2
+                .counters
+                .bytes_sent
+                .fetch_add(resp_len as u64, Ordering::Relaxed);
+            let responder_ok = target2.gauge.inject(resp_len);
+            let result = if !responder_ok && fabric.model.fail_on_saturation {
+                Err(RpcError::NetworkSaturated)
+            } else {
+                result
+            };
+            let caller = fabric.endpoints.read().get(&src_addr).cloned();
+            if let Some(caller) = caller {
+                fabric.deliver(
+                    resp_len,
+                    Box::new(move || {
+                        caller
+                            .counters
+                            .bytes_received
+                            .fetch_add(resp_len as u64, Ordering::Relaxed);
+                        if let Some(ev) = caller.pending.lock().remove(&req_id) {
+                            ev.set(result);
+                        }
+                    }),
+                );
+            }
+        });
+        exec(rpc_id, provider_id, job);
+    }
+}
+
+impl Endpoint for LocalEndpoint {
+    fn address(&self) -> String {
+        self.inner.addr.clone()
+    }
+
+    fn register(&self, id: RpcId, handler: Arc<dyn RpcHandler>) {
+        self.inner.handlers.write().insert(id, handler);
+    }
+
+    fn set_executor(&self, exec: Executor) {
+        *self.inner.executor.write() = exec;
+    }
+
+    fn call_async(
+        &self,
+        target: &str,
+        id: RpcId,
+        provider_id: u16,
+        payload: Bytes,
+    ) -> PendingResponse {
+        if self.inner.down.load(Ordering::Acquire) {
+            return PendingResponse::failed(RpcError::Shutdown);
+        }
+        let Some(target_inner) = self.fabric.endpoints.read().get(target).cloned() else {
+            return PendingResponse::failed(RpcError::NoSuchEndpoint(target.to_string()));
+        };
+        if target_inner.down.load(Ordering::Acquire) {
+            return PendingResponse::failed(RpcError::NoSuchEndpoint(target.to_string()));
+        }
+        let req_id = self.inner.next_req.fetch_add(1, Ordering::Relaxed);
+        // Frame-size accounting matches the wire codec even though the local
+        // transport short-circuits actual encoding for speed.
+        let frame_len = Frame::Request {
+            req_id,
+            rpc_id: id,
+            provider_id,
+            payload: payload.clone(),
+        }
+        .encoded_len();
+        self.inner
+            .counters
+            .requests_sent
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .bytes_sent
+            .fetch_add(frame_len as u64, Ordering::Relaxed);
+        if let Err(e) = self.check_injection(frame_len) {
+            return PendingResponse::failed(e);
+        }
+        let ev = Eventual::new();
+        self.inner.pending.lock().insert(req_id, ev.clone());
+        let fabric = Arc::clone(&self.fabric);
+        let src = self.inner.addr.clone();
+        let fabric2 = Arc::clone(&self.fabric);
+        self.fabric.deliver(
+            frame_len,
+            Box::new(move || {
+                LocalEndpoint::dispatch_request(
+                    &fabric,
+                    &target_inner,
+                    src,
+                    req_id,
+                    id,
+                    provider_id,
+                    payload,
+                );
+            }),
+        );
+        let _ = fabric2; // keep fabric alive for the closure's lifetime
+        PendingResponse::new(ev)
+    }
+
+    fn expose_bulk(&self, data: Bytes) -> BulkHandle {
+        let id = self.inner.next_bulk.fetch_add(1, Ordering::Relaxed);
+        let len = data.len();
+        self.inner.bulks.write().insert(id, data);
+        BulkHandle { id, len }
+    }
+
+    fn release_bulk(&self, handle: &BulkHandle) {
+        self.inner.bulks.write().remove(&handle.id);
+    }
+
+    fn bulk_pull(
+        &self,
+        owner: &str,
+        handle: &BulkHandle,
+        offset: usize,
+        len: usize,
+    ) -> Result<Bytes, RpcError> {
+        if self.inner.down.load(Ordering::Acquire) {
+            return Err(RpcError::Shutdown);
+        }
+        let owner_inner = self
+            .fabric
+            .endpoints
+            .read()
+            .get(owner)
+            .cloned()
+            .ok_or_else(|| RpcError::NoSuchEndpoint(owner.to_string()))?;
+        let region = owner_inner
+            .bulks
+            .read()
+            .get(&handle.id)
+            .cloned()
+            .ok_or(RpcError::NoSuchBulk(handle.id))?;
+        if offset.checked_add(len).is_none_or(|end| end > region.len()) {
+            return Err(RpcError::BulkOutOfRange {
+                offset,
+                len,
+                size: region.len(),
+            });
+        }
+        // The transfer consumes the owner's injection budget (it is the
+        // owner's NIC that pushes the data, as in an RDMA get).
+        let ok = owner_inner.gauge.inject(len);
+        if !ok && self.fabric.model.fail_on_saturation {
+            return Err(RpcError::NetworkSaturated);
+        }
+        owner_inner
+            .counters
+            .bulk_bytes_served
+            .fetch_add(len as u64, Ordering::Relaxed);
+        self.inner
+            .counters
+            .bytes_received
+            .fetch_add(len as u64, Ordering::Relaxed);
+        let t = self.fabric.model.transfer_time(len);
+        if !t.is_zero() {
+            std::thread::sleep(t);
+        }
+        Ok(region.slice(offset..offset + len))
+    }
+
+    fn stats(&self) -> EndpointStats {
+        let c = &self.inner.counters;
+        EndpointStats {
+            requests_sent: c.requests_sent.load(Ordering::Relaxed),
+            requests_received: c.requests_received.load(Ordering::Relaxed),
+            bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: c.bytes_received.load(Ordering::Relaxed),
+            bulk_bytes_served: c.bulk_bytes_served.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shutdown(&self) {
+        self.inner.down.store(true, Ordering::Release);
+        self.fabric.endpoints.write().remove(&self.inner.addr);
+        let mut pending = self.inner.pending.lock();
+        for (_, ev) in pending.drain() {
+            ev.set(Err(RpcError::Shutdown));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn echo_handler() -> Arc<dyn RpcHandler> {
+        Arc::new(|req: Request| Ok(req.payload))
+    }
+
+    #[test]
+    fn basic_call_response() {
+        let fabric = Fabric::new(NetworkModel::default());
+        let s = fabric.endpoint("s");
+        let c = fabric.endpoint("c");
+        s.register(RpcId(1), echo_handler());
+        let out = c
+            .call(&s.address(), RpcId(1), 0, Bytes::from_static(b"ping"))
+            .unwrap();
+        assert_eq!(&out[..], b"ping");
+    }
+
+    #[test]
+    fn unknown_rpc_id_errors() {
+        let fabric = Fabric::new(NetworkModel::default());
+        let s = fabric.endpoint("s");
+        let c = fabric.endpoint("c");
+        let err = c
+            .call(&s.address(), RpcId(5), 0, Bytes::new())
+            .unwrap_err();
+        assert_eq!(err, RpcError::NoSuchRpc(5));
+    }
+
+    #[test]
+    fn unknown_endpoint_errors() {
+        let fabric = Fabric::new(NetworkModel::default());
+        let c = fabric.endpoint("c");
+        let err = c
+            .call("local://ghost", RpcId(1), 0, Bytes::new())
+            .unwrap_err();
+        assert!(matches!(err, RpcError::NoSuchEndpoint(_)));
+    }
+
+    #[test]
+    fn handler_error_propagates() {
+        let fabric = Fabric::new(NetworkModel::default());
+        let s = fabric.endpoint("s");
+        let c = fabric.endpoint("c");
+        s.register(
+            RpcId(1),
+            Arc::new(|_req: Request| Err(RpcError::Handler("nope".into()))),
+        );
+        let err = c.call(&s.address(), RpcId(1), 0, Bytes::new()).unwrap_err();
+        assert_eq!(err, RpcError::Handler("nope".into()));
+    }
+
+    #[test]
+    fn provider_id_reaches_handler() {
+        let fabric = Fabric::new(NetworkModel::default());
+        let s = fabric.endpoint("s");
+        let c = fabric.endpoint("c");
+        s.register(
+            RpcId(1),
+            Arc::new(|req: Request| {
+                Ok(Bytes::copy_from_slice(&req.provider_id.to_le_bytes()))
+            }),
+        );
+        let out = c.call(&s.address(), RpcId(1), 42, Bytes::new()).unwrap();
+        assert_eq!(u16::from_le_bytes([out[0], out[1]]), 42);
+    }
+
+    #[test]
+    fn async_calls_complete_out_of_band() {
+        let fabric = Fabric::new(NetworkModel {
+            latency: Duration::from_millis(5),
+            ..Default::default()
+        });
+        let s = fabric.endpoint("s");
+        let c = fabric.endpoint("c");
+        s.register(RpcId(1), echo_handler());
+        let pending: Vec<_> = (0..10u8)
+            .map(|i| c.call_async(&s.address(), RpcId(1), 0, Bytes::copy_from_slice(&[i])))
+            .collect();
+        for (i, p) in pending.into_iter().enumerate() {
+            assert_eq!(p.wait().unwrap()[0] as usize, i);
+        }
+        fabric.stop();
+    }
+
+    #[test]
+    fn latency_is_applied_both_ways() {
+        let fabric = Fabric::new(NetworkModel {
+            latency: Duration::from_millis(10),
+            ..Default::default()
+        });
+        let s = fabric.endpoint("s");
+        let c = fabric.endpoint("c");
+        s.register(RpcId(1), echo_handler());
+        let t0 = Instant::now();
+        c.call(&s.address(), RpcId(1), 0, Bytes::new()).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        fabric.stop();
+    }
+
+    #[test]
+    fn bulk_expose_pull_release() {
+        let fabric = Fabric::new(NetworkModel::default());
+        let s = fabric.endpoint("s");
+        let c = fabric.endpoint("c");
+        let h = s.expose_bulk(Bytes::from_static(b"0123456789"));
+        assert_eq!(
+            &c.bulk_pull(&s.address(), &h, 2, 4).unwrap()[..],
+            b"2345"
+        );
+        assert_eq!(
+            &c.bulk_pull(&s.address(), &h, 0, 10).unwrap()[..],
+            b"0123456789"
+        );
+        let err = c.bulk_pull(&s.address(), &h, 8, 5).unwrap_err();
+        assert!(matches!(err, RpcError::BulkOutOfRange { .. }));
+        s.release_bulk(&h);
+        assert_eq!(
+            c.bulk_pull(&s.address(), &h, 0, 1).unwrap_err(),
+            RpcError::NoSuchBulk(h.id)
+        );
+    }
+
+    #[test]
+    fn saturation_fails_calls_when_configured() {
+        let fabric = Fabric::new(NetworkModel {
+            injection_bandwidth: 64.0, // 64 B/s x 1 s window = 64-byte budget
+            injection_window: Duration::from_secs(1),
+            fail_on_saturation: true,
+            ..Default::default()
+        });
+        let s = fabric.endpoint("s");
+        let c = fabric.endpoint("c");
+        s.register(RpcId(1), echo_handler());
+        let payload = Bytes::from(vec![0u8; 128]);
+        let err = c
+            .call(&s.address(), RpcId(1), 0, payload)
+            .unwrap_err();
+        assert_eq!(err, RpcError::NetworkSaturated);
+        assert_eq!(c.saturation_events(), 1);
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let fabric = Fabric::new(NetworkModel::default());
+        let s = fabric.endpoint("s");
+        let c = fabric.endpoint("c");
+        s.register(RpcId(1), echo_handler());
+        c.call(&s.address(), RpcId(1), 0, Bytes::from_static(b"xyz"))
+            .unwrap();
+        let cs = c.stats();
+        let ss = s.stats();
+        assert_eq!(cs.requests_sent, 1);
+        assert_eq!(ss.requests_received, 1);
+        assert!(cs.bytes_sent > 3);
+        assert!(cs.bytes_received >= 3);
+    }
+
+    #[test]
+    fn shutdown_fails_new_and_pending_calls() {
+        let fabric = Fabric::new(NetworkModel::default());
+        let s = fabric.endpoint("s");
+        let c = fabric.endpoint("c");
+        s.register(RpcId(1), echo_handler());
+        s.shutdown();
+        let err = c.call(&s.address(), RpcId(1), 0, Bytes::new()).unwrap_err();
+        assert!(matches!(err, RpcError::NoSuchEndpoint(_)));
+        c.shutdown();
+        let err = c.call(&s.address(), RpcId(1), 0, Bytes::new()).unwrap_err();
+        assert_eq!(err, RpcError::Shutdown);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_endpoint_name_panics() {
+        let fabric = Fabric::new(NetworkModel::default());
+        let _a = fabric.endpoint("same");
+        let _b = fabric.endpoint("same");
+    }
+
+    #[test]
+    fn custom_executor_receives_all_requests() {
+        let fabric = Fabric::new(NetworkModel::default());
+        let s = fabric.endpoint("s");
+        let c = fabric.endpoint("c");
+        s.register(RpcId(1), echo_handler());
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        s.set_executor(Arc::new(move |_rpc, _prov, f| {
+            hits2.fetch_add(1, Ordering::SeqCst);
+            f();
+        }));
+        for _ in 0..5 {
+            c.call(&s.address(), RpcId(1), 0, Bytes::new()).unwrap();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn many_concurrent_callers() {
+        let fabric = Fabric::new(NetworkModel::default());
+        let s = fabric.endpoint("s");
+        s.register(
+            RpcId(1),
+            Arc::new(|req: Request| {
+                let n = u64::from_le_bytes(req.payload[..8].try_into().unwrap());
+                Ok(Bytes::copy_from_slice(&(n + 1).to_le_bytes()))
+            }),
+        );
+        let addr = s.address();
+        let mut threads = Vec::new();
+        for t in 0..8u64 {
+            let fabric = fabric.clone();
+            let addr = addr.clone();
+            threads.push(std::thread::spawn(move || {
+                let c = fabric.endpoint(&format!("c{t}"));
+                for i in 0..100u64 {
+                    let out = c
+                        .call(
+                            &addr,
+                            RpcId(1),
+                            0,
+                            Bytes::copy_from_slice(&i.to_le_bytes()),
+                        )
+                        .unwrap();
+                    assert_eq!(u64::from_le_bytes(out[..8].try_into().unwrap()), i + 1);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(s.stats().requests_received, 800);
+    }
+}
+
+#[cfg(test)]
+mod timeout_tests {
+    use super::*;
+    use crate::endpoint::Request;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn pending_response_times_out_on_slow_handler() {
+        let fabric = Fabric::new(NetworkModel::default());
+        let s = fabric.endpoint("slow");
+        let c = fabric.endpoint("client");
+        s.register(
+            RpcId(1),
+            Arc::new(|_req: Request| {
+                std::thread::sleep(Duration::from_millis(200));
+                Ok(bytes::Bytes::new())
+            }),
+        );
+        // Push handler execution off the caller's thread so the timeout can
+        // actually fire while the handler sleeps.
+        s.set_executor(Arc::new(|_rpc, _prov, job| {
+            std::thread::spawn(job);
+        }));
+        let pending = c.call_async(&s.address(), RpcId(1), 0, bytes::Bytes::new());
+        let err = pending.wait_timeout(Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        // A patient caller still gets the response.
+        let ok = c
+            .call_async(&s.address(), RpcId(1), 0, bytes::Bytes::new())
+            .wait_timeout(Duration::from_secs(5));
+        assert!(ok.is_ok());
+    }
+}

@@ -1,0 +1,520 @@
+//! TCP transport: real sockets with length-prefixed frames.
+//!
+//! Used for multi-process deployments (the paper runs servers and clients as
+//! separate `aprun`-launched MPI programs; our analogue is separate OS
+//! processes connected over TCP). Each endpoint owns a listener; connections
+//! are established lazily, carry a one-frame handshake announcing the
+//! dialer's canonical address, and are then used bidirectionally.
+//!
+//! Bulk transfers are implemented with an internal RPC
+//! (`RPC_BULK_PULL`, a reserved id) that streams the requested range back —
+//! the closest TCP analogue of an RDMA get.
+
+use crate::bulk::BulkHandle;
+use crate::endpoint::{Endpoint, EndpointStats, Executor, PendingResponse, Request, RpcHandler};
+use crate::error::RpcError;
+use crate::wire::{Frame, RpcId, RPC_BULK_PULL};
+use argos::Eventual;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Address scheme prefix for the TCP transport.
+pub const SCHEME: &str = "tcp://";
+
+fn write_frame(stream: &mut TcpStream, frame: &Bytes) -> std::io::Result<()> {
+    let mut hdr = [0u8; 4];
+    hdr.copy_from_slice(&(frame.len() as u32).to_le_bytes());
+    stream.write_all(&hdr)?;
+    stream.write_all(frame)?;
+    stream.flush()
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Bytes> {
+    let mut hdr = [0u8; 4];
+    stream.read_exact(&mut hdr)?;
+    let len = u32::from_le_bytes(hdr) as usize;
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf)?;
+    Ok(Bytes::from(buf))
+}
+
+struct Conn {
+    writer: Mutex<TcpStream>,
+}
+
+impl Conn {
+    fn send(&self, frame: &Bytes) -> Result<(), RpcError> {
+        write_frame(&mut self.writer.lock(), frame)
+            .map_err(|e| RpcError::Transport(e.to_string()))
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests_sent: AtomicU64,
+    requests_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    bulk_bytes_served: AtomicU64,
+}
+
+struct TcpInner {
+    addr: String,
+    handlers: RwLock<HashMap<RpcId, Arc<dyn RpcHandler>>>,
+    executor: RwLock<Executor>,
+    pending: Mutex<HashMap<u64, Eventual<Result<Bytes, RpcError>>>>,
+    conns: Mutex<HashMap<String, Arc<Conn>>>,
+    next_req: AtomicU64,
+    next_bulk: AtomicU64,
+    bulks: RwLock<HashMap<u64, Bytes>>,
+    counters: Counters,
+    down: AtomicBool,
+}
+
+/// A TCP endpoint: a listener plus a lazily-populated connection pool.
+pub struct TcpEndpoint {
+    inner: Arc<TcpInner>,
+    listener_port: u16,
+}
+
+impl TcpEndpoint {
+    /// Bind to `127.0.0.1:port` (`port` 0 picks a free port) and start the
+    /// accept loop.
+    pub fn bind(port: u16) -> std::io::Result<Arc<TcpEndpoint>> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let actual = listener.local_addr()?.port();
+        let addr = format!("{SCHEME}127.0.0.1:{actual}");
+        let inner = Arc::new(TcpInner {
+            addr,
+            handlers: RwLock::new(HashMap::new()),
+            executor: RwLock::new(Arc::new(|_, _, f: Box<dyn FnOnce() + Send>| f())),
+            pending: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_req: AtomicU64::new(1),
+            next_bulk: AtomicU64::new(1),
+            bulks: RwLock::new(HashMap::new()),
+            counters: Counters::default(),
+            down: AtomicBool::new(false),
+        });
+        let ep = Arc::new(TcpEndpoint {
+            inner: Arc::clone(&inner),
+            listener_port: actual,
+        });
+        ep.register_bulk_handler();
+        let accept_inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name(format!("mercurio-accept-{actual}"))
+            .spawn(move || accept_loop(listener, accept_inner))
+            .expect("failed to spawn accept thread");
+        Ok(ep)
+    }
+
+    /// The local listener port.
+    pub fn port(&self) -> u16 {
+        self.listener_port
+    }
+
+    fn register_bulk_handler(&self) {
+        let inner = Arc::clone(&self.inner);
+        self.inner.handlers.write().insert(
+            RPC_BULK_PULL,
+            Arc::new(move |req: Request| {
+                let mut p = req.payload;
+                if p.remaining() < 24 {
+                    return Err(RpcError::Protocol("short bulk-pull request".into()));
+                }
+                let id = p.get_u64_le();
+                let offset = p.get_u64_le() as usize;
+                let len = p.get_u64_le() as usize;
+                let region = inner
+                    .bulks
+                    .read()
+                    .get(&id)
+                    .cloned()
+                    .ok_or(RpcError::NoSuchBulk(id))?;
+                if offset.checked_add(len).is_none_or(|end| end > region.len()) {
+                    return Err(RpcError::BulkOutOfRange {
+                        offset,
+                        len,
+                        size: region.len(),
+                    });
+                }
+                inner
+                    .counters
+                    .bulk_bytes_served
+                    .fetch_add(len as u64, Ordering::Relaxed);
+                Ok(region.slice(offset..offset + len))
+            }),
+        );
+    }
+
+    fn connect(&self, target: &str) -> Result<Arc<Conn>, RpcError> {
+        if let Some(c) = self.inner.conns.lock().get(target) {
+            return Ok(Arc::clone(c));
+        }
+        let hostport = target
+            .strip_prefix(SCHEME)
+            .ok_or_else(|| RpcError::NoSuchEndpoint(target.to_string()))?;
+        let stream = TcpStream::connect(hostport)
+            .map_err(|e| RpcError::NoSuchEndpoint(format!("{target}: {e}")))?;
+        stream.set_nodelay(true).ok();
+        let mut write_half = stream
+            .try_clone()
+            .map_err(|e| RpcError::Transport(e.to_string()))?;
+        // Handshake: announce our canonical address so the peer can route
+        // responses and future requests back.
+        let mut hello = BytesMut::new();
+        hello.put_slice(self.inner.addr.as_bytes());
+        write_frame(&mut write_half, &hello.freeze())
+            .map_err(|e| RpcError::Transport(e.to_string()))?;
+        let conn = Arc::new(Conn {
+            writer: Mutex::new(write_half),
+        });
+        self.inner
+            .conns
+            .lock()
+            .insert(target.to_string(), Arc::clone(&conn));
+        let inner = Arc::clone(&self.inner);
+        let peer = target.to_string();
+        let conn2 = Arc::clone(&conn);
+        std::thread::Builder::new()
+            .name("mercurio-tcp-rx".into())
+            .spawn(move || reader_loop(stream, inner, peer, conn2))
+            .expect("failed to spawn reader thread");
+        Ok(conn)
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<TcpInner>) {
+    loop {
+        let (mut stream, _) = match listener.accept() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        if inner.down.load(Ordering::Acquire) {
+            return;
+        }
+        stream.set_nodelay(true).ok();
+        // Read the handshake to learn the peer's canonical address.
+        let peer_addr = match read_frame(&mut stream) {
+            Ok(f) => String::from_utf8_lossy(&f).into_owned(),
+            Err(_) => continue,
+        };
+        let write_half = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        let conn = Arc::new(Conn {
+            writer: Mutex::new(write_half),
+        });
+        inner
+            .conns
+            .lock()
+            .insert(peer_addr.clone(), Arc::clone(&conn));
+        let inner2 = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("mercurio-tcp-rx".into())
+            .spawn(move || reader_loop(stream, inner2, peer_addr, conn))
+            .expect("failed to spawn reader thread");
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, inner: Arc<TcpInner>, peer: String, conn: Arc<Conn>) {
+    loop {
+        let raw = match read_frame(&mut stream) {
+            Ok(r) => r,
+            Err(_) => break,
+        };
+        inner
+            .counters
+            .bytes_received
+            .fetch_add(raw.len() as u64, Ordering::Relaxed);
+        let frame = match Frame::decode(raw) {
+            Ok(f) => f,
+            Err(_) => break,
+        };
+        match frame {
+            Frame::Request {
+                req_id,
+                rpc_id,
+                provider_id,
+                payload,
+            } => {
+                inner
+                    .counters
+                    .requests_received
+                    .fetch_add(1, Ordering::Relaxed);
+                let handler = inner.handlers.read().get(&rpc_id).cloned();
+                let exec = inner.executor.read().clone();
+                let conn = Arc::clone(&conn);
+                let inner2 = Arc::clone(&inner);
+                let peer2 = peer.clone();
+                exec(
+                    rpc_id,
+                    provider_id,
+                    Box::new(move || {
+                        let result = match handler {
+                            None => Err(RpcError::NoSuchRpc(rpc_id.0)),
+                            Some(h) => h.handle(Request {
+                                source: peer2,
+                                rpc_id,
+                                provider_id,
+                                payload,
+                            }),
+                        };
+                        let resp = Frame::Response {
+                            req_id,
+                            result: result.map_err(|e| e.to_wire()),
+                        }
+                        .encode();
+                        inner2
+                            .counters
+                            .bytes_sent
+                            .fetch_add(resp.len() as u64, Ordering::Relaxed);
+                        let _ = conn.send(&resp);
+                    }),
+                );
+            }
+            Frame::Response { req_id, result } => {
+                if let Some(ev) = inner.pending.lock().remove(&req_id) {
+                    ev.set(result.map_err(|(c, d)| RpcError::from_wire(c, &d)));
+                }
+            }
+        }
+    }
+    // Connection lost: drop it from the pool so a future call re-dials.
+    inner.conns.lock().remove(&peer);
+}
+
+impl Endpoint for TcpEndpoint {
+    fn address(&self) -> String {
+        self.inner.addr.clone()
+    }
+
+    fn register(&self, id: RpcId, handler: Arc<dyn RpcHandler>) {
+        assert!(id != RPC_BULK_PULL, "rpc id {} is reserved", RPC_BULK_PULL.0);
+        self.inner.handlers.write().insert(id, handler);
+    }
+
+    fn set_executor(&self, exec: Executor) {
+        *self.inner.executor.write() = exec;
+    }
+
+    fn call_async(
+        &self,
+        target: &str,
+        id: RpcId,
+        provider_id: u16,
+        payload: Bytes,
+    ) -> PendingResponse {
+        if self.inner.down.load(Ordering::Acquire) {
+            return PendingResponse::failed(RpcError::Shutdown);
+        }
+        let conn = match self.connect(target) {
+            Ok(c) => c,
+            Err(e) => return PendingResponse::failed(e),
+        };
+        let req_id = self.inner.next_req.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::Request {
+            req_id,
+            rpc_id: id,
+            provider_id,
+            payload,
+        }
+        .encode();
+        let ev = Eventual::new();
+        self.inner.pending.lock().insert(req_id, ev.clone());
+        self.inner
+            .counters
+            .requests_sent
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .bytes_sent
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        if let Err(e) = conn.send(&frame) {
+            self.inner.pending.lock().remove(&req_id);
+            return PendingResponse::failed(e);
+        }
+        PendingResponse::new(ev)
+    }
+
+    fn expose_bulk(&self, data: Bytes) -> BulkHandle {
+        let id = self.inner.next_bulk.fetch_add(1, Ordering::Relaxed);
+        let len = data.len();
+        self.inner.bulks.write().insert(id, data);
+        BulkHandle { id, len }
+    }
+
+    fn release_bulk(&self, handle: &BulkHandle) {
+        self.inner.bulks.write().remove(&handle.id);
+    }
+
+    fn bulk_pull(
+        &self,
+        owner: &str,
+        handle: &BulkHandle,
+        offset: usize,
+        len: usize,
+    ) -> Result<Bytes, RpcError> {
+        if owner == self.inner.addr {
+            // Local fast path: pulling from ourselves needs no socket.
+            let region = self
+                .inner
+                .bulks
+                .read()
+                .get(&handle.id)
+                .cloned()
+                .ok_or(RpcError::NoSuchBulk(handle.id))?;
+            if offset.checked_add(len).is_none_or(|end| end > region.len()) {
+                return Err(RpcError::BulkOutOfRange {
+                    offset,
+                    len,
+                    size: region.len(),
+                });
+            }
+            return Ok(region.slice(offset..offset + len));
+        }
+        let mut payload = BytesMut::with_capacity(24);
+        payload.put_u64_le(handle.id);
+        payload.put_u64_le(offset as u64);
+        payload.put_u64_le(len as u64);
+        self.call(owner, RPC_BULK_PULL, 0, payload.freeze())
+    }
+
+    fn stats(&self) -> EndpointStats {
+        let c = &self.inner.counters;
+        EndpointStats {
+            requests_sent: c.requests_sent.load(Ordering::Relaxed),
+            requests_received: c.requests_received.load(Ordering::Relaxed),
+            bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: c.bytes_received.load(Ordering::Relaxed),
+            bulk_bytes_served: c.bulk_bytes_served.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shutdown(&self) {
+        self.inner.down.store(true, Ordering::Release);
+        // Unblock the accept loop by dialing ourselves once.
+        let _ = TcpStream::connect(("127.0.0.1", self.listener_port));
+        let mut conns = self.inner.conns.lock();
+        for (_, conn) in conns.drain() {
+            let _ = conn.writer.lock().shutdown(std::net::Shutdown::Both);
+        }
+        drop(conns);
+        let mut pending = self.inner.pending.lock();
+        for (_, ev) in pending.drain() {
+            ev.set(Err(RpcError::Shutdown));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo() -> Arc<dyn RpcHandler> {
+        Arc::new(|req: Request| Ok(req.payload))
+    }
+
+    #[test]
+    fn call_over_tcp() {
+        let s = TcpEndpoint::bind(0).unwrap();
+        let c = TcpEndpoint::bind(0).unwrap();
+        s.register(RpcId(1), echo());
+        let out = c
+            .call(&s.address(), RpcId(1), 0, Bytes::from_static(b"over tcp"))
+            .unwrap();
+        assert_eq!(&out[..], b"over tcp");
+        s.shutdown();
+        c.shutdown();
+    }
+
+    #[test]
+    fn large_payload_round_trip() {
+        let s = TcpEndpoint::bind(0).unwrap();
+        let c = TcpEndpoint::bind(0).unwrap();
+        s.register(RpcId(1), echo());
+        let big: Vec<u8> = (0..1_000_000u32).map(|i| i as u8).collect();
+        let out = c
+            .call(&s.address(), RpcId(1), 0, Bytes::from(big.clone()))
+            .unwrap();
+        assert_eq!(&out[..], &big[..]);
+        s.shutdown();
+        c.shutdown();
+    }
+
+    #[test]
+    fn error_propagates_over_tcp() {
+        let s = TcpEndpoint::bind(0).unwrap();
+        let c = TcpEndpoint::bind(0).unwrap();
+        s.register(
+            RpcId(2),
+            Arc::new(|_req: Request| Err(RpcError::Handler("remote boom".into()))),
+        );
+        let err = c.call(&s.address(), RpcId(2), 0, Bytes::new()).unwrap_err();
+        assert_eq!(err, RpcError::Handler("remote boom".into()));
+        s.shutdown();
+        c.shutdown();
+    }
+
+    #[test]
+    fn unknown_rpc_over_tcp() {
+        let s = TcpEndpoint::bind(0).unwrap();
+        let c = TcpEndpoint::bind(0).unwrap();
+        let err = c.call(&s.address(), RpcId(9), 0, Bytes::new()).unwrap_err();
+        assert_eq!(err, RpcError::NoSuchRpc(9));
+        s.shutdown();
+        c.shutdown();
+    }
+
+    #[test]
+    fn bulk_pull_over_tcp() {
+        let s = TcpEndpoint::bind(0).unwrap();
+        let c = TcpEndpoint::bind(0).unwrap();
+        let h = s.expose_bulk(Bytes::from_static(b"abcdefgh"));
+        let out = c.bulk_pull(&s.address(), &h, 2, 3).unwrap();
+        assert_eq!(&out[..], b"cde");
+        assert_eq!(s.stats().bulk_bytes_served, 3);
+        s.shutdown();
+        c.shutdown();
+    }
+
+    #[test]
+    fn connection_reuse_and_concurrency() {
+        let s = TcpEndpoint::bind(0).unwrap();
+        let c = TcpEndpoint::bind(0).unwrap();
+        s.register(RpcId(1), echo());
+        let addr = s.address();
+        let pending: Vec<_> = (0..50u8)
+            .map(|i| c.call_async(&addr, RpcId(1), 0, Bytes::copy_from_slice(&[i])))
+            .collect();
+        for (i, p) in pending.into_iter().enumerate() {
+            assert_eq!(p.wait().unwrap()[0] as usize, i);
+        }
+        assert_eq!(s.stats().requests_received, 50);
+        s.shutdown();
+        c.shutdown();
+    }
+
+    #[test]
+    fn dead_endpoint_is_unreachable() {
+        let s = TcpEndpoint::bind(0).unwrap();
+        let addr = s.address();
+        s.shutdown();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let c = TcpEndpoint::bind(0).unwrap();
+        // Either the connect fails outright, or a pending call dies with the
+        // connection; both surface as an error rather than a hang.
+        let res = c
+            .call_async(&addr, RpcId(1), 0, Bytes::new())
+            .wait_timeout(std::time::Duration::from_secs(2));
+        assert!(res.is_err());
+        c.shutdown();
+    }
+}

@@ -1,0 +1,294 @@
+//! Event ↔ file mapping and columnar file I/O.
+//!
+//! The dataset is organized the way the paper's sample is: each file holds
+//! the events of one `(run, subrun)` pair, and rows of the `rec.slc` group
+//! are *slices*, with `run`/`subrun`/`event` columns identifying the owning
+//! event — the NOvA HDF5 layout (§IV-B).
+
+use crate::data::{EventRecord, SliceQuantities};
+use crate::generator::NovaGenerator;
+use hepfile::table::{TableError, TableFileReader, TableFileWriter};
+use hepfile::{ColumnData, TableGroup};
+use std::path::{Path, PathBuf};
+
+/// Subruns per run in the synthetic dataset layout.
+pub const SUBRUNS_PER_RUN: u64 = 64;
+
+/// The group name storing slice quantities (NOvA's `rec.slc`).
+pub const SLICE_GROUP: &str = "rec.slc";
+
+/// `(run, subrun)` covered by file `file_idx`.
+pub fn file_coordinates(file_idx: u64) -> (u64, u64) {
+    (file_idx / SUBRUNS_PER_RUN, file_idx % SUBRUNS_PER_RUN)
+}
+
+/// Generate the events of one file without touching disk (used for direct
+/// ingestion and for simulated-scale benchmarks).
+pub fn generate_file_events(
+    generator: &NovaGenerator,
+    file_idx: u64,
+    events_per_file: u64,
+) -> Vec<EventRecord> {
+    let (run, subrun) = file_coordinates(file_idx);
+    (0..events_per_file)
+        .map(|e| generator.generate(run, subrun, e))
+        .collect()
+}
+
+/// Write one file's events as a columnar table file. Returns
+/// `(n_events, n_slices)`.
+pub fn write_file(
+    path: &Path,
+    generator: &NovaGenerator,
+    file_idx: u64,
+    events_per_file: u64,
+) -> Result<(u64, u64), TableError> {
+    let events = generate_file_events(generator, file_idx, events_per_file);
+    write_events(path, &events)?;
+    let slices = events.iter().map(|e| e.slices.len() as u64).sum();
+    Ok((events.len() as u64, slices))
+}
+
+/// Write explicit events as a columnar table file.
+pub fn write_events(path: &Path, events: &[EventRecord]) -> Result<(), TableError> {
+    let n: usize = events.iter().map(|e| e.slices.len()).sum();
+    let mut run = Vec::with_capacity(n);
+    let mut subrun = Vec::with_capacity(n);
+    let mut event = Vec::with_capacity(n);
+    let mut slice_id = Vec::with_capacity(n);
+    let mut nhit = Vec::with_capacity(n);
+    let mut cal_e = Vec::with_capacity(n);
+    let mut shower_energy = Vec::with_capacity(n);
+    let mut shower_length = Vec::with_capacity(n);
+    let mut track_length = Vec::with_capacity(n);
+    let mut cvn_nue = Vec::with_capacity(n);
+    let mut cvn_numu = Vec::with_capacity(n);
+    let mut cvn_nc = Vec::with_capacity(n);
+    let mut cosmic_score = Vec::with_capacity(n);
+    let mut vertex_x = Vec::with_capacity(n);
+    let mut vertex_y = Vec::with_capacity(n);
+    let mut vertex_z = Vec::with_capacity(n);
+    let mut time_ns = Vec::with_capacity(n);
+    let mut remid = Vec::with_capacity(n);
+    let mut nu_energy = Vec::with_capacity(n);
+    for ev in events {
+        for s in &ev.slices {
+            run.push(ev.run);
+            subrun.push(ev.subrun);
+            event.push(ev.event);
+            slice_id.push(s.slice_id);
+            nhit.push(s.nhit);
+            cal_e.push(s.cal_e);
+            shower_energy.push(s.shower_energy);
+            shower_length.push(s.shower_length);
+            track_length.push(s.track_length);
+            cvn_nue.push(s.cvn_nue);
+            cvn_numu.push(s.cvn_numu);
+            cvn_nc.push(s.cvn_nc);
+            cosmic_score.push(s.cosmic_score);
+            vertex_x.push(s.vertex_x);
+            vertex_y.push(s.vertex_y);
+            vertex_z.push(s.vertex_z);
+            time_ns.push(s.time_ns);
+            remid.push(s.remid);
+            nu_energy.push(s.nu_energy);
+        }
+    }
+    let mut w = TableFileWriter::create(path);
+    w.add_group(TableGroup {
+        name: SLICE_GROUP.to_string(),
+        columns: vec![
+            ("run".into(), ColumnData::U64(run)),
+            ("subrun".into(), ColumnData::U64(subrun)),
+            ("event".into(), ColumnData::U64(event)),
+            ("slice_id".into(), ColumnData::U64(slice_id)),
+            ("nhit".into(), ColumnData::U32(nhit)),
+            ("cal_e".into(), ColumnData::F32(cal_e)),
+            ("shower_energy".into(), ColumnData::F32(shower_energy)),
+            ("shower_length".into(), ColumnData::F32(shower_length)),
+            ("track_length".into(), ColumnData::F32(track_length)),
+            ("cvn_nue".into(), ColumnData::F32(cvn_nue)),
+            ("cvn_numu".into(), ColumnData::F32(cvn_numu)),
+            ("cvn_nc".into(), ColumnData::F32(cvn_nc)),
+            ("cosmic_score".into(), ColumnData::F32(cosmic_score)),
+            ("vertex_x".into(), ColumnData::F32(vertex_x)),
+            ("vertex_y".into(), ColumnData::F32(vertex_y)),
+            ("vertex_z".into(), ColumnData::F32(vertex_z)),
+            ("time_ns".into(), ColumnData::F64(time_ns)),
+            ("remid".into(), ColumnData::F32(remid)),
+            ("nu_energy".into(), ColumnData::F32(nu_energy)),
+        ],
+    })?;
+    w.finish()
+}
+
+/// Read a file back into per-event records. Rows sharing
+/// `(run, subrun, event)` are regrouped; events with zero slices are not
+/// representable in this layout (as in the HDF5 original).
+pub fn read_file(path: &Path) -> Result<Vec<EventRecord>, TableError> {
+    let r = TableFileReader::open(path)?;
+    let g = r.read_group(SLICE_GROUP)?;
+    let get_u64 = |name: &str| -> Result<Vec<u64>, TableError> {
+        match g.column(name) {
+            Some(ColumnData::U64(v)) => Ok(v.clone()),
+            _ => Err(TableError::Corrupt(format!("missing u64 column {name}"))),
+        }
+    };
+    let get_u32 = |name: &str| -> Result<Vec<u32>, TableError> {
+        match g.column(name) {
+            Some(ColumnData::U32(v)) => Ok(v.clone()),
+            _ => Err(TableError::Corrupt(format!("missing u32 column {name}"))),
+        }
+    };
+    let get_f32 = |name: &str| -> Result<Vec<f32>, TableError> {
+        match g.column(name) {
+            Some(ColumnData::F32(v)) => Ok(v.clone()),
+            _ => Err(TableError::Corrupt(format!("missing f32 column {name}"))),
+        }
+    };
+    let get_f64 = |name: &str| -> Result<Vec<f64>, TableError> {
+        match g.column(name) {
+            Some(ColumnData::F64(v)) => Ok(v.clone()),
+            _ => Err(TableError::Corrupt(format!("missing f64 column {name}"))),
+        }
+    };
+    let run = get_u64("run")?;
+    let subrun = get_u64("subrun")?;
+    let event = get_u64("event")?;
+    let slice_id = get_u64("slice_id")?;
+    let nhit = get_u32("nhit")?;
+    let cal_e = get_f32("cal_e")?;
+    let shower_energy = get_f32("shower_energy")?;
+    let shower_length = get_f32("shower_length")?;
+    let track_length = get_f32("track_length")?;
+    let cvn_nue = get_f32("cvn_nue")?;
+    let cvn_numu = get_f32("cvn_numu")?;
+    let cvn_nc = get_f32("cvn_nc")?;
+    let cosmic_score = get_f32("cosmic_score")?;
+    let vertex_x = get_f32("vertex_x")?;
+    let vertex_y = get_f32("vertex_y")?;
+    let vertex_z = get_f32("vertex_z")?;
+    let time_ns = get_f64("time_ns")?;
+    let remid = get_f32("remid")?;
+    let nu_energy = get_f32("nu_energy")?;
+    let mut events: Vec<EventRecord> = Vec::new();
+    for i in 0..run.len() {
+        let coords = (run[i], subrun[i], event[i]);
+        let slice = SliceQuantities {
+            slice_id: slice_id[i],
+            nhit: nhit[i],
+            cal_e: cal_e[i],
+            shower_energy: shower_energy[i],
+            shower_length: shower_length[i],
+            track_length: track_length[i],
+            cvn_nue: cvn_nue[i],
+            cvn_numu: cvn_numu[i],
+            cvn_nc: cvn_nc[i],
+            cosmic_score: cosmic_score[i],
+            vertex_x: vertex_x[i],
+            vertex_y: vertex_y[i],
+            vertex_z: vertex_z[i],
+            time_ns: time_ns[i],
+            remid: remid[i],
+            nu_energy: nu_energy[i],
+        };
+        match events.last_mut() {
+            Some(last) if (last.run, last.subrun, last.event) == coords => {
+                last.slices.push(slice)
+            }
+            _ => events.push(EventRecord {
+                run: coords.0,
+                subrun: coords.1,
+                event: coords.2,
+                slices: vec![slice],
+            }),
+        }
+    }
+    Ok(events)
+}
+
+/// Write a whole dataset of `n_files` files under `dir`. Returns the paths.
+pub fn write_dataset(
+    dir: &Path,
+    generator: &NovaGenerator,
+    n_files: u64,
+    events_per_file: u64,
+) -> Result<Vec<PathBuf>, TableError> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(n_files as usize);
+    for f in 0..n_files {
+        let p = dir.join(format!("nova_{f:06}.hepf"));
+        write_file(&p, generator, f, events_per_file)?;
+        paths.push(p);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("nova-files-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn file_coordinates_partition() {
+        assert_eq!(file_coordinates(0), (0, 0));
+        assert_eq!(file_coordinates(63), (0, 63));
+        assert_eq!(file_coordinates(64), (1, 0));
+        assert_eq!(file_coordinates(130), (2, 2));
+    }
+
+    #[test]
+    fn write_read_round_trip_preserves_events() {
+        let d = tmpdir("rt");
+        let g = NovaGenerator::new(11);
+        let p = d.join("f0.hepf");
+        write_file(&p, &g, 5, 30).unwrap();
+        let events = read_file(&p).unwrap();
+        let expected: Vec<EventRecord> = generate_file_events(&g, 5, 30)
+            .into_iter()
+            .filter(|e| !e.slices.is_empty())
+            .collect();
+        assert_eq!(events, expected);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn file_has_the_paper_layout() {
+        let d = tmpdir("layout");
+        let g = NovaGenerator::new(1);
+        let p = d.join("f.hepf");
+        write_file(&p, &g, 0, 10).unwrap();
+        let r = TableFileReader::open(&p).unwrap();
+        let schema = r.schema();
+        assert_eq!(schema.len(), 1);
+        assert_eq!(schema[0].name, SLICE_GROUP);
+        let names: Vec<&str> = schema[0].columns.iter().map(|c| c.name.as_str()).collect();
+        // The three index columns plus member columns — §IV-B.
+        assert!(names.contains(&"run"));
+        assert!(names.contains(&"subrun"));
+        assert!(names.contains(&"event"));
+        assert!(names.contains(&"cvn_nue"));
+        // All columns equal length.
+        let rows = schema[0].n_rows;
+        assert!(rows > 0);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn dataset_writer_creates_all_files() {
+        let d = tmpdir("ds");
+        let g = NovaGenerator::new(2);
+        let paths = write_dataset(&d.join("data"), &g, 6, 8).unwrap();
+        assert_eq!(paths.len(), 6);
+        for p in &paths {
+            assert!(p.exists());
+            assert!(!read_file(p).unwrap().is_empty());
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

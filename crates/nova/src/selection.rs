@@ -1,0 +1,177 @@
+//! The candidate selection — the CAFAna stand-in.
+//!
+//! The paper runs NOvA's published ν_e-appearance candidate selection
+//! (unchanged!) inside both workflows and compares accepted slice IDs. Our
+//! stand-in is a cut-based selection in the same style: fiducial
+//! containment, PID score cuts, cosmic rejection, and an energy window.
+//! Both workflows in this reproduction call exactly this function, so the
+//! equal-results check carries the same meaning.
+
+use crate::data::{EventRecord, SliceQuantities};
+
+/// The selection cuts. Defaults approximate NOvA's ν_e appearance
+/// selection style (CVN > 0.84 etc.); exact values only shape the
+/// acceptance rate, not the workflow comparison.
+#[derive(Debug, Clone)]
+pub struct SelectionCuts {
+    /// Minimum CVN ν_e score.
+    pub min_cvn_nue: f32,
+    /// Maximum cosmic-rejection score.
+    pub max_cosmic_score: f32,
+    /// Fiducial volume margin from the detector edge (cm).
+    pub fiducial_margin: f32,
+    /// Detector half-extent in x/y (cm).
+    pub detector_half_xy: f32,
+    /// Detector length (cm).
+    pub detector_z: f32,
+    /// Hit-count window.
+    pub nhit_range: (u32, u32),
+    /// Reconstructed-energy window (GeV), the appearance peak region.
+    pub energy_range: (f32, f32),
+    /// Maximum muon-id score (reject ν_μ charged-current).
+    pub max_remid: f32,
+}
+
+impl Default for SelectionCuts {
+    fn default() -> Self {
+        SelectionCuts {
+            min_cvn_nue: 0.84,
+            max_cosmic_score: 0.45,
+            fiducial_margin: 100.0,
+            detector_half_xy: 780.0,
+            detector_z: 6000.0,
+            nhit_range: (30, 500),
+            energy_range: (1.0, 4.5),
+            max_remid: 0.5,
+        }
+    }
+}
+
+impl SelectionCuts {
+    /// Whether one slice passes all cuts.
+    pub fn passes(&self, s: &SliceQuantities) -> bool {
+        // Fiducial containment.
+        let half = self.detector_half_xy - self.fiducial_margin;
+        if s.vertex_x.abs() > half || s.vertex_y.abs() > half {
+            return false;
+        }
+        if s.vertex_z < self.fiducial_margin || s.vertex_z > self.detector_z - self.fiducial_margin
+        {
+            return false;
+        }
+        // Quality.
+        if s.nhit < self.nhit_range.0 || s.nhit > self.nhit_range.1 {
+            return false;
+        }
+        // Cosmic rejection.
+        if s.cosmic_score > self.max_cosmic_score {
+            return false;
+        }
+        // PID.
+        if s.cvn_nue < self.min_cvn_nue {
+            return false;
+        }
+        if s.remid > self.max_remid {
+            return false;
+        }
+        // Energy window.
+        s.nu_energy >= self.energy_range.0 && s.nu_energy <= self.energy_range.1
+    }
+}
+
+/// Run the selection over one event, returning the **global** IDs of
+/// accepted slices (what both workflows accumulate and compare, §IV).
+pub fn select_slices(event: &EventRecord, cuts: &SelectionCuts) -> Vec<u64> {
+    event
+        .slices
+        .iter()
+        .filter(|s| cuts.passes(s))
+        .map(|s| event.global_slice_id(s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::NovaGenerator;
+
+    fn signal_slice() -> SliceQuantities {
+        SliceQuantities {
+            slice_id: 0,
+            nhit: 120,
+            cal_e: 2.1,
+            shower_energy: 1.5,
+            shower_length: 320.0,
+            track_length: 40.0,
+            cvn_nue: 0.95,
+            cvn_numu: 0.05,
+            cvn_nc: 0.1,
+            cosmic_score: 0.1,
+            vertex_x: 50.0,
+            vertex_y: -120.0,
+            vertex_z: 2500.0,
+            time_ns: 220_000.0,
+            remid: 0.1,
+            nu_energy: 2.2,
+        }
+    }
+
+    #[test]
+    fn clear_signal_passes() {
+        assert!(SelectionCuts::default().passes(&signal_slice()));
+    }
+
+    #[test]
+    fn each_cut_rejects() {
+        let cuts = SelectionCuts::default();
+        let mut s = signal_slice();
+        s.cvn_nue = 0.5;
+        assert!(!cuts.passes(&s));
+        let mut s = signal_slice();
+        s.cosmic_score = 0.9;
+        assert!(!cuts.passes(&s));
+        let mut s = signal_slice();
+        s.vertex_x = 760.0; // outside fiducial margin
+        assert!(!cuts.passes(&s));
+        let mut s = signal_slice();
+        s.vertex_z = 5950.0;
+        assert!(!cuts.passes(&s));
+        let mut s = signal_slice();
+        s.nhit = 5;
+        assert!(!cuts.passes(&s));
+        let mut s = signal_slice();
+        s.remid = 0.9;
+        assert!(!cuts.passes(&s));
+        let mut s = signal_slice();
+        s.nu_energy = 12.0;
+        assert!(!cuts.passes(&s));
+    }
+
+    #[test]
+    fn selection_is_a_strong_downselection() {
+        // Over a big synthetic sample the acceptance must be tiny but
+        // nonzero (the paper's workloads both accept *some* slices and
+        // reject the overwhelming majority).
+        let g = NovaGenerator::new(99);
+        let cuts = SelectionCuts::default();
+        let mut accepted = 0usize;
+        let mut total = 0usize;
+        for e in 0..20_000u64 {
+            let ev = g.generate(1, 0, e);
+            total += ev.slices.len();
+            accepted += select_slices(&ev, &cuts).len();
+        }
+        assert!(total > 70_000);
+        let rate = accepted as f64 / total as f64;
+        assert!(rate > 0.0, "selection accepted nothing");
+        assert!(rate < 0.01, "acceptance rate too high: {rate}");
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let g = NovaGenerator::new(5);
+        let cuts = SelectionCuts::default();
+        let ev = g.generate(3, 1, 12345);
+        assert_eq!(select_slices(&ev, &cuts), select_slices(&ev, &cuts));
+    }
+}

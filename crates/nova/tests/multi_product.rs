@@ -1,0 +1,140 @@
+//! Multi-product events: each ingested event carries two products of
+//! different types (`Vec<SliceQuantities>` and `EventSummary`) under
+//! different labels — and the ParallelEventProcessor can prefetch both.
+
+use bedrock::DbCounts;
+use hepnos::testing::local_deployment;
+use hepnos::{ParallelEventProcessor, PepOptions};
+use nova::loader::{
+    slice_label, slice_type_name, summary_label, summary_type_name, DataLoader,
+};
+use nova::{files, EventRecord, NovaGenerator, SliceQuantities};
+use parking_lot::Mutex;
+
+#[test]
+fn ingest_stores_both_products() {
+    let dep = local_deployment(1, DbCounts::default());
+    let store = dep.datastore();
+    let ds = store.root().create_dataset("multi").unwrap();
+    let gen = NovaGenerator::new(21);
+    let events = files::generate_file_events(&gen, 0, 40);
+    DataLoader::new(store.clone(), ds.clone())
+        .ingest_events(&events)
+        .unwrap();
+    let sr = ds.run(0).unwrap().subrun(0).unwrap();
+    for (handle, rec) in sr.events().unwrap().iter().zip(&events) {
+        let slices: Vec<SliceQuantities> = handle.load(&slice_label()).unwrap().unwrap();
+        assert_eq!(&slices, &rec.slices);
+        let summary: nova::EventSummary = handle.load(&summary_label()).unwrap().unwrap();
+        assert_eq!(summary, rec.summary());
+        assert_eq!(summary.n_slices as usize, rec.slices.len());
+    }
+    dep.shutdown();
+}
+
+#[test]
+fn pep_prefetches_multiple_labels() {
+    let dep = local_deployment(1, DbCounts::default());
+    let store = dep.datastore();
+    let ds = store.root().create_dataset("multi-prefetch").unwrap();
+    let gen = NovaGenerator::new(22);
+    let events = files::generate_file_events(&gen, 0, 60);
+    DataLoader::new(store.clone(), ds.clone())
+        .ingest_events(&events)
+        .unwrap();
+    let pep = ParallelEventProcessor::new(
+        store.clone(),
+        PepOptions {
+            num_workers: 2,
+            prefetch: vec![
+                (slice_label(), slice_type_name()),
+                (summary_label(), summary_type_name()),
+            ],
+            ..Default::default()
+        },
+    );
+    let checked = Mutex::new(0usize);
+    let stats = pep
+        .process(&ds, |_w, pe| {
+            let slices: Vec<SliceQuantities> =
+                pe.load(&slice_label()).unwrap().unwrap_or_default();
+            let summary: nova::EventSummary = pe.load(&summary_label()).unwrap().unwrap();
+            // Cross-check the two prefetched products against each other.
+            assert_eq!(summary.n_slices as usize, slices.len());
+            let (run, subrun, event) = pe.event().coordinates();
+            let rec = EventRecord { run, subrun, event, slices };
+            assert_eq!(rec.summary(), summary);
+            *checked.lock() += 1;
+        })
+        .unwrap();
+    assert_eq!(stats.total_events as usize, *checked.lock());
+    assert!(*checked.lock() > 0);
+    dep.shutdown();
+}
+
+#[test]
+fn summary_type_name_is_stable() {
+    assert_eq!(summary_type_name(), "EventSummary");
+}
+
+#[test]
+fn overlapped_ingest_matches_synchronous() {
+    let dep = local_deployment(1, DbCounts::default());
+    let store = dep.datastore();
+    let gen = NovaGenerator::new(77);
+    let events = files::generate_file_events(&gen, 3, 80);
+    let rt = argos::Runtime::simple(2);
+    let ds = store.root().create_dataset("overlapped").unwrap();
+    let stats = DataLoader::new(store.clone(), ds.clone())
+        .ingest_events_overlapped(&events, rt.default_pool().unwrap())
+        .unwrap();
+    assert_eq!(stats.events, events.len() as u64);
+    let (run_n, subrun_n) = files::file_coordinates(3);
+    let sr = ds.run(run_n).unwrap().subrun(subrun_n).unwrap();
+    for (handle, rec) in sr.events().unwrap().iter().zip(&events) {
+        let slices: Vec<SliceQuantities> = handle.load(&slice_label()).unwrap().unwrap();
+        assert_eq!(&slices, &rec.slices);
+        let summary: nova::EventSummary = handle.load(&summary_label()).unwrap().unwrap();
+        assert_eq!(summary, rec.summary());
+    }
+    rt.shutdown();
+    dep.shutdown();
+}
+
+#[test]
+fn cosmic_sample_flows_through_the_pipeline() {
+    // The 12x-rate cosmic sample (§III-A) must flow through files and
+    // ingestion exactly like beam data.
+    let dir = std::env::temp_dir().join(format!("nova-cosmic-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let gen = nova::NovaGenerator::with_config(5, nova::GeneratorConfig::cosmic());
+    let path = dir.join("cosmic.hepf");
+    let (events, slices) = files::write_file(&path, &gen, 0, 50).unwrap();
+    assert_eq!(events, 50);
+    assert!(
+        slices > 50 * 30,
+        "cosmic file should be dense: {slices} slices for {events} events"
+    );
+    let dep = local_deployment(1, DbCounts::default());
+    let store = dep.datastore();
+    let ds = store.root().create_dataset("cosmic").unwrap();
+    let stats = DataLoader::new(store.clone(), ds.clone())
+        .ingest_file(&path)
+        .unwrap();
+    assert_eq!(stats.slices, slices);
+    // Selection still rejects nearly everything (cosmics are background).
+    let cuts = nova::SelectionCuts::default();
+    let mut accepted = 0usize;
+    for ev in ds.run(0).unwrap().subrun(0).unwrap().events().unwrap() {
+        let sl: Vec<SliceQuantities> = ev.load(&slice_label()).unwrap().unwrap();
+        let (run, subrun, event) = ev.coordinates();
+        let rec = EventRecord { run, subrun, event, slices: sl };
+        accepted += nova::select_slices(&rec, &cuts).len();
+    }
+    assert!(
+        (accepted as f64) < slices as f64 * 0.01,
+        "cosmic acceptance too high: {accepted}/{slices}"
+    );
+    dep.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

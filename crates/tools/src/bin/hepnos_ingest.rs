@@ -1,0 +1,78 @@
+//! `hepnos-ingest` — the HDF2HEPnOS DataLoader as a command-line client.
+//!
+//! ```text
+//! hepnos-ingest --connect descriptors.json --dataset path/to/ds
+//!               --input DIR [--loaders N] [--generate FILESxEVENTS --seed S]
+//! ```
+//!
+//! Ingests every `*.hepf` file under `--input` into the target dataset,
+//! file-parallel across `--loaders` ranks. With `--generate`, a synthetic
+//! NOvA-layout dataset is produced into `--input` first (useful for
+//! demos on a fresh deployment).
+
+use hepnos_tools::{connect, Args};
+use nova::loader::parallel_ingest;
+use nova::NovaGenerator;
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "hepnos-ingest --connect descriptors.json --dataset PATH --input DIR \
+                     [--loaders N] [--generate FILESxEVENTS --seed S]";
+
+fn main() {
+    let args = Args::from_env();
+    let file = args.require("connect", USAGE);
+    let dataset_path = args.require("dataset", USAGE);
+    let input = PathBuf::from(args.require("input", USAGE));
+    let loaders: usize = args.get_or("loaders", "4").parse().unwrap_or(4);
+    if let Some(spec) = args.get("generate") {
+        let (files, events) = spec
+            .split_once('x')
+            .and_then(|(f, e)| Some((f.parse().ok()?, e.parse().ok()?)))
+            .unwrap_or_else(|| {
+                eprintln!("bad --generate (want FILESxEVENTS, e.g. 16x500)");
+                std::process::exit(2);
+            });
+        let seed: u64 = args.get_or("seed", "1").parse().unwrap_or(1);
+        let gen = NovaGenerator::new(seed);
+        nova::files::write_dataset(&input, &gen, files, events).unwrap_or_else(|e| {
+            eprintln!("generation failed: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("generated {files} files x {events} events under {}", input.display());
+    }
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&input)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", input.display());
+            std::process::exit(2);
+        })
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "hepf"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("no .hepf files under {}", input.display());
+        std::process::exit(2);
+    }
+    let store = connect(Path::new(&file));
+    let ds = store
+        .root()
+        .create_dataset(&dataset_path)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot create dataset: {e}");
+            std::process::exit(1);
+        });
+    let t = std::time::Instant::now();
+    let stats = parallel_ingest(&store, &ds, &paths, loaders).unwrap_or_else(|e| {
+        eprintln!("ingest failed: {e}");
+        std::process::exit(1);
+    });
+    let dt = t.elapsed();
+    println!(
+        "ingested {} files / {} events / {} slices into '{dataset_path}' \
+         with {loaders} loaders in {dt:.2?} ({:.0} events/s)",
+        stats.files,
+        stats.events,
+        stats.slices,
+        stats.events as f64 / dt.as_secs_f64()
+    );
+}

@@ -1,0 +1,59 @@
+//! `hepnos-ls` — inspect a running deployment's namespace.
+//!
+//! ```text
+//! hepnos-ls --connect descriptors.json [path/to/dataset]
+//! ```
+//!
+//! With no path: lists the top-level datasets. With a dataset path: lists
+//! its child datasets and runs, and per run the subrun and event counts.
+
+use hepnos_tools::{connect, Args};
+use std::path::Path;
+
+const USAGE: &str = "hepnos-ls --connect descriptors.json [dataset-path]";
+
+fn main() {
+    let args = Args::from_env();
+    let file = args.require("connect", USAGE);
+    let store = connect(Path::new(&file));
+    match args.positional().first() {
+        None => {
+            let roots = store.root().datasets().unwrap_or_else(die);
+            if roots.is_empty() {
+                println!("(no datasets)");
+            }
+            for d in roots {
+                println!("{}/", d.full_path());
+            }
+        }
+        Some(path) => {
+            let ds = store.dataset(path).unwrap_or_else(die);
+            println!(
+                "dataset {} (uuid {})",
+                ds.full_path(),
+                ds.uuid().expect("non-root")
+            );
+            for child in ds.datasets().unwrap_or_else(die) {
+                println!("  {}/", child.name());
+            }
+            for run in ds.runs().unwrap_or_else(die) {
+                let subruns = run.subruns().unwrap_or_else(die);
+                let events: usize = subruns
+                    .iter()
+                    .map(|sr| sr.events().map(|e| e.len()).unwrap_or(0))
+                    .sum();
+                println!(
+                    "  run {:>6}: {} subruns, {} events",
+                    run.number(),
+                    subruns.len(),
+                    events
+                );
+            }
+        }
+    }
+}
+
+fn die<T>(e: hepnos::HepnosError) -> T {
+    eprintln!("error: {e}");
+    std::process::exit(1);
+}

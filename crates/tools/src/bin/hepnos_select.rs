@@ -1,0 +1,87 @@
+//! `hepnos-select` — the candidate-selection client (the paper's HEPnOS
+//! workflow, §IV-B) as a command-line program.
+//!
+//! ```text
+//! hepnos-select --connect descriptors.json --dataset path/to/ds
+//!               [--workers N] [--load-batch N] [--dispatch-batch N]
+//!               [--spectrum]
+//! ```
+//!
+//! Runs the ParallelEventProcessor over the dataset, applies the ν_e
+//! selection to every slice, prints the accepted count, throughput and
+//! load-balance statistics, and optionally the energy spectrum.
+
+use hepnos::{ParallelEventProcessor, PepOptions};
+use hepnos_tools::{connect, Args};
+use nova::loader::{slice_label, slice_type_name};
+use nova::{EventRecord, SelectionCuts, SliceQuantities, Spectrum};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+const USAGE: &str = "hepnos-select --connect descriptors.json --dataset PATH \
+                     [--workers N] [--load-batch N] [--dispatch-batch N] [--spectrum]";
+
+fn main() {
+    let args = Args::from_env();
+    let file = args.require("connect", USAGE);
+    let dataset_path = args.require("dataset", USAGE);
+    let workers: usize = args.get_or("workers", "4").parse().unwrap_or(4);
+    let store = connect(Path::new(&file));
+    let ds = store.dataset(&dataset_path).unwrap_or_else(|e| {
+        eprintln!("cannot open dataset: {e}");
+        std::process::exit(1);
+    });
+    let cuts = SelectionCuts::default();
+    let accepted: Mutex<BTreeSet<u64>> = Mutex::new(BTreeSet::new());
+    let spectrum: Mutex<Spectrum> = Mutex::new(Spectrum::nue_energy());
+    let slices_seen = Mutex::new(0u64);
+    let pep = ParallelEventProcessor::new(
+        store.clone(),
+        PepOptions {
+            num_workers: workers,
+            load_batch_size: args.get_or("load-batch", "16384").parse().unwrap_or(16384),
+            dispatch_batch_size: args.get_or("dispatch-batch", "64").parse().unwrap_or(64),
+            prefetch: vec![(slice_label(), slice_type_name())],
+            ..Default::default()
+        },
+    );
+    let stats = pep
+        .process(&ds, |_w, pe| {
+            let slices: Vec<SliceQuantities> =
+                pe.load(&slice_label()).unwrap().unwrap_or_default();
+            let (run, subrun, event) = pe.event().coordinates();
+            let rec = EventRecord { run, subrun, event, slices };
+            *slices_seen.lock() += rec.slices.len() as u64;
+            let mut spec = spectrum.lock();
+            spec.add_exposure(1.0);
+            for s in rec.slices.iter().filter(|s| cuts.passes(s)) {
+                spec.fill_slice(s);
+            }
+            drop(spec);
+            accepted.lock().extend(nova::select_slices(&rec, &cuts));
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("processing failed: {e}");
+            std::process::exit(1);
+        });
+    let accepted = accepted.into_inner();
+    let slices_seen = slices_seen.into_inner();
+    println!(
+        "processed {} events / {} slices in {:.2?} ({:.0} slices/s, {workers} workers, \
+         load imbalance {:.2})",
+        stats.total_events,
+        slices_seen,
+        stats.wall_time,
+        slices_seen as f64 / stats.wall_time.as_secs_f64(),
+        stats.load_imbalance()
+    );
+    println!(
+        "accepted {} candidate slices (rejection ratio {:.1e})",
+        accepted.len(),
+        slices_seen as f64 / accepted.len().max(1) as f64
+    );
+    if args.get("spectrum").is_some() {
+        print!("{}", spectrum.into_inner().ascii());
+    }
+}

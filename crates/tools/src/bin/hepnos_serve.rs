@@ -1,0 +1,98 @@
+//! `hepnos-serve` — run one HEPnOS server node as a real process.
+//!
+//! ```text
+//! hepnos-serve [--config bedrock.json] [--port 0] [--backend map|lsm]
+//!              [--data-dir DIR] [--events N] [--products N]
+//!              --descriptor-out FILE [--run-seconds N]
+//! ```
+//!
+//! Bootstraps a Bedrock service on a TCP socket, writes the node's
+//! connection descriptor (JSON) to `--descriptor-out` (clients concatenate
+//! the descriptors of all nodes into one array), and serves until killed
+//! (or for `--run-seconds`, for scripted tests).
+
+use bedrock::{BackendKind, DbCounts, ServiceConfig};
+use hepnos_tools::Args;
+use mercurio::tcp::TcpEndpoint;
+use std::path::PathBuf;
+
+const USAGE: &str = "hepnos-serve [--config bedrock.json] [--port N] [--backend map|lsm] \
+                     [--data-dir DIR] [--events N] [--products N] \
+                     --descriptor-out FILE [--run-seconds N]";
+
+fn main() {
+    let args = Args::from_env();
+    let port: u16 = args.get_or("port", "0").parse().unwrap_or_else(|_| {
+        eprintln!("bad --port");
+        std::process::exit(2);
+    });
+    let config = match args.get("config") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read config {path}: {e}");
+                std::process::exit(2);
+            });
+            ServiceConfig::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("bad config {path}: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => {
+            let backend = match args.get_or("backend", "map") {
+                "map" => BackendKind::Map,
+                "lsm" => BackendKind::Lsm,
+                other => {
+                    eprintln!("unknown backend {other}\nusage: {USAGE}");
+                    std::process::exit(2);
+                }
+            };
+            let data_dir = args.get("data-dir").map(PathBuf::from);
+            if backend == BackendKind::Lsm && data_dir.is_none() {
+                eprintln!("--backend lsm requires --data-dir");
+                std::process::exit(2);
+            }
+            let counts = DbCounts {
+                datasets: 1,
+                runs: 1,
+                subruns: 1,
+                events: args.get_or("events", "8").parse().unwrap_or(8),
+                products: args.get_or("products", "8").parse().unwrap_or(8),
+            };
+            ServiceConfig::hepnos_topology(counts, backend, data_dir)
+        }
+    };
+    let out = args.require("descriptor-out", USAGE);
+    let endpoint = TcpEndpoint::bind(port).unwrap_or_else(|e| {
+        eprintln!("cannot bind port {port}: {e}");
+        std::process::exit(1);
+    });
+    let server = bedrock::launch(endpoint, &config).unwrap_or_else(|e| {
+        eprintln!("bootstrap failed: {e}");
+        std::process::exit(1);
+    });
+    let descriptor_json =
+        serde_json::to_string_pretty(server.descriptor()).expect("descriptor serializes");
+    std::fs::write(&out, &descriptor_json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "hepnos-serve: listening at {} ({} providers), descriptor written to {out}",
+        server.address(),
+        server.descriptor().providers.len()
+    );
+    match args.get("run-seconds") {
+        Some(s) => {
+            let secs: u64 = s.parse().unwrap_or(1);
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            server.shutdown();
+            eprintln!("hepnos-serve: done after {secs}s");
+        }
+        None => {
+            // Serve until the process is killed.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! Storage backends.
+//!
+//! The paper runs HEPnOS with two Yokan backends (§IV-D): an in-memory
+//! `std::map` and RocksDB writing to node-local SSD. [`MemBackend`] and
+//! [`LsmBackend`] are their direct analogues.
+
+use crate::error::YokanError;
+use lsmdb::{Db, Options, WriteBatch};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// An owned key/value pair.
+pub type KeyValue = (Vec<u8>, Vec<u8>);
+
+/// Key ordering note: backends must store keys in lexicographic byte order —
+/// HEPnOS relies on big-endian number encoding + sorted iteration to walk
+/// runs/subruns/events in ascending numeric order (paper §II-C3).
+pub trait Backend: Send + Sync {
+    /// Insert or overwrite one pair.
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), YokanError>;
+
+    /// Atomically insert `value` unless `key` already exists; returns the
+    /// existing value when there is one (and writes nothing). Concurrent
+    /// creators (e.g. two clients registering the same dataset) race on
+    /// this, so implementations must make the check-and-insert atomic.
+    fn put_if_absent(&self, key: &[u8], value: &[u8])
+        -> Result<Option<Vec<u8>>, YokanError>;
+
+    /// Insert a batch; atomic per backend.
+    fn put_multi(&self, pairs: &[KeyValue]) -> Result<(), YokanError> {
+        for (k, v) in pairs {
+            self.put(k, v)?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup.
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, YokanError>;
+
+    /// Batched lookup, one result slot per key.
+    fn get_multi(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>, YokanError> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
+    /// Whether the key exists.
+    fn exists(&self, key: &[u8]) -> Result<bool, YokanError> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Delete one key (idempotent).
+    fn erase(&self, key: &[u8]) -> Result<(), YokanError>;
+
+    /// Delete a batch of keys (idempotent).
+    fn erase_multi(&self, keys: &[Vec<u8>]) -> Result<(), YokanError> {
+        for k in keys {
+            self.erase(k)?;
+        }
+        Ok(())
+    }
+
+    /// Keys strictly greater than `from` that start with `prefix`, in sorted
+    /// order, up to `limit` (`0` = unlimited). The exclusive lower bound lets
+    /// callers resume iteration from the last key seen — HEPnOS's container
+    /// iteration protocol.
+    fn list_keys(
+        &self,
+        from: &[u8],
+        prefix: &[u8],
+        limit: usize,
+    ) -> Result<Vec<Vec<u8>>, YokanError>;
+
+    /// Like [`Backend::list_keys`] but returning values too.
+    fn list_keyvals(
+        &self,
+        from: &[u8],
+        prefix: &[u8],
+        limit: usize,
+    ) -> Result<Vec<KeyValue>, YokanError>;
+
+    /// Number of stored pairs (may require a scan for LSM backends).
+    fn count(&self) -> Result<u64, YokanError>;
+
+    /// Backend kind name ("map" or "lsm"), mirroring Bedrock config values.
+    fn kind(&self) -> &'static str;
+}
+
+/// Smallest key strictly greater than every key starting with `prefix`
+/// (`None` when the prefix is all-0xFF or empty, i.e. unbounded).
+fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut upper = prefix.to_vec();
+    while let Some(last) = upper.last_mut() {
+        if *last < 0xFF {
+            *last += 1;
+            return Some(upper);
+        }
+        upper.pop();
+    }
+    None
+}
+
+/// In-memory ordered-map backend (`std::map` analogue).
+#[derive(Default)]
+pub struct MemBackend {
+    map: RwLock<BTreeMap<Vec<u8>, Vec<u8>>>,
+}
+
+impl MemBackend {
+    /// Create an empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Backend for MemBackend {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), YokanError> {
+        self.map.write().insert(key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    fn put_if_absent(
+        &self,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<Option<Vec<u8>>, YokanError> {
+        let mut map = self.map.write();
+        match map.get(key) {
+            Some(existing) => Ok(Some(existing.clone())),
+            None => {
+                map.insert(key.to_vec(), value.to_vec());
+                Ok(None)
+            }
+        }
+    }
+
+    fn put_multi(&self, pairs: &[(Vec<u8>, Vec<u8>)]) -> Result<(), YokanError> {
+        let mut map = self.map.write();
+        for (k, v) in pairs {
+            map.insert(k.clone(), v.clone());
+        }
+        Ok(())
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
+        Ok(self.map.read().get(key).cloned())
+    }
+
+    fn exists(&self, key: &[u8]) -> Result<bool, YokanError> {
+        Ok(self.map.read().contains_key(key))
+    }
+
+    fn erase(&self, key: &[u8]) -> Result<(), YokanError> {
+        self.map.write().remove(key);
+        Ok(())
+    }
+
+    fn erase_multi(&self, keys: &[Vec<u8>]) -> Result<(), YokanError> {
+        let mut map = self.map.write();
+        for k in keys {
+            map.remove(k);
+        }
+        Ok(())
+    }
+
+    fn list_keys(
+        &self,
+        from: &[u8],
+        prefix: &[u8],
+        limit: usize,
+    ) -> Result<Vec<Vec<u8>>, YokanError> {
+        Ok(self
+            .list_keyvals(from, prefix, limit)?
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect())
+    }
+
+    fn list_keyvals(
+        &self,
+        from: &[u8],
+        prefix: &[u8],
+        limit: usize,
+    ) -> Result<Vec<KeyValue>, YokanError> {
+        let map = self.map.read();
+        // Strictly greater than `from`; but when `from` is below the prefix
+        // range entirely, a key equal to `prefix` itself must be included.
+        let bound = if from >= prefix {
+            std::ops::Bound::Excluded(from)
+        } else {
+            std::ops::Bound::Included(prefix)
+        };
+        let mut out = Vec::new();
+        for (k, v) in map.range::<[u8], _>((bound, std::ops::Bound::Unbounded)) {
+            if !k.starts_with(prefix) {
+                // Keys are sorted and the range starts at/inside the prefix
+                // region, so the first non-prefixed key ends the scan.
+                break;
+            }
+            out.push((k.clone(), v.clone()));
+            if limit != 0 && out.len() >= limit {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn count(&self) -> Result<u64, YokanError> {
+        Ok(self.map.read().len() as u64)
+    }
+
+    fn kind(&self) -> &'static str {
+        "map"
+    }
+}
+
+/// Persistent LSM backend (RocksDB analogue), writing to a directory that
+/// models the node-local SSD of the paper's Theta runs.
+pub struct LsmBackend {
+    db: Db,
+}
+
+impl LsmBackend {
+    /// Open (or create) a database under `dir`.
+    pub fn open(dir: &Path) -> Result<LsmBackend, YokanError> {
+        Self::open_with(dir, Options::default())
+    }
+
+    /// Open with explicit LSM options.
+    pub fn open_with(dir: &Path, opts: Options) -> Result<LsmBackend, YokanError> {
+        let db = Db::open(dir, opts).map_err(|e| YokanError::Backend(e.to_string()))?;
+        Ok(LsmBackend { db })
+    }
+
+    /// Access the underlying engine (stats, manual compaction).
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+}
+
+impl Backend for LsmBackend {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), YokanError> {
+        self.db
+            .put(key, value)
+            .map_err(|e| YokanError::Backend(e.to_string()))
+    }
+
+    fn put_multi(&self, pairs: &[(Vec<u8>, Vec<u8>)]) -> Result<(), YokanError> {
+        let mut batch = WriteBatch::new();
+        for (k, v) in pairs {
+            batch.put(k, v);
+        }
+        self.db
+            .write(&batch)
+            .map_err(|e| YokanError::Backend(e.to_string()))
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
+        self.db
+            .get(key)
+            .map_err(|e| YokanError::Backend(e.to_string()))
+    }
+
+    fn erase(&self, key: &[u8]) -> Result<(), YokanError> {
+        self.db
+            .delete(key)
+            .map_err(|e| YokanError::Backend(e.to_string()))
+    }
+
+    fn erase_multi(&self, keys: &[Vec<u8>]) -> Result<(), YokanError> {
+        let mut batch = WriteBatch::new();
+        for k in keys {
+            batch.delete(k);
+        }
+        self.db
+            .write(&batch)
+            .map_err(|e| YokanError::Backend(e.to_string()))
+    }
+
+    fn put_if_absent(
+        &self,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<Option<Vec<u8>>, YokanError> {
+        self.db
+            .put_if_absent(key, value)
+            .map_err(|e| YokanError::Backend(e.to_string()))
+    }
+
+    fn list_keys(
+        &self,
+        from: &[u8],
+        prefix: &[u8],
+        limit: usize,
+    ) -> Result<Vec<Vec<u8>>, YokanError> {
+        Ok(self
+            .list_keyvals(from, prefix, limit)?
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect())
+    }
+
+    fn list_keyvals(
+        &self,
+        from: &[u8],
+        prefix: &[u8],
+        limit: usize,
+    ) -> Result<Vec<KeyValue>, YokanError> {
+        // lsmdb scans are inclusive on the lower bound; the smallest key
+        // strictly greater than `from` is `from ++ [0]`. When `from` is below
+        // the prefix range, start inclusively at the prefix itself.
+        let lower = if from >= prefix {
+            let mut l = from.to_vec();
+            l.push(0);
+            l
+        } else {
+            prefix.to_vec()
+        };
+        let upper = prefix_upper_bound(prefix);
+        let got = self
+            .db
+            .scan(&lower, upper.as_deref(), limit)
+            .map_err(|e| YokanError::Backend(e.to_string()))?;
+        Ok(got
+            .into_iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .collect())
+    }
+
+    fn count(&self) -> Result<u64, YokanError> {
+        self.db
+            .count_range(b"", None)
+            .map(|n| n as u64)
+            .map_err(|e| YokanError::Backend(e.to_string()))
+    }
+
+    fn kind(&self) -> &'static str {
+        "lsm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "yokan-backend-{}-{name}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn backends(name: &str) -> Vec<(Box<dyn Backend>, Option<std::path::PathBuf>)> {
+        let d = tmpdir(name);
+        vec![
+            (Box::new(MemBackend::new()), None),
+            (Box::new(LsmBackend::open(&d).unwrap()), Some(d)),
+        ]
+    }
+
+    #[test]
+    fn put_get_erase_both_backends() {
+        for (b, dir) in backends("pge") {
+            b.put(b"k", b"v").unwrap();
+            assert_eq!(b.get(b"k").unwrap(), Some(b"v".to_vec()));
+            assert!(b.exists(b"k").unwrap());
+            b.erase(b"k").unwrap();
+            assert_eq!(b.get(b"k").unwrap(), None);
+            assert!(!b.exists(b"k").unwrap());
+            if let Some(d) = dir {
+                drop(b);
+                std::fs::remove_dir_all(&d).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn put_multi_and_get_multi() {
+        for (b, dir) in backends("multi") {
+            let pairs: Vec<_> = (0..20u32)
+                .map(|i| (format!("k{i:03}").into_bytes(), vec![i as u8]))
+                .collect();
+            b.put_multi(&pairs).unwrap();
+            let keys: Vec<_> = (0..25u32).map(|i| format!("k{i:03}").into_bytes()).collect();
+            let got = b.get_multi(&keys).unwrap();
+            for (i, g) in got.iter().enumerate() {
+                if i < 20 {
+                    assert_eq!(g.as_deref(), Some(&[i as u8][..]));
+                } else {
+                    assert!(g.is_none());
+                }
+            }
+            assert_eq!(b.count().unwrap(), 20);
+            if let Some(d) = dir {
+                drop(b);
+                std::fs::remove_dir_all(&d).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn list_keys_exclusive_lower_bound_and_prefix() {
+        for (b, dir) in backends("list") {
+            for run in 0..3u8 {
+                for ev in 0..5u8 {
+                    b.put(&[b'r', run, b'e', ev], b"x").unwrap();
+                }
+            }
+            // All events of run 1:
+            let keys = b.list_keys(&[b'r', 1], &[b'r', 1], 0).unwrap();
+            assert_eq!(keys.len(), 5);
+            assert!(keys.iter().all(|k| k.starts_with(&[b'r', 1])));
+            // Resume after the 2nd event of run 1:
+            let keys2 = b
+                .list_keys(&[b'r', 1, b'e', 1], &[b'r', 1], 0)
+                .unwrap();
+            assert_eq!(keys2.len(), 3);
+            assert_eq!(keys2[0], vec![b'r', 1, b'e', 2]);
+            // Limit:
+            let keys3 = b.list_keys(&[b'r', 1], &[b'r', 1], 2).unwrap();
+            assert_eq!(keys3.len(), 2);
+            if let Some(d) = dir {
+                drop(b);
+                std::fs::remove_dir_all(&d).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn list_keyvals_returns_values() {
+        for (b, dir) in backends("listkv") {
+            b.put(b"a1", b"v1").unwrap();
+            b.put(b"a2", b"v2").unwrap();
+            b.put(b"b1", b"v3").unwrap();
+            let kvs = b.list_keyvals(b"", b"a", 0).unwrap();
+            assert_eq!(
+                kvs,
+                vec![
+                    (b"a1".to_vec(), b"v1".to_vec()),
+                    (b"a2".to_vec(), b"v2".to_vec())
+                ]
+            );
+            if let Some(d) = dir {
+                drop(b);
+                std::fs::remove_dir_all(&d).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn list_with_exact_key_equal_to_from_is_excluded() {
+        for (b, dir) in backends("exclusive") {
+            b.put(b"k1", b"x").unwrap();
+            b.put(b"k2", b"y").unwrap();
+            let keys = b.list_keys(b"k1", b"k", 0).unwrap();
+            assert_eq!(keys, vec![b"k2".to_vec()]);
+            if let Some(d) = dir {
+                drop(b);
+                std::fs::remove_dir_all(&d).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_upper_bound_cases() {
+        assert_eq!(prefix_upper_bound(b"abc"), Some(b"abd".to_vec()));
+        assert_eq!(prefix_upper_bound(&[0x01, 0xFF]), Some(vec![0x02]));
+        assert_eq!(prefix_upper_bound(&[0xFF, 0xFF]), None);
+        assert_eq!(prefix_upper_bound(b""), None);
+    }
+
+    #[test]
+    fn backends_agree_on_random_ops() {
+        let d = tmpdir("agree");
+        let mem = MemBackend::new();
+        let lsm = LsmBackend::open(&d).unwrap();
+        let mut seed = 0x12345u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for _ in 0..500 {
+            let k = format!("key{:02}", next() % 40).into_bytes();
+            match next() % 3 {
+                0 | 1 => {
+                    let v = format!("val{}", next() % 1000).into_bytes();
+                    mem.put(&k, &v).unwrap();
+                    lsm.put(&k, &v).unwrap();
+                }
+                _ => {
+                    mem.erase(&k).unwrap();
+                    lsm.erase(&k).unwrap();
+                }
+            }
+        }
+        assert_eq!(mem.count().unwrap(), lsm.count().unwrap());
+        let mk = mem.list_keyvals(b"", b"", 0).unwrap();
+        let lk = lsm.list_keyvals(b"", b"", 0).unwrap();
+        assert_eq!(mk, lk);
+        drop(lsm);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn kinds() {
+        let d = tmpdir("kind");
+        assert_eq!(MemBackend::new().kind(), "map");
+        let l = LsmBackend::open(&d).unwrap();
+        assert_eq!(l.kind(), "lsm");
+        drop(l);
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

@@ -1,0 +1,276 @@
+//! Client side: remote database handles.
+
+use crate::backend::KeyValue;
+use crate::encoding::*;
+use crate::error::YokanError;
+use crate::service::*;
+use bytes::{BufMut, Bytes, BytesMut};
+use mercurio::{Endpoint, PendingResponse, RpcId};
+use std::sync::Arc;
+
+/// Identifies one remote database: the server address, the provider id on
+/// that server, and the database name within the provider.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DbTarget {
+    /// Server endpoint address.
+    pub addr: String,
+    /// Provider id on that server.
+    pub provider_id: u16,
+    /// Database name within the provider.
+    pub db: String,
+}
+
+impl DbTarget {
+    /// Convenience constructor.
+    pub fn new(addr: impl Into<String>, provider_id: u16, db: impl Into<String>) -> Self {
+        DbTarget {
+            addr: addr.into(),
+            provider_id,
+            db: db.into(),
+        }
+    }
+}
+
+/// A Yokan client bound to a local endpoint.
+///
+/// Batched writes larger than `bulk_threshold` bytes are shipped as bulk
+/// transfers (the client exposes the encoded block and the server pulls it),
+/// matching Yokan's RPC-for-small / RDMA-for-batches split (paper §II-B).
+#[derive(Clone)]
+pub struct YokanClient {
+    endpoint: Arc<dyn Endpoint>,
+    bulk_threshold: usize,
+}
+
+impl YokanClient {
+    /// Create a client with the default 8 KiB bulk threshold.
+    pub fn new(endpoint: Arc<dyn Endpoint>) -> YokanClient {
+        YokanClient {
+            endpoint,
+            bulk_threshold: 8 << 10,
+        }
+    }
+
+    /// Override the bulk threshold (`usize::MAX` disables bulk entirely).
+    pub fn with_bulk_threshold(endpoint: Arc<dyn Endpoint>, threshold: usize) -> YokanClient {
+        YokanClient {
+            endpoint,
+            bulk_threshold: threshold,
+        }
+    }
+
+    /// The local endpoint this client sends from.
+    pub fn endpoint(&self) -> &Arc<dyn Endpoint> {
+        &self.endpoint
+    }
+
+    fn header(target: &DbTarget, extra: usize) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(4 + target.db.len() + extra);
+        put_bytes(&mut buf, target.db.as_bytes());
+        buf
+    }
+
+    fn call(&self, target: &DbTarget, op: u16, payload: Bytes) -> Result<Bytes, YokanError> {
+        self.endpoint
+            .call(&target.addr, RpcId(op), target.provider_id, payload)
+            .map_err(YokanError::from)
+    }
+
+    /// Store one pair.
+    pub fn put(&self, target: &DbTarget, key: &[u8], value: &[u8]) -> Result<(), YokanError> {
+        let mut buf = Self::header(target, 8 + key.len() + value.len());
+        put_bytes(&mut buf, key);
+        put_bytes(&mut buf, value);
+        self.call(target, OP_PUT, buf.freeze())?;
+        Ok(())
+    }
+
+    /// Store a batch of pairs in one RPC (inline or bulk depending on size).
+    pub fn put_multi(
+        &self,
+        target: &DbTarget,
+        pairs: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<(), YokanError> {
+        self.put_multi_async(target, pairs)?.wait()
+    }
+
+    /// Asynchronous [`YokanClient::put_multi`]; the returned handle must be
+    /// waited on (it also releases the bulk region, if one was used).
+    pub fn put_multi_async(
+        &self,
+        target: &DbTarget,
+        pairs: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<PendingPut, YokanError> {
+        let block = encode_pairs(pairs);
+        let mut buf = Self::header(target, 1 + block.len().min(self.bulk_threshold) + 24);
+        let bulk = if block.len() > self.bulk_threshold {
+            buf.put_u8(MODE_BULK);
+            let handle = self.endpoint.expose_bulk(block);
+            handle.encode_into(&mut buf);
+            Some(handle)
+        } else {
+            buf.put_u8(MODE_INLINE);
+            buf.put_slice(&block);
+            None
+        };
+        let pending = self.endpoint.call_async(
+            &target.addr,
+            RpcId(OP_PUT_MULTI),
+            target.provider_id,
+            buf.freeze(),
+        );
+        Ok(PendingPut {
+            pending,
+            bulk,
+            endpoint: Arc::clone(&self.endpoint),
+        })
+    }
+
+    /// Fetch one value.
+    pub fn get(&self, target: &DbTarget, key: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
+        let mut buf = Self::header(target, 4 + key.len());
+        put_bytes(&mut buf, key);
+        let mut resp = self.call(target, OP_GET, buf.freeze())?;
+        let mut vals = decode_optionals(&mut resp)?;
+        vals.pop()
+            .ok_or_else(|| YokanError::Protocol("empty get response".into()))
+    }
+
+    /// Fetch a batch of values; one slot per requested key.
+    pub fn get_multi(
+        &self,
+        target: &DbTarget,
+        keys: &[Vec<u8>],
+    ) -> Result<Vec<Option<Vec<u8>>>, YokanError> {
+        let keys_block = encode_keys(keys);
+        let mut buf = Self::header(target, keys_block.len());
+        buf.put_slice(&keys_block);
+        let mut resp = self.call(target, OP_GET_MULTI, buf.freeze())?;
+        decode_optionals(&mut resp)
+    }
+
+    /// Whether a key exists.
+    pub fn exists(&self, target: &DbTarget, key: &[u8]) -> Result<bool, YokanError> {
+        let mut buf = Self::header(target, 4 + key.len());
+        put_bytes(&mut buf, key);
+        let resp = self.call(target, OP_EXISTS, buf.freeze())?;
+        Ok(resp.first().copied() == Some(1))
+    }
+
+    /// Delete a key.
+    pub fn erase(&self, target: &DbTarget, key: &[u8]) -> Result<(), YokanError> {
+        let mut buf = Self::header(target, 4 + key.len());
+        put_bytes(&mut buf, key);
+        self.call(target, OP_ERASE, buf.freeze())?;
+        Ok(())
+    }
+
+    /// Atomically insert unless present; returns the existing value if the
+    /// key was already set (the server performs the check-and-insert under
+    /// its backend's lock).
+    pub fn put_if_absent(
+        &self,
+        target: &DbTarget,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<Option<Vec<u8>>, YokanError> {
+        let mut buf = Self::header(target, 8 + key.len() + value.len());
+        put_bytes(&mut buf, key);
+        put_bytes(&mut buf, value);
+        let mut resp = self.call(target, OP_PUT_IF_ABSENT, buf.freeze())?;
+        let mut vals = decode_optionals(&mut resp)?;
+        vals.pop()
+            .ok_or_else(|| YokanError::Protocol("empty put_if_absent response".into()))
+    }
+
+    /// Delete a batch of keys in one RPC.
+    pub fn erase_multi(&self, target: &DbTarget, keys: &[Vec<u8>]) -> Result<(), YokanError> {
+        let keys_block = encode_keys(keys);
+        let mut buf = Self::header(target, keys_block.len());
+        buf.put_slice(&keys_block);
+        self.call(target, OP_ERASE_MULTI, buf.freeze())?;
+        Ok(())
+    }
+
+    /// Keys strictly greater than `from` matching `prefix`, up to `limit`
+    /// (`0` = unlimited).
+    pub fn list_keys(
+        &self,
+        target: &DbTarget,
+        from: &[u8],
+        prefix: &[u8],
+        limit: usize,
+    ) -> Result<Vec<Vec<u8>>, YokanError> {
+        let mut buf = Self::header(target, 12 + from.len() + prefix.len());
+        put_bytes(&mut buf, from);
+        put_bytes(&mut buf, prefix);
+        buf.put_u32_le(limit as u32);
+        let mut resp = self.call(target, OP_LIST_KEYS, buf.freeze())?;
+        decode_keys(&mut resp)
+    }
+
+    /// Like [`YokanClient::list_keys`] with values.
+    pub fn list_keyvals(
+        &self,
+        target: &DbTarget,
+        from: &[u8],
+        prefix: &[u8],
+        limit: usize,
+    ) -> Result<Vec<KeyValue>, YokanError> {
+        let mut buf = Self::header(target, 12 + from.len() + prefix.len());
+        put_bytes(&mut buf, from);
+        put_bytes(&mut buf, prefix);
+        buf.put_u32_le(limit as u32);
+        let mut resp = self.call(target, OP_LIST_KEYVALS, buf.freeze())?;
+        decode_pairs(&mut resp)
+    }
+
+    /// Number of pairs in the database.
+    pub fn count(&self, target: &DbTarget) -> Result<u64, YokanError> {
+        let buf = Self::header(target, 0);
+        let mut resp = self.call(target, OP_COUNT, buf.freeze())?;
+        get_u64(&mut resp)
+    }
+
+    /// Database names served by a provider.
+    pub fn list_databases(
+        &self,
+        addr: &str,
+        provider_id: u16,
+    ) -> Result<Vec<String>, YokanError> {
+        let mut resp = self
+            .endpoint
+            .call(addr, RpcId(OP_LIST_DBS), provider_id, Bytes::new())
+            .map_err(YokanError::from)?;
+        let keys = decode_keys(&mut resp)?;
+        keys.into_iter()
+            .map(|k| {
+                String::from_utf8(k).map_err(|_| YokanError::Protocol("db name not utf8".into()))
+            })
+            .collect()
+    }
+}
+
+/// In-flight asynchronous `put_multi`.
+pub struct PendingPut {
+    pending: PendingResponse,
+    bulk: Option<mercurio::BulkHandle>,
+    endpoint: Arc<dyn Endpoint>,
+}
+
+impl PendingPut {
+    /// Wait for the server to acknowledge the batch; releases the bulk
+    /// region if one was exposed.
+    pub fn wait(self) -> Result<(), YokanError> {
+        let result = self.pending.wait();
+        if let Some(h) = &self.bulk {
+            self.endpoint.release_bulk(h);
+        }
+        result.map(|_| ()).map_err(YokanError::from)
+    }
+
+    /// Whether the acknowledgment arrived.
+    pub fn is_ready(&self) -> bool {
+        self.pending.is_ready()
+    }
+}

@@ -1,0 +1,168 @@
+//! Wire encoding helpers for Yokan RPC payloads.
+//!
+//! All integers are little-endian; byte strings are `u32`-length-prefixed.
+
+use crate::error::YokanError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+pub(crate) fn put_bytes(buf: &mut BytesMut, data: &[u8]) {
+    buf.put_u32_le(data.len() as u32);
+    buf.put_slice(data);
+}
+
+pub(crate) fn get_bytes(buf: &mut Bytes) -> Result<Bytes, YokanError> {
+    if buf.remaining() < 4 {
+        return Err(YokanError::Protocol("short length prefix".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(YokanError::Protocol("truncated byte string".into()));
+    }
+    Ok(buf.split_to(len))
+}
+
+pub(crate) fn get_u32(buf: &mut Bytes) -> Result<u32, YokanError> {
+    if buf.remaining() < 4 {
+        return Err(YokanError::Protocol("short u32".into()));
+    }
+    Ok(buf.get_u32_le())
+}
+
+pub(crate) fn get_u64(buf: &mut Bytes) -> Result<u64, YokanError> {
+    if buf.remaining() < 8 {
+        return Err(YokanError::Protocol("short u64".into()));
+    }
+    Ok(buf.get_u64_le())
+}
+
+pub(crate) fn get_u8(buf: &mut Bytes) -> Result<u8, YokanError> {
+    if buf.remaining() < 1 {
+        return Err(YokanError::Protocol("short u8".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+/// Encode a list of `(key, value)` pairs into one contiguous buffer
+/// (used both inline and as a bulk payload).
+pub(crate) fn encode_pairs(pairs: &[crate::backend::KeyValue]) -> Bytes {
+    let total: usize = pairs.iter().map(|(k, v)| 8 + k.len() + v.len()).sum();
+    let mut buf = BytesMut::with_capacity(4 + total);
+    buf.put_u32_le(pairs.len() as u32);
+    for (k, v) in pairs {
+        put_bytes(&mut buf, k);
+        put_bytes(&mut buf, v);
+    }
+    buf.freeze()
+}
+
+pub(crate) fn decode_pairs(buf: &mut Bytes) -> Result<Vec<crate::backend::KeyValue>, YokanError> {
+    let n = get_u32(buf)? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = get_bytes(buf)?.to_vec();
+        let v = get_bytes(buf)?.to_vec();
+        out.push((k, v));
+    }
+    Ok(out)
+}
+
+/// Encode a list of keys.
+pub(crate) fn encode_keys(keys: &[Vec<u8>]) -> Bytes {
+    let total: usize = keys.iter().map(|k| 4 + k.len()).sum();
+    let mut buf = BytesMut::with_capacity(4 + total);
+    buf.put_u32_le(keys.len() as u32);
+    for k in keys {
+        put_bytes(&mut buf, k);
+    }
+    buf.freeze()
+}
+
+pub(crate) fn decode_keys(buf: &mut Bytes) -> Result<Vec<Vec<u8>>, YokanError> {
+    let n = get_u32(buf)? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_bytes(buf)?.to_vec());
+    }
+    Ok(out)
+}
+
+/// Encode a list of optional values (for `get_multi` responses).
+pub(crate) fn encode_optionals(vals: &[Option<Vec<u8>>]) -> Bytes {
+    let total: usize = vals
+        .iter()
+        .map(|v| 1 + v.as_ref().map_or(0, |v| 4 + v.len()))
+        .sum();
+    let mut buf = BytesMut::with_capacity(4 + total);
+    buf.put_u32_le(vals.len() as u32);
+    for v in vals {
+        match v {
+            Some(data) => {
+                buf.put_u8(1);
+                put_bytes(&mut buf, data);
+            }
+            None => buf.put_u8(0),
+        }
+    }
+    buf.freeze()
+}
+
+pub(crate) fn decode_optionals(buf: &mut Bytes) -> Result<Vec<Option<Vec<u8>>>, YokanError> {
+    let n = get_u32(buf)? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        match get_u8(buf)? {
+            0 => out.push(None),
+            1 => out.push(Some(get_bytes(buf)?.to_vec())),
+            t => return Err(YokanError::Protocol(format!("bad optional tag {t}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut buf = BytesMut::new();
+        put_bytes(&mut buf, b"hello");
+        put_bytes(&mut buf, b"");
+        let mut b = buf.freeze();
+        assert_eq!(&get_bytes(&mut b).unwrap()[..], b"hello");
+        assert_eq!(&get_bytes(&mut b).unwrap()[..], b"");
+        assert!(get_bytes(&mut b).is_err());
+    }
+
+    #[test]
+    fn pairs_round_trip() {
+        let pairs = vec![
+            (b"k1".to_vec(), b"v1".to_vec()),
+            (Vec::new(), vec![0u8; 100]),
+        ];
+        let mut enc = encode_pairs(&pairs);
+        assert_eq!(decode_pairs(&mut enc).unwrap(), pairs);
+    }
+
+    #[test]
+    fn keys_round_trip() {
+        let keys = vec![b"a".to_vec(), b"bb".to_vec(), Vec::new()];
+        let mut enc = encode_keys(&keys);
+        assert_eq!(decode_keys(&mut enc).unwrap(), keys);
+    }
+
+    #[test]
+    fn optionals_round_trip() {
+        let vals = vec![Some(b"x".to_vec()), None, Some(Vec::new())];
+        let mut enc = encode_optionals(&vals);
+        assert_eq!(decode_optionals(&mut enc).unwrap(), vals);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let pairs = vec![(b"k".to_vec(), b"v".to_vec())];
+        let enc = encode_pairs(&pairs);
+        let mut cut = enc.slice(0..enc.len() - 1);
+        assert!(decode_pairs(&mut cut).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! Yokan error type.
+
+use mercurio::RpcError;
+use std::fmt;
+
+/// Errors surfaced by Yokan operations, client- or server-side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YokanError {
+    /// The named database does not exist on the target provider.
+    NoSuchDatabase(String),
+    /// The target provider id is not registered on the service.
+    NoSuchProvider(u16),
+    /// The storage backend failed (I/O, corruption, ...).
+    Backend(String),
+    /// A request or response could not be decoded.
+    Protocol(String),
+    /// The underlying RPC failed.
+    Rpc(RpcError),
+}
+
+impl fmt::Display for YokanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            YokanError::NoSuchDatabase(d) => write!(f, "no such database: {d}"),
+            YokanError::NoSuchProvider(p) => write!(f, "no such provider: {p}"),
+            YokanError::Backend(m) => write!(f, "backend error: {m}"),
+            YokanError::Protocol(m) => write!(f, "protocol error: {m}"),
+            YokanError::Rpc(e) => write!(f, "rpc error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for YokanError {}
+
+impl From<RpcError> for YokanError {
+    fn from(e: RpcError) -> Self {
+        // Handler-side YokanErrors travel as RpcError::Handler strings with a
+        // structured prefix; translate them back when recognizable.
+        if let RpcError::Handler(msg) = &e {
+            if let Some(rest) = msg.strip_prefix("yokan:nodb:") {
+                return YokanError::NoSuchDatabase(rest.to_string());
+            }
+            if let Some(rest) = msg.strip_prefix("yokan:noprov:") {
+                return YokanError::NoSuchProvider(rest.parse().unwrap_or(0));
+            }
+            if let Some(rest) = msg.strip_prefix("yokan:backend:") {
+                return YokanError::Backend(rest.to_string());
+            }
+            if let Some(rest) = msg.strip_prefix("yokan:protocol:") {
+                return YokanError::Protocol(rest.to_string());
+            }
+        }
+        YokanError::Rpc(e)
+    }
+}
+
+impl YokanError {
+    /// Encode as an `RpcError::Handler` message for the wire.
+    pub(crate) fn to_rpc(&self) -> RpcError {
+        match self {
+            YokanError::NoSuchDatabase(d) => RpcError::Handler(format!("yokan:nodb:{d}")),
+            YokanError::NoSuchProvider(p) => RpcError::Handler(format!("yokan:noprov:{p}")),
+            YokanError::Backend(m) => RpcError::Handler(format!("yokan:backend:{m}")),
+            YokanError::Protocol(m) => RpcError::Handler(format!("yokan:protocol:{m}")),
+            YokanError::Rpc(e) => e.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_rpc_error() {
+        let cases = vec![
+            YokanError::NoSuchDatabase("events0".into()),
+            YokanError::NoSuchProvider(7),
+            YokanError::Backend("disk on fire".into()),
+            YokanError::Protocol("short frame".into()),
+        ];
+        for e in cases {
+            assert_eq!(YokanError::from(e.to_rpc()), e);
+        }
+    }
+
+    #[test]
+    fn plain_rpc_errors_pass_through() {
+        let e = YokanError::from(RpcError::Timeout);
+        assert_eq!(e, YokanError::Rpc(RpcError::Timeout));
+    }
+}

@@ -1,0 +1,37 @@
+//! `yokan` — a remotely-accessible, single-node key-value storage component,
+//! modeled after Mochi's [Yokan].
+//!
+//! Yokan is the storage heart of HEPnOS (paper §II-B): each server node runs
+//! a set of Yokan *providers*, each serving one or more *databases* backed
+//! either by memory (`std::map`) or by a persistent engine (RocksDB). Small
+//! values travel inlined in RPCs; large values and batches move through bulk
+//! (RDMA) transfers. Keys are sorted, and iteration primitives
+//! (`list_keys` / `list_keyvals` with a lower bound and prefix) are what
+//! HEPnOS builds its container hierarchy on.
+//!
+//! This crate provides:
+//!
+//! * [`Backend`] — the storage abstraction, with [`MemBackend`]
+//!   (`std::map` analogue) and [`LsmBackend`] (RocksDB analogue, backed by
+//!   our [`lsmdb`] engine);
+//! * [`YokanService`] — the server side: registers the RPC handlers on a
+//!   [`margo::MargoInstance`] and routes `(provider_id, db_name)` to
+//!   backends;
+//! * [`YokanClient`] / [`DbTarget`] — the client side, offering single and
+//!   batched operations, automatically switching to bulk transfers above a
+//!   configurable threshold.
+//!
+//! [Yokan]: https://mochi.readthedocs.io/en/latest/yokan.html
+
+#![warn(missing_docs)]
+
+mod backend;
+mod client;
+mod encoding;
+mod error;
+mod service;
+
+pub use backend::{Backend, LsmBackend, MemBackend};
+pub use client::{DbTarget, YokanClient};
+pub use error::YokanError;
+pub use service::{YokanService, PROVIDER_RPC_BASE};

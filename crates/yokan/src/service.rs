@@ -1,0 +1,248 @@
+//! Server side: the Yokan provider service.
+
+use crate::backend::Backend;
+use crate::encoding::*;
+use crate::error::YokanError;
+use bytes::{BufMut, Bytes, BytesMut};
+use margo::MargoInstance;
+use mercurio::{BulkHandle, Endpoint, Request, RpcError, RpcId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Base RPC id of the Yokan protocol; ids `base..base+10` are used.
+pub const PROVIDER_RPC_BASE: u16 = 100;
+
+pub(crate) const OP_PUT: u16 = PROVIDER_RPC_BASE;
+pub(crate) const OP_PUT_MULTI: u16 = PROVIDER_RPC_BASE + 1;
+pub(crate) const OP_GET: u16 = PROVIDER_RPC_BASE + 2;
+pub(crate) const OP_GET_MULTI: u16 = PROVIDER_RPC_BASE + 3;
+pub(crate) const OP_EXISTS: u16 = PROVIDER_RPC_BASE + 4;
+pub(crate) const OP_ERASE: u16 = PROVIDER_RPC_BASE + 5;
+pub(crate) const OP_LIST_KEYS: u16 = PROVIDER_RPC_BASE + 6;
+pub(crate) const OP_LIST_KEYVALS: u16 = PROVIDER_RPC_BASE + 7;
+pub(crate) const OP_COUNT: u16 = PROVIDER_RPC_BASE + 8;
+pub(crate) const OP_LIST_DBS: u16 = PROVIDER_RPC_BASE + 9;
+pub(crate) const OP_ERASE_MULTI: u16 = PROVIDER_RPC_BASE + 10;
+pub(crate) const OP_PUT_IF_ABSENT: u16 = PROVIDER_RPC_BASE + 11;
+
+pub(crate) const MODE_INLINE: u8 = 0;
+pub(crate) const MODE_BULK: u8 = 1;
+
+struct ProviderState {
+    databases: HashMap<String, Arc<dyn Backend>>,
+}
+
+struct ServiceInner {
+    endpoint: Arc<dyn Endpoint>,
+    providers: RwLock<HashMap<u16, ProviderState>>,
+}
+
+/// The server-side Yokan service: owns the providers and their databases,
+/// and answers the Yokan RPCs registered on a [`MargoInstance`].
+///
+/// One service is registered per Margo instance; multiple providers (each
+/// with its own argos pool, per the paper's 16-providers-per-node layout)
+/// are multiplexed by provider id.
+#[derive(Clone)]
+pub struct YokanService {
+    inner: Arc<ServiceInner>,
+}
+
+impl YokanService {
+    /// Create the service and register its RPC handlers on `margo`.
+    pub fn register(margo: &MargoInstance) -> YokanService {
+        let inner = Arc::new(ServiceInner {
+            endpoint: Arc::clone(margo.endpoint()),
+            providers: RwLock::new(HashMap::new()),
+        });
+        let svc = YokanService { inner };
+        for op in [
+            OP_PUT,
+            OP_PUT_MULTI,
+            OP_GET,
+            OP_GET_MULTI,
+            OP_EXISTS,
+            OP_ERASE,
+            OP_LIST_KEYS,
+            OP_LIST_KEYVALS,
+            OP_COUNT,
+            OP_LIST_DBS,
+            OP_ERASE_MULTI,
+            OP_PUT_IF_ABSENT,
+        ] {
+            let svc2 = svc.clone();
+            margo.register_rpc(
+                RpcId(op),
+                Arc::new(move |req: Request| svc2.handle(req).map_err(|e| e.to_rpc())),
+            );
+        }
+        svc
+    }
+
+    /// Declare a provider (id must be fresh) and map it to an argos pool on
+    /// the Margo instance.
+    pub fn add_provider(
+        &self,
+        margo: &MargoInstance,
+        provider_id: u16,
+        pool: &str,
+    ) -> Result<(), margo::MargoError> {
+        margo.assign_provider_pool(provider_id, pool)?;
+        self.inner
+            .providers
+            .write()
+            .entry(provider_id)
+            .or_insert_with(|| ProviderState {
+                databases: HashMap::new(),
+            });
+        Ok(())
+    }
+
+    /// Attach a database to a provider.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the provider was never added or the name is taken —
+    /// misconfiguration that Bedrock-style bootstrap must surface loudly.
+    pub fn add_database(&self, provider_id: u16, name: &str, backend: Arc<dyn Backend>) {
+        let mut provs = self.inner.providers.write();
+        let prov = provs
+            .get_mut(&provider_id)
+            .unwrap_or_else(|| panic!("provider {provider_id} not registered"));
+        let prev = prov.databases.insert(name.to_string(), backend);
+        assert!(prev.is_none(), "database {name} already exists on provider {provider_id}");
+    }
+
+    /// Names of the databases attached to one provider, sorted.
+    pub fn database_names(&self, provider_id: u16) -> Vec<String> {
+        let provs = self.inner.providers.read();
+        let mut names: Vec<String> = provs
+            .get(&provider_id)
+            .map(|p| p.databases.keys().cloned().collect())
+            .unwrap_or_default();
+        names.sort();
+        names
+    }
+
+    fn db(&self, provider_id: u16, name: &[u8]) -> Result<Arc<dyn Backend>, YokanError> {
+        let name = std::str::from_utf8(name)
+            .map_err(|_| YokanError::Protocol("db name not utf8".into()))?;
+        let provs = self.inner.providers.read();
+        let prov = provs
+            .get(&provider_id)
+            .ok_or(YokanError::NoSuchProvider(provider_id))?;
+        prov.databases
+            .get(name)
+            .cloned()
+            .ok_or_else(|| YokanError::NoSuchDatabase(name.to_string()))
+    }
+
+    fn handle(&self, req: Request) -> Result<Bytes, YokanError> {
+        let mut p = req.payload.clone();
+        match req.rpc_id.0 {
+            x if x == OP_LIST_DBS => {
+                let names = self.database_names(req.provider_id);
+                let keys: Vec<Vec<u8>> = names.into_iter().map(|n| n.into_bytes()).collect();
+                Ok(encode_keys(&keys))
+            }
+            x if x == OP_PUT => {
+                let db = get_bytes(&mut p)?;
+                let key = get_bytes(&mut p)?;
+                let val = get_bytes(&mut p)?;
+                self.db(req.provider_id, &db)?.put(&key, &val)?;
+                Ok(Bytes::new())
+            }
+            x if x == OP_PUT_MULTI => {
+                let db = get_bytes(&mut p)?;
+                let backend = self.db(req.provider_id, &db)?;
+                let mode = get_u8(&mut p)?;
+                let pairs = match mode {
+                    MODE_INLINE => decode_pairs(&mut p)?,
+                    MODE_BULK => {
+                        // Pull the encoded pair block from the caller's
+                        // exposed region (the RDMA path for batches).
+                        let handle = BulkHandle::decode_from(&mut p)
+                            .ok_or_else(|| YokanError::Protocol("bad bulk handle".into()))?;
+                        let mut data = self
+                            .inner
+                            .endpoint
+                            .bulk_pull(&req.source, &handle, 0, handle.len)
+                            .map_err(YokanError::Rpc)?;
+                        decode_pairs(&mut data)?
+                    }
+                    m => return Err(YokanError::Protocol(format!("bad put mode {m}"))),
+                };
+                backend.put_multi(&pairs)?;
+                let mut out = BytesMut::with_capacity(4);
+                out.put_u32_le(pairs.len() as u32);
+                Ok(out.freeze())
+            }
+            x if x == OP_GET => {
+                let db = get_bytes(&mut p)?;
+                let key = get_bytes(&mut p)?;
+                let val = self.db(req.provider_id, &db)?.get(&key)?;
+                Ok(encode_optionals(&[val]))
+            }
+            x if x == OP_GET_MULTI => {
+                let db = get_bytes(&mut p)?;
+                let keys = decode_keys(&mut p)?;
+                let vals = self.db(req.provider_id, &db)?.get_multi(&keys)?;
+                Ok(encode_optionals(&vals))
+            }
+            x if x == OP_EXISTS => {
+                let db = get_bytes(&mut p)?;
+                let key = get_bytes(&mut p)?;
+                let e = self.db(req.provider_id, &db)?.exists(&key)?;
+                Ok(Bytes::copy_from_slice(&[e as u8]))
+            }
+            x if x == OP_ERASE => {
+                let db = get_bytes(&mut p)?;
+                let key = get_bytes(&mut p)?;
+                self.db(req.provider_id, &db)?.erase(&key)?;
+                Ok(Bytes::new())
+            }
+            x if x == OP_PUT_IF_ABSENT => {
+                let db = get_bytes(&mut p)?;
+                let key = get_bytes(&mut p)?;
+                let val = get_bytes(&mut p)?;
+                let existing = self.db(req.provider_id, &db)?.put_if_absent(&key, &val)?;
+                Ok(encode_optionals(&[existing]))
+            }
+            x if x == OP_ERASE_MULTI => {
+                let db = get_bytes(&mut p)?;
+                let keys = decode_keys(&mut p)?;
+                self.db(req.provider_id, &db)?.erase_multi(&keys)?;
+                Ok(Bytes::new())
+            }
+            x if x == OP_LIST_KEYS => {
+                let db = get_bytes(&mut p)?;
+                let from = get_bytes(&mut p)?;
+                let prefix = get_bytes(&mut p)?;
+                let limit = get_u32(&mut p)? as usize;
+                let keys = self
+                    .db(req.provider_id, &db)?
+                    .list_keys(&from, &prefix, limit)?;
+                Ok(encode_keys(&keys))
+            }
+            x if x == OP_LIST_KEYVALS => {
+                let db = get_bytes(&mut p)?;
+                let from = get_bytes(&mut p)?;
+                let prefix = get_bytes(&mut p)?;
+                let limit = get_u32(&mut p)? as usize;
+                let kvs = self
+                    .db(req.provider_id, &db)?
+                    .list_keyvals(&from, &prefix, limit)?;
+                Ok(encode_pairs(&kvs))
+            }
+            x if x == OP_COUNT => {
+                let db = get_bytes(&mut p)?;
+                let n = self.db(req.provider_id, &db)?.count()?;
+                let mut out = BytesMut::with_capacity(8);
+                out.put_u64_le(n);
+                Ok(out.freeze())
+            }
+            other => Err(YokanError::Rpc(RpcError::NoSuchRpc(other))),
+        }
+    }
+}

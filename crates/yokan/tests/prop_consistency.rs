@@ -1,0 +1,90 @@
+//! Property test: the full client → RPC → service → backend path behaves
+//! exactly like an in-memory map, for arbitrary operation sequences.
+
+use argos::Runtime;
+use margo::MargoInstance;
+use mercurio::local::Fabric;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use yokan::{DbTarget, MemBackend, YokanClient, YokanService};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    PutMulti(Vec<(Vec<u8>, Vec<u8>)>),
+    Erase(Vec<u8>),
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    (0u8..32).prop_map(|i| vec![b'k', i])
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (key_strategy(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        2 => proptest::collection::vec(
+            (key_strategy(), proptest::collection::vec(any::<u8>(), 0..32)), 1..6
+        ).prop_map(Op::PutMulti),
+        1 => key_strategy().prop_map(Op::Erase),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    #[test]
+    fn remote_database_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let fabric = Fabric::new(Default::default());
+        let server = MargoInstance::new(
+            fabric.endpoint("server"),
+            Runtime::simple(1),
+            "default",
+        ).unwrap();
+        let svc = YokanService::register(&server);
+        svc.add_provider(&server, 0, "default").unwrap();
+        svc.add_database(0, "db", Arc::new(MemBackend::new()));
+        let client = YokanClient::new(fabric.endpoint("client"));
+        let t = DbTarget::new(server.address(), 0, "db");
+
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    client.put(&t, k, v).unwrap();
+                    model.insert(k.clone(), v.clone());
+                }
+                Op::PutMulti(pairs) => {
+                    client.put_multi(&t, pairs).unwrap();
+                    for (k, v) in pairs {
+                        model.insert(k.clone(), v.clone());
+                    }
+                }
+                Op::Erase(k) => {
+                    client.erase(&t, k).unwrap();
+                    model.remove(k);
+                }
+            }
+        }
+        // Point lookups agree.
+        for i in 0u8..32 {
+            let k = vec![b'k', i];
+            prop_assert_eq!(client.get(&t, &k).unwrap(), model.get(&k).cloned());
+            prop_assert_eq!(client.exists(&t, &k).unwrap(), model.contains_key(&k));
+        }
+        // Count and full listing agree (order included).
+        prop_assert_eq!(client.count(&t).unwrap(), model.len() as u64);
+        let listed = client.list_keyvals(&t, &[], &[], 0).unwrap();
+        let expected: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(listed, expected);
+        // get_multi agrees, order-preserving.
+        let keys: Vec<Vec<u8>> = (0u8..32).map(|i| vec![b'k', i]).collect();
+        let got = client.get_multi(&t, &keys).unwrap();
+        for (k, g) in keys.iter().zip(got) {
+            prop_assert_eq!(g, model.get(k).cloned());
+        }
+        server.finalize();
+    }
+}

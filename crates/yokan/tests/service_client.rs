@@ -1,0 +1,291 @@
+//! End-to-end tests: YokanClient against a YokanService over the local
+//! fabric, through Margo pools — the full Mochi server shape.
+
+use argos::{Runtime, SchedulingDiscipline};
+use margo::MargoInstance;
+use mercurio::local::Fabric;
+use mercurio::{Endpoint, NetworkModel};
+use std::sync::Arc;
+use yokan::{DbTarget, LsmBackend, MemBackend, YokanClient, YokanError, YokanService};
+
+struct TestServer {
+    fabric: Fabric,
+    server: MargoInstance,
+    svc: YokanService,
+}
+
+fn setup(model: NetworkModel) -> TestServer {
+    let fabric = Fabric::new(model);
+    let rt = Runtime::builder()
+        .pool("default", SchedulingDiscipline::Fifo)
+        .pool("db0", SchedulingDiscipline::Fifo)
+        .pool("db1", SchedulingDiscipline::Fifo)
+        .xstream("es0", &["db0", "default"])
+        .xstream("es1", &["db1", "default"])
+        .build()
+        .unwrap();
+    let server = MargoInstance::new(fabric.endpoint("server"), rt, "default").unwrap();
+    let svc = YokanService::register(&server);
+    svc.add_provider(&server, 0, "db0").unwrap();
+    svc.add_provider(&server, 1, "db1").unwrap();
+    svc.add_database(0, "events", Arc::new(MemBackend::new()));
+    svc.add_database(0, "products", Arc::new(MemBackend::new()));
+    svc.add_database(1, "events", Arc::new(MemBackend::new()));
+    TestServer {
+        fabric,
+        server,
+        svc,
+    }
+}
+
+#[test]
+fn put_get_roundtrip_through_service() {
+    let ts = setup(NetworkModel::default());
+    let client = YokanClient::new(ts.fabric.endpoint("client"));
+    let t = DbTarget::new(ts.server.address(), 0, "events");
+    client.put(&t, b"key", b"value").unwrap();
+    assert_eq!(client.get(&t, b"key").unwrap(), Some(b"value".to_vec()));
+    assert!(client.exists(&t, b"key").unwrap());
+    client.erase(&t, b"key").unwrap();
+    assert_eq!(client.get(&t, b"key").unwrap(), None);
+    ts.server.finalize();
+}
+
+#[test]
+fn providers_are_isolated() {
+    let ts = setup(NetworkModel::default());
+    let client = YokanClient::new(ts.fabric.endpoint("client"));
+    let t0 = DbTarget::new(ts.server.address(), 0, "events");
+    let t1 = DbTarget::new(ts.server.address(), 1, "events");
+    client.put(&t0, b"k", b"provider0").unwrap();
+    assert_eq!(client.get(&t1, b"k").unwrap(), None);
+    assert_eq!(client.get(&t0, b"k").unwrap(), Some(b"provider0".to_vec()));
+    ts.server.finalize();
+}
+
+#[test]
+fn missing_database_and_provider_errors() {
+    let ts = setup(NetworkModel::default());
+    let client = YokanClient::new(ts.fabric.endpoint("client"));
+    let bad_db = DbTarget::new(ts.server.address(), 0, "nope");
+    assert_eq!(
+        client.get(&bad_db, b"k").unwrap_err(),
+        YokanError::NoSuchDatabase("nope".into())
+    );
+    let bad_prov = DbTarget::new(ts.server.address(), 9, "events");
+    assert_eq!(
+        client.get(&bad_prov, b"k").unwrap_err(),
+        YokanError::NoSuchProvider(9)
+    );
+    ts.server.finalize();
+}
+
+#[test]
+fn put_multi_inline_and_bulk() {
+    let ts = setup(NetworkModel::default());
+    // Tiny threshold forces the bulk path for the big batch.
+    let ep = ts.fabric.endpoint("client");
+    let client = YokanClient::with_bulk_threshold(Arc::clone(&ep) as Arc<dyn Endpoint>, 256);
+    let t = DbTarget::new(ts.server.address(), 0, "products");
+    // Small batch: inline.
+    let small: Vec<_> = (0..3u8).map(|i| (vec![b's', i], vec![i; 4])).collect();
+    client.put_multi(&t, &small).unwrap();
+    // Large batch: bulk.
+    let large: Vec<_> = (0..100u8).map(|i| (vec![b'l', i], vec![i; 64])).collect();
+    client.put_multi(&t, &large).unwrap();
+    assert_eq!(client.count(&t).unwrap(), 103);
+    for i in 0..100u8 {
+        assert_eq!(client.get(&t, &[b'l', i]).unwrap(), Some(vec![i; 64]));
+    }
+    // The bulk path must actually have served bytes from the client NIC.
+    assert!(ep.stats().bulk_bytes_served > 0);
+    ts.server.finalize();
+}
+
+#[test]
+fn get_multi_preserves_order_and_misses() {
+    let ts = setup(NetworkModel::default());
+    let client = YokanClient::new(ts.fabric.endpoint("client"));
+    let t = DbTarget::new(ts.server.address(), 0, "events");
+    client.put(&t, b"a", b"1").unwrap();
+    client.put(&t, b"c", b"3").unwrap();
+    let got = client
+        .get_multi(&t, &[b"a".to_vec(), b"b".to_vec(), b"c".to_vec()])
+        .unwrap();
+    assert_eq!(
+        got,
+        vec![Some(b"1".to_vec()), None, Some(b"3".to_vec())]
+    );
+    ts.server.finalize();
+}
+
+#[test]
+fn list_keys_pagination_protocol() {
+    let ts = setup(NetworkModel::default());
+    let client = YokanClient::new(ts.fabric.endpoint("client"));
+    let t = DbTarget::new(ts.server.address(), 0, "events");
+    for i in 0..25u8 {
+        client.put(&t, &[b'e', i], b"x").unwrap();
+    }
+    // Page through with limit 10, resuming from the last key of each page —
+    // exactly how HEPnOS iterates a container.
+    let mut seen = Vec::new();
+    let mut from = vec![b'e'];
+    loop {
+        let page = client.list_keys(&t, &from, b"e", 10).unwrap();
+        if page.is_empty() {
+            break;
+        }
+        from = page.last().unwrap().clone();
+        seen.extend(page);
+    }
+    assert_eq!(seen.len(), 25);
+    assert!(seen.windows(2).all(|w| w[0] < w[1]));
+    ts.server.finalize();
+}
+
+#[test]
+fn list_keyvals_and_databases() {
+    let ts = setup(NetworkModel::default());
+    let client = YokanClient::new(ts.fabric.endpoint("client"));
+    let t = DbTarget::new(ts.server.address(), 0, "events");
+    client.put(&t, b"p1", b"v1").unwrap();
+    let kvs = client.list_keyvals(&t, b"", b"p", 0).unwrap();
+    assert_eq!(kvs, vec![(b"p1".to_vec(), b"v1".to_vec())]);
+    let dbs = client.list_databases(&ts.server.address(), 0).unwrap();
+    assert_eq!(dbs, vec!["events".to_string(), "products".to_string()]);
+    ts.server.finalize();
+}
+
+#[test]
+fn works_with_lsm_backend_and_persists() {
+    let dir = std::env::temp_dir().join(format!("yokan-e2e-lsm-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let fabric = Fabric::new(NetworkModel::default());
+        let server =
+            MargoInstance::new(fabric.endpoint("server"), Runtime::simple(2), "default").unwrap();
+        let svc = YokanService::register(&server);
+        svc.add_provider(&server, 0, "default").unwrap();
+        svc.add_database(0, "events", Arc::new(LsmBackend::open(&dir).unwrap()));
+        let client = YokanClient::new(fabric.endpoint("client"));
+        let t = DbTarget::new(server.address(), 0, "events");
+        for i in 0..200u32 {
+            client
+                .put(&t, format!("k{i:05}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        server.finalize();
+    }
+    // Reopen the backend directly: the data survived the service shutdown.
+    let backend = LsmBackend::open(&dir).unwrap();
+    use yokan::Backend;
+    assert_eq!(backend.count().unwrap(), 200);
+    assert_eq!(
+        backend.get(b"k00042").unwrap(),
+        Some(42u32.to_le_bytes().to_vec())
+    );
+    drop(backend);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_clients_hammer_one_provider() {
+    let ts = setup(NetworkModel::default());
+    let addr = ts.server.address();
+    let mut threads = Vec::new();
+    for c in 0..4u32 {
+        let fabric = ts.fabric.clone();
+        let addr = addr.clone();
+        threads.push(std::thread::spawn(move || {
+            let client = YokanClient::new(fabric.endpoint(&format!("client{c}")));
+            let t = DbTarget::new(addr, 0, "events");
+            for i in 0..100u32 {
+                let key = format!("c{c}-k{i}");
+                client.put(&t, key.as_bytes(), &i.to_le_bytes()).unwrap();
+            }
+            for i in 0..100u32 {
+                let key = format!("c{c}-k{i}");
+                assert_eq!(
+                    client.get(&t, key.as_bytes()).unwrap(),
+                    Some(i.to_le_bytes().to_vec())
+                );
+            }
+        }));
+    }
+    for th in threads {
+        th.join().unwrap();
+    }
+    let client = YokanClient::new(ts.fabric.endpoint("verifier"));
+    let t = DbTarget::new(ts.server.address(), 0, "events");
+    assert_eq!(client.count(&t).unwrap(), 400);
+    drop(ts.svc);
+    ts.server.finalize();
+}
+
+#[test]
+fn latency_model_applies_to_yokan_calls() {
+    let ts = setup(NetworkModel {
+        latency: std::time::Duration::from_millis(5),
+        ..Default::default()
+    });
+    let client = YokanClient::new(ts.fabric.endpoint("client"));
+    let t = DbTarget::new(ts.server.address(), 0, "events");
+    let t0 = std::time::Instant::now();
+    client.put(&t, b"k", b"v").unwrap();
+    assert!(t0.elapsed() >= std::time::Duration::from_millis(10));
+    ts.server.finalize();
+    ts.fabric.stop();
+}
+
+#[test]
+fn erase_multi_removes_batch() {
+    let ts = setup(NetworkModel::default());
+    let client = YokanClient::new(ts.fabric.endpoint("client"));
+    let t = DbTarget::new(ts.server.address(), 0, "events");
+    let keys: Vec<Vec<u8>> = (0..20u8).map(|i| vec![b'e', i]).collect();
+    for k in &keys {
+        client.put(&t, k, b"x").unwrap();
+    }
+    // Erase even keys plus one that never existed (idempotent).
+    let mut to_erase: Vec<Vec<u8>> = keys.iter().step_by(2).cloned().collect();
+    to_erase.push(b"ghost".to_vec());
+    client.erase_multi(&t, &to_erase).unwrap();
+    assert_eq!(client.count(&t).unwrap(), 10);
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(client.exists(&t, k).unwrap(), i % 2 == 1);
+    }
+    ts.server.finalize();
+}
+
+#[test]
+fn put_if_absent_is_atomic_under_contention() {
+    let ts = setup(NetworkModel::default());
+    let addr = ts.server.address();
+    // Many clients race to register the same key with distinct values;
+    // exactly one value must win and every client must learn the winner.
+    let winners: Vec<Option<Vec<u8>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8u8)
+            .map(|c| {
+                let fabric = ts.fabric.clone();
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let client = YokanClient::new(fabric.endpoint(&format!("pia-{c}")));
+                    let t = DbTarget::new(addr, 0, "events");
+                    client.put_if_absent(&t, b"contended", &[c]).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let client = YokanClient::new(ts.fabric.endpoint("pia-check"));
+    let t = DbTarget::new(ts.server.address(), 0, "events");
+    let stored = client.get(&t, b"contended").unwrap().unwrap();
+    // Exactly one caller inserted (saw None); all others saw the winner.
+    let inserted = winners.iter().filter(|w| w.is_none()).count();
+    assert_eq!(inserted, 1, "winners: {winners:?}");
+    for w in winners.iter().flatten() {
+        assert_eq!(w, &stored);
+    }
+    ts.server.finalize();
+}

@@ -1,0 +1,69 @@
+//! Quickstart: the paper's Listing 1, in Rust.
+//!
+//! Starts an in-process HEPnOS deployment (one server "node", in-memory
+//! backends), stores and loads a vector of particles on an event, and
+//! iterates the hierarchy.
+//!
+//! Run: `cargo run --example quickstart`
+
+use hepnos::{DataStore, ProductLabel};
+use serde::{Deserialize, Serialize};
+
+// The example structure from Listing 1. Boost's `serialize` member becomes
+// a serde derive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Particle {
+    x: f32,
+    y: f32,
+    z: f32,
+}
+
+fn main() {
+    // In C++: hepnos::DataStore::connect("config.json"). Here the testing
+    // helper boots servers in-process and hands us a connected DataStore;
+    // see examples/multinode_config.rs for the explicit Bedrock route.
+    let deployment = hepnos::testing::local_deployment(1, Default::default());
+    let datastore: DataStore = deployment.datastore();
+
+    // Access (create) a nested dataset.
+    let ds = datastore
+        .root()
+        .create_dataset("path/to/dataset")
+        .expect("dataset creation failed");
+    // Access run 43, create subrun 56 and event 25 within it.
+    let run = ds.create_run(43).expect("run creation failed");
+    let subrun = run.create_subrun(56).expect("subrun creation failed");
+    let ev = subrun.create_event(25).expect("event creation failed");
+
+    // Store data (a Vec of Particle).
+    let vp1 = vec![
+        Particle { x: 1.0, y: 2.0, z: 3.0 },
+        Particle { x: -1.5, y: 0.25, z: 9.0 },
+    ];
+    let label = ProductLabel::new("mylabel");
+    ev.store(&label, &vp1).expect("store failed");
+
+    // Load data back.
+    let vp2: Vec<Particle> = ev
+        .load(&label)
+        .expect("load failed")
+        .expect("product should exist");
+    assert_eq!(vp1, vp2);
+    println!("stored and loaded {} particles on event {:?}", vp2.len(), ev);
+
+    // Iterate over the subruns in a run.
+    for subrun in run.subruns().expect("iteration failed") {
+        println!("run {} contains subrun {}", run.number(), subrun.number());
+    }
+
+    // Navigation is also possible by full path, from any client.
+    let again = datastore.dataset("path/to/dataset").expect("open failed");
+    println!(
+        "dataset '{}' has uuid {}",
+        again.full_path(),
+        again.uuid().expect("non-root datasets have uuids")
+    );
+
+    deployment.shutdown();
+    println!("done");
+}

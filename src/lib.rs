@@ -1,0 +1,2 @@
+//! Umbrella crate for the HEPnOS reproduction workspace. See README.md.
+pub use hepnos;

@@ -1,0 +1,128 @@
+//! Concurrency stress: HEPnOS is a *shared* service — multiple writers and
+//! readers operate on it at once (the paper's §I: "multiple processes can
+//! share a dataset with event-level granularity"). These tests run
+//! concurrent ingestion and processing against one deployment and check
+//! that nothing is lost, duplicated, or torn.
+
+use bedrock::DbCounts;
+use hepnos::testing::local_deployment;
+use hepnos::{ParallelEventProcessor, PepOptions, ProductLabel, WriteBatch};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+
+#[test]
+fn concurrent_ingest_into_disjoint_subruns() {
+    // Four "loader ranks" (independent clients!) ingest disjoint subruns of
+    // one run concurrently; afterwards everything is present exactly once.
+    let dep = local_deployment(2, DbCounts::default());
+    let label = ProductLabel::new("p");
+    std::thread::scope(|scope| {
+        for rank in 0..4u64 {
+            let store = dep.connect_client(&format!("loader-{rank}"));
+            let label = label.clone();
+            scope.spawn(move || {
+                let ds = store.root().create_dataset("shared/run").unwrap();
+                let uuid = ds.uuid().unwrap();
+                let run = ds.create_run(1).unwrap();
+                for s in (rank * 8)..(rank * 8 + 8) {
+                    let sr = run.create_subrun(s).unwrap();
+                    let mut batch = WriteBatch::new(&store);
+                    for e in 0..25u64 {
+                        let ev = batch.create_event(&sr, &uuid, e).unwrap();
+                        batch.store(&ev, &label, &(s * 1000 + e)).unwrap();
+                    }
+                    batch.flush().unwrap();
+                }
+            });
+        }
+    });
+    let store = dep.datastore();
+    let run = store.dataset("shared/run").unwrap().run(1).unwrap();
+    let subruns = run.subruns().unwrap();
+    assert_eq!(subruns.len(), 32);
+    let mut total = 0u64;
+    for sr in subruns {
+        for ev in sr.events().unwrap() {
+            let v: u64 = ev.load(&label).unwrap().expect("product present");
+            assert_eq!(v, sr.number() * 1000 + ev.number());
+            total += 1;
+        }
+    }
+    assert_eq!(total, 32 * 25);
+    dep.shutdown();
+}
+
+#[test]
+fn processing_one_dataset_while_ingesting_another() {
+    // A reader campaign over dataset A runs concurrently with ingestion
+    // into dataset B on the same service — the "use more processes for the
+    // slower phases" scenario. A's results must be unaffected.
+    let dep = local_deployment(1, DbCounts::default());
+    let store = dep.datastore();
+    let label = ProductLabel::new("x");
+    let ds_a = store.root().create_dataset("a").unwrap();
+    let uuid_a = ds_a.uuid().unwrap();
+    let run_a = ds_a.create_run(1).unwrap();
+    for s in 0..6u64 {
+        let sr = run_a.create_subrun(s).unwrap();
+        let mut batch = WriteBatch::new(&store);
+        for e in 0..100u64 {
+            let ev = batch.create_event(&sr, &uuid_a, e).unwrap();
+            batch.store(&ev, &label, &(s * 100 + e)).unwrap();
+        }
+        batch.flush().unwrap();
+    }
+    let seen: Mutex<BTreeSet<(u64, u64, u64)>> = Mutex::new(BTreeSet::new());
+    std::thread::scope(|scope| {
+        // Writer thread: hammers dataset B through its own client.
+        let writer_store = dep.connect_client("b-writer");
+        let wlabel = label.clone();
+        scope.spawn(move || {
+            let ds_b = writer_store.root().create_dataset("b").unwrap();
+            let uuid_b = ds_b.uuid().unwrap();
+            let run = ds_b.create_run(9).unwrap();
+            for s in 0..10u64 {
+                let sr = run.create_subrun(s).unwrap();
+                let mut batch = WriteBatch::new(&writer_store);
+                for e in 0..200u64 {
+                    let ev = batch.create_event(&sr, &uuid_b, e).unwrap();
+                    batch.store(&ev, &wlabel, &e).unwrap();
+                }
+                batch.flush().unwrap();
+            }
+        });
+        // Reader: PEP over dataset A, concurrently.
+        let pep = ParallelEventProcessor::new(
+            store.clone(),
+            PepOptions {
+                num_workers: 3,
+                load_batch_size: 128,
+                dispatch_batch_size: 16,
+                prefetch: vec![(label.clone(), "u64".to_string())],
+                ..Default::default()
+            },
+        );
+        let seen = &seen;
+        let rlabel = label.clone();
+        scope.spawn(move || {
+            let stats = pep
+                .process(&ds_a, |_w, pe| {
+                    let v: u64 = pe.load(&rlabel).unwrap().expect("A's product present");
+                    let (r, s, e) = pe.event().coordinates();
+                    assert_eq!(v, s * 100 + e);
+                    seen.lock().insert((r, s, e));
+                })
+                .unwrap();
+            assert_eq!(stats.total_events, 600);
+        });
+    });
+    assert_eq!(seen.lock().len(), 600);
+    // B also arrived intact.
+    let ds_b = store.dataset("b").unwrap();
+    let mut b_total = 0;
+    for sr in ds_b.run(9).unwrap().subruns().unwrap() {
+        b_total += sr.events().unwrap().len();
+    }
+    assert_eq!(b_total, 2000);
+    dep.shutdown();
+}

@@ -1,0 +1,89 @@
+//! The paper's §IV correctness check at full-pipeline scope: the
+//! traditional file-based workflow and the HEPnOS workflow must accept
+//! exactly the same candidate slices, across a multi-node deployment, for
+//! several seeds and worker configurations.
+
+use hepfile::run_file_workflow;
+use hepnos::{ParallelEventProcessor, PepOptions};
+use nova::loader::{slice_label, slice_type_name, DataLoader};
+use nova::{files, select_slices, NovaGenerator, SelectionCuts};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+
+fn run_equal_results(seed: u64, n_files: u64, events_per_file: u64, workers: usize) {
+    let dir = std::env::temp_dir().join(format!(
+        "hepnos-eq-{}-{seed}-{n_files}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let gen = NovaGenerator::new(seed);
+    let cuts = SelectionCuts::default();
+    let paths = files::write_dataset(&dir, &gen, n_files, events_per_file).unwrap();
+
+    // File-based pass.
+    let accepted_file: Mutex<BTreeSet<u64>> = Mutex::new(BTreeSet::new());
+    run_file_workflow(paths.len(), workers, |i| {
+        let events = files::read_file(&paths[i]).unwrap();
+        let mut acc = Vec::new();
+        for ev in &events {
+            acc.extend(select_slices(ev, &cuts));
+        }
+        accepted_file.lock().extend(acc);
+    });
+
+    // HEPnOS pass over a 2-node deployment.
+    let dep = hepnos::testing::local_deployment(2, Default::default());
+    let store = dep.datastore();
+    let ds = store.root().create_dataset("nova").unwrap();
+    DataLoader::new(store.clone(), ds.clone())
+        .ingest_files(&paths)
+        .unwrap();
+    let accepted_hepnos: Mutex<BTreeSet<u64>> = Mutex::new(BTreeSet::new());
+    let pep = ParallelEventProcessor::new(
+        store.clone(),
+        PepOptions {
+            num_workers: workers,
+            load_batch_size: 512,
+            dispatch_batch_size: 32,
+            prefetch: vec![(slice_label(), slice_type_name())],
+            ..Default::default()
+        },
+    );
+    pep.process(&ds, |_w, pe| {
+        let slices: Vec<nova::SliceQuantities> =
+            pe.load(&slice_label()).unwrap().unwrap_or_default();
+        let (run, subrun, event) = pe.event().coordinates();
+        let rec = nova::EventRecord {
+            run,
+            subrun,
+            event,
+            slices,
+        };
+        accepted_hepnos.lock().extend(select_slices(&rec, &cuts));
+    })
+    .unwrap();
+    dep.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let a = accepted_file.into_inner();
+    let b = accepted_hepnos.into_inner();
+    assert!(!b.is_empty() || a.is_empty(), "hepnos lost accepted slices");
+    assert_eq!(a, b, "workflows disagree for seed {seed}");
+}
+
+#[test]
+fn equal_results_small() {
+    run_equal_results(1, 4, 100, 2);
+}
+
+#[test]
+fn equal_results_medium_many_workers() {
+    run_equal_results(2, 8, 200, 8);
+}
+
+#[test]
+fn equal_results_across_seeds() {
+    for seed in [10u64, 11, 12] {
+        run_equal_results(seed, 3, 120, 4);
+    }
+}

@@ -1,0 +1,139 @@
+//! Failure injection across the stack: NIC injection-bandwidth saturation
+//! (the Aries failure mode from §IV-E), server shutdown mid-workload, and
+//! LSM persistence across a full server restart.
+
+use bedrock::{BackendKind, DbCounts, ServiceConfig};
+use hepnos::{DataStore, HepnosError, ProductLabel};
+use mercurio::local::Fabric;
+use mercurio::NetworkModel;
+use std::time::Duration;
+
+fn small_counts() -> DbCounts {
+    DbCounts {
+        datasets: 1,
+        runs: 1,
+        subruns: 1,
+        events: 2,
+        products: 2,
+    }
+}
+
+#[test]
+fn injection_saturation_surfaces_as_storage_error() {
+    // A network configured to fail on injection oversaturation, like the
+    // Aries NIC crashes the paper hit: budget of ~2 KB per window.
+    let fabric = Fabric::new(NetworkModel {
+        injection_bandwidth: 20_000.0,
+        injection_window: Duration::from_millis(100),
+        fail_on_saturation: true,
+        ..Default::default()
+    });
+    let cfg = ServiceConfig::hepnos_topology(small_counts(), BackendKind::Map, None);
+    let server = bedrock::launch(fabric.endpoint("server"), &cfg).unwrap();
+    let store = DataStore::connect(fabric.endpoint("client"), &[server.descriptor().clone()])
+        .unwrap();
+    let ds = store.root().create_dataset("saturate").unwrap();
+    let ev = ds
+        .create_run(1)
+        .unwrap()
+        .create_subrun(1)
+        .unwrap()
+        .create_event(1)
+        .unwrap();
+    // Hammer with large products until the budget trips.
+    let label = ProductLabel::new("big");
+    let mut saw_saturation = false;
+    for i in 0..50u32 {
+        match ev.store(&label, &vec![i; 4096]) {
+            Ok(()) => {}
+            Err(HepnosError::Storage(yokan::YokanError::Rpc(
+                mercurio::RpcError::NetworkSaturated,
+            ))) => {
+                saw_saturation = true;
+                break;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(saw_saturation, "saturation never tripped");
+    server.shutdown();
+}
+
+#[test]
+fn server_shutdown_fails_cleanly_not_hangs() {
+    let fabric = Fabric::new(NetworkModel::default());
+    let cfg = ServiceConfig::hepnos_topology(small_counts(), BackendKind::Map, None);
+    let server = bedrock::launch(fabric.endpoint("server"), &cfg).unwrap();
+    let store = DataStore::connect(fabric.endpoint("client"), &[server.descriptor().clone()])
+        .unwrap();
+    let ds = store.root().create_dataset("dying").unwrap();
+    let sr = ds.create_run(1).unwrap().create_subrun(0).unwrap();
+    sr.create_event(1).unwrap();
+    server.shutdown();
+    // Every subsequent operation errors promptly instead of hanging.
+    let err = sr.create_event(2).unwrap_err();
+    assert!(matches!(err, HepnosError::Storage(_)), "{err}");
+    let err = sr.events().unwrap_err();
+    assert!(matches!(err, HepnosError::Storage(_)), "{err}");
+}
+
+#[test]
+fn lsm_deployment_survives_restart_with_data() {
+    let data_dir = std::env::temp_dir().join(format!("hepnos-restart-{}", std::process::id()));
+    std::fs::remove_dir_all(&data_dir).ok();
+    let label = ProductLabel::new("persisted");
+    let cfg =
+        ServiceConfig::hepnos_topology(small_counts(), BackendKind::Lsm, Some(data_dir.clone()));
+    // First incarnation: write.
+    {
+        let fabric = Fabric::new(NetworkModel::default());
+        let server = bedrock::launch(fabric.endpoint("server"), &cfg).unwrap();
+        let store =
+            DataStore::connect(fabric.endpoint("client"), &[server.descriptor().clone()])
+                .unwrap();
+        let ds = store.root().create_dataset("fermilab/nova").unwrap();
+        let sr = ds.create_run(7).unwrap().create_subrun(3).unwrap();
+        for e in 0..50u64 {
+            let ev = sr.create_event(e).unwrap();
+            ev.store(&label, &vec![e as f64; 4]).unwrap();
+        }
+        server.shutdown();
+    }
+    // Second incarnation: same data directory, fresh fabric and server.
+    {
+        let fabric = Fabric::new(NetworkModel::default());
+        let server = bedrock::launch(fabric.endpoint("server"), &cfg).unwrap();
+        let store =
+            DataStore::connect(fabric.endpoint("client"), &[server.descriptor().clone()])
+                .unwrap();
+        let ds = store.dataset("fermilab/nova").unwrap();
+        let sr = ds.run(7).unwrap().subrun(3).unwrap();
+        let events = sr.events().unwrap();
+        assert_eq!(events.len(), 50);
+        for ev in &events {
+            let v: Vec<f64> = ev.load(&label).unwrap().expect("product persisted");
+            assert_eq!(v, vec![ev.number() as f64; 4]);
+        }
+        server.shutdown();
+    }
+    std::fs::remove_dir_all(&data_dir).ok();
+}
+
+#[test]
+fn pep_fails_cleanly_when_servers_are_gone() {
+    use hepnos::{ParallelEventProcessor, PepOptions};
+    let fabric = Fabric::new(NetworkModel::default());
+    let cfg = ServiceConfig::hepnos_topology(small_counts(), BackendKind::Map, None);
+    let server = bedrock::launch(fabric.endpoint("server"), &cfg).unwrap();
+    let store = DataStore::connect(fabric.endpoint("client"), &[server.descriptor().clone()])
+        .unwrap();
+    let ds = store.root().create_dataset("doomed").unwrap();
+    let sr = ds.create_run(1).unwrap().create_subrun(0).unwrap();
+    for e in 0..20u64 {
+        sr.create_event(e).unwrap();
+    }
+    server.shutdown();
+    let pep = ParallelEventProcessor::new(store.clone(), PepOptions::default());
+    let err = pep.process(&ds, |_w, _e| {}).unwrap_err();
+    assert!(matches!(err, HepnosError::Storage(_)), "{err}");
+}
