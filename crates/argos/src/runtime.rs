@@ -48,8 +48,10 @@ impl RuntimeBuilder {
 
     /// Declare an xstream draining the named pools, in round-robin order.
     pub fn xstream(mut self, name: &str, pools: &[&str]) -> Self {
-        self.xstreams
-            .push((name.to_string(), pools.iter().map(|s| s.to_string()).collect()));
+        self.xstreams.push((
+            name.to_string(),
+            pools.iter().map(|s| s.to_string()).collect(),
+        ));
         self
     }
 
@@ -113,7 +115,6 @@ impl fmt::Debug for Runtime {
             .finish()
     }
 }
-
 
 impl Runtime {
     /// Start building a runtime.

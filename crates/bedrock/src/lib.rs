@@ -448,8 +448,7 @@ pub fn launch(
                         BedrockError::Invalid(format!("database {} needs a path", db.name))
                     })?;
                     Arc::new(
-                        LsmBackend::open(path)
-                            .map_err(|e| BedrockError::Backend(e.to_string()))?,
+                        LsmBackend::open(path).map_err(|e| BedrockError::Backend(e.to_string()))?,
                     )
                 }
             };
@@ -571,7 +570,10 @@ mod tests {
         let t = DbTarget::new(server.address(), 0, "events_0");
         client.put(&t, b"persist", b"yes").unwrap();
         server.shutdown();
-        assert!(dir.join("events_0").join("MANIFEST").exists() || dir.join("events_0").join("wal.log").exists());
+        assert!(
+            dir.join("events_0").join("MANIFEST").exists()
+                || dir.join("events_0").join("wal.log").exists()
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

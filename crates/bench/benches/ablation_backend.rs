@@ -17,11 +17,7 @@ fn backends(tag: &str) -> Vec<(&'static str, Box<dyn Backend>, Option<PathBuf>)>
     let dir = tmpdir(tag);
     vec![
         ("map", Box::new(MemBackend::new()) as Box<dyn Backend>, None),
-        (
-            "lsm",
-            Box::new(LsmBackend::open(&dir).unwrap()),
-            Some(dir),
-        ),
+        ("lsm", Box::new(LsmBackend::open(&dir).unwrap()), Some(dir)),
     ]
 }
 

@@ -72,7 +72,11 @@ fn bench_async_overlap(c: &mut Criterion) {
     g.bench_function("sync_512_products_limit64", |b| {
         b.iter(|| {
             subrun_counter += 1;
-            let sr = ds.create_run(2).unwrap().create_subrun(subrun_counter).unwrap();
+            let sr = ds
+                .create_run(2)
+                .unwrap()
+                .create_subrun(subrun_counter)
+                .unwrap();
             let mut batch = WriteBatch::new(&store).with_per_db_limit(64);
             for e in 0..512u64 {
                 let ev = batch.create_event(&sr, &uuid, e).unwrap();
@@ -84,7 +88,11 @@ fn bench_async_overlap(c: &mut Criterion) {
     g.bench_function("async_512_products_limit64", |b| {
         b.iter(|| {
             subrun_counter += 1;
-            let sr = ds.create_run(2).unwrap().create_subrun(subrun_counter).unwrap();
+            let sr = ds
+                .create_run(2)
+                .unwrap()
+                .create_subrun(subrun_counter)
+                .unwrap();
             let mut batch = hepnos::AsyncWriteBatch::new(&store, rt.default_pool().unwrap())
                 .with_per_db_limit(64);
             for e in 0..512u64 {

@@ -17,8 +17,7 @@ fn bench_binser(c: &mut Criterion) {
     });
     g.bench_function("deserialize_slice_vec", |b| {
         b.iter(|| {
-            let v: Vec<SliceQuantities> =
-                hepnos::binser::from_bytes(black_box(&bytes)).unwrap();
+            let v: Vec<SliceQuantities> = hepnos::binser::from_bytes(black_box(&bytes)).unwrap();
             v
         })
     });

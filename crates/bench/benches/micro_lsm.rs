@@ -71,6 +71,15 @@ fn bench_reads(c: &mut Criterion) {
         })
     });
     g.finish();
+    let cache = db.read_cache_stats();
+    println!(
+        "# lsm_read cache: {} shards, {} entries, {} hits / {} misses / {} evictions",
+        cache.shard_entries.len(),
+        cache.entries,
+        cache.hits,
+        cache.misses,
+        cache.evictions
+    );
     drop(db);
     std::fs::remove_dir_all(&dir).ok();
 }

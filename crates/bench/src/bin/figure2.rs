@@ -108,7 +108,10 @@ fn main() {
     // The claims checklist the paper's text makes about this figure.
     println!("\n# claims check:");
     let all_win = rows.iter().all(|&(_, f, l, m)| l > f && m > f);
-    println!("#  - HEPnOS superior at every node count: {}", yesno(all_win));
+    println!(
+        "#  - HEPnOS superior at every node count: {}",
+        yesno(all_win)
+    );
     let (_, _, l16, m16) = rows[0];
     let gap16 = m16 / l16;
     let last = rows.last().expect("rows not empty");

@@ -67,10 +67,13 @@ fn main() {
         busy_small * 100.0,
         yesno((0.20..0.28).contains(&busy_small))
     );
-    let all_win = rows.iter().all(|(f, l, m)| {
-        l.throughput > f.throughput && m.throughput > f.throughput
-    });
-    println!("#  - HEPnOS superior at every dataset size: {}", yesno(all_win));
+    let all_win = rows
+        .iter()
+        .all(|(f, l, m)| l.throughput > f.throughput && m.throughput > f.throughput);
+    println!(
+        "#  - HEPnOS superior at every dataset size: {}",
+        yesno(all_win)
+    );
     let file_spread = rows[2].0.throughput / rows[0].0.throughput;
     let mem_spread = rows[2].2.throughput / rows[0].2.throughput;
     println!(

@@ -7,9 +7,7 @@
 //!
 //! Run: `cargo run --release -p hepnos-bench --bin ingest_scaling`
 
-use cluster::{
-    Backend, CostModel, DatasetSpec, HepnosWorkflowModel, IngestModel, ThetaMachine,
-};
+use cluster::{Backend, CostModel, DatasetSpec, HepnosWorkflowModel, IngestModel, ThetaMachine};
 use hepnos_bench::fmt_throughput;
 
 fn main() {

@@ -38,12 +38,20 @@ fn main() {
     let dir = std::env::temp_dir().join(format!("hepnos-live-{}", std::process::id()));
     let gen = NovaGenerator::new(SEED);
     let cuts = SelectionCuts::default();
-    println!("# Live mini-scaling: {N_FILES} files x {EVENTS_PER_FILE} events, real implementations");
-    let paths = files::write_dataset(&dir, &gen, N_FILES, EVENTS_PER_FILE)
-        .expect("dataset write failed");
+    println!(
+        "# Live mini-scaling: {N_FILES} files x {EVENTS_PER_FILE} events, real implementations"
+    );
+    let paths =
+        files::write_dataset(&dir, &gen, N_FILES, EVENTS_PER_FILE).expect("dataset write failed");
     let total_slices: u64 = paths
         .iter()
-        .map(|p| files::read_file(p).unwrap().iter().map(|e| e.slices.len() as u64).sum::<u64>())
+        .map(|p| {
+            files::read_file(p)
+                .unwrap()
+                .iter()
+                .map(|e| e.slices.len() as u64)
+                .sum::<u64>()
+        })
         .sum();
     println!("# total slices: {total_slices}");
 
@@ -127,6 +135,22 @@ fn main() {
     }
     println!("\n# note: with {N_FILES} files, the file-based rows stop improving");
     println!("# once workers > files; HEPnOS keeps scaling with workers.");
+    println!("\n# storage-tier stats after the sweep (shards / entries per shard):");
+    for (label, s) in dep.backend_stats() {
+        let (min, max) = (
+            s.shard_entries.iter().min().copied().unwrap_or(0),
+            s.shard_entries.iter().max().copied().unwrap_or(0),
+        );
+        println!(
+            "#   {label}: {} shards, {} entries (min {min} / max {max} per shard), \
+             cache {}h/{}m/{}e",
+            s.shards,
+            s.shard_entries.iter().sum::<usize>(),
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_evictions,
+        );
+    }
     dep.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -87,10 +87,8 @@ pub fn calibrate_kv_costs() -> (f64, f64) {
     let (t_large, b_large) = sweep(16384);
     dep.shutdown();
     // t = per_batch * batches + per_event * n_events, two equations.
-    let per_batch =
-        ((t_small - t_large) / (b_small as f64 - b_large as f64)).max(0.0);
-    let per_event =
-        ((t_large - per_batch * b_large as f64) / n_events as f64).max(0.0);
+    let per_batch = ((t_small - t_large) / (b_small as f64 - b_large as f64)).max(0.0);
+    let per_event = ((t_large - per_batch * b_large as f64) / n_events as f64).max(0.0);
     (per_event, per_batch)
 }
 

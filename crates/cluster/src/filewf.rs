@@ -113,7 +113,10 @@ mod tests {
         let gain_128 = t128 / t64;
         let gain_256 = t256 / t128;
         assert!(gain_128 < 1.8, "gain to 128 nodes too good: {gain_128}");
-        assert!(gain_256 < 1.15, "no files left to feed 256 nodes: {gain_256}");
+        assert!(
+            gain_256 < 1.15,
+            "no files left to feed 256 nodes: {gain_256}"
+        );
     }
 
     #[test]

@@ -71,7 +71,11 @@ impl HepnosWorkflowModel {
         let slices_per_event = self.dataset.slices_per_event();
         let (per_event, per_batch, extra_startup) = match self.backend {
             Backend::Memory => (c.mem_service_per_event, c.mem_service_per_batch, 0.0),
-            Backend::Lsm => (c.lsm_service_per_event, c.lsm_service_per_batch, c.lsm_startup),
+            Backend::Lsm => (
+                c.lsm_service_per_event,
+                c.lsm_service_per_batch,
+                c.lsm_startup,
+            ),
         };
         let start = c.hepnos_startup + extra_startup;
 
@@ -84,8 +88,7 @@ impl HepnosWorkflowModel {
         let mut dispatch: Vec<(f64, u64)> = Vec::new();
         for db in 0..n_dbs {
             let server = db / m.event_dbs_per_server;
-            let mut events_left =
-                events_per_db_base + if (db as u64) < remainder { 1 } else { 0 };
+            let mut events_left = events_per_db_base + if (db as u64) < remainder { 1 } else { 0 };
             let mut t = start;
             while events_left > 0 {
                 let n = events_left.min(c.load_batch);
@@ -105,10 +108,7 @@ impl HepnosWorkflowModel {
                 }
             }
         }
-        let delivery_finish = dispatch
-            .iter()
-            .map(|&(t, _)| t)
-            .fold(0.0f64, f64::max);
+        let delivery_finish = dispatch.iter().map(|&(t, _)| t).fold(0.0f64, f64::max);
         // ---- consumption: idle workers take the earliest-ready batch ----
         dispatch.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("times are not NaN"));
         let mut workers = WorkerHeap::new(n_workers);
@@ -116,8 +116,7 @@ impl HepnosWorkflowModel {
         for (ready, n_events) in dispatch {
             let (t_w, id) = workers.pop().expect("workers never exhausted");
             let begin = t_w.max(ready).max(start);
-            let service =
-                n_events as f64 * slices_per_event * c.slice_compute + c.rpc_latency;
+            let service = n_events as f64 * slices_per_event * c.slice_compute + c.rpc_latency;
             busy_total += service;
             workers.push(begin + service, id);
         }
@@ -169,10 +168,7 @@ mod tests {
         let t128 = model(128, Backend::Memory, d).simulate().throughput;
         let efficiency = t128 / (t16 * 8.0);
         // The paper reports 85% strong-scaling efficiency at 128 nodes.
-        assert!(
-            (0.70..1.0).contains(&efficiency),
-            "efficiency {efficiency}"
-        );
+        assert!((0.70..1.0).contains(&efficiency), "efficiency {efficiency}");
     }
 
     #[test]
@@ -182,7 +178,10 @@ mod tests {
             / model(16, Backend::Lsm, d).simulate().throughput;
         let ratio_256 = model(256, Backend::Memory, d).simulate().throughput
             / model(256, Backend::Lsm, d).simulate().throughput;
-        assert!(ratio_16 < 1.25, "lsm should be close at 16 nodes: {ratio_16}");
+        assert!(
+            ratio_16 < 1.25,
+            "lsm should be close at 16 nodes: {ratio_16}"
+        );
         assert!(
             (1.5..2.6).contains(&ratio_256),
             "memory should be ~2x at 256 nodes: {ratio_256}"
@@ -204,7 +203,11 @@ mod tests {
         // The pipeline overlaps: total time is far less than delivery +
         // compute done serially, and delivery finishes before the end.
         assert!(r.delivery_finish <= r.makespan * 1.01);
-        assert!(r.worker_utilization > 0.5, "utilization {}", r.worker_utilization);
+        assert!(
+            r.worker_utilization > 0.5,
+            "utilization {}",
+            r.worker_utilization
+        );
     }
 
     #[test]

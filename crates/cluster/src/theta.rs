@@ -160,8 +160,7 @@ impl CostModel {
             state ^= state >> 12;
             state ^= state << 25;
             state ^= state >> 27;
-            let u = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64
-                / (1u64 << 53) as f64;
+            let u = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
             v * (1.0 + amplitude * (2.0 * u - 1.0))
         };
         CostModel {

@@ -57,7 +57,9 @@ impl PartialOrd for Time {
 
 impl Ord for Time {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("virtual times are never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("virtual times are never NaN")
     }
 }
 

@@ -198,7 +198,11 @@ mod tests {
             .count();
         assert!(with_work <= 3);
         // Utilization collapses: at most 3 of 8 workers were ever busy.
-        assert!(stats.utilization() < 0.5, "utilization {}", stats.utilization());
+        assert!(
+            stats.utilization() < 0.5,
+            "utilization {}",
+            stats.utilization()
+        );
     }
 
     #[test]
@@ -252,8 +256,7 @@ mod tests {
         // workers, the worker owning block 0 also owns files 1-3 and ends
         // up the straggler; the pulled queue re-balances.
         let cost = |i: usize| Duration::from_millis(if i == 0 { 60 } else { 4 });
-        let static_stats =
-            run_file_workflow_blocks(8, 2, 4, |i| std::thread::sleep(cost(i)));
+        let static_stats = run_file_workflow_blocks(8, 2, 4, |i| std::thread::sleep(cost(i)));
         let pulled_stats = run_file_workflow(8, 2, |i| std::thread::sleep(cost(i)));
         assert!(
             pulled_stats.makespan < static_stats.makespan,

@@ -13,7 +13,10 @@ static CASE: AtomicU64 = AtomicU64::new(0);
 fn tmpfile() -> PathBuf {
     let d = std::env::temp_dir().join(format!("hepfile-prop-{}", std::process::id()));
     std::fs::create_dir_all(&d).unwrap();
-    d.join(format!("case-{}.hepf", CASE.fetch_add(1, Ordering::Relaxed)))
+    d.join(format!(
+        "case-{}.hepf",
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ))
 }
 
 fn column_strategy(len: usize) -> impl Strategy<Value = ColumnData> {
@@ -28,9 +31,7 @@ fn column_strategy(len: usize) -> impl Strategy<Value = ColumnData> {
 fn group_strategy() -> impl Strategy<Value = TableGroup> {
     (0usize..50, "[a-z.]{1,12}", 1usize..6).prop_flat_map(|(rows, name, n_cols)| {
         let cols = (0..n_cols)
-            .map(|i| {
-                column_strategy(rows).prop_map(move |c| (format!("col{i}"), c))
-            })
+            .map(|i| column_strategy(rows).prop_map(move |c| (format!("col{i}"), c)))
             .collect::<Vec<_>>();
         (Just(name), cols).prop_map(|(name, columns)| TableGroup { name, columns })
     })
@@ -41,22 +42,25 @@ fn groups_eq(a: &TableGroup, b: &TableGroup) -> bool {
     if a.name != b.name || a.columns.len() != b.columns.len() {
         return false;
     }
-    a.columns.iter().zip(&b.columns).all(|((an, ac), (bn, bc))| {
-        an == bn
-            && match (ac, bc) {
-                (ColumnData::U64(x), ColumnData::U64(y)) => x == y,
-                (ColumnData::U32(x), ColumnData::U32(y)) => x == y,
-                (ColumnData::F64(x), ColumnData::F64(y)) => {
-                    x.len() == y.len()
-                        && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+    a.columns
+        .iter()
+        .zip(&b.columns)
+        .all(|((an, ac), (bn, bc))| {
+            an == bn
+                && match (ac, bc) {
+                    (ColumnData::U64(x), ColumnData::U64(y)) => x == y,
+                    (ColumnData::U32(x), ColumnData::U32(y)) => x == y,
+                    (ColumnData::F64(x), ColumnData::F64(y)) => {
+                        x.len() == y.len()
+                            && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+                    }
+                    (ColumnData::F32(x), ColumnData::F32(y)) => {
+                        x.len() == y.len()
+                            && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+                    }
+                    _ => false,
                 }
-                (ColumnData::F32(x), ColumnData::F32(y)) => {
-                    x.len() == y.len()
-                        && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
-                }
-                _ => false,
-            }
-    })
+        })
 }
 
 proptest! {

@@ -8,10 +8,10 @@
 //! overlaps the flush RPCs with the caller by issuing them from an
 //! [`argos::Pool`] and joining them in its destructor.
 
+use crate::binser;
 use crate::datastore::{DataSet, DataStore, Event, ProductLabel, Run, SubRun};
 use crate::error::HepnosError;
 use crate::keys::{self, EventNumber, RunNumber, SubRunNumber};
-use crate::binser;
 use argos::Pool;
 use parking_lot::Mutex;
 use serde::Serialize;
@@ -105,9 +105,9 @@ impl WriteBatch {
     /// Queue creation of a run; the returned handle is usable immediately
     /// for queueing children into the same batch.
     pub fn create_run(&mut self, dataset: &DataSet, number: RunNumber) -> Result<Run, HepnosError> {
-        let uuid = dataset.uuid().ok_or_else(|| {
-            HepnosError::InvalidPath("the root dataset cannot hold runs".into())
-        })?;
+        let uuid = dataset
+            .uuid()
+            .ok_or_else(|| HepnosError::InvalidPath("the root dataset cannot hold runs".into()))?;
         let (db, key) = self.store.write_target_for_run(&uuid, number);
         self.push(db, key, Vec::new())?;
         // The handle is optimistic: the key is queued, not yet visible.
@@ -115,7 +115,11 @@ impl WriteBatch {
     }
 
     /// Queue creation of a subrun.
-    pub fn create_subrun(&mut self, run: &Run, number: SubRunNumber) -> Result<SubRun, HepnosError> {
+    pub fn create_subrun(
+        &mut self,
+        run: &Run,
+        number: SubRunNumber,
+    ) -> Result<SubRun, HepnosError> {
         let (db, key) =
             self.store
                 .write_target_for_subrun(&run.dataset_uuid(), run.number(), number);
@@ -307,9 +311,7 @@ impl AsyncWriteBatch {
         let client = self.batch.store.inner.client.clone();
         let errors = Arc::clone(&self.errors);
         let handle = self.pool.spawn(move || {
-            let res = client
-                .put_multi(&db, &pairs)
-                .map_err(HepnosError::from);
+            let res = client.put_multi(&db, &pairs).map_err(HepnosError::from);
             if let Err(e) = &res {
                 errors.lock().push(e.clone());
             }

@@ -192,11 +192,7 @@ impl<'a, 'o> ser::Serializer for &'a mut Serializer<'o> {
         Ok(self)
     }
 
-    fn serialize_tuple_struct(
-        self,
-        _name: &'static str,
-        _len: usize,
-    ) -> Result<Self, BinserError> {
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, BinserError> {
         Ok(self)
     }
 
@@ -359,8 +355,8 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
     fn deserialize_char<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, BinserError> {
         let b = self.take(4)?;
         let code = u32::from_le_bytes(b.try_into().expect("4 bytes"));
-        let c = char::from_u32(code)
-            .ok_or_else(|| BinserError(format!("invalid char code {code}")))?;
+        let c =
+            char::from_u32(code).ok_or_else(|| BinserError(format!("invalid char code {code}")))?;
         visitor.visit_char(c)
     }
 
@@ -417,7 +413,10 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
 
     fn deserialize_seq<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, BinserError> {
         let len = self.take_len()?;
-        visitor.visit_seq(Counted { de: self, left: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple<V: de::Visitor<'de>>(
@@ -425,7 +424,10 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, BinserError> {
-        visitor.visit_seq(Counted { de: self, left: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: de::Visitor<'de>>(
@@ -439,7 +441,10 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
 
     fn deserialize_map<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, BinserError> {
         let len = self.take_len()?;
-        visitor.visit_map(Counted { de: self, left: len })
+        visitor.visit_map(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_struct<V: de::Visitor<'de>>(
@@ -654,8 +659,16 @@ mod tests {
     fn structs_like_the_paper_listing() {
         // The paper's Listing 1 stores a std::vector<Particle>.
         let vp = vec![
-            Particle { x: 1.0, y: 2.0, z: 3.0 },
-            Particle { x: -1.0, y: 0.5, z: 9.75 },
+            Particle {
+                x: 1.0,
+                y: 2.0,
+                z: 3.0,
+            },
+            Particle {
+                x: -1.0,
+                y: 0.5,
+                z: 9.75,
+            },
         ];
         let bytes = to_bytes(&vp).unwrap();
         // 4 (len) + 2 * 12 bytes: as tight as Boost binary archives.

@@ -38,10 +38,7 @@ impl ProductLabel {
     /// key format (paper §II-C2).
     pub fn new(label: impl Into<String>) -> ProductLabel {
         let label = label.into();
-        assert!(
-            !label.contains('#'),
-            "product labels must not contain '#'"
-        );
+        assert!(!label.contains('#'), "product labels must not contain '#'");
         ProductLabel(label)
     }
 
@@ -268,10 +265,11 @@ impl DataStore {
             .client
             .get(db, &key)?
             .ok_or_else(|| HepnosError::NoSuchDataset(path.full()))?;
-        let uuid = Uuid::from_slice(&value)
-            .ok_or_else(|| HepnosError::Storage(yokan::YokanError::Protocol(
+        let uuid = Uuid::from_slice(&value).ok_or_else(|| {
+            HepnosError::Storage(yokan::YokanError::Protocol(
                 "dataset value is not a UUID".into(),
-            )))?;
+            ))
+        })?;
         self.inner.uuid_cache.write().insert(path.full(), uuid);
         Ok(uuid)
     }
@@ -293,8 +291,7 @@ fn store_product<T: Serialize>(
     label: &ProductLabel,
     value: &T,
 ) -> Result<(), HepnosError> {
-    let bytes =
-        binser::to_bytes(value).map_err(|e| HepnosError::Serialization(e.to_string()))?;
+    let bytes = binser::to_bytes(value).map_err(|e| HepnosError::Serialization(e.to_string()))?;
     let type_name = keys::short_type_name::<T>();
     let pk = keys::product_key(container_key, label.as_str(), &type_name);
     let db = store.product_db(container_key);
@@ -418,11 +415,14 @@ impl DataSet {
         let mut out = Vec::new();
         let mut from = prefix.clone();
         loop {
-            let page = self.store.client.list_keyvals(&db, &from, &prefix, ITER_PAGE)?;
+            let page = self
+                .store
+                .client
+                .list_keyvals(&db, &from, &prefix, ITER_PAGE)?;
             if page.is_empty() {
                 break;
             }
-            from = page.last().expect("page is non-empty").0.clone();
+            from.clone_from(&page.last().expect("page is non-empty").0);
             for (k, v) in page {
                 let name = keys::dataset_key_name(&k).ok_or_else(|| {
                     HepnosError::Storage(yokan::YokanError::Protocol(
@@ -465,7 +465,7 @@ impl DataSet {
                 if page.is_empty() {
                     break;
                 }
-                from = page.last().expect("page is non-empty").clone();
+                from.clone_from(page.last().expect("page is non-empty"));
                 keys.extend(page);
             }
         }
@@ -473,9 +473,7 @@ impl DataSet {
         keys.into_iter()
             .map(|k| {
                 let (u, run, subrun, number) = keys::parse_event_key(&k).ok_or_else(|| {
-                    HepnosError::Storage(yokan::YokanError::Protocol(
-                        "malformed event key".into(),
-                    ))
+                    HepnosError::Storage(yokan::YokanError::Protocol("malformed event key".into()))
                 })?;
                 Ok(Event {
                     store: Arc::clone(&self.store),
@@ -490,9 +488,8 @@ impl DataSet {
     }
 
     fn require_uuid(&self) -> Result<Uuid, HepnosError> {
-        self.uuid.ok_or_else(|| {
-            HepnosError::InvalidPath("the root dataset cannot hold runs".into())
-        })
+        self.uuid
+            .ok_or_else(|| HepnosError::InvalidPath("the root dataset cannot hold runs".into()))
     }
 
     /// Create run `number` (idempotent).
@@ -536,11 +533,14 @@ impl DataSet {
         let mut out = Vec::new();
         let mut from = prefix.clone();
         loop {
-            let page = self.store.client.list_keys(&db, &from, &prefix, ITER_PAGE)?;
+            let page = self
+                .store
+                .client
+                .list_keys(&db, &from, &prefix, ITER_PAGE)?;
             if page.is_empty() {
                 break;
             }
-            from = page.last().expect("page is non-empty").clone();
+            from.clone_from(page.last().expect("page is non-empty"));
             for k in page {
                 let number = keys::trailing_number(&k).ok_or_else(|| {
                     HepnosError::Storage(yokan::YokanError::Protocol("malformed run key".into()))
@@ -627,16 +627,17 @@ impl Run {
         let mut out = Vec::new();
         let mut from = prefix.clone();
         loop {
-            let page = self.store.client.list_keys(&db, &from, &prefix, ITER_PAGE)?;
+            let page = self
+                .store
+                .client
+                .list_keys(&db, &from, &prefix, ITER_PAGE)?;
             if page.is_empty() {
                 break;
             }
-            from = page.last().expect("page is non-empty").clone();
+            from.clone_from(page.last().expect("page is non-empty"));
             for k in page {
                 let number = keys::trailing_number(&k).ok_or_else(|| {
-                    HepnosError::Storage(yokan::YokanError::Protocol(
-                        "malformed subrun key".into(),
-                    ))
+                    HepnosError::Storage(yokan::YokanError::Protocol("malformed subrun key".into()))
                 })?;
                 out.push(SubRun {
                     store: Arc::clone(&self.store),
@@ -663,7 +664,7 @@ impl Run {
                 if page.is_empty() {
                     break;
                 }
-                from = page.last().expect("page is non-empty").clone();
+                from.clone_from(page.last().expect("page is non-empty"));
                 keys_found.extend(page);
             }
         }
@@ -672,9 +673,7 @@ impl Run {
             .into_iter()
             .map(|k| {
                 let (u, run, subrun, number) = keys::parse_event_key(&k).ok_or_else(|| {
-                    HepnosError::Storage(yokan::YokanError::Protocol(
-                        "malformed event key".into(),
-                    ))
+                    HepnosError::Storage(yokan::YokanError::Protocol("malformed event key".into()))
                 })?;
                 Ok(Event {
                     store: Arc::clone(&self.store),
@@ -689,11 +688,7 @@ impl Run {
     }
 
     /// Store a typed product on this run.
-    pub fn store<T: Serialize>(
-        &self,
-        label: &ProductLabel,
-        value: &T,
-    ) -> Result<(), HepnosError> {
+    pub fn store<T: Serialize>(&self, label: &ProductLabel, value: &T) -> Result<(), HepnosError> {
         store_product(&self.store, &self.key, label, value)
     }
 
@@ -780,16 +775,17 @@ impl SubRun {
         let mut out = Vec::new();
         let mut from = prefix.clone();
         loop {
-            let page = self.store.client.list_keys(&db, &from, &prefix, ITER_PAGE)?;
+            let page = self
+                .store
+                .client
+                .list_keys(&db, &from, &prefix, ITER_PAGE)?;
             if page.is_empty() {
                 break;
             }
-            from = page.last().expect("page is non-empty").clone();
+            from.clone_from(page.last().expect("page is non-empty"));
             for k in page {
                 let number = keys::trailing_number(&k).ok_or_else(|| {
-                    HepnosError::Storage(yokan::YokanError::Protocol(
-                        "malformed event key".into(),
-                    ))
+                    HepnosError::Storage(yokan::YokanError::Protocol("malformed event key".into()))
                 })?;
                 out.push(Event {
                     store: Arc::clone(&self.store),
@@ -827,17 +823,18 @@ impl SubRun {
         };
         let mut out = Vec::new();
         loop {
-            let page = self.store.client.list_keys(&db, &from, &prefix, ITER_PAGE)?;
+            let page = self
+                .store
+                .client
+                .list_keys(&db, &from, &prefix, ITER_PAGE)?;
             if page.is_empty() {
                 break;
             }
-            from = page.last().expect("page is non-empty").clone();
+            from.clone_from(page.last().expect("page is non-empty"));
             let mut done = false;
             for k in page {
                 let number = keys::trailing_number(&k).ok_or_else(|| {
-                    HepnosError::Storage(yokan::YokanError::Protocol(
-                        "malformed event key".into(),
-                    ))
+                    HepnosError::Storage(yokan::YokanError::Protocol("malformed event key".into()))
                 })?;
                 if number < lo {
                     continue;
@@ -863,11 +860,7 @@ impl SubRun {
     }
 
     /// Store a typed product on this subrun.
-    pub fn store<T: Serialize>(
-        &self,
-        label: &ProductLabel,
-        value: &T,
-    ) -> Result<(), HepnosError> {
+    pub fn store<T: Serialize>(&self, label: &ProductLabel, value: &T) -> Result<(), HepnosError> {
         store_product(&self.store, &self.key, label, value)
     }
 
@@ -915,11 +908,7 @@ impl Event {
 
     /// Store a typed product (`ev.store(vp1)` in Listing 1, with an explicit
     /// label).
-    pub fn store<T: Serialize>(
-        &self,
-        label: &ProductLabel,
-        value: &T,
-    ) -> Result<(), HepnosError> {
+    pub fn store<T: Serialize>(&self, label: &ProductLabel, value: &T) -> Result<(), HepnosError> {
         store_product(&self.store, &self.key, label, value)
     }
 
@@ -973,10 +962,7 @@ impl Event {
     }
 
     /// Rebuild an event handle from a descriptor (no RPC).
-    pub fn from_descriptor(
-        store: &DataStore,
-        d: &crate::pep::EventDescriptor,
-    ) -> Event {
+    pub fn from_descriptor(store: &DataStore, d: &crate::pep::EventDescriptor) -> Event {
         Event {
             store: Arc::clone(&store.inner),
             dataset: d.dataset,
@@ -997,11 +983,7 @@ impl std::fmt::Debug for Event {
 impl Run {
     /// Build a handle without an existence check (used by [`crate::WriteBatch`],
     /// which has the creation queued).
-    pub(crate) fn unchecked(
-        store: Arc<DataStoreInner>,
-        dataset: Uuid,
-        number: RunNumber,
-    ) -> Run {
+    pub(crate) fn unchecked(store: Arc<DataStoreInner>, dataset: Uuid, number: RunNumber) -> Run {
         let key = keys::run_key(&dataset, number);
         Run {
             store,

@@ -181,8 +181,7 @@ pub fn parse_event_key(key: &[u8]) -> Option<(Uuid, RunNumber, SubRunNumber, Eve
 
 /// `<container key><label>#<type>`.
 pub fn product_key(container_key: &[u8], label: &str, type_name: &str) -> Vec<u8> {
-    let mut key =
-        Vec::with_capacity(container_key.len() + label.len() + 1 + type_name.len());
+    let mut key = Vec::with_capacity(container_key.len() + label.len() + 1 + type_name.len());
     key.extend_from_slice(container_key);
     key.extend_from_slice(label.as_bytes());
     key.push(PRODUCT_SEP);
@@ -200,7 +199,11 @@ pub fn short_type_name<T: ?Sized>() -> String {
     let mut segment_start = 0usize;
     let bytes = full.as_bytes();
     for i in 0..=bytes.len() {
-        let boundary = i == bytes.len() || matches!(bytes[i], b'<' | b'>' | b',' | b' ' | b'(' | b')' | b'[' | b']' | b';');
+        let boundary = i == bytes.len()
+            || matches!(
+                bytes[i],
+                b'<' | b'>' | b',' | b' ' | b'(' | b')' | b'[' | b']' | b';'
+            );
         if boundary {
             let seg = &full[segment_start..i];
             out.push_str(seg.rsplit("::").next().unwrap_or(seg));

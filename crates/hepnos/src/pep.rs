@@ -18,11 +18,11 @@
 //! spreads workers over threads sharing the same queue — the scheduling
 //! structure (readers → distributed queue → workers) is identical.
 
+use crate::binser;
 use crate::datastore::{DataSet, DataStore, Event, ProductLabel};
 use crate::error::HepnosError;
 use crate::keys::{self, EventNumber, RunNumber, SubRunNumber};
 use crate::uuid::Uuid;
-use crate::binser;
 use crossbeam::channel;
 use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
@@ -208,17 +208,13 @@ impl ParallelEventProcessor {
     /// Iterate every event in `dataset`, invoking `callback(worker_id,
     /// prefetched_event)` exactly once per event, and return the timing
     /// statistics.
-    pub fn process<F>(
-        &self,
-        dataset: &DataSet,
-        callback: F,
-    ) -> Result<PepStatistics, HepnosError>
+    pub fn process<F>(&self, dataset: &DataSet, callback: F) -> Result<PepStatistics, HepnosError>
     where
         F: Fn(usize, &PrefetchedEvent) + Send + Sync,
     {
-        let uuid = dataset.uuid().ok_or_else(|| {
-            HepnosError::InvalidPath("cannot process the root dataset".into())
-        })?;
+        let uuid = dataset
+            .uuid()
+            .ok_or_else(|| HepnosError::InvalidPath("cannot process the root dataset".into()))?;
         let opts = &self.options;
         let n_dbs = self.datastore.num_event_databases();
         let n_readers = if opts.num_readers == 0 {
@@ -254,13 +250,7 @@ impl ParallelEventProcessor {
                     let mut stats = ReaderStats::default();
                     for db_idx in my_dbs {
                         if let Err(e) = read_database(
-                            &datastore,
-                            &uuid,
-                            db_idx,
-                            &opts,
-                            &labels,
-                            &tx,
-                            &mut stats,
+                            &datastore, &uuid, db_idx, &opts, &labels, &tx, &mut stats,
                         ) {
                             *first_error.lock() = Some(e);
                             break;
@@ -342,7 +332,7 @@ fn read_database(
         if page.is_empty() {
             return Ok(());
         }
-        from = page.last().expect("page is non-empty").clone();
+        from.clone_from(page.last().expect("page is non-empty"));
         // Decode descriptors.
         let mut descriptors = Vec::with_capacity(page.len());
         for key in &page {
@@ -389,20 +379,22 @@ fn prefetch_products(
     labels: &[(ProductLabel, String)],
     out: &mut [Vec<Option<Vec<u8>>>],
 ) -> Result<(), HepnosError> {
-    // (db, label_idx) -> (event_idx, product_key)
-    let mut by_db: HashMap<yokan::DbTarget, Vec<(usize, usize, Vec<u8>)>> = HashMap::new();
+    // Per product database: the (event, label) slots and, in parallel, the
+    // product keys. Keys are built once and moved into the get_multi batch,
+    // not cloned a second time.
+    type Slots = (Vec<(usize, usize)>, Vec<Vec<u8>>);
+    let mut by_db: HashMap<yokan::DbTarget, Slots> = HashMap::new();
     for (ev_idx, ev_key) in event_keys.iter().enumerate() {
         let db = datastore.inner.product_db(ev_key).clone();
-        let entry = by_db.entry(db).or_default();
+        let (slots, keys) = by_db.entry(db).or_default();
         for (l_idx, (label, type_name)) in labels.iter().enumerate() {
-            let pk = keys::product_key(ev_key, label.as_str(), type_name);
-            entry.push((ev_idx, l_idx, pk));
+            slots.push((ev_idx, l_idx));
+            keys.push(keys::product_key(ev_key, label.as_str(), type_name));
         }
     }
-    for (db, items) in by_db {
-        let keys: Vec<Vec<u8>> = items.iter().map(|(_, _, k)| k.clone()).collect();
+    for (db, (slots, keys)) in by_db {
         let values = datastore.inner.client.get_multi(&db, &keys)?;
-        for ((ev_idx, l_idx, _), value) in items.into_iter().zip(values) {
+        for ((ev_idx, l_idx), value) in slots.into_iter().zip(values) {
             out[ev_idx][l_idx] = value;
         }
     }

@@ -194,11 +194,7 @@ mod tests {
         let keys: Vec<Vec<u8>> = (0..4000u32).map(|i| i.to_be_bytes().to_vec()).collect();
         let before: Vec<usize> = keys.iter().map(|k| p.place(k, 8)).collect();
         let after: Vec<usize> = keys.iter().map(|k| p.place(k, 9)).collect();
-        let moved = before
-            .iter()
-            .zip(&after)
-            .filter(|(b, a)| b != a)
-            .count();
+        let moved = before.iter().zip(&after).filter(|(b, a)| b != a).count();
         // Ideal is 1/9 ≈ 11%; allow up to 25%. Modulo placement would move
         // ~8/9 ≈ 89%.
         assert!(

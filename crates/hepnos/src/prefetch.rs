@@ -56,8 +56,7 @@ impl Prefetcher {
             vec![vec![None; self.labels.len()]; events.len()];
         if !self.labels.is_empty() {
             // Group product keys by home database.
-            let mut by_db: HashMap<yokan::DbTarget, Vec<(usize, usize, Vec<u8>)>> =
-                HashMap::new();
+            let mut by_db: HashMap<yokan::DbTarget, Vec<(usize, usize, Vec<u8>)>> = HashMap::new();
             for (ev_idx, ev) in events.iter().enumerate() {
                 let db = self.store.inner.product_db(ev.key()).clone();
                 let entry = by_db.entry(db).or_default();
@@ -156,8 +155,7 @@ mod tests {
         let ds = store.root().create_dataset("pf3").unwrap();
         let sr = ds.create_run(1).unwrap().create_subrun(0).unwrap();
         let ev = sr.create_event(1).unwrap();
-        let prefetcher =
-            Prefetcher::new(&store).label_for::<Calo>(ProductLabel::new("absent"));
+        let prefetcher = Prefetcher::new(&store).label_for::<Calo>(ProductLabel::new("absent"));
         let fetched = prefetcher.fetch(&[ev]).unwrap();
         let c: Option<Calo> = fetched[0].load(&ProductLabel::new("absent")).unwrap();
         assert_eq!(c, None);

@@ -56,8 +56,7 @@ pub fn local_deployment_with(
         servers.push(server);
     }
     let client_ep = fabric.endpoint(&format!("client{id}"));
-    let datastore =
-        DataStore::connect(client_ep, &descriptors).expect("datastore connect failed");
+    let datastore = DataStore::connect(client_ep, &descriptors).expect("datastore connect failed");
     LocalDeployment {
         fabric,
         servers,
@@ -91,6 +90,19 @@ impl LocalDeployment {
     pub fn connect_client(&self, name: &str) -> DataStore {
         DataStore::connect(self.fabric.endpoint(name), &self.descriptors)
             .expect("datastore connect failed")
+    }
+
+    /// Storage counters of every database on every node, labeled
+    /// `node{n}/provider{p}/{db}` — cache hit rates and shard occupancy for
+    /// benchmark logging.
+    pub fn backend_stats(&self) -> Vec<(String, yokan::BackendStats)> {
+        let mut out = Vec::new();
+        for (n, server) in self.servers.iter().enumerate() {
+            for (pid, name, stats) in server.yokan().backend_stats() {
+                out.push((format!("node{n}/provider{pid}/{name}"), stats));
+            }
+        }
+        out
     }
 
     /// Tear everything down.

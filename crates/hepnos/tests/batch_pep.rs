@@ -2,9 +2,7 @@
 
 use bedrock::DbCounts;
 use hepnos::testing::local_deployment;
-use hepnos::{
-    AsyncWriteBatch, ParallelEventProcessor, PepOptions, ProductLabel, WriteBatch,
-};
+use hepnos::{AsyncWriteBatch, ParallelEventProcessor, PepOptions, ProductLabel, WriteBatch};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -40,7 +38,14 @@ fn write_batch_groups_by_database_and_flushes_on_drop() {
         for e in 0..100u64 {
             let ev = batch.create_event(&sr, &uuid, e).unwrap();
             batch
-                .store(&ev, &label, &vec![Hit { channel: e as u32, adc: 7 }])
+                .store(
+                    &ev,
+                    &label,
+                    &vec![Hit {
+                        channel: e as u32,
+                        adc: 7,
+                    }],
+                )
                 .unwrap();
         }
         assert!(batch.queued() > 0);
@@ -100,12 +105,19 @@ fn async_write_batch_overlaps_and_completes() {
     let rt = argos::Runtime::simple(2);
     let label = ProductLabel::new("hits");
     {
-        let mut batch = AsyncWriteBatch::new(&store, rt.default_pool().unwrap())
-            .with_per_db_limit(32);
+        let mut batch =
+            AsyncWriteBatch::new(&store, rt.default_pool().unwrap()).with_per_db_limit(32);
         for e in 0..200u64 {
             let ev = batch.create_event(&sr, &uuid, e).unwrap();
             batch
-                .store(&ev, &label, &vec![Hit { channel: 1, adc: e as u16 }])
+                .store(
+                    &ev,
+                    &label,
+                    &vec![Hit {
+                        channel: 1,
+                        adc: e as u16,
+                    }],
+                )
                 .unwrap();
         }
         batch.wait().unwrap();
@@ -153,10 +165,7 @@ fn pep_processes_every_event_exactly_once() {
     assert_eq!(seen.len(), expected.len());
     let seen_set: HashSet<_> = seen.iter().cloned().collect();
     assert_eq!(seen_set.len(), seen.len(), "an event was processed twice");
-    assert_eq!(
-        seen_set,
-        expected.iter().cloned().collect::<HashSet<_>>()
-    );
+    assert_eq!(seen_set, expected.iter().cloned().collect::<HashSet<_>>());
     assert_eq!(stats.total_events, 600);
     assert_eq!(stats.workers.len(), 4);
     dep.shutdown();
@@ -201,7 +210,11 @@ fn pep_load_balances_across_workers() {
         stats.load_imbalance() < 1.5,
         "imbalance {} too high; per-worker: {:?}",
         stats.load_imbalance(),
-        stats.workers.iter().map(|w| w.events_processed).collect::<Vec<_>>()
+        stats
+            .workers
+            .iter()
+            .map(|w| w.events_processed)
+            .collect::<Vec<_>>()
     );
     dep.shutdown();
 }
@@ -217,7 +230,14 @@ fn pep_prefetches_products() {
     for e in 0..100u64 {
         let ev = batch.create_event(&sr, &ds.uuid().unwrap(), e).unwrap();
         batch
-            .store(&ev, &label, &vec![Hit { channel: e as u32, adc: 1 }])
+            .store(
+                &ev,
+                &label,
+                &vec![Hit {
+                    channel: e as u32,
+                    adc: 1,
+                }],
+            )
             .unwrap();
     }
     batch.flush().unwrap();
@@ -253,7 +273,9 @@ fn pep_on_empty_dataset_is_a_noop() {
     let store = dep.datastore();
     let ds = store.root().create_dataset("empty").unwrap();
     let pep = ParallelEventProcessor::new(store.clone(), PepOptions::default());
-    let stats = pep.process(&ds, |_w, _e| panic!("no events expected")).unwrap();
+    let stats = pep
+        .process(&ds, |_w, _e| panic!("no events expected"))
+        .unwrap();
     assert_eq!(stats.total_events, 0);
     dep.shutdown();
 }

@@ -28,7 +28,15 @@ fn flat_strategy() -> impl Strategy<Value = FlatQuantities> {
         any::<f64>(),
         any::<bool>(),
     )
-        .prop_map(|(a, b, c, d, e, f, g)| FlatQuantities { a, b, c, d, e, f, g })
+        .prop_map(|(a, b, c, d, e, f, g)| FlatQuantities {
+            a,
+            b,
+            c,
+            d,
+            e,
+            f,
+            g,
+        })
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -43,8 +51,7 @@ enum RecoObject {
 fn reco_strategy() -> impl Strategy<Value = RecoObject> {
     prop_oneof![
         Just(RecoObject::Nothing),
-        (any::<f64>(), any::<u32>())
-            .prop_map(|(length, hits)| RecoObject::Track { length, hits }),
+        (any::<f64>(), any::<u32>()).prop_map(|(length, hits)| RecoObject::Track { length, hits }),
         any::<f32>().prop_map(RecoObject::Shower),
         (any::<u8>(), any::<i8>()).prop_map(|(a, b)| RecoObject::Pair(a, b)),
         ".{0,24}".prop_map(RecoObject::Labeled),

@@ -35,8 +35,16 @@ fn listing1_full_flow() {
     let subrun = run.create_subrun(56).unwrap();
     let ev = subrun.create_event(25).unwrap();
     let vp1 = vec![
-        Particle { x: 1.0, y: 2.0, z: 3.0 },
-        Particle { x: 4.0, y: 5.0, z: 6.0 },
+        Particle {
+            x: 1.0,
+            y: 2.0,
+            z: 3.0,
+        },
+        Particle {
+            x: 4.0,
+            y: 5.0,
+            z: 6.0,
+        },
     ];
     ev.store(&ProductLabel::new("vp"), &vp1).unwrap();
     let vp2: Vec<Particle> = ev.load(&ProductLabel::new("vp")).unwrap().unwrap();
@@ -66,7 +74,11 @@ fn nested_datasets_and_listing() {
         .collect();
     assert_eq!(subs, vec!["dune", "nova"]);
     // Nested datasets do not leak into the parent's listing.
-    store.dataset("fermilab/nova").unwrap().create_dataset("mc").unwrap();
+    store
+        .dataset("fermilab/nova")
+        .unwrap()
+        .create_dataset("mc")
+        .unwrap();
     assert_eq!(root.datasets().unwrap().len(), 2);
     dep.shutdown();
 }
@@ -87,10 +99,7 @@ fn open_missing_containers_errors() {
         Err(HepnosError::NoSuchContainer(_))
     ));
     let sr = run.create_subrun(1).unwrap();
-    assert!(matches!(
-        sr.event(0),
-        Err(HepnosError::NoSuchContainer(_))
-    ));
+    assert!(matches!(sr.event(0), Err(HepnosError::NoSuchContainer(_))));
     dep.shutdown();
 }
 
@@ -175,7 +184,8 @@ fn products_are_type_and_label_keyed() {
     let l2 = ProductLabel::new("b");
     ev.store(&l1, &42u64).unwrap();
     ev.store(&l2, &43u64).unwrap();
-    ev.store(&l1, &String::from("same label, different type")).unwrap();
+    ev.store(&l1, &String::from("same label, different type"))
+        .unwrap();
     assert_eq!(ev.load::<u64>(&l1).unwrap(), Some(42));
     assert_eq!(ev.load::<u64>(&l2).unwrap(), Some(43));
     assert_eq!(
@@ -207,7 +217,9 @@ fn two_clients_see_each_others_writes() {
     assert_eq!(ds_b.uuid(), ds.uuid());
     let ev_b = ds_b.run(7).unwrap().subrun(0).unwrap().event(99).unwrap();
     assert_eq!(
-        ev_b.load::<Vec<f64>>(&ProductLabel::new("p")).unwrap().unwrap(),
+        ev_b.load::<Vec<f64>>(&ProductLabel::new("p"))
+            .unwrap()
+            .unwrap(),
         vec![1.5]
     );
     dep.shutdown();
@@ -313,14 +325,14 @@ fn connect_from_json_config_file() {
     std::fs::write(&path, &json).unwrap();
 
     let text = std::fs::read_to_string(&path).unwrap();
-    let store = hepnos::DataStore::connect_from_json(
-        dep.fabric().endpoint("json-client"),
-        &text,
-    )
-    .unwrap();
+    let store =
+        hepnos::DataStore::connect_from_json(dep.fabric().endpoint("json-client"), &text).unwrap();
     let ds = store.root().create_dataset("from-config").unwrap();
     ds.create_run(1).unwrap();
-    assert_eq!(store.dataset("from-config").unwrap().runs().unwrap().len(), 1);
+    assert_eq!(
+        store.dataset("from-config").unwrap().runs().unwrap().len(),
+        1
+    );
 
     // Garbage config errors cleanly.
     assert!(hepnos::DataStore::connect_from_json(
@@ -348,8 +360,7 @@ fn topology_without_required_database_kinds_is_rejected() {
             d
         })
         .collect();
-    let err = hepnos::DataStore::connect(dep.fabric().endpoint("crippled"), &crippled)
-        .unwrap_err();
+    let err = hepnos::DataStore::connect(dep.fabric().endpoint("crippled"), &crippled).unwrap_err();
     assert!(matches!(err, HepnosError::Topology(_)), "{err}");
     assert!(err.to_string().contains("products"));
     dep.shutdown();

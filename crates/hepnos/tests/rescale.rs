@@ -75,8 +75,7 @@ fn growth_keeps_every_event_and_product_reachable() {
     );
     let full = dep.descriptors().to_vec();
     let small = shrink_descriptors(&full, 2, 2);
-    let store_small =
-        DataStore::connect(dep.fabric().endpoint("small-client"), &small).unwrap();
+    let store_small = DataStore::connect(dep.fabric().endpoint("small-client"), &small).unwrap();
     assert_eq!(store_small.num_event_databases(), 2);
 
     // Populate through the small topology.
@@ -89,7 +88,9 @@ fn growth_keeps_every_event_and_product_reachable() {
         let mut batch = WriteBatch::new(&store_small);
         for e in 0..30u64 {
             let ev = batch.create_event(&sr, &uuid, e).unwrap();
-            batch.store(&ev, &label, &vec![(s * 100 + e) as u32; 4]).unwrap();
+            batch
+                .store(&ev, &label, &vec![(s * 100 + e) as u32; 4])
+                .unwrap();
         }
         batch.flush().unwrap();
     }
@@ -112,7 +113,10 @@ fn growth_keeps_every_event_and_product_reachable() {
     )
     .unwrap();
     assert_eq!(ev_stats.keys_scanned, 300);
-    assert!(ev_stats.keys_moved > 0, "growth moved nothing: {ev_stats:?}");
+    assert!(
+        ev_stats.keys_moved > 0,
+        "growth moved nothing: {ev_stats:?}"
+    );
     assert_eq!(pr_stats.keys_scanned, 300);
     assert!(pr_stats.keys_moved > 0);
 
@@ -164,8 +168,7 @@ fn shrink_consolidates_back() {
     .unwrap();
     assert_eq!(stats.keys_scanned, 9);
     // Everything now lives in the single surviving db.
-    let store_small =
-        DataStore::connect(dep.fabric().endpoint("small-client"), &small).unwrap();
+    let store_small = DataStore::connect(dep.fabric().endpoint("small-client"), &small).unwrap();
     let run2 = store_small.dataset("shrink").unwrap().run(1).unwrap();
     let mut n = 0;
     for sr in run2.subruns().unwrap() {
@@ -179,9 +182,7 @@ fn shrink_consolidates_back() {
 fn ring_placement_moves_fewer_keys_than_modulo() {
     // The Pufferscale motivation: under consistent hashing, growth by one
     // database moves ~1/n of the keys; modulo reshuffles most of them.
-    for (name, fraction_limit, use_ring) in
-        [("ring", 0.55, true), ("modulo", 1.0, false)]
-    {
+    for (name, fraction_limit, use_ring) in [("ring", 0.55, true), ("modulo", 1.0, false)] {
         let dep = local_deployment(
             1,
             DbCounts {
@@ -196,8 +197,7 @@ fn ring_placement_moves_fewer_keys_than_modulo() {
         let small = shrink_descriptors(&full, 7, 1);
         let ring = RingPlacement::new(128);
         let modulo = ModuloPlacement;
-        let placement: &dyn hepnos::placement::Placement =
-            if use_ring { &ring } else { &modulo };
+        let placement: &dyn hepnos::placement::Placement = if use_ring { &ring } else { &modulo };
         let store_small = DataStore::connect_with_placement(
             dep.fabric().endpoint("client-a"),
             &small,
@@ -228,9 +228,15 @@ fn ring_placement_moves_fewer_keys_than_modulo() {
             "{name} moved {frac:.2} of keys (limit {fraction_limit})"
         );
         if use_ring {
-            assert!(frac < 0.45, "ring should move ~1/8 of keys, moved {frac:.2}");
+            assert!(
+                frac < 0.45,
+                "ring should move ~1/8 of keys, moved {frac:.2}"
+            );
         } else {
-            assert!(frac > 0.5, "modulo should reshuffle most keys, moved {frac:.2}");
+            assert!(
+                frac > 0.5,
+                "modulo should reshuffle most keys, moved {frac:.2}"
+            );
         }
         dep.shutdown();
     }

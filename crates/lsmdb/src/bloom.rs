@@ -37,7 +37,8 @@ impl BloomFilter {
         let h1 = fnv1a(key, 0);
         let h2 = fnv1a(key, 0x9E37_79B9_7F4A_7C15) | 1;
         let n_bits = self.bits.len() * 8;
-        (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % n_bits as u64) as usize)
+        (0..self.k as u64)
+            .map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % n_bits as u64) as usize)
     }
 
     /// Insert a key.
@@ -50,7 +51,10 @@ impl BloomFilter {
 
     /// Whether the key *may* be present (no false negatives).
     pub fn may_contain(&self, key: &[u8]) -> bool {
-        self.probes(key).collect::<Vec<_>>().iter().all(|&i| self.bits[i / 8] & (1 << (i % 8)) != 0)
+        self.probes(key)
+            .collect::<Vec<_>>()
+            .iter()
+            .all(|&i| self.bits[i / 8] & (1 << (i % 8)) != 0)
     }
 
     /// Serialize: `k` (4 bytes LE) followed by the bit array.

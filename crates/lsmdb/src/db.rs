@@ -12,9 +12,8 @@
 //! crash. A plain-text `MANIFEST` (updated via atomic rename) records the
 //! set of live tables.
 
-use crate::cache::ReadCache;
+use crate::cache::{CacheStats, ShardedReadCache};
 use crate::memtable::{Memtable, Value};
-use parking_lot::Mutex;
 use crate::sstable::{SstError, SstReader, SstWriter};
 use crate::wal::{Wal, WalRecord};
 use parking_lot::RwLock;
@@ -160,7 +159,7 @@ pub struct Db {
     dir: PathBuf,
     opts: Options,
     state: RwLock<State>,
-    cache: Option<Mutex<ReadCache>>,
+    cache: Option<ShardedReadCache>,
     flushes: AtomicU64,
     compactions: AtomicU64,
 }
@@ -216,7 +215,7 @@ impl Db {
         // re-appending nothing (Unix: the fd follows the inode, which is now
         // at wal_path, so appends continue to land in the right file).
         let cache = if opts.read_cache_bytes > 0 {
-            Some(Mutex::new(ReadCache::new(opts.read_cache_bytes)))
+            Some(ShardedReadCache::new(opts.read_cache_bytes))
         } else {
             None
         };
@@ -240,13 +239,14 @@ impl Db {
     /// Insert or overwrite a key.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), DbError> {
         let mut st = self.state.write();
-        st.wal.append(&WalRecord::Put(key.to_vec(), value.to_vec()))?;
+        st.wal
+            .append(&WalRecord::Put(key.to_vec(), value.to_vec()))?;
         if !self.opts.sync_wal {
             st.wal.flush()?;
         }
         st.memtable.put(key, value);
         if let Some(c) = &self.cache {
-            c.lock().invalidate(key);
+            c.invalidate(key);
         }
         self.maybe_flush(&mut st)
     }
@@ -260,7 +260,7 @@ impl Db {
         }
         st.memtable.delete(key);
         if let Some(c) = &self.cache {
-            c.lock().invalidate(key);
+            c.invalidate(key);
         }
         self.maybe_flush(&mut st)
     }
@@ -281,7 +281,7 @@ impl Db {
                 let key = match op {
                     WalRecord::Put(k, _) | WalRecord::Delete(k) => k,
                 };
-                c.lock().invalidate(key);
+                c.invalidate(key);
             }
         }
         self.maybe_flush(&mut st)
@@ -320,22 +320,19 @@ impl Db {
     /// primitive concurrent creators race on (e.g. two clients registering
     /// the same dataset), so it must hold the write lock across the check
     /// and the insert.
-    pub fn put_if_absent(
-        &self,
-        key: &[u8],
-        value: &[u8],
-    ) -> Result<Option<Vec<u8>>, DbError> {
+    pub fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, DbError> {
         let mut st = self.state.write();
         if let Some(existing) = Self::get_in(&st, key)? {
             return Ok(Some(existing));
         }
-        st.wal.append(&WalRecord::Put(key.to_vec(), value.to_vec()))?;
+        st.wal
+            .append(&WalRecord::Put(key.to_vec(), value.to_vec()))?;
         if !self.opts.sync_wal {
             st.wal.flush()?;
         }
         st.memtable.put(key, value);
         if let Some(c) = &self.cache {
-            c.lock().invalidate(key);
+            c.invalidate(key);
         }
         self.maybe_flush(&mut st)?;
         Ok(None)
@@ -353,13 +350,13 @@ impl Db {
         // Not in the write buffer: the read cache may serve it without
         // touching any table.
         if let Some(c) = &self.cache {
-            if let Some(v) = c.lock().get(key) {
+            if let Some(v) = c.get(key) {
                 return Ok(Some(v));
             }
         }
         let fill = |data: &Vec<u8>| {
             if let Some(c) = &self.cache {
-                c.lock().insert(key, data);
+                c.insert(key, data);
             }
         };
         for sst in st.l0.iter().rev() {
@@ -392,11 +389,17 @@ impl Db {
     /// `(hits, misses)` of the read cache (zeros when disabled).
     pub fn cache_stats(&self) -> (u64, u64) {
         match &self.cache {
-            Some(c) => {
-                let c = c.lock();
-                (c.hits(), c.misses())
-            }
+            Some(c) => c.hit_miss(),
             None => (0, 0),
+        }
+    }
+
+    /// Full per-shard read-cache counters (all zeros when the cache is
+    /// disabled).
+    pub fn read_cache_stats(&self) -> CacheStats {
+        match &self.cache {
+            Some(c) => c.stats(),
+            None => CacheStats::default(),
         }
     }
 
@@ -883,10 +886,7 @@ mod cache_tests {
     use super::*;
 
     fn tmpdir(name: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "lsmdb-cache-{}-{name}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("lsmdb-cache-{}-{name}", std::process::id()));
         std::fs::remove_dir_all(&d).ok();
         d
     }

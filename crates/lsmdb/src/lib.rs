@@ -33,12 +33,13 @@
 #![warn(missing_docs)]
 
 pub mod bloom;
-mod cache;
+pub mod cache;
 mod crc32;
 mod db;
 mod memtable;
 pub mod sstable;
 pub mod wal;
 
+pub use cache::{CacheStats, ShardedReadCache};
 pub use db::{Db, DbError, DbStats, Options, WriteBatch};
 pub use memtable::Value;

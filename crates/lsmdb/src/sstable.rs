@@ -395,10 +395,7 @@ impl SstReader {
 
     /// Greatest indexed offset whose key is `<= key` (0 if none).
     fn seek_offset(&self, key: &[u8]) -> u64 {
-        match self
-            .index
-            .binary_search_by(|e| e.key.as_slice().cmp(key))
-        {
+        match self.index.binary_search_by(|e| e.key.as_slice().cmp(key)) {
             Ok(i) => self.index[i].offset,
             Err(0) => 0,
             Err(i) => self.index[i - 1].offset,
@@ -407,11 +404,7 @@ impl SstReader {
 
     /// Iterate entries with keys in `[lower, upper)`; `upper = None` means
     /// unbounded. Entries stream from disk in order.
-    pub fn iter_range(
-        &self,
-        lower: &[u8],
-        upper: Option<&[u8]>,
-    ) -> Result<SstRangeIter, SstError> {
+    pub fn iter_range(&self, lower: &[u8], upper: Option<&[u8]>) -> Result<SstRangeIter, SstError> {
         let start = self.seek_offset(lower);
         let mut reader = BufReader::new(File::open(&self.path)?);
         reader.seek(SeekFrom::Start(start))?;

@@ -154,9 +154,11 @@ mod tests {
     fn append_and_replay() {
         let p = tmp("basic");
         let mut w = Wal::create(&p, false).unwrap();
-        w.append(&WalRecord::Put(b"a".to_vec(), b"1".to_vec())).unwrap();
+        w.append(&WalRecord::Put(b"a".to_vec(), b"1".to_vec()))
+            .unwrap();
         w.append(&WalRecord::Delete(b"a".to_vec())).unwrap();
-        w.append(&WalRecord::Put(b"b".to_vec(), vec![0u8; 1000])).unwrap();
+        w.append(&WalRecord::Put(b"b".to_vec(), vec![0u8; 1000]))
+            .unwrap();
         w.flush().unwrap();
         let recs = Wal::replay(&p).unwrap();
         assert_eq!(recs.len(), 3);
@@ -176,8 +178,10 @@ mod tests {
     fn replay_stops_at_truncation() {
         let p = tmp("trunc");
         let mut w = Wal::create(&p, false).unwrap();
-        w.append(&WalRecord::Put(b"keep".to_vec(), b"1".to_vec())).unwrap();
-        w.append(&WalRecord::Put(b"lost".to_vec(), b"2".to_vec())).unwrap();
+        w.append(&WalRecord::Put(b"keep".to_vec(), b"1".to_vec()))
+            .unwrap();
+        w.append(&WalRecord::Put(b"lost".to_vec(), b"2".to_vec()))
+            .unwrap();
         w.flush().unwrap();
         drop(w);
         // Chop the last 3 bytes to simulate a torn write.
@@ -193,8 +197,10 @@ mod tests {
     fn replay_stops_at_corruption() {
         let p = tmp("corrupt");
         let mut w = Wal::create(&p, false).unwrap();
-        w.append(&WalRecord::Put(b"ok".to_vec(), b"1".to_vec())).unwrap();
-        w.append(&WalRecord::Put(b"bad".to_vec(), b"2".to_vec())).unwrap();
+        w.append(&WalRecord::Put(b"ok".to_vec(), b"1".to_vec()))
+            .unwrap();
+        w.append(&WalRecord::Put(b"bad".to_vec(), b"2".to_vec()))
+            .unwrap();
         w.flush().unwrap();
         drop(w);
         let mut data = std::fs::read(&p).unwrap();
@@ -221,7 +227,8 @@ mod tests {
     fn sync_mode_appends() {
         let p = tmp("sync");
         let mut w = Wal::create(&p, true).unwrap();
-        w.append(&WalRecord::Put(b"k".to_vec(), b"v".to_vec())).unwrap();
+        w.append(&WalRecord::Put(b"k".to_vec(), b"v".to_vec()))
+            .unwrap();
         // No flush needed: sync mode flushed already.
         let recs = Wal::replay(&p).unwrap();
         assert_eq!(recs.len(), 1);
@@ -233,7 +240,8 @@ mod tests {
         let p = tmp("bytes");
         let mut w = Wal::create(&p, false).unwrap();
         assert_eq!(w.bytes_written(), 0);
-        w.append(&WalRecord::Put(b"ab".to_vec(), b"cde".to_vec())).unwrap();
+        w.append(&WalRecord::Put(b"ab".to_vec(), b"cde".to_vec()))
+            .unwrap();
         // 4 (crc) + 1 (kind) + 4 + 4 (lens) + 2 + 3 = 18
         assert_eq!(w.bytes_written(), 18);
         std::fs::remove_file(&p).ok();

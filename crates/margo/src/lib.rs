@@ -322,7 +322,9 @@ mod tests {
             Arc::new(|_req: Request| Ok(Bytes::from_static(b"done"))),
         );
         let client = fabric.endpoint("c");
-        let out = client.call(&inst.address(), RpcId(1), 7, Bytes::new()).unwrap();
+        let out = client
+            .call(&inst.address(), RpcId(1), 7, Bytes::new())
+            .unwrap();
         assert_eq!(&out[..], b"done");
         // The db pool saw the work; the default pool did not.
         assert_eq!(db_pool.stats().popped, 1);
@@ -410,10 +412,7 @@ mod tests {
     fn rpc_timings_record_per_id_service_time() {
         let fabric = Fabric::new(Default::default());
         let inst = MargoInstance::new(fabric.endpoint("s"), Runtime::simple(1), "default").unwrap();
-        inst.register_rpc(
-            RpcId(1),
-            Arc::new(|req: Request| Ok(req.payload)),
-        );
+        inst.register_rpc(RpcId(1), Arc::new(|req: Request| Ok(req.payload)));
         inst.register_rpc(
             RpcId(2),
             Arc::new(|_req: Request| {
@@ -423,9 +422,13 @@ mod tests {
         );
         let client = fabric.endpoint("c");
         for _ in 0..3 {
-            client.call(&inst.address(), RpcId(1), 0, Bytes::new()).unwrap();
+            client
+                .call(&inst.address(), RpcId(1), 0, Bytes::new())
+                .unwrap();
         }
-        client.call(&inst.address(), RpcId(2), 0, Bytes::new()).unwrap();
+        client
+            .call(&inst.address(), RpcId(2), 0, Bytes::new())
+            .unwrap();
         // Timing entries are written after the response is delivered; give
         // the pool thread a moment to finish the bookkeeping.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);

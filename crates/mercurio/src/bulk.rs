@@ -55,7 +55,10 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let h = BulkHandle { id: 99, len: 1 << 20 };
+        let h = BulkHandle {
+            id: 99,
+            len: 1 << 20,
+        };
         assert_eq!(BulkHandle::decode(h.encode()), Some(h));
     }
 

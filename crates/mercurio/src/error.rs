@@ -69,9 +69,7 @@ impl RpcError {
             RpcError::Timeout => (4, String::new()),
             RpcError::NetworkSaturated => (5, String::new()),
             RpcError::NoSuchBulk(id) => (6, id.to_string()),
-            RpcError::BulkOutOfRange { offset, len, size } => {
-                (7, format!("{offset}:{len}:{size}"))
-            }
+            RpcError::BulkOutOfRange { offset, len, size } => (7, format!("{offset}:{len}:{size}")),
             RpcError::Transport(m) => (8, m.clone()),
             RpcError::Protocol(m) => (9, m.clone()),
             RpcError::Shutdown => (10, String::new()),

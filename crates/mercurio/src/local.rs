@@ -106,8 +106,7 @@ impl DelayLine {
                     self.cond.wait_until(&mut q, due);
                 }
                 None => {
-                    self.cond
-                        .wait_for(&mut q, Duration::from_millis(50));
+                    self.cond.wait_for(&mut q, Duration::from_millis(50));
                 }
             }
         }
@@ -531,9 +530,7 @@ mod tests {
         let fabric = Fabric::new(NetworkModel::default());
         let s = fabric.endpoint("s");
         let c = fabric.endpoint("c");
-        let err = c
-            .call(&s.address(), RpcId(5), 0, Bytes::new())
-            .unwrap_err();
+        let err = c.call(&s.address(), RpcId(5), 0, Bytes::new()).unwrap_err();
         assert_eq!(err, RpcError::NoSuchRpc(5));
     }
 
@@ -567,9 +564,7 @@ mod tests {
         let c = fabric.endpoint("c");
         s.register(
             RpcId(1),
-            Arc::new(|req: Request| {
-                Ok(Bytes::copy_from_slice(&req.provider_id.to_le_bytes()))
-            }),
+            Arc::new(|req: Request| Ok(Bytes::copy_from_slice(&req.provider_id.to_le_bytes()))),
         );
         let out = c.call(&s.address(), RpcId(1), 42, Bytes::new()).unwrap();
         assert_eq!(u16::from_le_bytes([out[0], out[1]]), 42);
@@ -614,10 +609,7 @@ mod tests {
         let s = fabric.endpoint("s");
         let c = fabric.endpoint("c");
         let h = s.expose_bulk(Bytes::from_static(b"0123456789"));
-        assert_eq!(
-            &c.bulk_pull(&s.address(), &h, 2, 4).unwrap()[..],
-            b"2345"
-        );
+        assert_eq!(&c.bulk_pull(&s.address(), &h, 2, 4).unwrap()[..], b"2345");
         assert_eq!(
             &c.bulk_pull(&s.address(), &h, 0, 10).unwrap()[..],
             b"0123456789"
@@ -643,9 +635,7 @@ mod tests {
         let c = fabric.endpoint("c");
         s.register(RpcId(1), echo_handler());
         let payload = Bytes::from(vec![0u8; 128]);
-        let err = c
-            .call(&s.address(), RpcId(1), 0, payload)
-            .unwrap_err();
+        let err = c.call(&s.address(), RpcId(1), 0, payload).unwrap_err();
         assert_eq!(err, RpcError::NetworkSaturated);
         assert_eq!(c.saturation_events(), 1);
     }
@@ -726,12 +716,7 @@ mod tests {
                 let c = fabric.endpoint(&format!("c{t}"));
                 for i in 0..100u64 {
                     let out = c
-                        .call(
-                            &addr,
-                            RpcId(1),
-                            0,
-                            Bytes::copy_from_slice(&i.to_le_bytes()),
-                        )
+                        .call(&addr, RpcId(1), 0, Bytes::copy_from_slice(&i.to_le_bytes()))
                         .unwrap();
                     assert_eq!(u64::from_le_bytes(out[..8].try_into().unwrap()), i + 1);
                 }

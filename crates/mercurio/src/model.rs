@@ -116,7 +116,8 @@ impl InjectionGauge {
         }
         st.bytes_in_window += bytes as u64;
         st.total_bytes += bytes as u64;
-        let ok = self.budget_bytes.is_infinite() || (st.bytes_in_window as f64) <= self.budget_bytes;
+        let ok =
+            self.budget_bytes.is_infinite() || (st.bytes_in_window as f64) <= self.budget_bytes;
         if !ok {
             st.saturation_events += 1;
         }

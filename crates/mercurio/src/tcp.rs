@@ -49,8 +49,7 @@ struct Conn {
 
 impl Conn {
     fn send(&self, frame: &Bytes) -> Result<(), RpcError> {
-        write_frame(&mut self.writer.lock(), frame)
-            .map_err(|e| RpcError::Transport(e.to_string()))
+        write_frame(&mut self.writer.lock(), frame).map_err(|e| RpcError::Transport(e.to_string()))
     }
 }
 
@@ -225,11 +224,7 @@ fn accept_loop(listener: TcpListener, inner: Arc<TcpInner>) {
 }
 
 fn reader_loop(mut stream: TcpStream, inner: Arc<TcpInner>, peer: String, conn: Arc<Conn>) {
-    loop {
-        let raw = match read_frame(&mut stream) {
-            Ok(r) => r,
-            Err(_) => break,
-        };
+    while let Ok(raw) = read_frame(&mut stream) {
         inner
             .counters
             .bytes_received
@@ -297,7 +292,11 @@ impl Endpoint for TcpEndpoint {
     }
 
     fn register(&self, id: RpcId, handler: Arc<dyn RpcHandler>) {
-        assert!(id != RPC_BULK_PULL, "rpc id {} is reserved", RPC_BULK_PULL.0);
+        assert!(
+            id != RPC_BULK_PULL,
+            "rpc id {} is reserved",
+            RPC_BULK_PULL.0
+        );
         self.inner.handlers.write().insert(id, handler);
     }
 

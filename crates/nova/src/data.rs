@@ -71,11 +71,7 @@ impl EventRecord {
         EventSummary {
             n_slices: self.slices.len() as u32,
             total_cal_e: self.slices.iter().map(|s| s.cal_e).sum(),
-            max_cvn_nue: self
-                .slices
-                .iter()
-                .map(|s| s.cvn_nue)
-                .fold(0.0f32, f32::max),
+            max_cvn_nue: self.slices.iter().map(|s| s.cvn_nue).fold(0.0f32, f32::max),
             earliest_time_ns: self
                 .slices
                 .iter()
@@ -142,8 +138,18 @@ mod tests {
 
     #[test]
     fn global_slice_ids_differ_across_events() {
-        let a = EventRecord { run: 1, subrun: 1, event: 1, slices: vec![slice(5)] };
-        let b = EventRecord { run: 1, subrun: 1, event: 2, slices: vec![slice(5)] };
+        let a = EventRecord {
+            run: 1,
+            subrun: 1,
+            event: 1,
+            slices: vec![slice(5)],
+        };
+        let b = EventRecord {
+            run: 1,
+            subrun: 1,
+            event: 2,
+            slices: vec![slice(5)],
+        };
         assert_ne!(
             a.global_slice_id(&a.slices[0]),
             b.global_slice_id(&b.slices[0])

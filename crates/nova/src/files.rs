@@ -193,9 +193,7 @@ pub fn read_file(path: &Path) -> Result<Vec<EventRecord>, TableError> {
             nu_energy: nu_energy[i],
         };
         match events.last_mut() {
-            Some(last) if (last.run, last.subrun, last.event) == coords => {
-                last.slices.push(slice)
-            }
+            Some(last) if (last.run, last.subrun, last.event) == coords => last.slices.push(slice),
             _ => events.push(EventRecord {
                 run: coords.0,
                 subrun: coords.1,

@@ -86,7 +86,8 @@ impl NovaGenerator {
     }
 
     fn event_rng(&self, run: u64, subrun: u64, event: u64) -> StdRng {
-        let h = mix(self.seed ^ mix(run) ^ mix(subrun.rotate_left(17)) ^ mix(event.rotate_left(34)));
+        let h =
+            mix(self.seed ^ mix(run) ^ mix(subrun.rotate_left(17)) ^ mix(event.rotate_left(34)));
         let mut key = [0u8; 32];
         key[..8].copy_from_slice(&h.to_le_bytes());
         key[8..16].copy_from_slice(&mix(h).to_le_bytes());
@@ -264,7 +265,9 @@ mod tests {
     fn cosmic_sample_is_twelve_times_denser() {
         let beam = NovaGenerator::new(4);
         let cosmic = NovaGenerator::with_config(4, GeneratorConfig::cosmic());
-        let beam_slices: usize = (0..500u64).map(|e| beam.generate(1, 0, e).slices.len()).sum();
+        let beam_slices: usize = (0..500u64)
+            .map(|e| beam.generate(1, 0, e).slices.len())
+            .sum();
         let cosmic_slices: usize = (0..500u64)
             .map(|e| cosmic.generate(1, 0, e).slices.len())
             .sum();

@@ -57,8 +57,7 @@ impl Spectrum {
         } else if value >= self.hi {
             self.overflow += weight;
         } else {
-            let idx = ((value - self.lo) / (self.hi - self.lo) * self.counts.len() as f64)
-                as usize;
+            let idx = ((value - self.lo) / (self.hi - self.lo) * self.counts.len() as f64) as usize;
             let last = self.counts.len() - 1;
             self.counts[idx.min(last)] += weight;
         }

@@ -5,9 +5,7 @@
 use bedrock::DbCounts;
 use hepnos::testing::local_deployment;
 use hepnos::{ParallelEventProcessor, PepOptions};
-use nova::loader::{
-    slice_label, slice_type_name, summary_label, summary_type_name, DataLoader,
-};
+use nova::loader::{slice_label, slice_type_name, summary_label, summary_type_name, DataLoader};
 use nova::{files, EventRecord, NovaGenerator, SliceQuantities};
 use parking_lot::Mutex;
 
@@ -56,13 +54,17 @@ fn pep_prefetches_multiple_labels() {
     let checked = Mutex::new(0usize);
     let stats = pep
         .process(&ds, |_w, pe| {
-            let slices: Vec<SliceQuantities> =
-                pe.load(&slice_label()).unwrap().unwrap_or_default();
+            let slices: Vec<SliceQuantities> = pe.load(&slice_label()).unwrap().unwrap_or_default();
             let summary: nova::EventSummary = pe.load(&summary_label()).unwrap().unwrap();
             // Cross-check the two prefetched products against each other.
             assert_eq!(summary.n_slices as usize, slices.len());
             let (run, subrun, event) = pe.event().coordinates();
-            let rec = EventRecord { run, subrun, event, slices };
+            let rec = EventRecord {
+                run,
+                subrun,
+                event,
+                slices,
+            };
             assert_eq!(rec.summary(), summary);
             *checked.lock() += 1;
         })
@@ -128,7 +130,12 @@ fn cosmic_sample_flows_through_the_pipeline() {
     for ev in ds.run(0).unwrap().subrun(0).unwrap().events().unwrap() {
         let sl: Vec<SliceQuantities> = ev.load(&slice_label()).unwrap().unwrap();
         let (run, subrun, event) = ev.coordinates();
-        let rec = EventRecord { run, subrun, event, slices: sl };
+        let rec = EventRecord {
+            run,
+            subrun,
+            event,
+            slices: sl,
+        };
         accepted += nova::select_slices(&rec, &cuts).len();
     }
     assert!(

@@ -38,7 +38,10 @@ fn main() {
             eprintln!("generation failed: {e}");
             std::process::exit(1);
         });
-        eprintln!("generated {files} files x {events} events under {}", input.display());
+        eprintln!(
+            "generated {files} files x {events} events under {}",
+            input.display()
+        );
     }
     let mut paths: Vec<PathBuf> = std::fs::read_dir(&input)
         .unwrap_or_else(|e| {

@@ -48,10 +48,14 @@ fn main() {
     );
     let stats = pep
         .process(&ds, |_w, pe| {
-            let slices: Vec<SliceQuantities> =
-                pe.load(&slice_label()).unwrap().unwrap_or_default();
+            let slices: Vec<SliceQuantities> = pe.load(&slice_label()).unwrap().unwrap_or_default();
             let (run, subrun, event) = pe.event().coordinates();
-            let rec = EventRecord { run, subrun, event, slices };
+            let rec = EventRecord {
+                run,
+                subrun,
+                event,
+                slices,
+            };
             *slices_seen.lock() += rec.slices.len() as u64;
             let mut spec = spectrum.lock();
             spec.add_exposure(1.0);

@@ -114,7 +114,10 @@ mod tests {
         assert_eq!(a.get("port"), Some("9000"));
         assert_eq!(a.get("verbose"), Some("true"));
         assert_eq!(a.get("name"), Some("demo"));
-        assert_eq!(a.positional(), &["input.json".to_string(), "out".to_string()]);
+        assert_eq!(
+            a.positional(),
+            &["input.json".to_string(), "out".to_string()]
+        );
         assert_eq!(a.get("absent"), None);
         assert_eq!(a.get_or("absent", "d"), "d");
     }

@@ -35,7 +35,10 @@ fn serve_ingest_ls_select_pipeline() {
     // Wait for the descriptor file to appear.
     let deadline = Instant::now() + Duration::from_secs(30);
     while !descriptor.exists() {
-        assert!(Instant::now() < deadline, "server never wrote its descriptor");
+        assert!(
+            Instant::now() < deadline,
+            "server never wrote its descriptor"
+        );
         std::thread::sleep(Duration::from_millis(50));
     }
     // The client tools expect a deployment array; wrap the single node.
@@ -78,7 +81,10 @@ fn serve_ingest_ls_select_pipeline() {
         .and_then(|seg| seg.trim().split(' ').next())
         .and_then(|n| n.parse().ok())
         .unwrap_or_else(|| panic!("cannot parse event count from: {stdout}"));
-    assert!(ingested_events > 350 && ingested_events <= 400, "{ingested_events}");
+    assert!(
+        ingested_events > 350 && ingested_events <= 400,
+        "{ingested_events}"
+    );
 
     // 3. Inspect with hepnos-ls.
     let out = Command::new(env!("CARGO_BIN_EXE_hepnos-ls"))

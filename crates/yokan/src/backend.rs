@@ -13,6 +13,22 @@ use std::path::Path;
 /// An owned key/value pair.
 pub type KeyValue = (Vec<u8>, Vec<u8>);
 
+/// Operational counters a backend exposes for monitoring (all zero where a
+/// backend has nothing to report).
+#[derive(Debug, Clone, Default)]
+pub struct BackendStats {
+    /// Number of internal shards (1 for unsharded backends).
+    pub shards: usize,
+    /// Live entry count per shard.
+    pub shard_entries: Vec<usize>,
+    /// Read-cache hits (LSM backends only).
+    pub cache_hits: u64,
+    /// Read-cache misses (LSM backends only).
+    pub cache_misses: u64,
+    /// Read-cache evictions (LSM backends only).
+    pub cache_evictions: u64,
+}
+
 /// Key ordering note: backends must store keys in lexicographic byte order —
 /// HEPnOS relies on big-endian number encoding + sorted iteration to walk
 /// runs/subruns/events in ascending numeric order (paper §II-C3).
@@ -24,8 +40,7 @@ pub trait Backend: Send + Sync {
     /// existing value when there is one (and writes nothing). Concurrent
     /// creators (e.g. two clients registering the same dataset) race on
     /// this, so implementations must make the check-and-insert atomic.
-    fn put_if_absent(&self, key: &[u8], value: &[u8])
-        -> Result<Option<Vec<u8>>, YokanError>;
+    fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, YokanError>;
 
     /// Insert a batch; atomic per backend.
     fn put_multi(&self, pairs: &[KeyValue]) -> Result<(), YokanError> {
@@ -46,6 +61,11 @@ pub trait Backend: Send + Sync {
     /// Whether the key exists.
     fn exists(&self, key: &[u8]) -> Result<bool, YokanError> {
         Ok(self.get(key)?.is_some())
+    }
+
+    /// Batched existence check, one result slot per key.
+    fn exists_multi(&self, keys: &[Vec<u8>]) -> Result<Vec<bool>, YokanError> {
+        keys.iter().map(|k| self.exists(k)).collect()
     }
 
     /// Delete one key (idempotent).
@@ -83,6 +103,11 @@ pub trait Backend: Send + Sync {
 
     /// Backend kind name ("map" or "lsm"), mirroring Bedrock config values.
     fn kind(&self) -> &'static str;
+
+    /// Monitoring counters (shard occupancy, cache hit rates).
+    fn stats(&self) -> BackendStats {
+        BackendStats::default()
+    }
 }
 
 /// Smallest key strictly greater than every key starting with `prefix`
@@ -99,31 +124,105 @@ fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
     None
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(key: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// In-memory ordered-map backend (`std::map` analogue).
-#[derive(Default)]
+///
+/// The map is split into a fixed array of hash-routed shards, each behind its
+/// own `RwLock`, so concurrent point operations on different keys proceed in
+/// parallel instead of serializing on one map-wide lock. Ordered iteration
+/// (`list_keys` / `list_keyvals`) reconstructs the global lexicographic order
+/// with a k-way merge across the shards' sorted ranges — the sorted-order
+/// contract (big-endian keys iterate in numeric event order) is observable
+/// behavior HEPnOS relies on, so it is preserved exactly. Multi-key writes
+/// lock every touched shard in index order before applying, keeping
+/// `put_multi` / `erase_multi` atomic and deadlock-free.
 pub struct MemBackend {
-    map: RwLock<BTreeMap<Vec<u8>, Vec<u8>>>,
+    shards: Box<[MemShard]>,
+    mask: u64,
+}
+
+/// One shard of the in-memory map.
+type MemShard = RwLock<BTreeMap<Vec<u8>, Vec<u8>>>;
+
+/// Write guards for the shards a batch touches (`None` = shard untouched),
+/// indexed by shard.
+type ShardWriteGuards<'a> =
+    Vec<Option<parking_lot::RwLockWriteGuard<'a, BTreeMap<Vec<u8>, Vec<u8>>>>>;
+
+impl Default for MemBackend {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MemBackend {
-    /// Create an empty backend.
+    /// Create an empty backend with the default shard count
+    /// (`min(16, available parallelism)`, rounded to a power of two).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_shards(lsmdb::cache::default_shard_count())
+    }
+
+    /// Create an empty backend with an explicit shard count (rounded up to a
+    /// power of two).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let shards: Vec<MemShard> = (0..n).map(|_| RwLock::new(BTreeMap::new())).collect();
+        MemBackend {
+            shards: shards.into_boxed_slice(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_idx(&self, key: &[u8]) -> usize {
+        (fnv1a(key) & self.mask) as usize
+    }
+
+    /// Write-lock every shard touched by `keys`, in ascending index order
+    /// (the global lock order that keeps concurrent batches deadlock-free).
+    fn lock_shards_for<'a, K: AsRef<[u8]>>(
+        &'a self,
+        keys: impl Iterator<Item = K>,
+    ) -> ShardWriteGuards<'a> {
+        let mut needed = vec![false; self.shards.len()];
+        for k in keys {
+            needed[self.shard_idx(k.as_ref())] = true;
+        }
+        self.shards
+            .iter()
+            .zip(needed)
+            .map(|(s, n)| n.then(|| s.write()))
+            .collect()
     }
 }
 
 impl Backend for MemBackend {
     fn put(&self, key: &[u8], value: &[u8]) -> Result<(), YokanError> {
-        self.map.write().insert(key.to_vec(), value.to_vec());
+        self.shards[self.shard_idx(key)]
+            .write()
+            .insert(key.to_vec(), value.to_vec());
         Ok(())
     }
 
-    fn put_if_absent(
-        &self,
-        key: &[u8],
-        value: &[u8],
-    ) -> Result<Option<Vec<u8>>, YokanError> {
-        let mut map = self.map.write();
+    fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
+        // A key lives in exactly one shard, so holding that shard's write
+        // lock across the check-and-insert keeps this linearizable.
+        let mut map = self.shards[self.shard_idx(key)].write();
         match map.get(key) {
             Some(existing) => Ok(Some(existing.clone())),
             None => {
@@ -134,30 +233,74 @@ impl Backend for MemBackend {
     }
 
     fn put_multi(&self, pairs: &[(Vec<u8>, Vec<u8>)]) -> Result<(), YokanError> {
-        let mut map = self.map.write();
+        let mut guards = self.lock_shards_for(pairs.iter().map(|(k, _)| k));
         for (k, v) in pairs {
-            map.insert(k.clone(), v.clone());
+            guards[self.shard_idx(k)]
+                .as_mut()
+                .expect("shard was locked")
+                .insert(k.clone(), v.clone());
         }
         Ok(())
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
-        Ok(self.map.read().get(key).cloned())
+        Ok(self.shards[self.shard_idx(key)].read().get(key).cloned())
+    }
+
+    fn get_multi(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>, YokanError> {
+        // Group by shard so each shard is locked once per batch rather than
+        // once per key.
+        let mut out = vec![None; keys.len()];
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, k) in keys.iter().enumerate() {
+            by_shard[self.shard_idx(k)].push(i);
+        }
+        for (shard, indices) in self.shards.iter().zip(by_shard) {
+            if indices.is_empty() {
+                continue;
+            }
+            let map = shard.read();
+            for i in indices {
+                out[i] = map.get(&keys[i]).cloned();
+            }
+        }
+        Ok(out)
     }
 
     fn exists(&self, key: &[u8]) -> Result<bool, YokanError> {
-        Ok(self.map.read().contains_key(key))
+        Ok(self.shards[self.shard_idx(key)].read().contains_key(key))
+    }
+
+    fn exists_multi(&self, keys: &[Vec<u8>]) -> Result<Vec<bool>, YokanError> {
+        let mut out = vec![false; keys.len()];
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, k) in keys.iter().enumerate() {
+            by_shard[self.shard_idx(k)].push(i);
+        }
+        for (shard, indices) in self.shards.iter().zip(by_shard) {
+            if indices.is_empty() {
+                continue;
+            }
+            let map = shard.read();
+            for i in indices {
+                out[i] = map.contains_key(&keys[i]);
+            }
+        }
+        Ok(out)
     }
 
     fn erase(&self, key: &[u8]) -> Result<(), YokanError> {
-        self.map.write().remove(key);
+        self.shards[self.shard_idx(key)].write().remove(key);
         Ok(())
     }
 
     fn erase_multi(&self, keys: &[Vec<u8>]) -> Result<(), YokanError> {
-        let mut map = self.map.write();
+        let mut guards = self.lock_shards_for(keys.iter());
         for k in keys {
-            map.remove(k);
+            guards[self.shard_idx(k)]
+                .as_mut()
+                .expect("shard was locked")
+                .remove(k);
         }
         Ok(())
     }
@@ -181,7 +324,6 @@ impl Backend for MemBackend {
         prefix: &[u8],
         limit: usize,
     ) -> Result<Vec<KeyValue>, YokanError> {
-        let map = self.map.read();
         // Strictly greater than `from`; but when `from` is below the prefix
         // range entirely, a key equal to `prefix` itself must be included.
         let bound = if from >= prefix {
@@ -189,27 +331,60 @@ impl Backend for MemBackend {
         } else {
             std::ops::Bound::Included(prefix)
         };
+        // Snapshot all shards (read locks held together so the listing is a
+        // consistent cut), then k-way merge their sorted ranges.
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let mut iters: Vec<_> = guards
+            .iter()
+            .map(|g| g.range::<[u8], _>((bound, std::ops::Bound::Unbounded)))
+            .collect();
+        let mut heads: Vec<Option<(&Vec<u8>, &Vec<u8>)>> =
+            iters.iter_mut().map(|it| it.next()).collect();
         let mut out = Vec::new();
-        for (k, v) in map.range::<[u8], _>((bound, std::ops::Bound::Unbounded)) {
-            if !k.starts_with(prefix) {
-                // Keys are sorted and the range starts at/inside the prefix
-                // region, so the first non-prefixed key ends the scan.
-                break;
+        loop {
+            // Smallest still-prefixed head wins. Within a shard keys are
+            // sorted and the range starts at/inside the prefix region, so a
+            // non-prefixed head means that shard is exhausted.
+            let mut best: Option<usize> = None;
+            for (i, head) in heads.iter().enumerate() {
+                if let Some((k, _)) = head {
+                    if !k.starts_with(prefix) {
+                        continue;
+                    }
+                    if best.is_none_or(|b| {
+                        let (bk, _) = heads[b].expect("best head present");
+                        k.as_slice() < bk.as_slice()
+                    }) {
+                        best = Some(i);
+                    }
+                }
             }
+            let Some(i) = best else { break };
+            let (k, v) = heads[i].expect("best head present");
             out.push((k.clone(), v.clone()));
             if limit != 0 && out.len() >= limit {
                 break;
             }
+            heads[i] = iters[i].next();
         }
         Ok(out)
     }
 
     fn count(&self) -> Result<u64, YokanError> {
-        Ok(self.map.read().len() as u64)
+        Ok(self.shards.iter().map(|s| s.read().len() as u64).sum())
     }
 
     fn kind(&self) -> &'static str {
         "map"
+    }
+
+    fn stats(&self) -> BackendStats {
+        let shard_entries: Vec<usize> = self.shards.iter().map(|s| s.read().len()).collect();
+        BackendStats {
+            shards: self.shards.len(),
+            shard_entries,
+            ..BackendStats::default()
+        }
     }
 }
 
@@ -276,11 +451,7 @@ impl Backend for LsmBackend {
             .map_err(|e| YokanError::Backend(e.to_string()))
     }
 
-    fn put_if_absent(
-        &self,
-        key: &[u8],
-        value: &[u8],
-    ) -> Result<Option<Vec<u8>>, YokanError> {
+    fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
         self.db
             .put_if_absent(key, value)
             .map_err(|e| YokanError::Backend(e.to_string()))
@@ -336,6 +507,17 @@ impl Backend for LsmBackend {
     fn kind(&self) -> &'static str {
         "lsm"
     }
+
+    fn stats(&self) -> BackendStats {
+        let cache = self.db.read_cache_stats();
+        BackendStats {
+            shards: cache.shard_entries.len(),
+            shard_entries: cache.shard_entries,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -383,7 +565,9 @@ mod tests {
                 .map(|i| (format!("k{i:03}").into_bytes(), vec![i as u8]))
                 .collect();
             b.put_multi(&pairs).unwrap();
-            let keys: Vec<_> = (0..25u32).map(|i| format!("k{i:03}").into_bytes()).collect();
+            let keys: Vec<_> = (0..25u32)
+                .map(|i| format!("k{i:03}").into_bytes())
+                .collect();
             let got = b.get_multi(&keys).unwrap();
             for (i, g) in got.iter().enumerate() {
                 if i < 20 {
@@ -413,9 +597,7 @@ mod tests {
             assert_eq!(keys.len(), 5);
             assert!(keys.iter().all(|k| k.starts_with(&[b'r', 1])));
             // Resume after the 2nd event of run 1:
-            let keys2 = b
-                .list_keys(&[b'r', 1, b'e', 1], &[b'r', 1], 0)
-                .unwrap();
+            let keys2 = b.list_keys(&[b'r', 1, b'e', 1], &[b'r', 1], 0).unwrap();
             assert_eq!(keys2.len(), 3);
             assert_eq!(keys2[0], vec![b'r', 1, b'e', 2]);
             // Limit:
@@ -478,7 +660,9 @@ mod tests {
         let lsm = LsmBackend::open(&d).unwrap();
         let mut seed = 0x12345u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seed >> 33
         };
         for _ in 0..500 {

@@ -149,6 +149,27 @@ impl YokanClient {
         decode_optionals(&mut resp)
     }
 
+    /// Existence checks for a batch of keys in one round-trip; the server
+    /// fans large batches out across the provider's pool.
+    pub fn exists_multi(
+        &self,
+        target: &DbTarget,
+        keys: &[Vec<u8>],
+    ) -> Result<Vec<bool>, YokanError> {
+        let keys_block = encode_keys(keys);
+        let mut buf = Self::header(target, keys_block.len());
+        buf.put_slice(&keys_block);
+        let resp = self.call(target, OP_EXISTS_MULTI, buf.freeze())?;
+        if resp.len() != keys.len() {
+            return Err(YokanError::Protocol(format!(
+                "exists_multi: expected {} flags, got {}",
+                keys.len(),
+                resp.len()
+            )));
+        }
+        Ok(resp.iter().map(|&b| b == 1).collect())
+    }
+
     /// Whether a key exists.
     pub fn exists(&self, target: &DbTarget, key: &[u8]) -> Result<bool, YokanError> {
         let mut buf = Self::header(target, 4 + key.len());
@@ -233,11 +254,7 @@ impl YokanClient {
     }
 
     /// Database names served by a provider.
-    pub fn list_databases(
-        &self,
-        addr: &str,
-        provider_id: u16,
-    ) -> Result<Vec<String>, YokanError> {
+    pub fn list_databases(&self, addr: &str, provider_id: u16) -> Result<Vec<String>, YokanError> {
         let mut resp = self
             .endpoint
             .call(addr, RpcId(OP_LIST_DBS), provider_id, Bytes::new())

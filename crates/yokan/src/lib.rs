@@ -31,7 +31,7 @@ mod encoding;
 mod error;
 mod service;
 
-pub use backend::{Backend, LsmBackend, MemBackend};
+pub use backend::{Backend, BackendStats, LsmBackend, MemBackend};
 pub use client::{DbTarget, YokanClient};
 pub use error::YokanError;
 pub use service::{YokanService, PROVIDER_RPC_BASE};

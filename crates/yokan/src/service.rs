@@ -10,7 +10,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Base RPC id of the Yokan protocol; ids `base..base+10` are used.
+/// Base RPC id of the Yokan protocol; ids `base..base+12` are used.
 pub const PROVIDER_RPC_BASE: u16 = 100;
 
 pub(crate) const OP_PUT: u16 = PROVIDER_RPC_BASE;
@@ -25,12 +25,27 @@ pub(crate) const OP_COUNT: u16 = PROVIDER_RPC_BASE + 8;
 pub(crate) const OP_LIST_DBS: u16 = PROVIDER_RPC_BASE + 9;
 pub(crate) const OP_ERASE_MULTI: u16 = PROVIDER_RPC_BASE + 10;
 pub(crate) const OP_PUT_IF_ABSENT: u16 = PROVIDER_RPC_BASE + 11;
+pub(crate) const OP_EXISTS_MULTI: u16 = PROVIDER_RPC_BASE + 12;
 
 pub(crate) const MODE_INLINE: u8 = 0;
 pub(crate) const MODE_BULK: u8 = 1;
 
+/// Multi-key reads at or above this many keys are fanned out across the
+/// provider's argos pool; below it the per-task overhead outweighs the
+/// parallelism.
+const FANOUT_THRESHOLD: usize = 32;
+
+/// Number of chunks a fanned-out batch is split into.
+const FANOUT_CHUNKS: usize = 4;
+
+/// A batched read against a backend, run per chunk by the fan-out path.
+type MultiReadOp<T> = fn(&dyn Backend, &[Vec<u8>]) -> Result<Vec<T>, YokanError>;
+
 struct ProviderState {
     databases: HashMap<String, Arc<dyn Backend>>,
+    /// The argos pool this provider is mapped to, used to fan large
+    /// multi-key reads out across the pool's execution streams.
+    pool: Option<argos::Pool>,
 }
 
 struct ServiceInner {
@@ -70,6 +85,7 @@ impl YokanService {
             OP_LIST_DBS,
             OP_ERASE_MULTI,
             OP_PUT_IF_ABSENT,
+            OP_EXISTS_MULTI,
         ] {
             let svc2 = svc.clone();
             margo.register_rpc(
@@ -89,12 +105,14 @@ impl YokanService {
         pool: &str,
     ) -> Result<(), margo::MargoError> {
         margo.assign_provider_pool(provider_id, pool)?;
+        let pool = margo.runtime().pool(pool);
         self.inner
             .providers
             .write()
             .entry(provider_id)
             .or_insert_with(|| ProviderState {
                 databases: HashMap::new(),
+                pool,
             });
         Ok(())
     }
@@ -111,7 +129,26 @@ impl YokanService {
             .get_mut(&provider_id)
             .unwrap_or_else(|| panic!("provider {provider_id} not registered"));
         let prev = prov.databases.insert(name.to_string(), backend);
-        assert!(prev.is_none(), "database {name} already exists on provider {provider_id}");
+        assert!(
+            prev.is_none(),
+            "database {name} already exists on provider {provider_id}"
+        );
+    }
+
+    /// Per-database storage counters across all providers, as
+    /// `(provider_id, database name, stats)` sorted by provider then name.
+    /// Used by benchmarks and operators to see cache effectiveness and
+    /// shard balance.
+    pub fn backend_stats(&self) -> Vec<(u16, String, crate::backend::BackendStats)> {
+        let provs = self.inner.providers.read();
+        let mut out = Vec::new();
+        for (&pid, prov) in provs.iter() {
+            for (name, db) in &prov.databases {
+                out.push((pid, name.clone(), db.stats()));
+            }
+        }
+        out.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        out
     }
 
     /// Names of the databases attached to one provider, sorted.
@@ -126,16 +163,76 @@ impl YokanService {
     }
 
     fn db(&self, provider_id: u16, name: &[u8]) -> Result<Arc<dyn Backend>, YokanError> {
+        self.db_and_pool(provider_id, name).map(|(db, _)| db)
+    }
+
+    fn db_and_pool(
+        &self,
+        provider_id: u16,
+        name: &[u8],
+    ) -> Result<(Arc<dyn Backend>, Option<argos::Pool>), YokanError> {
         let name = std::str::from_utf8(name)
             .map_err(|_| YokanError::Protocol("db name not utf8".into()))?;
         let provs = self.inner.providers.read();
         let prov = provs
             .get(&provider_id)
             .ok_or(YokanError::NoSuchProvider(provider_id))?;
-        prov.databases
+        let db = prov
+            .databases
             .get(name)
             .cloned()
-            .ok_or_else(|| YokanError::NoSuchDatabase(name.to_string()))
+            .ok_or_else(|| YokanError::NoSuchDatabase(name.to_string()))?;
+        Ok((db, prov.pool.clone()))
+    }
+
+    /// Run a multi-key *read* against `backend`, fanning chunks out across
+    /// the provider's pool when the batch is large enough.
+    ///
+    /// Only reads are fanned out: `put_multi` is one atomic batch at the
+    /// backend (a single `WriteBatch` on the LSM engine, an all-shards-locked
+    /// apply on the in-memory map), and splitting it would break that
+    /// contract. Reads have no ordering between keys, so chunking is free.
+    ///
+    /// The handler itself may be running on the only execution stream that
+    /// drains this pool, in which case waiting passively on the spawned
+    /// chunks would deadlock. While any chunk is unfinished we *work-help*:
+    /// pop and run queued tasks from the pool (our own chunks included), and
+    /// only yield when the queue is momentarily empty.
+    fn fan_out_read<T: Send + 'static>(
+        pool: Option<argos::Pool>,
+        backend: Arc<dyn Backend>,
+        keys: Vec<Vec<u8>>,
+        op: MultiReadOp<T>,
+    ) -> Result<Vec<T>, YokanError> {
+        let fan = match pool {
+            Some(p) if keys.len() >= FANOUT_THRESHOLD && !p.is_closed() => p,
+            _ => return op(&*backend, &keys),
+        };
+        let chunk = keys.len().div_ceil(FANOUT_CHUNKS);
+        let mut handles = Vec::with_capacity(FANOUT_CHUNKS);
+        let mut rest = keys;
+        while !rest.is_empty() {
+            let tail = if rest.len() > chunk {
+                rest.split_off(chunk)
+            } else {
+                Vec::new()
+            };
+            let part = std::mem::replace(&mut rest, tail);
+            let b = Arc::clone(&backend);
+            handles.push(fan.spawn(move || op(&*b, &part)));
+        }
+        let mut out = Vec::new();
+        for h in handles {
+            while !h.is_finished() {
+                if let Some(task) = fan.try_pop() {
+                    task();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            out.extend(h.join()?);
+        }
+        Ok(out)
     }
 
     fn handle(&self, req: Request) -> Result<Bytes, YokanError> {
@@ -187,8 +284,20 @@ impl YokanService {
             x if x == OP_GET_MULTI => {
                 let db = get_bytes(&mut p)?;
                 let keys = decode_keys(&mut p)?;
-                let vals = self.db(req.provider_id, &db)?.get_multi(&keys)?;
+                let (backend, pool) = self.db_and_pool(req.provider_id, &db)?;
+                let vals = Self::fan_out_read(pool, backend, keys, |b, ks| b.get_multi(ks))?;
                 Ok(encode_optionals(&vals))
+            }
+            x if x == OP_EXISTS_MULTI => {
+                let db = get_bytes(&mut p)?;
+                let keys = decode_keys(&mut p)?;
+                let (backend, pool) = self.db_and_pool(req.provider_id, &db)?;
+                let found = Self::fan_out_read(pool, backend, keys, |b, ks| b.exists_multi(ks))?;
+                let mut out = BytesMut::with_capacity(found.len());
+                for e in found {
+                    out.put_u8(e as u8);
+                }
+                Ok(out.freeze())
             }
             x if x == OP_EXISTS => {
                 let db = get_bytes(&mut p)?;

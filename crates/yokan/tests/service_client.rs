@@ -112,10 +112,7 @@ fn get_multi_preserves_order_and_misses() {
     let got = client
         .get_multi(&t, &[b"a".to_vec(), b"b".to_vec(), b"c".to_vec()])
         .unwrap();
-    assert_eq!(
-        got,
-        vec![Some(b"1".to_vec()), None, Some(b"3".to_vec())]
-    );
+    assert_eq!(got, vec![Some(b"1".to_vec()), None, Some(b"3".to_vec())]);
     ts.server.finalize();
 }
 
@@ -255,6 +252,39 @@ fn erase_multi_removes_batch() {
     for (i, k) in keys.iter().enumerate() {
         assert_eq!(client.exists(&t, k).unwrap(), i % 2 == 1);
     }
+    ts.server.finalize();
+}
+
+#[test]
+fn exists_multi_and_large_get_multi_fan_out() {
+    let ts = setup(NetworkModel::default());
+    let client = YokanClient::new(ts.fabric.endpoint("client"));
+    let t = DbTarget::new(ts.server.address(), 0, "events");
+    // 100 keys is well above the server's fan-out threshold, so these
+    // batches exercise the pool-parallel read path end to end.
+    let mut pairs = Vec::new();
+    for i in 0..100u32 {
+        let k = i.to_be_bytes().to_vec();
+        pairs.push((k, vec![i as u8; 8]));
+    }
+    client.put_multi(&t, &pairs).unwrap();
+    let mut keys: Vec<Vec<u8>> = pairs.iter().map(|(k, _)| k.clone()).collect();
+    keys.push(b"missing-1".to_vec());
+    keys.push(b"missing-2".to_vec());
+    let got = client.get_multi(&t, &keys).unwrap();
+    assert_eq!(got.len(), 102);
+    for (i, v) in got.iter().take(100).enumerate() {
+        assert_eq!(v.as_deref(), Some(&[i as u8; 8][..]), "key {i}");
+    }
+    assert_eq!(got[100], None);
+    assert_eq!(got[101], None);
+    let found = client.exists_multi(&t, &keys).unwrap();
+    assert_eq!(found.len(), 102);
+    assert!(found[..100].iter().all(|&e| e));
+    assert!(!found[100] && !found[101]);
+    // Small batches stay on the direct path; results must be identical.
+    let small = client.exists_multi(&t, &keys[98..102]).unwrap();
+    assert_eq!(small, vec![true, true, false, false]);
     ts.server.finalize();
 }
 

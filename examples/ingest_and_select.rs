@@ -78,7 +78,12 @@ fn main() {
             let slices: Vec<nova::SliceQuantities> =
                 pe.load(&slice_label()).unwrap().unwrap_or_default();
             let (run, subrun, event) = pe.event().coordinates();
-            let rec = nova::EventRecord { run, subrun, event, slices };
+            let rec = nova::EventRecord {
+                run,
+                subrun,
+                event,
+                slices,
+            };
             let mut spec = spectra[worker].lock();
             spec.add_exposure(1.0);
             for s in rec.slices.iter().filter(|s| cuts2.passes(s)) {

@@ -37,8 +37,16 @@ fn main() {
 
     // Store data (a Vec of Particle).
     let vp1 = vec![
-        Particle { x: 1.0, y: 2.0, z: 3.0 },
-        Particle { x: -1.5, y: 0.25, z: 9.0 },
+        Particle {
+            x: 1.0,
+            y: 2.0,
+            z: 3.0,
+        },
+        Particle {
+            x: -1.5,
+            y: 0.25,
+            z: 9.0,
+        },
     ];
     let label = ProductLabel::new("mylabel");
     ev.store(&label, &vp1).expect("store failed");
@@ -49,7 +57,11 @@ fn main() {
         .expect("load failed")
         .expect("product should exist");
     assert_eq!(vp1, vp2);
-    println!("stored and loaded {} particles on event {:?}", vp2.len(), ev);
+    println!(
+        "stored and loaded {} particles on event {:?}",
+        vp2.len(),
+        ev
+    );
 
     // Iterate over the subruns in a run.
     for subrun in run.subruns().expect("iteration failed") {

@@ -111,12 +111,9 @@ fn demo(placement: &dyn Placement, make_placement: fn() -> Box<dyn Placement>, n
         pr_stats.moved_fraction() * 100.0
     );
     // Verify reads through the grown topology.
-    let store2 = DataStore::connect_with_placement(
-        dep.fabric().endpoint("reader"),
-        &full,
-        make_placement(),
-    )
-    .unwrap();
+    let store2 =
+        DataStore::connect_with_placement(dep.fabric().endpoint("reader"), &full, make_placement())
+            .unwrap();
     let run2 = store2.dataset("grow").unwrap().run(1).unwrap();
     let mut n = 0u64;
     for sr in run2.subruns().unwrap() {

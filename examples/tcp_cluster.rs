@@ -35,7 +35,10 @@ fn main() {
     // The descriptor is plain JSON — this is what a job script would write
     // to a shared file for the clients.
     let descriptor_json = serde_json::to_string_pretty(server.descriptor()).unwrap();
-    println!("server up at {}\ndescriptor:\n{descriptor_json}\n", server.address());
+    println!(
+        "server up at {}\ndescriptor:\n{descriptor_json}\n",
+        server.address()
+    );
 
     // --- client side ---
     let client_ep = TcpEndpoint::bind(0).expect("bind client socket");
@@ -51,8 +54,16 @@ fn main() {
         .create_event(3)
         .unwrap();
     let hits = vec![
-        Hit { plane: 1, cell: 10, adc: 512 },
-        Hit { plane: 2, cell: 20, adc: 760 },
+        Hit {
+            plane: 1,
+            cell: 10,
+            adc: 512,
+        },
+        Hit {
+            plane: 2,
+            cell: 20,
+            adc: 760,
+        },
     ];
     let label = ProductLabel::new("hits");
     ev.store(&label, &hits).unwrap();
@@ -66,7 +77,20 @@ fn main() {
     let mut batch = hepnos::WriteBatch::new(&store);
     for e in 10..110u64 {
         let ev = batch.create_event(&sr, &uuid, e).unwrap();
-        batch.store(&ev, &label, &vec![Hit { plane: 0, cell: e as u16, adc: 1 }; 4]).unwrap();
+        batch
+            .store(
+                &ev,
+                &label,
+                &vec![
+                    Hit {
+                        plane: 0,
+                        cell: e as u16,
+                        adc: 1
+                    };
+                    4
+                ],
+            )
+            .unwrap();
     }
     batch.flush().unwrap();
     println!(

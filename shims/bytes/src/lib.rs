@@ -1,0 +1,519 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! `Bytes` is a cheaply-cloneable view into a reference-counted buffer
+//! (`Arc<[u8]>` + start/end offsets), `BytesMut` is a growable builder that
+//! freezes into `Bytes`, and the `Buf` / `BufMut` traits carry the
+//! little-endian cursor helpers this workspace relies on.
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Buf / BufMut
+// ---------------------------------------------------------------------------
+
+/// Read cursor over a contiguous byte buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+    /// Consume `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copy bytes out into `dst`, advancing.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+/// Write cursor appending to a byte buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bytes
+// ---------------------------------------------------------------------------
+
+enum Repr {
+    Shared(Arc<[u8]>),
+    Static(&'static [u8]),
+}
+
+impl Clone for Repr {
+    fn clone(&self) -> Repr {
+        match self {
+            Repr::Shared(a) => Repr::Shared(Arc::clone(a)),
+            Repr::Static(s) => Repr::Static(s),
+        }
+    }
+}
+
+/// Cheaply-cloneable immutable byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub const fn new() -> Bytes {
+        Bytes {
+            repr: Repr::Static(&[]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Wrap a static slice without copying.
+    pub const fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes {
+            repr: Repr::Static(data),
+            start: 0,
+            end: data.len(),
+        }
+    }
+
+    /// Copy a slice into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        let full: &[u8] = match &self.repr {
+            Repr::Shared(a) => a,
+            Repr::Static(s) => s,
+        };
+        &full[self.start..self.end]
+    }
+
+    /// A sub-view sharing the same backing buffer.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end && end <= len, "slice out of bounds");
+        Bytes {
+            repr: self.repr.clone(),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            repr: self.repr.clone(),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// Split off and return the tail from `at`; `self` keeps the head.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_off out of bounds");
+        let tail = Bytes {
+            repr: self.repr.clone(),
+            start: self.start + at,
+            end: self.end,
+        };
+        self.end = self.start + at;
+        tail
+    }
+
+    /// Copy the view into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let arc: Arc<[u8]> = Arc::from(v.into_boxed_slice());
+        let len = arc.len();
+        Bytes {
+            repr: Repr::Shared(arc),
+            start: 0,
+            end: len,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(b: Box<[u8]>) -> Bytes {
+        let arc: Arc<[u8]> = Arc::from(b);
+        let len = arc.len();
+        Bytes {
+            repr: Repr::Shared(arc),
+            start: 0,
+            end: len,
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl std::iter::FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BytesMut
+// ---------------------------------------------------------------------------
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub const fn new() -> BytesMut {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Reserve space for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Drop all contents.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Shorten to `len` bytes.
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let rest = self.buf.split_off(at);
+        let head = std::mem::replace(&mut self.buf, rest);
+        BytesMut { buf: head }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> BytesMut {
+        BytesMut { buf: v }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> BytesMut {
+        BytesMut { buf: s.to_vec() }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        Bytes::copy_from_slice(&self.buf).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_slicing_and_split() {
+        let mut b = Bytes::from(b"hello world".to_vec());
+        assert_eq!(b.len(), 11);
+        let head = b.split_to(5);
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(&b[..], b" world");
+        let s = head.slice(1..3);
+        assert_eq!(&s[..], b"el");
+        let s2 = head.slice(..2);
+        assert_eq!(&s2[..], b"he");
+    }
+
+    #[test]
+    fn buf_cursor_le_reads() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u8(7);
+        m.put_u16_le(300);
+        m.put_u32_le(70_000);
+        m.put_u64_le(u64::MAX - 1);
+        m.put_slice(b"xy");
+        let mut b = m.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16_le(), 300);
+        assert_eq!(b.get_u32_le(), 70_000);
+        assert_eq!(b.get_u64_le(), u64::MAX - 1);
+        assert_eq!(b.remaining(), 2);
+        assert_eq!(&b.split_to(2)[..], b"xy");
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let b = Bytes::from(vec![1u8; 1024]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(b.slice(10..20), c.slice(10..20));
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_to_past_end_panics() {
+        let mut b = Bytes::from_static(b"abc");
+        let _ = b.split_to(4);
+    }
+}

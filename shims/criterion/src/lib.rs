@@ -1,0 +1,347 @@
+//! Offline shim for `criterion`.
+//!
+//! Minimal wall-clock benchmark harness with the criterion API surface this
+//! workspace uses: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `black_box`,
+//! `iter`/`iter_batched`, and the `criterion_group!`/`criterion_main!`
+//! macros. Timing is a simple calibrated loop (warmup, then enough
+//! iterations to fill the measurement window) reporting mean ns/iter.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from eliding a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus a parameter label.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("put", 4096)` renders as `put/4096`.
+    pub fn new<S: std::fmt::Display, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Throughput annotation attached to a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for `iter_batched` (ignored by this shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Total measurement window.
+    measurement_time: Duration,
+    /// Mean nanoseconds per iteration, filled in by `iter*`.
+    result_ns: f64,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Measure a routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count that fills the window.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement_time || n >= u64::MAX / 2 {
+                self.result_ns = elapsed.as_nanos() as f64 / n as f64;
+                self.iters_done = n;
+                return;
+            }
+            let target = self.measurement_time.as_nanos() as f64;
+            let scale = if elapsed.as_nanos() == 0 {
+                64.0
+            } else {
+                (target / elapsed.as_nanos() as f64).clamp(2.0, 64.0)
+            };
+            n = ((n as f64) * scale).ceil() as u64;
+        }
+    }
+
+    /// Measure a routine with setup excluded from timing.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut n: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement_time || n >= 1 << 24 {
+                self.result_ns = elapsed.as_nanos() as f64 / n as f64;
+                self.iters_done = n;
+                return;
+            }
+            let target = self.measurement_time.as_nanos() as f64;
+            let scale = if elapsed.as_nanos() == 0 {
+                64.0
+            } else {
+                (target / elapsed.as_nanos() as f64).clamp(2.0, 64.0)
+            };
+            n = ((n as f64) * scale).ceil() as u64;
+        }
+    }
+}
+
+fn run_one(
+    name: &str,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        measurement_time,
+        result_ns: 0.0,
+        iters_done: 0,
+    };
+    f(&mut bencher);
+    let ns = bencher.result_ns;
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if ns > 0.0 => {
+            let mibps = (b as f64) / (ns / 1e9) / (1024.0 * 1024.0);
+            format!("  ({mibps:.1} MiB/s)")
+        }
+        Some(Throughput::Elements(e)) if ns > 0.0 => {
+            let eps = (e as f64) / (ns / 1e9);
+            format!("  ({eps:.0} elem/s)")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<48} {ns:>14.1} ns/iter  [{} iters]{rate}",
+        bencher.iters_done
+    );
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the measurement window for this group.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.criterion.measurement_time = dur;
+        self
+    }
+
+    /// Override sample count (ignored; kept for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_bench_id());
+        run_one(
+            &full,
+            self.criterion.measurement_time,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Run a benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_bench_id());
+        run_one(
+            &full,
+            self.criterion.measurement_time,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (no-op; matches criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// Accepts either a `&str` or a [`BenchmarkId`] as a benchmark name.
+pub trait IntoBenchId {
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.id
+    }
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Short default window: these shim benches run inside test jobs.
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set sample count (ignored; kept for API compatibility).
+    pub fn sample_size(mut self, _n: usize) -> Self {
+        let _ = &mut self;
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Set the warm-up window (ignored; the timing loop self-calibrates).
+    pub fn warm_up_time(mut self, _dur: Duration) -> Self {
+        let _ = &mut self;
+        self
+    }
+
+    /// Start a benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.measurement_time, None, &mut f);
+        self
+    }
+
+    /// Run a standalone benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = id.id.clone();
+        run_one(&name, self.measurement_time, None, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finalize (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declare a benchmark group: plain target list or `name = ...; config = ...;
+/// targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(10));
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| black_box(2u64) + black_box(3u64))
+        });
+    }
+
+    #[test]
+    fn group_with_throughput_and_batched() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("smoke_group");
+        group.throughput(Throughput::Bytes(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64usize, |b, &n| {
+            b.iter_batched(
+                || vec![1u8; n],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline shim for `serde`.
+//!
+//! A faithful subset of the serde data model: the `ser` / `de` trait
+//! families, `Serialize` / `Deserialize` implementations for the std types
+//! this workspace serializes, and (behind the `derive` feature) re-exports
+//! of the `serde_derive` proc-macros. Signatures mirror upstream serde so
+//! hand-written (de)serializers like `hepnos::binser` compile unchanged.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,696 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Derives `Serialize` / `Deserialize` for the shapes this workspace uses:
+//! named-field structs and enums with unit / newtype / tuple / struct
+//! variants. Supported attributes: `#[serde(rename_all = "lowercase")]`,
+//! `#[serde(rename = "...")]`, `#[serde(default)]`,
+//! `#[serde(default = "path")]`.
+//!
+//! The macro never parses field *types* — generated code builds the value
+//! with struct-literal syntax and lets inference pick the element type of
+//! each `next_element()` / `next_value()` call, which keeps the parser tiny.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    ser_name: String,
+    /// `None`: required. `Some(None)`: `Default::default()`.
+    /// `Some(Some(path))`: call `path()`.
+    default: Option<Option<String>>,
+}
+
+enum Shape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    ser_name: String,
+    shape: Shape,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// serde attr key/value pairs pulled from `#[...]` runs; other attrs skipped.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    while *i < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = tokens.get(*i + 1) else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if matches!(&inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                out.extend(parse_serde_args(args.stream()));
+            }
+        }
+        *i += 2;
+    }
+    out
+}
+
+/// Parse `key`, `key = "value"` pairs separated by commas.
+fn parse_serde_args(ts: TokenStream) -> Vec<(String, Option<String>)> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let TokenTree::Ident(key) = &tokens[i] else {
+            panic!("unsupported serde attribute syntax");
+        };
+        let key = key.to_string();
+        i += 1;
+        let mut value = None;
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            let Some(TokenTree::Literal(lit)) = tokens.get(i) else {
+                panic!("serde attribute `{key}` expects a string literal");
+            };
+            value = Some(strip_quotes(&lit.to_string()));
+            i += 1;
+        }
+        out.push((key, value));
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Skip `pub`, `pub(crate)`, etc.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(&tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Skip one type, leaving `i` on the top-level `,` (or at end).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Number of comma-separated types in a tuple-variant payload.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut n = 0;
+    while i < tokens.len() {
+        n += 1;
+        skip_type(&tokens, &mut i);
+        i += 1; // past the comma (or off the end)
+    }
+    n
+}
+
+fn apply_rename_all(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(c.to_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some(other) => panic!("unsupported rename_all rule `{other}`"),
+        None => name.to_string(),
+    }
+}
+
+/// Parse the named fields inside a brace group.
+fn parse_fields(ts: TokenStream, rename_all: Option<&str>) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected field name, found `{}`", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_type(&tokens, &mut i);
+        i += 1; // past the comma (or off the end)
+
+        let mut ser_name = apply_rename_all(&name, rename_all);
+        let mut default = None;
+        for (key, value) in attrs {
+            match key.as_str() {
+                "rename" => ser_name = value.expect("rename needs a value"),
+                "default" => default = Some(value),
+                other => panic!("unsupported serde field attribute `{other}`"),
+            }
+        }
+        fields.push(Field {
+            name,
+            ser_name,
+            default,
+        });
+    }
+    fields
+}
+
+/// Parse the variants inside an enum's brace group.
+fn parse_variants(ts: TokenStream, rename_all: Option<&str>) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected variant name, found `{}`", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_tuple_fields(g.stream()) {
+                    1 => Shape::Newtype,
+                    n => Shape::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Struct(parse_fields(g.stream(), None))
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+
+        let mut ser_name = apply_rename_all(&name, rename_all);
+        for (key, value) in attrs {
+            match key.as_str() {
+                "rename" => ser_name = value.expect("rename needs a value"),
+                other => panic!("unsupported serde variant attribute `{other}`"),
+            }
+        }
+        variants.push(Variant {
+            name,
+            ser_name,
+            shape,
+        });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = take_attrs(&tokens, &mut i);
+    let mut rename_all = None;
+    for (key, value) in attrs {
+        match key.as_str() {
+            "rename_all" => rename_all = value,
+            other => panic!("unsupported serde container attribute `{other}`"),
+        }
+    }
+    skip_visibility(&tokens, &mut i);
+    let TokenTree::Ident(kw) = &tokens[i] else {
+        panic!("expected `struct` or `enum`");
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("generic types are not supported by the serde_derive shim");
+    }
+    let Some(TokenTree::Group(body)) = tokens.get(i) else {
+        panic!("expected a braced body (tuple/unit structs unsupported)");
+    };
+    assert!(
+        body.delimiter() == Delimiter::Brace,
+        "expected a braced body (tuple/unit structs unsupported)"
+    );
+    match kw.as_str() {
+        "struct" => Input::Struct {
+            name,
+            fields: parse_fields(body.stream(), rename_all.as_deref()),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_variants(body.stream(), rename_all.as_deref()),
+        },
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let mut s = String::new();
+    match input {
+        Input::Struct { name, fields } => {
+            s.push_str(&format!(
+                "#[automatically_derived]\n\
+                 impl serde::Serialize for {name} {{\n\
+                 fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+                 -> core::result::Result<__S::Ok, __S::Error> {{\n\
+                 use serde::ser::SerializeStruct;\n\
+                 let mut __state = __serializer.serialize_struct(\"{name}\", {}usize)?;\n",
+                fields.len()
+            ));
+            for f in fields {
+                s.push_str(&format!(
+                    "__state.serialize_field(\"{}\", &self.{})?;\n",
+                    f.ser_name, f.name
+                ));
+            }
+            s.push_str("__state.end()\n}\n}\n");
+        }
+        Input::Enum { name, variants } => {
+            s.push_str(&format!(
+                "#[automatically_derived]\n\
+                 impl serde::Serialize for {name} {{\n\
+                 fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+                 -> core::result::Result<__S::Ok, __S::Error> {{\n\
+                 match self {{\n"
+            ));
+            for (idx, v) in variants.iter().enumerate() {
+                let (vname, sname) = (&v.name, &v.ser_name);
+                match &v.shape {
+                    Shape::Unit => s.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_unit_variant(\
+                         \"{name}\", {idx}u32, \"{sname}\"),\n"
+                    )),
+                    Shape::Newtype => s.push_str(&format!(
+                        "{name}::{vname}(__f0) => __serializer.serialize_newtype_variant(\
+                         \"{name}\", {idx}u32, \"{sname}\", __f0),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        s.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             use serde::ser::SerializeTupleVariant;\n\
+                             let mut __state = __serializer.serialize_tuple_variant(\
+                             \"{name}\", {idx}u32, \"{sname}\", {n}usize)?;\n",
+                            binds.join(", ")
+                        ));
+                        for b in &binds {
+                            s.push_str(&format!("__state.serialize_field({b})?;\n"));
+                        }
+                        s.push_str("__state.end()\n}\n");
+                    }
+                    Shape::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        s.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             use serde::ser::SerializeStructVariant;\n\
+                             let mut __state = __serializer.serialize_struct_variant(\
+                             \"{name}\", {idx}u32, \"{sname}\", {}usize)?;\n",
+                            binds.join(", "),
+                            fields.len()
+                        ));
+                        for f in fields {
+                            s.push_str(&format!(
+                                "__state.serialize_field(\"{}\", {})?;\n",
+                                f.ser_name, f.name
+                            ));
+                        }
+                        s.push_str("__state.end()\n}\n");
+                    }
+                }
+            }
+            s.push_str("}\n}\n}\n");
+        }
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// `visit_seq` + `visit_map` bodies building `ctor { fields... }`.
+///
+/// `ctor` is the path used in the struct literal (the type name for plain
+/// structs, `Enum::Variant` for struct variants).
+fn gen_field_visitor_methods(ctor: &str, expecting: &str, fields: &[Field]) -> String {
+    let mut s = String::new();
+
+    // visit_seq: positional (binser structs, tuple-encoded struct payloads).
+    s.push_str(
+        "fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+         -> core::result::Result<Self::Value, __A::Error> {\n",
+    );
+    s.push_str(&format!("core::result::Result::Ok({ctor} {{\n"));
+    for (i, f) in fields.iter().enumerate() {
+        let on_missing = match &f.default {
+            None => format!(
+                "return core::result::Result::Err(serde::de::Error::invalid_length({i}usize, &\"{expecting}\"))"
+            ),
+            Some(None) => "core::default::Default::default()".to_string(),
+            Some(Some(path)) => format!("{path}()"),
+        };
+        s.push_str(&format!(
+            "{}: match __seq.next_element()? {{\n\
+             core::option::Option::Some(__v) => __v,\n\
+             core::option::Option::None => {on_missing},\n\
+             }},\n",
+            f.name
+        ));
+    }
+    s.push_str("})\n}\n");
+
+    // visit_map: named keys (JSON), unknown fields skipped.
+    s.push_str(
+        "fn visit_map<__A: serde::de::MapAccess<'de>>(self, mut __map: __A) \
+         -> core::result::Result<Self::Value, __A::Error> {\n",
+    );
+    for (i, _) in fields.iter().enumerate() {
+        s.push_str(&format!("let mut __opt{i} = core::option::Option::None;\n"));
+    }
+    s.push_str("while let core::option::Option::Some(__key) = __map.next_key::<String>()? {\n");
+    s.push_str("match __key.as_str() {\n");
+    for (i, f) in fields.iter().enumerate() {
+        s.push_str(&format!(
+            "\"{0}\" => {{\n\
+             if __opt{i}.is_some() {{\n\
+             return core::result::Result::Err(serde::de::Error::duplicate_field(\"{0}\"));\n\
+             }}\n\
+             __opt{i} = core::option::Option::Some(__map.next_value()?);\n\
+             }}\n",
+            f.ser_name
+        ));
+    }
+    s.push_str(
+        "_ => { let _ = __map.next_value::<serde::de::IgnoredAny>()?; }\n\
+         }\n\
+         }\n",
+    );
+    s.push_str(&format!("core::result::Result::Ok({ctor} {{\n"));
+    for (i, f) in fields.iter().enumerate() {
+        let on_missing = match &f.default {
+            None => format!(
+                "return core::result::Result::Err(serde::de::Error::missing_field(\"{}\"))",
+                f.ser_name
+            ),
+            Some(None) => "core::default::Default::default()".to_string(),
+            Some(Some(path)) => format!("{path}()"),
+        };
+        s.push_str(&format!(
+            "{}: match __opt{i} {{\n\
+             core::option::Option::Some(__v) => __v,\n\
+             core::option::Option::None => {on_missing},\n\
+             }},\n",
+            f.name
+        ));
+    }
+    s.push_str("})\n}\n");
+    s
+}
+
+/// A positional-only `visit_seq` building `ctor(f0, f1, ...)`.
+fn gen_tuple_visitor_methods(ctor: &str, expecting: &str, n: usize) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+         -> core::result::Result<Self::Value, __A::Error> {\n",
+    );
+    for i in 0..n {
+        s.push_str(&format!(
+            "let __f{i} = match __seq.next_element()? {{\n\
+             core::option::Option::Some(__v) => __v,\n\
+             core::option::Option::None => return core::result::Result::Err(\
+             serde::de::Error::invalid_length({i}usize, &\"{expecting}\")),\n\
+             }};\n"
+        ));
+    }
+    let binds: Vec<String> = (0..n).map(|i| format!("__f{i}")).collect();
+    s.push_str(&format!(
+        "core::result::Result::Ok({ctor}({}))\n}}\n",
+        binds.join(", ")
+    ));
+    s
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let mut s = String::new();
+    match input {
+        Input::Struct { name, fields } => {
+            let field_names: Vec<String> = fields
+                .iter()
+                .map(|f| format!("\"{}\"", f.ser_name))
+                .collect();
+            s.push_str(&format!(
+                "#[automatically_derived]\n\
+                 impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> core::result::Result<Self, __D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut core::fmt::Formatter) -> core::fmt::Result {{\n\
+                 __f.write_str(\"struct {name}\")\n\
+                 }}\n"
+            ));
+            s.push_str(&gen_field_visitor_methods(
+                name,
+                &format!("struct {name}"),
+                fields,
+            ));
+            s.push_str(&format!(
+                "}}\n\
+                 __deserializer.deserialize_struct(\"{name}\", &[{}], __Visitor)\n\
+                 }}\n\
+                 }}\n",
+                field_names.join(", ")
+            ));
+        }
+        Input::Enum { name, variants } => {
+            let variant_names: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{}\"", v.ser_name))
+                .collect();
+            let n_variants = variants.len();
+            s.push_str(&format!(
+                "#[automatically_derived]\n\
+                 impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> core::result::Result<Self, __D::Error> {{\n\
+                 const __VARIANTS: &[&str] = &[{var_list}];\n\
+                 struct __Tag(u32);\n\
+                 impl<'de> serde::Deserialize<'de> for __Tag {{\n\
+                 fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> core::result::Result<Self, __D::Error> {{\n\
+                 struct __TagVisitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __TagVisitor {{\n\
+                 type Value = __Tag;\n\
+                 fn expecting(&self, __f: &mut core::fmt::Formatter) -> core::fmt::Result {{\n\
+                 __f.write_str(\"variant identifier\")\n\
+                 }}\n\
+                 fn visit_u32<__E: serde::de::Error>(self, __v: u32) \
+                 -> core::result::Result<__Tag, __E> {{\n\
+                 if (__v as usize) < {n_variants}usize {{\n\
+                 core::result::Result::Ok(__Tag(__v))\n\
+                 }} else {{\n\
+                 core::result::Result::Err(serde::de::Error::custom(\
+                 format_args!(\"variant index {{}} out of range for {name}\", __v)))\n\
+                 }}\n\
+                 }}\n\
+                 fn visit_u64<__E: serde::de::Error>(self, __v: u64) \
+                 -> core::result::Result<__Tag, __E> {{\n\
+                 self.visit_u32(u32::try_from(__v).map_err(|_| \
+                 <__E as serde::de::Error>::custom(\"variant index out of range\"))?)\n\
+                 }}\n\
+                 fn visit_str<__E: serde::de::Error>(self, __v: &str) \
+                 -> core::result::Result<__Tag, __E> {{\n\
+                 match __v {{\n",
+                var_list = variant_names.join(", ")
+            ));
+            for (idx, v) in variants.iter().enumerate() {
+                s.push_str(&format!(
+                    "\"{}\" => core::result::Result::Ok(__Tag({idx}u32)),\n",
+                    v.ser_name
+                ));
+            }
+            s.push_str(&format!(
+                "_ => core::result::Result::Err(\
+                 serde::de::Error::unknown_variant(__v, __VARIANTS)),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n\
+                 __deserializer.deserialize_identifier(__TagVisitor)\n\
+                 }}\n\
+                 }}\n\
+                 struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut core::fmt::Formatter) -> core::fmt::Result {{\n\
+                 __f.write_str(\"enum {name}\")\n\
+                 }}\n\
+                 fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A) \
+                 -> core::result::Result<Self::Value, __A::Error> {{\n\
+                 use serde::de::VariantAccess;\n\
+                 let (__tag, __variant) = __data.variant::<__Tag>()?;\n\
+                 match __tag.0 {{\n"
+            ));
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => s.push_str(&format!(
+                        "{idx}u32 => {{\n\
+                         __variant.unit_variant()?;\n\
+                         core::result::Result::Ok({name}::{vname})\n\
+                         }}\n"
+                    )),
+                    Shape::Newtype => s.push_str(&format!(
+                        "{idx}u32 => core::result::Result::Ok(\
+                         {name}::{vname}(__variant.newtype_variant()?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        s.push_str(&format!(
+                            "{idx}u32 => {{\n\
+                             struct __V;\n\
+                             impl<'de> serde::de::Visitor<'de> for __V {{\n\
+                             type Value = {name};\n\
+                             fn expecting(&self, __f: &mut core::fmt::Formatter) \
+                             -> core::fmt::Result {{\n\
+                             __f.write_str(\"tuple variant {name}::{vname}\")\n\
+                             }}\n"
+                        ));
+                        s.push_str(&gen_tuple_visitor_methods(
+                            &format!("{name}::{vname}"),
+                            &format!("tuple variant {name}::{vname}"),
+                            *n,
+                        ));
+                        s.push_str(&format!(
+                            "}}\n\
+                             __variant.tuple_variant({n}usize, __V)\n\
+                             }}\n"
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let field_names: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("\"{}\"", f.ser_name))
+                            .collect();
+                        s.push_str(&format!(
+                            "{idx}u32 => {{\n\
+                             struct __V;\n\
+                             impl<'de> serde::de::Visitor<'de> for __V {{\n\
+                             type Value = {name};\n\
+                             fn expecting(&self, __f: &mut core::fmt::Formatter) \
+                             -> core::fmt::Result {{\n\
+                             __f.write_str(\"struct variant {name}::{vname}\")\n\
+                             }}\n"
+                        ));
+                        s.push_str(&gen_field_visitor_methods(
+                            &format!("{name}::{vname}"),
+                            &format!("struct variant {name}::{vname}"),
+                            fields,
+                        ));
+                        s.push_str(&format!(
+                            "}}\n\
+                             __variant.struct_variant(&[{}], __V)\n\
+                             }}\n",
+                            field_names.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push_str(&format!(
+                "_ => core::result::Result::Err(serde::de::Error::custom(\
+                 \"variant index out of range for {name}\")),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n\
+                 __deserializer.deserialize_enum(\"{name}\", __VARIANTS, __Visitor)\n\
+                 }}\n\
+                 }}\n"
+            ));
+        }
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}

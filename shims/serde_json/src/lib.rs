@@ -1,0 +1,1045 @@
+//! Offline shim for `serde_json`.
+//!
+//! Covers what this workspace calls: [`from_str`], [`to_string`],
+//! [`to_string_pretty`]. No `Value` type, no `json!` macro. The writer emits
+//! serde_json-compatible output (2-space pretty indentation, `{"Variant":
+//! ...}` enum framing); the reader is a recursive-descent parser driving the
+//! serde visitor API, so derived `Deserialize` impls (including
+//! `#[serde(default)]` and unknown-field skipping) behave as with upstream.
+
+use serde::de::{self, Visitor};
+use serde::ser;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization or parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut ser = JsonSerializer {
+        out: String::new(),
+        indent: None,
+        depth: 0,
+    };
+    value.serialize(&mut ser)?;
+    Ok(ser.out)
+}
+
+/// Serialize `value` to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut ser = JsonSerializer {
+        out: String::new(),
+        indent: Some("  "),
+        depth: 0,
+    };
+    value.serialize(&mut ser)?;
+    Ok(ser.out)
+}
+
+/// Deserialize a `T` from a JSON string.
+pub fn from_str<'de, T: Deserialize<'de>>(s: &'de str) -> Result<T, Error> {
+    let mut de = JsonDeserializer {
+        input: s.as_bytes(),
+        pos: 0,
+    };
+    let value = T::deserialize(&mut de)?;
+    de.skip_ws();
+    if de.pos != de.input.len() {
+        return Err(Error("trailing characters after JSON value".into()));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------------
+
+struct JsonSerializer {
+    out: String,
+    indent: Option<&'static str>,
+    depth: usize,
+}
+
+impl JsonSerializer {
+    fn write_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                '\u{8}' => self.out.push_str("\\b"),
+                '\u{c}' => self.out.push_str("\\f"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn newline_indent(&mut self) {
+        if let Some(pad) = self.indent {
+            self.out.push('\n');
+            for _ in 0..self.depth {
+                self.out.push_str(pad);
+            }
+        }
+    }
+
+    /// Start of `[` / `{`: bump depth.
+    fn open(&mut self, c: char) {
+        self.out.push(c);
+        self.depth += 1;
+    }
+
+    /// Before each element: comma (if not first) and pretty newline.
+    fn element(&mut self, first: &mut bool) {
+        if !*first {
+            self.out.push(',');
+        }
+        *first = false;
+        self.newline_indent();
+    }
+
+    /// End of `]` / `}`: drop depth; newline only for non-empty containers.
+    fn close(&mut self, c: char, empty: bool) {
+        self.depth -= 1;
+        if !empty {
+            self.newline_indent();
+        }
+        self.out.push(c);
+    }
+
+    fn colon(&mut self) {
+        self.out.push(':');
+        if self.indent.is_some() {
+            self.out.push(' ');
+        }
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        if v.is_finite() {
+            // Keep a `.0` on integral floats, matching serde_json.
+            if v == v.trunc() && v.abs() < 1e16 {
+                self.out.push_str(&format!("{v:.1}"));
+            } else {
+                self.out.push_str(&format!("{v}"));
+            }
+        } else {
+            self.out.push_str("null");
+        }
+    }
+}
+
+/// Compound state: container kind + first-element flag.
+struct Compound<'a> {
+    ser: &'a mut JsonSerializer,
+    first: bool,
+    /// Enum variants close an extra wrapping `}`.
+    variant: bool,
+}
+
+impl<'a> Compound<'a> {
+    fn finish(self, closer: char) -> Result<(), Error> {
+        let empty = self.first;
+        self.ser.close(closer, empty);
+        if self.variant {
+            self.ser.close('}', false);
+        }
+        Ok(())
+    }
+}
+
+macro_rules! ser_int {
+    ($($method:ident: $ty:ty),* $(,)?) => {$(
+        fn $method(self, v: $ty) -> Result<(), Error> {
+            self.out.push_str(&v.to_string());
+            Ok(())
+        }
+    )*};
+}
+
+impl<'a> ser::Serializer for &'a mut JsonSerializer {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    ser_int! {
+        serialize_i8: i8, serialize_i16: i16, serialize_i32: i32,
+        serialize_i64: i64, serialize_i128: i128,
+        serialize_u8: u8, serialize_u16: u16, serialize_u32: u32,
+        serialize_u64: u64, serialize_u128: u128,
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), Error> {
+        self.write_f64(v as f64);
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        self.write_f64(v);
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), Error> {
+        self.write_escaped(v.encode_utf8(&mut [0u8; 4]));
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        self.write_escaped(v);
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
+        use ser::SerializeSeq;
+        let mut seq = self.serialize_seq(Some(v.len()))?;
+        for b in v {
+            seq.serialize_element(b)?;
+        }
+        seq.end()
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Error> {
+        self.serialize_unit()
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        self.write_escaped(variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.open('{');
+        self.newline_indent();
+        self.write_escaped(variant);
+        self.colon();
+        value.serialize(&mut *self)?;
+        self.close('}', false);
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.open('[');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            variant: false,
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Compound<'a>, Error> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.open('{');
+        self.newline_indent();
+        self.write_escaped(variant);
+        self.colon();
+        self.open('[');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            variant: true,
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.open('{');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            variant: false,
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, Error> {
+        self.open('{');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            variant: false,
+        })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.open('{');
+        self.newline_indent();
+        self.write_escaped(variant);
+        self.colon();
+        self.open('{');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            variant: true,
+        })
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        let mut first = self.first;
+        self.ser.element(&mut first);
+        self.first = first;
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish(']')
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish(']')
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish(']')
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish(']')
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Error> {
+        let mut first = self.first;
+        self.ser.element(&mut first);
+        self.first = first;
+        // JSON keys must be strings; a key serializer would reject non-string
+        // keys, but this workspace only writes string-keyed maps.
+        key.serialize(&mut *self.ser)
+    }
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.ser.colon();
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish('}')
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        let mut first = self.first;
+        self.ser.element(&mut first);
+        self.first = first;
+        self.ser.write_escaped(key);
+        self.ser.colon();
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish('}')
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+    fn end(self) -> Result<(), Error> {
+        self.finish('}')
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserializer
+// ---------------------------------------------------------------------------
+
+struct JsonDeserializer<'de> {
+    input: &'de [u8],
+    pos: usize,
+}
+
+impl<'de> JsonDeserializer<'de> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.input.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.input
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of JSON input".into()))
+    }
+
+    fn bump(&mut self) -> Result<u8, Error> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), Error> {
+        let got = self.bump()?;
+        if got != want {
+            return Err(Error(format!(
+                "expected `{}`, found `{}` at byte {}",
+                want as char,
+                got as char,
+                self.pos - 1
+            )));
+        }
+        Ok(())
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error(format!("expected `{kw}` at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .input
+                .get(self.pos)
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .input
+                        .get(self.pos)
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            // Surrogate pairs: a low surrogate must follow.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.input.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                    return Err(Error("unpaired surrogate".into()));
+                                }
+                                self.pos += 2;
+                                let lo = self.parse_hex4()?;
+                                char::from_u32(0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00))
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| Error("invalid \\u escape".into()))?);
+                        }
+                        other => {
+                            return Err(Error(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let end = start + utf8_width(b);
+                    let chunk = self
+                        .input
+                        .get(start..end)
+                        .ok_or_else(|| Error("truncated UTF-8".into()))?;
+                    let s =
+                        std::str::from_utf8(chunk).map_err(|_| Error("invalid UTF-8".into()))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .input
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+        self.pos += 4;
+        let hex = std::str::from_utf8(hex).map_err(|_| Error("bad \\u escape".into()))?;
+        u32::from_str_radix(hex, 16).map_err(|_| Error("bad \\u escape".into()))
+    }
+
+    /// Parse a number and feed it to `visitor` with the best-fitting visit.
+    fn parse_number<V: Visitor<'de>>(&mut self, visitor: V) -> Result<V::Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        if matches!(self.input.get(self.pos), Some(b'-' | b'+')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.input.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'-' | b'+' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if text.is_empty() {
+            return Err(Error(format!("expected a number at byte {start}")));
+        }
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return visitor.visit_u64(v);
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return visitor.visit_i64(v);
+            }
+        }
+        let v = text
+            .parse::<f64>()
+            .map_err(|_| Error(format!("invalid number `{text}`")))?;
+        visitor.visit_f64(v)
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+macro_rules! forward_to_any {
+    ($($method:ident),* $(,)?) => {$(
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            self.deserialize_any(visitor)
+        }
+    )*};
+}
+
+impl<'de> de::Deserializer<'de> for &mut JsonDeserializer<'de> {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.peek()? {
+            b'n' => {
+                self.expect_keyword("null")?;
+                visitor.visit_unit()
+            }
+            b't' => {
+                self.expect_keyword("true")?;
+                visitor.visit_bool(true)
+            }
+            b'f' => {
+                self.expect_keyword("false")?;
+                visitor.visit_bool(false)
+            }
+            b'"' => {
+                let s = self.parse_string()?;
+                visitor.visit_string(s)
+            }
+            b'[' => self.deserialize_seq(visitor),
+            b'{' => self.deserialize_map(visitor),
+            _ => self.parse_number(visitor),
+        }
+    }
+
+    forward_to_any! {
+        deserialize_bool,
+        deserialize_i8, deserialize_i16, deserialize_i32, deserialize_i64,
+        deserialize_i128,
+        deserialize_u8, deserialize_u16, deserialize_u32, deserialize_u64,
+        deserialize_u128,
+        deserialize_f32, deserialize_f64,
+        deserialize_char, deserialize_str, deserialize_string,
+        deserialize_bytes, deserialize_byte_buf,
+        deserialize_identifier, deserialize_ignored_any,
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        if self.peek()? == b'n' {
+            self.expect_keyword("null")?;
+            visitor.visit_none()
+        } else {
+            visitor.visit_some(self)
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.expect_keyword("null")?;
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        self.deserialize_unit(visitor)
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.expect(b'[')?;
+        let value = visitor.visit_seq(CommaSeparated {
+            de: self,
+            first: true,
+        })?;
+        self.expect(b']')?;
+        Ok(value)
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        self.deserialize_seq(visitor)
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        self.deserialize_seq(visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.expect(b'{')?;
+        let value = visitor.visit_map(CommaSeparated {
+            de: self,
+            first: true,
+        })?;
+        self.expect(b'}')?;
+        Ok(value)
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        self.deserialize_map(visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        match self.peek()? {
+            // "Variant" — unit variant.
+            b'"' => visitor.visit_enum(UnitVariantAccess { de: self }),
+            // {"Variant": payload}
+            b'{' => {
+                self.expect(b'{')?;
+                let value = visitor.visit_enum(VariantMapAccess { de: self })?;
+                self.expect(b'}')?;
+                Ok(value)
+            }
+            _ => Err(Error("expected a string or object for enum".into())),
+        }
+    }
+}
+
+/// Seq and map element walker (the caller consumed the opener).
+struct CommaSeparated<'a, 'de> {
+    de: &'a mut JsonDeserializer<'de>,
+    first: bool,
+}
+
+impl<'a, 'de> CommaSeparated<'a, 'de> {
+    /// Position on the next element; `false` when the closer is next.
+    fn advance(&mut self, closer: u8) -> Result<bool, Error> {
+        if self.de.peek()? == closer {
+            return Ok(false);
+        }
+        if !self.first {
+            self.de.expect(b',')?;
+        }
+        self.first = false;
+        Ok(true)
+    }
+}
+
+impl<'a, 'de> de::SeqAccess<'de> for CommaSeparated<'a, 'de> {
+    type Error = Error;
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Error> {
+        if !self.advance(b']')? {
+            return Ok(None);
+        }
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+}
+
+impl<'a, 'de> de::MapAccess<'de> for CommaSeparated<'a, 'de> {
+    type Error = Error;
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Error> {
+        if !self.advance(b'}')? {
+            return Ok(None);
+        }
+        if self.de.peek()? != b'"' {
+            return Err(Error("object key must be a string".into()));
+        }
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, Error> {
+        self.de.expect(b':')?;
+        seed.deserialize(&mut *self.de)
+    }
+}
+
+/// `"Variant"` — payload-less enum value.
+struct UnitVariantAccess<'a, 'de> {
+    de: &'a mut JsonDeserializer<'de>,
+}
+
+impl<'a, 'de> de::EnumAccess<'de> for UnitVariantAccess<'a, 'de> {
+    type Error = Error;
+    type Variant = UnitOnly;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, UnitOnly), Error> {
+        let name = self.de.parse_string()?;
+        let value = seed.deserialize(de::value::StrDeserializer::<Error>::new(&name))?;
+        Ok((value, UnitOnly))
+    }
+}
+
+/// Variant accessor for enums spelled as bare strings.
+struct UnitOnly;
+
+impl<'de> de::VariantAccess<'de> for UnitOnly {
+    type Error = Error;
+    fn unit_variant(self) -> Result<(), Error> {
+        Ok(())
+    }
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        _seed: T,
+    ) -> Result<T::Value, Error> {
+        Err(Error("expected a payload for newtype variant".into()))
+    }
+    fn tuple_variant<V: Visitor<'de>>(self, _len: usize, _visitor: V) -> Result<V::Value, Error> {
+        Err(Error("expected a payload for tuple variant".into()))
+    }
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        _fields: &'static [&'static str],
+        _visitor: V,
+    ) -> Result<V::Value, Error> {
+        Err(Error("expected a payload for struct variant".into()))
+    }
+}
+
+/// `{"Variant": payload}` — the caller consumed `{` and will consume `}`.
+struct VariantMapAccess<'a, 'de> {
+    de: &'a mut JsonDeserializer<'de>,
+}
+
+impl<'a, 'de> de::EnumAccess<'de> for VariantMapAccess<'a, 'de> {
+    type Error = Error;
+    type Variant = PayloadVariant<'a, 'de>;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, PayloadVariant<'a, 'de>), Error> {
+        if self.de.peek()? != b'"' {
+            return Err(Error("expected variant name string".into()));
+        }
+        let name = self.de.parse_string()?;
+        let value = seed.deserialize(de::value::StrDeserializer::<Error>::new(&name))?;
+        self.de.expect(b':')?;
+        Ok((value, PayloadVariant { de: self.de }))
+    }
+}
+
+/// Payload accessor for `{"Variant": ...}` enums.
+struct PayloadVariant<'a, 'de> {
+    de: &'a mut JsonDeserializer<'de>,
+}
+
+impl<'a, 'de> de::VariantAccess<'de> for PayloadVariant<'a, 'de> {
+    type Error = Error;
+    fn unit_variant(self) -> Result<(), Error> {
+        self.de.expect_keyword("null")
+    }
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, Error> {
+        seed.deserialize(&mut *self.de)
+    }
+    fn tuple_variant<V: Visitor<'de>>(self, _len: usize, visitor: V) -> Result<V::Value, Error> {
+        use de::Deserializer as _;
+        self.de.deserialize_seq(visitor)
+    }
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        use de::Deserializer as _;
+        self.de.deserialize_map(visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: i32,
+        y: i32,
+        #[serde(default)]
+        label: Option<String>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    #[serde(rename_all = "lowercase")]
+    enum Kind {
+        Map,
+        Lsm,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Payload {
+        Nothing,
+        One(u32),
+        Pair(u8, u8),
+        Fields { a: bool, b: String },
+    }
+
+    #[test]
+    fn round_trip_struct() {
+        let p = Point {
+            x: -3,
+            y: 7,
+            label: Some("origin-ish".into()),
+        };
+        let json = to_string(&p).unwrap();
+        assert_eq!(json, r#"{"x":-3,"y":7,"label":"origin-ish"}"#);
+        assert_eq!(from_str::<Point>(&json).unwrap(), p);
+    }
+
+    #[test]
+    fn default_and_unknown_fields() {
+        let p: Point = from_str(r#"{"y": 2, "x": 1, "extra": [1, {"z": 3}]}"#).unwrap();
+        assert_eq!(
+            p,
+            Point {
+                x: 1,
+                y: 2,
+                label: None
+            }
+        );
+    }
+
+    #[test]
+    fn renamed_unit_variants() {
+        assert_eq!(to_string(&Kind::Map).unwrap(), r#""map""#);
+        assert_eq!(from_str::<Kind>(r#""lsm""#).unwrap(), Kind::Lsm);
+        assert!(from_str::<Kind>(r#""rocks""#).is_err());
+    }
+
+    #[test]
+    fn payload_variants() {
+        for v in [
+            Payload::Nothing,
+            Payload::One(9),
+            Payload::Pair(1, 2),
+            Payload::Fields {
+                a: true,
+                b: "hi\n\"there\"".into(),
+            },
+        ] {
+            let json = to_string(&v).unwrap();
+            assert_eq!(from_str::<Payload>(&json).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn pretty_matches_expected_shape() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), vec![1u32, 2]);
+        let pretty = to_string_pretty(&m).unwrap();
+        assert_eq!(pretty, "{\n  \"k\": [\n    1,\n    2\n  ]\n}");
+        assert_eq!(from_str::<BTreeMap<String, Vec<u32>>>(&pretty).unwrap(), m);
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        assert_eq!(from_str::<u64>("18446744073709551615").unwrap(), u64::MAX);
+        assert_eq!(from_str::<i64>("-42").unwrap(), -42);
+        assert_eq!(from_str::<f32>("2.5e3").unwrap(), 2500.0);
+        assert_eq!(from_str::<f64>("7").unwrap(), 7.0);
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert!(from_str::<u32>("1 trailing").is_err());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = "tab\t newline\n quote\" back\\ unicode:\u{1F600}".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        let fancy: String = from_str(r#""surrogate 😀 ok""#).unwrap();
+        assert_eq!(fancy, "surrogate \u{1F600} ok");
+    }
+}

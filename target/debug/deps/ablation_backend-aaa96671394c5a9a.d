@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_backend-aaa96671394c5a9a.d: crates/bench/benches/ablation_backend.rs
+
+/root/repo/target/debug/deps/ablation_backend-aaa96671394c5a9a: crates/bench/benches/ablation_backend.rs
+
+crates/bench/benches/ablation_backend.rs:

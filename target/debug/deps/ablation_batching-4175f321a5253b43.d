@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batching-4175f321a5253b43.d: crates/bench/benches/ablation_batching.rs
+
+/root/repo/target/debug/deps/ablation_batching-4175f321a5253b43: crates/bench/benches/ablation_batching.rs
+
+crates/bench/benches/ablation_batching.rs:

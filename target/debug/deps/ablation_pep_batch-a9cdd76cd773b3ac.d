@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pep_batch-a9cdd76cd773b3ac.d: crates/bench/benches/ablation_pep_batch.rs
+
+/root/repo/target/debug/deps/ablation_pep_batch-a9cdd76cd773b3ac: crates/bench/benches/ablation_pep_batch.rs
+
+crates/bench/benches/ablation_pep_batch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_placement-3d42633888b319b6.d: crates/bench/benches/ablation_placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_placement-3d42633888b319b6.rmeta: crates/bench/benches/ablation_placement.rs Cargo.toml
+
+crates/bench/benches/ablation_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_placement-4c350676a164e799.d: crates/bench/benches/ablation_placement.rs
+
+/root/repo/target/debug/deps/ablation_placement-4c350676a164e799: crates/bench/benches/ablation_placement.rs
+
+crates/bench/benches/ablation_placement.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/argos-2cf421796f54e440.d: crates/argos/src/lib.rs crates/argos/src/eventual.rs crates/argos/src/pool.rs crates/argos/src/runtime.rs crates/argos/src/sync.rs crates/argos/src/xstream.rs
+
+/root/repo/target/debug/deps/libargos-2cf421796f54e440.rlib: crates/argos/src/lib.rs crates/argos/src/eventual.rs crates/argos/src/pool.rs crates/argos/src/runtime.rs crates/argos/src/sync.rs crates/argos/src/xstream.rs
+
+/root/repo/target/debug/deps/libargos-2cf421796f54e440.rmeta: crates/argos/src/lib.rs crates/argos/src/eventual.rs crates/argos/src/pool.rs crates/argos/src/runtime.rs crates/argos/src/sync.rs crates/argos/src/xstream.rs
+
+crates/argos/src/lib.rs:
+crates/argos/src/eventual.rs:
+crates/argos/src/pool.rs:
+crates/argos/src/runtime.rs:
+crates/argos/src/sync.rs:
+crates/argos/src/xstream.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/argos-2ed97f9856258221.d: crates/argos/src/lib.rs crates/argos/src/eventual.rs crates/argos/src/pool.rs crates/argos/src/runtime.rs crates/argos/src/sync.rs crates/argos/src/xstream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libargos-2ed97f9856258221.rmeta: crates/argos/src/lib.rs crates/argos/src/eventual.rs crates/argos/src/pool.rs crates/argos/src/runtime.rs crates/argos/src/sync.rs crates/argos/src/xstream.rs Cargo.toml
+
+crates/argos/src/lib.rs:
+crates/argos/src/eventual.rs:
+crates/argos/src/pool.rs:
+crates/argos/src/runtime.rs:
+crates/argos/src/sync.rs:
+crates/argos/src/xstream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

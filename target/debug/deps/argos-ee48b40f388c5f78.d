@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/argos-ee48b40f388c5f78.d: crates/argos/src/lib.rs crates/argos/src/eventual.rs crates/argos/src/pool.rs crates/argos/src/runtime.rs crates/argos/src/sync.rs crates/argos/src/xstream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libargos-ee48b40f388c5f78.rmeta: crates/argos/src/lib.rs crates/argos/src/eventual.rs crates/argos/src/pool.rs crates/argos/src/runtime.rs crates/argos/src/sync.rs crates/argos/src/xstream.rs Cargo.toml
+
+crates/argos/src/lib.rs:
+crates/argos/src/eventual.rs:
+crates/argos/src/pool.rs:
+crates/argos/src/runtime.rs:
+crates/argos/src/sync.rs:
+crates/argos/src/xstream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/argos-fc2a3b70e4cce15a.d: crates/argos/src/lib.rs crates/argos/src/eventual.rs crates/argos/src/pool.rs crates/argos/src/runtime.rs crates/argos/src/sync.rs crates/argos/src/xstream.rs
+
+/root/repo/target/debug/deps/argos-fc2a3b70e4cce15a: crates/argos/src/lib.rs crates/argos/src/eventual.rs crates/argos/src/pool.rs crates/argos/src/runtime.rs crates/argos/src/sync.rs crates/argos/src/xstream.rs
+
+crates/argos/src/lib.rs:
+crates/argos/src/eventual.rs:
+crates/argos/src/pool.rs:
+crates/argos/src/runtime.rs:
+crates/argos/src/sync.rs:
+crates/argos/src/xstream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch_pep-8790a9e4212e3e4e.d: crates/hepnos/tests/batch_pep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch_pep-8790a9e4212e3e4e.rmeta: crates/hepnos/tests/batch_pep.rs Cargo.toml
+
+crates/hepnos/tests/batch_pep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

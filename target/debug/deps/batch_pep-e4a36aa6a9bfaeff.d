@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_pep-e4a36aa6a9bfaeff.d: crates/hepnos/tests/batch_pep.rs
+
+/root/repo/target/debug/deps/batch_pep-e4a36aa6a9bfaeff: crates/hepnos/tests/batch_pep.rs
+
+crates/hepnos/tests/batch_pep.rs:

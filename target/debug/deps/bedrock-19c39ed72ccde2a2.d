@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bedrock-19c39ed72ccde2a2.d: crates/bedrock/src/lib.rs
+
+/root/repo/target/debug/deps/bedrock-19c39ed72ccde2a2: crates/bedrock/src/lib.rs
+
+crates/bedrock/src/lib.rs:

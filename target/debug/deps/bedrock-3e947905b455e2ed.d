@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bedrock-3e947905b455e2ed.d: crates/bedrock/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbedrock-3e947905b455e2ed.rmeta: crates/bedrock/src/lib.rs Cargo.toml
+
+crates/bedrock/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

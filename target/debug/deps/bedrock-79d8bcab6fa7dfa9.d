@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bedrock-79d8bcab6fa7dfa9.d: crates/bedrock/src/lib.rs
+
+/root/repo/target/debug/deps/libbedrock-79d8bcab6fa7dfa9.rlib: crates/bedrock/src/lib.rs
+
+/root/repo/target/debug/deps/libbedrock-79d8bcab6fa7dfa9.rmeta: crates/bedrock/src/lib.rs
+
+crates/bedrock/src/lib.rs:

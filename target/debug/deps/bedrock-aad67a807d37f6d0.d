@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bedrock-aad67a807d37f6d0.d: crates/bedrock/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbedrock-aad67a807d37f6d0.rmeta: crates/bedrock/src/lib.rs Cargo.toml
+
+crates/bedrock/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

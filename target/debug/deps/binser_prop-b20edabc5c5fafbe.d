@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/binser_prop-b20edabc5c5fafbe.d: crates/hepnos/tests/binser_prop.rs
+
+/root/repo/target/debug/deps/binser_prop-b20edabc5c5fafbe: crates/hepnos/tests/binser_prop.rs
+
+crates/hepnos/tests/binser_prop.rs:

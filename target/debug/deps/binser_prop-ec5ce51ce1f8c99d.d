@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/binser_prop-ec5ce51ce1f8c99d.d: crates/hepnos/tests/binser_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinser_prop-ec5ce51ce1f8c99d.rmeta: crates/hepnos/tests/binser_prop.rs Cargo.toml
+
+crates/hepnos/tests/binser_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

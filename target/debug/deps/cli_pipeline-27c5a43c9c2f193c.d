@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_pipeline-27c5a43c9c2f193c.d: crates/tools/tests/cli_pipeline.rs
+
+/root/repo/target/debug/deps/cli_pipeline-27c5a43c9c2f193c: crates/tools/tests/cli_pipeline.rs
+
+crates/tools/tests/cli_pipeline.rs:
+
+# env-dep:CARGO_BIN_EXE_hepnos-ingest=/root/repo/target/debug/hepnos-ingest
+# env-dep:CARGO_BIN_EXE_hepnos-ls=/root/repo/target/debug/hepnos-ls
+# env-dep:CARGO_BIN_EXE_hepnos-select=/root/repo/target/debug/hepnos-select
+# env-dep:CARGO_BIN_EXE_hepnos-serve=/root/repo/target/debug/hepnos-serve

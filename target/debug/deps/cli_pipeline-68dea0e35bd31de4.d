@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cli_pipeline-68dea0e35bd31de4.d: crates/tools/tests/cli_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_pipeline-68dea0e35bd31de4.rmeta: crates/tools/tests/cli_pipeline.rs Cargo.toml
+
+crates/tools/tests/cli_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_hepnos-ingest=placeholder:hepnos-ingest
+# env-dep:CARGO_BIN_EXE_hepnos-ls=placeholder:hepnos-ls
+# env-dep:CARGO_BIN_EXE_hepnos-select=placeholder:hepnos-select
+# env-dep:CARGO_BIN_EXE_hepnos-serve=placeholder:hepnos-serve
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cluster-1440ba9f3e18ce15.d: crates/cluster/src/lib.rs crates/cluster/src/filewf.rs crates/cluster/src/hepnoswf.rs crates/cluster/src/ingestwf.rs crates/cluster/src/theta.rs crates/cluster/src/vt.rs
+
+/root/repo/target/debug/deps/cluster-1440ba9f3e18ce15: crates/cluster/src/lib.rs crates/cluster/src/filewf.rs crates/cluster/src/hepnoswf.rs crates/cluster/src/ingestwf.rs crates/cluster/src/theta.rs crates/cluster/src/vt.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/filewf.rs:
+crates/cluster/src/hepnoswf.rs:
+crates/cluster/src/ingestwf.rs:
+crates/cluster/src/theta.rs:
+crates/cluster/src/vt.rs:

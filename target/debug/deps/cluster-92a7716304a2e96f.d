@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cluster-92a7716304a2e96f.d: crates/cluster/src/lib.rs crates/cluster/src/filewf.rs crates/cluster/src/hepnoswf.rs crates/cluster/src/ingestwf.rs crates/cluster/src/theta.rs crates/cluster/src/vt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster-92a7716304a2e96f.rmeta: crates/cluster/src/lib.rs crates/cluster/src/filewf.rs crates/cluster/src/hepnoswf.rs crates/cluster/src/ingestwf.rs crates/cluster/src/theta.rs crates/cluster/src/vt.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/filewf.rs:
+crates/cluster/src/hepnoswf.rs:
+crates/cluster/src/ingestwf.rs:
+crates/cluster/src/theta.rs:
+crates/cluster/src/vt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

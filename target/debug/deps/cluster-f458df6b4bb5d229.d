@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cluster-f458df6b4bb5d229.d: crates/cluster/src/lib.rs crates/cluster/src/filewf.rs crates/cluster/src/hepnoswf.rs crates/cluster/src/ingestwf.rs crates/cluster/src/theta.rs crates/cluster/src/vt.rs
+
+/root/repo/target/debug/deps/libcluster-f458df6b4bb5d229.rlib: crates/cluster/src/lib.rs crates/cluster/src/filewf.rs crates/cluster/src/hepnoswf.rs crates/cluster/src/ingestwf.rs crates/cluster/src/theta.rs crates/cluster/src/vt.rs
+
+/root/repo/target/debug/deps/libcluster-f458df6b4bb5d229.rmeta: crates/cluster/src/lib.rs crates/cluster/src/filewf.rs crates/cluster/src/hepnoswf.rs crates/cluster/src/ingestwf.rs crates/cluster/src/theta.rs crates/cluster/src/vt.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/filewf.rs:
+crates/cluster/src/hepnoswf.rs:
+crates/cluster/src/ingestwf.rs:
+crates/cluster/src/theta.rs:
+crates/cluster/src/vt.rs:

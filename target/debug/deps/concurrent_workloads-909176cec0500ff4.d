@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_workloads-909176cec0500ff4.d: tests/concurrent_workloads.rs
+
+/root/repo/target/debug/deps/concurrent_workloads-909176cec0500ff4: tests/concurrent_workloads.rs
+
+tests/concurrent_workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrent_workloads-970d8031b77d6696.d: tests/concurrent_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrent_workloads-970d8031b77d6696.rmeta: tests/concurrent_workloads.rs Cargo.toml
+
+tests/concurrent_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datastore_api-1456f9f58e73126a.d: crates/hepnos/tests/datastore_api.rs
+
+/root/repo/target/debug/deps/datastore_api-1456f9f58e73126a: crates/hepnos/tests/datastore_api.rs
+
+crates/hepnos/tests/datastore_api.rs:

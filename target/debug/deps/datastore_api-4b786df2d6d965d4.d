@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datastore_api-4b786df2d6d965d4.d: crates/hepnos/tests/datastore_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatastore_api-4b786df2d6d965d4.rmeta: crates/hepnos/tests/datastore_api.rs Cargo.toml
+
+crates/hepnos/tests/datastore_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

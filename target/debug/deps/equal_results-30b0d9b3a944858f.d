@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equal_results-30b0d9b3a944858f.d: tests/equal_results.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequal_results-30b0d9b3a944858f.rmeta: tests/equal_results.rs Cargo.toml
+
+tests/equal_results.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equal_results-8b52ef625312ab00.d: tests/equal_results.rs
+
+/root/repo/target/debug/deps/equal_results-8b52ef625312ab00: tests/equal_results.rs
+
+tests/equal_results.rs:

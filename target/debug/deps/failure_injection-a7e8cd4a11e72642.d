@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-a7e8cd4a11e72642.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-a7e8cd4a11e72642: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_models-ce5d0f494c429a5c.d: crates/bench/benches/fig_models.rs
+
+/root/repo/target/debug/deps/fig_models-ce5d0f494c429a5c: crates/bench/benches/fig_models.rs
+
+crates/bench/benches/fig_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-00a855c09f39de31.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-00a855c09f39de31: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

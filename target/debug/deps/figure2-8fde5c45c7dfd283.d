@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-8fde5c45c7dfd283.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-8fde5c45c7dfd283: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

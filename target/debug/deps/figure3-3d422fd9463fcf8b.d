@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-3d422fd9463fcf8b.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-3d422fd9463fcf8b: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

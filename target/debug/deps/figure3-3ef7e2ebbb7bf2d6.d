@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure3-3ef7e2ebbb7bf2d6.d: crates/bench/src/bin/figure3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure3-3ef7e2ebbb7bf2d6.rmeta: crates/bench/src/bin/figure3.rs Cargo.toml
+
+crates/bench/src/bin/figure3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

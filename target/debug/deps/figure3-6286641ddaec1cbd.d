@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-6286641ddaec1cbd.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-6286641ddaec1cbd: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

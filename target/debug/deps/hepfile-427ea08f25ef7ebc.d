@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hepfile-427ea08f25ef7ebc.d: crates/hepfile/src/lib.rs crates/hepfile/src/gridrun.rs crates/hepfile/src/pfs.rs crates/hepfile/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhepfile-427ea08f25ef7ebc.rmeta: crates/hepfile/src/lib.rs crates/hepfile/src/gridrun.rs crates/hepfile/src/pfs.rs crates/hepfile/src/table.rs Cargo.toml
+
+crates/hepfile/src/lib.rs:
+crates/hepfile/src/gridrun.rs:
+crates/hepfile/src/pfs.rs:
+crates/hepfile/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

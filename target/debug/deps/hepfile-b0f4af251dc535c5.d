@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hepfile-b0f4af251dc535c5.d: crates/hepfile/src/lib.rs crates/hepfile/src/gridrun.rs crates/hepfile/src/pfs.rs crates/hepfile/src/table.rs
+
+/root/repo/target/debug/deps/hepfile-b0f4af251dc535c5: crates/hepfile/src/lib.rs crates/hepfile/src/gridrun.rs crates/hepfile/src/pfs.rs crates/hepfile/src/table.rs
+
+crates/hepfile/src/lib.rs:
+crates/hepfile/src/gridrun.rs:
+crates/hepfile/src/pfs.rs:
+crates/hepfile/src/table.rs:

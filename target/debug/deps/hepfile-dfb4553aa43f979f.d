@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hepfile-dfb4553aa43f979f.d: crates/hepfile/src/lib.rs crates/hepfile/src/gridrun.rs crates/hepfile/src/pfs.rs crates/hepfile/src/table.rs
+
+/root/repo/target/debug/deps/libhepfile-dfb4553aa43f979f.rlib: crates/hepfile/src/lib.rs crates/hepfile/src/gridrun.rs crates/hepfile/src/pfs.rs crates/hepfile/src/table.rs
+
+/root/repo/target/debug/deps/libhepfile-dfb4553aa43f979f.rmeta: crates/hepfile/src/lib.rs crates/hepfile/src/gridrun.rs crates/hepfile/src/pfs.rs crates/hepfile/src/table.rs
+
+crates/hepfile/src/lib.rs:
+crates/hepfile/src/gridrun.rs:
+crates/hepfile/src/pfs.rs:
+crates/hepfile/src/table.rs:

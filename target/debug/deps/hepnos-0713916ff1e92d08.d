@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hepnos-0713916ff1e92d08.d: crates/hepnos/src/lib.rs crates/hepnos/src/batch.rs crates/hepnos/src/binser.rs crates/hepnos/src/datastore.rs crates/hepnos/src/error.rs crates/hepnos/src/keys.rs crates/hepnos/src/pep.rs crates/hepnos/src/placement.rs crates/hepnos/src/prefetch.rs crates/hepnos/src/rescale.rs crates/hepnos/src/testing.rs crates/hepnos/src/uuid.rs
+
+/root/repo/target/debug/deps/libhepnos-0713916ff1e92d08.rlib: crates/hepnos/src/lib.rs crates/hepnos/src/batch.rs crates/hepnos/src/binser.rs crates/hepnos/src/datastore.rs crates/hepnos/src/error.rs crates/hepnos/src/keys.rs crates/hepnos/src/pep.rs crates/hepnos/src/placement.rs crates/hepnos/src/prefetch.rs crates/hepnos/src/rescale.rs crates/hepnos/src/testing.rs crates/hepnos/src/uuid.rs
+
+/root/repo/target/debug/deps/libhepnos-0713916ff1e92d08.rmeta: crates/hepnos/src/lib.rs crates/hepnos/src/batch.rs crates/hepnos/src/binser.rs crates/hepnos/src/datastore.rs crates/hepnos/src/error.rs crates/hepnos/src/keys.rs crates/hepnos/src/pep.rs crates/hepnos/src/placement.rs crates/hepnos/src/prefetch.rs crates/hepnos/src/rescale.rs crates/hepnos/src/testing.rs crates/hepnos/src/uuid.rs
+
+crates/hepnos/src/lib.rs:
+crates/hepnos/src/batch.rs:
+crates/hepnos/src/binser.rs:
+crates/hepnos/src/datastore.rs:
+crates/hepnos/src/error.rs:
+crates/hepnos/src/keys.rs:
+crates/hepnos/src/pep.rs:
+crates/hepnos/src/placement.rs:
+crates/hepnos/src/prefetch.rs:
+crates/hepnos/src/rescale.rs:
+crates/hepnos/src/testing.rs:
+crates/hepnos/src/uuid.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/hepnos-2c6ebe9eca8c84f5.d: crates/hepnos/src/lib.rs crates/hepnos/src/batch.rs crates/hepnos/src/binser.rs crates/hepnos/src/datastore.rs crates/hepnos/src/error.rs crates/hepnos/src/keys.rs crates/hepnos/src/pep.rs crates/hepnos/src/placement.rs crates/hepnos/src/prefetch.rs crates/hepnos/src/rescale.rs crates/hepnos/src/testing.rs crates/hepnos/src/uuid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhepnos-2c6ebe9eca8c84f5.rmeta: crates/hepnos/src/lib.rs crates/hepnos/src/batch.rs crates/hepnos/src/binser.rs crates/hepnos/src/datastore.rs crates/hepnos/src/error.rs crates/hepnos/src/keys.rs crates/hepnos/src/pep.rs crates/hepnos/src/placement.rs crates/hepnos/src/prefetch.rs crates/hepnos/src/rescale.rs crates/hepnos/src/testing.rs crates/hepnos/src/uuid.rs Cargo.toml
+
+crates/hepnos/src/lib.rs:
+crates/hepnos/src/batch.rs:
+crates/hepnos/src/binser.rs:
+crates/hepnos/src/datastore.rs:
+crates/hepnos/src/error.rs:
+crates/hepnos/src/keys.rs:
+crates/hepnos/src/pep.rs:
+crates/hepnos/src/placement.rs:
+crates/hepnos/src/prefetch.rs:
+crates/hepnos/src/rescale.rs:
+crates/hepnos/src/testing.rs:
+crates/hepnos/src/uuid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

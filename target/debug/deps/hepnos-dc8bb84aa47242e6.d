@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hepnos-dc8bb84aa47242e6.d: crates/hepnos/src/lib.rs crates/hepnos/src/batch.rs crates/hepnos/src/binser.rs crates/hepnos/src/datastore.rs crates/hepnos/src/error.rs crates/hepnos/src/keys.rs crates/hepnos/src/pep.rs crates/hepnos/src/placement.rs crates/hepnos/src/prefetch.rs crates/hepnos/src/rescale.rs crates/hepnos/src/testing.rs crates/hepnos/src/uuid.rs
+
+/root/repo/target/debug/deps/hepnos-dc8bb84aa47242e6: crates/hepnos/src/lib.rs crates/hepnos/src/batch.rs crates/hepnos/src/binser.rs crates/hepnos/src/datastore.rs crates/hepnos/src/error.rs crates/hepnos/src/keys.rs crates/hepnos/src/pep.rs crates/hepnos/src/placement.rs crates/hepnos/src/prefetch.rs crates/hepnos/src/rescale.rs crates/hepnos/src/testing.rs crates/hepnos/src/uuid.rs
+
+crates/hepnos/src/lib.rs:
+crates/hepnos/src/batch.rs:
+crates/hepnos/src/binser.rs:
+crates/hepnos/src/datastore.rs:
+crates/hepnos/src/error.rs:
+crates/hepnos/src/keys.rs:
+crates/hepnos/src/pep.rs:
+crates/hepnos/src/placement.rs:
+crates/hepnos/src/prefetch.rs:
+crates/hepnos/src/rescale.rs:
+crates/hepnos/src/testing.rs:
+crates/hepnos/src/uuid.rs:

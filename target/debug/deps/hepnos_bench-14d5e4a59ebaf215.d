@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hepnos_bench-14d5e4a59ebaf215.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hepnos_bench-14d5e4a59ebaf215: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hepnos_bench-8792896df7abab55.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhepnos_bench-8792896df7abab55.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhepnos_bench-8792896df7abab55.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

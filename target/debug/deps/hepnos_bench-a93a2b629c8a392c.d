@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hepnos_bench-a93a2b629c8a392c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhepnos_bench-a93a2b629c8a392c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hepnos_ingest-6878d2e5c3016c18.d: crates/tools/src/bin/hepnos_ingest.rs
+
+/root/repo/target/debug/deps/hepnos_ingest-6878d2e5c3016c18: crates/tools/src/bin/hepnos_ingest.rs
+
+crates/tools/src/bin/hepnos_ingest.rs:

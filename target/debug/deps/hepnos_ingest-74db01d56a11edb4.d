@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hepnos_ingest-74db01d56a11edb4.d: crates/tools/src/bin/hepnos_ingest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhepnos_ingest-74db01d56a11edb4.rmeta: crates/tools/src/bin/hepnos_ingest.rs Cargo.toml
+
+crates/tools/src/bin/hepnos_ingest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

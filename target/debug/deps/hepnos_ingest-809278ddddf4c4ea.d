@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hepnos_ingest-809278ddddf4c4ea.d: crates/tools/src/bin/hepnos_ingest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhepnos_ingest-809278ddddf4c4ea.rmeta: crates/tools/src/bin/hepnos_ingest.rs Cargo.toml
+
+crates/tools/src/bin/hepnos_ingest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

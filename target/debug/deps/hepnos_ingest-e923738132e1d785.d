@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hepnos_ingest-e923738132e1d785.d: crates/tools/src/bin/hepnos_ingest.rs
+
+/root/repo/target/debug/deps/hepnos_ingest-e923738132e1d785: crates/tools/src/bin/hepnos_ingest.rs
+
+crates/tools/src/bin/hepnos_ingest.rs:

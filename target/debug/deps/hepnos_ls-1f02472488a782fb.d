@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hepnos_ls-1f02472488a782fb.d: crates/tools/src/bin/hepnos_ls.rs
+
+/root/repo/target/debug/deps/hepnos_ls-1f02472488a782fb: crates/tools/src/bin/hepnos_ls.rs
+
+crates/tools/src/bin/hepnos_ls.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hepnos_ls-56c13cb3c75a7b36.d: crates/tools/src/bin/hepnos_ls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhepnos_ls-56c13cb3c75a7b36.rmeta: crates/tools/src/bin/hepnos_ls.rs Cargo.toml
+
+crates/tools/src/bin/hepnos_ls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

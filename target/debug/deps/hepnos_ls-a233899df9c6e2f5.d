@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hepnos_ls-a233899df9c6e2f5.d: crates/tools/src/bin/hepnos_ls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhepnos_ls-a233899df9c6e2f5.rmeta: crates/tools/src/bin/hepnos_ls.rs Cargo.toml
+
+crates/tools/src/bin/hepnos_ls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

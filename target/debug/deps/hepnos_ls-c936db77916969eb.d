@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hepnos_ls-c936db77916969eb.d: crates/tools/src/bin/hepnos_ls.rs
+
+/root/repo/target/debug/deps/hepnos_ls-c936db77916969eb: crates/tools/src/bin/hepnos_ls.rs
+
+crates/tools/src/bin/hepnos_ls.rs:

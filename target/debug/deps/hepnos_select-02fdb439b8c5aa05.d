@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hepnos_select-02fdb439b8c5aa05.d: crates/tools/src/bin/hepnos_select.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhepnos_select-02fdb439b8c5aa05.rmeta: crates/tools/src/bin/hepnos_select.rs Cargo.toml
+
+crates/tools/src/bin/hepnos_select.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hepnos_select-44d51b244894f75f.d: crates/tools/src/bin/hepnos_select.rs
+
+/root/repo/target/debug/deps/hepnos_select-44d51b244894f75f: crates/tools/src/bin/hepnos_select.rs
+
+crates/tools/src/bin/hepnos_select.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hepnos_select-90c622f0e0a38b8c.d: crates/tools/src/bin/hepnos_select.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhepnos_select-90c622f0e0a38b8c.rmeta: crates/tools/src/bin/hepnos_select.rs Cargo.toml
+
+crates/tools/src/bin/hepnos_select.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hepnos_select-a99ced7010af14d1.d: crates/tools/src/bin/hepnos_select.rs
+
+/root/repo/target/debug/deps/hepnos_select-a99ced7010af14d1: crates/tools/src/bin/hepnos_select.rs
+
+crates/tools/src/bin/hepnos_select.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hepnos_serve-007a782dcc52227f.d: crates/tools/src/bin/hepnos_serve.rs
+
+/root/repo/target/debug/deps/hepnos_serve-007a782dcc52227f: crates/tools/src/bin/hepnos_serve.rs
+
+crates/tools/src/bin/hepnos_serve.rs:

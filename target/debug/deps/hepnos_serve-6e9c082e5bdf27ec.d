@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hepnos_serve-6e9c082e5bdf27ec.d: crates/tools/src/bin/hepnos_serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhepnos_serve-6e9c082e5bdf27ec.rmeta: crates/tools/src/bin/hepnos_serve.rs Cargo.toml
+
+crates/tools/src/bin/hepnos_serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hepnos_serve-83c41926ada6a78e.d: crates/tools/src/bin/hepnos_serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhepnos_serve-83c41926ada6a78e.rmeta: crates/tools/src/bin/hepnos_serve.rs Cargo.toml
+
+crates/tools/src/bin/hepnos_serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hepnos_serve-d2eea494f05bb367.d: crates/tools/src/bin/hepnos_serve.rs
+
+/root/repo/target/debug/deps/hepnos_serve-d2eea494f05bb367: crates/tools/src/bin/hepnos_serve.rs
+
+crates/tools/src/bin/hepnos_serve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hepnos_suite-5ccba9f6c3328cd8.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhepnos_suite-5ccba9f6c3328cd8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hepnos_suite-683131b12336add4.d: src/lib.rs
+
+/root/repo/target/debug/deps/hepnos_suite-683131b12336add4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hepnos_suite-7065d4abc68fb779.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhepnos_suite-7065d4abc68fb779.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hepnos_suite-aff640e2c712fee3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhepnos_suite-aff640e2c712fee3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhepnos_suite-aff640e2c712fee3.rmeta: src/lib.rs
+
+src/lib.rs:

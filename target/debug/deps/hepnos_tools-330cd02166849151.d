@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hepnos_tools-330cd02166849151.d: crates/tools/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhepnos_tools-330cd02166849151.rmeta: crates/tools/src/lib.rs Cargo.toml
+
+crates/tools/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hepnos_tools-9b38dcabe4ceaf86.d: crates/tools/src/lib.rs
+
+/root/repo/target/debug/deps/libhepnos_tools-9b38dcabe4ceaf86.rlib: crates/tools/src/lib.rs
+
+/root/repo/target/debug/deps/libhepnos_tools-9b38dcabe4ceaf86.rmeta: crates/tools/src/lib.rs
+
+crates/tools/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hepnos_tools-abd97647adea2fc0.d: crates/tools/src/lib.rs
+
+/root/repo/target/debug/deps/hepnos_tools-abd97647adea2fc0: crates/tools/src/lib.rs
+
+crates/tools/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ingest_scaling-16b3dbd4bfcee114.d: crates/bench/src/bin/ingest_scaling.rs
+
+/root/repo/target/debug/deps/ingest_scaling-16b3dbd4bfcee114: crates/bench/src/bin/ingest_scaling.rs
+
+crates/bench/src/bin/ingest_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ingest_scaling-62c171473f18e3eb.d: crates/bench/src/bin/ingest_scaling.rs
+
+/root/repo/target/debug/deps/ingest_scaling-62c171473f18e3eb: crates/bench/src/bin/ingest_scaling.rs
+
+crates/bench/src/bin/ingest_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/keys_prop-034c24e0df3e5aa8.d: crates/hepnos/tests/keys_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkeys_prop-034c24e0df3e5aa8.rmeta: crates/hepnos/tests/keys_prop.rs Cargo.toml
+
+crates/hepnos/tests/keys_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/keys_prop-b5aee89351ecbcd6.d: crates/hepnos/tests/keys_prop.rs
+
+/root/repo/target/debug/deps/keys_prop-b5aee89351ecbcd6: crates/hepnos/tests/keys_prop.rs
+
+crates/hepnos/tests/keys_prop.rs:

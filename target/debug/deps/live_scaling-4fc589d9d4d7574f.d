@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_scaling-4fc589d9d4d7574f.d: crates/bench/src/bin/live_scaling.rs
+
+/root/repo/target/debug/deps/live_scaling-4fc589d9d4d7574f: crates/bench/src/bin/live_scaling.rs
+
+crates/bench/src/bin/live_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/live_scaling-d0c193191b7e559a.d: crates/bench/src/bin/live_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblive_scaling-d0c193191b7e559a.rmeta: crates/bench/src/bin/live_scaling.rs Cargo.toml
+
+crates/bench/src/bin/live_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_scaling-d873b7c03bfaf740.d: crates/bench/src/bin/live_scaling.rs
+
+/root/repo/target/debug/deps/live_scaling-d873b7c03bfaf740: crates/bench/src/bin/live_scaling.rs
+
+crates/bench/src/bin/live_scaling.rs:

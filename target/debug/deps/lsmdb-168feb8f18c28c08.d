@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lsmdb-168feb8f18c28c08.d: crates/lsmdb/src/lib.rs crates/lsmdb/src/bloom.rs crates/lsmdb/src/cache.rs crates/lsmdb/src/crc32.rs crates/lsmdb/src/db.rs crates/lsmdb/src/memtable.rs crates/lsmdb/src/sstable.rs crates/lsmdb/src/wal.rs
+
+/root/repo/target/debug/deps/liblsmdb-168feb8f18c28c08.rlib: crates/lsmdb/src/lib.rs crates/lsmdb/src/bloom.rs crates/lsmdb/src/cache.rs crates/lsmdb/src/crc32.rs crates/lsmdb/src/db.rs crates/lsmdb/src/memtable.rs crates/lsmdb/src/sstable.rs crates/lsmdb/src/wal.rs
+
+/root/repo/target/debug/deps/liblsmdb-168feb8f18c28c08.rmeta: crates/lsmdb/src/lib.rs crates/lsmdb/src/bloom.rs crates/lsmdb/src/cache.rs crates/lsmdb/src/crc32.rs crates/lsmdb/src/db.rs crates/lsmdb/src/memtable.rs crates/lsmdb/src/sstable.rs crates/lsmdb/src/wal.rs
+
+crates/lsmdb/src/lib.rs:
+crates/lsmdb/src/bloom.rs:
+crates/lsmdb/src/cache.rs:
+crates/lsmdb/src/crc32.rs:
+crates/lsmdb/src/db.rs:
+crates/lsmdb/src/memtable.rs:
+crates/lsmdb/src/sstable.rs:
+crates/lsmdb/src/wal.rs:

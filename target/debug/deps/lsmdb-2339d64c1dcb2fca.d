@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lsmdb-2339d64c1dcb2fca.d: crates/lsmdb/src/lib.rs crates/lsmdb/src/bloom.rs crates/lsmdb/src/cache.rs crates/lsmdb/src/crc32.rs crates/lsmdb/src/db.rs crates/lsmdb/src/memtable.rs crates/lsmdb/src/sstable.rs crates/lsmdb/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsmdb-2339d64c1dcb2fca.rmeta: crates/lsmdb/src/lib.rs crates/lsmdb/src/bloom.rs crates/lsmdb/src/cache.rs crates/lsmdb/src/crc32.rs crates/lsmdb/src/db.rs crates/lsmdb/src/memtable.rs crates/lsmdb/src/sstable.rs crates/lsmdb/src/wal.rs Cargo.toml
+
+crates/lsmdb/src/lib.rs:
+crates/lsmdb/src/bloom.rs:
+crates/lsmdb/src/cache.rs:
+crates/lsmdb/src/crc32.rs:
+crates/lsmdb/src/db.rs:
+crates/lsmdb/src/memtable.rs:
+crates/lsmdb/src/sstable.rs:
+crates/lsmdb/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

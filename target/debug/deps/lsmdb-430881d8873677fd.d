@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lsmdb-430881d8873677fd.d: crates/lsmdb/src/lib.rs crates/lsmdb/src/bloom.rs crates/lsmdb/src/cache.rs crates/lsmdb/src/crc32.rs crates/lsmdb/src/db.rs crates/lsmdb/src/memtable.rs crates/lsmdb/src/sstable.rs crates/lsmdb/src/wal.rs
+
+/root/repo/target/debug/deps/lsmdb-430881d8873677fd: crates/lsmdb/src/lib.rs crates/lsmdb/src/bloom.rs crates/lsmdb/src/cache.rs crates/lsmdb/src/crc32.rs crates/lsmdb/src/db.rs crates/lsmdb/src/memtable.rs crates/lsmdb/src/sstable.rs crates/lsmdb/src/wal.rs
+
+crates/lsmdb/src/lib.rs:
+crates/lsmdb/src/bloom.rs:
+crates/lsmdb/src/cache.rs:
+crates/lsmdb/src/crc32.rs:
+crates/lsmdb/src/db.rs:
+crates/lsmdb/src/memtable.rs:
+crates/lsmdb/src/sstable.rs:
+crates/lsmdb/src/wal.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/margo-3142e408f582a0d3.d: crates/margo/src/lib.rs
+
+/root/repo/target/debug/deps/libmargo-3142e408f582a0d3.rlib: crates/margo/src/lib.rs
+
+/root/repo/target/debug/deps/libmargo-3142e408f582a0d3.rmeta: crates/margo/src/lib.rs
+
+crates/margo/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/margo-345daf4e9b3e711c.d: crates/margo/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmargo-345daf4e9b3e711c.rmeta: crates/margo/src/lib.rs Cargo.toml
+
+crates/margo/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

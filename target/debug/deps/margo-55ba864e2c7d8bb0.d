@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/margo-55ba864e2c7d8bb0.d: crates/margo/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmargo-55ba864e2c7d8bb0.rmeta: crates/margo/src/lib.rs Cargo.toml
+
+crates/margo/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/margo-ad555de3011aca72.d: crates/margo/src/lib.rs
+
+/root/repo/target/debug/deps/margo-ad555de3011aca72: crates/margo/src/lib.rs
+
+crates/margo/src/lib.rs:

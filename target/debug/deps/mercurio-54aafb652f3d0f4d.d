@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mercurio-54aafb652f3d0f4d.d: crates/mercurio/src/lib.rs crates/mercurio/src/bulk.rs crates/mercurio/src/endpoint.rs crates/mercurio/src/error.rs crates/mercurio/src/local.rs crates/mercurio/src/model.rs crates/mercurio/src/tcp.rs crates/mercurio/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmercurio-54aafb652f3d0f4d.rmeta: crates/mercurio/src/lib.rs crates/mercurio/src/bulk.rs crates/mercurio/src/endpoint.rs crates/mercurio/src/error.rs crates/mercurio/src/local.rs crates/mercurio/src/model.rs crates/mercurio/src/tcp.rs crates/mercurio/src/wire.rs Cargo.toml
+
+crates/mercurio/src/lib.rs:
+crates/mercurio/src/bulk.rs:
+crates/mercurio/src/endpoint.rs:
+crates/mercurio/src/error.rs:
+crates/mercurio/src/local.rs:
+crates/mercurio/src/model.rs:
+crates/mercurio/src/tcp.rs:
+crates/mercurio/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

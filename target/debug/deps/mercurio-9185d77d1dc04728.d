@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mercurio-9185d77d1dc04728.d: crates/mercurio/src/lib.rs crates/mercurio/src/bulk.rs crates/mercurio/src/endpoint.rs crates/mercurio/src/error.rs crates/mercurio/src/local.rs crates/mercurio/src/model.rs crates/mercurio/src/tcp.rs crates/mercurio/src/wire.rs
+
+/root/repo/target/debug/deps/mercurio-9185d77d1dc04728: crates/mercurio/src/lib.rs crates/mercurio/src/bulk.rs crates/mercurio/src/endpoint.rs crates/mercurio/src/error.rs crates/mercurio/src/local.rs crates/mercurio/src/model.rs crates/mercurio/src/tcp.rs crates/mercurio/src/wire.rs
+
+crates/mercurio/src/lib.rs:
+crates/mercurio/src/bulk.rs:
+crates/mercurio/src/endpoint.rs:
+crates/mercurio/src/error.rs:
+crates/mercurio/src/local.rs:
+crates/mercurio/src/model.rs:
+crates/mercurio/src/tcp.rs:
+crates/mercurio/src/wire.rs:

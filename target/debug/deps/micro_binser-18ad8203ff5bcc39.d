@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_binser-18ad8203ff5bcc39.d: crates/bench/benches/micro_binser.rs
+
+/root/repo/target/debug/deps/micro_binser-18ad8203ff5bcc39: crates/bench/benches/micro_binser.rs
+
+crates/bench/benches/micro_binser.rs:

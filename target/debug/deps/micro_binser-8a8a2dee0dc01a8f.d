@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_binser-8a8a2dee0dc01a8f.d: crates/bench/benches/micro_binser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_binser-8a8a2dee0dc01a8f.rmeta: crates/bench/benches/micro_binser.rs Cargo.toml
+
+crates/bench/benches/micro_binser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

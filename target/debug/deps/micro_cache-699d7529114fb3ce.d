@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_cache-699d7529114fb3ce.d: crates/bench/benches/micro_cache.rs
+
+/root/repo/target/debug/deps/micro_cache-699d7529114fb3ce: crates/bench/benches/micro_cache.rs
+
+crates/bench/benches/micro_cache.rs:

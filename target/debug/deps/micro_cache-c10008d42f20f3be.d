@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_cache-c10008d42f20f3be.d: crates/bench/benches/micro_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_cache-c10008d42f20f3be.rmeta: crates/bench/benches/micro_cache.rs Cargo.toml
+
+crates/bench/benches/micro_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

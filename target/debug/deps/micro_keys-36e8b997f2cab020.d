@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_keys-36e8b997f2cab020.d: crates/bench/benches/micro_keys.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_keys-36e8b997f2cab020.rmeta: crates/bench/benches/micro_keys.rs Cargo.toml
+
+crates/bench/benches/micro_keys.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_keys-455da5d04b9e124e.d: crates/bench/benches/micro_keys.rs
+
+/root/repo/target/debug/deps/micro_keys-455da5d04b9e124e: crates/bench/benches/micro_keys.rs
+
+crates/bench/benches/micro_keys.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_lsm-0e7e4b885b8fd281.d: crates/bench/benches/micro_lsm.rs
+
+/root/repo/target/debug/deps/micro_lsm-0e7e4b885b8fd281: crates/bench/benches/micro_lsm.rs
+
+crates/bench/benches/micro_lsm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model-3933e21ed24fe922.d: crates/lsmdb/tests/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel-3933e21ed24fe922.rmeta: crates/lsmdb/tests/model.rs Cargo.toml
+
+crates/lsmdb/tests/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

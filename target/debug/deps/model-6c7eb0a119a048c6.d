@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model-6c7eb0a119a048c6.d: crates/lsmdb/tests/model.rs
+
+/root/repo/target/debug/deps/model-6c7eb0a119a048c6: crates/lsmdb/tests/model.rs
+
+crates/lsmdb/tests/model.rs:

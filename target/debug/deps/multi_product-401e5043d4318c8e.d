@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_product-401e5043d4318c8e.d: crates/nova/tests/multi_product.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_product-401e5043d4318c8e.rmeta: crates/nova/tests/multi_product.rs Cargo.toml
+
+crates/nova/tests/multi_product.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

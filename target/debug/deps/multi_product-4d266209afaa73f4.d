@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_product-4d266209afaa73f4.d: crates/nova/tests/multi_product.rs
+
+/root/repo/target/debug/deps/multi_product-4d266209afaa73f4: crates/nova/tests/multi_product.rs
+
+crates/nova/tests/multi_product.rs:

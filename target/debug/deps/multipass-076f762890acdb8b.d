@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multipass-076f762890acdb8b.d: crates/bench/src/bin/multipass.rs
+
+/root/repo/target/debug/deps/multipass-076f762890acdb8b: crates/bench/src/bin/multipass.rs
+
+crates/bench/src/bin/multipass.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multipass-40176c8cfef7b50c.d: crates/bench/src/bin/multipass.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultipass-40176c8cfef7b50c.rmeta: crates/bench/src/bin/multipass.rs Cargo.toml
+
+crates/bench/src/bin/multipass.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

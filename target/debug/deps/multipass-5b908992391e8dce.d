@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multipass-5b908992391e8dce.d: crates/bench/src/bin/multipass.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultipass-5b908992391e8dce.rmeta: crates/bench/src/bin/multipass.rs Cargo.toml
+
+crates/bench/src/bin/multipass.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

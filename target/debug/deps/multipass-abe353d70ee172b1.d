@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multipass-abe353d70ee172b1.d: crates/bench/src/bin/multipass.rs
+
+/root/repo/target/debug/deps/multipass-abe353d70ee172b1: crates/bench/src/bin/multipass.rs
+
+crates/bench/src/bin/multipass.rs:

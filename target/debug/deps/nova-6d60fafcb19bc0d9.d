@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nova-6d60fafcb19bc0d9.d: crates/nova/src/lib.rs crates/nova/src/files.rs crates/nova/src/generator.rs crates/nova/src/loader.rs crates/nova/src/selection.rs crates/nova/src/spectrum.rs crates/nova/src/data.rs
+
+/root/repo/target/debug/deps/libnova-6d60fafcb19bc0d9.rlib: crates/nova/src/lib.rs crates/nova/src/files.rs crates/nova/src/generator.rs crates/nova/src/loader.rs crates/nova/src/selection.rs crates/nova/src/spectrum.rs crates/nova/src/data.rs
+
+/root/repo/target/debug/deps/libnova-6d60fafcb19bc0d9.rmeta: crates/nova/src/lib.rs crates/nova/src/files.rs crates/nova/src/generator.rs crates/nova/src/loader.rs crates/nova/src/selection.rs crates/nova/src/spectrum.rs crates/nova/src/data.rs
+
+crates/nova/src/lib.rs:
+crates/nova/src/files.rs:
+crates/nova/src/generator.rs:
+crates/nova/src/loader.rs:
+crates/nova/src/selection.rs:
+crates/nova/src/spectrum.rs:
+crates/nova/src/data.rs:

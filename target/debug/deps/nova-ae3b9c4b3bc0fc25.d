@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nova-ae3b9c4b3bc0fc25.d: crates/nova/src/lib.rs crates/nova/src/files.rs crates/nova/src/generator.rs crates/nova/src/loader.rs crates/nova/src/selection.rs crates/nova/src/spectrum.rs crates/nova/src/data.rs
+
+/root/repo/target/debug/deps/nova-ae3b9c4b3bc0fc25: crates/nova/src/lib.rs crates/nova/src/files.rs crates/nova/src/generator.rs crates/nova/src/loader.rs crates/nova/src/selection.rs crates/nova/src/spectrum.rs crates/nova/src/data.rs
+
+crates/nova/src/lib.rs:
+crates/nova/src/files.rs:
+crates/nova/src/generator.rs:
+crates/nova/src/loader.rs:
+crates/nova/src/selection.rs:
+crates/nova/src/spectrum.rs:
+crates/nova/src/data.rs:

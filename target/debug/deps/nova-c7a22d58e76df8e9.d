@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nova-c7a22d58e76df8e9.d: crates/nova/src/lib.rs crates/nova/src/files.rs crates/nova/src/generator.rs crates/nova/src/loader.rs crates/nova/src/selection.rs crates/nova/src/spectrum.rs crates/nova/src/data.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnova-c7a22d58e76df8e9.rmeta: crates/nova/src/lib.rs crates/nova/src/files.rs crates/nova/src/generator.rs crates/nova/src/loader.rs crates/nova/src/selection.rs crates/nova/src/spectrum.rs crates/nova/src/data.rs Cargo.toml
+
+crates/nova/src/lib.rs:
+crates/nova/src/files.rs:
+crates/nova/src/generator.rs:
+crates/nova/src/loader.rs:
+crates/nova/src/selection.rs:
+crates/nova/src/spectrum.rs:
+crates/nova/src/data.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

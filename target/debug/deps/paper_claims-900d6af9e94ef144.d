@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_claims-900d6af9e94ef144.d: crates/cluster/tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_claims-900d6af9e94ef144.rmeta: crates/cluster/tests/paper_claims.rs Cargo.toml
+
+crates/cluster/tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

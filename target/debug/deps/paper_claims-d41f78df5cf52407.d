@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-d41f78df5cf52407.d: crates/cluster/tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-d41f78df5cf52407: crates/cluster/tests/paper_claims.rs
+
+crates/cluster/tests/paper_claims.rs:

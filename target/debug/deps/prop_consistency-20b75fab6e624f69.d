@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_consistency-20b75fab6e624f69.d: crates/yokan/tests/prop_consistency.rs
+
+/root/repo/target/debug/deps/prop_consistency-20b75fab6e624f69: crates/yokan/tests/prop_consistency.rs
+
+crates/yokan/tests/prop_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_consistency-ac51e284fc3b2c3d.d: crates/yokan/tests/prop_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_consistency-ac51e284fc3b2c3d.rmeta: crates/yokan/tests/prop_consistency.rs Cargo.toml
+
+crates/yokan/tests/prop_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

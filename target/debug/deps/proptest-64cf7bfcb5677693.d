@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-64cf7bfcb5677693.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-64cf7bfcb5677693.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-64cf7bfcb5677693.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

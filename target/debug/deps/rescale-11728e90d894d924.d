@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rescale-11728e90d894d924.d: crates/hepnos/tests/rescale.rs
+
+/root/repo/target/debug/deps/rescale-11728e90d894d924: crates/hepnos/tests/rescale.rs
+
+crates/hepnos/tests/rescale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rescale-961df37b3c18637a.d: crates/hepnos/tests/rescale.rs Cargo.toml
+
+/root/repo/target/debug/deps/librescale-961df37b3c18637a.rmeta: crates/hepnos/tests/rescale.rs Cargo.toml
+
+crates/hepnos/tests/rescale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

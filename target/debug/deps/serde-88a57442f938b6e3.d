@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/serde-88a57442f938b6e3.d: shims/serde/src/lib.rs shims/serde/src/de.rs shims/serde/src/ser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-88a57442f938b6e3.rmeta: shims/serde/src/lib.rs shims/serde/src/de.rs shims/serde/src/ser.rs Cargo.toml
+
+shims/serde/src/lib.rs:
+shims/serde/src/de.rs:
+shims/serde/src/ser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

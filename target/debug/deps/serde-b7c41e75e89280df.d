@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-b7c41e75e89280df.d: shims/serde/src/lib.rs shims/serde/src/de.rs shims/serde/src/ser.rs
+
+/root/repo/target/debug/deps/libserde-b7c41e75e89280df.rlib: shims/serde/src/lib.rs shims/serde/src/de.rs shims/serde/src/ser.rs
+
+/root/repo/target/debug/deps/libserde-b7c41e75e89280df.rmeta: shims/serde/src/lib.rs shims/serde/src/de.rs shims/serde/src/ser.rs
+
+shims/serde/src/lib.rs:
+shims/serde/src/de.rs:
+shims/serde/src/ser.rs:

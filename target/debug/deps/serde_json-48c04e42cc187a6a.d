@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-48c04e42cc187a6a.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-48c04e42cc187a6a: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

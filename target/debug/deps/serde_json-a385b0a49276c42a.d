@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-a385b0a49276c42a.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-a385b0a49276c42a.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-a385b0a49276c42a.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

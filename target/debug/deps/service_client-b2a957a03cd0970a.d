@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_client-b2a957a03cd0970a.d: crates/yokan/tests/service_client.rs
+
+/root/repo/target/debug/deps/service_client-b2a957a03cd0970a: crates/yokan/tests/service_client.rs
+
+crates/yokan/tests/service_client.rs:

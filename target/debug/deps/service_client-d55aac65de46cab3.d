@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service_client-d55aac65de46cab3.d: crates/yokan/tests/service_client.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice_client-d55aac65de46cab3.rmeta: crates/yokan/tests/service_client.rs Cargo.toml
+
+crates/yokan/tests/service_client.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-3c8762c79d25f72b.d: crates/yokan/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-3c8762c79d25f72b.rmeta: crates/yokan/tests/stress.rs Cargo.toml
+
+crates/yokan/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

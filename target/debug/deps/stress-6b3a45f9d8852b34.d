@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-6b3a45f9d8852b34.d: crates/yokan/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-6b3a45f9d8852b34: crates/yokan/tests/stress.rs
+
+crates/yokan/tests/stress.rs:

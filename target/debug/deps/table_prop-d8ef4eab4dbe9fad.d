@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_prop-d8ef4eab4dbe9fad.d: crates/hepfile/tests/table_prop.rs
+
+/root/repo/target/debug/deps/table_prop-d8ef4eab4dbe9fad: crates/hepfile/tests/table_prop.rs
+
+crates/hepfile/tests/table_prop.rs:

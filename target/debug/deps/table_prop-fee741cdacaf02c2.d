@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_prop-fee741cdacaf02c2.d: crates/hepfile/tests/table_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_prop-fee741cdacaf02c2.rmeta: crates/hepfile/tests/table_prop.rs Cargo.toml
+
+crates/hepfile/tests/table_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

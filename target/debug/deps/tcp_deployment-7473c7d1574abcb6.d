@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_deployment-7473c7d1574abcb6.d: tests/tcp_deployment.rs
+
+/root/repo/target/debug/deps/tcp_deployment-7473c7d1574abcb6: tests/tcp_deployment.rs
+
+tests/tcp_deployment.rs:

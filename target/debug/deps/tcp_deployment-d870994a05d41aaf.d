@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tcp_deployment-d870994a05d41aaf.d: tests/tcp_deployment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcp_deployment-d870994a05d41aaf.rmeta: tests/tcp_deployment.rs Cargo.toml
+
+tests/tcp_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

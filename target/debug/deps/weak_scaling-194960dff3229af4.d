@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/weak_scaling-194960dff3229af4.d: crates/bench/src/bin/weak_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweak_scaling-194960dff3229af4.rmeta: crates/bench/src/bin/weak_scaling.rs Cargo.toml
+
+crates/bench/src/bin/weak_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weak_scaling-705a643cf2de014f.d: crates/bench/src/bin/weak_scaling.rs
+
+/root/repo/target/debug/deps/weak_scaling-705a643cf2de014f: crates/bench/src/bin/weak_scaling.rs
+
+crates/bench/src/bin/weak_scaling.rs:

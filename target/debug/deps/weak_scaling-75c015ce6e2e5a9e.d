@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weak_scaling-75c015ce6e2e5a9e.d: crates/bench/src/bin/weak_scaling.rs
+
+/root/repo/target/debug/deps/weak_scaling-75c015ce6e2e5a9e: crates/bench/src/bin/weak_scaling.rs
+
+crates/bench/src/bin/weak_scaling.rs:

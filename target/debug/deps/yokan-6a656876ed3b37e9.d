@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/yokan-6a656876ed3b37e9.d: crates/yokan/src/lib.rs crates/yokan/src/backend.rs crates/yokan/src/client.rs crates/yokan/src/encoding.rs crates/yokan/src/error.rs crates/yokan/src/service.rs
+
+/root/repo/target/debug/deps/yokan-6a656876ed3b37e9: crates/yokan/src/lib.rs crates/yokan/src/backend.rs crates/yokan/src/client.rs crates/yokan/src/encoding.rs crates/yokan/src/error.rs crates/yokan/src/service.rs
+
+crates/yokan/src/lib.rs:
+crates/yokan/src/backend.rs:
+crates/yokan/src/client.rs:
+crates/yokan/src/encoding.rs:
+crates/yokan/src/error.rs:
+crates/yokan/src/service.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/yokan-a88bc30426519c29.d: crates/yokan/src/lib.rs crates/yokan/src/backend.rs crates/yokan/src/client.rs crates/yokan/src/encoding.rs crates/yokan/src/error.rs crates/yokan/src/service.rs
+
+/root/repo/target/debug/deps/libyokan-a88bc30426519c29.rlib: crates/yokan/src/lib.rs crates/yokan/src/backend.rs crates/yokan/src/client.rs crates/yokan/src/encoding.rs crates/yokan/src/error.rs crates/yokan/src/service.rs
+
+/root/repo/target/debug/deps/libyokan-a88bc30426519c29.rmeta: crates/yokan/src/lib.rs crates/yokan/src/backend.rs crates/yokan/src/client.rs crates/yokan/src/encoding.rs crates/yokan/src/error.rs crates/yokan/src/service.rs
+
+crates/yokan/src/lib.rs:
+crates/yokan/src/backend.rs:
+crates/yokan/src/client.rs:
+crates/yokan/src/encoding.rs:
+crates/yokan/src/error.rs:
+crates/yokan/src/service.rs:

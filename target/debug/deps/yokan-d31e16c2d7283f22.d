@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/yokan-d31e16c2d7283f22.d: crates/yokan/src/lib.rs crates/yokan/src/backend.rs crates/yokan/src/client.rs crates/yokan/src/encoding.rs crates/yokan/src/error.rs crates/yokan/src/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libyokan-d31e16c2d7283f22.rmeta: crates/yokan/src/lib.rs crates/yokan/src/backend.rs crates/yokan/src/client.rs crates/yokan/src/encoding.rs crates/yokan/src/error.rs crates/yokan/src/service.rs Cargo.toml
+
+crates/yokan/src/lib.rs:
+crates/yokan/src/backend.rs:
+crates/yokan/src/client.rs:
+crates/yokan/src/encoding.rs:
+crates/yokan/src/error.rs:
+crates/yokan/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ingest_and_select-802c7f675a70dc26.d: examples/ingest_and_select.rs
+
+/root/repo/target/debug/examples/ingest_and_select-802c7f675a70dc26: examples/ingest_and_select.rs
+
+examples/ingest_and_select.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ingest_and_select-e8c13663f9430b46.d: examples/ingest_and_select.rs Cargo.toml
+
+/root/repo/target/debug/examples/libingest_and_select-e8c13663f9430b46.rmeta: examples/ingest_and_select.rs Cargo.toml
+
+examples/ingest_and_select.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multinode_config-85e11b6926fe9a42.d: examples/multinode_config.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmultinode_config-85e11b6926fe9a42.rmeta: examples/multinode_config.rs Cargo.toml
+
+examples/multinode_config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multinode_config-f6a39b824a2f939e.d: examples/multinode_config.rs
+
+/root/repo/target/debug/examples/multinode_config-f6a39b824a2f939e: examples/multinode_config.rs
+
+examples/multinode_config.rs:

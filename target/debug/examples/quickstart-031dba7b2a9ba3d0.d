@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-031dba7b2a9ba3d0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-031dba7b2a9ba3d0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rescale-51f7a9081a3ffa26.d: examples/rescale.rs Cargo.toml
+
+/root/repo/target/debug/examples/librescale-51f7a9081a3ffa26.rmeta: examples/rescale.rs Cargo.toml
+
+examples/rescale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

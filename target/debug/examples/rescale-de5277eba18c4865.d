@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rescale-de5277eba18c4865.d: examples/rescale.rs
+
+/root/repo/target/debug/examples/rescale-de5277eba18c4865: examples/rescale.rs
+
+examples/rescale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tcp_cluster-93f32d8a4d5c0d44.d: examples/tcp_cluster.rs
+
+/root/repo/target/debug/examples/tcp_cluster-93f32d8a4d5c0d44: examples/tcp_cluster.rs
+
+examples/tcp_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tcp_cluster-a0f7c87f83e7d0db.d: examples/tcp_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtcp_cluster-a0f7c87f83e7d0db.rmeta: examples/tcp_cluster.rs Cargo.toml
+
+examples/tcp_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/argos-8b1b549aa37e2050.d: crates/argos/src/lib.rs crates/argos/src/eventual.rs crates/argos/src/pool.rs crates/argos/src/runtime.rs crates/argos/src/sync.rs crates/argos/src/xstream.rs
+
+/root/repo/target/release/deps/libargos-8b1b549aa37e2050.rlib: crates/argos/src/lib.rs crates/argos/src/eventual.rs crates/argos/src/pool.rs crates/argos/src/runtime.rs crates/argos/src/sync.rs crates/argos/src/xstream.rs
+
+/root/repo/target/release/deps/libargos-8b1b549aa37e2050.rmeta: crates/argos/src/lib.rs crates/argos/src/eventual.rs crates/argos/src/pool.rs crates/argos/src/runtime.rs crates/argos/src/sync.rs crates/argos/src/xstream.rs
+
+crates/argos/src/lib.rs:
+crates/argos/src/eventual.rs:
+crates/argos/src/pool.rs:
+crates/argos/src/runtime.rs:
+crates/argos/src/sync.rs:
+crates/argos/src/xstream.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bedrock-2fe57e0208fec4c5.d: crates/bedrock/src/lib.rs
+
+/root/repo/target/release/deps/libbedrock-2fe57e0208fec4c5.rlib: crates/bedrock/src/lib.rs
+
+/root/repo/target/release/deps/libbedrock-2fe57e0208fec4c5.rmeta: crates/bedrock/src/lib.rs
+
+crates/bedrock/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cluster-aad12ee6bfa257b7.d: crates/cluster/src/lib.rs crates/cluster/src/filewf.rs crates/cluster/src/hepnoswf.rs crates/cluster/src/ingestwf.rs crates/cluster/src/theta.rs crates/cluster/src/vt.rs
+
+/root/repo/target/release/deps/libcluster-aad12ee6bfa257b7.rlib: crates/cluster/src/lib.rs crates/cluster/src/filewf.rs crates/cluster/src/hepnoswf.rs crates/cluster/src/ingestwf.rs crates/cluster/src/theta.rs crates/cluster/src/vt.rs
+
+/root/repo/target/release/deps/libcluster-aad12ee6bfa257b7.rmeta: crates/cluster/src/lib.rs crates/cluster/src/filewf.rs crates/cluster/src/hepnoswf.rs crates/cluster/src/ingestwf.rs crates/cluster/src/theta.rs crates/cluster/src/vt.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/filewf.rs:
+crates/cluster/src/hepnoswf.rs:
+crates/cluster/src/ingestwf.rs:
+crates/cluster/src/theta.rs:
+crates/cluster/src/vt.rs:

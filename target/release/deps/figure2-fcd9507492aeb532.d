@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-fcd9507492aeb532.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-fcd9507492aeb532: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

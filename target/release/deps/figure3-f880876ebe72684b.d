@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-f880876ebe72684b.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-f880876ebe72684b: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hepfile-2ec58b3075b123a6.d: crates/hepfile/src/lib.rs crates/hepfile/src/gridrun.rs crates/hepfile/src/pfs.rs crates/hepfile/src/table.rs
+
+/root/repo/target/release/deps/libhepfile-2ec58b3075b123a6.rlib: crates/hepfile/src/lib.rs crates/hepfile/src/gridrun.rs crates/hepfile/src/pfs.rs crates/hepfile/src/table.rs
+
+/root/repo/target/release/deps/libhepfile-2ec58b3075b123a6.rmeta: crates/hepfile/src/lib.rs crates/hepfile/src/gridrun.rs crates/hepfile/src/pfs.rs crates/hepfile/src/table.rs
+
+crates/hepfile/src/lib.rs:
+crates/hepfile/src/gridrun.rs:
+crates/hepfile/src/pfs.rs:
+crates/hepfile/src/table.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/hepnos-44ba7cb97b24c522.d: crates/hepnos/src/lib.rs crates/hepnos/src/batch.rs crates/hepnos/src/binser.rs crates/hepnos/src/datastore.rs crates/hepnos/src/error.rs crates/hepnos/src/keys.rs crates/hepnos/src/pep.rs crates/hepnos/src/placement.rs crates/hepnos/src/prefetch.rs crates/hepnos/src/rescale.rs crates/hepnos/src/testing.rs crates/hepnos/src/uuid.rs
+
+/root/repo/target/release/deps/libhepnos-44ba7cb97b24c522.rlib: crates/hepnos/src/lib.rs crates/hepnos/src/batch.rs crates/hepnos/src/binser.rs crates/hepnos/src/datastore.rs crates/hepnos/src/error.rs crates/hepnos/src/keys.rs crates/hepnos/src/pep.rs crates/hepnos/src/placement.rs crates/hepnos/src/prefetch.rs crates/hepnos/src/rescale.rs crates/hepnos/src/testing.rs crates/hepnos/src/uuid.rs
+
+/root/repo/target/release/deps/libhepnos-44ba7cb97b24c522.rmeta: crates/hepnos/src/lib.rs crates/hepnos/src/batch.rs crates/hepnos/src/binser.rs crates/hepnos/src/datastore.rs crates/hepnos/src/error.rs crates/hepnos/src/keys.rs crates/hepnos/src/pep.rs crates/hepnos/src/placement.rs crates/hepnos/src/prefetch.rs crates/hepnos/src/rescale.rs crates/hepnos/src/testing.rs crates/hepnos/src/uuid.rs
+
+crates/hepnos/src/lib.rs:
+crates/hepnos/src/batch.rs:
+crates/hepnos/src/binser.rs:
+crates/hepnos/src/datastore.rs:
+crates/hepnos/src/error.rs:
+crates/hepnos/src/keys.rs:
+crates/hepnos/src/pep.rs:
+crates/hepnos/src/placement.rs:
+crates/hepnos/src/prefetch.rs:
+crates/hepnos/src/rescale.rs:
+crates/hepnos/src/testing.rs:
+crates/hepnos/src/uuid.rs:

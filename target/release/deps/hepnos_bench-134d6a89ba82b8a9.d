@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hepnos_bench-134d6a89ba82b8a9.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhepnos_bench-134d6a89ba82b8a9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhepnos_bench-134d6a89ba82b8a9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

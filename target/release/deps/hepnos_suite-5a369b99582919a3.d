@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hepnos_suite-5a369b99582919a3.d: src/lib.rs
+
+/root/repo/target/release/deps/libhepnos_suite-5a369b99582919a3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhepnos_suite-5a369b99582919a3.rmeta: src/lib.rs
+
+src/lib.rs:

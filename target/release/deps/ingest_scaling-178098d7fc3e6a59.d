@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ingest_scaling-178098d7fc3e6a59.d: crates/bench/src/bin/ingest_scaling.rs
+
+/root/repo/target/release/deps/ingest_scaling-178098d7fc3e6a59: crates/bench/src/bin/ingest_scaling.rs
+
+crates/bench/src/bin/ingest_scaling.rs:

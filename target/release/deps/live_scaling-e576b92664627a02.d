@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/live_scaling-e576b92664627a02.d: crates/bench/src/bin/live_scaling.rs
+
+/root/repo/target/release/deps/live_scaling-e576b92664627a02: crates/bench/src/bin/live_scaling.rs
+
+crates/bench/src/bin/live_scaling.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lsmdb-e4ea1dbeb36fbd57.d: crates/lsmdb/src/lib.rs crates/lsmdb/src/bloom.rs crates/lsmdb/src/cache.rs crates/lsmdb/src/crc32.rs crates/lsmdb/src/db.rs crates/lsmdb/src/memtable.rs crates/lsmdb/src/sstable.rs crates/lsmdb/src/wal.rs
+
+/root/repo/target/release/deps/liblsmdb-e4ea1dbeb36fbd57.rlib: crates/lsmdb/src/lib.rs crates/lsmdb/src/bloom.rs crates/lsmdb/src/cache.rs crates/lsmdb/src/crc32.rs crates/lsmdb/src/db.rs crates/lsmdb/src/memtable.rs crates/lsmdb/src/sstable.rs crates/lsmdb/src/wal.rs
+
+/root/repo/target/release/deps/liblsmdb-e4ea1dbeb36fbd57.rmeta: crates/lsmdb/src/lib.rs crates/lsmdb/src/bloom.rs crates/lsmdb/src/cache.rs crates/lsmdb/src/crc32.rs crates/lsmdb/src/db.rs crates/lsmdb/src/memtable.rs crates/lsmdb/src/sstable.rs crates/lsmdb/src/wal.rs
+
+crates/lsmdb/src/lib.rs:
+crates/lsmdb/src/bloom.rs:
+crates/lsmdb/src/cache.rs:
+crates/lsmdb/src/crc32.rs:
+crates/lsmdb/src/db.rs:
+crates/lsmdb/src/memtable.rs:
+crates/lsmdb/src/sstable.rs:
+crates/lsmdb/src/wal.rs:

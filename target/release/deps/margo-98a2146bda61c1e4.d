@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/margo-98a2146bda61c1e4.d: crates/margo/src/lib.rs
+
+/root/repo/target/release/deps/libmargo-98a2146bda61c1e4.rlib: crates/margo/src/lib.rs
+
+/root/repo/target/release/deps/libmargo-98a2146bda61c1e4.rmeta: crates/margo/src/lib.rs
+
+crates/margo/src/lib.rs:

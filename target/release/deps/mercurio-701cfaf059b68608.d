@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mercurio-701cfaf059b68608.d: crates/mercurio/src/lib.rs crates/mercurio/src/bulk.rs crates/mercurio/src/endpoint.rs crates/mercurio/src/error.rs crates/mercurio/src/local.rs crates/mercurio/src/model.rs crates/mercurio/src/tcp.rs crates/mercurio/src/wire.rs
+
+/root/repo/target/release/deps/libmercurio-701cfaf059b68608.rlib: crates/mercurio/src/lib.rs crates/mercurio/src/bulk.rs crates/mercurio/src/endpoint.rs crates/mercurio/src/error.rs crates/mercurio/src/local.rs crates/mercurio/src/model.rs crates/mercurio/src/tcp.rs crates/mercurio/src/wire.rs
+
+/root/repo/target/release/deps/libmercurio-701cfaf059b68608.rmeta: crates/mercurio/src/lib.rs crates/mercurio/src/bulk.rs crates/mercurio/src/endpoint.rs crates/mercurio/src/error.rs crates/mercurio/src/local.rs crates/mercurio/src/model.rs crates/mercurio/src/tcp.rs crates/mercurio/src/wire.rs
+
+crates/mercurio/src/lib.rs:
+crates/mercurio/src/bulk.rs:
+crates/mercurio/src/endpoint.rs:
+crates/mercurio/src/error.rs:
+crates/mercurio/src/local.rs:
+crates/mercurio/src/model.rs:
+crates/mercurio/src/tcp.rs:
+crates/mercurio/src/wire.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_cache-5bfb6341b8d5b036.d: crates/bench/benches/micro_cache.rs
+
+/root/repo/target/release/deps/micro_cache-5bfb6341b8d5b036: crates/bench/benches/micro_cache.rs
+
+crates/bench/benches/micro_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multipass-a06ea910b3477c37.d: crates/bench/src/bin/multipass.rs
+
+/root/repo/target/release/deps/multipass-a06ea910b3477c37: crates/bench/src/bin/multipass.rs
+
+crates/bench/src/bin/multipass.rs:

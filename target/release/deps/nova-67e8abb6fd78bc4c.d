@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nova-67e8abb6fd78bc4c.d: crates/nova/src/lib.rs crates/nova/src/files.rs crates/nova/src/generator.rs crates/nova/src/loader.rs crates/nova/src/selection.rs crates/nova/src/spectrum.rs crates/nova/src/data.rs
+
+/root/repo/target/release/deps/libnova-67e8abb6fd78bc4c.rlib: crates/nova/src/lib.rs crates/nova/src/files.rs crates/nova/src/generator.rs crates/nova/src/loader.rs crates/nova/src/selection.rs crates/nova/src/spectrum.rs crates/nova/src/data.rs
+
+/root/repo/target/release/deps/libnova-67e8abb6fd78bc4c.rmeta: crates/nova/src/lib.rs crates/nova/src/files.rs crates/nova/src/generator.rs crates/nova/src/loader.rs crates/nova/src/selection.rs crates/nova/src/spectrum.rs crates/nova/src/data.rs
+
+crates/nova/src/lib.rs:
+crates/nova/src/files.rs:
+crates/nova/src/generator.rs:
+crates/nova/src/loader.rs:
+crates/nova/src/selection.rs:
+crates/nova/src/spectrum.rs:
+crates/nova/src/data.rs:

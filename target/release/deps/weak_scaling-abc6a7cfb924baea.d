@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/weak_scaling-abc6a7cfb924baea.d: crates/bench/src/bin/weak_scaling.rs
+
+/root/repo/target/release/deps/weak_scaling-abc6a7cfb924baea: crates/bench/src/bin/weak_scaling.rs
+
+crates/bench/src/bin/weak_scaling.rs:

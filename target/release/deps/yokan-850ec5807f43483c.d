@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/yokan-850ec5807f43483c.d: crates/yokan/src/lib.rs crates/yokan/src/backend.rs crates/yokan/src/client.rs crates/yokan/src/encoding.rs crates/yokan/src/error.rs crates/yokan/src/service.rs
+
+/root/repo/target/release/deps/libyokan-850ec5807f43483c.rlib: crates/yokan/src/lib.rs crates/yokan/src/backend.rs crates/yokan/src/client.rs crates/yokan/src/encoding.rs crates/yokan/src/error.rs crates/yokan/src/service.rs
+
+/root/repo/target/release/deps/libyokan-850ec5807f43483c.rmeta: crates/yokan/src/lib.rs crates/yokan/src/backend.rs crates/yokan/src/client.rs crates/yokan/src/encoding.rs crates/yokan/src/error.rs crates/yokan/src/service.rs
+
+crates/yokan/src/lib.rs:
+crates/yokan/src/backend.rs:
+crates/yokan/src/client.rs:
+crates/yokan/src/encoding.rs:
+crates/yokan/src/error.rs:
+crates/yokan/src/service.rs:

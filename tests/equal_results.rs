@@ -11,10 +11,8 @@ use parking_lot::Mutex;
 use std::collections::BTreeSet;
 
 fn run_equal_results(seed: u64, n_files: u64, events_per_file: u64, workers: usize) {
-    let dir = std::env::temp_dir().join(format!(
-        "hepnos-eq-{}-{seed}-{n_files}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("hepnos-eq-{}-{seed}-{n_files}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     let gen = NovaGenerator::new(seed);
     let cuts = SelectionCuts::default();

@@ -30,8 +30,8 @@ fn injection_saturation_surfaces_as_storage_error() {
     });
     let cfg = ServiceConfig::hepnos_topology(small_counts(), BackendKind::Map, None);
     let server = bedrock::launch(fabric.endpoint("server"), &cfg).unwrap();
-    let store = DataStore::connect(fabric.endpoint("client"), &[server.descriptor().clone()])
-        .unwrap();
+    let store =
+        DataStore::connect(fabric.endpoint("client"), &[server.descriptor().clone()]).unwrap();
     let ds = store.root().create_dataset("saturate").unwrap();
     let ev = ds
         .create_run(1)
@@ -64,8 +64,8 @@ fn server_shutdown_fails_cleanly_not_hangs() {
     let fabric = Fabric::new(NetworkModel::default());
     let cfg = ServiceConfig::hepnos_topology(small_counts(), BackendKind::Map, None);
     let server = bedrock::launch(fabric.endpoint("server"), &cfg).unwrap();
-    let store = DataStore::connect(fabric.endpoint("client"), &[server.descriptor().clone()])
-        .unwrap();
+    let store =
+        DataStore::connect(fabric.endpoint("client"), &[server.descriptor().clone()]).unwrap();
     let ds = store.root().create_dataset("dying").unwrap();
     let sr = ds.create_run(1).unwrap().create_subrun(0).unwrap();
     sr.create_event(1).unwrap();
@@ -89,8 +89,7 @@ fn lsm_deployment_survives_restart_with_data() {
         let fabric = Fabric::new(NetworkModel::default());
         let server = bedrock::launch(fabric.endpoint("server"), &cfg).unwrap();
         let store =
-            DataStore::connect(fabric.endpoint("client"), &[server.descriptor().clone()])
-                .unwrap();
+            DataStore::connect(fabric.endpoint("client"), &[server.descriptor().clone()]).unwrap();
         let ds = store.root().create_dataset("fermilab/nova").unwrap();
         let sr = ds.create_run(7).unwrap().create_subrun(3).unwrap();
         for e in 0..50u64 {
@@ -104,8 +103,7 @@ fn lsm_deployment_survives_restart_with_data() {
         let fabric = Fabric::new(NetworkModel::default());
         let server = bedrock::launch(fabric.endpoint("server"), &cfg).unwrap();
         let store =
-            DataStore::connect(fabric.endpoint("client"), &[server.descriptor().clone()])
-                .unwrap();
+            DataStore::connect(fabric.endpoint("client"), &[server.descriptor().clone()]).unwrap();
         let ds = store.dataset("fermilab/nova").unwrap();
         let sr = ds.run(7).unwrap().subrun(3).unwrap();
         let events = sr.events().unwrap();
@@ -125,8 +123,8 @@ fn pep_fails_cleanly_when_servers_are_gone() {
     let fabric = Fabric::new(NetworkModel::default());
     let cfg = ServiceConfig::hepnos_topology(small_counts(), BackendKind::Map, None);
     let server = bedrock::launch(fabric.endpoint("server"), &cfg).unwrap();
-    let store = DataStore::connect(fabric.endpoint("client"), &[server.descriptor().clone()])
-        .unwrap();
+    let store =
+        DataStore::connect(fabric.endpoint("client"), &[server.descriptor().clone()]).unwrap();
     let ds = store.root().create_dataset("doomed").unwrap();
     let sr = ds.create_run(1).unwrap().create_subrun(0).unwrap();
     for e in 0..20u64 {

@@ -50,7 +50,13 @@ fn full_flow_over_tcp_sockets() {
     for e in 100..400u64 {
         let ev = batch.create_event(&sr, &uuid, e).unwrap();
         batch
-            .store(&ev, &label, &Blob { payload: vec![e as u8; 128] })
+            .store(
+                &ev,
+                &label,
+                &Blob {
+                    payload: vec![e as u8; 128],
+                },
+            )
             .unwrap();
     }
     batch.flush().unwrap();
