@@ -96,9 +96,11 @@ impl WriteBatch {
             return Ok(());
         }
         self.queued -= pairs.len();
+        self.store.inner.client.put_multi(db, &pairs)?;
+        // Counted only after the server acknowledged: a failed flush must
+        // not report its pairs as flushed.
         self.flushed_pairs += pairs.len() as u64;
         self.flush_rpcs += 1;
-        self.store.inner.client.put_multi(db, &pairs)?;
         Ok(())
     }
 
@@ -172,13 +174,23 @@ impl WriteBatch {
     }
 
     /// Flush every buffered group (one `put_multi` per database).
+    ///
+    /// Every database is attempted even when one fails, and the first
+    /// error is returned with the batch fully drained — so an error here
+    /// never leaves queued pairs behind to re-fail (and panic) in `Drop`.
     pub fn flush(&mut self) -> Result<(), HepnosError> {
         let dbs: Vec<DbTarget> = self.buffers.keys().cloned().collect();
+        let mut first_err = None;
         for db in dbs {
             let pairs = std::mem::take(self.buffers.get_mut(&db).expect("entry exists"));
-            self.flush_pairs(&db, pairs)?;
+            if let Err(e) = self.flush_pairs(&db, pairs) {
+                first_err.get_or_insert(e);
+            }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
@@ -216,14 +228,77 @@ fn subrun_event(subrun: &SubRun, number: EventNumber) -> Result<Event, HepnosErr
     Ok(Event::unchecked(subrun, number))
 }
 
+/// Default bound on concurrently in-flight background flushes: roughly 4×
+/// the width of a typical two-xstream flush pool, enough to keep every
+/// executor busy while bounding queued-handle memory.
+const DEFAULT_INFLIGHT_WINDOW: usize = 8;
+
+/// Counters describing an [`AsyncWriteBatch`]'s pipeline behaviour.
+///
+/// `shipped_*` counts work handed to the background pool; `acked_*` counts
+/// work the server actually acknowledged. The two only converge after
+/// [`AsyncWriteBatch::wait`], and diverge permanently when flushes fail —
+/// reporting both is what keeps the stats honest under errors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Pairs handed to background flush tasks.
+    pub shipped_pairs: u64,
+    /// Pairs acknowledged by the storage service.
+    pub acked_pairs: u64,
+    /// `put_multi` RPCs shipped to the background pool.
+    pub flush_rpcs: u64,
+    /// `put_multi` RPCs acknowledged by the storage service.
+    pub acked_rpcs: u64,
+    /// High-water mark of concurrently in-flight flushes; bounded by the
+    /// configured window.
+    pub inflight_hwm: usize,
+    /// Times `ship()` blocked because the in-flight window was full.
+    pub backpressure_stalls: u64,
+    /// Total time spent blocked on a full window.
+    pub stall_time: std::time::Duration,
+}
+
+impl BatchStats {
+    /// Fold another batch's counters into this one — used to aggregate the
+    /// per-loader pipelines of a file-parallel ingest. Counters add;
+    /// `inflight_hwm` takes the maximum (windows are per batch).
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.shipped_pairs += other.shipped_pairs;
+        self.acked_pairs += other.acked_pairs;
+        self.flush_rpcs += other.flush_rpcs;
+        self.acked_rpcs += other.acked_rpcs;
+        self.inflight_hwm = self.inflight_hwm.max(other.inflight_hwm);
+        self.backpressure_stalls += other.backpressure_stalls;
+        self.stall_time += other.stall_time;
+    }
+}
+
+/// Recycled pair buffers and encode scratch shared with flush tasks, so a
+/// long ingest reuses a bounded set of allocations instead of reallocating
+/// per shipped group.
+type BufferPool = Arc<Mutex<Vec<Vec<(Vec<u8>, Vec<u8>)>>>>;
+type ScratchPool = Arc<Mutex<Vec<bytes::BytesMut>>>;
+
 /// An asynchronous write batch: flushes run on an [`argos::Pool`] in the
-/// background; [`AsyncWriteBatch::wait`] (or drop) joins them all and
-/// reports the first error.
+/// background, bounded by an in-flight *window*. [`AsyncWriteBatch::store_raw`]
+/// reaps completed flushes opportunistically and blocks (helping the pool)
+/// when the window is full, so memory stays bounded for arbitrarily long
+/// ingests and a slow service backpressures the producer instead of
+/// accumulating unbounded queued work. [`AsyncWriteBatch::wait`] (or drop)
+/// joins the remainder and reports the first error.
 pub struct AsyncWriteBatch {
     batch: WriteBatch,
     pool: Pool,
-    pending: Vec<argos::JoinHandle<Result<(), HepnosError>>>,
-    errors: Arc<Mutex<Vec<HepnosError>>>,
+    window: usize,
+    pending: std::collections::VecDeque<argos::JoinHandle<Result<(), HepnosError>>>,
+    acked_pairs: Arc<std::sync::atomic::AtomicU64>,
+    acked_rpcs: Arc<std::sync::atomic::AtomicU64>,
+    first_error: Option<HepnosError>,
+    pair_pool: BufferPool,
+    scratch_pool: ScratchPool,
+    inflight_hwm: usize,
+    backpressure_stalls: u64,
+    stall_time: std::time::Duration,
 }
 
 impl AsyncWriteBatch {
@@ -232,14 +307,28 @@ impl AsyncWriteBatch {
         AsyncWriteBatch {
             batch: WriteBatch::new(store),
             pool,
-            pending: Vec::new(),
-            errors: Arc::new(Mutex::new(Vec::new())),
+            window: DEFAULT_INFLIGHT_WINDOW,
+            pending: std::collections::VecDeque::new(),
+            acked_pairs: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            acked_rpcs: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            first_error: None,
+            pair_pool: Arc::new(Mutex::new(Vec::new())),
+            scratch_pool: Arc::new(Mutex::new(Vec::new())),
+            inflight_hwm: 0,
+            backpressure_stalls: 0,
+            stall_time: std::time::Duration::ZERO,
         }
     }
 
     /// Override the per-database eager-flush limit.
     pub fn with_per_db_limit(mut self, limit: usize) -> AsyncWriteBatch {
         self.batch.per_db_limit = limit.max(1);
+        self
+    }
+
+    /// Override the in-flight flush window (minimum 1).
+    pub fn with_inflight_window(mut self, window: usize) -> AsyncWriteBatch {
+        self.window = window.max(1);
         self
     }
 
@@ -300,52 +389,159 @@ impl AsyncWriteBatch {
         subrun_event(subrun, number)
     }
 
-    fn ship(&mut self, db: DbTarget) {
-        let pairs = std::mem::take(self.batch.buffers.get_mut(&db).expect("entry exists"));
-        if pairs.is_empty() {
+    /// Record one completed flush's outcome.
+    fn absorb(&mut self, res: Result<(), HepnosError>) {
+        if let Err(e) = res {
+            if self.first_error.is_none() {
+                self.first_error = Some(e);
+            }
+        }
+    }
+
+    /// Reap every already-completed flush without blocking.
+    fn reap_completed(&mut self) {
+        for _ in 0..self.pending.len() {
+            let h = self.pending.pop_front().expect("len checked");
+            if h.is_finished() {
+                self.absorb(h.join());
+            } else {
+                self.pending.push_back(h);
+            }
+        }
+    }
+
+    /// Block until the window has room, running queued pool tasks while
+    /// waiting so a pool without dedicated executors still makes progress.
+    fn stall_until_window_open(&mut self) {
+        if self.pending.len() < self.window {
             return;
         }
+        self.backpressure_stalls += 1;
+        let t0 = std::time::Instant::now();
+        while self.pending.len() >= self.window {
+            self.reap_completed();
+            if self.pending.len() < self.window {
+                break;
+            }
+            if let Some(task) = self.pool.try_pop() {
+                task();
+                continue;
+            }
+            let h = self.pending.pop_front().expect("window is full");
+            match h.join_timeout(std::time::Duration::from_millis(1)) {
+                Ok(res) => self.absorb(res),
+                Err(h) => self.pending.push_front(h),
+            }
+        }
+        self.stall_time += t0.elapsed();
+    }
+
+    fn ship(&mut self, db: DbTarget) {
+        if self.batch.buffers.get(&db).is_none_or(|b| b.is_empty()) {
+            return;
+        }
+        // Reap finished flushes opportunistically on every ship, and block
+        // only when the in-flight window is genuinely full.
+        self.reap_completed();
+        self.stall_until_window_open();
+        let recycled = self.pair_pool.lock().pop().unwrap_or_default();
+        let pairs = std::mem::replace(
+            self.batch.buffers.get_mut(&db).expect("entry exists"),
+            recycled,
+        );
         self.batch.queued -= pairs.len();
         self.batch.flushed_pairs += pairs.len() as u64;
         self.batch.flush_rpcs += 1;
         let client = self.batch.store.inner.client.clone();
-        let errors = Arc::clone(&self.errors);
+        let acked_pairs = Arc::clone(&self.acked_pairs);
+        let acked_rpcs = Arc::clone(&self.acked_rpcs);
+        let pair_pool = Arc::clone(&self.pair_pool);
+        let scratch_pool = Arc::clone(&self.scratch_pool);
         let handle = self.pool.spawn(move || {
-            let res = client.put_multi(&db, &pairs).map_err(HepnosError::from);
-            if let Err(e) = &res {
-                errors.lock().push(e.clone());
-            }
+            let n = pairs.len() as u64;
+            // A panicking task would never set its join Eventual and hang
+            // wait() forever; catch it and surface it as an error instead.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut scratch = scratch_pool.lock().pop().unwrap_or_default();
+                let res = client.put_multi_with(&db, &pairs, &mut scratch);
+                scratch_pool.lock().push(scratch);
+                res
+            }));
+            let res = match outcome {
+                Ok(Ok(())) => {
+                    acked_pairs.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+                    acked_rpcs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    Ok(())
+                }
+                Ok(Err(e)) => Err(HepnosError::from(e)),
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    Err(HepnosError::Storage(yokan::YokanError::Backend(format!(
+                        "background flush panicked: {msg}"
+                    ))))
+                }
+            };
+            let mut pairs = pairs;
+            pairs.clear();
+            pair_pool.lock().push(pairs);
             res
         });
-        self.pending.push(handle);
+        self.pending.push_back(handle);
+        self.inflight_hwm = self.inflight_hwm.max(self.pending.len());
     }
 
     /// Ship every buffered group and wait for all background flushes;
-    /// returns the first error encountered.
+    /// returns the first error encountered (including pool-side panics).
+    /// Idempotent: a second call after an error returns `Ok`.
     pub fn wait(&mut self) -> Result<(), HepnosError> {
         let dbs: Vec<DbTarget> = self.batch.buffers.keys().cloned().collect();
         for db in dbs {
             self.ship(db);
         }
-        for h in self.pending.drain(..) {
-            let _ = h.join();
+        while let Some(h) = self.pending.pop_front() {
+            match h.join_timeout(std::time::Duration::from_millis(1)) {
+                Ok(res) => self.absorb(res),
+                Err(h) => {
+                    self.pending.push_front(h);
+                    // Help the pool drain while the oldest flush runs.
+                    if let Some(task) = self.pool.try_pop() {
+                        task();
+                    }
+                }
+            }
         }
-        let mut errs = self.errors.lock();
-        if let Some(e) = errs.first().cloned() {
-            errs.clear();
-            return Err(e);
+        match self.first_error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        Ok(())
     }
 
-    /// Pairs flushed so far (shipped to the pool).
+    /// Pairs shipped to the background pool so far (see
+    /// [`BatchStats::acked_pairs`] for what the service acknowledged).
     pub fn flushed_pairs(&self) -> u64 {
         self.batch.flushed_pairs
     }
 
-    /// Number of background `put_multi` RPCs issued.
+    /// Number of background `put_multi` RPCs shipped.
     pub fn flush_rpcs(&self) -> u64 {
         self.batch.flush_rpcs
+    }
+
+    /// Snapshot of the pipeline counters.
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            shipped_pairs: self.batch.flushed_pairs,
+            acked_pairs: self.acked_pairs.load(std::sync::atomic::Ordering::Relaxed),
+            flush_rpcs: self.batch.flush_rpcs,
+            acked_rpcs: self.acked_rpcs.load(std::sync::atomic::Ordering::Relaxed),
+            inflight_hwm: self.inflight_hwm,
+            backpressure_stalls: self.backpressure_stalls,
+            stall_time: self.stall_time,
+        }
     }
 }
 

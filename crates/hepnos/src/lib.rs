@@ -70,7 +70,7 @@ pub mod rescale;
 pub mod testing;
 mod uuid;
 
-pub use batch::{AsyncWriteBatch, WriteBatch};
+pub use batch::{AsyncWriteBatch, BatchStats, WriteBatch};
 pub use datastore::{DataSet, DataStore, Event, ProductLabel, Run, SubRun};
 pub use error::HepnosError;
 pub use keys::{EventNumber, RunNumber, SubRunNumber};

@@ -1,0 +1,187 @@
+//! Ingestion pipeline stress tests (paper §IV-C: batching + async writes).
+//!
+//! Exercises the bounded [`AsyncWriteBatch`] window end to end over the
+//! **tcp** transport — many concurrent writers, real sockets, a killed
+//! service — plus the backpressure path under an artificially slowed
+//! (latency-modeled) local deployment.
+
+use bedrock::{BackendKind, DbCounts, ServiceConfig};
+use hepnos::testing::local_deployment_with;
+use hepnos::{AsyncWriteBatch, DataStore, ProductLabel};
+use mercurio::tcp::TcpEndpoint;
+use mercurio::NetworkModel;
+
+fn counts() -> DbCounts {
+    DbCounts {
+        datasets: 1,
+        runs: 1,
+        subruns: 1,
+        events: 2,
+        products: 2,
+    }
+}
+
+const WINDOW: usize = 4;
+const EVENTS_PER_WRITER: u64 = 150;
+const WRITERS: u64 = 8;
+
+/// (a) every queued pair is readable afterwards and (b) `inflight_hwm`
+/// never exceeds the configured window, with 8 concurrent writers pushing
+/// through real sockets.
+#[test]
+fn eight_tcp_writers_bounded_window_no_loss() {
+    let server_ep = TcpEndpoint::bind(0).expect("bind server");
+    let config = ServiceConfig::hepnos_topology(counts(), BackendKind::Map, None);
+    let server = bedrock::launch(server_ep, &config).expect("server bootstrap");
+    let descriptor = server.descriptor().clone();
+
+    // Containers are created synchronously up front; the concurrent part
+    // under test is the product ingest.
+    let setup_ep = TcpEndpoint::bind(0).expect("bind setup client");
+    let setup = DataStore::connect(setup_ep, std::slice::from_ref(&descriptor)).expect("connect");
+    let ds = setup.root().create_dataset("stress").unwrap();
+    for w in 0..WRITERS {
+        ds.create_run(w).unwrap().create_subrun(0).unwrap();
+    }
+
+    let label = ProductLabel::new("payload");
+    let mut threads = Vec::new();
+    for w in 0..WRITERS {
+        let descriptor = descriptor.clone();
+        let label = label.clone();
+        threads.push(std::thread::spawn(move || {
+            let ep = TcpEndpoint::bind(0).expect("bind writer");
+            let store = DataStore::connect(ep, &[descriptor]).expect("connect writer");
+            let ds = store.dataset("stress").unwrap();
+            let sr = ds.run(w).unwrap().subrun(0).unwrap();
+            let uuid = ds.uuid().unwrap();
+            let rt = argos::Runtime::simple(2);
+            let mut batch = AsyncWriteBatch::new(&store, rt.default_pool().unwrap())
+                .with_per_db_limit(16)
+                .with_inflight_window(WINDOW);
+            for e in 0..EVENTS_PER_WRITER {
+                let ev = batch.create_event(&sr, &uuid, e).unwrap();
+                batch.store(&ev, &label, &((w << 32) | e)).unwrap();
+            }
+            batch.wait().unwrap();
+            let stats = batch.stats();
+            drop(batch);
+            rt.shutdown();
+            stats
+        }));
+    }
+    for t in threads {
+        let stats = t.join().expect("writer thread panicked");
+        assert!(
+            stats.inflight_hwm <= WINDOW,
+            "inflight_hwm {} exceeds window {WINDOW}",
+            stats.inflight_hwm
+        );
+        // After a clean wait() every shipped pair must be acknowledged.
+        assert_eq!(stats.acked_pairs, stats.shipped_pairs);
+        assert_eq!(stats.acked_rpcs, stats.flush_rpcs);
+        assert_eq!(stats.shipped_pairs, 2 * EVENTS_PER_WRITER);
+    }
+
+    // Every queued pair is readable afterwards.
+    for w in 0..WRITERS {
+        let sr = ds.run(w).unwrap().subrun(0).unwrap();
+        let events = sr.events().unwrap();
+        assert_eq!(events.len(), EVENTS_PER_WRITER as usize, "writer {w}");
+        for ev in events {
+            let (_, _, e) = ev.coordinates();
+            let got: u64 = ev.load(&label).unwrap().expect("product missing");
+            assert_eq!(got, (w << 32) | e);
+        }
+    }
+    server.shutdown();
+}
+
+/// (c) a killed service yields an error from `wait()` — not a hang, not
+/// silent loss.
+#[test]
+fn killed_service_surfaces_error_from_wait() {
+    let server_ep = TcpEndpoint::bind(0).expect("bind server");
+    let config = ServiceConfig::hepnos_topology(counts(), BackendKind::Map, None);
+    let server = bedrock::launch(server_ep, &config).expect("server bootstrap");
+    let descriptor = server.descriptor().clone();
+
+    let ep = TcpEndpoint::bind(0).expect("bind client");
+    let store = DataStore::connect(ep, &[descriptor]).expect("connect");
+    let ds = store.root().create_dataset("doomed").unwrap();
+    let sr = ds.create_run(0).unwrap().create_subrun(0).unwrap();
+    let uuid = ds.uuid().unwrap();
+
+    let rt = argos::Runtime::simple(2);
+    let label = ProductLabel::new("payload");
+    let mut batch = AsyncWriteBatch::new(&store, rt.default_pool().unwrap())
+        .with_per_db_limit(8)
+        .with_inflight_window(2);
+    for e in 0..32u64 {
+        let ev = batch.create_event(&sr, &uuid, e).unwrap();
+        batch.store(&ev, &label, &e).unwrap();
+    }
+    // Kill the service with work still buffered; the remaining groups are
+    // shipped by wait() into a dead socket.
+    server.shutdown();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    for e in 32..48u64 {
+        let ev = batch.create_event(&sr, &uuid, e).unwrap();
+        batch.store(&ev, &label, &e).unwrap();
+    }
+    let err = batch.wait();
+    assert!(err.is_err(), "wait() must report the dead service");
+    let stats = batch.stats();
+    assert!(
+        stats.acked_pairs < stats.shipped_pairs,
+        "acked {} must lag shipped {} after a failure",
+        stats.acked_pairs,
+        stats.shipped_pairs
+    );
+    // Drop after a consumed error must not panic (wait is idempotent).
+    drop(batch);
+    rt.shutdown();
+}
+
+/// Under an artificially slowed service the window fills and `ship()` must
+/// stall (backpressure), while never exceeding the window.
+#[test]
+fn slow_service_causes_backpressure_stalls() {
+    let dep = local_deployment_with(
+        1,
+        counts(),
+        BackendKind::Map,
+        None,
+        NetworkModel {
+            latency: std::time::Duration::from_millis(2),
+            ..Default::default()
+        },
+    );
+    let store = dep.datastore();
+    let ds = store.root().create_dataset("slow").unwrap();
+    let sr = ds.create_run(0).unwrap().create_subrun(0).unwrap();
+    let uuid = ds.uuid().unwrap();
+
+    let rt = argos::Runtime::simple(2);
+    let label = ProductLabel::new("payload");
+    let mut batch = AsyncWriteBatch::new(&store, rt.default_pool().unwrap())
+        .with_per_db_limit(8)
+        .with_inflight_window(2);
+    for e in 0..200u64 {
+        let ev = batch.create_event(&sr, &uuid, e).unwrap();
+        batch.store(&ev, &label, &e).unwrap();
+    }
+    batch.wait().unwrap();
+    let stats = batch.stats();
+    assert!(stats.inflight_hwm <= 2);
+    assert!(
+        stats.backpressure_stalls > 0,
+        "a 4ms-RTT service with a window of 2 must stall the producer"
+    );
+    assert!(stats.stall_time > std::time::Duration::ZERO);
+    assert_eq!(stats.acked_pairs, stats.shipped_pairs);
+    drop(batch);
+    rt.shutdown();
+    assert_eq!(sr.events().unwrap().len(), 200);
+    dep.shutdown();
+}

@@ -95,6 +95,15 @@ pub struct EndpointStats {
     pub bytes_received: u64,
     /// Bulk bytes pulled *from* this endpoint by remote peers.
     pub bulk_bytes_served: u64,
+    /// Frames handed to the send path (requests and responses).
+    pub frames_sent: u64,
+    /// Physical writes performed by the send path; with coalescing one
+    /// write can carry many frames, so `frames_sent / wire_writes` is the
+    /// achieved coalescing factor.
+    pub wire_writes: u64,
+    /// Times a sender blocked because the outbound queue was full
+    /// (transport backpressure propagated to the caller).
+    pub send_stalls: u64,
 }
 
 /// The common endpoint API implemented by [`crate::local::LocalEndpoint`] and

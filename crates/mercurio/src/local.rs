@@ -15,7 +15,7 @@ use crate::wire::{Frame, RpcId};
 use argos::Eventual;
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -128,6 +128,91 @@ struct Counters {
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
     bulk_bytes_served: AtomicU64,
+    frames_sent: AtomicU64,
+    wire_writes: AtomicU64,
+    send_stalls: AtomicU64,
+}
+
+/// One frame awaiting its endpoint's sender thread. `deliver` runs (through
+/// the fabric's delay line) when the injection charge succeeds; `fail` runs
+/// instead when the NIC budget is blown and the model fails on saturation.
+struct OutboundFrame {
+    len: usize,
+    deliver: DeliveryFn,
+    fail: Box<dyn FnOnce(RpcError) + Send + 'static>,
+}
+
+struct SenderState {
+    queue: VecDeque<OutboundFrame>,
+    closed: bool,
+}
+
+/// Bounded outbound queue drained by a per-endpoint sender thread — the
+/// local-transport mirror of the TCP writer thread. All frames drained
+/// together are charged to the injection gauge as ONE coalesced burst.
+struct Sender {
+    state: Mutex<SenderState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    max_queued: usize,
+    max_coalesce: usize,
+}
+
+impl Sender {
+    fn new(max_queued: usize, max_coalesce: usize) -> Sender {
+        Sender {
+            state: Mutex::new(SenderState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            max_queued: max_queued.max(1),
+            max_coalesce: max_coalesce.max(1),
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+fn sender_loop(ep: Arc<EndpointInner>, fabric: Arc<FabricInner>) {
+    let sender = ep.sender.as_ref().expect("sender loop without sender");
+    let mut batch: Vec<OutboundFrame> = Vec::new();
+    loop {
+        {
+            let mut st = sender.state.lock();
+            while st.queue.is_empty() {
+                if st.closed {
+                    return;
+                }
+                sender.not_empty.wait(&mut st);
+            }
+            let n = st.queue.len().min(sender.max_coalesce);
+            batch.extend(st.queue.drain(..n));
+        }
+        sender.not_full.notify_all();
+        let total: usize = batch.iter().map(|f| f.len).sum();
+        // One injection charge for the whole burst: the simulated NIC sees
+        // the coalesced write, not `batch.len()` individual frames.
+        let ok = ep.gauge.inject_burst(batch.len() as u64, total);
+        ep.counters
+            .frames_sent
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        ep.counters.wire_writes.fetch_add(1, Ordering::Relaxed);
+        if !ok && fabric.model.fail_on_saturation {
+            for f in batch.drain(..) {
+                (f.fail)(RpcError::NetworkSaturated);
+            }
+        } else {
+            for f in batch.drain(..) {
+                fabric.deliver(f.len, f.deliver);
+            }
+        }
+    }
 }
 
 struct EndpointInner {
@@ -140,7 +225,53 @@ struct EndpointInner {
     bulks: RwLock<HashMap<u64, Bytes>>,
     gauge: InjectionGauge,
     counters: Counters,
+    /// Present on non-ideal fabrics; `None` keeps the ideal model's fully
+    /// synchronous send path (tests rely on synchronous saturation errors).
+    sender: Option<Arc<Sender>>,
     down: AtomicBool,
+}
+
+impl EndpointInner {
+    /// Route one outbound frame through this endpoint's NIC. Queued to the
+    /// coalescing sender when one exists; otherwise charged and delivered
+    /// synchronously. A full queue blocks (counted as a send stall).
+    fn send_frame(
+        self: &Arc<Self>,
+        fabric: &Arc<FabricInner>,
+        len: usize,
+        deliver: DeliveryFn,
+        fail: Box<dyn FnOnce(RpcError) + Send + 'static>,
+    ) {
+        match &self.sender {
+            None => {
+                let ok = self.gauge.inject_burst(1, len);
+                self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+                self.counters.wire_writes.fetch_add(1, Ordering::Relaxed);
+                if !ok && fabric.model.fail_on_saturation {
+                    fail(RpcError::NetworkSaturated);
+                } else {
+                    fabric.deliver(len, deliver);
+                }
+            }
+            Some(sender) => {
+                let mut st = sender.state.lock();
+                if st.queue.len() >= sender.max_queued && !st.closed {
+                    self.counters.send_stalls.fetch_add(1, Ordering::Relaxed);
+                    while st.queue.len() >= sender.max_queued && !st.closed {
+                        sender.not_full.wait(&mut st);
+                    }
+                }
+                if st.closed {
+                    drop(st);
+                    fail(RpcError::Shutdown);
+                    return;
+                }
+                st.queue.push_back(OutboundFrame { len, deliver, fail });
+                drop(st);
+                sender.not_empty.notify_one();
+            }
+        }
+    }
 }
 
 struct FabricInner {
@@ -187,6 +318,15 @@ impl Fabric {
     /// unambiguous on a fabric.
     pub fn endpoint(&self, name: &str) -> Arc<LocalEndpoint> {
         let addr = format!("{SCHEME}{name}");
+        let model = &self.inner.model;
+        let sender = if model.is_ideal() {
+            None
+        } else {
+            Some(Arc::new(Sender::new(
+                model.send_queue_frames,
+                model.coalesce_frames,
+            )))
+        };
         let inner = Arc::new(EndpointInner {
             addr: addr.clone(),
             handlers: RwLock::new(HashMap::new()),
@@ -195,10 +335,19 @@ impl Fabric {
             next_req: AtomicU64::new(1),
             next_bulk: AtomicU64::new(1),
             bulks: RwLock::new(HashMap::new()),
-            gauge: InjectionGauge::new(&self.inner.model),
+            gauge: InjectionGauge::new(model),
             counters: Counters::default(),
+            sender,
             down: AtomicBool::new(false),
         });
+        if inner.sender.is_some() {
+            let ep = Arc::clone(&inner);
+            let fabric = Arc::clone(&self.inner);
+            std::thread::Builder::new()
+                .name(format!("mercurio-send-{name}"))
+                .spawn(move || sender_loop(ep, fabric))
+                .expect("failed to spawn sender thread");
+        }
         let mut eps = self.inner.endpoints.write();
         assert!(
             !eps.contains_key(&addr),
@@ -219,10 +368,15 @@ impl Fabric {
         v
     }
 
-    /// Stop the delay-line thread (if any). Endpoints remain usable with
-    /// synchronous delivery semantics afterwards only on an ideal model;
-    /// normally called at teardown.
+    /// Stop the sender threads and the delay-line thread (if any).
+    /// Endpoints remain usable with synchronous delivery semantics
+    /// afterwards only on an ideal model; normally called at teardown.
     pub fn stop(&self) {
+        for ep in self.inner.endpoints.read().values() {
+            if let Some(s) = &ep.sender {
+                s.close();
+            }
+        }
         if let Some(d) = &self.inner.delay {
             d.stop();
         }
@@ -268,12 +422,16 @@ impl LocalEndpoint {
         self.inner.gauge.saturation_events()
     }
 
-    fn check_injection(&self, bytes: usize) -> Result<(), RpcError> {
-        let ok = self.inner.gauge.inject(bytes);
-        if !ok && self.fabric.model.fail_on_saturation {
-            return Err(RpcError::NetworkSaturated);
-        }
-        Ok(())
+    /// Frames charged through the injection gauge.
+    pub fn injected_frames(&self) -> u64 {
+        self.inner.gauge.total_frames()
+    }
+
+    /// Injection charges made against the NIC token bucket — one per
+    /// coalesced burst, so `injected_frames / injection_bursts` is the
+    /// achieved coalescing factor on the simulated NIC.
+    pub fn injection_bursts(&self) -> u64 {
+        self.inner.gauge.bursts()
     }
 
     fn dispatch_request(
@@ -322,15 +480,14 @@ impl LocalEndpoint {
                 .counters
                 .bytes_sent
                 .fetch_add(resp_len as u64, Ordering::Relaxed);
-            let responder_ok = target2.gauge.inject(resp_len);
-            let result = if !responder_ok && fabric.model.fail_on_saturation {
-                Err(RpcError::NetworkSaturated)
-            } else {
-                result
-            };
             let caller = fabric.endpoints.read().get(&src_addr).cloned();
             if let Some(caller) = caller {
-                fabric.deliver(
+                // The response goes back out through the responder's NIC:
+                // queued to its coalescing sender (non-ideal models) and
+                // charged as part of whatever burst it lands in.
+                let caller2 = Arc::clone(&caller);
+                target2.send_frame(
+                    &fabric,
                     resp_len,
                     Box::new(move || {
                         caller
@@ -339,6 +496,11 @@ impl LocalEndpoint {
                             .fetch_add(resp_len as u64, Ordering::Relaxed);
                         if let Some(ev) = caller.pending.lock().remove(&req_id) {
                             ev.set(result);
+                        }
+                    }),
+                    Box::new(move |e| {
+                        if let Some(ev) = caller2.pending.lock().remove(&req_id) {
+                            ev.set(Err(e));
                         }
                     }),
                 );
@@ -395,15 +557,13 @@ impl Endpoint for LocalEndpoint {
             .counters
             .bytes_sent
             .fetch_add(frame_len as u64, Ordering::Relaxed);
-        if let Err(e) = self.check_injection(frame_len) {
-            return PendingResponse::failed(e);
-        }
         let ev = Eventual::new();
         self.inner.pending.lock().insert(req_id, ev.clone());
         let fabric = Arc::clone(&self.fabric);
         let src = self.inner.addr.clone();
-        let fabric2 = Arc::clone(&self.fabric);
-        self.fabric.deliver(
+        let caller = Arc::clone(&self.inner);
+        self.inner.send_frame(
+            &self.fabric,
             frame_len,
             Box::new(move || {
                 LocalEndpoint::dispatch_request(
@@ -416,8 +576,12 @@ impl Endpoint for LocalEndpoint {
                     payload,
                 );
             }),
+            Box::new(move |e| {
+                if let Some(ev) = caller.pending.lock().remove(&req_id) {
+                    ev.set(Err(e));
+                }
+            }),
         );
-        let _ = fabric2; // keep fabric alive for the closure's lifetime
         PendingResponse::new(ev)
     }
 
@@ -491,12 +655,18 @@ impl Endpoint for LocalEndpoint {
             bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
             bytes_received: c.bytes_received.load(Ordering::Relaxed),
             bulk_bytes_served: c.bulk_bytes_served.load(Ordering::Relaxed),
+            frames_sent: c.frames_sent.load(Ordering::Relaxed),
+            wire_writes: c.wire_writes.load(Ordering::Relaxed),
+            send_stalls: c.send_stalls.load(Ordering::Relaxed),
         }
     }
 
     fn shutdown(&self) {
         self.inner.down.store(true, Ordering::Release);
         self.fabric.endpoints.write().remove(&self.inner.addr);
+        if let Some(s) = &self.inner.sender {
+            s.close();
+        }
         let mut pending = self.inner.pending.lock();
         for (_, ev) in pending.drain() {
             ev.set(Err(RpcError::Shutdown));
@@ -638,6 +808,31 @@ mod tests {
         let err = c.call(&s.address(), RpcId(1), 0, payload).unwrap_err();
         assert_eq!(err, RpcError::NetworkSaturated);
         assert_eq!(c.saturation_events(), 1);
+    }
+
+    #[test]
+    fn coalesced_bursts_charge_gauge_once_per_drain() {
+        let fabric = Fabric::new(NetworkModel {
+            latency: Duration::from_millis(2),
+            ..Default::default()
+        });
+        let s = fabric.endpoint("s");
+        let c = fabric.endpoint("c");
+        s.register(RpcId(1), echo_handler());
+        let pending: Vec<_> = (0..32u8)
+            .map(|i| c.call_async(&s.address(), RpcId(1), 0, Bytes::copy_from_slice(&[i])))
+            .collect();
+        for (i, p) in pending.into_iter().enumerate() {
+            assert_eq!(p.wait().unwrap()[0] as usize, i);
+        }
+        let st = c.stats();
+        assert_eq!(st.frames_sent, 32);
+        assert!(st.wire_writes >= 1 && st.wire_writes <= st.frames_sent);
+        // The NIC token bucket is charged once per drained burst, never
+        // per frame: gauge charges mirror physical writes exactly.
+        assert_eq!(c.injected_frames(), 32);
+        assert_eq!(c.injection_bursts(), st.wire_writes);
+        fabric.stop();
     }
 
     #[test]

@@ -26,6 +26,13 @@ pub struct NetworkModel {
     /// [`crate::RpcError::NetworkSaturated`] instead of being throttled —
     /// the Aries NIC failure mode the paper reports.
     pub fail_on_saturation: bool,
+    /// Bound of the per-endpoint outbound frame queue used by the
+    /// coalescing sender (non-ideal models only); a full queue blocks the
+    /// sender, mirroring the TCP transport's backpressure.
+    pub send_queue_frames: usize,
+    /// Maximum frames the sender charges to the NIC as one coalesced
+    /// burst. `1` degenerates to per-frame injection accounting.
+    pub coalesce_frames: usize,
 }
 
 impl Default for NetworkModel {
@@ -38,6 +45,8 @@ impl Default for NetworkModel {
             injection_bandwidth: f64::INFINITY,
             injection_window: Duration::from_millis(100),
             fail_on_saturation: false,
+            send_queue_frames: 256,
+            coalesce_frames: 64,
         }
     }
 }
@@ -52,6 +61,8 @@ impl NetworkModel {
             injection_bandwidth: 8.0e9,
             injection_window: Duration::from_millis(50),
             fail_on_saturation: false,
+            send_queue_frames: 256,
+            coalesce_frames: 64,
         }
     }
 
@@ -82,6 +93,8 @@ struct GaugeState {
     window_start: Instant,
     bytes_in_window: u64,
     total_bytes: u64,
+    total_frames: u64,
+    bursts: u64,
     saturation_events: u64,
 }
 
@@ -99,6 +112,8 @@ impl InjectionGauge {
                 window_start: Instant::now(),
                 bytes_in_window: 0,
                 total_bytes: 0,
+                total_frames: 0,
+                bursts: 0,
                 saturation_events: 0,
             }),
         }
@@ -108,6 +123,14 @@ impl InjectionGauge {
     /// pushed the window over budget (the caller decides whether that means
     /// failure or throttling).
     pub fn inject(&self, bytes: usize) -> bool {
+        self.inject_burst(1, bytes)
+    }
+
+    /// Record a coalesced burst of `frames` frames totalling `bytes`. The
+    /// token bucket is charged once for the whole burst — the NIC sees one
+    /// injection, not `frames` of them. Returns `false` if the burst pushed
+    /// the window over budget.
+    pub fn inject_burst(&self, frames: u64, bytes: usize) -> bool {
         let mut st = self.state.lock();
         let now = Instant::now();
         if now.duration_since(st.window_start) >= self.window {
@@ -116,6 +139,8 @@ impl InjectionGauge {
         }
         st.bytes_in_window += bytes as u64;
         st.total_bytes += bytes as u64;
+        st.total_frames += frames;
+        st.bursts += 1;
         let ok =
             self.budget_bytes.is_infinite() || (st.bytes_in_window as f64) <= self.budget_bytes;
         if !ok {
@@ -127,6 +152,17 @@ impl InjectionGauge {
     /// Total bytes ever injected through this gauge.
     pub fn total_bytes(&self) -> u64 {
         self.state.lock().total_bytes
+    }
+
+    /// Total frames ever injected (a burst of N frames counts N).
+    pub fn total_frames(&self) -> u64 {
+        self.state.lock().total_frames
+    }
+
+    /// Number of injection charges (a coalesced burst counts once), so
+    /// `total_frames / bursts` is the achieved coalescing factor.
+    pub fn bursts(&self) -> u64 {
+        self.state.lock().bursts
     }
 
     /// Number of sends that exceeded the budget.
@@ -179,6 +215,27 @@ mod tests {
         assert!(!g.inject(600)); // 1200 > 1000 budget
         assert_eq!(g.saturation_events(), 1);
         assert_eq!(g.total_bytes(), 1200);
+    }
+
+    #[test]
+    fn burst_charges_bucket_once() {
+        let m = NetworkModel {
+            injection_bandwidth: 1000.0,
+            injection_window: Duration::from_secs(1),
+            ..Default::default()
+        };
+        let g = InjectionGauge::new(&m);
+        // Eight 100-byte frames as one burst: within the 1000-byte budget,
+        // one charge, no saturation.
+        assert!(g.inject_burst(8, 800));
+        assert_eq!(g.bursts(), 1);
+        assert_eq!(g.total_frames(), 8);
+        assert_eq!(g.total_bytes(), 800);
+        assert_eq!(g.saturation_events(), 0);
+        // A second burst trips the budget exactly once, not per frame.
+        assert!(!g.inject_burst(4, 400));
+        assert_eq!(g.saturation_events(), 1);
+        assert_eq!(g.bursts(), 2);
     }
 
     #[test]

@@ -82,6 +82,22 @@ pub struct IngestStats {
     pub events: u64,
     /// Slices stored (rows).
     pub slices: u64,
+    /// Write-pipeline counters of the product batch, when the overlapped
+    /// (async) path was used.
+    pub batch: Option<hepnos::BatchStats>,
+}
+
+impl IngestStats {
+    /// Fold another loader's statistics into this one (batch counters
+    /// aggregate per [`hepnos::BatchStats::merge`]).
+    pub fn merge(&mut self, other: &IngestStats) {
+        self.files += other.files;
+        self.events += other.events;
+        self.slices += other.slices;
+        if let Some(b) = &other.batch {
+            self.batch.get_or_insert_with(Default::default).merge(b);
+        }
+    }
 }
 
 /// Errors from ingestion.
@@ -191,24 +207,36 @@ impl DataLoader {
         let mut containers = hepnos::WriteBatch::new(&self.store);
         let mut products = hepnos::AsyncWriteBatch::new(&self.store, pool);
         let mut current: Option<(u64, u64, hepnos::SubRun)> = None;
-        for ev in events {
-            let subrun = match &current {
-                Some((r, s, sr)) if (*r, *s) == (ev.run, ev.subrun) => sr.clone(),
-                _ => {
-                    let run = containers.create_run(&self.dataset, ev.run)?;
-                    let sr = containers.create_subrun(&run, ev.subrun)?;
-                    current = Some((ev.run, ev.subrun, sr.clone()));
-                    sr
-                }
-            };
-            let event = containers.create_event(&subrun, &uuid, ev.event)?;
-            products.store(&event, &label, &ev.slices)?;
-            products.store(&event, &summary_label(), &ev.summary())?;
-            stats.events += 1;
-            stats.slices += ev.slices.len() as u64;
-        }
-        containers.flush()?;
-        products.wait()?;
+        let mut body = || -> Result<(), LoaderError> {
+            for ev in events {
+                let subrun = match &current {
+                    Some((r, s, sr)) if (*r, *s) == (ev.run, ev.subrun) => sr.clone(),
+                    _ => {
+                        let run = containers.create_run(&self.dataset, ev.run)?;
+                        let sr = containers.create_subrun(&run, ev.subrun)?;
+                        current = Some((ev.run, ev.subrun, sr.clone()));
+                        sr
+                    }
+                };
+                let event = containers.create_event(&subrun, &uuid, ev.event)?;
+                products.store(&event, &label, &ev.slices)?;
+                products.store(&event, &summary_label(), &ev.summary())?;
+                stats.events += 1;
+                stats.slices += ev.slices.len() as u64;
+            }
+            Ok(())
+        };
+        let body_result = body();
+        // Both batches are drained unconditionally: their destructors panic
+        // on an unreported flush failure, so an early error from one channel
+        // must not reach the other's `Drop` unconsumed (a dead service would
+        // otherwise turn a clean `Err` into a loader-thread panic).
+        let flush_result = containers.flush();
+        let wait_result = products.wait();
+        body_result?;
+        flush_result?;
+        wait_result?;
+        stats.batch = Some(products.stats());
         Ok(stats)
     }
 
@@ -271,6 +299,54 @@ pub fn parallel_ingest(
         total.files += s.files;
         total.events += s.events;
         total.slices += s.slices;
+    }
+    Ok(total)
+}
+
+/// File-parallel ingest through the *overlapped* write pipeline: like
+/// [`parallel_ingest`], but each loader ships product payloads through an
+/// [`hepnos::AsyncWriteBatch`] flushing on `pool` — the paper's
+/// batching + async combination (§IV-C). The returned
+/// [`IngestStats::batch`] aggregates the per-loader pipeline counters.
+pub fn parallel_ingest_overlapped(
+    store: &DataStore,
+    dataset: &DataSet,
+    paths: &[std::path::PathBuf],
+    n_loaders: usize,
+    pool: argos::Pool,
+) -> Result<IngestStats, LoaderError> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let n_loaders = n_loaders.max(1);
+    let results: Vec<Result<IngestStats, LoaderError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_loaders)
+            .map(|_| {
+                let next = &next;
+                let pool = pool.clone();
+                let loader = DataLoader::new(store.clone(), dataset.clone());
+                scope.spawn(move || {
+                    let mut total = IngestStats::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(path) = paths.get(i) else {
+                            return Ok(total);
+                        };
+                        let events = files::read_file(path)?;
+                        let s = loader.ingest_events_overlapped(&events, pool.clone())?;
+                        total.merge(&s);
+                        total.files += 1;
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loader thread panicked"))
+            .collect()
+    });
+    let mut total = IngestStats::default();
+    for r in results {
+        total.merge(&r?);
     }
     Ok(total)
 }

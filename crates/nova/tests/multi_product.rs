@@ -103,6 +103,66 @@ fn overlapped_ingest_matches_synchronous() {
     dep.shutdown();
 }
 
+/// Regression: an ingest hitting a dead service must come back as `Err`
+/// from `ingest_events_overlapped`, not as a loader panic — the batches'
+/// destructors panic on unreported failures, so the loader has to drain
+/// both error channels before they drop.
+#[test]
+fn overlapped_ingest_surfaces_dead_service_as_error() {
+    let dep = local_deployment(1, DbCounts::default());
+    let store = dep.datastore();
+    let ds = store.root().create_dataset("doomed").unwrap();
+    let gen = NovaGenerator::new(78);
+    let events = files::generate_file_events(&gen, 0, 40);
+    let rt = argos::Runtime::simple(2);
+    dep.shutdown();
+    let result = DataLoader::new(store.clone(), ds.clone())
+        .ingest_events_overlapped(&events, rt.default_pool().unwrap());
+    assert!(
+        result.is_err(),
+        "a dead service must yield Err, not a panic"
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn parallel_overlapped_ingest_matches_files() {
+    let dir = std::env::temp_dir().join(format!("nova-par-overlap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let gen = NovaGenerator::new(79);
+    let paths = files::write_dataset(&dir.join("data"), &gen, 5, 30).unwrap();
+    let dep = local_deployment(1, DbCounts::default());
+    let store = dep.datastore();
+    let ds = store.root().create_dataset("par-overlap").unwrap();
+    let rt = argos::Runtime::simple(2);
+    let stats = nova::loader::parallel_ingest_overlapped(
+        &store,
+        &ds,
+        &paths,
+        3,
+        rt.default_pool().unwrap(),
+    )
+    .unwrap();
+    assert_eq!(stats.files, 5);
+    let mut total = 0u64;
+    for (f, path) in paths.iter().enumerate() {
+        let file_events = files::read_file(path).unwrap();
+        let (r, s) = files::file_coordinates(f as u64);
+        let sr = ds.run(r).unwrap().subrun(s).unwrap();
+        assert_eq!(sr.events().unwrap().len(), file_events.len());
+        total += file_events.len() as u64;
+    }
+    assert_eq!(stats.events, total);
+    // The aggregated pipeline counters must balance after a clean ingest.
+    let batch = stats.batch.expect("overlapped ingest reports batch stats");
+    assert_eq!(batch.acked_pairs, batch.shipped_pairs);
+    assert_eq!(batch.acked_rpcs, batch.flush_rpcs);
+    assert_eq!(batch.shipped_pairs, 2 * total);
+    rt.shutdown();
+    dep.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn cosmic_sample_flows_through_the_pipeline() {
     // The 12x-rate cosmic sample (§III-A) must flow through files and

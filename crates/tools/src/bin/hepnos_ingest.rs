@@ -3,20 +3,24 @@
 //! ```text
 //! hepnos-ingest --connect descriptors.json --dataset path/to/ds
 //!               --input DIR [--loaders N] [--generate FILESxEVENTS --seed S]
+//!               [--overlap [--xstreams N]]
 //! ```
 //!
 //! Ingests every `*.hepf` file under `--input` into the target dataset,
 //! file-parallel across `--loaders` ranks. With `--generate`, a synthetic
 //! NOvA-layout dataset is produced into `--input` first (useful for
-//! demos on a fresh deployment).
+//! demos on a fresh deployment). With `--overlap`, product payloads ship
+//! through the asynchronous write pipeline (bounded in-flight flushes on
+//! an `--xstreams`-wide pool) and the pipeline counters are reported.
 
 use hepnos_tools::{connect, Args};
-use nova::loader::parallel_ingest;
+use nova::loader::{parallel_ingest, parallel_ingest_overlapped};
 use nova::NovaGenerator;
 use std::path::{Path, PathBuf};
 
 const USAGE: &str = "hepnos-ingest --connect descriptors.json --dataset PATH --input DIR \
-                     [--loaders N] [--generate FILESxEVENTS --seed S]";
+                     [--loaders N] [--generate FILESxEVENTS --seed S] \
+                     [--overlap [--xstreams N]]";
 
 fn main() {
     let args = Args::from_env();
@@ -64,8 +68,19 @@ fn main() {
             eprintln!("cannot create dataset: {e}");
             std::process::exit(1);
         });
+    let overlap = args.get("overlap").is_some();
+    let xstreams: usize = args.get_or("xstreams", "2").parse().unwrap_or(2);
     let t = std::time::Instant::now();
-    let stats = parallel_ingest(&store, &ds, &paths, loaders).unwrap_or_else(|e| {
+    let stats = if overlap {
+        let rt = argos::Runtime::simple(xstreams.max(1));
+        let pool = rt.default_pool().expect("runtime pool");
+        let result = parallel_ingest_overlapped(&store, &ds, &paths, loaders, pool);
+        rt.shutdown();
+        result
+    } else {
+        parallel_ingest(&store, &ds, &paths, loaders)
+    }
+    .unwrap_or_else(|e| {
         eprintln!("ingest failed: {e}");
         std::process::exit(1);
     });
@@ -78,4 +93,16 @@ fn main() {
         stats.slices,
         stats.events as f64 / dt.as_secs_f64()
     );
+    if let Some(b) = stats.batch {
+        println!(
+            "pipeline: {} pairs acked/{} shipped in {} flush rpcs, \
+             inflight hwm {}, {} backpressure stalls ({:.2?} stalled)",
+            b.acked_pairs,
+            b.shipped_pairs,
+            b.acked_rpcs,
+            b.inflight_hwm,
+            b.backpressure_stalls,
+            b.stall_time
+        );
+    }
 }

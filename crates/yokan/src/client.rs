@@ -94,6 +94,17 @@ impl YokanClient {
         self.put_multi_async(target, pairs)?.wait()
     }
 
+    /// [`YokanClient::put_multi`] encoding through a caller-owned scratch
+    /// buffer (see [`YokanClient::put_multi_async_with`]).
+    pub fn put_multi_with(
+        &self,
+        target: &DbTarget,
+        pairs: &[(Vec<u8>, Vec<u8>)],
+        scratch: &mut BytesMut,
+    ) -> Result<(), YokanError> {
+        self.put_multi_async_with(target, pairs, scratch)?.wait()
+    }
+
     /// Asynchronous [`YokanClient::put_multi`]; the returned handle must be
     /// waited on (it also releases the bulk region, if one was used).
     pub fn put_multi_async(
@@ -101,23 +112,56 @@ impl YokanClient {
         target: &DbTarget,
         pairs: &[(Vec<u8>, Vec<u8>)],
     ) -> Result<PendingPut, YokanError> {
-        let block = encode_pairs(pairs);
-        let mut buf = Self::header(target, 1 + block.len().min(self.bulk_threshold) + 24);
-        let bulk = if block.len() > self.bulk_threshold {
-            buf.put_u8(MODE_BULK);
-            let handle = self.endpoint.expose_bulk(block);
-            handle.encode_into(&mut buf);
-            Some(handle)
+        let mut scratch = BytesMut::new();
+        self.put_multi_async_with(target, pairs, &mut scratch)
+    }
+
+    /// [`YokanClient::put_multi_async`] with zero-realloc encoding: the
+    /// exact payload size is computed up front, reserved once in `scratch`,
+    /// and the pairs are encoded straight into it — no intermediate block
+    /// buffer, no growth reallocations. Long-lived writers (e.g. the
+    /// `AsyncWriteBatch` flusher threads) keep one scratch buffer each and
+    /// pass it to every flush.
+    pub fn put_multi_async_with(
+        &self,
+        target: &DbTarget,
+        pairs: &[(Vec<u8>, Vec<u8>)],
+        scratch: &mut BytesMut,
+    ) -> Result<PendingPut, YokanError> {
+        let block_len = pairs_encoded_len(pairs);
+        scratch.clear();
+        let bulk = if block_len > self.bulk_threshold {
+            // Bulk mode: the pair block itself is exposed for the server to
+            // pull; only a small header travels inline.
+            scratch.reserve(block_len);
+            encode_pairs_into(scratch, pairs);
+            let block = scratch.split_to(block_len).freeze();
+            Some(self.endpoint.expose_bulk(block))
         } else {
-            buf.put_u8(MODE_INLINE);
-            buf.put_slice(&block);
             None
+        };
+        let header_len = 4 + target.db.len() + 1;
+        let payload = match &bulk {
+            Some(handle) => {
+                let mut buf = BytesMut::with_capacity(header_len + 24);
+                put_bytes(&mut buf, target.db.as_bytes());
+                buf.put_u8(MODE_BULK);
+                handle.encode_into(&mut buf);
+                buf.freeze()
+            }
+            None => {
+                scratch.reserve(header_len + block_len);
+                put_bytes(scratch, target.db.as_bytes());
+                scratch.put_u8(MODE_INLINE);
+                encode_pairs_into(scratch, pairs);
+                scratch.split_to(header_len + block_len).freeze()
+            }
         };
         let pending = self.endpoint.call_async(
             &target.addr,
             RpcId(OP_PUT_MULTI),
             target.provider_id,
-            buf.freeze(),
+            payload,
         );
         Ok(PendingPut {
             pending,

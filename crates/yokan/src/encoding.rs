@@ -42,16 +42,31 @@ pub(crate) fn get_u8(buf: &mut Bytes) -> Result<u8, YokanError> {
     Ok(buf.get_u8())
 }
 
+/// Exact number of bytes [`encode_pairs_into`] will append for `pairs`.
+/// Computing this up front lets callers reserve once and never reallocate
+/// while encoding — the hot path of every batched ingest RPC.
+pub(crate) fn pairs_encoded_len(pairs: &[crate::backend::KeyValue]) -> usize {
+    4 + pairs
+        .iter()
+        .map(|(k, v)| 8 + k.len() + v.len())
+        .sum::<usize>()
+}
+
+/// Append the encoded pair block to `buf`. Callers are expected to have
+/// reserved [`pairs_encoded_len`] bytes already.
+pub(crate) fn encode_pairs_into(buf: &mut BytesMut, pairs: &[crate::backend::KeyValue]) {
+    buf.put_u32_le(pairs.len() as u32);
+    for (k, v) in pairs {
+        put_bytes(buf, k);
+        put_bytes(buf, v);
+    }
+}
+
 /// Encode a list of `(key, value)` pairs into one contiguous buffer
 /// (used both inline and as a bulk payload).
 pub(crate) fn encode_pairs(pairs: &[crate::backend::KeyValue]) -> Bytes {
-    let total: usize = pairs.iter().map(|(k, v)| 8 + k.len() + v.len()).sum();
-    let mut buf = BytesMut::with_capacity(4 + total);
-    buf.put_u32_le(pairs.len() as u32);
-    for (k, v) in pairs {
-        put_bytes(&mut buf, k);
-        put_bytes(&mut buf, v);
-    }
+    let mut buf = BytesMut::with_capacity(pairs_encoded_len(pairs));
+    encode_pairs_into(&mut buf, pairs);
     buf.freeze()
 }
 

@@ -111,7 +111,12 @@ impl BufMut for Vec<u8> {
 // ---------------------------------------------------------------------------
 
 enum Repr {
-    Shared(Arc<[u8]>),
+    // `Arc<Vec<u8>>` rather than `Arc<[u8]>`: converting a `Vec` into an
+    // `Arc<[u8]>` must copy the data into a fresh allocation (the refcount
+    // header lives inline), which made every `BytesMut::freeze` on the RPC
+    // hot path a full buffer copy. Wrapping the `Vec` itself keeps freeze
+    // zero-copy at the cost of carrying the Vec's spare capacity along.
+    Shared(Arc<Vec<u8>>),
     Static(&'static [u8]),
 }
 
@@ -259,10 +264,9 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        let arc: Arc<[u8]> = Arc::from(v.into_boxed_slice());
-        let len = arc.len();
+        let len = v.len();
         Bytes {
-            repr: Repr::Shared(arc),
+            repr: Repr::Shared(Arc::new(v)),
             start: 0,
             end: len,
         }
@@ -283,13 +287,7 @@ impl From<String> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(b: Box<[u8]>) -> Bytes {
-        let arc: Arc<[u8]> = Arc::from(b);
-        let len = arc.len();
-        Bytes {
-            repr: Repr::Shared(arc),
-            start: 0,
-            end: len,
-        }
+        Bytes::from(b.into_vec())
     }
 }
 

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_backend-174c559ef8075378.d: crates/bench/benches/ablation_backend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_backend-174c559ef8075378.rmeta: crates/bench/benches/ablation_backend.rs Cargo.toml
+
+crates/bench/benches/ablation_backend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

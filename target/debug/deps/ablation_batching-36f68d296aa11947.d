@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_batching-36f68d296aa11947.d: crates/bench/benches/ablation_batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_batching-36f68d296aa11947.rmeta: crates/bench/benches/ablation_batching.rs Cargo.toml
+
+crates/bench/benches/ablation_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pep_batch-8bcb0ce3b0a3aa55.d: crates/bench/benches/ablation_pep_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pep_batch-8bcb0ce3b0a3aa55.rmeta: crates/bench/benches/ablation_pep_batch.rs Cargo.toml
+
+crates/bench/benches/ablation_pep_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

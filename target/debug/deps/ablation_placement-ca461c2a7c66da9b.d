@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_placement-ca461c2a7c66da9b.d: crates/bench/benches/ablation_placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_placement-ca461c2a7c66da9b.rmeta: crates/bench/benches/ablation_placement.rs Cargo.toml
+
+crates/bench/benches/ablation_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_models-7dc073a9b5b4deae.d: crates/bench/benches/fig_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_models-7dc073a9b5b4deae.rmeta: crates/bench/benches/fig_models.rs Cargo.toml
+
+crates/bench/benches/fig_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

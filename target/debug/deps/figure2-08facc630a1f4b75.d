@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure2-08facc630a1f4b75.d: crates/bench/src/bin/figure2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure2-08facc630a1f4b75.rmeta: crates/bench/src/bin/figure2.rs Cargo.toml
+
+crates/bench/src/bin/figure2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-2d6ac6361490f492.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-2d6ac6361490f492: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-063c747ca2a1ca13.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-063c747ca2a1ca13: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hepnos_bench-690c973777bcc412.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhepnos_bench-690c973777bcc412.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhepnos_bench-690c973777bcc412.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hepnos_bench-91b03d7eeea84730.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhepnos_bench-91b03d7eeea84730.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hepnos_bench-a3775b4d3586a467.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hepnos_bench-a3775b4d3586a467: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

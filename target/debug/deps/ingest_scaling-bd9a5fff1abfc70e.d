@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ingest_scaling-bd9a5fff1abfc70e.d: crates/bench/src/bin/ingest_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libingest_scaling-bd9a5fff1abfc70e.rmeta: crates/bench/src/bin/ingest_scaling.rs Cargo.toml
+
+crates/bench/src/bin/ingest_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ingest_scaling-eab69f4131a29c36.d: crates/bench/src/bin/ingest_scaling.rs
+
+/root/repo/target/debug/deps/ingest_scaling-eab69f4131a29c36: crates/bench/src/bin/ingest_scaling.rs
+
+crates/bench/src/bin/ingest_scaling.rs:

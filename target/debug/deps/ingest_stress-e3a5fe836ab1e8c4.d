@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ingest_stress-e3a5fe836ab1e8c4.d: crates/hepnos/tests/ingest_stress.rs
+
+/root/repo/target/debug/deps/ingest_stress-e3a5fe836ab1e8c4: crates/hepnos/tests/ingest_stress.rs
+
+crates/hepnos/tests/ingest_stress.rs:

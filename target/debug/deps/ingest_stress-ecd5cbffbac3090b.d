@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ingest_stress-ecd5cbffbac3090b.d: crates/hepnos/tests/ingest_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libingest_stress-ecd5cbffbac3090b.rmeta: crates/hepnos/tests/ingest_stress.rs Cargo.toml
+
+crates/hepnos/tests/ingest_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

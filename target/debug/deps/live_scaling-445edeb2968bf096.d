@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_scaling-445edeb2968bf096.d: crates/bench/src/bin/live_scaling.rs
+
+/root/repo/target/debug/deps/live_scaling-445edeb2968bf096: crates/bench/src/bin/live_scaling.rs
+
+crates/bench/src/bin/live_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/live_scaling-8d4d2bf5127e2144.d: crates/bench/src/bin/live_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblive_scaling-8d4d2bf5127e2144.rmeta: crates/bench/src/bin/live_scaling.rs Cargo.toml
+
+crates/bench/src/bin/live_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/live_scaling-c5c57b28e74ec1e3.d: crates/bench/src/bin/live_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblive_scaling-c5c57b28e74ec1e3.rmeta: crates/bench/src/bin/live_scaling.rs Cargo.toml
+
+crates/bench/src/bin/live_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

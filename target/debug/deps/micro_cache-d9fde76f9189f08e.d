@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_cache-d9fde76f9189f08e.d: crates/bench/benches/micro_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_cache-d9fde76f9189f08e.rmeta: crates/bench/benches/micro_cache.rs Cargo.toml
+
+crates/bench/benches/micro_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

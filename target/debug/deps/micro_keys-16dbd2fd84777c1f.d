@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_keys-16dbd2fd84777c1f.d: crates/bench/benches/micro_keys.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_keys-16dbd2fd84777c1f.rmeta: crates/bench/benches/micro_keys.rs Cargo.toml
+
+crates/bench/benches/micro_keys.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_lsm-c7adba7ea03c62d4.d: crates/bench/benches/micro_lsm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_lsm-c7adba7ea03c62d4.rmeta: crates/bench/benches/micro_lsm.rs Cargo.toml
+
+crates/bench/benches/micro_lsm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_wire-dfdc445fb8e72728.d: crates/bench/benches/micro_wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_wire-dfdc445fb8e72728.rmeta: crates/bench/benches/micro_wire.rs Cargo.toml
+
+crates/bench/benches/micro_wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

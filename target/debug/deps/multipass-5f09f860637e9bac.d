@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multipass-5f09f860637e9bac.d: crates/bench/src/bin/multipass.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultipass-5f09f860637e9bac.rmeta: crates/bench/src/bin/multipass.rs Cargo.toml
+
+crates/bench/src/bin/multipass.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

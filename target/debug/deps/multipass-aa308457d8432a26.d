@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multipass-aa308457d8432a26.d: crates/bench/src/bin/multipass.rs
+
+/root/repo/target/debug/deps/multipass-aa308457d8432a26: crates/bench/src/bin/multipass.rs
+
+crates/bench/src/bin/multipass.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multipass-f70d7193e98642ce.d: crates/bench/src/bin/multipass.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultipass-f70d7193e98642ce.rmeta: crates/bench/src/bin/multipass.rs Cargo.toml
+
+crates/bench/src/bin/multipass.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/weak_scaling-32b27af06f5d3ec1.d: crates/bench/src/bin/weak_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweak_scaling-32b27af06f5d3ec1.rmeta: crates/bench/src/bin/weak_scaling.rs Cargo.toml
+
+crates/bench/src/bin/weak_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weak_scaling-409948f07e5b4353.d: crates/bench/src/bin/weak_scaling.rs
+
+/root/repo/target/debug/deps/weak_scaling-409948f07e5b4353: crates/bench/src/bin/weak_scaling.rs
+
+crates/bench/src/bin/weak_scaling.rs:

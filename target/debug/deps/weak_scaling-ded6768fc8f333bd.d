@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/weak_scaling-ded6768fc8f333bd.d: crates/bench/src/bin/weak_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweak_scaling-ded6768fc8f333bd.rmeta: crates/bench/src/bin/weak_scaling.rs Cargo.toml
+
+crates/bench/src/bin/weak_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-f0f1c426b071b3d3.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-f0f1c426b071b3d3: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-71d70ec2857b78b8.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-71d70ec2857b78b8: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hepnos_bench-9b4f599093ffd54f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhepnos_bench-9b4f599093ffd54f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhepnos_bench-9b4f599093ffd54f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

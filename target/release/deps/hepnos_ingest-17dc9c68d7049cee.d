@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hepnos_ingest-17dc9c68d7049cee.d: crates/tools/src/bin/hepnos_ingest.rs
+
+/root/repo/target/release/deps/hepnos_ingest-17dc9c68d7049cee: crates/tools/src/bin/hepnos_ingest.rs
+
+crates/tools/src/bin/hepnos_ingest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hepnos_ls-ce18e2eccd12af68.d: crates/tools/src/bin/hepnos_ls.rs
+
+/root/repo/target/release/deps/hepnos_ls-ce18e2eccd12af68: crates/tools/src/bin/hepnos_ls.rs
+
+crates/tools/src/bin/hepnos_ls.rs:

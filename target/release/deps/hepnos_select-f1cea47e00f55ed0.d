@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hepnos_select-f1cea47e00f55ed0.d: crates/tools/src/bin/hepnos_select.rs
+
+/root/repo/target/release/deps/hepnos_select-f1cea47e00f55ed0: crates/tools/src/bin/hepnos_select.rs
+
+crates/tools/src/bin/hepnos_select.rs:

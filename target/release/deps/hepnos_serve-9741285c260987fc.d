@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hepnos_serve-9741285c260987fc.d: crates/tools/src/bin/hepnos_serve.rs
+
+/root/repo/target/release/deps/hepnos_serve-9741285c260987fc: crates/tools/src/bin/hepnos_serve.rs
+
+crates/tools/src/bin/hepnos_serve.rs:

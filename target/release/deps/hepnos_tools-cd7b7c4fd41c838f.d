@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hepnos_tools-cd7b7c4fd41c838f.d: crates/tools/src/lib.rs
+
+/root/repo/target/release/deps/libhepnos_tools-cd7b7c4fd41c838f.rlib: crates/tools/src/lib.rs
+
+/root/repo/target/release/deps/libhepnos_tools-cd7b7c4fd41c838f.rmeta: crates/tools/src/lib.rs
+
+crates/tools/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ingest_scaling-85869ac494e6f0ad.d: crates/bench/src/bin/ingest_scaling.rs
+
+/root/repo/target/release/deps/ingest_scaling-85869ac494e6f0ad: crates/bench/src/bin/ingest_scaling.rs
+
+crates/bench/src/bin/ingest_scaling.rs:

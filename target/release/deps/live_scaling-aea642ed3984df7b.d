@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/live_scaling-aea642ed3984df7b.d: crates/bench/src/bin/live_scaling.rs
+
+/root/repo/target/release/deps/live_scaling-aea642ed3984df7b: crates/bench/src/bin/live_scaling.rs
+
+crates/bench/src/bin/live_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_wire-844911275b7505a8.d: crates/bench/benches/micro_wire.rs
+
+/root/repo/target/release/deps/micro_wire-844911275b7505a8: crates/bench/benches/micro_wire.rs
+
+crates/bench/benches/micro_wire.rs:

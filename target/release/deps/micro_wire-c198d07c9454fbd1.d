@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_wire-c198d07c9454fbd1.d: crates/bench/benches/micro_wire.rs
+
+/root/repo/target/release/deps/micro_wire-c198d07c9454fbd1: crates/bench/benches/micro_wire.rs
+
+crates/bench/benches/micro_wire.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multipass-719fc9cf0cd2c5ae.d: crates/bench/src/bin/multipass.rs
+
+/root/repo/target/release/deps/multipass-719fc9cf0cd2c5ae: crates/bench/src/bin/multipass.rs
+
+crates/bench/src/bin/multipass.rs:

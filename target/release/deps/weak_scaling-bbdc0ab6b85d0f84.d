@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/weak_scaling-bbdc0ab6b85d0f84.d: crates/bench/src/bin/weak_scaling.rs
+
+/root/repo/target/release/deps/weak_scaling-bbdc0ab6b85d0f84: crates/bench/src/bin/weak_scaling.rs
+
+crates/bench/src/bin/weak_scaling.rs:
