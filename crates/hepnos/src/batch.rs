@@ -256,6 +256,10 @@ pub struct BatchStats {
     pub backpressure_stalls: u64,
     /// Total time spent blocked on a full window.
     pub stall_time: std::time::Duration,
+    /// Retry behaviour of the flush RPCs issued during this batch's
+    /// lifetime (all zero unless the store was connected with
+    /// [`crate::DataStore::connect_with_retry`]).
+    pub retry: yokan::RetryStats,
 }
 
 impl BatchStats {
@@ -270,6 +274,7 @@ impl BatchStats {
         self.inflight_hwm = self.inflight_hwm.max(other.inflight_hwm);
         self.backpressure_stalls += other.backpressure_stalls;
         self.stall_time += other.stall_time;
+        self.retry.merge(&other.retry);
     }
 }
 
@@ -299,11 +304,15 @@ pub struct AsyncWriteBatch {
     inflight_hwm: usize,
     backpressure_stalls: u64,
     stall_time: std::time::Duration,
+    /// Client retry counters at batch creation; `stats()` reports the delta
+    /// so the batch's `retry` reflects only this batch's flushes.
+    retry_baseline: yokan::RetryStats,
 }
 
 impl AsyncWriteBatch {
     /// Create an asynchronous batch flushing through `pool`.
     pub fn new(store: &DataStore, pool: Pool) -> AsyncWriteBatch {
+        let retry_baseline = store.retry_stats();
         AsyncWriteBatch {
             batch: WriteBatch::new(store),
             pool,
@@ -317,6 +326,7 @@ impl AsyncWriteBatch {
             inflight_hwm: 0,
             backpressure_stalls: 0,
             stall_time: std::time::Duration::ZERO,
+            retry_baseline,
         }
     }
 
@@ -541,6 +551,11 @@ impl AsyncWriteBatch {
             inflight_hwm: self.inflight_hwm,
             backpressure_stalls: self.backpressure_stalls,
             stall_time: self.stall_time,
+            retry: self
+                .batch
+                .store
+                .retry_stats()
+                .delta_since(&self.retry_baseline),
         }
     }
 }

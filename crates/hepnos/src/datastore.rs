@@ -202,15 +202,55 @@ impl DataStore {
         descriptors: &[ConnectionDescriptor],
         placement: Box<dyn Placement>,
     ) -> Result<DataStore, HepnosError> {
+        Self::connect_full(endpoint, descriptors, placement, None)
+    }
+
+    /// [`DataStore::connect`] with a [`yokan::RetryPolicy`]: every RPC runs
+    /// under the policy's per-attempt deadline and transient transport
+    /// failures (timeouts, disconnects, saturation) are retried with
+    /// deterministic backoff. Retried mutations are applied at-most-once by
+    /// the service's dedup window, so a flaky transport cannot duplicate
+    /// ingested data.
+    pub fn connect_with_retry(
+        endpoint: Arc<dyn Endpoint>,
+        descriptors: &[ConnectionDescriptor],
+        policy: yokan::RetryPolicy,
+    ) -> Result<DataStore, HepnosError> {
+        Self::connect_full(
+            endpoint,
+            descriptors,
+            Box::new(ModuloPlacement),
+            Some(policy),
+        )
+    }
+
+    fn connect_full(
+        endpoint: Arc<dyn Endpoint>,
+        descriptors: &[ConnectionDescriptor],
+        placement: Box<dyn Placement>,
+        retry: Option<yokan::RetryPolicy>,
+    ) -> Result<DataStore, HepnosError> {
         let topo = Topology::classify(descriptors)?;
+        let mut client = YokanClient::new(endpoint);
+        if let Some(policy) = retry {
+            client = client.with_retry(policy);
+        }
         Ok(DataStore {
             inner: Arc::new(DataStoreInner {
-                client: YokanClient::new(endpoint),
+                client,
                 topo,
                 placement,
                 uuid_cache: RwLock::new(HashMap::new()),
             }),
         })
+    }
+
+    /// Retry counters of this store's client: attempts issued, logical
+    /// requests that retried, replays answered from the service dedup
+    /// window, and requests that gave up. All zero unless the store was
+    /// connected with [`DataStore::connect_with_retry`].
+    pub fn retry_stats(&self) -> yokan::RetryStats {
+        self.inner.client.retry_stats()
     }
 
     /// The virtual root dataset (it always exists and holds the top-level

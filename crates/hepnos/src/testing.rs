@@ -92,6 +92,13 @@ impl LocalDeployment {
             .expect("datastore connect failed")
     }
 
+    /// [`LocalDeployment::connect_client`] with a retry policy — the client
+    /// used by chaos tests that inject faults into the fabric.
+    pub fn connect_client_with_retry(&self, name: &str, policy: yokan::RetryPolicy) -> DataStore {
+        DataStore::connect_with_retry(self.fabric.endpoint(name), &self.descriptors, policy)
+            .expect("datastore connect failed")
+    }
+
     /// Storage counters of every database on every node, labeled
     /// `node{n}/provider{p}/{db}` — cache hit rates and shard occupancy for
     /// benchmark logging.

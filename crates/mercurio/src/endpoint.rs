@@ -49,18 +49,28 @@ pub type Executor =
 /// The in-flight result of an asynchronous call.
 pub struct PendingResponse {
     pub(crate) ev: Eventual<Result<Bytes, RpcError>>,
+    /// Removes the transport's pending-map entry when the caller abandons
+    /// the call on timeout, so a deadline never leaks state. A late response
+    /// for a cancelled call is dropped by the transport.
+    pub(crate) cancel: Option<Box<dyn FnOnce() + Send>>,
 }
 
 impl PendingResponse {
-    pub(crate) fn new(ev: Eventual<Result<Bytes, RpcError>>) -> Self {
-        PendingResponse { ev }
+    pub(crate) fn with_cancel(
+        ev: Eventual<Result<Bytes, RpcError>>,
+        cancel: Box<dyn FnOnce() + Send>,
+    ) -> Self {
+        PendingResponse {
+            ev,
+            cancel: Some(cancel),
+        }
     }
 
     /// An already-failed response (e.g. the send itself failed).
     pub(crate) fn failed(err: RpcError) -> Self {
         let ev = Eventual::new();
         ev.set(Err(err));
-        PendingResponse { ev }
+        PendingResponse { ev, cancel: None }
     }
 
     /// Block until the response arrives.
@@ -68,11 +78,19 @@ impl PendingResponse {
         self.ev.wait()
     }
 
-    /// Block with a timeout.
+    /// Block with a timeout. On timeout the call is cancelled: the
+    /// transport's pending entry is removed and [`RpcError::Timeout`] is
+    /// returned, so an abandoned call cannot leak.
     pub fn wait_timeout(self, dur: Duration) -> Result<Bytes, RpcError> {
-        match self.ev.wait_timeout(dur) {
+        let PendingResponse { ev, cancel } = self;
+        match ev.wait_timeout(dur) {
             Ok(r) => r,
-            Err(_) => Err(RpcError::Timeout),
+            Err(_) => {
+                if let Some(cancel) = cancel {
+                    cancel();
+                }
+                Err(RpcError::Timeout)
+            }
         }
     }
 
@@ -137,6 +155,21 @@ pub trait Endpoint: Send + Sync {
         payload: Bytes,
     ) -> Result<Bytes, RpcError> {
         self.call_async(target, id, provider_id, payload).wait()
+    }
+
+    /// Issue a blocking call with a deadline. Returns [`RpcError::Timeout`]
+    /// if no response arrives in time; the abandoned call is cancelled so
+    /// no pending entry is leaked.
+    fn call_with_deadline(
+        &self,
+        target: &str,
+        id: RpcId,
+        provider_id: u16,
+        payload: Bytes,
+        deadline: Duration,
+    ) -> Result<Bytes, RpcError> {
+        self.call_async(target, id, provider_id, payload)
+            .wait_timeout(deadline)
     }
 
     /// Expose a read-only memory region for remote bulk pulls; returns a

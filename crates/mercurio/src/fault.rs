@@ -1,0 +1,405 @@
+//! Deterministic fault injection for transports.
+//!
+//! A [`FaultPlan`] decides, per frame, whether to drop, duplicate, delay or
+//! disconnect it — entirely from a `u64` seed. Decisions are a *pure
+//! function* of `(seed, direction, rpc id, request id)` through a small
+//! xorshift PRNG (no global randomness, no shared mutable generator), so
+//! the same seed replayed against the same request sequence produces the
+//! same fault schedule regardless of thread interleaving. Every injected
+//! fault is recorded in a trace that chaos tests compare across replays.
+//!
+//! Both transports accept a plan: [`crate::local::Fabric::install_fault_plan`]
+//! applies it to every frame crossing the fabric, and
+//! [`crate::tcp::TcpEndpoint::install_fault_plan`] to the frames sent and
+//! answered by one endpoint.
+
+use crate::wire::RpcId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Which way a frame travels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FrameDirection {
+    /// Caller → handler.
+    Request,
+    /// Handler → caller.
+    Response,
+}
+
+/// One fault injected by a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultAction {
+    /// The frame was silently discarded.
+    Drop,
+    /// The frame was delivered twice.
+    Duplicate,
+    /// Delivery was delayed by this many microseconds.
+    DelayUs(u64),
+    /// The connection failed transiently before the frame was sent.
+    Disconnect,
+}
+
+/// One recorded entry of a plan's fault trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultEvent {
+    /// Direction of the affected frame.
+    pub direction: FrameDirection,
+    /// RPC id of the affected call.
+    pub rpc_id: u16,
+    /// Transport request id of the affected call.
+    pub req_id: u64,
+    /// What was done to the frame.
+    pub action: FaultAction,
+}
+
+/// Probabilities and knobs of a [`FaultPlan`]. All probabilities are in
+/// `[0, 1]`; the default injects nothing.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed deriving every per-frame decision.
+    pub seed: u64,
+    /// Probability of dropping a request frame.
+    pub drop_request: f64,
+    /// Probability of dropping a response frame.
+    pub drop_response: f64,
+    /// Probability of duplicating a request frame.
+    pub duplicate_request: f64,
+    /// Probability of duplicating a response frame.
+    pub duplicate_response: f64,
+    /// Probability of delaying a frame (either direction).
+    pub delay_probability: f64,
+    /// Minimum injected delay.
+    pub delay_min: Duration,
+    /// Maximum injected delay.
+    pub delay_max: Duration,
+    /// Probability of a transient disconnect when sending a request (the
+    /// call fails immediately with [`crate::RpcError::Transport`]).
+    pub disconnect_probability: f64,
+    /// Restrict injection to these RPC ids; `None` targets every RPC.
+    pub target_rpcs: Option<Vec<u16>>,
+}
+
+impl FaultConfig {
+    /// A config injecting nothing, with the given seed.
+    pub fn new(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            drop_request: 0.0,
+            drop_response: 0.0,
+            duplicate_request: 0.0,
+            duplicate_response: 0.0,
+            delay_probability: 0.0,
+            delay_min: Duration::ZERO,
+            delay_max: Duration::ZERO,
+            disconnect_probability: 0.0,
+            target_rpcs: None,
+        }
+    }
+}
+
+/// The plan's verdict for one frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Discard the frame.
+    pub drop: bool,
+    /// Deliver the frame twice.
+    pub duplicate: bool,
+    /// Delay delivery by this much first.
+    pub delay: Option<Duration>,
+    /// Fail the send with a transient disconnect (requests only).
+    pub disconnect: bool,
+}
+
+impl FaultDecision {
+    /// Whether the frame passes through unharmed.
+    pub fn is_benign(&self) -> bool {
+        !self.drop && !self.duplicate && self.delay.is_none() && !self.disconnect
+    }
+}
+
+/// Counters of injected faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Frames dropped.
+    pub dropped: u64,
+    /// Frames duplicated.
+    pub duplicated: u64,
+    /// Frames delayed.
+    pub delayed: u64,
+    /// Transient disconnects injected.
+    pub disconnects: u64,
+}
+
+/// xorshift64* PRNG; seeded per frame so decisions are order-independent.
+struct XorShift64 {
+    state: u64,
+}
+
+/// splitmix64 finalizer — spreads structured inputs (ids, seeds) into
+/// well-mixed PRNG states.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl XorShift64 {
+    fn for_frame(seed: u64, direction: FrameDirection, rpc_id: u16, req_id: u64) -> XorShift64 {
+        let dir = match direction {
+            FrameDirection::Request => 0x51u64,
+            FrameDirection::Response => 0x52u64,
+        };
+        let state = mix(seed ^ mix(req_id ^ ((rpc_id as u64) << 32) ^ (dir << 56)));
+        XorShift64 {
+            state: state.max(1), // xorshift dies on an all-zero state
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        // Draw unconditionally so each probability consumes a fixed slot of
+        // the per-frame stream, independent of the other knobs' values.
+        let draw = self.next_f64();
+        p > 0.0 && draw < p
+    }
+}
+
+/// A seeded, deterministic fault-injection schedule (see module docs).
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    trace: Mutex<Vec<FaultEvent>>,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    disconnects: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Build a plan from its config.
+    pub fn new(cfg: FaultConfig) -> FaultPlan {
+        FaultPlan {
+            cfg,
+            trace: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            disconnects: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Decide the fate of one frame. Pure in `(seed, direction, rpc_id,
+    /// req_id)` apart from trace/counter recording.
+    pub fn decide(&self, direction: FrameDirection, rpc_id: RpcId, req_id: u64) -> FaultDecision {
+        if let Some(targets) = &self.cfg.target_rpcs {
+            if !targets.contains(&rpc_id.0) {
+                return FaultDecision::default();
+            }
+        }
+        let mut rng = XorShift64::for_frame(self.cfg.seed, direction, rpc_id.0, req_id);
+        let (drop_p, dup_p) = match direction {
+            FrameDirection::Request => (self.cfg.drop_request, self.cfg.duplicate_request),
+            FrameDirection::Response => (self.cfg.drop_response, self.cfg.duplicate_response),
+        };
+        let mut d = FaultDecision::default();
+        // Fixed draw order; disconnect applies to requests only and
+        // supersedes drop/duplicate (the frame never reaches the wire).
+        let disconnect_draw = rng.chance(self.cfg.disconnect_probability);
+        let drop_draw = rng.chance(drop_p);
+        let dup_draw = rng.chance(dup_p);
+        let delay_draw = rng.chance(self.cfg.delay_probability);
+        let delay_frac = rng.next_f64();
+        if direction == FrameDirection::Request && disconnect_draw {
+            d.disconnect = true;
+        } else if drop_draw {
+            d.drop = true;
+        } else if dup_draw {
+            d.duplicate = true;
+        }
+        if delay_draw && !d.disconnect {
+            let span = self
+                .cfg
+                .delay_max
+                .saturating_sub(self.cfg.delay_min)
+                .as_micros() as u64;
+            let extra = (span as f64 * delay_frac) as u64;
+            d.delay = Some(self.cfg.delay_min + Duration::from_micros(extra));
+        }
+        self.record(direction, rpc_id, req_id, &d);
+        d
+    }
+
+    fn record(&self, direction: FrameDirection, rpc_id: RpcId, req_id: u64, d: &FaultDecision) {
+        if d.is_benign() {
+            return;
+        }
+        let mut trace = self.trace.lock();
+        let mut push = |action: FaultAction| {
+            trace.push(FaultEvent {
+                direction,
+                rpc_id: rpc_id.0,
+                req_id,
+                action,
+            });
+        };
+        if d.disconnect {
+            self.disconnects.fetch_add(1, Ordering::Relaxed);
+            push(FaultAction::Disconnect);
+        }
+        if d.drop {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            push(FaultAction::Drop);
+        }
+        if d.duplicate {
+            self.duplicated.fetch_add(1, Ordering::Relaxed);
+            push(FaultAction::Duplicate);
+        }
+        if let Some(t) = d.delay {
+            self.delayed.fetch_add(1, Ordering::Relaxed);
+            push(FaultAction::DelayUs(t.as_micros() as u64));
+        }
+    }
+
+    /// Snapshot of the recorded fault trace. Entries from concurrent frames
+    /// may interleave in any order; sort before comparing across replays.
+    pub fn trace(&self) -> Vec<FaultEvent> {
+        self.trace.lock().clone()
+    }
+
+    /// Counters of injected faults.
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            dropped: self.dropped.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            disconnects: self.disconnects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaos_cfg(seed: u64) -> FaultConfig {
+        FaultConfig {
+            drop_request: 0.05,
+            drop_response: 0.05,
+            duplicate_request: 0.02,
+            duplicate_response: 0.02,
+            delay_probability: 0.1,
+            delay_min: Duration::from_millis(1),
+            delay_max: Duration::from_millis(5),
+            disconnect_probability: 0.01,
+            ..FaultConfig::new(seed)
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlan::new(chaos_cfg(42));
+        let b = FaultPlan::new(chaos_cfg(42));
+        for req_id in 0..5000u64 {
+            for dir in [FrameDirection::Request, FrameDirection::Response] {
+                assert_eq!(
+                    a.decide(dir, RpcId(101), req_id),
+                    b.decide(dir, RpcId(101), req_id)
+                );
+            }
+        }
+        assert_eq!(a.trace(), b.trace());
+        assert_eq!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn decisions_are_order_independent() {
+        let a = FaultPlan::new(chaos_cfg(7));
+        let b = FaultPlan::new(chaos_cfg(7));
+        let forward: Vec<_> = (0..1000u64)
+            .map(|i| a.decide(FrameDirection::Request, RpcId(3), i))
+            .collect();
+        let mut backward: Vec<_> = (0..1000u64)
+            .rev()
+            .map(|i| b.decide(FrameDirection::Request, RpcId(3), i))
+            .collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(chaos_cfg(1));
+        let b = FaultPlan::new(chaos_cfg(2));
+        let same = (0..2000u64).all(|i| {
+            a.decide(FrameDirection::Request, RpcId(1), i)
+                == b.decide(FrameDirection::Request, RpcId(1), i)
+        });
+        assert!(!same, "seeds 1 and 2 produced identical schedules");
+    }
+
+    #[test]
+    fn probabilities_hit_expected_rates() {
+        let plan = FaultPlan::new(chaos_cfg(99));
+        let n = 20_000u64;
+        for i in 0..n {
+            plan.decide(FrameDirection::Request, RpcId(1), i);
+        }
+        let c = plan.counts();
+        // 5% ± generous tolerance over 20k draws.
+        assert!(c.dropped > n / 40 && c.dropped < n / 10, "{c:?}");
+        assert!(c.delayed > n / 25 && c.delayed < n / 5, "{c:?}");
+        assert!(c.duplicated > 0 && c.disconnects > 0, "{c:?}");
+    }
+
+    #[test]
+    fn rpc_targeting_filters() {
+        let mut cfg = chaos_cfg(5);
+        cfg.target_rpcs = Some(vec![101]);
+        let plan = FaultPlan::new(cfg);
+        for i in 0..500u64 {
+            assert!(plan
+                .decide(FrameDirection::Request, RpcId(7), i)
+                .is_benign());
+        }
+        assert!(plan.trace().is_empty());
+        let hit = (0..500u64).any(|i| {
+            !plan
+                .decide(FrameDirection::Request, RpcId(101), i)
+                .is_benign()
+        });
+        assert!(hit, "targeted rpc never faulted");
+    }
+
+    #[test]
+    fn delays_stay_in_bounds() {
+        let mut cfg = FaultConfig::new(11);
+        cfg.delay_probability = 1.0;
+        cfg.delay_min = Duration::from_millis(10);
+        cfg.delay_max = Duration::from_millis(50);
+        let plan = FaultPlan::new(cfg);
+        for i in 0..1000u64 {
+            let d = plan.decide(FrameDirection::Response, RpcId(1), i);
+            let t = d.delay.expect("delay probability is 1");
+            assert!(t >= Duration::from_millis(10) && t <= Duration::from_millis(50));
+        }
+    }
+}

@@ -51,6 +51,7 @@
 mod bulk;
 mod endpoint;
 mod error;
+pub mod fault;
 pub mod local;
 mod model;
 pub mod tcp;
@@ -59,5 +60,6 @@ mod wire;
 pub use bulk::BulkHandle;
 pub use endpoint::{Endpoint, EndpointStats, Executor, PendingResponse, Request, RpcHandler};
 pub use error::RpcError;
+pub use fault::{FaultAction, FaultConfig, FaultDecision, FaultEvent, FaultPlan, FrameDirection};
 pub use model::{InjectionGauge, NetworkModel};
 pub use wire::RpcId;

@@ -10,6 +10,7 @@
 use crate::bulk::BulkHandle;
 use crate::endpoint::{Endpoint, EndpointStats, Executor, PendingResponse, Request, RpcHandler};
 use crate::error::RpcError;
+use crate::fault::{FaultDecision, FaultPlan, FrameDirection};
 use crate::model::{InjectionGauge, NetworkModel};
 use crate::wire::{Frame, RpcId};
 use argos::Eventual;
@@ -278,6 +279,16 @@ struct FabricInner {
     model: NetworkModel,
     endpoints: RwLock<HashMap<String, Arc<EndpointInner>>>,
     delay: Option<Arc<DelayLine>>,
+    fault: RwLock<Option<Arc<FaultPlan>>>,
+}
+
+impl FabricInner {
+    fn fault_decision(&self, dir: FrameDirection, rpc_id: RpcId, req_id: u64) -> FaultDecision {
+        match &*self.fault.read() {
+            Some(plan) => plan.decide(dir, rpc_id, req_id),
+            None => FaultDecision::default(),
+        }
+    }
 }
 
 /// An in-process network shared by a set of [`LocalEndpoint`]s.
@@ -300,6 +311,7 @@ impl Fabric {
                 model,
                 endpoints: RwLock::new(HashMap::new()),
                 delay,
+                fault: RwLock::new(None),
             }),
         }
     }
@@ -386,6 +398,18 @@ impl Fabric {
     pub fn is_registered(&self, addr: &str) -> bool {
         self.inner.endpoints.read().contains_key(addr)
     }
+
+    /// Install a [`FaultPlan`] applied to every RPC frame crossing this
+    /// fabric (requests and responses; bulk pulls and handshakes are not
+    /// faulted). Replaces any previously installed plan.
+    pub fn install_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.inner.fault.write() = Some(plan);
+    }
+
+    /// Remove the installed [`FaultPlan`], restoring fault-free delivery.
+    pub fn clear_fault_plan(&self) {
+        *self.inner.fault.write() = None;
+    }
 }
 
 impl FabricInner {
@@ -434,6 +458,12 @@ impl LocalEndpoint {
         self.inner.gauge.bursts()
     }
 
+    /// Calls currently awaiting a response. A timed-out (cancelled) call is
+    /// removed immediately, so this exposes pending-entry leaks to tests.
+    pub fn pending_calls(&self) -> usize {
+        self.inner.pending.lock().len()
+    }
+
     fn dispatch_request(
         self_fabric: &Arc<FabricInner>,
         target: &Arc<EndpointInner>,
@@ -480,30 +510,46 @@ impl LocalEndpoint {
                 .counters
                 .bytes_sent
                 .fetch_add(resp_len as u64, Ordering::Relaxed);
+            let fd = fabric.fault_decision(FrameDirection::Response, rpc_id, req_id);
+            if let Some(t) = fd.delay {
+                std::thread::sleep(t);
+            }
+            if fd.drop || fd.disconnect {
+                // Response lost: the caller's pending entry stays until its
+                // deadline fires (or shutdown fails it).
+                return;
+            }
             let caller = fabric.endpoints.read().get(&src_addr).cloned();
             if let Some(caller) = caller {
                 // The response goes back out through the responder's NIC:
                 // queued to its coalescing sender (non-ideal models) and
-                // charged as part of whatever burst it lands in.
-                let caller2 = Arc::clone(&caller);
-                target2.send_frame(
-                    &fabric,
-                    resp_len,
-                    Box::new(move || {
-                        caller
-                            .counters
-                            .bytes_received
-                            .fetch_add(resp_len as u64, Ordering::Relaxed);
-                        if let Some(ev) = caller.pending.lock().remove(&req_id) {
-                            ev.set(result);
-                        }
-                    }),
-                    Box::new(move |e| {
-                        if let Some(ev) = caller2.pending.lock().remove(&req_id) {
-                            ev.set(Err(e));
-                        }
-                    }),
-                );
+                // charged as part of whatever burst it lands in. A duplicated
+                // response is harmless to the caller: the first delivery
+                // removes the pending entry, the second finds nothing.
+                let sends = if fd.duplicate { 2 } else { 1 };
+                for _ in 0..sends {
+                    let deliver_caller = Arc::clone(&caller);
+                    let fail_caller = Arc::clone(&caller);
+                    let result = result.clone();
+                    target2.send_frame(
+                        &fabric,
+                        resp_len,
+                        Box::new(move || {
+                            deliver_caller
+                                .counters
+                                .bytes_received
+                                .fetch_add(resp_len as u64, Ordering::Relaxed);
+                            if let Some(ev) = deliver_caller.pending.lock().remove(&req_id) {
+                                ev.set(result);
+                            }
+                        }),
+                        Box::new(move |e| {
+                            if let Some(ev) = fail_caller.pending.lock().remove(&req_id) {
+                                ev.set(Err(e));
+                            }
+                        }),
+                    );
+                }
             }
         });
         exec(rpc_id, provider_id, job);
@@ -540,6 +586,14 @@ impl Endpoint for LocalEndpoint {
             return PendingResponse::failed(RpcError::NoSuchEndpoint(target.to_string()));
         }
         let req_id = self.inner.next_req.fetch_add(1, Ordering::Relaxed);
+        let fd = self
+            .fabric
+            .fault_decision(FrameDirection::Request, id, req_id);
+        if fd.disconnect {
+            return PendingResponse::failed(RpcError::Transport(
+                "injected transient disconnect".into(),
+            ));
+        }
         // Frame-size accounting matches the wire codec even though the local
         // transport short-circuits actual encoding for speed.
         let frame_len = Frame::Request {
@@ -559,30 +613,53 @@ impl Endpoint for LocalEndpoint {
             .fetch_add(frame_len as u64, Ordering::Relaxed);
         let ev = Eventual::new();
         self.inner.pending.lock().insert(req_id, ev.clone());
-        let fabric = Arc::clone(&self.fabric);
-        let src = self.inner.addr.clone();
-        let caller = Arc::clone(&self.inner);
-        self.inner.send_frame(
-            &self.fabric,
-            frame_len,
+        // Abandoning the call (deadline) removes the pending entry so a
+        // dropped frame cannot leak state; a late response then no-ops.
+        let cancel_inner = Arc::clone(&self.inner);
+        let pending = PendingResponse::with_cancel(
+            ev,
             Box::new(move || {
-                LocalEndpoint::dispatch_request(
-                    &fabric,
-                    &target_inner,
-                    src,
-                    req_id,
-                    id,
-                    provider_id,
-                    payload,
-                );
-            }),
-            Box::new(move |e| {
-                if let Some(ev) = caller.pending.lock().remove(&req_id) {
-                    ev.set(Err(e));
-                }
+                cancel_inner.pending.lock().remove(&req_id);
             }),
         );
-        PendingResponse::new(ev)
+        if let Some(t) = fd.delay {
+            std::thread::sleep(t);
+        }
+        if fd.drop {
+            // The request frame is lost in transit: it was charged to the
+            // caller's intent but never reaches the target. The caller's
+            // deadline fires and retries.
+            return pending;
+        }
+        let sends = if fd.duplicate { 2 } else { 1 };
+        for _ in 0..sends {
+            let fabric = Arc::clone(&self.fabric);
+            let target_inner = Arc::clone(&target_inner);
+            let src = self.inner.addr.clone();
+            let caller = Arc::clone(&self.inner);
+            let payload = payload.clone();
+            self.inner.send_frame(
+                &self.fabric,
+                frame_len,
+                Box::new(move || {
+                    LocalEndpoint::dispatch_request(
+                        &fabric,
+                        &target_inner,
+                        src,
+                        req_id,
+                        id,
+                        provider_id,
+                        payload,
+                    );
+                }),
+                Box::new(move |e| {
+                    if let Some(ev) = caller.pending.lock().remove(&req_id) {
+                        ev.set(Err(e));
+                    }
+                }),
+            );
+        }
+        pending
     }
 
     fn expose_bulk(&self, data: Bytes) -> BulkHandle {
@@ -956,5 +1033,101 @@ mod timeout_tests {
             .call_async(&s.address(), RpcId(1), 0, bytes::Bytes::new())
             .wait_timeout(Duration::from_secs(5));
         assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn deadline_against_stalled_handler_leaves_no_pending_entry() {
+        let fabric = Fabric::new(NetworkModel::default());
+        let s = fabric.endpoint("stalled");
+        let c = fabric.endpoint("client");
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let release2 = Arc::clone(&release);
+        s.register(
+            RpcId(1),
+            Arc::new(move |_req: Request| {
+                while !release2.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Ok(bytes::Bytes::new())
+            }),
+        );
+        s.set_executor(Arc::new(|_rpc, _prov, job| {
+            std::thread::spawn(job);
+        }));
+        let err = c
+            .call_with_deadline(
+                &s.address(),
+                RpcId(1),
+                0,
+                bytes::Bytes::new(),
+                Duration::from_millis(20),
+            )
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        // The abandoned call must not leak a pending entry.
+        assert_eq!(c.pending_calls(), 0);
+        // Unstick the handler; its late response must be dropped harmlessly.
+        release.store(true, Ordering::Release);
+        let ok = c
+            .call_async(&s.address(), RpcId(1), 0, bytes::Bytes::new())
+            .wait_timeout(Duration::from_secs(5));
+        assert!(ok.is_ok());
+        assert_eq!(c.pending_calls(), 0);
+    }
+
+    #[test]
+    fn dropped_request_times_out_and_cancels() {
+        let fabric = Fabric::new(NetworkModel::default());
+        let s = fabric.endpoint("srv");
+        let c = fabric.endpoint("cli");
+        s.register(RpcId(1), Arc::new(|req: Request| Ok(req.payload)));
+        let mut cfg = crate::fault::FaultConfig::new(77);
+        cfg.drop_request = 1.0;
+        fabric.install_fault_plan(Arc::new(crate::fault::FaultPlan::new(cfg)));
+        let err = c
+            .call_with_deadline(
+                &s.address(),
+                RpcId(1),
+                0,
+                bytes::Bytes::from_static(b"x"),
+                Duration::from_millis(20),
+            )
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        assert_eq!(c.pending_calls(), 0);
+        assert_eq!(s.stats().requests_received, 0);
+        // Clearing the plan restores delivery.
+        fabric.clear_fault_plan();
+        let out = c
+            .call(&s.address(), RpcId(1), 0, bytes::Bytes::from_static(b"y"))
+            .unwrap();
+        assert_eq!(&out[..], b"y");
+    }
+
+    #[test]
+    fn duplicated_request_delivers_once_to_caller() {
+        let fabric = Fabric::new(NetworkModel::default());
+        let s = fabric.endpoint("srv");
+        let c = fabric.endpoint("cli");
+        let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        s.register(
+            RpcId(1),
+            Arc::new(move |req: Request| {
+                hits2.fetch_add(1, Ordering::SeqCst);
+                Ok(req.payload)
+            }),
+        );
+        let mut cfg = crate::fault::FaultConfig::new(5);
+        cfg.duplicate_request = 1.0;
+        fabric.install_fault_plan(Arc::new(crate::fault::FaultPlan::new(cfg)));
+        let out = c
+            .call(&s.address(), RpcId(1), 0, bytes::Bytes::from_static(b"dup"))
+            .unwrap();
+        assert_eq!(&out[..], b"dup");
+        // The handler ran twice (at-most-once is the service layer's job),
+        // but the caller saw exactly one response.
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        assert_eq!(c.pending_calls(), 0);
     }
 }

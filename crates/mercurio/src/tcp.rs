@@ -20,6 +20,7 @@
 use crate::bulk::BulkHandle;
 use crate::endpoint::{Endpoint, EndpointStats, Executor, PendingResponse, Request, RpcHandler};
 use crate::error::RpcError;
+use crate::fault::{FaultDecision, FaultPlan, FrameDirection};
 use crate::wire::{Frame, RpcId, RPC_BULK_PULL};
 use argos::Eventual;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -212,7 +213,17 @@ struct TcpInner {
     next_bulk: AtomicU64,
     bulks: RwLock<HashMap<u64, Bytes>>,
     counters: Arc<Counters>,
+    fault: RwLock<Option<Arc<FaultPlan>>>,
     down: AtomicBool,
+}
+
+impl TcpInner {
+    fn fault_decision(&self, dir: FrameDirection, rpc_id: RpcId, req_id: u64) -> FaultDecision {
+        match &*self.fault.read() {
+            Some(plan) => plan.decide(dir, rpc_id, req_id),
+            None => FaultDecision::default(),
+        }
+    }
 }
 
 /// Fail every pending request that was routed to `peer`.
@@ -261,6 +272,7 @@ impl TcpEndpoint {
             next_bulk: AtomicU64::new(1),
             bulks: RwLock::new(HashMap::new()),
             counters: Arc::new(Counters::default()),
+            fault: RwLock::new(None),
             down: AtomicBool::new(false),
         });
         let ep = Arc::new(TcpEndpoint {
@@ -279,6 +291,24 @@ impl TcpEndpoint {
     /// The local listener port.
     pub fn port(&self) -> u16 {
         self.listener_port
+    }
+
+    /// Install a [`FaultPlan`] applied to RPC frames this endpoint sends
+    /// (requests) and answers (responses). Handshake frames are never
+    /// faulted. Replaces any previously installed plan.
+    pub fn install_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.inner.fault.write() = Some(plan);
+    }
+
+    /// Remove the installed [`FaultPlan`], restoring fault-free delivery.
+    pub fn clear_fault_plan(&self) {
+        *self.inner.fault.write() = None;
+    }
+
+    /// Calls currently awaiting a response. A timed-out (cancelled) call is
+    /// removed immediately, so this exposes pending-entry leaks to tests.
+    pub fn pending_calls(&self) -> usize {
+        self.inner.pending.lock().len()
     }
 
     fn register_bulk_handler(&self) {
@@ -434,11 +464,24 @@ fn reader_loop(mut stream: TcpStream, inner: Arc<TcpInner>, peer: String, conn: 
                             result: result.map_err(|e| e.to_wire()),
                         }
                         .encode();
+                        let fd = inner2.fault_decision(FrameDirection::Response, rpc_id, req_id);
+                        if let Some(t) = fd.delay {
+                            std::thread::sleep(t);
+                        }
+                        if fd.drop || fd.disconnect {
+                            // Response lost: the caller's deadline fires.
+                            return;
+                        }
                         inner2
                             .counters
                             .bytes_sent
                             .fetch_add(resp.len() as u64, Ordering::Relaxed);
                         let _ = conn.send(&resp);
+                        if fd.duplicate {
+                            // Harmless to the caller: the first delivery
+                            // removes the pending entry, the second no-ops.
+                            let _ = conn.send(&resp);
+                        }
                     }),
                 );
             }
@@ -490,6 +533,14 @@ impl Endpoint for TcpEndpoint {
             Err(e) => return PendingResponse::failed(e),
         };
         let req_id = self.inner.next_req.fetch_add(1, Ordering::Relaxed);
+        let fd = self
+            .inner
+            .fault_decision(FrameDirection::Request, id, req_id);
+        if fd.disconnect {
+            return PendingResponse::failed(RpcError::Transport(
+                "injected transient disconnect".into(),
+            ));
+        }
         let frame = Frame::Request {
             req_id,
             rpc_id: id,
@@ -510,11 +561,31 @@ impl Endpoint for TcpEndpoint {
             .counters
             .bytes_sent
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        // Abandoning the call (deadline) removes the pending entry so a
+        // dropped frame cannot leak state; a late response then no-ops.
+        let cancel_inner = Arc::clone(&self.inner);
+        let pending = PendingResponse::with_cancel(
+            ev,
+            Box::new(move || {
+                cancel_inner.pending.lock().remove(&req_id);
+            }),
+        );
+        if let Some(t) = fd.delay {
+            std::thread::sleep(t);
+        }
+        if fd.drop {
+            // The request frame is lost in transit; the caller's deadline
+            // fires and retries.
+            return pending;
+        }
         if let Err(e) = conn.send(&frame) {
             self.inner.pending.lock().remove(&req_id);
             return PendingResponse::failed(e);
         }
-        PendingResponse::new(ev)
+        if fd.duplicate {
+            let _ = conn.send(&frame);
+        }
+        pending
     }
 
     fn expose_bulk(&self, data: Bytes) -> BulkHandle {
@@ -769,6 +840,80 @@ mod tests {
             .call_async(&addr, RpcId(1), 0, Bytes::new())
             .wait_timeout(std::time::Duration::from_secs(2));
         assert!(res.is_err());
+        c.shutdown();
+    }
+
+    #[test]
+    fn deadline_against_stalled_handler_leaves_no_pending_entry() {
+        let s = TcpEndpoint::bind(0).unwrap();
+        let c = TcpEndpoint::bind(0).unwrap();
+        let release = Arc::new(AtomicBool::new(false));
+        let release2 = Arc::clone(&release);
+        s.register(
+            RpcId(1),
+            Arc::new(move |_req: Request| {
+                while !release2.load(Ordering::Acquire) {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                Ok(Bytes::new())
+            }),
+        );
+        s.set_executor(Arc::new(|_rpc, _prov, job| {
+            std::thread::spawn(job);
+        }));
+        let err = c
+            .call_with_deadline(
+                &s.address(),
+                RpcId(1),
+                0,
+                Bytes::new(),
+                std::time::Duration::from_millis(20),
+            )
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        // The abandoned call must not leak a pending entry.
+        assert_eq!(c.pending_calls(), 0);
+        // Unstick the handler; its late response must be dropped harmlessly
+        // and the endpoint stays usable.
+        release.store(true, Ordering::Release);
+        let ok = c
+            .call_async(&s.address(), RpcId(1), 0, Bytes::from_static(b"ok"))
+            .wait_timeout(std::time::Duration::from_secs(5));
+        assert!(ok.is_ok());
+        assert_eq!(c.pending_calls(), 0);
+        s.shutdown();
+        c.shutdown();
+    }
+
+    #[test]
+    fn dropped_response_times_out_and_cancels() {
+        let s = TcpEndpoint::bind(0).unwrap();
+        let c = TcpEndpoint::bind(0).unwrap();
+        s.register(RpcId(1), echo());
+        // Drop every response the server sends; the client's deadline must
+        // fire and cancel the call instead of hanging.
+        let mut cfg = crate::fault::FaultConfig::new(13);
+        cfg.drop_response = 1.0;
+        s.install_fault_plan(Arc::new(crate::fault::FaultPlan::new(cfg)));
+        let err = c
+            .call_with_deadline(
+                &s.address(),
+                RpcId(1),
+                0,
+                Bytes::from_static(b"x"),
+                std::time::Duration::from_millis(50),
+            )
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        assert_eq!(c.pending_calls(), 0);
+        // The request itself did arrive — only the response was lost.
+        assert_eq!(s.stats().requests_received, 1);
+        s.clear_fault_plan();
+        let out = c
+            .call(&s.address(), RpcId(1), 0, Bytes::from_static(b"y"))
+            .unwrap();
+        assert_eq!(&out[..], b"y");
+        s.shutdown();
         c.shutdown();
     }
 

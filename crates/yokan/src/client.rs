@@ -3,10 +3,91 @@
 use crate::backend::KeyValue;
 use crate::encoding::*;
 use crate::error::YokanError;
+use crate::retry::{RetryCounters, RetryPolicy, RetryStats};
 use crate::service::*;
-use bytes::{BufMut, Bytes, BytesMut};
-use mercurio::{Endpoint, PendingResponse, RpcId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mercurio::{Endpoint, PendingResponse, RpcError, RpcId};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide client-id allocator: deterministic (no randomness), unique
+/// per [`YokanClient`] session within a process.
+static NEXT_CLIENT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Per-client identity and retry bookkeeping, shared by clones of one
+/// [`YokanClient`] so sequence numbers stay unique across them.
+pub(crate) struct ClientSession {
+    pub(crate) client_id: u64,
+    pub(crate) next_seq: AtomicU64,
+    pub(crate) counters: RetryCounters,
+}
+
+impl ClientSession {
+    fn new() -> Arc<ClientSession> {
+        Arc::new(ClientSession {
+            client_id: NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed),
+            next_seq: AtomicU64::new(1),
+            counters: RetryCounters::default(),
+        })
+    }
+}
+
+/// Wait for `pending`, re-issuing the *same* payload (same sequence number,
+/// for mutations) on retryable failures per `policy`. Without a policy this
+/// is a plain unbounded wait, preserving the historical behaviour.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn wait_with_retry(
+    endpoint: &Arc<dyn Endpoint>,
+    policy: Option<&RetryPolicy>,
+    counters: &RetryCounters,
+    addr: &str,
+    op: RpcId,
+    provider_id: u16,
+    payload: &Bytes,
+    pending: PendingResponse,
+) -> Result<Bytes, RpcError> {
+    counters.attempts.fetch_add(1, Ordering::Relaxed);
+    let Some(policy) = policy else {
+        return pending.wait();
+    };
+    let nonce = ((op.0 as u64) << 32) ^ payload.len() as u64;
+    let mut pending = pending;
+    let mut attempt = 1u32;
+    loop {
+        match pending.wait_timeout(policy.rpc_timeout) {
+            Ok(b) => return Ok(b),
+            Err(e) if RetryPolicy::is_retryable(&e) && attempt < policy.max_attempts => {
+                if attempt == 1 {
+                    counters.retried_rpcs.fetch_add(1, Ordering::Relaxed);
+                }
+                std::thread::sleep(policy.backoff(attempt, nonce));
+                attempt += 1;
+                counters.attempts.fetch_add(1, Ordering::Relaxed);
+                pending = endpoint.call_async(addr, op, provider_id, payload.clone());
+            }
+            Err(e) => {
+                if RetryPolicy::is_retryable(&e) {
+                    counters.gave_up.fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Strip the one-byte replay marker from a mutation response, counting
+/// cached replays (the service answered from its dedup window instead of
+/// applying the mutation again).
+fn strip_replay_marker(mut resp: Bytes, counters: &RetryCounters) -> Result<Bytes, YokanError> {
+    if resp.is_empty() {
+        return Err(YokanError::Protocol("missing replay marker".into()));
+    }
+    let marker = resp.get_u8();
+    if marker == REPLAY_CACHED {
+        counters.deduped_replays.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(resp)
+}
 
 /// Identifies one remote database: the server address, the provider id on
 /// that server, and the database name within the provider.
@@ -40,6 +121,8 @@ impl DbTarget {
 pub struct YokanClient {
     endpoint: Arc<dyn Endpoint>,
     bulk_threshold: usize,
+    retry: Option<RetryPolicy>,
+    session: Arc<ClientSession>,
 }
 
 impl YokanClient {
@@ -48,6 +131,8 @@ impl YokanClient {
         YokanClient {
             endpoint,
             bulk_threshold: 8 << 10,
+            retry: None,
+            session: ClientSession::new(),
         }
     }
 
@@ -56,7 +141,23 @@ impl YokanClient {
         YokanClient {
             endpoint,
             bulk_threshold: threshold,
+            retry: None,
+            session: ClientSession::new(),
         }
+    }
+
+    /// Enable transparent retries under `policy`. Each RPC attempt runs
+    /// under the policy's per-attempt deadline; retryable transport failures
+    /// are re-issued with the same payload (and, for mutations, the same
+    /// sequence number — the service's dedup window makes the retry safe).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> YokanClient {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Snapshot of this client's retry counters (shared across clones).
+    pub fn retry_stats(&self) -> RetryStats {
+        self.session.counters.snapshot()
     }
 
     /// The local endpoint this client sends from.
@@ -70,18 +171,63 @@ impl YokanClient {
         buf
     }
 
+    /// Header for mutation RPCs: the `(client id, sequence number)` dedup
+    /// stamp followed by the database name. Reused verbatim across retries
+    /// of the same logical request.
+    fn mutation_header(&self, target: &DbTarget, extra: usize) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(16 + 4 + target.db.len() + extra);
+        buf.put_u64_le(self.session.client_id);
+        buf.put_u64_le(self.session.next_seq.fetch_add(1, Ordering::Relaxed));
+        put_bytes(&mut buf, target.db.as_bytes());
+        buf
+    }
+
+    /// Issue one RPC, riding the retry policy when one is configured.
+    fn invoke(
+        &self,
+        addr: &str,
+        op: u16,
+        provider_id: u16,
+        payload: Bytes,
+    ) -> Result<Bytes, YokanError> {
+        let pending = self
+            .endpoint
+            .call_async(addr, RpcId(op), provider_id, payload.clone());
+        wait_with_retry(
+            &self.endpoint,
+            self.retry.as_ref(),
+            &self.session.counters,
+            addr,
+            RpcId(op),
+            provider_id,
+            &payload,
+            pending,
+        )
+        .map_err(YokanError::from)
+    }
+
     fn call(&self, target: &DbTarget, op: u16, payload: Bytes) -> Result<Bytes, YokanError> {
-        self.endpoint
-            .call(&target.addr, RpcId(op), target.provider_id, payload)
-            .map_err(YokanError::from)
+        self.invoke(&target.addr, op, target.provider_id, payload)
+    }
+
+    /// A mutation call: like [`YokanClient::call`] but the response carries
+    /// a one-byte replay marker that is stripped (and counted) here.
+    fn call_mutation(
+        &self,
+        target: &DbTarget,
+        op: u16,
+        payload: Bytes,
+    ) -> Result<Bytes, YokanError> {
+        let resp = self.call(target, op, payload)?;
+        strip_replay_marker(resp, &self.session.counters)
     }
 
     /// Store one pair.
     pub fn put(&self, target: &DbTarget, key: &[u8], value: &[u8]) -> Result<(), YokanError> {
-        let mut buf = Self::header(target, 8 + key.len() + value.len());
+        let mut buf = self.mutation_header(target, 8 + key.len() + value.len());
         put_bytes(&mut buf, key);
         put_bytes(&mut buf, value);
-        self.call(target, OP_PUT, buf.freeze())?;
+        self.call_mutation(target, OP_PUT, buf.freeze())?;
         Ok(())
     }
 
@@ -140,10 +286,14 @@ impl YokanClient {
         } else {
             None
         };
-        let header_len = 4 + target.db.len() + 1;
+        let seq = self.session.next_seq.fetch_add(1, Ordering::Relaxed);
+        // 16-byte dedup stamp + length-prefixed db name + mode byte.
+        let header_len = 16 + 4 + target.db.len() + 1;
         let payload = match &bulk {
             Some(handle) => {
                 let mut buf = BytesMut::with_capacity(header_len + 24);
+                buf.put_u64_le(self.session.client_id);
+                buf.put_u64_le(seq);
                 put_bytes(&mut buf, target.db.as_bytes());
                 buf.put_u8(MODE_BULK);
                 handle.encode_into(&mut buf);
@@ -151,6 +301,8 @@ impl YokanClient {
             }
             None => {
                 scratch.reserve(header_len + block_len);
+                scratch.put_u64_le(self.session.client_id);
+                scratch.put_u64_le(seq);
                 put_bytes(scratch, target.db.as_bytes());
                 scratch.put_u8(MODE_INLINE);
                 encode_pairs_into(scratch, pairs);
@@ -161,12 +313,17 @@ impl YokanClient {
             &target.addr,
             RpcId(OP_PUT_MULTI),
             target.provider_id,
-            payload,
+            payload.clone(),
         );
         Ok(PendingPut {
             pending,
             bulk,
             endpoint: Arc::clone(&self.endpoint),
+            addr: target.addr.clone(),
+            provider_id: target.provider_id,
+            payload,
+            retry: self.retry.clone(),
+            session: Arc::clone(&self.session),
         })
     }
 
@@ -224,9 +381,9 @@ impl YokanClient {
 
     /// Delete a key.
     pub fn erase(&self, target: &DbTarget, key: &[u8]) -> Result<(), YokanError> {
-        let mut buf = Self::header(target, 4 + key.len());
+        let mut buf = self.mutation_header(target, 4 + key.len());
         put_bytes(&mut buf, key);
-        self.call(target, OP_ERASE, buf.freeze())?;
+        self.call_mutation(target, OP_ERASE, buf.freeze())?;
         Ok(())
     }
 
@@ -239,10 +396,10 @@ impl YokanClient {
         key: &[u8],
         value: &[u8],
     ) -> Result<Option<Vec<u8>>, YokanError> {
-        let mut buf = Self::header(target, 8 + key.len() + value.len());
+        let mut buf = self.mutation_header(target, 8 + key.len() + value.len());
         put_bytes(&mut buf, key);
         put_bytes(&mut buf, value);
-        let mut resp = self.call(target, OP_PUT_IF_ABSENT, buf.freeze())?;
+        let mut resp = self.call_mutation(target, OP_PUT_IF_ABSENT, buf.freeze())?;
         let mut vals = decode_optionals(&mut resp)?;
         vals.pop()
             .ok_or_else(|| YokanError::Protocol("empty put_if_absent response".into()))
@@ -251,9 +408,9 @@ impl YokanClient {
     /// Delete a batch of keys in one RPC.
     pub fn erase_multi(&self, target: &DbTarget, keys: &[Vec<u8>]) -> Result<(), YokanError> {
         let keys_block = encode_keys(keys);
-        let mut buf = Self::header(target, keys_block.len());
+        let mut buf = self.mutation_header(target, keys_block.len());
         buf.put_slice(&keys_block);
-        self.call(target, OP_ERASE_MULTI, buf.freeze())?;
+        self.call_mutation(target, OP_ERASE_MULTI, buf.freeze())?;
         Ok(())
     }
 
@@ -299,10 +456,7 @@ impl YokanClient {
 
     /// Database names served by a provider.
     pub fn list_databases(&self, addr: &str, provider_id: u16) -> Result<Vec<String>, YokanError> {
-        let mut resp = self
-            .endpoint
-            .call(addr, RpcId(OP_LIST_DBS), provider_id, Bytes::new())
-            .map_err(YokanError::from)?;
+        let mut resp = self.invoke(addr, OP_LIST_DBS, provider_id, Bytes::new())?;
         let keys = decode_keys(&mut resp)?;
         keys.into_iter()
             .map(|k| {
@@ -317,17 +471,34 @@ pub struct PendingPut {
     pending: PendingResponse,
     bulk: Option<mercurio::BulkHandle>,
     endpoint: Arc<dyn Endpoint>,
+    addr: String,
+    provider_id: u16,
+    payload: Bytes,
+    retry: Option<RetryPolicy>,
+    session: Arc<ClientSession>,
 }
 
 impl PendingPut {
-    /// Wait for the server to acknowledge the batch; releases the bulk
-    /// region if one was exposed.
+    /// Wait for the server to acknowledge the batch, retrying per the
+    /// client's policy; releases the bulk region if one was exposed (only
+    /// after the last attempt, so retries can still pull it).
     pub fn wait(self) -> Result<(), YokanError> {
-        let result = self.pending.wait();
+        let result = wait_with_retry(
+            &self.endpoint,
+            self.retry.as_ref(),
+            &self.session.counters,
+            &self.addr,
+            RpcId(OP_PUT_MULTI),
+            self.provider_id,
+            &self.payload,
+            self.pending,
+        );
         if let Some(h) = &self.bulk {
             self.endpoint.release_bulk(h);
         }
-        result.map(|_| ()).map_err(YokanError::from)
+        let resp = result.map_err(YokanError::from)?;
+        strip_replay_marker(resp, &self.session.counters)?;
+        Ok(())
     }
 
     /// Whether the acknowledgment arrived.

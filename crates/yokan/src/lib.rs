@@ -29,9 +29,11 @@ mod backend;
 mod client;
 mod encoding;
 mod error;
+mod retry;
 mod service;
 
 pub use backend::{Backend, BackendStats, LsmBackend, MemBackend};
-pub use client::{DbTarget, YokanClient};
+pub use client::{DbTarget, PendingPut, YokanClient};
 pub use error::YokanError;
+pub use retry::{RetryPolicy, RetryStats};
 pub use service::{YokanService, PROVIDER_RPC_BASE};

@@ -3,11 +3,13 @@
 use crate::backend::Backend;
 use crate::encoding::*;
 use crate::error::YokanError;
-use bytes::{BufMut, Bytes, BytesMut};
+use argos::Eventual;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use margo::MargoInstance;
 use mercurio::{BulkHandle, Endpoint, Request, RpcError, RpcId};
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Base RPC id of the Yokan protocol; ids `base..base+12` are used.
@@ -30,6 +32,36 @@ pub(crate) const OP_EXISTS_MULTI: u16 = PROVIDER_RPC_BASE + 12;
 pub(crate) const MODE_INLINE: u8 = 0;
 pub(crate) const MODE_BULK: u8 = 1;
 
+/// Replay markers prefixed to every mutation response: whether the service
+/// applied the mutation now or answered from its dedup window.
+pub(crate) const REPLAY_FRESH: u8 = 0;
+pub(crate) const REPLAY_CACHED: u8 = 1;
+
+/// Default per-client dedup window: responses remembered per client so
+/// retried mutations are applied at-most-once. Bounds service memory.
+const DEFAULT_DEDUP_WINDOW: usize = 1024;
+
+/// Prefix a mutation response with its replay marker.
+fn mark_replay(flag: u8, resp: &Bytes) -> Bytes {
+    let mut out = BytesMut::with_capacity(1 + resp.len());
+    out.put_u8(flag);
+    out.put_slice(resp);
+    out.freeze()
+}
+
+/// Mutations carry the `(client id, seq)` dedup stamp and a replay-marked
+/// response; reads are idempotent and skip the machinery entirely.
+fn is_mutation(op: u16) -> bool {
+    matches!(
+        op,
+        x if x == OP_PUT
+            || x == OP_PUT_MULTI
+            || x == OP_ERASE
+            || x == OP_ERASE_MULTI
+            || x == OP_PUT_IF_ABSENT
+    )
+}
+
 /// Multi-key reads at or above this many keys are fanned out across the
 /// provider's argos pool; below it the per-task overhead outweighs the
 /// parallelism.
@@ -48,9 +80,31 @@ struct ProviderState {
     pool: Option<argos::Pool>,
 }
 
+/// One remembered mutation in a client's dedup window.
+enum Slot {
+    /// The mutation is being applied right now; duplicates wait on the
+    /// eventual. `None` signals the apply failed (the slot is released and
+    /// the waiting duplicate re-claims and re-applies).
+    InFlight(Eventual<Option<Bytes>>),
+    /// The mutation was applied; this is its cached response.
+    Done(Bytes),
+}
+
+#[derive(Default)]
+struct ClientWindow {
+    /// Slots keyed by sequence number; BTreeMap so pruning evicts the
+    /// oldest sequence first.
+    slots: BTreeMap<u64, Slot>,
+}
+
 struct ServiceInner {
     endpoint: Arc<dyn Endpoint>,
     providers: RwLock<HashMap<u16, ProviderState>>,
+    /// Per-client dedup windows for at-most-once mutations. The lock is
+    /// held only to claim/publish slots, never across a backend apply.
+    dedup: Mutex<HashMap<u64, ClientWindow>>,
+    dedup_window: AtomicUsize,
+    deduped_replays: AtomicU64,
 }
 
 /// The server-side Yokan service: owns the providers and their databases,
@@ -70,6 +124,9 @@ impl YokanService {
         let inner = Arc::new(ServiceInner {
             endpoint: Arc::clone(margo.endpoint()),
             providers: RwLock::new(HashMap::new()),
+            dedup: Mutex::new(HashMap::new()),
+            dedup_window: AtomicUsize::new(DEFAULT_DEDUP_WINDOW),
+            deduped_replays: AtomicU64::new(0),
         });
         let svc = YokanService { inner };
         for op in [
@@ -149,6 +206,20 @@ impl YokanService {
         }
         out.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
         out
+    }
+
+    /// Mutations answered from the dedup window instead of being applied a
+    /// second time (duplicated frames and retries whose original landed).
+    pub fn deduped_replays(&self) -> u64 {
+        self.inner.deduped_replays.load(Ordering::Relaxed)
+    }
+
+    /// Bound the per-client dedup window: at most `cap` remembered
+    /// responses per client (oldest sequence numbers evicted first). A
+    /// retry arriving after its slot was evicted re-applies the mutation,
+    /// so `cap` should exceed a client's maximum in-flight requests.
+    pub fn set_dedup_window(&self, cap: usize) {
+        self.inner.dedup_window.store(cap.max(1), Ordering::Relaxed);
     }
 
     /// Names of the databases attached to one provider, sorted.
@@ -236,13 +307,92 @@ impl YokanService {
     }
 
     fn handle(&self, req: Request) -> Result<Bytes, YokanError> {
-        let mut p = req.payload.clone();
-        match req.rpc_id.0 {
-            x if x == OP_LIST_DBS => {
-                let names = self.database_names(req.provider_id);
-                let keys: Vec<Vec<u8>> = names.into_iter().map(|n| n.into_bytes()).collect();
-                Ok(encode_keys(&keys))
+        if is_mutation(req.rpc_id.0) {
+            let mut p = req.payload.clone();
+            if p.remaining() < 16 {
+                return Err(YokanError::Protocol("short mutation header".into()));
             }
+            let client_id = p.get_u64_le();
+            let seq = p.get_u64_le();
+            return self.handle_mutation(&req, client_id, seq, p);
+        }
+        self.handle_read(req)
+    }
+
+    /// At-most-once wrapper around [`YokanService::apply_mutation`].
+    ///
+    /// Claims the `(client, seq)` slot, applies the mutation with the dedup
+    /// lock *released*, then publishes the response. A duplicate arriving
+    /// before the apply finishes waits on the in-flight slot; one arriving
+    /// after is answered from the cached response. Failed applies release
+    /// the slot so a retry re-applies.
+    fn handle_mutation(
+        &self,
+        req: &Request,
+        client_id: u64,
+        seq: u64,
+        payload: Bytes,
+    ) -> Result<Bytes, YokanError> {
+        loop {
+            let in_flight;
+            {
+                let mut dedup = self.inner.dedup.lock();
+                let win = dedup.entry(client_id).or_default();
+                match win.slots.get(&seq) {
+                    Some(Slot::Done(resp)) => {
+                        self.inner.deduped_replays.fetch_add(1, Ordering::Relaxed);
+                        return Ok(mark_replay(REPLAY_CACHED, resp));
+                    }
+                    Some(Slot::InFlight(ev)) => in_flight = ev.clone(),
+                    None => {
+                        win.slots.insert(seq, Slot::InFlight(Eventual::new()));
+                        break;
+                    }
+                }
+            }
+            match in_flight.wait_cloned() {
+                Some(resp) => {
+                    self.inner.deduped_replays.fetch_add(1, Ordering::Relaxed);
+                    return Ok(mark_replay(REPLAY_CACHED, &resp));
+                }
+                // The original apply failed and released the slot; loop to
+                // re-claim and apply this duplicate as a fresh attempt.
+                None => continue,
+            }
+        }
+        let result = self.apply_mutation(req, payload);
+        let mut dedup = self.inner.dedup.lock();
+        let win = dedup.entry(client_id).or_default();
+        match result {
+            Ok(resp) => {
+                if let Some(Slot::InFlight(ev)) = win.slots.insert(seq, Slot::Done(resp.clone())) {
+                    ev.set(Some(resp.clone()));
+                }
+                let cap = self.inner.dedup_window.load(Ordering::Relaxed);
+                while win.slots.len() > cap {
+                    let &oldest = win.slots.keys().next().expect("non-empty window");
+                    if matches!(win.slots.get(&oldest), Some(Slot::InFlight(_))) {
+                        // Never evict an in-flight slot: its waiters hold
+                        // the eventual and the apply will publish through it.
+                        break;
+                    }
+                    win.slots.remove(&oldest);
+                }
+                Ok(mark_replay(REPLAY_FRESH, &resp))
+            }
+            Err(e) => {
+                if let Some(Slot::InFlight(ev)) = win.slots.remove(&seq) {
+                    ev.set(None);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Apply one mutation RPC. `p` starts at the database name (the dedup
+    /// stamp has been consumed by the caller).
+    fn apply_mutation(&self, req: &Request, mut p: Bytes) -> Result<Bytes, YokanError> {
+        match req.rpc_id.0 {
             x if x == OP_PUT => {
                 let db = get_bytes(&mut p)?;
                 let key = get_bytes(&mut p)?;
@@ -275,6 +425,37 @@ impl YokanService {
                 out.put_u32_le(pairs.len() as u32);
                 Ok(out.freeze())
             }
+            x if x == OP_ERASE => {
+                let db = get_bytes(&mut p)?;
+                let key = get_bytes(&mut p)?;
+                self.db(req.provider_id, &db)?.erase(&key)?;
+                Ok(Bytes::new())
+            }
+            x if x == OP_PUT_IF_ABSENT => {
+                let db = get_bytes(&mut p)?;
+                let key = get_bytes(&mut p)?;
+                let val = get_bytes(&mut p)?;
+                let existing = self.db(req.provider_id, &db)?.put_if_absent(&key, &val)?;
+                Ok(encode_optionals(&[existing]))
+            }
+            x if x == OP_ERASE_MULTI => {
+                let db = get_bytes(&mut p)?;
+                let keys = decode_keys(&mut p)?;
+                self.db(req.provider_id, &db)?.erase_multi(&keys)?;
+                Ok(Bytes::new())
+            }
+            other => Err(YokanError::Rpc(RpcError::NoSuchRpc(other))),
+        }
+    }
+
+    fn handle_read(&self, req: Request) -> Result<Bytes, YokanError> {
+        let mut p = req.payload.clone();
+        match req.rpc_id.0 {
+            x if x == OP_LIST_DBS => {
+                let names = self.database_names(req.provider_id);
+                let keys: Vec<Vec<u8>> = names.into_iter().map(|n| n.into_bytes()).collect();
+                Ok(encode_keys(&keys))
+            }
             x if x == OP_GET => {
                 let db = get_bytes(&mut p)?;
                 let key = get_bytes(&mut p)?;
@@ -304,25 +485,6 @@ impl YokanService {
                 let key = get_bytes(&mut p)?;
                 let e = self.db(req.provider_id, &db)?.exists(&key)?;
                 Ok(Bytes::copy_from_slice(&[e as u8]))
-            }
-            x if x == OP_ERASE => {
-                let db = get_bytes(&mut p)?;
-                let key = get_bytes(&mut p)?;
-                self.db(req.provider_id, &db)?.erase(&key)?;
-                Ok(Bytes::new())
-            }
-            x if x == OP_PUT_IF_ABSENT => {
-                let db = get_bytes(&mut p)?;
-                let key = get_bytes(&mut p)?;
-                let val = get_bytes(&mut p)?;
-                let existing = self.db(req.provider_id, &db)?.put_if_absent(&key, &val)?;
-                Ok(encode_optionals(&[existing]))
-            }
-            x if x == OP_ERASE_MULTI => {
-                let db = get_bytes(&mut p)?;
-                let keys = decode_keys(&mut p)?;
-                self.db(req.provider_id, &db)?.erase_multi(&keys)?;
-                Ok(Bytes::new())
             }
             x if x == OP_LIST_KEYS => {
                 let db = get_bytes(&mut p)?;

@@ -4,10 +4,12 @@
 use argos::Runtime;
 use margo::MargoInstance;
 use mercurio::local::Fabric;
+use mercurio::{FaultConfig, FaultPlan};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use yokan::{DbTarget, MemBackend, YokanClient, YokanService};
+use std::time::Duration;
+use yokan::{DbTarget, MemBackend, RetryPolicy, YokanClient, YokanService};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -87,4 +89,157 @@ proptest! {
         }
         server.finalize();
     }
+}
+
+/// Harness for the at-most-once tests: a service on a faulty fabric plus a
+/// retrying client.
+struct FaultyRig {
+    fabric: Fabric,
+    server: MargoInstance,
+    svc: YokanService,
+    client: YokanClient,
+    target: DbTarget,
+}
+
+fn faulty_rig(cfg: FaultConfig) -> FaultyRig {
+    let fabric = Fabric::new(Default::default());
+    let server = MargoInstance::new(fabric.endpoint("server"), Runtime::simple(1), "default")
+        .expect("margo instance");
+    let svc = YokanService::register(&server);
+    svc.add_provider(&server, 0, "default").unwrap();
+    svc.add_database(0, "db", Arc::new(MemBackend::new()));
+    let policy = RetryPolicy {
+        max_attempts: 8,
+        rpc_timeout: Duration::from_millis(50),
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(5),
+        jitter_seed: cfg.seed,
+    };
+    let client = YokanClient::new(fabric.endpoint("client")).with_retry(policy);
+    let target = DbTarget::new(server.address(), 0, "db");
+    fabric.install_fault_plan(Arc::new(FaultPlan::new(cfg)));
+    FaultyRig {
+        fabric,
+        server,
+        svc,
+        client,
+        target,
+    }
+}
+
+impl FaultyRig {
+    fn shutdown(self) {
+        self.fabric.clear_fault_plan();
+        self.server.finalize();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// At-most-once under duplicated and replayed mutations: requests are
+    /// duplicated at the transport (the handler runs twice) and responses
+    /// are dropped (the client retries mutations whose original landed).
+    /// The dedup window must absorb both — the final KV state equals the
+    /// model where every mutation applied exactly once, and erased keys are
+    /// never resurrected by a replay.
+    #[test]
+    fn duplicated_and_replayed_mutations_apply_at_most_once(
+        ops in proptest::collection::vec(op_strategy(), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = FaultConfig::new(seed);
+        cfg.duplicate_request = 0.4;
+        cfg.drop_response = 0.3;
+        let rig = faulty_rig(cfg);
+        let (client, t) = (&rig.client, &rig.target);
+
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    client.put(t, k, v).unwrap();
+                    model.insert(k.clone(), v.clone());
+                }
+                Op::PutMulti(pairs) => {
+                    client.put_multi(t, pairs).unwrap();
+                    for (k, v) in pairs {
+                        model.insert(k.clone(), v.clone());
+                    }
+                }
+                Op::Erase(k) => {
+                    client.erase(t, k).unwrap();
+                    model.remove(k);
+                }
+            }
+        }
+        let stats = client.retry_stats();
+        prop_assert!(stats.gave_up == 0, "retry budget exhausted: {:?}", stats);
+
+        // Reads go through the same retrying client; the fault plan is
+        // still active, so agreement here also exercises read retries.
+        let listed = client.list_keyvals(t, &[], &[], 0).unwrap();
+        let expected: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        // On mismatch the proptest failure prints `seed` as part of the
+        // minimized input, which reproduces the fault schedule.
+        prop_assert_eq!(listed, expected);
+        rig.shutdown();
+    }
+}
+
+/// Deterministic pin: with every mutation request duplicated, the service's
+/// dedup window must answer the second delivery from cache — and
+/// `put_if_absent` semantics must survive (the duplicate must not observe
+/// its own twin's insert as "already present").
+#[test]
+fn every_mutation_duplicated_still_applies_once() {
+    let mut cfg = FaultConfig::new(99);
+    cfg.duplicate_request = 1.0;
+    let rig = faulty_rig(cfg);
+    let (client, t) = (&rig.client, &rig.target);
+
+    assert_eq!(client.put_if_absent(t, b"k1", b"v1").unwrap(), None);
+    assert_eq!(
+        client.put_if_absent(t, b"k1", b"v2").unwrap(),
+        Some(b"v1".to_vec())
+    );
+    client.put(t, b"k2", b"v2").unwrap();
+    client.erase(t, b"k1").unwrap();
+    client
+        .put_multi(t, &[(b"k3".to_vec(), b"v3".to_vec())])
+        .unwrap();
+    client.erase_multi(t, &[b"k2".to_vec()]).unwrap();
+
+    assert_eq!(client.get(t, b"k1").unwrap(), None);
+    assert_eq!(client.get(t, b"k2").unwrap(), None);
+    assert_eq!(client.get(t, b"k3").unwrap(), Some(b"v3".to_vec()));
+    assert!(
+        rig.svc.deduped_replays() > 0,
+        "duplicated mutations never hit the dedup window"
+    );
+    assert_eq!(client.retry_stats().gave_up, 0);
+    rig.shutdown();
+}
+
+/// A bounded dedup window still dedups recent retries: with the window
+/// clamped tiny, old entries are pruned but the retry of the *latest*
+/// mutation is still answered from cache.
+#[test]
+fn tiny_dedup_window_still_covers_recent_mutations() {
+    let mut cfg = FaultConfig::new(7);
+    cfg.duplicate_request = 1.0;
+    let rig = faulty_rig(cfg);
+    rig.svc.set_dedup_window(4);
+    let (client, t) = (&rig.client, &rig.target);
+
+    for i in 0u8..32 {
+        client.put(t, &[b'k', i], &[i]).unwrap();
+    }
+    for i in 0u8..32 {
+        assert_eq!(client.get(t, &[b'k', i]).unwrap(), Some(vec![i]));
+    }
+    assert!(rig.svc.deduped_replays() > 0);
+    assert_eq!(client.retry_stats().gave_up, 0);
+    rig.shutdown();
 }

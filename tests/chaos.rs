@@ -1,0 +1,214 @@
+//! Deterministic chaos tests for the fault-tolerant RPC path.
+//!
+//! A seeded [`FaultPlan`] is installed on the deployment's fabric while a
+//! full nova ingest runs through a retrying client. The resulting store
+//! contents must be byte-identical to a fault-free run of the same
+//! workload, with no RPC giving up — dropped frames are retried, duplicated
+//! and replayed mutations are absorbed by the service's dedup window.
+//!
+//! Every fault decision is a pure function of `(seed, direction, rpc_id,
+//! req_id)`, so a failure here is reproduced by re-running with the seed
+//! printed in the assertion message.
+
+use hepnos::testing::{local_deployment, LocalDeployment};
+use hepnos::DataStore;
+use mercurio::{FaultConfig, FaultPlan};
+use nova::loader::{slice_label, summary_label, DataLoader};
+use nova::{EventRecord, NovaGenerator};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NODES: usize = 2;
+
+/// The fixed seeds the chaos suite replays; CI runs exactly these.
+const SEEDS: [u64; 3] = [7, 21, 1042];
+
+fn workload(seed: u64) -> Vec<EventRecord> {
+    let gen = NovaGenerator::new(seed);
+    let mut events = Vec::new();
+    for run in 0..2u64 {
+        for subrun in 0..2u64 {
+            for event in 0..9u64 {
+                events.push(gen.generate(run, subrun, event));
+            }
+        }
+    }
+    events
+}
+
+fn chaos_config(seed: u64) -> FaultConfig {
+    let mut cfg = FaultConfig::new(seed);
+    cfg.drop_request = 0.03;
+    cfg.drop_response = 0.02;
+    cfg.duplicate_request = 0.02;
+    cfg.duplicate_response = 0.02;
+    cfg.delay_probability = 0.10;
+    cfg.delay_min = Duration::from_millis(10);
+    cfg.delay_max = Duration::from_millis(50);
+    cfg.disconnect_probability = 0.01;
+    cfg
+}
+
+/// Retry aggressively enough that a plan's worst-case streak of drops
+/// cannot exhaust the budget; `rpc_timeout` stays far above `delay_max` so
+/// injected delays never masquerade as lost frames.
+fn chaos_retry_policy(seed: u64) -> yokan::RetryPolicy {
+    yokan::RetryPolicy {
+        max_attempts: 8,
+        rpc_timeout: Duration::from_millis(250),
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(20),
+        jitter_seed: seed,
+    }
+}
+
+/// Everything the workload wrote, in deterministic order: per event its
+/// coordinates plus the raw bytes of both products.
+type Digest = Vec<(u64, u64, u64, Option<Vec<u8>>, Option<Vec<u8>>)>;
+
+fn digest(store: &DataStore, dataset_name: &str) -> Digest {
+    let ds = store
+        .root()
+        .dataset(dataset_name)
+        .expect("dataset lookup failed");
+    let slice = slice_label();
+    let slice_ty = nova::loader::slice_type_name();
+    let summary = summary_label();
+    let summary_ty = nova::loader::summary_type_name();
+    let mut out = Digest::new();
+    for run in ds.runs().expect("list runs") {
+        for sr in run.subruns().expect("list subruns") {
+            for ev in sr.events().expect("list events") {
+                let (r, s, e) = ev.coordinates();
+                let slices = ev.load_raw(&slice, &slice_ty).expect("load slices");
+                let sum = ev.load_raw(&summary, &summary_ty).expect("load summary");
+                out.push((r, s, e, slices, sum));
+            }
+        }
+    }
+    out
+}
+
+fn ingest_serial(store: &DataStore, events: &[EventRecord]) {
+    let ds = store.root().create_dataset("nova").expect("create dataset");
+    DataLoader::new(store.clone(), ds)
+        .ingest_events(events)
+        .expect("ingest failed");
+}
+
+/// Fault-free reference run: fresh deployment, serial ingest, digest.
+fn baseline_digest(seed: u64) -> Digest {
+    let dep = local_deployment(NODES, Default::default());
+    let store = dep.datastore();
+    ingest_serial(&store, &workload(seed));
+    let d = digest(&store, "nova");
+    dep.shutdown();
+    d
+}
+
+fn chaos_deployment(seed: u64) -> (LocalDeployment, DataStore, Arc<FaultPlan>) {
+    let dep = local_deployment(NODES, Default::default());
+    let store = dep.connect_client_with_retry("chaos-client", chaos_retry_policy(seed));
+    let plan = Arc::new(FaultPlan::new(chaos_config(seed)));
+    dep.fabric().install_fault_plan(plan.clone());
+    (dep, store, plan)
+}
+
+/// The tentpole end-to-end check: for each fixed seed, ingest under an
+/// active fault plan and require the store's contents to be byte-identical
+/// to the fault-free baseline, with every RPC eventually succeeding.
+#[test]
+fn ingest_under_faults_matches_fault_free_baseline() {
+    for seed in SEEDS {
+        let want = baseline_digest(seed);
+
+        let (dep, store, plan) = chaos_deployment(seed);
+        ingest_serial(&store, &workload(seed));
+        let got = digest(&store, "nova");
+        let stats = store.retry_stats();
+        let counts = plan.counts();
+        dep.fabric().clear_fault_plan();
+        dep.shutdown();
+
+        assert_eq!(
+            stats.gave_up, 0,
+            "seed {seed}: {} RPC(s) exhausted their retry budget ({stats:?})",
+            stats.gave_up
+        );
+        assert_eq!(
+            got, want,
+            "seed {seed}: store contents diverged under faults \
+             (faults injected: {counts:?}, retries: {stats:?}) — \
+             re-run `cargo test --test chaos` with this seed to reproduce"
+        );
+        // The plan must actually have interfered — otherwise this test
+        // proves nothing about the retry path.
+        assert!(
+            counts.dropped + counts.duplicated + counts.disconnects > 0,
+            "seed {seed}: fault plan injected nothing"
+        );
+    }
+}
+
+/// Same seed → same fault schedule: replaying a seed on a fresh deployment
+/// yields an identical fault trace. Trace vectors are compared sorted —
+/// entries are deterministic, but concurrent duplicate deliveries may
+/// record them in either order.
+#[test]
+fn same_seed_replays_same_fault_schedule() {
+    let seed = SEEDS[0];
+    let mut traces = Vec::new();
+    for _ in 0..2 {
+        let (dep, store, plan) = chaos_deployment(seed);
+        ingest_serial(&store, &workload(seed));
+        let mut trace = plan.trace();
+        trace.sort();
+        traces.push(trace);
+        dep.fabric().clear_fault_plan();
+        dep.shutdown();
+    }
+    assert!(
+        !traces[0].is_empty(),
+        "seed {seed}: replay produced an empty fault trace"
+    );
+    assert_eq!(
+        traces[0], traces[1],
+        "seed {seed}: two replays produced different fault schedules"
+    );
+}
+
+/// The async ingestion path ([`hepnos::AsyncWriteBatch`] flushes via
+/// `ingest_events_overlapped`) must survive the same fault plan: contents
+/// identical to the fault-free baseline and the batch's retry delta
+/// reported through its stats.
+#[test]
+fn overlapped_ingest_under_faults_matches_baseline() {
+    let seed = SEEDS[1];
+    let want = baseline_digest(seed);
+
+    let (dep, store, _plan) = chaos_deployment(seed);
+    let ds = store.root().create_dataset("nova").expect("create dataset");
+    let rt = argos::Runtime::simple(2);
+    let stats = DataLoader::new(store.clone(), ds)
+        .ingest_events_overlapped(&workload(seed), rt.default_pool().unwrap())
+        .expect("overlapped ingest failed");
+    let got = digest(&store, "nova");
+    let retry = store.retry_stats();
+    rt.shutdown();
+    dep.fabric().clear_fault_plan();
+    dep.shutdown();
+
+    assert_eq!(
+        retry.gave_up, 0,
+        "seed {seed}: retries exhausted: {retry:?}"
+    );
+    assert_eq!(
+        got, want,
+        "seed {seed}: overlapped ingest diverged under faults ({retry:?})"
+    );
+    // The async batch observed the same client, so its per-batch retry
+    // delta must not exceed the client totals.
+    if let Some(batch) = stats.batch {
+        assert!(batch.retry.attempts <= retry.attempts);
+    }
+}
