@@ -125,6 +125,91 @@ pub struct ProviderConfig {
     pub databases: Vec<DatabaseConfig>,
 }
 
+/// The optional `overload` section: admission control and memory
+/// watermarks. Absent from a config, the service accepts everything and
+/// bounds nothing (the pre-overload-protection behaviour); present, every
+/// knob has a serde default so handwritten configs can set only what they
+/// care about.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverloadConfig {
+    /// Maximum queued-or-executing RPCs per provider before new requests
+    /// are shed with `Busy`.
+    #[serde(default = "default_max_queued")]
+    pub max_queued_per_provider: usize,
+    /// Maximum milliseconds a request may wait in its pool before being
+    /// shed at the front (0 disables the queue-delay deadline).
+    #[serde(default)]
+    pub max_queue_delay_ms: u64,
+    /// Backoff hint (milliseconds) returned to shed clients.
+    #[serde(default = "default_retry_after_ms")]
+    pub retry_after_ms: u64,
+    /// Soft memory watermark per `map` database in bytes: mutations stall
+    /// briefly above it (0 means "same as hard").
+    #[serde(default)]
+    pub soft_watermark_bytes: usize,
+    /// Hard memory watermark per `map` database in bytes: mutations that
+    /// would exceed it are shed with `Busy` (0 disables watermarks).
+    #[serde(default)]
+    pub hard_watermark_bytes: usize,
+    /// Longest a mutation stalls at the soft watermark (milliseconds)
+    /// before being applied anyway.
+    #[serde(default = "default_max_stall_ms")]
+    pub max_stall_ms: u64,
+}
+
+fn default_max_queued() -> usize {
+    1024
+}
+
+fn default_retry_after_ms() -> u64 {
+    5
+}
+
+fn default_max_stall_ms() -> u64 {
+    20
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            max_queued_per_provider: default_max_queued(),
+            max_queue_delay_ms: 0,
+            retry_after_ms: default_retry_after_ms(),
+            soft_watermark_bytes: 0,
+            hard_watermark_bytes: 0,
+            max_stall_ms: default_max_stall_ms(),
+        }
+    }
+}
+
+impl OverloadConfig {
+    fn admission(&self) -> margo::AdmissionConfig {
+        margo::AdmissionConfig {
+            max_queued_per_provider: self.max_queued_per_provider,
+            max_queue_delay: (self.max_queue_delay_ms > 0)
+                .then(|| std::time::Duration::from_millis(self.max_queue_delay_ms)),
+            retry_after_hint: std::time::Duration::from_millis(self.retry_after_ms),
+        }
+    }
+
+    fn watermarks(&self) -> Option<yokan::WatermarkConfig> {
+        if self.hard_watermark_bytes == 0 {
+            return None;
+        }
+        let soft = if self.soft_watermark_bytes == 0 {
+            self.hard_watermark_bytes
+        } else {
+            self.soft_watermark_bytes.min(self.hard_watermark_bytes)
+        };
+        Some(yokan::WatermarkConfig {
+            soft_bytes: soft,
+            hard_bytes: self.hard_watermark_bytes,
+            max_stall: std::time::Duration::from_millis(self.max_stall_ms),
+            retry_after_hint: std::time::Duration::from_millis(self.retry_after_ms),
+        })
+    }
+}
+
 /// A full Bedrock service configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServiceConfig {
@@ -132,6 +217,10 @@ pub struct ServiceConfig {
     pub margo: MargoConfig,
     /// Yokan providers.
     pub providers: Vec<ProviderConfig>,
+    /// Overload protection; `None` (the default) disables admission
+    /// control and watermarks, keeping older configs valid.
+    #[serde(default)]
+    pub overload: Option<OverloadConfig>,
 }
 
 /// Errors raised during bootstrap.
@@ -242,6 +331,7 @@ impl ServiceConfig {
                 rpc_pool: "default".into(),
             },
             providers,
+            overload: None,
         }
     }
 }
@@ -301,6 +391,7 @@ impl ServiceConfig {
                 rpc_pool: "default".into(),
             },
             providers: Vec::new(),
+            overload: None,
         };
         let mut provider_id = 0u16;
         for (label, n) in [
@@ -408,6 +499,12 @@ impl BedrockServer {
         &self.descriptor
     }
 
+    /// Admission-control counters (all zero when the config had no
+    /// `overload` section).
+    pub fn overload_stats(&self) -> margo::OverloadStats {
+        self.margo.overload_stats()
+    }
+
     /// Graceful teardown: stop serving, drain pools, join xstreams.
     pub fn shutdown(self) {
         self.margo.finalize();
@@ -433,6 +530,10 @@ pub fn launch(
     let runtime = rb.build().map_err(BedrockError::Runtime)?;
     let margo = MargoInstance::new(endpoint, runtime, &config.margo.rpc_pool)
         .map_err(BedrockError::Margo)?;
+    if let Some(ov) = &config.overload {
+        margo.enable_admission(ov.admission());
+    }
+    let watermarks = config.overload.as_ref().and_then(|ov| ov.watermarks());
     let yokan = YokanService::register(&margo);
     let mut providers = Vec::new();
     for p in &config.providers {
@@ -442,7 +543,10 @@ pub fn launch(
         let mut names = Vec::new();
         for db in &p.databases {
             let backend: Arc<dyn yokan::Backend> = match db.kind {
-                BackendKind::Map => Arc::new(MemBackend::new()),
+                BackendKind::Map => match &watermarks {
+                    Some(w) => Arc::new(MemBackend::new().with_watermarks(w.clone())),
+                    None => Arc::new(MemBackend::new()),
+                },
                 BackendKind::Lsm => {
                     let path = db.path.as_ref().ok_or_else(|| {
                         BedrockError::Invalid(format!("database {} needs a path", db.name))
@@ -585,6 +689,81 @@ mod tests {
         let json = serde_json::to_string(server.descriptor()).unwrap();
         let parsed: ConnectionDescriptor = serde_json::from_str(&json).unwrap();
         assert_eq!(&parsed, server.descriptor());
+        server.shutdown();
+    }
+
+    #[test]
+    fn overload_section_parses_with_defaults() {
+        let text = r#"{
+            "margo": {
+                "argobots": {
+                    "pools": [{"name": "default", "kind": "fifo_wait"}],
+                    "xstreams": [{"name": "es0", "pools": ["default"]}]
+                }
+            },
+            "providers": [{
+                "name": "kv",
+                "provider_id": 0,
+                "pool": "default",
+                "databases": [{"name": "events_0", "type": "map"}]
+            }],
+            "overload": {"max_queued_per_provider": 4}
+        }"#;
+        let cfg = ServiceConfig::from_json(text).unwrap();
+        let ov = cfg.overload.as_ref().unwrap();
+        assert_eq!(ov.max_queued_per_provider, 4);
+        assert_eq!(ov.retry_after_ms, 5);
+        assert!(ov.watermarks().is_none(), "hard watermark defaults to off");
+        // Configs without the section still parse (backward compatible).
+        let old = ServiceConfig::hepnos_node(1, 1, 0, BackendKind::Map, None).to_json();
+        assert!(ServiceConfig::from_json(&old).unwrap().overload.is_none());
+    }
+
+    #[test]
+    fn overload_zero_queue_sheds_everything() {
+        let fabric = Fabric::new(Default::default());
+        let mut cfg = ServiceConfig::hepnos_node(1, 0, 0, BackendKind::Map, None);
+        cfg.overload = Some(OverloadConfig {
+            max_queued_per_provider: 0,
+            ..Default::default()
+        });
+        let server = launch(fabric.endpoint("node0"), &cfg).unwrap();
+        let client = YokanClient::new(fabric.endpoint("client"));
+        let t = DbTarget::new(server.address(), 0, "events_0");
+        let err = client.put(&t, b"k", b"v").unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                yokan::YokanError::Rpc(mercurio::RpcError::Busy { .. })
+            ),
+            "expected Busy pushback, got {err:?}"
+        );
+        let stats = server.overload_stats();
+        assert!(stats.shed_queue_full >= 1);
+        assert_eq!(stats.admitted, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn overload_watermarks_reach_backends() {
+        let fabric = Fabric::new(Default::default());
+        let mut cfg = ServiceConfig::hepnos_node(1, 0, 0, BackendKind::Map, None);
+        cfg.overload = Some(OverloadConfig {
+            hard_watermark_bytes: 64,
+            ..Default::default()
+        });
+        let server = launch(fabric.endpoint("node0"), &cfg).unwrap();
+        let client = YokanClient::new(fabric.endpoint("client"));
+        let t = DbTarget::new(server.address(), 0, "events_0");
+        client.put(&t, b"small", b"fits").unwrap();
+        let err = client.put(&t, b"big", &[0u8; 256]).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                yokan::YokanError::Rpc(mercurio::RpcError::Busy { .. })
+            ),
+            "expected hard-watermark shed, got {err:?}"
+        );
         server.shutdown();
     }
 

@@ -1,0 +1,154 @@
+//! Goodput under overload: hot writers vs a deliberately tiny service,
+//! with overload protection on (2-deep admission queues + soft/hard memory
+//! watermarks + AIMD client windows) and off (the pre-PR-5 behaviour:
+//! unbounded queues, accept everything).
+//!
+//! Every writer eventually lands every pair in both modes (local transport,
+//! patient retries), so the interesting outputs are goodput — acknowledged
+//! pairs per second — versus offered load, how much work the service shed
+//! to stay inside its bounds, and how far the clients' AIMD windows backed
+//! off. Results are logged into `BENCH_overload.json`.
+//!
+//! Run: `cargo run --release -p hepnos-bench --bin goodput_overload`
+
+use bedrock::{BackendKind, DbCounts, OverloadConfig};
+use hepnos::testing::{local_deployment_tuned, LocalDeployment};
+use hepnos::{AsyncWriteBatch, BatchStats, ProductLabel};
+use mercurio::NetworkModel;
+use std::time::{Duration, Instant};
+
+const EVENTS_PER_WRITER: u64 = 200;
+const WINDOW: usize = 8;
+const WRITER_COUNTS: [u64; 4] = [1, 2, 4, 8];
+
+fn tiny_counts() -> DbCounts {
+    DbCounts {
+        datasets: 1,
+        runs: 1,
+        subruns: 1,
+        events: 1,
+        products: 1,
+    }
+}
+
+fn patient_retry(seed: u64) -> yokan::RetryPolicy {
+    yokan::RetryPolicy {
+        max_attempts: 400,
+        rpc_timeout: Duration::from_secs(5),
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(8),
+        jitter_seed: seed,
+    }
+}
+
+fn deployment(protected: bool) -> LocalDeployment {
+    local_deployment_tuned(
+        1,
+        tiny_counts(),
+        BackendKind::Map,
+        None,
+        NetworkModel::default(),
+        move |cfg| {
+            if protected {
+                cfg.overload = Some(OverloadConfig {
+                    max_queued_per_provider: 2,
+                    soft_watermark_bytes: 256 << 10,
+                    hard_watermark_bytes: 64 << 20,
+                    max_stall_ms: 1,
+                    retry_after_ms: 1,
+                    ..Default::default()
+                });
+            }
+        },
+    )
+}
+
+struct CaseResult {
+    elapsed: Duration,
+    total: BatchStats,
+    shed: u64,
+    admitted: u64,
+    queue_depth_hwm: u64,
+    soft_stalls: u64,
+}
+
+fn run_case(writers: u64, protected: bool) -> CaseResult {
+    let dep = deployment(protected);
+    let setup = dep.datastore();
+    let ds = setup.root().create_dataset("bench").unwrap();
+    for w in 0..writers {
+        ds.create_run(w).unwrap().create_subrun(0).unwrap();
+    }
+    let label = ProductLabel::new("payload");
+    let t0 = Instant::now();
+    let mut threads = Vec::new();
+    for w in 0..writers {
+        let store = dep.connect_client_with_retry(&format!("w{w}"), patient_retry(w));
+        let label = label.clone();
+        threads.push(std::thread::spawn(move || {
+            let ds = store.dataset("bench").unwrap();
+            let sr = ds.run(w).unwrap().subrun(0).unwrap();
+            let uuid = ds.uuid().unwrap();
+            let rt = argos::Runtime::simple(2);
+            let payload = vec![w as u8; 512];
+            let mut batch = AsyncWriteBatch::new(&store, rt.default_pool().unwrap())
+                .with_per_db_limit(8)
+                .with_inflight_window(WINDOW);
+            for e in 0..EVENTS_PER_WRITER {
+                let ev = batch.create_event(&sr, &uuid, e).unwrap();
+                batch.store(&ev, &label, &payload).unwrap();
+            }
+            batch.wait().expect("lost acks");
+            let stats = batch.stats();
+            drop(batch);
+            rt.shutdown();
+            stats
+        }));
+    }
+    let mut total = BatchStats::default();
+    for t in threads {
+        total.merge(&t.join().expect("writer panicked"));
+    }
+    let elapsed = t0.elapsed();
+    let overload = dep.overload_stats();
+    let soft_stalls = dep.backend_stats().iter().map(|(_, s)| s.soft_stalls).sum();
+    dep.shutdown();
+    assert_eq!(total.acked_pairs, total.shipped_pairs, "lost acks");
+    CaseResult {
+        elapsed,
+        total,
+        shed: overload.shed(),
+        admitted: overload.admitted,
+        queue_depth_hwm: overload.queue_depth_hwm,
+        soft_stalls,
+    }
+}
+
+fn main() {
+    println!("# Goodput under overload: {EVENTS_PER_WRITER} events/writer, window {WINDOW}, 1-provider service");
+    println!("# protected = 2-deep admission queue + watermarks; open = no overload section");
+    for writers in WRITER_COUNTS {
+        for protected in [false, true] {
+            let r = run_case(writers, protected);
+            let goodput = r.total.acked_pairs as f64 / r.elapsed.as_secs_f64();
+            let mode = if protected { "protected" } else { "open" };
+            println!(
+                "{{ \"case\": \"{mode}\", \"writers\": {writers}, \"goodput_pairs_per_s\": {:.0}, \
+                 \"elapsed_ms\": {}, \"acked_pairs\": {}, \"shed\": {}, \"admitted\": {}, \
+                 \"queue_depth_hwm\": {}, \"soft_stalls\": {}, \"busy_pushbacks\": {}, \
+                 \"window_shrinks\": {}, \"window_grows\": {}, \"window_min\": {} }}",
+                goodput,
+                r.elapsed.as_millis(),
+                r.total.acked_pairs,
+                r.shed,
+                r.admitted,
+                r.queue_depth_hwm,
+                r.soft_stalls,
+                r.total.retry.busy_pushbacks,
+                r.total.window_shrinks,
+                r.total.window_grows,
+                r.total.window_min,
+            );
+        }
+    }
+}

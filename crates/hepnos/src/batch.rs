@@ -256,6 +256,18 @@ pub struct BatchStats {
     pub backpressure_stalls: u64,
     /// Total time spent blocked on a full window.
     pub stall_time: std::time::Duration,
+    /// Times the adaptive window halved after `Busy` pushback from the
+    /// service (AIMD multiplicative decrease).
+    pub window_shrinks: u64,
+    /// Times the adaptive window re-grew by one after a cleanly
+    /// acknowledged flush (AIMD additive increase).
+    pub window_grows: u64,
+    /// Smallest in-flight window reached during the batch's lifetime
+    /// (equals the configured window when no pushback occurred; 0 only in
+    /// a default-constructed snapshot).
+    pub window_min: usize,
+    /// In-flight window at the moment the snapshot was taken.
+    pub window_final: usize,
     /// Retry behaviour of the flush RPCs issued during this batch's
     /// lifetime (all zero unless the store was connected with
     /// [`crate::DataStore::connect_with_retry`]).
@@ -274,6 +286,15 @@ impl BatchStats {
         self.inflight_hwm = self.inflight_hwm.max(other.inflight_hwm);
         self.backpressure_stalls += other.backpressure_stalls;
         self.stall_time += other.stall_time;
+        self.window_shrinks += other.window_shrinks;
+        self.window_grows += other.window_grows;
+        // 0 means "unset" (default snapshot); a real trajectory never
+        // reaches a zero window, so it must not win the minimum.
+        self.window_min = match (self.window_min, other.window_min) {
+            (0, w) | (w, 0) => w,
+            (a, b) => a.min(b),
+        };
+        self.window_final = self.window_final.max(other.window_final);
         self.retry.merge(&other.retry);
     }
 }
@@ -294,7 +315,17 @@ type ScratchPool = Arc<Mutex<Vec<bytes::BytesMut>>>;
 pub struct AsyncWriteBatch {
     batch: WriteBatch,
     pool: Pool,
-    window: usize,
+    /// Configured (maximum) in-flight window: the AIMD ceiling.
+    max_window: usize,
+    /// Current adaptive window: halved on `Busy` pushback (floor 1), grown
+    /// by one per cleanly acknowledged flush, never above `max_window`.
+    cur_window: usize,
+    /// `busy_pushbacks` counter value already accounted for, so each
+    /// pushback shrinks the window exactly once.
+    busy_seen: u64,
+    window_shrinks: u64,
+    window_grows: u64,
+    window_min: usize,
     pending: std::collections::VecDeque<argos::JoinHandle<Result<(), HepnosError>>>,
     acked_pairs: Arc<std::sync::atomic::AtomicU64>,
     acked_rpcs: Arc<std::sync::atomic::AtomicU64>,
@@ -316,7 +347,12 @@ impl AsyncWriteBatch {
         AsyncWriteBatch {
             batch: WriteBatch::new(store),
             pool,
-            window: DEFAULT_INFLIGHT_WINDOW,
+            max_window: DEFAULT_INFLIGHT_WINDOW,
+            cur_window: DEFAULT_INFLIGHT_WINDOW,
+            busy_seen: retry_baseline.busy_pushbacks,
+            window_shrinks: 0,
+            window_grows: 0,
+            window_min: DEFAULT_INFLIGHT_WINDOW,
             pending: std::collections::VecDeque::new(),
             acked_pairs: Arc::new(std::sync::atomic::AtomicU64::new(0)),
             acked_rpcs: Arc::new(std::sync::atomic::AtomicU64::new(0)),
@@ -336,10 +372,19 @@ impl AsyncWriteBatch {
         self
     }
 
-    /// Override the in-flight flush window (minimum 1).
+    /// Override the in-flight flush window (minimum 1). This sets the AIMD
+    /// ceiling; the effective window shrinks under overload pushback and
+    /// re-grows toward this value on clean acknowledgements.
     pub fn with_inflight_window(mut self, window: usize) -> AsyncWriteBatch {
-        self.window = window.max(1);
+        self.max_window = window.max(1);
+        self.cur_window = self.max_window;
+        self.window_min = self.max_window;
         self
+    }
+
+    /// The current adaptive in-flight window.
+    pub fn inflight_window(&self) -> usize {
+        self.cur_window
     }
 
     /// Queue a typed product store (see [`WriteBatch::store`]).
@@ -399,8 +444,25 @@ impl AsyncWriteBatch {
         subrun_event(subrun, number)
     }
 
-    /// Record one completed flush's outcome.
+    /// Record one completed flush's outcome and adapt the in-flight window
+    /// (AIMD): any `Busy` pushback observed since the last completion halves
+    /// it (multiplicative decrease, floor 1); a clean acknowledgement with
+    /// no pushback grows it by one toward the configured ceiling (additive
+    /// increase).
     fn absorb(&mut self, res: Result<(), HepnosError>) {
+        let busy_now = self.batch.store.retry_stats().busy_pushbacks;
+        if busy_now > self.busy_seen {
+            self.busy_seen = busy_now;
+            let shrunk = (self.cur_window / 2).max(1);
+            if shrunk < self.cur_window {
+                self.cur_window = shrunk;
+                self.window_shrinks += 1;
+            }
+            self.window_min = self.window_min.min(self.cur_window);
+        } else if res.is_ok() && self.cur_window < self.max_window {
+            self.cur_window += 1;
+            self.window_grows += 1;
+        }
         if let Err(e) = res {
             if self.first_error.is_none() {
                 self.first_error = Some(e);
@@ -423,14 +485,14 @@ impl AsyncWriteBatch {
     /// Block until the window has room, running queued pool tasks while
     /// waiting so a pool without dedicated executors still makes progress.
     fn stall_until_window_open(&mut self) {
-        if self.pending.len() < self.window {
+        if self.pending.len() < self.cur_window {
             return;
         }
         self.backpressure_stalls += 1;
         let t0 = std::time::Instant::now();
-        while self.pending.len() >= self.window {
+        while self.pending.len() >= self.cur_window {
             self.reap_completed();
-            if self.pending.len() < self.window {
+            if self.pending.len() < self.cur_window {
                 break;
             }
             if let Some(task) = self.pool.try_pop() {
@@ -551,6 +613,10 @@ impl AsyncWriteBatch {
             inflight_hwm: self.inflight_hwm,
             backpressure_stalls: self.backpressure_stalls,
             stall_time: self.stall_time,
+            window_shrinks: self.window_shrinks,
+            window_grows: self.window_grows,
+            window_min: self.window_min,
+            window_final: self.cur_window,
             retry: self
                 .batch
                 .store

@@ -80,3 +80,4 @@ pub use pep::{
 };
 pub use prefetch::Prefetcher;
 pub use uuid::Uuid;
+pub use yokan::{RetryPolicy, RetryStats};

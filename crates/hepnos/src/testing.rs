@@ -42,6 +42,20 @@ pub fn local_deployment_with(
     data_dir: Option<PathBuf>,
     model: NetworkModel,
 ) -> LocalDeployment {
+    local_deployment_tuned(n_nodes, counts, backend, data_dir, model, |_| {})
+}
+
+/// [`local_deployment_with`] plus a hook to adjust each node's
+/// [`ServiceConfig`] before launch — how overload tests install tiny
+/// admission queues and watermarks on an otherwise standard topology.
+pub fn local_deployment_tuned(
+    n_nodes: usize,
+    counts: DbCounts,
+    backend: BackendKind,
+    data_dir: Option<PathBuf>,
+    model: NetworkModel,
+    tune: impl Fn(&mut ServiceConfig),
+) -> LocalDeployment {
     assert!(n_nodes > 0, "deployment needs at least one server node");
     let id = DEPLOYMENT_COUNTER.fetch_add(1, Ordering::Relaxed);
     let fabric = Fabric::new(model);
@@ -49,7 +63,8 @@ pub fn local_deployment_with(
     let mut descriptors = Vec::with_capacity(n_nodes);
     for node in 0..n_nodes {
         let node_dir = data_dir.as_ref().map(|d| d.join(format!("node{node}")));
-        let cfg = ServiceConfig::hepnos_topology(counts, backend, node_dir);
+        let mut cfg = ServiceConfig::hepnos_topology(counts, backend, node_dir);
+        tune(&mut cfg);
         let server = bedrock::launch(fabric.endpoint(&format!("server{id}-{node}")), &cfg)
             .expect("deployment bootstrap failed");
         descriptors.push(server.descriptor().clone());
@@ -110,6 +125,17 @@ impl LocalDeployment {
             }
         }
         out
+    }
+
+    /// Admission-control counters aggregated across every server node
+    /// (all zero unless the deployment was tuned with an `overload`
+    /// section).
+    pub fn overload_stats(&self) -> margo::OverloadStats {
+        let mut total = margo::OverloadStats::default();
+        for server in &self.servers {
+            total.merge(&server.overload_stats());
+        }
+        total
     }
 
     /// Tear everything down.

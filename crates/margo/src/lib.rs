@@ -47,11 +47,15 @@
 
 use argos::{Pool, Runtime};
 use bytes::Bytes;
-use mercurio::{Endpoint, PendingResponse, RpcError, RpcHandler, RpcId};
+use mercurio::{
+    Admission, AdmissionControl, Endpoint, PendingResponse, RpcError, RpcHandler, RpcId,
+};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Errors raised while configuring a [`MargoInstance`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +80,149 @@ impl std::error::Error for MargoError {}
 struct Routes {
     by_provider: HashMap<u16, Pool>,
     default: Pool,
+}
+
+/// Overload-protection policy of a [`MargoInstance`] (see
+/// [`MargoInstance::enable_admission`]).
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Bound on admitted-but-unfinished requests per provider; request
+    /// number `bound + 1` is shed with [`RpcError::Busy`] instead of being
+    /// queued.
+    pub max_queued_per_provider: usize,
+    /// Maximum time a request may wait in its pool before execution; a
+    /// request starting later than this is shed instead of executed
+    /// (deadline-aware shedding). `None` disables the check.
+    pub max_queue_delay: Option<Duration>,
+    /// Backoff hint carried in every [`RpcError::Busy`] this instance emits.
+    pub retry_after_hint: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_queued_per_provider: 1024,
+            max_queue_delay: None,
+            retry_after_hint: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Overload counters of a [`MargoInstance`] with admission control enabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Requests admitted past the queue bound check.
+    pub admitted: u64,
+    /// Requests shed because their provider's admission queue was full.
+    pub shed_queue_full: u64,
+    /// Requests shed at the front of the pool because they queued past the
+    /// configured delay bound.
+    pub shed_deadline: u64,
+    /// High-water mark of any single provider's admission-queue depth.
+    pub queue_depth_hwm: u64,
+}
+
+impl OverloadStats {
+    /// Total requests shed (queue-full + deadline).
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_deadline
+    }
+
+    /// Fold another instance's counters into this one (counters add, the
+    /// high-water mark takes the max).
+    pub fn merge(&mut self, other: &OverloadStats) {
+        self.admitted += other.admitted;
+        self.shed_queue_full += other.shed_queue_full;
+        self.shed_deadline += other.shed_deadline;
+        self.queue_depth_hwm = self.queue_depth_hwm.max(other.queue_depth_hwm);
+    }
+}
+
+#[derive(Default)]
+struct ProviderGate {
+    inflight: AtomicI64,
+}
+
+/// [`AdmissionControl`] implementation backing
+/// [`MargoInstance::enable_admission`]: a bounded admission queue per
+/// provider plus an optional queue-delay deadline.
+struct MargoAdmission {
+    cfg: AdmissionConfig,
+    gates: RwLock<HashMap<u16, Arc<ProviderGate>>>,
+    admitted: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_deadline: AtomicU64,
+    queue_depth_hwm: AtomicU64,
+}
+
+impl MargoAdmission {
+    fn new(cfg: AdmissionConfig) -> MargoAdmission {
+        MargoAdmission {
+            cfg,
+            gates: RwLock::new(HashMap::new()),
+            admitted: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            queue_depth_hwm: AtomicU64::new(0),
+        }
+    }
+
+    fn gate(&self, provider_id: u16) -> Arc<ProviderGate> {
+        if let Some(g) = self.gates.read().get(&provider_id) {
+            return Arc::clone(g);
+        }
+        Arc::clone(self.gates.write().entry(provider_id).or_default())
+    }
+
+    fn snapshot(&self) -> OverloadStats {
+        OverloadStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl AdmissionControl for MargoAdmission {
+    fn admit(&self, _rpc_id: RpcId, provider_id: u16) -> Admission {
+        let gate = self.gate(provider_id);
+        let depth = gate.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+        if depth as usize > self.cfg.max_queued_per_provider {
+            gate.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            return Admission::Shed {
+                retry_after: self.cfg.retry_after_hint,
+            };
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth_hwm
+            .fetch_max(depth as u64, Ordering::Relaxed);
+        Admission::Admit
+    }
+
+    fn begin(&self, _rpc_id: RpcId, _provider_id: u16, queued: Duration) -> Admission {
+        if self.cfg.max_queue_delay.is_some_and(|max| queued > max) {
+            self.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            return Admission::Shed {
+                retry_after: self.cfg.retry_after_hint,
+            };
+        }
+        Admission::Admit
+    }
+
+    fn complete(&self, _rpc_id: RpcId, provider_id: u16) {
+        let prev = self
+            .gate(provider_id)
+            .inflight
+            .fetch_sub(1, Ordering::AcqRel);
+        // Exactly-once accounting: a release without a matching admit means
+        // a transport answered (or dropped) one request twice.
+        debug_assert!(
+            prev > 0,
+            "admission slot of provider {provider_id} released twice"
+        );
+    }
 }
 
 /// Accumulated service time of one RPC id.
@@ -109,6 +256,7 @@ pub struct MargoInstance {
     runtime: Runtime,
     routes: Arc<RwLock<Routes>>,
     timings: TimingTable,
+    admission: RwLock<Option<Arc<MargoAdmission>>>,
 }
 
 impl fmt::Debug for MargoInstance {
@@ -171,7 +319,28 @@ impl MargoInstance {
             runtime,
             routes,
             timings,
+            admission: RwLock::new(None),
         })
+    }
+
+    /// Turn on overload protection: bounded per-provider admission queues
+    /// with deadline-aware shedding. Over-bound or overdue requests are
+    /// answered [`RpcError::Busy`] (carrying
+    /// [`AdmissionConfig::retry_after_hint`]) instead of queueing without
+    /// bound. Replaces any previously installed policy.
+    pub fn enable_admission(&self, cfg: AdmissionConfig) {
+        let ctrl = Arc::new(MargoAdmission::new(cfg));
+        self.endpoint.set_admission(Some(Arc::clone(&ctrl) as _));
+        *self.admission.write() = Some(ctrl);
+    }
+
+    /// Overload counters; all-zero when admission control is disabled.
+    pub fn overload_stats(&self) -> OverloadStats {
+        self.admission
+            .read()
+            .as_ref()
+            .map(|a| a.snapshot())
+            .unwrap_or_default()
     }
 
     /// Route RPCs targeting `provider_id` into the named pool. This is the
@@ -252,6 +421,7 @@ impl MargoInstance {
         InstanceStats {
             endpoint: self.endpoint.stats(),
             pools,
+            overload: self.overload_stats(),
         }
     }
 
@@ -275,6 +445,8 @@ pub struct InstanceStats {
     pub endpoint: mercurio::EndpointStats,
     /// `(pool name, counters)` for every pool, sorted by name.
     pub pools: Vec<(String, argos::PoolStats)>,
+    /// Overload counters (all-zero when admission control is disabled).
+    pub overload: OverloadStats,
 }
 
 impl InstanceStats {
@@ -405,6 +577,84 @@ mod tests {
             p.wait().unwrap();
         }
         assert_eq!(count.load(Ordering::SeqCst), 40);
+        inst.finalize();
+    }
+
+    #[test]
+    fn admission_queue_bound_sheds_excess() {
+        let fabric = Fabric::new(Default::default());
+        let inst = MargoInstance::new(fabric.endpoint("s"), rt_two_pools(), "default").unwrap();
+        inst.enable_admission(AdmissionConfig {
+            max_queued_per_provider: 1,
+            retry_after_hint: Duration::from_millis(4),
+            ..Default::default()
+        });
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let r2 = Arc::clone(&release);
+        inst.register_rpc(
+            RpcId(1),
+            Arc::new(move |_req: Request| {
+                while !r2.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                Ok(Bytes::new())
+            }),
+        );
+        let client = fabric.endpoint("c");
+        // First call occupies the single admission slot (the handler holds
+        // it until released)...
+        let first = client.call_async(&inst.address(), RpcId(1), 0, Bytes::new());
+        // ...so the second is shed at the door with the configured hint.
+        let err = client
+            .call(&inst.address(), RpcId(1), 0, Bytes::new())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            mercurio::RpcError::Busy {
+                retry_after: Duration::from_millis(4)
+            }
+        );
+        release.store(true, Ordering::SeqCst);
+        first.wait().unwrap();
+        let stats = inst.overload_stats();
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.shed_queue_full, 1);
+        assert_eq!(stats.shed(), 1);
+        assert_eq!(stats.queue_depth_hwm, 1);
+        // The slot was released: the next call is admitted again.
+        client
+            .call(&inst.address(), RpcId(1), 0, Bytes::new())
+            .unwrap();
+        assert_eq!(inst.overload_stats().admitted, 2);
+        assert_eq!(inst.stats().overload.shed(), 1);
+        inst.finalize();
+    }
+
+    #[test]
+    fn admission_deadline_sheds_stale_requests() {
+        let fabric = Fabric::new(Default::default());
+        let inst = MargoInstance::new(fabric.endpoint("s"), rt_two_pools(), "default").unwrap();
+        inst.enable_admission(AdmissionConfig {
+            max_queue_delay: Some(Duration::ZERO),
+            retry_after_hint: Duration::from_millis(2),
+            ..Default::default()
+        });
+        inst.register_rpc(RpcId(1), Arc::new(|req: Request| Ok(req.payload)));
+        let client = fabric.endpoint("c");
+        // Any measurable queue delay exceeds a zero deadline: the request is
+        // admitted but shed at the pool front, through the normal reply path.
+        let err = client
+            .call(&inst.address(), RpcId(1), 0, Bytes::new())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            mercurio::RpcError::Busy {
+                retry_after: Duration::from_millis(2)
+            }
+        );
+        let stats = inst.overload_stats();
+        assert_eq!(stats.shed_deadline, 1);
+        assert_eq!(stats.admitted, 1);
         inst.finalize();
     }
 

@@ -46,6 +46,97 @@ where
 pub type Executor =
     Arc<dyn Fn(RpcId, u16, Box<dyn FnOnce() + Send + 'static>) + Send + Sync + 'static>;
 
+/// Verdict of an [`AdmissionControl`] check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Execute the request.
+    Admit,
+    /// Reject the request with [`RpcError::Busy`] carrying `retry_after`;
+    /// the handler is never invoked.
+    Shed {
+        /// Backoff hint returned to the caller.
+        retry_after: Duration,
+    },
+}
+
+/// Per-endpoint overload policy, consulted by the transport for every
+/// incoming request (internal bulk pulls are exempt — they serve requests
+/// that were already admitted).
+///
+/// The contract is exactly-once accounting: a request whose [`admit`] returns
+/// [`Admission::Admit`] holds one admission slot until [`complete`] is called
+/// for it, which the transport guarantees happens exactly once — whether the
+/// handler ran, the request was shed at [`begin`], or the response was lost.
+/// A request shed at [`admit`] never held a slot and gets no [`complete`].
+///
+/// [`admit`]: AdmissionControl::admit
+/// [`begin`]: AdmissionControl::begin
+/// [`complete`]: AdmissionControl::complete
+pub trait AdmissionControl: Send + Sync {
+    /// Called on the transport's delivery thread *before* the request is
+    /// handed to the executor. [`Admission::Shed`] makes the transport
+    /// answer [`RpcError::Busy`] immediately, bypassing the execution pools
+    /// — the request is rejected, never silently dropped.
+    fn admit(&self, rpc_id: RpcId, provider_id: u16) -> Admission;
+
+    /// Called when an admitted request reaches the front of its execution
+    /// pool, with the time it spent queued. [`Admission::Shed`] here turns
+    /// into a [`RpcError::Busy`] response through the normal reply path
+    /// (deadline-aware shedding: a request that waited too long is answered
+    /// cheaply instead of doing work whose caller already gave up).
+    fn begin(&self, rpc_id: RpcId, provider_id: u16, queued: Duration) -> Admission;
+
+    /// Called exactly once per admitted request after its handler finished
+    /// or it was shed at [`AdmissionControl::begin`], releasing the slot.
+    fn complete(&self, rpc_id: RpcId, provider_id: u16);
+}
+
+/// Scriptable admission controller for the transport shed-path regression
+/// tests: records how often each hook fired so tests can pin the
+/// exactly-once accounting contract.
+#[cfg(test)]
+pub(crate) mod testctl {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[derive(Default)]
+    pub(crate) struct TestAdmission {
+        pub(crate) shed_at_admit: bool,
+        pub(crate) shed_at_begin: bool,
+        pub(crate) admits: AtomicUsize,
+        pub(crate) begins: AtomicUsize,
+        pub(crate) completes: AtomicUsize,
+    }
+
+    impl AdmissionControl for TestAdmission {
+        fn admit(&self, _rpc_id: RpcId, _provider_id: u16) -> Admission {
+            self.admits.fetch_add(1, Ordering::SeqCst);
+            if self.shed_at_admit {
+                Admission::Shed {
+                    retry_after: Duration::from_millis(7),
+                }
+            } else {
+                Admission::Admit
+            }
+        }
+
+        fn begin(&self, _rpc_id: RpcId, _provider_id: u16, _queued: Duration) -> Admission {
+            self.begins.fetch_add(1, Ordering::SeqCst);
+            if self.shed_at_begin {
+                Admission::Shed {
+                    retry_after: Duration::from_millis(3),
+                }
+            } else {
+                Admission::Admit
+            }
+        }
+
+        fn complete(&self, _rpc_id: RpcId, _provider_id: u16) {
+            self.completes.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
 /// The in-flight result of an asynchronous call.
 pub struct PendingResponse {
     pub(crate) ev: Eventual<Result<Bytes, RpcError>>,
@@ -135,6 +226,10 @@ pub trait Endpoint: Send + Sync {
 
     /// Install the executor deciding where handlers run.
     fn set_executor(&self, exec: Executor);
+
+    /// Install (or clear) the admission controller consulted for incoming
+    /// requests. Default: no admission control, every request is executed.
+    fn set_admission(&self, ctrl: Option<Arc<dyn AdmissionControl>>);
 
     /// Issue an asynchronous call; the response is delivered through the
     /// returned [`PendingResponse`].

@@ -34,6 +34,14 @@ pub enum RpcError {
     Protocol(String),
     /// The endpoint is shutting down.
     Shutdown,
+    /// The service is overloaded and shed the request before executing it
+    /// (admission queue full, deadline already passed, or a backend hard
+    /// watermark tripped). The request was *not* applied; the caller should
+    /// back off for at least `retry_after` and try again.
+    Busy {
+        /// Server-suggested minimum backoff before retrying.
+        retry_after: std::time::Duration,
+    },
 }
 
 impl fmt::Display for RpcError {
@@ -53,6 +61,11 @@ impl fmt::Display for RpcError {
             RpcError::Transport(msg) => write!(f, "transport error: {msg}"),
             RpcError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             RpcError::Shutdown => write!(f, "endpoint is shut down"),
+            RpcError::Busy { retry_after } => write!(
+                f,
+                "service overloaded, retry after {}ms",
+                retry_after.as_millis()
+            ),
         }
     }
 }
@@ -73,6 +86,7 @@ impl RpcError {
             RpcError::Transport(m) => (8, m.clone()),
             RpcError::Protocol(m) => (9, m.clone()),
             RpcError::Shutdown => (10, String::new()),
+            RpcError::Busy { retry_after } => (11, retry_after.as_millis().to_string()),
         }
     }
 
@@ -94,6 +108,9 @@ impl RpcError {
             }
             8 => RpcError::Transport(detail.to_string()),
             10 => RpcError::Shutdown,
+            11 => RpcError::Busy {
+                retry_after: std::time::Duration::from_millis(detail.parse().unwrap_or(0)),
+            },
             _ => RpcError::Protocol(detail.to_string()),
         }
     }
@@ -120,6 +137,9 @@ mod tests {
             RpcError::Transport("reset".into()),
             RpcError::Protocol("bad frame".into()),
             RpcError::Shutdown,
+            RpcError::Busy {
+                retry_after: std::time::Duration::from_millis(25),
+            },
         ];
         for e in cases {
             let (code, detail) = e.to_wire();

@@ -58,7 +58,10 @@ pub mod tcp;
 mod wire;
 
 pub use bulk::BulkHandle;
-pub use endpoint::{Endpoint, EndpointStats, Executor, PendingResponse, Request, RpcHandler};
+pub use endpoint::{
+    Admission, AdmissionControl, Endpoint, EndpointStats, Executor, PendingResponse, Request,
+    RpcHandler,
+};
 pub use error::RpcError;
 pub use fault::{FaultAction, FaultConfig, FaultDecision, FaultEvent, FaultPlan, FrameDirection};
 pub use model::{InjectionGauge, NetworkModel};

@@ -8,7 +8,10 @@
 //! failing on saturation, as the Aries NIC did in the paper's runs).
 
 use crate::bulk::BulkHandle;
-use crate::endpoint::{Endpoint, EndpointStats, Executor, PendingResponse, Request, RpcHandler};
+use crate::endpoint::{
+    Admission, AdmissionControl, Endpoint, EndpointStats, Executor, PendingResponse, Request,
+    RpcHandler,
+};
 use crate::error::RpcError;
 use crate::fault::{FaultDecision, FaultPlan, FrameDirection};
 use crate::model::{InjectionGauge, NetworkModel};
@@ -220,6 +223,7 @@ struct EndpointInner {
     addr: String,
     handlers: RwLock<HashMap<RpcId, Arc<dyn RpcHandler>>>,
     executor: RwLock<Executor>,
+    admission: RwLock<Option<Arc<dyn AdmissionControl>>>,
     pending: Mutex<HashMap<u64, Eventual<Result<Bytes, RpcError>>>>,
     next_req: AtomicU64,
     next_bulk: AtomicU64,
@@ -343,6 +347,7 @@ impl Fabric {
             addr: addr.clone(),
             handlers: RwLock::new(HashMap::new()),
             executor: RwLock::new(Arc::new(|_, _, f: Box<dyn FnOnce() + Send>| f())),
+            admission: RwLock::new(None),
             pending: Mutex::new(HashMap::new()),
             next_req: AtomicU64::new(1),
             next_bulk: AtomicU64::new(1),
@@ -464,6 +469,66 @@ impl LocalEndpoint {
         self.inner.pending.lock().len()
     }
 
+    /// Send `result` back to `src_addr` through the fabric (also modeled).
+    fn send_response(
+        fabric: &Arc<FabricInner>,
+        responder: &Arc<EndpointInner>,
+        src_addr: &str,
+        req_id: u64,
+        rpc_id: RpcId,
+        result: Result<Bytes, RpcError>,
+    ) {
+        let resp_len = match &result {
+            Ok(b) => b.len(),
+            Err(_) => 32,
+        };
+        responder
+            .counters
+            .bytes_sent
+            .fetch_add(resp_len as u64, Ordering::Relaxed);
+        let fd = fabric.fault_decision(FrameDirection::Response, rpc_id, req_id);
+        if let Some(t) = fd.delay {
+            std::thread::sleep(t);
+        }
+        if fd.drop || fd.disconnect {
+            // Response lost: the caller's pending entry stays until its
+            // deadline fires (or shutdown fails it).
+            return;
+        }
+        let caller = fabric.endpoints.read().get(src_addr).cloned();
+        if let Some(caller) = caller {
+            // The response goes back out through the responder's NIC:
+            // queued to its coalescing sender (non-ideal models) and
+            // charged as part of whatever burst it lands in. A duplicated
+            // response is harmless to the caller: the first delivery
+            // removes the pending entry, the second finds nothing.
+            let sends = if fd.duplicate { 2 } else { 1 };
+            for _ in 0..sends {
+                let deliver_caller = Arc::clone(&caller);
+                let fail_caller = Arc::clone(&caller);
+                let result = result.clone();
+                responder.send_frame(
+                    fabric,
+                    resp_len,
+                    Box::new(move || {
+                        deliver_caller
+                            .counters
+                            .bytes_received
+                            .fetch_add(resp_len as u64, Ordering::Relaxed);
+                        if let Some(ev) = deliver_caller.pending.lock().remove(&req_id) {
+                            ev.set(result);
+                        }
+                    }),
+                    Box::new(move |e| {
+                        if let Some(ev) = fail_caller.pending.lock().remove(&req_id) {
+                            ev.set(Err(e));
+                        }
+                    }),
+                );
+            }
+        }
+    }
+
     fn dispatch_request(
         self_fabric: &Arc<FabricInner>,
         target: &Arc<EndpointInner>,
@@ -481,14 +546,43 @@ impl LocalEndpoint {
             .counters
             .bytes_received
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        // Admission check on the delivery thread: an over-bound request is
+        // answered `Busy` right here, bypassing the execution pools, so an
+        // overloaded provider rejects cheaply instead of queueing unboundedly.
+        // Never a silent drop — the caller always gets a response.
+        let admission = target.admission.read().clone();
+        if let Some(ctrl) = &admission {
+            if let Admission::Shed { retry_after } = ctrl.admit(rpc_id, provider_id) {
+                Self::send_response(
+                    self_fabric,
+                    target,
+                    &src_addr,
+                    req_id,
+                    rpc_id,
+                    Err(RpcError::Busy { retry_after }),
+                );
+                return;
+            }
+        }
         let handler = target.handlers.read().get(&rpc_id).cloned();
         let fabric = Arc::clone(self_fabric);
         let target2 = Arc::clone(target);
         let exec = target.executor.read().clone();
+        let queued_at = Instant::now();
         let job: Box<dyn FnOnce() + Send> = Box::new(move || {
-            let result = match handler {
-                None => Err(RpcError::NoSuchRpc(rpc_id.0)),
-                Some(h) => {
+            // Deadline-aware shed at the front of the pool: a request that
+            // queued past the controller's bound is answered Busy instead of
+            // doing work its caller has likely abandoned.
+            let shed_late = admission.as_ref().and_then(|ctrl| {
+                match ctrl.begin(rpc_id, provider_id, queued_at.elapsed()) {
+                    Admission::Admit => None,
+                    Admission::Shed { retry_after } => Some(retry_after),
+                }
+            });
+            let result = match (shed_late, handler) {
+                (Some(retry_after), _) => Err(RpcError::Busy { retry_after }),
+                (None, None) => Err(RpcError::NoSuchRpc(rpc_id.0)),
+                (None, Some(h)) => {
                     if target2.down.load(Ordering::Acquire) {
                         Err(RpcError::Shutdown)
                     } else {
@@ -501,56 +595,12 @@ impl LocalEndpoint {
                     }
                 }
             };
-            // Send the response back through the fabric (also modeled).
-            let resp_len = match &result {
-                Ok(b) => b.len(),
-                Err(_) => 32,
-            };
-            target2
-                .counters
-                .bytes_sent
-                .fetch_add(resp_len as u64, Ordering::Relaxed);
-            let fd = fabric.fault_decision(FrameDirection::Response, rpc_id, req_id);
-            if let Some(t) = fd.delay {
-                std::thread::sleep(t);
+            // Release the admission slot exactly once per admitted request,
+            // before the (possibly faulted) response send.
+            if let Some(ctrl) = &admission {
+                ctrl.complete(rpc_id, provider_id);
             }
-            if fd.drop || fd.disconnect {
-                // Response lost: the caller's pending entry stays until its
-                // deadline fires (or shutdown fails it).
-                return;
-            }
-            let caller = fabric.endpoints.read().get(&src_addr).cloned();
-            if let Some(caller) = caller {
-                // The response goes back out through the responder's NIC:
-                // queued to its coalescing sender (non-ideal models) and
-                // charged as part of whatever burst it lands in. A duplicated
-                // response is harmless to the caller: the first delivery
-                // removes the pending entry, the second finds nothing.
-                let sends = if fd.duplicate { 2 } else { 1 };
-                for _ in 0..sends {
-                    let deliver_caller = Arc::clone(&caller);
-                    let fail_caller = Arc::clone(&caller);
-                    let result = result.clone();
-                    target2.send_frame(
-                        &fabric,
-                        resp_len,
-                        Box::new(move || {
-                            deliver_caller
-                                .counters
-                                .bytes_received
-                                .fetch_add(resp_len as u64, Ordering::Relaxed);
-                            if let Some(ev) = deliver_caller.pending.lock().remove(&req_id) {
-                                ev.set(result);
-                            }
-                        }),
-                        Box::new(move |e| {
-                            if let Some(ev) = fail_caller.pending.lock().remove(&req_id) {
-                                ev.set(Err(e));
-                            }
-                        }),
-                    );
-                }
-            }
+            Self::send_response(&fabric, &target2, &src_addr, req_id, rpc_id, result);
         });
         exec(rpc_id, provider_id, job);
     }
@@ -567,6 +617,10 @@ impl Endpoint for LocalEndpoint {
 
     fn set_executor(&self, exec: Executor) {
         *self.inner.executor.write() = exec;
+    }
+
+    fn set_admission(&self, ctrl: Option<Arc<dyn AdmissionControl>>) {
+        *self.inner.admission.write() = ctrl;
     }
 
     fn call_async(
@@ -885,6 +939,89 @@ mod tests {
         let err = c.call(&s.address(), RpcId(1), 0, payload).unwrap_err();
         assert_eq!(err, RpcError::NetworkSaturated);
         assert_eq!(c.saturation_events(), 1);
+    }
+
+    #[test]
+    fn admit_shed_answers_busy_without_leaking() {
+        use crate::endpoint::testctl::TestAdmission;
+        let fabric = Fabric::new(NetworkModel::default());
+        let s = fabric.endpoint("s");
+        let c = fabric.endpoint("c");
+        s.register(RpcId(1), echo_handler());
+        let ctl = Arc::new(TestAdmission {
+            shed_at_admit: true,
+            ..Default::default()
+        });
+        s.set_admission(Some(Arc::clone(&ctl) as Arc<dyn AdmissionControl>));
+        let err = c
+            .call(&s.address(), RpcId(1), 0, Bytes::from_static(b"x"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RpcError::Busy {
+                retry_after: Duration::from_millis(7)
+            }
+        );
+        // The one-response-per-request invariant: a shed call still got its
+        // answer, so the client's pending map is empty.
+        assert_eq!(c.pending_calls(), 0);
+        // Admit-shed bypasses the pools and holds no slot.
+        assert_eq!(ctl.begins.load(Ordering::SeqCst), 0);
+        assert_eq!(ctl.completes.load(Ordering::SeqCst), 0);
+        // Clearing the controller restores normal service.
+        s.set_admission(None);
+        let out = c
+            .call(&s.address(), RpcId(1), 0, Bytes::from_static(b"y"))
+            .unwrap();
+        assert_eq!(&out[..], b"y");
+    }
+
+    #[test]
+    fn begin_shed_releases_slot_exactly_once() {
+        use crate::endpoint::testctl::TestAdmission;
+        let fabric = Fabric::new(NetworkModel::default());
+        let s = fabric.endpoint("s");
+        let c = fabric.endpoint("c");
+        s.register(RpcId(1), echo_handler());
+        let ctl = Arc::new(TestAdmission {
+            shed_at_begin: true,
+            ..Default::default()
+        });
+        s.set_admission(Some(Arc::clone(&ctl) as Arc<dyn AdmissionControl>));
+        let err = c
+            .call(&s.address(), RpcId(1), 0, Bytes::from_static(b"x"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RpcError::Busy {
+                retry_after: Duration::from_millis(3)
+            }
+        );
+        assert_eq!(c.pending_calls(), 0);
+        assert_eq!(ctl.admits.load(Ordering::SeqCst), 1);
+        assert_eq!(ctl.begins.load(Ordering::SeqCst), 1);
+        assert_eq!(ctl.completes.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn admitted_calls_balance_admission_accounting() {
+        use crate::endpoint::testctl::TestAdmission;
+        let fabric = Fabric::new(NetworkModel::default());
+        let s = fabric.endpoint("s");
+        let c = fabric.endpoint("c");
+        s.register(RpcId(1), echo_handler());
+        let ctl = Arc::new(TestAdmission::default());
+        s.set_admission(Some(Arc::clone(&ctl) as Arc<dyn AdmissionControl>));
+        for i in 0..8u8 {
+            let out = c
+                .call(&s.address(), RpcId(1), 3, Bytes::from(vec![i]))
+                .unwrap();
+            assert_eq!(&out[..], &[i]);
+        }
+        assert_eq!(ctl.admits.load(Ordering::SeqCst), 8);
+        assert_eq!(ctl.begins.load(Ordering::SeqCst), 8);
+        assert_eq!(ctl.completes.load(Ordering::SeqCst), 8);
+        assert_eq!(c.pending_calls(), 0);
     }
 
     #[test]

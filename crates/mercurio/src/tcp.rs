@@ -18,7 +18,10 @@
 //! the closest TCP analogue of an RDMA get.
 
 use crate::bulk::BulkHandle;
-use crate::endpoint::{Endpoint, EndpointStats, Executor, PendingResponse, Request, RpcHandler};
+use crate::endpoint::{
+    Admission, AdmissionControl, Endpoint, EndpointStats, Executor, PendingResponse, Request,
+    RpcHandler,
+};
 use crate::error::RpcError;
 use crate::fault::{FaultDecision, FaultPlan, FrameDirection};
 use crate::wire::{Frame, RpcId, RPC_BULK_PULL};
@@ -30,6 +33,7 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Address scheme prefix for the TCP transport.
 pub const SCHEME: &str = "tcp://";
@@ -204,6 +208,7 @@ struct TcpInner {
     addr: String,
     handlers: RwLock<HashMap<RpcId, Arc<dyn RpcHandler>>>,
     executor: RwLock<Executor>,
+    admission: RwLock<Option<Arc<dyn AdmissionControl>>>,
     /// In-flight requests tagged with the peer they were sent to, so a lost
     /// connection fails exactly the calls routed through it.
     pending: Mutex<PendingMap>,
@@ -265,6 +270,7 @@ impl TcpEndpoint {
             addr,
             handlers: RwLock::new(HashMap::new()),
             executor: RwLock::new(Arc::new(|_, _, f: Box<dyn FnOnce() + Send>| f())),
+            admission: RwLock::new(None),
             pending: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
             send_cfg,
@@ -441,24 +447,66 @@ fn reader_loop(mut stream: TcpStream, inner: Arc<TcpInner>, peer: String, conn: 
                     .counters
                     .requests_received
                     .fetch_add(1, Ordering::Relaxed);
+                // Admission check on the reader thread; internal bulk pulls
+                // are exempt (they serve already-admitted requests). A shed
+                // request is answered Busy right here, bypassing the
+                // executor — rejected, never silently dropped.
+                let admission = if rpc_id == RPC_BULK_PULL {
+                    None
+                } else {
+                    inner.admission.read().clone()
+                };
+                if let Some(ctrl) = &admission {
+                    if let Admission::Shed { retry_after } = ctrl.admit(rpc_id, provider_id) {
+                        let resp = Frame::Response {
+                            req_id,
+                            result: Err(RpcError::Busy { retry_after }.to_wire()),
+                        }
+                        .encode();
+                        let fd = inner.fault_decision(FrameDirection::Response, rpc_id, req_id);
+                        if let Some(t) = fd.delay {
+                            std::thread::sleep(t);
+                        }
+                        if !(fd.drop || fd.disconnect) {
+                            inner
+                                .counters
+                                .bytes_sent
+                                .fetch_add(resp.len() as u64, Ordering::Relaxed);
+                            let _ = conn.send(&resp);
+                        }
+                        continue;
+                    }
+                }
                 let handler = inner.handlers.read().get(&rpc_id).cloned();
                 let exec = inner.executor.read().clone();
                 let conn = Arc::clone(&conn);
                 let inner2 = Arc::clone(&inner);
                 let peer2 = peer.clone();
+                let queued_at = Instant::now();
                 exec(
                     rpc_id,
                     provider_id,
                     Box::new(move || {
-                        let result = match handler {
-                            None => Err(RpcError::NoSuchRpc(rpc_id.0)),
-                            Some(h) => h.handle(Request {
+                        // Deadline-aware shed at the front of the pool.
+                        let shed_late = admission.as_ref().and_then(|ctrl| {
+                            match ctrl.begin(rpc_id, provider_id, queued_at.elapsed()) {
+                                Admission::Admit => None,
+                                Admission::Shed { retry_after } => Some(retry_after),
+                            }
+                        });
+                        let result = match (shed_late, handler) {
+                            (Some(retry_after), _) => Err(RpcError::Busy { retry_after }),
+                            (None, None) => Err(RpcError::NoSuchRpc(rpc_id.0)),
+                            (None, Some(h)) => h.handle(Request {
                                 source: peer2,
                                 rpc_id,
                                 provider_id,
                                 payload,
                             }),
                         };
+                        if let Some(ctrl) = &admission {
+                            ctrl.complete(rpc_id, provider_id);
+                        }
                         let resp = Frame::Response {
                             req_id,
                             result: result.map_err(|e| e.to_wire()),
@@ -516,6 +564,10 @@ impl Endpoint for TcpEndpoint {
 
     fn set_executor(&self, exec: Executor) {
         *self.inner.executor.write() = exec;
+    }
+
+    fn set_admission(&self, ctrl: Option<Arc<dyn AdmissionControl>>) {
+        *self.inner.admission.write() = ctrl;
     }
 
     fn call_async(
@@ -664,6 +716,7 @@ impl Endpoint for TcpEndpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn echo() -> Arc<dyn RpcHandler> {
         Arc::new(|req: Request| Ok(req.payload))
@@ -692,6 +745,89 @@ mod tests {
             .call(&s.address(), RpcId(1), 0, Bytes::from(big.clone()))
             .unwrap();
         assert_eq!(&out[..], &big[..]);
+        s.shutdown();
+        c.shutdown();
+    }
+
+    #[test]
+    fn admit_shed_answers_busy_without_leaking() {
+        use crate::endpoint::testctl::TestAdmission;
+        let s = TcpEndpoint::bind(0).unwrap();
+        let c = TcpEndpoint::bind(0).unwrap();
+        s.register(RpcId(1), echo());
+        let ctl = Arc::new(TestAdmission {
+            shed_at_admit: true,
+            ..Default::default()
+        });
+        s.set_admission(Some(Arc::clone(&ctl) as Arc<dyn AdmissionControl>));
+        let err = c
+            .call(&s.address(), RpcId(1), 0, Bytes::from_static(b"x"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RpcError::Busy {
+                retry_after: Duration::from_millis(7)
+            }
+        );
+        // Every shed request produced exactly one Busy response; nothing
+        // is stuck in the client's pending map.
+        assert_eq!(c.pending_calls(), 0);
+        assert_eq!(ctl.begins.load(std::sync::atomic::Ordering::SeqCst), 0);
+        assert_eq!(ctl.completes.load(std::sync::atomic::Ordering::SeqCst), 0);
+        s.set_admission(None);
+        let out = c
+            .call(&s.address(), RpcId(1), 0, Bytes::from_static(b"y"))
+            .unwrap();
+        assert_eq!(&out[..], b"y");
+        s.shutdown();
+        c.shutdown();
+    }
+
+    #[test]
+    fn begin_shed_releases_slot_exactly_once() {
+        use crate::endpoint::testctl::TestAdmission;
+        let s = TcpEndpoint::bind(0).unwrap();
+        let c = TcpEndpoint::bind(0).unwrap();
+        s.register(RpcId(1), echo());
+        let ctl = Arc::new(TestAdmission {
+            shed_at_begin: true,
+            ..Default::default()
+        });
+        s.set_admission(Some(Arc::clone(&ctl) as Arc<dyn AdmissionControl>));
+        let err = c
+            .call(&s.address(), RpcId(1), 0, Bytes::from_static(b"x"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RpcError::Busy {
+                retry_after: Duration::from_millis(3)
+            }
+        );
+        assert_eq!(c.pending_calls(), 0);
+        assert_eq!(ctl.admits.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(ctl.begins.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(ctl.completes.load(std::sync::atomic::Ordering::SeqCst), 1);
+        s.shutdown();
+        c.shutdown();
+    }
+
+    #[test]
+    fn bulk_pulls_are_exempt_from_admission() {
+        use crate::endpoint::testctl::TestAdmission;
+        let s = TcpEndpoint::bind(0).unwrap();
+        let c = TcpEndpoint::bind(0).unwrap();
+        let ctl = Arc::new(TestAdmission {
+            shed_at_admit: true,
+            ..Default::default()
+        });
+        s.set_admission(Some(Arc::clone(&ctl) as Arc<dyn AdmissionControl>));
+        // The region belongs to an already-admitted request; pulling it must
+        // not be shed even while the endpoint rejects new work.
+        let data = Bytes::from_static(b"bulk payload survives overload");
+        let handle = s.expose_bulk(data.clone());
+        let out = c.bulk_pull(&s.address(), &handle, 0, data.len()).unwrap();
+        assert_eq!(&out[..], &data[..]);
+        assert_eq!(ctl.admits.load(std::sync::atomic::Ordering::SeqCst), 0);
         s.shutdown();
         c.shutdown();
     }

@@ -104,5 +104,16 @@ fn main() {
             b.backpressure_stalls,
             b.stall_time
         );
+        if b.retry.busy_pushbacks > 0 || b.window_shrinks > 0 {
+            println!(
+                "overload: {} busy pushbacks, window {} shrinks/{} grows \
+                 (min {}, final {})",
+                b.retry.busy_pushbacks,
+                b.window_shrinks,
+                b.window_grows,
+                b.window_min,
+                b.window_final
+            );
+        }
     }
 }

@@ -85,8 +85,17 @@ fn main() {
         Some(s) => {
             let secs: u64 = s.parse().unwrap_or(1);
             std::thread::sleep(std::time::Duration::from_secs(secs));
+            let ov = server.overload_stats();
             server.shutdown();
-            eprintln!("hepnos-serve: done after {secs}s");
+            eprintln!(
+                "hepnos-serve: done after {secs}s \
+                 (admitted {}, shed {} [{} queue-full, {} deadline], queue hwm {})",
+                ov.admitted,
+                ov.shed(),
+                ov.shed_queue_full,
+                ov.shed_deadline,
+                ov.queue_depth_hwm
+            );
         }
         None => {
             // Serve until the process is killed.

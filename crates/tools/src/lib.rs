@@ -88,13 +88,24 @@ pub fn read_descriptors(path: &Path) -> Vec<ConnectionDescriptor> {
 }
 
 /// Connect a DataStore over TCP using a descriptor file.
+///
+/// CLI clients retry transient failures — including `Busy` pushback from
+/// an admission-controlled service — with a budget deep enough to ride
+/// out overload bursts, so shedding degrades throughput instead of
+/// failing the run.
 pub fn connect(path: &Path) -> DataStore {
     let descriptors = read_descriptors(path);
     let ep = TcpEndpoint::bind(0).unwrap_or_else(|e| {
         eprintln!("cannot bind client socket: {e}");
         std::process::exit(2);
     });
-    DataStore::connect(ep, &descriptors).unwrap_or_else(|e| {
+    let retry = hepnos::RetryPolicy {
+        max_attempts: 64,
+        base_backoff: std::time::Duration::from_millis(1),
+        max_backoff: std::time::Duration::from_millis(50),
+        ..Default::default()
+    };
+    DataStore::connect_with_retry(ep, &descriptors, retry).unwrap_or_else(|e| {
         eprintln!("cannot connect: {e}");
         std::process::exit(2);
     })

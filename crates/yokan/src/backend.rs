@@ -6,9 +6,12 @@
 
 use crate::error::YokanError;
 use lsmdb::{Db, Options, WriteBatch};
+use mercurio::RpcError;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// An owned key/value pair.
 pub type KeyValue = (Vec<u8>, Vec<u8>);
@@ -27,6 +30,43 @@ pub struct BackendStats {
     pub cache_misses: u64,
     /// Read-cache evictions (LSM backends only).
     pub cache_evictions: u64,
+    /// Resident key+value payload bytes (memory backends with watermarks).
+    pub mem_bytes: u64,
+    /// Mutations that stalled at the soft memory watermark.
+    pub soft_stalls: u64,
+    /// Mutations shed at the hard memory watermark.
+    pub hard_sheds: u64,
+}
+
+/// Memory watermark policy for [`MemBackend`] — the RocksDB-style write
+/// control split into a *soft* level (mutations stall for a bounded time,
+/// throttling writers) and a *hard* level (mutations are shed with
+/// [`RpcError::Busy`]), so backend memory stays bounded instead of growing
+/// until the process is OOM-killed.
+#[derive(Debug, Clone)]
+pub struct WatermarkConfig {
+    /// Byte level above which mutations stall (bounded wait) before
+    /// applying.
+    pub soft_bytes: usize,
+    /// Byte level mutations may never push resident bytes past; a mutation
+    /// that would is rejected whole with [`RpcError::Busy`].
+    pub hard_bytes: usize,
+    /// Maximum time one mutation waits at the soft watermark before
+    /// proceeding anyway.
+    pub max_stall: Duration,
+    /// Backoff hint carried in hard-watermark [`RpcError::Busy`] rejections.
+    pub retry_after_hint: Duration,
+}
+
+impl Default for WatermarkConfig {
+    fn default() -> Self {
+        WatermarkConfig {
+            soft_bytes: 48 << 20,
+            hard_bytes: 64 << 20,
+            max_stall: Duration::from_millis(20),
+            retry_after_hint: Duration::from_millis(5),
+        }
+    }
 }
 
 /// Key ordering note: backends must store keys in lexicographic byte order —
@@ -150,6 +190,13 @@ fn fnv1a(key: &[u8]) -> u64 {
 pub struct MemBackend {
     shards: Box<[MemShard]>,
     mask: u64,
+    /// Accounted resident key+value bytes. Reservation-style: a mutation
+    /// reserves its incoming bytes *before* applying and rolls back on shed,
+    /// so the accounted value never exceeds the hard watermark.
+    mem_bytes: AtomicI64,
+    watermarks: Option<WatermarkConfig>,
+    soft_stalls: AtomicU64,
+    hard_sheds: AtomicU64,
 }
 
 /// One shard of the in-memory map.
@@ -181,7 +228,61 @@ impl MemBackend {
         MemBackend {
             shards: shards.into_boxed_slice(),
             mask: (n - 1) as u64,
+            mem_bytes: AtomicI64::new(0),
+            watermarks: None,
+            soft_stalls: AtomicU64::new(0),
+            hard_sheds: AtomicU64::new(0),
         }
+    }
+
+    /// Enable soft/hard memory watermarks on this backend.
+    pub fn with_watermarks(mut self, cfg: WatermarkConfig) -> Self {
+        assert!(
+            cfg.soft_bytes <= cfg.hard_bytes,
+            "soft watermark must not exceed the hard watermark"
+        );
+        self.watermarks = Some(cfg);
+        self
+    }
+
+    /// Accounted resident key+value payload bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.mem_bytes.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    fn charge(&self, delta: i64) {
+        self.mem_bytes.fetch_add(delta, Ordering::AcqRel);
+    }
+
+    /// Reserve `incoming` bytes against the watermarks before a mutation is
+    /// applied. Stalls (bounded by [`WatermarkConfig::max_stall`]) above the
+    /// soft level; fails with [`RpcError::Busy`] — reserving nothing, so the
+    /// mutation must not be applied at all — when the reservation would
+    /// cross the hard level.
+    fn reserve_bytes(&self, incoming: usize) -> Result<(), YokanError> {
+        let Some(cfg) = &self.watermarks else {
+            return Ok(());
+        };
+        let incoming = incoming as i64;
+        let over_soft = |now: i64| -> bool { (now + incoming).max(0) as usize > cfg.soft_bytes };
+        if over_soft(self.mem_bytes.load(Ordering::Acquire)) {
+            // Soft watermark: throttle, don't reject. Waiting happens before
+            // any shard lock is taken, so stalled writers block nobody.
+            self.soft_stalls.fetch_add(1, Ordering::Relaxed);
+            let deadline = Instant::now() + cfg.max_stall;
+            while over_soft(self.mem_bytes.load(Ordering::Acquire)) && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+        let now = self.mem_bytes.fetch_add(incoming, Ordering::AcqRel) + incoming;
+        if now.max(0) as usize > cfg.hard_bytes {
+            self.mem_bytes.fetch_sub(incoming, Ordering::AcqRel);
+            self.hard_sheds.fetch_add(1, Ordering::Relaxed);
+            return Err(YokanError::Rpc(RpcError::Busy {
+                retry_after: cfg.retry_after_hint,
+            }));
+        }
+        Ok(())
     }
 
     /// Number of shards.
@@ -213,18 +314,30 @@ impl MemBackend {
 
 impl Backend for MemBackend {
     fn put(&self, key: &[u8], value: &[u8]) -> Result<(), YokanError> {
-        self.shards[self.shard_idx(key)]
+        self.reserve_bytes(key.len() + value.len())?;
+        let old = self.shards[self.shard_idx(key)]
             .write()
             .insert(key.to_vec(), value.to_vec());
+        if let Some(old) = old {
+            // Overwrite: the reservation charged a whole new pair, but only
+            // the value delta actually grew — credit the replaced bytes.
+            self.charge(-((key.len() + old.len()) as i64));
+        }
         Ok(())
     }
 
     fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
+        self.reserve_bytes(key.len() + value.len())?;
         // A key lives in exactly one shard, so holding that shard's write
         // lock across the check-and-insert keeps this linearizable.
         let mut map = self.shards[self.shard_idx(key)].write();
         match map.get(key) {
-            Some(existing) => Ok(Some(existing.clone())),
+            Some(existing) => {
+                let existing = existing.clone();
+                drop(map);
+                self.charge(-((key.len() + value.len()) as i64));
+                Ok(Some(existing))
+            }
             None => {
                 map.insert(key.to_vec(), value.to_vec());
                 Ok(None)
@@ -233,12 +346,24 @@ impl Backend for MemBackend {
     }
 
     fn put_multi(&self, pairs: &[(Vec<u8>, Vec<u8>)]) -> Result<(), YokanError> {
+        // The reservation covers the whole batch and happens before any
+        // shard lock is taken: a shed batch is rejected whole, never
+        // partially applied.
+        self.reserve_bytes(pairs.iter().map(|(k, v)| k.len() + v.len()).sum())?;
         let mut guards = self.lock_shards_for(pairs.iter().map(|(k, _)| k));
+        let mut replaced = 0i64;
         for (k, v) in pairs {
-            guards[self.shard_idx(k)]
+            let old = guards[self.shard_idx(k)]
                 .as_mut()
                 .expect("shard was locked")
                 .insert(k.clone(), v.clone());
+            if let Some(old) = old {
+                replaced += (k.len() + old.len()) as i64;
+            }
+        }
+        drop(guards);
+        if replaced != 0 {
+            self.charge(-replaced);
         }
         Ok(())
     }
@@ -290,17 +415,28 @@ impl Backend for MemBackend {
     }
 
     fn erase(&self, key: &[u8]) -> Result<(), YokanError> {
-        self.shards[self.shard_idx(key)].write().remove(key);
+        let old = self.shards[self.shard_idx(key)].write().remove(key);
+        if let Some(old) = old {
+            self.charge(-((key.len() + old.len()) as i64));
+        }
         Ok(())
     }
 
     fn erase_multi(&self, keys: &[Vec<u8>]) -> Result<(), YokanError> {
         let mut guards = self.lock_shards_for(keys.iter());
+        let mut freed = 0i64;
         for k in keys {
-            guards[self.shard_idx(k)]
+            let old = guards[self.shard_idx(k)]
                 .as_mut()
                 .expect("shard was locked")
                 .remove(k);
+            if let Some(old) = old {
+                freed += (k.len() + old.len()) as i64;
+            }
+        }
+        drop(guards);
+        if freed != 0 {
+            self.charge(-freed);
         }
         Ok(())
     }
@@ -383,6 +519,9 @@ impl Backend for MemBackend {
         BackendStats {
             shards: self.shards.len(),
             shard_entries,
+            mem_bytes: self.resident_bytes(),
+            soft_stalls: self.soft_stalls.load(Ordering::Relaxed),
+            hard_sheds: self.hard_sheds.load(Ordering::Relaxed),
             ..BackendStats::default()
         }
     }
@@ -516,6 +655,7 @@ impl Backend for LsmBackend {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
+            ..BackendStats::default()
         }
     }
 }
@@ -685,6 +825,73 @@ mod tests {
         assert_eq!(mk, lk);
         drop(lsm);
         std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn watermarks_account_resident_bytes() {
+        let b = MemBackend::with_shards(4).with_watermarks(WatermarkConfig {
+            soft_bytes: 1 << 20,
+            hard_bytes: 2 << 20,
+            ..WatermarkConfig::default()
+        });
+        b.put(b"key", b"value").unwrap();
+        assert_eq!(b.resident_bytes(), 8);
+        b.put(b"key", b"v").unwrap(); // overwrite shrinks
+        assert_eq!(b.resident_bytes(), 4);
+        b.put_multi(&[
+            (b"a".to_vec(), b"1".to_vec()),
+            (b"b".to_vec(), b"22".to_vec()),
+        ])
+        .unwrap();
+        assert_eq!(b.resident_bytes(), 4 + 2 + 3);
+        assert_eq!(b.put_if_absent(b"a", b"xyz").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(b.resident_bytes(), 9); // no growth on existing key
+        b.erase(b"key").unwrap();
+        b.erase_multi(&[b"a".to_vec(), b"b".to_vec()]).unwrap();
+        assert_eq!(b.resident_bytes(), 0);
+        assert_eq!(b.stats().mem_bytes, 0);
+    }
+
+    #[test]
+    fn hard_watermark_sheds_whole_batch() {
+        let b = MemBackend::with_shards(4).with_watermarks(WatermarkConfig {
+            soft_bytes: 64,
+            hard_bytes: 64,
+            max_stall: Duration::ZERO,
+            retry_after_hint: Duration::from_millis(7),
+        });
+        let big: Vec<KeyValue> = (0..10u8).map(|i| (vec![i; 8], vec![i; 8])).collect();
+        let err = b.put_multi(&big).unwrap_err();
+        assert_eq!(
+            err,
+            YokanError::Rpc(RpcError::Busy {
+                retry_after: Duration::from_millis(7)
+            })
+        );
+        // Shed whole: nothing was applied, nothing stays reserved.
+        assert_eq!(b.count().unwrap(), 0);
+        assert_eq!(b.resident_bytes(), 0);
+        assert_eq!(b.stats().hard_sheds, 1);
+        // A batch that fits still lands.
+        b.put_multi(&big[..2]).unwrap();
+        assert_eq!(b.count().unwrap(), 2);
+    }
+
+    #[test]
+    fn soft_watermark_stalls_but_applies() {
+        let b = MemBackend::with_shards(1).with_watermarks(WatermarkConfig {
+            soft_bytes: 8,
+            hard_bytes: 1 << 20,
+            max_stall: Duration::from_millis(2),
+            retry_after_hint: Duration::from_millis(1),
+        });
+        b.put(b"aaaa", b"bbbb").unwrap(); // fills to the soft level
+        let t0 = Instant::now();
+        b.put(b"cccc", b"dddd").unwrap(); // stalls, then applies anyway
+        assert!(t0.elapsed() >= Duration::from_millis(2));
+        assert_eq!(b.count().unwrap(), 2);
+        assert_eq!(b.stats().soft_stalls, 1);
+        assert_eq!(b.stats().hard_sheds, 0);
     }
 
     #[test]

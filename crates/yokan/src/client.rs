@@ -57,16 +57,26 @@ pub(crate) fn wait_with_retry(
         match pending.wait_timeout(policy.rpc_timeout) {
             Ok(b) => return Ok(b),
             Err(e) if RetryPolicy::is_retryable(&e) && attempt < policy.max_attempts => {
+                let hint = RetryPolicy::retry_hint(&e);
+                if hint.is_some() {
+                    counters.busy_pushbacks.fetch_add(1, Ordering::Relaxed);
+                }
                 if attempt == 1 {
                     counters.retried_rpcs.fetch_add(1, Ordering::Relaxed);
                 }
-                std::thread::sleep(policy.backoff(attempt, nonce));
+                // An overloaded server's hint is a floor under the computed
+                // backoff: never come back sooner than the server asked.
+                let backoff = policy.backoff(attempt, nonce).max(hint.unwrap_or_default());
+                std::thread::sleep(backoff);
                 attempt += 1;
                 counters.attempts.fetch_add(1, Ordering::Relaxed);
                 pending = endpoint.call_async(addr, op, provider_id, payload.clone());
             }
             Err(e) => {
                 if RetryPolicy::is_retryable(&e) {
+                    if RetryPolicy::retry_hint(&e).is_some() {
+                        counters.busy_pushbacks.fetch_add(1, Ordering::Relaxed);
+                    }
                     counters.gave_up.fetch_add(1, Ordering::Relaxed);
                 }
                 return Err(e);

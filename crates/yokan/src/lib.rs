@@ -32,7 +32,7 @@ mod error;
 mod retry;
 mod service;
 
-pub use backend::{Backend, BackendStats, LsmBackend, MemBackend};
+pub use backend::{Backend, BackendStats, LsmBackend, MemBackend, WatermarkConfig};
 pub use client::{DbTarget, PendingPut, YokanClient};
 pub use error::YokanError;
 pub use retry::{RetryPolicy, RetryStats};

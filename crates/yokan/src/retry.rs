@@ -51,13 +51,28 @@ fn mix(mut z: u64) -> u64 {
 }
 
 impl RetryPolicy {
-    /// Whether `err` is worth retrying. Transport-level failures are;
-    /// handler errors (the service saw the request and said no) are not.
+    /// Whether `err` is worth retrying. Transport-level failures are, and so
+    /// is [`RpcError::Busy`] — explicit overload pushback meaning "not now",
+    /// not "no" (the request was shed before being applied, so retrying
+    /// after the server's hint is both safe and the intended reaction).
+    /// Other handler errors (the service saw the request and said no) are
+    /// not.
     pub fn is_retryable(err: &RpcError) -> bool {
         matches!(
             err,
-            RpcError::Timeout | RpcError::NetworkSaturated | RpcError::Transport(_)
+            RpcError::Timeout
+                | RpcError::NetworkSaturated
+                | RpcError::Transport(_)
+                | RpcError::Busy { .. }
         )
+    }
+
+    /// The server-provided backoff hint, when `err` carries one.
+    pub fn retry_hint(err: &RpcError) -> Option<Duration> {
+        match err {
+            RpcError::Busy { retry_after } => Some(*retry_after),
+            _ => None,
+        }
     }
 
     /// Backoff before retry number `attempt` (1-based) of the logical
@@ -89,6 +104,9 @@ pub struct RetryStats {
     pub deduped_replays: u64,
     /// Logical requests that exhausted every attempt and failed.
     pub gave_up: u64,
+    /// `Busy` pushback responses received (overload shedding by the server,
+    /// distinct from transport failures).
+    pub busy_pushbacks: u64,
 }
 
 impl RetryStats {
@@ -98,6 +116,7 @@ impl RetryStats {
         self.retried_rpcs += other.retried_rpcs;
         self.deduped_replays += other.deduped_replays;
         self.gave_up += other.gave_up;
+        self.busy_pushbacks += other.busy_pushbacks;
     }
 
     /// The change relative to an earlier snapshot (saturating).
@@ -109,6 +128,7 @@ impl RetryStats {
                 .deduped_replays
                 .saturating_sub(baseline.deduped_replays),
             gave_up: self.gave_up.saturating_sub(baseline.gave_up),
+            busy_pushbacks: self.busy_pushbacks.saturating_sub(baseline.busy_pushbacks),
         }
     }
 }
@@ -120,6 +140,7 @@ pub(crate) struct RetryCounters {
     pub(crate) retried_rpcs: AtomicU64,
     pub(crate) deduped_replays: AtomicU64,
     pub(crate) gave_up: AtomicU64,
+    pub(crate) busy_pushbacks: AtomicU64,
 }
 
 impl RetryCounters {
@@ -129,6 +150,7 @@ impl RetryCounters {
             retried_rpcs: self.retried_rpcs.load(Ordering::Relaxed),
             deduped_replays: self.deduped_replays.load(Ordering::Relaxed),
             gave_up: self.gave_up.load(Ordering::Relaxed),
+            busy_pushbacks: self.busy_pushbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -144,12 +166,26 @@ mod tests {
         assert!(RetryPolicy::is_retryable(&RpcError::Transport(
             "rst".into()
         )));
+        assert!(RetryPolicy::is_retryable(&RpcError::Busy {
+            retry_after: Duration::from_millis(3)
+        }));
         assert!(!RetryPolicy::is_retryable(&RpcError::Handler("no".into())));
         assert!(!RetryPolicy::is_retryable(&RpcError::NoSuchRpc(3)));
         assert!(!RetryPolicy::is_retryable(&RpcError::Shutdown));
         assert!(!RetryPolicy::is_retryable(&RpcError::Protocol(
             "bad".into()
         )));
+    }
+
+    #[test]
+    fn busy_carries_its_hint() {
+        assert_eq!(
+            RetryPolicy::retry_hint(&RpcError::Busy {
+                retry_after: Duration::from_millis(9)
+            }),
+            Some(Duration::from_millis(9))
+        );
+        assert_eq!(RetryPolicy::retry_hint(&RpcError::Timeout), None);
     }
 
     #[test]
@@ -198,18 +234,22 @@ mod tests {
             retried_rpcs: 2,
             deduped_replays: 1,
             gave_up: 0,
+            busy_pushbacks: 4,
         };
         let b = RetryStats {
             attempts: 5,
             retried_rpcs: 1,
             deduped_replays: 0,
             gave_up: 1,
+            busy_pushbacks: 1,
         };
         a.merge(&b);
         assert_eq!(a.attempts, 15);
         assert_eq!(a.gave_up, 1);
+        assert_eq!(a.busy_pushbacks, 5);
         let d = a.delta_since(&b);
         assert_eq!(d.attempts, 10);
         assert_eq!(d.retried_rpcs, 2);
+        assert_eq!(d.busy_pushbacks, 4);
     }
 }
