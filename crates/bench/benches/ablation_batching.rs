@@ -29,7 +29,7 @@ fn bench_store_batching(c: &mut Criterion) {
     let store = dep.datastore();
     let ds = store.root().create_dataset("ablation").unwrap();
     let uuid = ds.uuid().unwrap();
-    let label = ProductLabel::new("hits");
+    let label = ProductLabel::new("hits").unwrap();
     let mut g = c.benchmark_group("write_batching");
     g.sample_size(10);
     let mut subrun_counter = 0u64;
@@ -64,7 +64,7 @@ fn bench_async_overlap(c: &mut Criterion) {
     let store = dep.datastore();
     let ds = store.root().create_dataset("async-ablation").unwrap();
     let uuid = ds.uuid().unwrap();
-    let label = hepnos::ProductLabel::new("hits");
+    let label = hepnos::ProductLabel::new("hits").unwrap();
     let rt = argos::Runtime::simple(2);
     let mut g = c.benchmark_group("async_vs_sync_batch");
     g.sample_size(10);

@@ -24,7 +24,7 @@ fn bench_pep_batches(c: &mut Criterion) {
     let store = dep.datastore();
     let ds = store.root().create_dataset("pep").unwrap();
     let uuid = ds.uuid().unwrap();
-    let label = ProductLabel::new("p");
+    let label = ProductLabel::new("p").unwrap();
     let run = ds.create_run(1).unwrap();
     for s in 0..8u64 {
         let sr = run.create_subrun(s).unwrap();

@@ -79,7 +79,7 @@ fn run_case(writers: u64, protected: bool) -> CaseResult {
     for w in 0..writers {
         ds.create_run(w).unwrap().create_subrun(0).unwrap();
     }
-    let label = ProductLabel::new("payload");
+    let label = ProductLabel::new("payload").unwrap();
     let t0 = Instant::now();
     let mut threads = Vec::new();
     for w in 0..writers {

@@ -1,0 +1,135 @@
+//! Selection push-down vs blob fetch: the CAFAna-style candidate
+//! selection over a generated dataset, once through the baseline path
+//! (fetch every `rec.slc` product, cut client-side) and once through the
+//! columnar push-down path (ship the compiled predicate program to the
+//! product databases, get surviving global slice ids back).
+//!
+//! Both passes must produce byte-identical id vectors — the bench asserts
+//! it. The interesting outputs are wire bytes moved per pass (measured as
+//! deltas of the client's [`mercurio::EndpointStats`] counters), events/s,
+//! and how much stored payload the servers filtered in place. Results are
+//! logged into `BENCH_select.json`.
+//!
+//! Run: `cargo run --release -p hepnos-bench --bin select_pushdown`
+
+use bedrock::DbCounts;
+use hepnos::testing::local_deployment;
+use nova::{
+    select_dataset_blob, select_dataset_pushdown, DataLoader, NovaGenerator, SelectStats,
+    SelectionCuts,
+};
+use std::time::{Duration, Instant};
+
+const EVENT_COUNTS: [u64; 2] = [500, 2000];
+const PAGE_ROWS: u32 = 256;
+
+struct PassResult {
+    elapsed: Duration,
+    sent: u64,
+    received: u64,
+    ids: Vec<u64>,
+    stats: SelectStats,
+}
+
+fn print_pass(case: &str, events: u64, slices: u64, r: &PassResult, baseline_wire: Option<u64>) {
+    let wire = r.sent + r.received;
+    let events_per_s = events as f64 / r.elapsed.as_secs_f64();
+    let reduction = baseline_wire
+        .map(|b| format!(", \"wire_reduction_x\": {:.1}", b as f64 / wire as f64))
+        .unwrap_or_default();
+    println!(
+        "{{ \"case\": \"{case}\", \"events\": {events}, \"slices\": {slices}, \
+         \"selected\": {}, \"elapsed_ms\": {}, \"events_per_s\": {:.0}, \
+         \"wire_sent_bytes\": {}, \"wire_received_bytes\": {}, \"wire_total_bytes\": {}, \
+         \"wire_bytes_per_event\": {:.1}, \"pages_scanned\": {}, \"pages_skipped\": {}, \
+         \"stored_bytes_filtered_in_place\": {}, \"fallback_events\": {}{reduction} }}",
+        r.ids.len(),
+        r.elapsed.as_millis(),
+        events_per_s,
+        r.sent,
+        r.received,
+        wire,
+        wire as f64 / events as f64,
+        r.stats.pages_scanned,
+        r.stats.pages_skipped,
+        r.stats.bytes_stored,
+        r.stats.fallback_events,
+    );
+}
+
+fn main() {
+    println!(
+        "# Selection push-down vs blob fetch, page_rows {PAGE_ROWS}, \
+         1-node deployment, default cuts"
+    );
+    println!("# wire bytes = client endpoint sent+received deltas around each pass");
+    for n in EVENT_COUNTS {
+        let dep = local_deployment(1, DbCounts::default());
+        let store = dep.datastore();
+        let gen = NovaGenerator::new(7);
+        let events: Vec<_> = (0..n).map(|e| gen.generate(1, 0, e)).collect();
+        let slices: u64 = events.iter().map(|e| e.slices.len() as u64).sum();
+
+        let ds_blob = store.root().create_dataset("sel/blob").unwrap();
+        DataLoader::new(store.clone(), ds_blob.clone())
+            .ingest_events(&events)
+            .unwrap();
+        let ds_col = store.root().create_dataset("sel/columnar").unwrap();
+        DataLoader::new(store.clone(), ds_col.clone())
+            .with_columnar(PAGE_ROWS)
+            .ingest_events(&events)
+            .unwrap();
+
+        let run = |pushdown: bool, cuts: &SelectionCuts| -> PassResult {
+            let ds = if pushdown { &ds_col } else { &ds_blob };
+            let before = store.endpoint_stats();
+            let t0 = Instant::now();
+            let (ids, stats) = if pushdown {
+                select_dataset_pushdown(&store, ds, cuts).unwrap()
+            } else {
+                select_dataset_blob(&store, ds, cuts).unwrap()
+            };
+            let elapsed = t0.elapsed();
+            let after = store.endpoint_stats();
+            PassResult {
+                elapsed,
+                sent: after.bytes_sent - before.bytes_sent,
+                received: after.bytes_received - before.bytes_received,
+                ids,
+                stats,
+            }
+        };
+
+        // "tight" = the ν_e appearance selection (near-zero survivors, zone
+        // maps prune almost everything); "loose" = a sideband selection that
+        // keeps real survivors, so the byte-identical check is non-trivial
+        // and surviving ids pay their wire cost.
+        let loose = SelectionCuts {
+            min_cvn_nue: 0.6,
+            max_cosmic_score: 0.7,
+            energy_range: (0.5, 8.0),
+            nhit_range: (10, 700),
+            max_remid: 0.9,
+            ..SelectionCuts::default()
+        };
+        for (cuts_name, cuts) in [("tight", SelectionCuts::default()), ("loose", loose)] {
+            let blob = run(false, &cuts);
+            let push = run(true, &cuts);
+            assert_eq!(
+                blob.ids, push.ids,
+                "push-down results must be byte-identical to the blob path"
+            );
+            assert_eq!(push.stats.fallback_events, 0, "columnar dataset fell back");
+
+            print_pass(&format!("blob_{cuts_name}"), n, slices, &blob, None);
+            print_pass(
+                &format!("pushdown_{cuts_name}"),
+                n,
+                slices,
+                &push,
+                Some(blob.sent + blob.received),
+            );
+        }
+        dep.shutdown();
+    }
+}

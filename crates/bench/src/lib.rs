@@ -104,7 +104,7 @@ pub fn loaded_deployment(
     let store = dep.datastore();
     let ds = store.root().create_dataset("bench/nova").unwrap();
     let gen = NovaGenerator::new(7);
-    let label = ProductLabel::new("rec.slc");
+    let label = ProductLabel::new("rec.slc").unwrap();
     let uuid = ds.uuid().unwrap();
     let mut slices = 0u64;
     let run = ds.create_run(1).unwrap();

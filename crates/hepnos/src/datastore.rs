@@ -30,16 +30,16 @@ const ITER_PAGE: usize = 1024;
 pub struct ProductLabel(String);
 
 impl ProductLabel {
-    /// Create a label.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the label contains `#` — the character is reserved by the
-    /// key format (paper §II-C2).
-    pub fn new(label: impl Into<String>) -> ProductLabel {
+    /// Create a label. Errors if the label contains `#` — the character is
+    /// reserved by the key format (paper §II-C2). A bad label is a client
+    /// mistake, so it surfaces as a client-side [`HepnosError`] rather than
+    /// a panic on a service thread.
+    pub fn new(label: impl Into<String>) -> Result<ProductLabel, HepnosError> {
         let label = label.into();
-        assert!(!label.contains('#'), "product labels must not contain '#'");
-        ProductLabel(label)
+        if label.contains('#') {
+            return Err(HepnosError::InvalidLabel(label));
+        }
+        Ok(ProductLabel(label))
     }
 
     /// The label text.
@@ -1056,6 +1056,50 @@ impl Event {
             number,
             key: keys::event_key(&subrun.dataset, subrun.run, subrun.number, number),
         }
+    }
+}
+
+/// Maximum product keys per push-down filter RPC; bounds the work one
+/// request pins on a provider (the fan-out path parallelizes within it).
+const FILTER_BATCH: usize = 1024;
+
+impl DataStore {
+    /// Push a serialized predicate [`yokan::Program`] down to the product
+    /// databases holding `(label, type_name)` products of the given
+    /// container keys, one reply per key in input order.
+    ///
+    /// Keys are grouped by their product database (same placement walk as
+    /// the prefetching reader) and each group is filtered in bounded
+    /// batches, so one RPC per `(database, batch)` crosses the wire instead
+    /// of one product blob per event.
+    pub fn filter_products(
+        &self,
+        container_keys: &[Vec<u8>],
+        label: &ProductLabel,
+        type_name: &str,
+        program: &yokan::Program,
+    ) -> Result<Vec<yokan::FilterReply>, HepnosError> {
+        let mut grouped: HashMap<DbTarget, (Vec<usize>, Vec<Vec<u8>>)> = HashMap::new();
+        for (slot, ck) in container_keys.iter().enumerate() {
+            let db = self.inner.product_db(ck).clone();
+            let pk = keys::product_key(ck, label.as_str(), type_name);
+            let entry = grouped.entry(db).or_default();
+            entry.0.push(slot);
+            entry.1.push(pk);
+        }
+        let mut out: Vec<Option<yokan::FilterReply>> = vec![None; container_keys.len()];
+        for (db, (slots, pks)) in grouped {
+            for (slot_chunk, pk_chunk) in slots.chunks(FILTER_BATCH).zip(pks.chunks(FILTER_BATCH)) {
+                let replies = self.inner.client.filter(&db, program, pk_chunk)?;
+                for (&slot, reply) in slot_chunk.iter().zip(replies) {
+                    out[slot] = Some(reply);
+                }
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every key was grouped into exactly one batch"))
+            .collect())
     }
 }
 

@@ -14,6 +14,8 @@ pub enum HepnosError {
     AlreadyExists(String),
     /// A dataset path was syntactically invalid (empty component, ...).
     InvalidPath(String),
+    /// A product label used a reserved character.
+    InvalidLabel(String),
     /// Product (de)serialization failed.
     Serialization(String),
     /// The underlying storage service failed.
@@ -29,6 +31,9 @@ impl fmt::Display for HepnosError {
             HepnosError::NoSuchContainer(c) => write!(f, "no such container: {c}"),
             HepnosError::AlreadyExists(c) => write!(f, "already exists: {c}"),
             HepnosError::InvalidPath(p) => write!(f, "invalid dataset path: {p}"),
+            HepnosError::InvalidLabel(l) => {
+                write!(f, "invalid product label (must not contain '#'): {l}")
+            }
             HepnosError::Serialization(m) => write!(f, "serialization error: {m}"),
             HepnosError::Storage(e) => write!(f, "storage error: {e}"),
             HepnosError::Topology(m) => write!(f, "topology error: {m}"),

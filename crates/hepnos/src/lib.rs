@@ -46,8 +46,8 @@
 //! let event = subrun.create_event(25).unwrap();
 //!
 //! let vp = vec![Particle { x: 1.0, y: 2.0, z: 3.0 }];
-//! event.store(&ProductLabel::new("mylabel"), &vp).unwrap();
-//! let loaded: Vec<Particle> = event.load(&ProductLabel::new("mylabel")).unwrap().unwrap();
+//! event.store(&ProductLabel::new("mylabel").unwrap(), &vp).unwrap();
+//! let loaded: Vec<Particle> = event.load(&ProductLabel::new("mylabel").unwrap()).unwrap().unwrap();
 //! assert_eq!(loaded, vp);
 //!
 //! for subrun in run.subruns().unwrap() {

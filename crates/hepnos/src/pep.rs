@@ -189,6 +189,26 @@ impl PrefetchedEvent {
         }
         self.event.load(label)
     }
+
+    /// Load a product's raw bytes under an explicit type name: served from
+    /// the prefetched bytes when the `(label, type)` pair was in
+    /// [`PepOptions::prefetch`], otherwise a direct storage read. The raw
+    /// twin of [`Self::load`], for self-describing representations (e.g.
+    /// columnar page blobs) whose decoder is chosen by type name.
+    pub fn load_raw(
+        &self,
+        label: &ProductLabel,
+        type_name: &str,
+    ) -> Result<Option<Vec<u8>>, HepnosError> {
+        if let Some(idx) = self
+            .labels
+            .iter()
+            .position(|(l, t)| l == label && t == type_name)
+        {
+            return Ok(self.products[idx].clone());
+        }
+        self.event.load_raw(label, type_name)
+    }
 }
 
 /// The parallel, load-balanced event iterator.

@@ -102,7 +102,7 @@ mod tests {
         let store = dep.datastore();
         let ds = store.root().create_dataset("pf").unwrap();
         let sr = ds.create_run(1).unwrap().create_subrun(0).unwrap();
-        let label = ProductLabel::new("calo");
+        let label = ProductLabel::new("calo").unwrap();
         let mut batch = WriteBatch::new(&store);
         for e in 0..50u64 {
             let ev = batch.create_event(&sr, &ds.uuid().unwrap(), e).unwrap();
@@ -126,7 +126,7 @@ mod tests {
         let store = dep.datastore();
         let ds = store.root().create_dataset("pf2").unwrap();
         let sr = ds.create_run(1).unwrap().create_subrun(0).unwrap();
-        let label = ProductLabel::new("calo");
+        let label = ProductLabel::new("calo").unwrap();
         let mut batch = WriteBatch::new(&store);
         for e in 0..200u64 {
             let ev = batch.create_event(&sr, &ds.uuid().unwrap(), e).unwrap();
@@ -155,9 +155,12 @@ mod tests {
         let ds = store.root().create_dataset("pf3").unwrap();
         let sr = ds.create_run(1).unwrap().create_subrun(0).unwrap();
         let ev = sr.create_event(1).unwrap();
-        let prefetcher = Prefetcher::new(&store).label_for::<Calo>(ProductLabel::new("absent"));
+        let prefetcher =
+            Prefetcher::new(&store).label_for::<Calo>(ProductLabel::new("absent").unwrap());
         let fetched = prefetcher.fetch(&[ev]).unwrap();
-        let c: Option<Calo> = fetched[0].load(&ProductLabel::new("absent")).unwrap();
+        let c: Option<Calo> = fetched[0]
+            .load(&ProductLabel::new("absent").unwrap())
+            .unwrap();
         assert_eq!(c, None);
         dep.shutdown();
     }

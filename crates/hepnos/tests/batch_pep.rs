@@ -32,7 +32,7 @@ fn write_batch_groups_by_database_and_flushes_on_drop() {
     let run = ds.create_run(1).unwrap();
     let sr = run.create_subrun(0).unwrap();
     let uuid = ds.uuid().unwrap();
-    let label = ProductLabel::new("hits");
+    let label = ProductLabel::new("hits").unwrap();
     {
         let mut batch = WriteBatch::new(&store);
         for e in 0..100u64 {
@@ -103,7 +103,7 @@ fn async_write_batch_overlaps_and_completes() {
     let sr = ds.create_run(1).unwrap().create_subrun(0).unwrap();
     let uuid = ds.uuid().unwrap();
     let rt = argos::Runtime::simple(2);
-    let label = ProductLabel::new("hits");
+    let label = ProductLabel::new("hits").unwrap();
     {
         let mut batch =
             AsyncWriteBatch::new(&store, rt.default_pool().unwrap()).with_per_db_limit(32);
@@ -225,7 +225,7 @@ fn pep_prefetches_products() {
     let store = dep.datastore();
     let ds = store.root().create_dataset("prefetch").unwrap();
     let sr = ds.create_run(1).unwrap().create_subrun(0).unwrap();
-    let label = ProductLabel::new("hits");
+    let label = ProductLabel::new("hits").unwrap();
     let mut batch = WriteBatch::new(&store);
     for e in 0..100u64 {
         let ev = batch.create_event(&sr, &ds.uuid().unwrap(), e).unwrap();

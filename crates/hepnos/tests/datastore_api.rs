@@ -46,8 +46,8 @@ fn listing1_full_flow() {
             z: 6.0,
         },
     ];
-    ev.store(&ProductLabel::new("vp"), &vp1).unwrap();
-    let vp2: Vec<Particle> = ev.load(&ProductLabel::new("vp")).unwrap().unwrap();
+    ev.store(&ProductLabel::new("vp").unwrap(), &vp1).unwrap();
+    let vp2: Vec<Particle> = ev.load(&ProductLabel::new("vp").unwrap()).unwrap().unwrap();
     assert_eq!(vp1, vp2);
     // "iterate over the subruns in a run"
     let numbers: Vec<u64> = run.subruns().unwrap().iter().map(|s| s.number()).collect();
@@ -156,7 +156,7 @@ fn products_on_all_container_levels() {
     let run = ds.create_run(1).unwrap();
     let sr = run.create_subrun(2).unwrap();
     let ev = sr.create_event(3).unwrap();
-    let label = ProductLabel::new("calib");
+    let label = ProductLabel::new("calib").unwrap();
     run.store(&label, &vec![1u32, 2]).unwrap();
     sr.store(&label, &vec![3u32]).unwrap();
     ev.store(&label, &vec![4u32, 5, 6]).unwrap();
@@ -180,8 +180,8 @@ fn products_are_type_and_label_keyed() {
         .unwrap()
         .create_event(1)
         .unwrap();
-    let l1 = ProductLabel::new("a");
-    let l2 = ProductLabel::new("b");
+    let l1 = ProductLabel::new("a").unwrap();
+    let l2 = ProductLabel::new("b").unwrap();
     ev.store(&l1, &42u64).unwrap();
     ev.store(&l2, &43u64).unwrap();
     ev.store(&l1, &String::from("same label, different type"))
@@ -194,7 +194,11 @@ fn products_are_type_and_label_keyed() {
     );
     // Absent (label, type) pairs come back as None, not an error.
     assert_eq!(ev.load::<f64>(&l1).unwrap(), None);
-    assert_eq!(ev.load::<u64>(&ProductLabel::new("ghost")).unwrap(), None);
+    assert_eq!(
+        ev.load::<u64>(&ProductLabel::new("ghost").unwrap())
+            .unwrap(),
+        None
+    );
     dep.shutdown();
 }
 
@@ -211,13 +215,14 @@ fn two_clients_see_each_others_writes() {
         .unwrap()
         .create_event(99)
         .unwrap();
-    ev.store(&ProductLabel::new("p"), &vec![1.5f64]).unwrap();
+    ev.store(&ProductLabel::new("p").unwrap(), &vec![1.5f64])
+        .unwrap();
     // Client B navigates independently (placement must agree).
     let ds_b = store_b.dataset("shared").unwrap();
     assert_eq!(ds_b.uuid(), ds.uuid());
     let ev_b = ds_b.run(7).unwrap().subrun(0).unwrap().event(99).unwrap();
     assert_eq!(
-        ev_b.load::<Vec<f64>>(&ProductLabel::new("p"))
+        ev_b.load::<Vec<f64>>(&ProductLabel::new("p").unwrap())
             .unwrap()
             .unwrap(),
         vec![1.5]
@@ -307,8 +312,12 @@ fn large_products_round_trip() {
         .unwrap();
     // "a few megabytes" — the upper end of the paper's product sizes.
     let big: Vec<f64> = (0..400_000).map(|i| i as f64 * 0.5).collect();
-    ev.store(&ProductLabel::new("waveform"), &big).unwrap();
-    let back: Vec<f64> = ev.load(&ProductLabel::new("waveform")).unwrap().unwrap();
+    ev.store(&ProductLabel::new("waveform").unwrap(), &big)
+        .unwrap();
+    let back: Vec<f64> = ev
+        .load(&ProductLabel::new("waveform").unwrap())
+        .unwrap()
+        .unwrap();
     assert_eq!(back.len(), big.len());
     assert_eq!(back[399_999], big[399_999]);
     dep.shutdown();

@@ -44,7 +44,7 @@ fn eight_tcp_writers_bounded_window_no_loss() {
         ds.create_run(w).unwrap().create_subrun(0).unwrap();
     }
 
-    let label = ProductLabel::new("payload");
+    let label = ProductLabel::new("payload").unwrap();
     let mut threads = Vec::new();
     for w in 0..WRITERS {
         let descriptor = descriptor.clone();
@@ -113,7 +113,7 @@ fn killed_service_surfaces_error_from_wait() {
     let uuid = ds.uuid().unwrap();
 
     let rt = argos::Runtime::simple(2);
-    let label = ProductLabel::new("payload");
+    let label = ProductLabel::new("payload").unwrap();
     let mut batch = AsyncWriteBatch::new(&store, rt.default_pool().unwrap())
         .with_per_db_limit(8)
         .with_inflight_window(2);
@@ -163,7 +163,7 @@ fn slow_service_causes_backpressure_stalls() {
     let uuid = ds.uuid().unwrap();
 
     let rt = argos::Runtime::simple(2);
-    let label = ProductLabel::new("payload");
+    let label = ProductLabel::new("payload").unwrap();
     let mut batch = AsyncWriteBatch::new(&store, rt.default_pool().unwrap())
         .with_per_db_limit(8)
         .with_inflight_window(2);

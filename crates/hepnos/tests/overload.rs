@@ -61,7 +61,7 @@ fn eight_writers_vs_tiny_queue_no_lost_acks() {
         ds.create_run(w).unwrap().create_subrun(0).unwrap();
     }
 
-    let label = ProductLabel::new("payload");
+    let label = ProductLabel::new("payload").unwrap();
     let mut threads = Vec::new();
     for w in 0..WRITERS {
         let store = dep.connect_client_with_retry(&format!("writer{w}"), patient_retry(w));
@@ -151,7 +151,7 @@ fn hard_watermark_bounds_memory_under_hot_writers() {
     let setup = dep.datastore();
     let ds = setup.root().create_dataset("wm").unwrap();
     let sr = ds.create_run(0).unwrap().create_subrun(0).unwrap();
-    let label = ProductLabel::new("blob");
+    let label = ProductLabel::new("blob").unwrap();
 
     // A short retry budget: against a full backend, Busy must eventually
     // reach the caller instead of retrying forever.

@@ -81,7 +81,7 @@ fn growth_keeps_every_event_and_product_reachable() {
     // Populate through the small topology.
     let ds = store_small.root().create_dataset("rescale").unwrap();
     let uuid = ds.uuid().unwrap();
-    let label = ProductLabel::new("payload");
+    let label = ProductLabel::new("payload").unwrap();
     let run = ds.create_run(1).unwrap();
     for s in 0..10u64 {
         let sr = run.create_subrun(s).unwrap();

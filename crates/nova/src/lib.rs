@@ -25,9 +25,11 @@
 
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod files;
 pub mod generator;
 pub mod loader;
+pub mod pushdown;
 pub mod selection;
 pub mod spectrum;
 
@@ -36,5 +38,6 @@ mod data;
 pub use data::{EventRecord, EventSummary, SliceQuantities};
 pub use generator::{GeneratorConfig, NovaGenerator};
 pub use loader::{DataLoader, IngestStats};
-pub use selection::{select_slices, SelectionCuts};
+pub use pushdown::{select_dataset_blob, select_dataset_pushdown, SelectStats};
+pub use selection::{select_slices, select_slices_into, SelectScratch, SelectionCuts};
 pub use spectrum::Spectrum;

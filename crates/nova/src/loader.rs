@@ -20,7 +20,7 @@ use std::path::Path;
 
 /// The product label under which slice vectors are stored.
 pub fn slice_label() -> ProductLabel {
-    ProductLabel::new("rec.slc")
+    ProductLabel::new("rec.slc").expect("static label is valid")
 }
 
 /// The product type name of the stored slice vectors, as recorded in
@@ -31,12 +31,24 @@ pub fn slice_type_name() -> String {
 
 /// The product label under which event summaries are stored.
 pub fn summary_label() -> ProductLabel {
-    ProductLabel::new("rec.summary")
+    ProductLabel::new("rec.summary").expect("static label is valid")
 }
 
 /// The product type name of stored event summaries.
 pub fn summary_type_name() -> String {
     hepnos::keys::short_type_name::<crate::data::EventSummary>()
+}
+
+/// Load an event's slices regardless of stored representation: the
+/// columnar page blob when present, the opaque serialized vector
+/// otherwise. Returns `None` when the event has no slice product at all.
+pub fn load_slices(
+    event: &hepnos::Event,
+) -> Result<Option<Vec<crate::data::SliceQuantities>>, HepnosError> {
+    if let Some(blob) = event.load_raw(&slice_label(), &crate::columnar::columnar_type_name())? {
+        return crate::columnar::decode_slices(&blob).map(Some);
+    }
+    event.load(&slice_label())
 }
 
 /// Generate Rust source for the class stored in `schema` — the codegen
@@ -136,12 +148,48 @@ impl From<HepnosError> for LoaderError {
 pub struct DataLoader {
     store: DataStore,
     dataset: DataSet,
+    /// When set, slice products are stored as columnar page blobs with this
+    /// many rows per page (under the same `rec.slc` label, but the columnar
+    /// type name) instead of opaque serialized vectors.
+    columnar_page_rows: Option<u32>,
 }
 
 impl DataLoader {
-    /// Create a loader targeting `dataset`.
+    /// Create a loader targeting `dataset` (blob-path storage).
     pub fn new(store: DataStore, dataset: DataSet) -> DataLoader {
-        DataLoader { store, dataset }
+        DataLoader {
+            store,
+            dataset,
+            columnar_page_rows: None,
+        }
+    }
+
+    /// Store slice products through the columnar encoder
+    /// ([`crate::columnar::encode_event`]) so selections can be pushed down
+    /// to the storage tier. `page_rows` is the page granularity of zone-map
+    /// pruning; [`crate::columnar::DEFAULT_PAGE_ROWS`] is a good default.
+    pub fn with_columnar(mut self, page_rows: u32) -> DataLoader {
+        self.columnar_page_rows = Some(page_rows.max(1));
+        self
+    }
+
+    /// Store one event's slices on `batch` in the configured representation.
+    fn store_slices(
+        &self,
+        batch: &mut WriteBatch,
+        event: &hepnos::Event,
+        ev: &EventRecord,
+        label: &ProductLabel,
+    ) -> Result<(), HepnosError> {
+        match self.columnar_page_rows {
+            Some(rows) => batch.store_raw(
+                event,
+                label,
+                &crate::columnar::columnar_type_name(),
+                crate::columnar::encode_event(ev, rows),
+            ),
+            None => batch.store(event, label, &ev.slices),
+        }
     }
 
     /// Ingest one file.
@@ -176,7 +224,7 @@ impl DataLoader {
                 }
             };
             let event = batch.create_event(&subrun, &uuid, ev.event)?;
-            batch.store(&event, &label, &ev.slices)?;
+            self.store_slices(&mut batch, &event, ev, &label)?;
             batch.store(&event, &summary_label(), &ev.summary())?;
             stats.events += 1;
             stats.slices += ev.slices.len() as u64;
@@ -219,7 +267,15 @@ impl DataLoader {
                     }
                 };
                 let event = containers.create_event(&subrun, &uuid, ev.event)?;
-                products.store(&event, &label, &ev.slices)?;
+                match self.columnar_page_rows {
+                    Some(rows) => products.store_raw(
+                        &event,
+                        &label,
+                        &crate::columnar::columnar_type_name(),
+                        crate::columnar::encode_event(ev, rows),
+                    )?,
+                    None => products.store(&event, &label, &ev.slices)?,
+                }
                 products.store(&event, &summary_label(), &ev.summary())?;
                 stats.events += 1;
                 stats.slices += ev.slices.len() as u64;
@@ -265,6 +321,19 @@ pub fn parallel_ingest(
     paths: &[std::path::PathBuf],
     n_loaders: usize,
 ) -> Result<IngestStats, LoaderError> {
+    parallel_ingest_with(store, dataset, paths, n_loaders, None)
+}
+
+/// [`parallel_ingest`] with an optional columnar page size: `Some(rows)`
+/// stores slice products as column pages (see [`crate::columnar`]),
+/// `None` keeps the opaque-blob representation.
+pub fn parallel_ingest_with(
+    store: &DataStore,
+    dataset: &DataSet,
+    paths: &[std::path::PathBuf],
+    n_loaders: usize,
+    columnar_page_rows: Option<u32>,
+) -> Result<IngestStats, LoaderError> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     let next = AtomicUsize::new(0);
     let n_loaders = n_loaders.max(1);
@@ -272,7 +341,10 @@ pub fn parallel_ingest(
         let handles: Vec<_> = (0..n_loaders)
             .map(|_| {
                 let next = &next;
-                let loader = DataLoader::new(store.clone(), dataset.clone());
+                let mut loader = DataLoader::new(store.clone(), dataset.clone());
+                if let Some(rows) = columnar_page_rows {
+                    loader = loader.with_columnar(rows);
+                }
                 scope.spawn(move || {
                     let mut total = IngestStats::default();
                     loop {
@@ -315,6 +387,19 @@ pub fn parallel_ingest_overlapped(
     n_loaders: usize,
     pool: argos::Pool,
 ) -> Result<IngestStats, LoaderError> {
+    parallel_ingest_overlapped_with(store, dataset, paths, n_loaders, pool, None)
+}
+
+/// [`parallel_ingest_overlapped`] with an optional columnar page size —
+/// the overlapped twin of [`parallel_ingest_with`].
+pub fn parallel_ingest_overlapped_with(
+    store: &DataStore,
+    dataset: &DataSet,
+    paths: &[std::path::PathBuf],
+    n_loaders: usize,
+    pool: argos::Pool,
+    columnar_page_rows: Option<u32>,
+) -> Result<IngestStats, LoaderError> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     let next = AtomicUsize::new(0);
     let n_loaders = n_loaders.max(1);
@@ -323,7 +408,10 @@ pub fn parallel_ingest_overlapped(
             .map(|_| {
                 let next = &next;
                 let pool = pool.clone();
-                let loader = DataLoader::new(store.clone(), dataset.clone());
+                let mut loader = DataLoader::new(store.clone(), dataset.clone());
+                if let Some(rows) = columnar_page_rows {
+                    loader = loader.with_columnar(rows);
+                }
                 scope.spawn(move || {
                     let mut total = IngestStats::default();
                     loop {

@@ -79,15 +79,237 @@ impl SelectionCuts {
     }
 }
 
+/// Reusable column buffers for the vectorized selection kernel, so the
+/// per-event hot loop allocates nothing after warm-up.
+#[derive(Default)]
+pub struct SelectScratch {
+    vertex_x: ColF32,
+    vertex_y: ColF32,
+    vertex_z: ColF32,
+    cosmic: ColF32,
+    cvn_nue: ColF32,
+    remid: ColF32,
+    energy: ColF32,
+    nhit: Vec<u32>,
+    nhit_min: u32,
+    nhit_max: u32,
+    pass: Vec<bool>,
+}
+
+/// One transposed f32 column with its event-level zone map.
+#[derive(Default)]
+struct ColF32 {
+    vals: Vec<f32>,
+    /// Min/max over non-NaN values (`+inf`/`-inf` when all are NaN).
+    min: f32,
+    max: f32,
+    has_nan: bool,
+}
+
+impl ColF32 {
+    fn clear(&mut self) {
+        self.vals.clear();
+        self.min = f32::INFINITY;
+        self.max = f32::NEG_INFINITY;
+        self.has_nan = false;
+    }
+
+    fn push(&mut self, v: f32) {
+        if v.is_nan() {
+            self.has_nan = true;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.vals.push(v);
+    }
+}
+
+impl SelectScratch {
+    /// Fresh scratch (buffers grow to the largest event seen).
+    pub fn new() -> SelectScratch {
+        SelectScratch::default()
+    }
+
+    fn load(&mut self, event: &EventRecord) {
+        for c in [
+            &mut self.vertex_x,
+            &mut self.vertex_y,
+            &mut self.vertex_z,
+            &mut self.cosmic,
+            &mut self.cvn_nue,
+            &mut self.remid,
+            &mut self.energy,
+        ] {
+            c.clear();
+        }
+        self.nhit.clear();
+        self.nhit_min = u32::MAX;
+        self.nhit_max = 0;
+        self.pass.clear();
+        for s in &event.slices {
+            self.vertex_x.push(s.vertex_x);
+            self.vertex_y.push(s.vertex_y);
+            self.vertex_z.push(s.vertex_z);
+            self.cosmic.push(s.cosmic_score);
+            self.cvn_nue.push(s.cvn_nue);
+            self.remid.push(s.remid);
+            self.energy.push(s.nu_energy);
+            self.nhit_min = self.nhit_min.min(s.nhit);
+            self.nhit_max = self.nhit_max.max(s.nhit);
+            self.nhit.push(s.nhit);
+        }
+        self.pass.resize(event.slices.len(), true);
+    }
+}
+
+/// Outcome of one cut's zone-map check against a column's min/max.
+enum Zone {
+    /// No slice can pass this cut — the whole event is rejected.
+    AllFail,
+    /// Every slice passes this cut — skip the column sweep.
+    AllPass,
+    /// Mixed: sweep the column into the bitmap.
+    Mixed,
+}
+
+/// Zone check + column sweep for one predicate of the form
+/// "reject when `reject(v)`" — NaN never rejects (mirroring the scalar
+/// comparisons, where `NaN > b` and `NaN < b` are both false).
+fn apply_not<R: Fn(f32) -> bool>(col: &ColF32, pass: &mut [bool], zone: Zone, reject: R) -> bool {
+    match zone {
+        Zone::AllFail => return false,
+        Zone::AllPass => return true,
+        Zone::Mixed => {}
+    }
+    for (b, &v) in pass.iter_mut().zip(&col.vals) {
+        *b &= !reject(v);
+    }
+    true
+}
+
+/// [`select_slices`] through caller-owned scratch and output buffers: the
+/// vectorized kernel. Each cut is evaluated over a whole transposed column
+/// into a selection bitmap, and the event-level zone map (column min/max)
+/// short-circuits cuts that provably reject everything or nothing —
+/// the in-memory analogue of the storage tier's per-page pruning.
+///
+/// Appends the accepted global slice ids to `out` in slice order;
+/// byte-identical to filtering with [`SelectionCuts::passes`].
+pub fn select_slices_into(
+    event: &EventRecord,
+    cuts: &SelectionCuts,
+    scratch: &mut SelectScratch,
+    out: &mut Vec<u64>,
+) {
+    if event.slices.is_empty() {
+        return;
+    }
+    scratch.load(event);
+    let half = cuts.detector_half_xy - cuts.fiducial_margin;
+    let z_lo = cuts.fiducial_margin;
+    let z_hi = cuts.detector_z - cuts.fiducial_margin;
+    let (nhit_lo, nhit_hi) = cuts.nhit_range;
+    let (e_lo, e_hi) = cuts.energy_range;
+
+    // Fiducial |x| <= half, |y| <= half (NaN passes: `NaN.abs() > half` is
+    // false in the scalar code).
+    for c in [&scratch.vertex_x, &scratch.vertex_y] {
+        let zone = if !c.has_nan && (c.min > half || c.max < -half) {
+            Zone::AllFail
+        } else if c.max <= half && c.min >= -half {
+            Zone::AllPass
+        } else {
+            Zone::Mixed
+        };
+        if !apply_not(c, &mut scratch.pass, zone, |v| v.abs() > half) {
+            return;
+        }
+    }
+    // z window: reject when z < z_lo or z > z_hi.
+    {
+        let c = &scratch.vertex_z;
+        let zone = if !c.has_nan && (c.max < z_lo || c.min > z_hi) {
+            Zone::AllFail
+        } else if c.min >= z_lo && c.max <= z_hi {
+            Zone::AllPass
+        } else {
+            Zone::Mixed
+        };
+        if !apply_not(c, &mut scratch.pass, zone, |v| v < z_lo || v > z_hi) {
+            return;
+        }
+    }
+    // Hit-count window (integers have no NaN case).
+    if scratch.nhit_max < nhit_lo || scratch.nhit_min > nhit_hi {
+        return;
+    }
+    if scratch.nhit_min < nhit_lo || scratch.nhit_max > nhit_hi {
+        for (b, &n) in scratch.pass.iter_mut().zip(&scratch.nhit) {
+            *b &= n >= nhit_lo && n <= nhit_hi;
+        }
+    }
+    // Score cuts: reject when score compares out of bounds; NaN passes.
+    for (c, max_bound) in [
+        (&scratch.cosmic, cuts.max_cosmic_score),
+        (&scratch.remid, cuts.max_remid),
+    ] {
+        let zone = if !c.has_nan && c.min > max_bound {
+            Zone::AllFail
+        } else if c.max <= max_bound {
+            Zone::AllPass
+        } else {
+            Zone::Mixed
+        };
+        if !apply_not(c, &mut scratch.pass, zone, |v| v > max_bound) {
+            return;
+        }
+    }
+    {
+        let c = &scratch.cvn_nue;
+        let zone = if !c.has_nan && c.max < cuts.min_cvn_nue {
+            Zone::AllFail
+        } else if c.min >= cuts.min_cvn_nue {
+            Zone::AllPass
+        } else {
+            Zone::Mixed
+        };
+        if !apply_not(c, &mut scratch.pass, zone, |v| v < cuts.min_cvn_nue) {
+            return;
+        }
+    }
+    // Energy window: pass iff `e_lo <= v <= e_hi`; NaN *fails* (the scalar
+    // code requires the comparisons to hold). An all-NaN column has
+    // min=+inf, which correctly lands in AllFail.
+    {
+        let c = &scratch.energy;
+        if c.max < e_lo || c.min > e_hi {
+            return;
+        }
+        if c.has_nan || c.min < e_lo || c.max > e_hi {
+            for (b, &v) in scratch.pass.iter_mut().zip(&c.vals) {
+                *b &= v >= e_lo && v <= e_hi;
+            }
+        }
+    }
+    for (&keep, s) in scratch.pass.iter().zip(&event.slices) {
+        debug_assert_eq!(keep, cuts.passes(s));
+        if keep {
+            out.push(event.global_slice_id(s));
+        }
+    }
+}
+
 /// Run the selection over one event, returning the **global** IDs of
 /// accepted slices (what both workflows accumulate and compare, §IV).
+///
+/// Allocates fresh buffers per call; hot loops should hold a
+/// [`SelectScratch`] and call [`select_slices_into`] instead.
 pub fn select_slices(event: &EventRecord, cuts: &SelectionCuts) -> Vec<u64> {
-    event
-        .slices
-        .iter()
-        .filter(|s| cuts.passes(s))
-        .map(|s| event.global_slice_id(s))
-        .collect()
+    let mut scratch = SelectScratch::new();
+    let mut out = Vec::new();
+    select_slices_into(event, cuts, &mut scratch, &mut out);
+    out
 }
 
 #[cfg(test)]

@@ -14,13 +14,13 @@
 //! an `--xstreams`-wide pool) and the pipeline counters are reported.
 
 use hepnos_tools::{connect, Args};
-use nova::loader::{parallel_ingest, parallel_ingest_overlapped};
+use nova::loader::{parallel_ingest_overlapped_with, parallel_ingest_with};
 use nova::NovaGenerator;
 use std::path::{Path, PathBuf};
 
 const USAGE: &str = "hepnos-ingest --connect descriptors.json --dataset PATH --input DIR \
                      [--loaders N] [--generate FILESxEVENTS --seed S] \
-                     [--overlap [--xstreams N]]";
+                     [--overlap [--xstreams N]] [--columnar [PAGE_ROWS]]";
 
 fn main() {
     let args = Args::from_env();
@@ -70,24 +70,39 @@ fn main() {
         });
     let overlap = args.get("overlap").is_some();
     let xstreams: usize = args.get_or("xstreams", "2").parse().unwrap_or(2);
+    // `--columnar` alone uses the default page size; `--columnar N` sets it.
+    let columnar: Option<u32> = args.get("columnar").map(|v| {
+        if v == "true" {
+            nova::columnar::DEFAULT_PAGE_ROWS
+        } else {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad --columnar (want a page row count)\nusage: {USAGE}");
+                std::process::exit(2);
+            })
+        }
+    });
     let t = std::time::Instant::now();
     let stats = if overlap {
         let rt = argos::Runtime::simple(xstreams.max(1));
         let pool = rt.default_pool().expect("runtime pool");
-        let result = parallel_ingest_overlapped(&store, &ds, &paths, loaders, pool);
+        let result = parallel_ingest_overlapped_with(&store, &ds, &paths, loaders, pool, columnar);
         rt.shutdown();
         result
     } else {
-        parallel_ingest(&store, &ds, &paths, loaders)
+        parallel_ingest_with(&store, &ds, &paths, loaders, columnar)
     }
     .unwrap_or_else(|e| {
         eprintln!("ingest failed: {e}");
         std::process::exit(1);
     });
     let dt = t.elapsed();
+    let repr = match columnar {
+        Some(rows) => format!(", columnar pages of {rows} rows"),
+        None => String::new(),
+    };
     println!(
         "ingested {} files / {} events / {} slices into '{dataset_path}' \
-         with {loaders} loaders in {dt:.2?} ({:.0} events/s)",
+         with {loaders} loaders in {dt:.2?} ({:.0} events/s{repr})",
         stats.files,
         stats.events,
         stats.slices,

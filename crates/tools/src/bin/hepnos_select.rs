@@ -4,12 +4,17 @@
 //! ```text
 //! hepnos-select --connect descriptors.json --dataset path/to/ds
 //!               [--workers N] [--load-batch N] [--dispatch-batch N]
-//!               [--spectrum]
+//!               [--spectrum] [--pushdown]
 //! ```
 //!
 //! Runs the ParallelEventProcessor over the dataset, applies the ν_e
 //! selection to every slice, prints the accepted count, throughput and
-//! load-balance statistics, and optionally the energy spectrum.
+//! load-balance statistics, and optionally the energy spectrum. Slice
+//! products stored as columnar page blobs (`hepnos-ingest --columnar`)
+//! are decoded transparently. With `--pushdown`, the selection is instead
+//! compiled to a predicate program and evaluated server-side against the
+//! column pages — only surviving slice ids cross the wire (events without
+//! columnar products fall back to fetch-and-cut automatically).
 
 use hepnos::{ParallelEventProcessor, PepOptions};
 use hepnos_tools::{connect, Args};
@@ -20,7 +25,8 @@ use std::collections::BTreeSet;
 use std::path::Path;
 
 const USAGE: &str = "hepnos-select --connect descriptors.json --dataset PATH \
-                     [--workers N] [--load-batch N] [--dispatch-batch N] [--spectrum]";
+                     [--workers N] [--load-batch N] [--dispatch-batch N] \
+                     [--spectrum] [--pushdown]";
 
 fn main() {
     let args = Args::from_env();
@@ -33,6 +39,35 @@ fn main() {
         std::process::exit(1);
     });
     let cuts = SelectionCuts::default();
+    if args.get("pushdown").is_some() {
+        if args.get("spectrum").is_some() {
+            eprintln!("--spectrum needs slice payloads; it is unavailable with --pushdown");
+            std::process::exit(2);
+        }
+        let t = std::time::Instant::now();
+        let (ids, stats) = nova::select_dataset_pushdown(&store, &ds, &cuts).unwrap_or_else(|e| {
+            eprintln!("processing failed: {e}");
+            std::process::exit(1);
+        });
+        let dt = t.elapsed();
+        println!(
+            "processed {} events / {} slices in {dt:.2?} ({:.0} slices/s, push-down)",
+            stats.events,
+            stats.rows_in,
+            stats.rows_in as f64 / dt.as_secs_f64(),
+        );
+        println!(
+            "accepted {} candidate slices (rejection ratio {:.1e})",
+            ids.len(),
+            stats.rows_in as f64 / ids.len().max(1) as f64
+        );
+        println!(
+            "pushdown: {} pages scanned/{} skipped, {} stored bytes filtered in place, \
+             {} fallback events",
+            stats.pages_scanned, stats.pages_skipped, stats.bytes_stored, stats.fallback_events
+        );
+        return;
+    }
     let accepted: Mutex<BTreeSet<u64>> = Mutex::new(BTreeSet::new());
     let spectrum: Mutex<Spectrum> = Mutex::new(Spectrum::nue_energy());
     let slices_seen = Mutex::new(0u64);
@@ -42,13 +77,23 @@ fn main() {
             num_workers: workers,
             load_batch_size: args.get_or("load-batch", "16384").parse().unwrap_or(16384),
             dispatch_batch_size: args.get_or("dispatch-batch", "64").parse().unwrap_or(64),
-            prefetch: vec![(slice_label(), slice_type_name())],
+            // Prefetch both representations: opaque blobs and columnar pages.
+            prefetch: vec![
+                (slice_label(), slice_type_name()),
+                (slice_label(), nova::columnar::columnar_type_name()),
+            ],
             ..Default::default()
         },
     );
     let stats = pep
         .process(&ds, |_w, pe| {
-            let slices: Vec<SliceQuantities> = pe.load(&slice_label()).unwrap().unwrap_or_default();
+            let slices: Vec<SliceQuantities> = match pe
+                .load_raw(&slice_label(), &nova::columnar::columnar_type_name())
+                .unwrap()
+            {
+                Some(blob) => nova::columnar::decode_slices(&blob).unwrap(),
+                None => pe.load(&slice_label()).unwrap().unwrap_or_default(),
+            };
             let (run, subrun, event) = pe.event().coordinates();
             let rec = EventRecord {
                 run,

@@ -10,9 +10,30 @@ use mercurio::{Endpoint, PendingResponse, RpcError, RpcId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Process-wide client-id allocator: deterministic (no randomness), unique
-/// per [`YokanClient`] session within a process.
+/// Process-wide client-id allocator, offset by a per-process base so ids
+/// are unique *across* processes too: the service keys its at-most-once
+/// dedup window by client id, and two CLI processes both counting from 1
+/// would silently swallow each other's mutations as replays.
 static NEXT_CLIENT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn client_id_base() -> u64 {
+    use std::sync::OnceLock;
+    static BASE: OnceLock<u64> = OnceLock::new();
+    *BASE.get_or_init(|| {
+        let pid = std::process::id() as u64;
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        // SplitMix64 finalizer: spread (pid, boot time) over the full u64
+        // so bases from concurrently launched processes don't collide in
+        // their low bits (ids within a process are base + small counter).
+        let mut z = pid.rotate_left(32) ^ nanos;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    })
+}
 
 /// Per-client identity and retry bookkeeping, shared by clones of one
 /// [`YokanClient`] so sequence numbers stay unique across them.
@@ -25,7 +46,8 @@ pub(crate) struct ClientSession {
 impl ClientSession {
     fn new() -> Arc<ClientSession> {
         Arc::new(ClientSession {
-            client_id: NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed),
+            client_id: client_id_base()
+                .wrapping_add(NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed)),
             next_seq: AtomicU64::new(1),
             counters: RetryCounters::default(),
         })
@@ -120,6 +142,29 @@ impl DbTarget {
             db: db.into(),
         }
     }
+}
+
+/// Per-key outcome of a push-down [`YokanClient::filter`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterReply {
+    /// No value stored under the key.
+    Missing,
+    /// A value is stored but it is not a columnar page blob; the caller
+    /// should fall back to fetching and filtering it client-side.
+    NotColumnar,
+    /// The predicate program ran server-side over the columnar pages.
+    Ids {
+        /// Id-column values of surviving rows, in row order.
+        ids: Vec<u64>,
+        /// Rows stored in the blob.
+        rows_in: u32,
+        /// Pages whose columns were decoded and evaluated.
+        pages_scanned: u32,
+        /// Pages skipped via zone maps without decoding.
+        pages_skipped: u32,
+        /// Stored size of the blob (bytes that did *not* cross the wire).
+        stored_bytes: u32,
+    },
 }
 
 /// A Yokan client bound to a local endpoint.
@@ -379,6 +424,60 @@ impl YokanClient {
             )));
         }
         Ok(resp.iter().map(|&b| b == 1).collect())
+    }
+
+    /// Run a serialized predicate [`crate::filter::Program`] server-side
+    /// against the columnar page blobs stored under `keys`, in one
+    /// round-trip. Only surviving row ids (plus a few counters) come back —
+    /// the page bytes themselves never cross the wire. One reply per key.
+    pub fn filter(
+        &self,
+        target: &DbTarget,
+        program: &crate::filter::Program,
+        keys: &[Vec<u8>],
+    ) -> Result<Vec<FilterReply>, YokanError> {
+        let prog_bytes = program.to_bytes();
+        // Keys of one batch share container prefix and label/type suffix;
+        // factor them out so the request scales with the per-key residue.
+        let keys_block = encode_keys_factored(keys);
+        let mut buf = Self::header(target, 4 + prog_bytes.len() + keys_block.len());
+        put_bytes(&mut buf, &prog_bytes);
+        buf.put_slice(&keys_block);
+        let mut resp = self.call(target, OP_FILTER, buf.freeze())?;
+        let n = get_u32(&mut resp)? as usize;
+        if n != keys.len() {
+            return Err(YokanError::Protocol(format!(
+                "filter: expected {} replies, got {n}",
+                keys.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(match get_u8(&mut resp)? {
+                FILTER_MISSING => FilterReply::Missing,
+                FILTER_NOT_COLUMNAR => FilterReply::NotColumnar,
+                FILTER_IDS => {
+                    let rows_in = get_u32(&mut resp)?;
+                    let pages_scanned = get_u32(&mut resp)?;
+                    let pages_skipped = get_u32(&mut resp)?;
+                    let stored_bytes = get_u32(&mut resp)?;
+                    let n_ids = get_u32(&mut resp)? as usize;
+                    let mut ids = Vec::with_capacity(n_ids);
+                    for _ in 0..n_ids {
+                        ids.push(get_u64(&mut resp)?);
+                    }
+                    FilterReply::Ids {
+                        ids,
+                        rows_in,
+                        pages_scanned,
+                        pages_skipped,
+                        stored_bytes,
+                    }
+                }
+                t => return Err(YokanError::Protocol(format!("bad filter reply tag {t}"))),
+            });
+        }
+        Ok(out)
     }
 
     /// Whether a key exists.

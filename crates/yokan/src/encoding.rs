@@ -101,6 +101,82 @@ pub(crate) fn decode_keys(buf: &mut Bytes) -> Result<Vec<Vec<u8>>, YokanError> {
     Ok(out)
 }
 
+/// Length of the byte prefix shared by every key in `keys`.
+fn common_prefix_len(keys: &[Vec<u8>]) -> usize {
+    let Some(first) = keys.first() else { return 0 };
+    let mut p = first.len();
+    for k in &keys[1..] {
+        p = p.min(k.len());
+        let mut i = 0;
+        while i < p && k[i] == first[i] {
+            i += 1;
+        }
+        p = i;
+    }
+    p
+}
+
+/// Length of the byte suffix shared by every key once the first
+/// `prefix_len` bytes are set aside (so prefix and suffix never overlap).
+fn common_suffix_len(keys: &[Vec<u8>], prefix_len: usize) -> usize {
+    let Some(first) = keys.first() else { return 0 };
+    let mut s = first.len() - prefix_len;
+    for k in &keys[1..] {
+        s = s.min(k.len() - prefix_len);
+        let mut i = 0;
+        while i < s && k[k.len() - 1 - i] == first[first.len() - 1 - i] {
+            i += 1;
+        }
+        s = i;
+    }
+    s
+}
+
+/// Encode a key batch with the shared prefix and suffix factored out —
+/// sent once for the batch instead of once per key. Product keys of one
+/// container run share the `<uuid><run><subrun>` head and the
+/// `<label>#<type>` tail, so for big batches the per-key payload shrinks
+/// to the event coordinates alone.
+pub(crate) fn encode_keys_factored(keys: &[Vec<u8>]) -> Bytes {
+    let p = common_prefix_len(keys);
+    let s = common_suffix_len(keys, p);
+    let middles: usize = keys.iter().map(|k| 4 + k.len() - p - s).sum();
+    let mut buf = BytesMut::with_capacity(4 + p + 4 + s + 4 + middles);
+    match keys.first() {
+        Some(first) => {
+            put_bytes(&mut buf, &first[..p]);
+            put_bytes(&mut buf, &first[first.len() - s..]);
+        }
+        None => {
+            put_bytes(&mut buf, b"");
+            put_bytes(&mut buf, b"");
+        }
+    }
+    buf.put_u32_le(keys.len() as u32);
+    for k in keys {
+        put_bytes(&mut buf, &k[p..k.len() - s]);
+    }
+    buf.freeze()
+}
+
+/// Decode a batch produced by [`encode_keys_factored`], reassembling each
+/// key as `prefix + middle + suffix`.
+pub(crate) fn decode_keys_factored(buf: &mut Bytes) -> Result<Vec<Vec<u8>>, YokanError> {
+    let prefix = get_bytes(buf)?;
+    let suffix = get_bytes(buf)?;
+    let n = get_u32(buf)? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let middle = get_bytes(buf)?;
+        let mut key = Vec::with_capacity(prefix.len() + middle.len() + suffix.len());
+        key.extend_from_slice(&prefix);
+        key.extend_from_slice(&middle);
+        key.extend_from_slice(&suffix);
+        out.push(key);
+    }
+    Ok(out)
+}
+
 /// Encode a list of optional values (for `get_multi` responses).
 pub(crate) fn encode_optionals(vals: &[Option<Vec<u8>>]) -> Bytes {
     let total: usize = vals
@@ -164,6 +240,48 @@ mod tests {
         let keys = vec![b"a".to_vec(), b"bb".to_vec(), Vec::new()];
         let mut enc = encode_keys(&keys);
         assert_eq!(decode_keys(&mut enc).unwrap(), keys);
+    }
+
+    #[test]
+    fn factored_keys_round_trip() {
+        let cases: Vec<Vec<Vec<u8>>> = vec![
+            vec![],
+            vec![b"only".to_vec()],
+            vec![b"aa".to_vec(), b"aa".to_vec(), b"aa".to_vec()],
+            vec![b"aa".to_vec(), b"aaa".to_vec()],
+            vec![b"head-1-tail".to_vec(), b"head-22-tail".to_vec()],
+            vec![b"x".to_vec(), b"completely".to_vec(), b"different".to_vec()],
+            vec![Vec::new(), b"nonempty".to_vec()],
+        ];
+        for keys in cases {
+            let mut enc = encode_keys_factored(&keys);
+            assert_eq!(
+                decode_keys_factored(&mut enc).unwrap(),
+                keys,
+                "case {keys:?}"
+            );
+            assert!(!enc.has_remaining());
+        }
+    }
+
+    #[test]
+    fn factored_keys_shrink_shared_batches() {
+        let keys: Vec<Vec<u8>> = (0..100u64)
+            .map(|e| {
+                let mut k = b"uuid+run+subrun:".to_vec();
+                k.extend_from_slice(&e.to_be_bytes());
+                k.extend_from_slice(b"rec.slc#nova::ColumnarSlices");
+                k
+            })
+            .collect();
+        let plain = encode_keys(&keys);
+        let factored = encode_keys_factored(&keys);
+        assert!(
+            factored.len() * 3 < plain.len(),
+            "factored {} vs plain {}",
+            factored.len(),
+            plain.len()
+        );
     }
 
     #[test]

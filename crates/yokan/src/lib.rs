@@ -29,11 +29,15 @@ mod backend;
 mod client;
 mod encoding;
 mod error;
+pub mod filter;
+pub mod pages;
 mod retry;
 mod service;
 
 pub use backend::{Backend, BackendStats, LsmBackend, MemBackend, WatermarkConfig};
-pub use client::{DbTarget, PendingPut, YokanClient};
+pub use client::{DbTarget, FilterReply, PendingPut, YokanClient};
 pub use error::YokanError;
+pub use filter::{FilterOutput, Predicate, Program};
+pub use pages::{Column, PageReader};
 pub use retry::{RetryPolicy, RetryStats};
 pub use service::{YokanService, PROVIDER_RPC_BASE};

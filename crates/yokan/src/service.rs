@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// Base RPC id of the Yokan protocol; ids `base..base+12` are used.
+/// Base RPC id of the Yokan protocol; ids `base..base+13` are used.
 pub const PROVIDER_RPC_BASE: u16 = 100;
 
 pub(crate) const OP_PUT: u16 = PROVIDER_RPC_BASE;
@@ -28,6 +28,12 @@ pub(crate) const OP_LIST_DBS: u16 = PROVIDER_RPC_BASE + 9;
 pub(crate) const OP_ERASE_MULTI: u16 = PROVIDER_RPC_BASE + 10;
 pub(crate) const OP_PUT_IF_ABSENT: u16 = PROVIDER_RPC_BASE + 11;
 pub(crate) const OP_EXISTS_MULTI: u16 = PROVIDER_RPC_BASE + 12;
+pub(crate) const OP_FILTER: u16 = PROVIDER_RPC_BASE + 13;
+
+/// Per-key reply tags for [`OP_FILTER`].
+pub(crate) const FILTER_MISSING: u8 = 0;
+pub(crate) const FILTER_NOT_COLUMNAR: u8 = 1;
+pub(crate) const FILTER_IDS: u8 = 2;
 
 pub(crate) const MODE_INLINE: u8 = 0;
 pub(crate) const MODE_BULK: u8 = 1;
@@ -71,7 +77,39 @@ const FANOUT_THRESHOLD: usize = 32;
 const FANOUT_CHUNKS: usize = 4;
 
 /// A batched read against a backend, run per chunk by the fan-out path.
-type MultiReadOp<T> = fn(&dyn Backend, &[Vec<u8>]) -> Result<Vec<T>, YokanError>;
+/// A trait alias in spirit: plain `fn` pointers for the simple reads, and
+/// capturing closures (wrapped in `Arc` by the fan-out) for the filter
+/// path, which carries its predicate program into every chunk.
+trait MultiReadOp<T>: Fn(&dyn Backend, &[Vec<u8>]) -> Result<Vec<T>, YokanError> {}
+impl<T, F: Fn(&dyn Backend, &[Vec<u8>]) -> Result<Vec<T>, YokanError>> MultiReadOp<T> for F {}
+
+/// Encode one per-key reply of the filter RPC: what happened to the stored
+/// value under that key. Corrupt columnar blobs fail the whole RPC — they
+/// indicate storage damage, not a client mistake.
+fn encode_filter_reply(
+    value: Option<&[u8]>,
+    prog: &crate::filter::Program,
+) -> Result<Bytes, YokanError> {
+    let mut out = BytesMut::new();
+    match value {
+        None => out.put_u8(FILTER_MISSING),
+        Some(v) if !crate::pages::is_columnar(v) => out.put_u8(FILTER_NOT_COLUMNAR),
+        Some(v) => {
+            let res = crate::filter::eval_program(v, prog)?;
+            out.reserve(1 + 20 + 8 * res.ids.len());
+            out.put_u8(FILTER_IDS);
+            out.put_u32_le(res.rows_in);
+            out.put_u32_le(res.pages_scanned);
+            out.put_u32_le(res.pages_skipped);
+            out.put_u32_le(v.len() as u32);
+            out.put_u32_le(res.ids.len() as u32);
+            for id in &res.ids {
+                out.put_u64_le(*id);
+            }
+        }
+    }
+    Ok(out.freeze())
+}
 
 struct ProviderState {
     databases: HashMap<String, Arc<dyn Backend>>,
@@ -143,6 +181,7 @@ impl YokanService {
             OP_ERASE_MULTI,
             OP_PUT_IF_ABSENT,
             OP_EXISTS_MULTI,
+            OP_FILTER,
         ] {
             let svc2 = svc.clone();
             margo.register_rpc(
@@ -269,16 +308,21 @@ impl YokanService {
     /// chunks would deadlock. While any chunk is unfinished we *work-help*:
     /// pop and run queued tasks from the pool (our own chunks included), and
     /// only yield when the queue is momentarily empty.
-    fn fan_out_read<T: Send + 'static>(
+    fn fan_out_read<T, F>(
         pool: Option<argos::Pool>,
         backend: Arc<dyn Backend>,
         keys: Vec<Vec<u8>>,
-        op: MultiReadOp<T>,
-    ) -> Result<Vec<T>, YokanError> {
+        op: F,
+    ) -> Result<Vec<T>, YokanError>
+    where
+        T: Send + 'static,
+        F: MultiReadOp<T> + Send + Sync + 'static,
+    {
         let fan = match pool {
             Some(p) if keys.len() >= FANOUT_THRESHOLD && !p.is_closed() => p,
             _ => return op(&*backend, &keys),
         };
+        let op = Arc::new(op);
         let chunk = keys.len().div_ceil(FANOUT_CHUNKS);
         let mut handles = Vec::with_capacity(FANOUT_CHUNKS);
         let mut rest = keys;
@@ -290,7 +334,8 @@ impl YokanService {
             };
             let part = std::mem::replace(&mut rest, tail);
             let b = Arc::clone(&backend);
-            handles.push(fan.spawn(move || op(&*b, &part)));
+            let op2 = Arc::clone(&op);
+            handles.push(fan.spawn(move || op2(&*b, &part)));
         }
         let mut out = Vec::new();
         for h in handles {
@@ -505,6 +550,29 @@ impl YokanService {
                     .db(req.provider_id, &db)?
                     .list_keyvals(&from, &prefix, limit)?;
                 Ok(encode_pairs(&kvs))
+            }
+            x if x == OP_FILTER => {
+                let db = get_bytes(&mut p)?;
+                let prog = crate::filter::Program::from_bytes(&get_bytes(&mut p)?)?;
+                let keys = decode_keys_factored(&mut p)?;
+                let (backend, pool) = self.db_and_pool(req.provider_id, &db)?;
+                let n = keys.len();
+                // Each key becomes one encoded reply; the predicate program
+                // rides into every chunk of the fan-out.
+                let replies = Self::fan_out_read(pool, backend, keys, move |b, ks| {
+                    let vals = b.get_multi(ks)?;
+                    vals.iter()
+                        .map(|v| encode_filter_reply(v.as_deref(), &prog))
+                        .collect()
+                })?;
+                let mut out = BytesMut::with_capacity(
+                    4 + replies.iter().map(|r: &Bytes| r.len()).sum::<usize>(),
+                );
+                out.put_u32_le(n as u32);
+                for r in replies {
+                    out.put_slice(&r);
+                }
+                Ok(out.freeze())
             }
             x if x == OP_COUNT => {
                 let db = get_bytes(&mut p)?;

@@ -61,7 +61,7 @@ fn main() {
     // Spread data across nodes: many subruns hash to different databases.
     let ds = store.root().create_dataset("spread").unwrap();
     let run = ds.create_run(1).unwrap();
-    let label = ProductLabel::new("blob");
+    let label = ProductLabel::new("blob").unwrap();
     for s in 0..24u64 {
         let sr = run.create_subrun(s).unwrap();
         let ev = sr.create_event(0).unwrap();

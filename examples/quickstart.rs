@@ -48,7 +48,7 @@ fn main() {
             z: 9.0,
         },
     ];
-    let label = ProductLabel::new("mylabel");
+    let label = ProductLabel::new("mylabel").unwrap();
     ev.store(&label, &vp1).expect("store failed");
 
     // Load data back.

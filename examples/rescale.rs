@@ -76,7 +76,7 @@ fn demo(placement: &dyn Placement, make_placement: fn() -> Box<dyn Placement>, n
     let ds = store.root().create_dataset("grow").unwrap();
     let uuid = ds.uuid().unwrap();
     let run = ds.create_run(1).unwrap();
-    let label = ProductLabel::new("p");
+    let label = ProductLabel::new("p").unwrap();
     for s in 0..64u64 {
         let sr = run.create_subrun(s).unwrap();
         let mut batch = WriteBatch::new(&store);

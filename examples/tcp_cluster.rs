@@ -65,7 +65,7 @@ fn main() {
             adc: 760,
         },
     ];
-    let label = ProductLabel::new("hits");
+    let label = ProductLabel::new("hits").unwrap();
     ev.store(&label, &hits).unwrap();
     let back: Vec<Hit> = ev.load(&label).unwrap().unwrap();
     assert_eq!(back, hits);

@@ -257,7 +257,7 @@ macro_rules! range_strategy {
     )*};
 }
 
-range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
 // ---------------------------------------------------------------------------
 // Regex-like string strategies

@@ -15,7 +15,7 @@ fn concurrent_ingest_into_disjoint_subruns() {
     // Four "loader ranks" (independent clients!) ingest disjoint subruns of
     // one run concurrently; afterwards everything is present exactly once.
     let dep = local_deployment(2, DbCounts::default());
-    let label = ProductLabel::new("p");
+    let label = ProductLabel::new("p").unwrap();
     std::thread::scope(|scope| {
         for rank in 0..4u64 {
             let store = dep.connect_client(&format!("loader-{rank}"));
@@ -59,7 +59,7 @@ fn processing_one_dataset_while_ingesting_another() {
     // slower phases" scenario. A's results must be unaffected.
     let dep = local_deployment(1, DbCounts::default());
     let store = dep.datastore();
-    let label = ProductLabel::new("x");
+    let label = ProductLabel::new("x").unwrap();
     let ds_a = store.root().create_dataset("a").unwrap();
     let uuid_a = ds_a.uuid().unwrap();
     let run_a = ds_a.create_run(1).unwrap();

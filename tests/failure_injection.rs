@@ -41,7 +41,7 @@ fn injection_saturation_surfaces_as_storage_error() {
         .create_event(1)
         .unwrap();
     // Hammer with large products until the budget trips.
-    let label = ProductLabel::new("big");
+    let label = ProductLabel::new("big").unwrap();
     let mut saw_saturation = false;
     for i in 0..50u32 {
         match ev.store(&label, &vec![i; 4096]) {
@@ -81,7 +81,7 @@ fn server_shutdown_fails_cleanly_not_hangs() {
 fn lsm_deployment_survives_restart_with_data() {
     let data_dir = std::env::temp_dir().join(format!("hepnos-restart-{}", std::process::id()));
     std::fs::remove_dir_all(&data_dir).ok();
-    let label = ProductLabel::new("persisted");
+    let label = ProductLabel::new("persisted").unwrap();
     let cfg =
         ServiceConfig::hepnos_topology(small_counts(), BackendKind::Lsm, Some(data_dir.clone()));
     // First incarnation: write.

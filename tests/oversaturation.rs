@@ -109,7 +109,7 @@ fn oversaturated_service_degrades_gracefully() {
 
         // Four hot writers, each on its own endpoint (kept, so its NIC
         // saturation counter can be read afterwards).
-        let label = ProductLabel::new("blob");
+        let label = ProductLabel::new("blob").unwrap();
         let mut writers = Vec::new();
         for w in 0..HOT_WRITERS {
             let ep = dep.fabric().endpoint(&format!("hot-{seed}-{w}"));

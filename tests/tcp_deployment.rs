@@ -35,7 +35,7 @@ fn full_flow_over_tcp_sockets() {
     let store = DataStore::connect(client_ep, &[descriptor]).unwrap();
     let ds = store.root().create_dataset("tcp").unwrap();
     let sr = ds.create_run(9).unwrap().create_subrun(1).unwrap();
-    let label = ProductLabel::new("blob");
+    let label = ProductLabel::new("blob").unwrap();
     // Large product: exercises the socket path with a ~1 MB payload.
     let big = Blob {
         payload: (0..1_000_000u32).map(|i| i as u8).collect(),
@@ -98,7 +98,7 @@ fn parallel_event_processor_over_tcp() {
     let store = DataStore::connect(TcpEndpoint::bind(0).unwrap(), &descriptors).unwrap();
     let ds = store.root().create_dataset("pep-tcp").unwrap();
     let uuid = ds.uuid().unwrap();
-    let label = ProductLabel::new("payload");
+    let label = ProductLabel::new("payload").unwrap();
     let run = ds.create_run(1).unwrap();
     for s in 0..4u64 {
         let sr = run.create_subrun(s).unwrap();
