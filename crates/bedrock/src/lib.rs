@@ -210,6 +210,156 @@ impl OverloadConfig {
     }
 }
 
+/// The optional `lsm` section: tuning for every `lsm` database in the
+/// config. Absent, databases open with [`lsmdb::Options::default`]; present,
+/// every knob has the engine's default, so handwritten configs set only
+/// what they care about.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LsmConfig {
+    /// Memtable size before it freezes and flushes (bytes).
+    #[serde(default = "d_memtable_bytes")]
+    pub memtable_bytes: usize,
+    /// L0 table count that triggers a compaction into L1.
+    #[serde(default = "d_l0_compaction_trigger")]
+    pub l0_compaction_trigger: usize,
+    /// L0 table count above which writes stall briefly.
+    #[serde(default = "d_l0_slowdown_trigger")]
+    pub l0_slowdown_trigger: usize,
+    /// L0 table count at which writes are shed with `Busy`.
+    #[serde(default = "d_l0_stop_trigger")]
+    pub l0_stop_trigger: usize,
+    /// Number of levels in the tree (L0 plus the sorted runs).
+    #[serde(default = "d_max_levels")]
+    pub max_levels: usize,
+    /// Target size of L1 (bytes); each deeper level is `level_multiplier`×
+    /// larger.
+    #[serde(default = "d_level_base_bytes")]
+    pub level_base_bytes: u64,
+    /// Growth factor between consecutive level size targets.
+    #[serde(default = "d_level_multiplier")]
+    pub level_multiplier: u64,
+    /// Target size for one output table of a compaction (bytes).
+    #[serde(default = "d_table_target_bytes")]
+    pub table_target_bytes: usize,
+    /// Grandparent-overlap limit at which compaction output tables are cut
+    /// early (bytes).
+    #[serde(default = "d_grandparent_limit_bytes")]
+    pub grandparent_limit_bytes: u64,
+    /// Bloom filter bits per key (0 disables bloom filters).
+    #[serde(default = "d_bloom_bits_per_key")]
+    pub bloom_bits_per_key: usize,
+    /// Read cache capacity (bytes, 0 disables the cache).
+    #[serde(default = "d_read_cache_bytes")]
+    pub read_cache_bytes: usize,
+    /// WAL durability mode: `"always"`, `"group"`, or `"none"`.
+    #[serde(default = "d_wal_sync")]
+    pub wal_sync: String,
+    /// Run flush/compaction inline on the write path instead of on the
+    /// background worker (testing/debugging only).
+    #[serde(default)]
+    pub inline_compaction: bool,
+    /// Longest one write stalls at the L0 slowdown trigger (milliseconds).
+    #[serde(default = "d_max_stall_ms")]
+    pub max_stall_ms: u64,
+    /// Backoff hint carried in L0-stop `Busy` rejections (milliseconds).
+    #[serde(default = "d_retry_after_ms")]
+    pub retry_after_ms: u64,
+}
+
+fn d_memtable_bytes() -> usize {
+    lsmdb::Options::default().memtable_bytes
+}
+fn d_l0_compaction_trigger() -> usize {
+    lsmdb::Options::default().l0_compaction_trigger
+}
+fn d_l0_slowdown_trigger() -> usize {
+    lsmdb::Options::default().l0_slowdown_trigger
+}
+fn d_l0_stop_trigger() -> usize {
+    lsmdb::Options::default().l0_stop_trigger
+}
+fn d_max_levels() -> usize {
+    lsmdb::Options::default().max_levels
+}
+fn d_level_base_bytes() -> u64 {
+    lsmdb::Options::default().level_base_bytes
+}
+fn d_level_multiplier() -> u64 {
+    lsmdb::Options::default().level_multiplier
+}
+fn d_table_target_bytes() -> usize {
+    lsmdb::Options::default().table_target_bytes
+}
+fn d_grandparent_limit_bytes() -> u64 {
+    lsmdb::Options::default().grandparent_limit_bytes
+}
+fn d_bloom_bits_per_key() -> usize {
+    lsmdb::Options::default().bloom_bits_per_key
+}
+fn d_read_cache_bytes() -> usize {
+    lsmdb::Options::default().read_cache_bytes
+}
+fn d_wal_sync() -> String {
+    "none".into()
+}
+fn d_max_stall_ms() -> u64 {
+    lsmdb::Options::default().max_stall.as_millis() as u64
+}
+fn d_retry_after_ms() -> u64 {
+    lsmdb::Options::default().retry_after_hint.as_millis() as u64
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            memtable_bytes: d_memtable_bytes(),
+            l0_compaction_trigger: d_l0_compaction_trigger(),
+            l0_slowdown_trigger: d_l0_slowdown_trigger(),
+            l0_stop_trigger: d_l0_stop_trigger(),
+            max_levels: d_max_levels(),
+            level_base_bytes: d_level_base_bytes(),
+            level_multiplier: d_level_multiplier(),
+            table_target_bytes: d_table_target_bytes(),
+            grandparent_limit_bytes: d_grandparent_limit_bytes(),
+            bloom_bits_per_key: d_bloom_bits_per_key(),
+            read_cache_bytes: d_read_cache_bytes(),
+            wal_sync: d_wal_sync(),
+            inline_compaction: false,
+            max_stall_ms: d_max_stall_ms(),
+            retry_after_ms: d_retry_after_ms(),
+        }
+    }
+}
+
+impl LsmConfig {
+    /// Convert to engine options; rejects unknown `wal_sync` values.
+    pub fn options(&self) -> Result<lsmdb::Options, BedrockError> {
+        let wal_sync = lsmdb::WalSync::parse(&self.wal_sync)
+            .ok_or_else(|| BedrockError::Invalid(format!("unknown wal_sync: {}", self.wal_sync)))?;
+        Ok(lsmdb::Options {
+            memtable_bytes: self.memtable_bytes,
+            l0_compaction_trigger: self.l0_compaction_trigger,
+            l0_slowdown_trigger: self.l0_slowdown_trigger,
+            l0_stop_trigger: self.l0_stop_trigger,
+            max_levels: self.max_levels,
+            level_base_bytes: self.level_base_bytes,
+            level_multiplier: self.level_multiplier,
+            table_target_bytes: self.table_target_bytes,
+            grandparent_limit_bytes: self.grandparent_limit_bytes,
+            bloom_bits_per_key: self.bloom_bits_per_key,
+            read_cache_bytes: self.read_cache_bytes,
+            wal_sync,
+            compaction: if self.inline_compaction {
+                lsmdb::CompactionMode::Inline
+            } else {
+                lsmdb::CompactionMode::Background
+            },
+            max_stall: std::time::Duration::from_millis(self.max_stall_ms),
+            retry_after_hint: std::time::Duration::from_millis(self.retry_after_ms),
+        })
+    }
+}
+
 /// A full Bedrock service configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServiceConfig {
@@ -221,6 +371,9 @@ pub struct ServiceConfig {
     /// control and watermarks, keeping older configs valid.
     #[serde(default)]
     pub overload: Option<OverloadConfig>,
+    /// LSM engine tuning for `lsm` databases; `None` uses engine defaults.
+    #[serde(default)]
+    pub lsm: Option<LsmConfig>,
 }
 
 /// Errors raised during bootstrap.
@@ -332,6 +485,7 @@ impl ServiceConfig {
             },
             providers,
             overload: None,
+            lsm: None,
         }
     }
 }
@@ -392,6 +546,7 @@ impl ServiceConfig {
             },
             providers: Vec::new(),
             overload: None,
+            lsm: None,
         };
         let mut provider_id = 0u16;
         for (label, n) in [
@@ -534,6 +689,10 @@ pub fn launch(
         margo.enable_admission(ov.admission());
     }
     let watermarks = config.overload.as_ref().and_then(|ov| ov.watermarks());
+    let lsm_opts = match &config.lsm {
+        Some(c) => c.options()?,
+        None => lsmdb::Options::default(),
+    };
     let yokan = YokanService::register(&margo);
     let mut providers = Vec::new();
     for p in &config.providers {
@@ -552,7 +711,8 @@ pub fn launch(
                         BedrockError::Invalid(format!("database {} needs a path", db.name))
                     })?;
                     Arc::new(
-                        LsmBackend::open(path).map_err(|e| BedrockError::Backend(e.to_string()))?,
+                        LsmBackend::open_with(path, lsm_opts.clone())
+                            .map_err(|e| BedrockError::Backend(e.to_string()))?,
                     )
                 }
             };
@@ -674,10 +834,77 @@ mod tests {
         let t = DbTarget::new(server.address(), 0, "events_0");
         client.put(&t, b"persist", b"yes").unwrap();
         server.shutdown();
-        assert!(
-            dir.join("events_0").join("MANIFEST").exists()
-                || dir.join("events_0").join("wal.log").exists()
-        );
+        let has_wal = std::fs::read_dir(dir.join("events_0"))
+            .unwrap()
+            .any(|e| e.unwrap().file_name().to_string_lossy().starts_with("wal-"));
+        assert!(dir.join("events_0").join("MANIFEST").exists() || has_wal);
+        // Relaunch on the same directory: the value must still be there.
+        let server = launch(fabric.endpoint("n2"), &cfg).unwrap();
+        let t = DbTarget::new(server.address(), 0, "events_0");
+        assert_eq!(client.get(&t, b"persist").unwrap(), Some(b"yes".to_vec()));
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lsm_section_parses_tunes_and_rejects_bad_wal_sync() {
+        let text = r#"{
+            "margo": {
+                "argobots": {
+                    "pools": [{"name": "default", "kind": "fifo_wait"}],
+                    "xstreams": [{"name": "es0", "pools": ["default"]}]
+                }
+            },
+            "providers": [],
+            "lsm": {"memtable_bytes": 4096, "wal_sync": "group"}
+        }"#;
+        let cfg = ServiceConfig::from_json(text).unwrap();
+        let lsm = cfg.lsm.as_ref().unwrap();
+        assert_eq!(lsm.memtable_bytes, 4096);
+        let opts = lsm.options().unwrap();
+        assert_eq!(opts.memtable_bytes, 4096);
+        assert_eq!(opts.wal_sync, lsmdb::WalSync::Group);
+        // Unset knobs keep engine defaults.
+        assert_eq!(opts.max_levels, lsmdb::Options::default().max_levels);
+        // Unknown wal_sync values are a config error, not a silent default.
+        let bad = LsmConfig {
+            wal_sync: "sometimes".into(),
+            ..LsmConfig::default()
+        };
+        assert!(matches!(bad.options(), Err(BedrockError::Invalid(_))));
+        // Configs without the section still parse (backward compatible).
+        let old = ServiceConfig::hepnos_node(1, 1, 0, BackendKind::Map, None).to_json();
+        assert!(ServiceConfig::from_json(&old).unwrap().lsm.is_none());
+    }
+
+    #[test]
+    fn launch_applies_lsm_tuning() {
+        let dir = std::env::temp_dir().join(format!("bedrock-lsmtune-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let fabric = Fabric::new(Default::default());
+        let mut cfg = ServiceConfig::hepnos_node(1, 0, 0, BackendKind::Lsm, Some(dir.clone()));
+        cfg.lsm = Some(LsmConfig {
+            memtable_bytes: 256, // tiny: a handful of puts forces flushes
+            inline_compaction: true,
+            ..LsmConfig::default()
+        });
+        let server = launch(fabric.endpoint("n"), &cfg).unwrap();
+        let client = YokanClient::new(fabric.endpoint("c"));
+        let t = DbTarget::new(server.address(), 0, "events_0");
+        for i in 0..50u32 {
+            client
+                .put(&t, format!("k{i:03}").as_bytes(), &[7u8; 32])
+                .unwrap();
+        }
+        // The tiny memtable must have flushed — visible through stats.
+        let all = server.yokan().backend_stats();
+        let (_, _, stats) = all
+            .iter()
+            .find(|(pid, name, _)| *pid == 0 && name == "events_0")
+            .expect("events_0 stats present");
+        let lsm = stats.lsm.as_ref().expect("lsm stats present");
+        assert!(lsm.flushes > 0, "tuned memtable size was not applied");
+        server.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }
 

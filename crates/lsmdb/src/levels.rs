@@ -1,0 +1,400 @@
+//! Level metadata and the compaction picker.
+//!
+//! The table set is organised RocksDB-style:
+//!
+//! * **L0** — tables flushed straight from memtables; key ranges may
+//!   overlap, so reads consult them newest-first and compaction must take
+//!   all of them together;
+//! * **L1..Lmax** — sorted runs: tables within a level are ordered by
+//!   `min_key` and non-overlapping, so a point read touches at most one
+//!   table per level.
+//!
+//! Each level has a dynamic byte target: `target(L1) = level_base_bytes`,
+//! `target(Li) = target(Li-1) * level_multiplier`. A level's *compaction
+//! score* is `bytes / target` (for L0: `tables / l0_compaction_trigger`);
+//! any score ≥ 1.0 makes the level eligible, and the picker always selects
+//! the neediest level so background work goes where it relieves the most
+//! pressure.
+//!
+//! For L1+ the picker round-robins through the level's key space with a
+//! per-level cursor (the max key of the last compacted input), which
+//! spreads write amplification instead of hammering one hot range. When the
+//! chosen input has no overlap in the next level and limited overlap in the
+//! grandparent level, the compaction degenerates to a *trivial move*: the
+//! table is relinked one level down with no I/O at all.
+
+use crate::db::Options;
+use crate::sstable::SstReader;
+use std::sync::Arc;
+
+/// Whether key ranges `[amin, amax]` and `[bmin, bmax]` intersect.
+fn ranges_overlap(amin: &[u8], amax: &[u8], bmin: &[u8], bmax: &[u8]) -> bool {
+    amin <= bmax && bmin <= amax
+}
+
+/// A compaction selected by the picker. `inputs` come from `from` level,
+/// `overlaps` from `from + 1` (the output level). When `trivial` is set the
+/// input table can be relinked down without rewriting.
+pub(crate) struct Pick {
+    pub from: usize,
+    pub inputs: Vec<Arc<SstReader>>, // L0: oldest→newest; L1+: single table
+    pub overlaps: Vec<Arc<SstReader>>,
+    pub drop_tombstones: bool,
+    pub trivial: bool,
+}
+
+/// The leveled table set plus per-level compaction cursors.
+pub(crate) struct Levels {
+    /// `tables[0]` is L0 (newest last, may overlap); `tables[i>=1]` are
+    /// sorted by `min_key` and disjoint.
+    tables: Vec<Vec<Arc<SstReader>>>,
+    /// Round-robin cursor per level: max key of the last compacted input.
+    cursors: Vec<Vec<u8>>,
+}
+
+impl Levels {
+    pub fn new(max_levels: usize) -> Levels {
+        let n = max_levels.max(2);
+        Levels {
+            tables: vec![Vec::new(); n],
+            cursors: vec![Vec::new(); n],
+        }
+    }
+
+    /// Rebuild from manifest entries `(level, table)`. Levels ≥ 1 are
+    /// sorted by min key; L0 keeps manifest (age) order. Entries at levels
+    /// beyond `max_levels` are clamped into the bottom level.
+    pub fn from_manifest(max_levels: usize, entries: Vec<(usize, Arc<SstReader>)>) -> Levels {
+        let mut lv = Levels::new(max_levels);
+        let bottom = lv.tables.len() - 1;
+        for (level, t) in entries {
+            lv.tables[level.min(bottom)].push(t);
+        }
+        for level in lv.tables.iter_mut().skip(1) {
+            level.sort_by(|a, b| a.min_key().cmp(b.min_key()));
+        }
+        lv
+    }
+
+    pub fn num_levels(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn level(&self, i: usize) -> &[Arc<SstReader>] {
+        &self.tables[i]
+    }
+
+    /// All `(level, table)` pairs, shallowest first.
+    pub fn iter_tables(&self) -> impl Iterator<Item = (usize, &Arc<SstReader>)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ts)| ts.iter().map(move |t| (i, t)))
+    }
+
+    pub fn push_l0(&mut self, t: Arc<SstReader>) {
+        self.tables[0].push(t);
+    }
+
+    pub fn level_bytes(&self, i: usize) -> u64 {
+        self.tables[i].iter().map(|t| t.file_size()).sum()
+    }
+
+    /// Byte target for level `i >= 1`.
+    pub fn target_bytes(i: usize, opts: &Options) -> u64 {
+        let mult = opts.level_multiplier.max(2);
+        opts.level_base_bytes
+            .max(1)
+            .saturating_mul(mult.saturating_pow(i.saturating_sub(1) as u32))
+    }
+
+    /// Compaction score of level `i`; ≥ 1.0 means eligible. The bottom
+    /// level never compacts further down, so it scores 0.
+    pub fn score(&self, i: usize, opts: &Options) -> f64 {
+        if i + 1 >= self.tables.len() {
+            return 0.0;
+        }
+        if i == 0 {
+            self.tables[0].len() as f64 / opts.l0_compaction_trigger.max(1) as f64
+        } else {
+            self.level_bytes(i) as f64 / Self::target_bytes(i, opts) as f64
+        }
+    }
+
+    /// Score of the neediest level (the max over all levels).
+    pub fn max_score(&self, opts: &Options) -> f64 {
+        (0..self.tables.len())
+            .map(|i| self.score(i, opts))
+            .fold(0.0, f64::max)
+    }
+
+    /// Tables in `level` overlapping `[min, max]`, in level order.
+    pub fn overlapping(&self, level: usize, min: &[u8], max: &[u8]) -> Vec<Arc<SstReader>> {
+        if level >= self.tables.len() {
+            return Vec::new();
+        }
+        self.tables[level]
+            .iter()
+            .filter(|t| t.entry_count() > 0 && ranges_overlap(t.min_key(), t.max_key(), min, max))
+            .cloned()
+            .collect()
+    }
+
+    /// Total bytes of tables in `level` overlapping `[min, max]`.
+    pub fn overlap_bytes(&self, level: usize, min: &[u8], max: &[u8]) -> u64 {
+        self.overlapping(level, min, max)
+            .iter()
+            .map(|t| t.file_size())
+            .sum()
+    }
+
+    /// Whether every level strictly deeper than `level` is empty (the
+    /// tombstone-drop condition for a compaction writing into `level`).
+    pub fn empty_below(&self, level: usize) -> bool {
+        self.tables.iter().skip(level + 1).all(|ts| ts.is_empty())
+    }
+
+    /// Pick the neediest compaction, or `None` when all scores are < 1.0.
+    pub fn pick(&self, opts: &Options) -> Option<Pick> {
+        let (level, score) = (0..self.tables.len())
+            .map(|i| (i, self.score(i, opts)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))?;
+        if score < 1.0 {
+            return None;
+        }
+        Some(self.pick_level(level, opts))
+    }
+
+    /// Build the compaction job for `level` (assumed eligible): inputs,
+    /// next-level overlaps, and the trivial-move / tombstone-drop verdicts.
+    pub fn pick_level(&self, level: usize, opts: &Options) -> Pick {
+        let target = level + 1;
+        let inputs: Vec<Arc<SstReader>> = if level == 0 {
+            // L0 tables overlap arbitrarily; take them all, oldest first.
+            self.tables[0].clone()
+        } else {
+            vec![self.cursor_candidate(level)]
+        };
+        let (min, max) = key_span(&inputs);
+        let overlaps = self.overlapping(target, &min, &max);
+        // A single input with nothing to merge below and bounded grandparent
+        // overlap can be relinked down without any I/O. (For L0 the single
+        // table is necessarily the oldest, so moving it below newer L0
+        // tables preserves precedence.)
+        let trivial = inputs.len() == 1
+            && overlaps.is_empty()
+            && self.overlap_bytes(target + 1, &min, &max) <= opts.grandparent_limit_bytes;
+        Pick {
+            from: level,
+            inputs,
+            overlaps,
+            drop_tombstones: self.empty_below(target),
+            trivial,
+        }
+    }
+
+    /// The round-robin input for a sorted level: the first table whose max
+    /// key is strictly past the level cursor, wrapping to the first table.
+    fn cursor_candidate(&self, level: usize) -> Arc<SstReader> {
+        let ts = &self.tables[level];
+        debug_assert!(!ts.is_empty());
+        let cur = &self.cursors[level];
+        ts.iter()
+            .find(|t| t.max_key() > cur.as_slice())
+            .unwrap_or(&ts[0])
+            .clone()
+    }
+
+    /// Advance the round-robin cursor of `level` past `max_key`.
+    pub fn advance_cursor(&mut self, level: usize, max_key: &[u8]) {
+        self.cursors[level] = max_key.to_vec();
+    }
+
+    /// Remove `victims` (matched by path) from `level`.
+    pub fn remove(&mut self, level: usize, victims: &[Arc<SstReader>]) {
+        self.tables[level].retain(|t| !victims.iter().any(|v| v.path() == t.path()));
+    }
+
+    /// Insert tables into a sorted level (≥ 1), keeping min-key order.
+    pub fn insert_sorted(&mut self, level: usize, new_tables: Vec<Arc<SstReader>>) {
+        debug_assert!(level >= 1);
+        self.tables[level].extend(new_tables);
+        self.tables[level].sort_by(|a, b| a.min_key().cmp(b.min_key()));
+    }
+
+    /// The single table in a sorted level that may contain `key`.
+    pub fn find(&self, level: usize, key: &[u8]) -> Option<&Arc<SstReader>> {
+        debug_assert!(level >= 1);
+        let ts = &self.tables[level];
+        let idx = ts.partition_point(|t| t.max_key() < key);
+        ts.get(idx).filter(|t| t.min_key() <= key)
+    }
+}
+
+/// Combined key span of a non-empty input set.
+pub(crate) fn key_span(tables: &[Arc<SstReader>]) -> (Vec<u8>, Vec<u8>) {
+    let mut min: Option<&[u8]> = None;
+    let mut max: Option<&[u8]> = None;
+    for t in tables {
+        if t.entry_count() == 0 {
+            continue;
+        }
+        if min.is_none_or(|m| t.min_key() < m) {
+            min = Some(t.min_key());
+        }
+        if max.is_none_or(|m| t.max_key() > m) {
+            max = Some(t.max_key());
+        }
+    }
+    (
+        min.unwrap_or_default().to_vec(),
+        max.unwrap_or_default().to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memtable::Value;
+    use crate::sstable::SstWriter;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lsmdb-levels-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn table(dir: &std::path::Path, name: &str, keys: &[&str]) -> Arc<SstReader> {
+        let mut w = SstWriter::create(&dir.join(name), 10).unwrap();
+        for k in keys {
+            w.add(k.as_bytes(), &Value::Put(vec![0u8; 64])).unwrap();
+        }
+        Arc::new(w.finish().unwrap())
+    }
+
+    fn test_opts() -> Options {
+        Options {
+            l0_compaction_trigger: 4,
+            level_base_bytes: 1000,
+            level_multiplier: 10,
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn targets_follow_the_multiplier() {
+        let opts = test_opts();
+        assert_eq!(Levels::target_bytes(1, &opts), 1000);
+        assert_eq!(Levels::target_bytes(2, &opts), 10_000);
+        assert_eq!(Levels::target_bytes(3, &opts), 100_000);
+    }
+
+    #[test]
+    fn l0_score_counts_tables() {
+        let d = tmpdir("l0score");
+        let opts = test_opts();
+        let mut lv = Levels::new(3);
+        assert_eq!(lv.score(0, &opts), 0.0);
+        for i in 0..4 {
+            lv.push_l0(table(&d, &format!("{i}.sst"), &["a", "z"]));
+        }
+        assert!(lv.score(0, &opts) >= 1.0);
+        assert_eq!(lv.score(2, &opts), 0.0, "bottom level never scores");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn picker_prefers_neediest_level() {
+        let d = tmpdir("pick");
+        let opts = test_opts();
+        let mut lv = Levels::new(4);
+        // L1 barely over target, L0 far over trigger: L0 must win.
+        lv.insert_sorted(1, vec![table(&d, "l1.sst", &["m", "n"])]);
+        for i in 0..12 {
+            lv.push_l0(table(&d, &format!("{i}.sst"), &["a", "z"]));
+        }
+        let pick = lv.pick(&opts).unwrap();
+        assert_eq!(pick.from, 0);
+        assert_eq!(pick.inputs.len(), 12);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn overlap_queries() {
+        let d = tmpdir("overlap");
+        let mut lv = Levels::new(3);
+        lv.insert_sorted(1, vec![table(&d, "a.sst", &["a", "f"])]);
+        lv.insert_sorted(1, vec![table(&d, "g.sst", &["g", "m"])]);
+        lv.insert_sorted(1, vec![table(&d, "n.sst", &["n", "z"])]);
+        assert_eq!(lv.overlapping(1, b"b", b"c").len(), 1);
+        assert_eq!(lv.overlapping(1, b"f", b"g").len(), 2);
+        assert_eq!(lv.overlapping(1, b"aa", b"zz").len(), 3);
+        assert!(lv.overlapping(2, b"a", b"z").is_empty());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn trivial_move_detection() {
+        let d = tmpdir("trivial");
+        let opts = test_opts();
+        let mut lv = Levels::new(4);
+        // One L1 table, no L2 overlap → trivial.
+        lv.insert_sorted(1, vec![table(&d, "solo.sst", &["a", "f"])]);
+        let pick = lv.pick_level(1, &opts);
+        assert!(pick.trivial);
+        // Now give L2 an overlapping table → not trivial.
+        lv.insert_sorted(2, vec![table(&d, "l2.sst", &["c", "d"])]);
+        let pick = lv.pick_level(1, &opts);
+        assert!(!pick.trivial);
+        assert_eq!(pick.overlaps.len(), 1);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn tombstone_drop_only_when_nothing_deeper() {
+        let d = tmpdir("tomb");
+        let opts = test_opts();
+        let mut lv = Levels::new(4);
+        lv.push_l0(table(&d, "l0.sst", &["a", "z"]));
+        // Writing into L1 with empty L2/L3 → may drop tombstones.
+        assert!(lv.pick_level(0, &opts).drop_tombstones);
+        lv.insert_sorted(3, vec![table(&d, "deep.sst", &["q", "r"])]);
+        assert!(!lv.pick_level(0, &opts).drop_tombstones);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn cursor_round_robins_across_the_level() {
+        let d = tmpdir("cursor");
+        let mut lv = Levels::new(3);
+        lv.insert_sorted(1, vec![table(&d, "a.sst", &["a", "c"])]);
+        lv.insert_sorted(1, vec![table(&d, "d.sst", &["d", "f"])]);
+        lv.insert_sorted(1, vec![table(&d, "g.sst", &["g", "i"])]);
+        let first = lv.cursor_candidate(1);
+        assert_eq!(first.min_key(), b"a");
+        lv.advance_cursor(1, first.max_key());
+        let second = lv.cursor_candidate(1);
+        assert_eq!(second.min_key(), b"d");
+        lv.advance_cursor(1, second.max_key());
+        lv.advance_cursor(1, b"z"); // past the end → wraps
+        assert_eq!(lv.cursor_candidate(1).min_key(), b"a");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn remove_and_insert_keep_sorted_order() {
+        let d = tmpdir("edit");
+        let mut lv = Levels::new(3);
+        let a = table(&d, "a.sst", &["a", "c"]);
+        let g = table(&d, "g.sst", &["g", "i"]);
+        lv.insert_sorted(1, vec![g.clone(), a.clone()]);
+        assert_eq!(lv.level(1)[0].min_key(), b"a");
+        lv.remove(1, std::slice::from_ref(&a));
+        assert_eq!(lv.level(1).len(), 1);
+        assert_eq!(lv.find(1, b"h").unwrap().path(), g.path());
+        assert!(lv.find(1, b"b").is_none());
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

@@ -12,9 +12,14 @@
 //! * a sorted in-memory *memtable* with tombstones;
 //! * [`sstable`] — immutable sorted-string tables with a sparse index and a
 //!   [`bloom`] filter per table;
-//! * size-tiered compaction merging level-0 tables into a sorted level-1 run
-//!   and dropping tombstones at the bottom level;
-//! * a `MANIFEST` recording the set of live tables, replayed on open.
+//! * [`levels`](crate) — N sorted runs with exponential size targets,
+//!   compaction-score prioritization, trivial moves, and key-range
+//!   partitioned outputs; tombstones drop only at the bottom of the tree;
+//! * background flush/compaction on a dedicated worker draining an
+//!   `argos::Pool`, with L0-buildup write stalls surfacing as
+//!   [`DbError::Busy`] so overload degrades gracefully;
+//! * a `MANIFEST` recording the set of live tables (atomic-rename updates),
+//!   replayed on open alongside the numbered WALs.
 //!
 //! The public entry point is [`Db`].
 //!
@@ -36,10 +41,11 @@ pub mod bloom;
 pub mod cache;
 mod crc32;
 mod db;
+mod levels;
 mod memtable;
 pub mod sstable;
 pub mod wal;
 
 pub use cache::{CacheStats, ShardedReadCache};
-pub use db::{Db, DbError, DbStats, Options, WriteBatch};
+pub use db::{CompactionMode, Db, DbError, DbStats, Failpoint, Options, WalSync, WriteBatch};
 pub use memtable::Value;

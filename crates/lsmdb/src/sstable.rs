@@ -155,9 +155,36 @@ impl SstWriter {
         Ok(())
     }
 
+    /// Bytes of entry data written so far (metadata sections excluded).
+    pub fn data_bytes(&self) -> u64 {
+        self.offset
+    }
+
+    /// Number of entries added so far.
+    pub fn entry_count(&self) -> usize {
+        self.count
+    }
+
     /// Write metadata sections and the footer; returns a reader over the
     /// finished table.
     pub fn finish(mut self) -> Result<SstReader, SstError> {
+        self.write_trailer()?;
+        let path = self.path;
+        SstReader::open(&path)
+    }
+
+    /// Finish the table, then atomically rename it to `final_path` (fsyncing
+    /// the parent directory) before opening the reader. This is the
+    /// crash-safe publication path: the table is built at a temporary path
+    /// and only becomes visible under its real name once fully durable.
+    pub fn finish_to(mut self, final_path: &Path) -> Result<SstReader, SstError> {
+        self.write_trailer()?;
+        std::fs::rename(&self.path, final_path)?;
+        sync_dir(final_path)?;
+        SstReader::open(final_path)
+    }
+
+    fn write_trailer(&mut self) -> Result<(), SstError> {
         // Index section.
         let index_offset = self.offset;
         let mut index_buf = Vec::new();
@@ -196,9 +223,20 @@ impl SstWriter {
         self.file.write_all(&MAGIC.to_le_bytes())?;
         self.file.flush()?;
         self.file.get_ref().sync_data()?;
-        let path = self.path;
-        SstReader::open(&path)
+        Ok(())
     }
+}
+
+/// fsync the parent directory of `path` so a just-performed rename survives
+/// a crash. Best-effort no-op on platforms where directories cannot be
+/// opened.
+pub(crate) fn sync_dir(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            dir.sync_all()?;
+        }
+    }
+    Ok(())
 }
 
 struct IndexEntry {
@@ -570,6 +608,22 @@ mod tests {
         assert_eq!(r.entry_count(), 0);
         assert_eq!(r.get(b"anything").unwrap(), None);
         assert_eq!(r.iter_all().unwrap().count(), 0);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn finish_to_renames_atomically() {
+        let d = tmpdir("rename");
+        let tmp = d.join("000001.sst.tmp");
+        let fin = d.join("000001.sst");
+        let mut w = SstWriter::create(&tmp, 10).unwrap();
+        w.add(b"a", &Value::Put(b"1".to_vec())).unwrap();
+        w.add(b"b", &Value::Put(b"2".to_vec())).unwrap();
+        let r = w.finish_to(&fin).unwrap();
+        assert!(!tmp.exists());
+        assert!(fin.exists());
+        assert_eq!(r.path(), fin.as_path());
+        assert_eq!(r.get(b"b").unwrap(), Some(Value::Put(b"2".to_vec())));
         std::fs::remove_dir_all(&d).ok();
     }
 

@@ -5,6 +5,13 @@
 //! individually checksummed; replay stops at the first corrupt or truncated
 //! record (standard torn-write handling — everything before it is intact).
 //!
+//! WAL files are numbered (`wal-00000001.log`, ...): each memtable owns one
+//! log, frozen memtables keep theirs until their flush lands in L0, and
+//! recovery replays every surviving log in id order. Syncing is the
+//! *caller's* policy — [`Wal::append`] only buffers; the database layer
+//! decides between per-commit fsync (`always`), leader-batched fsync
+//! (`group`), and OS-buffered (`none`), and calls [`Wal::sync`] accordingly.
+//!
 //! Record layout (little-endian):
 //!
 //! ```text
@@ -30,20 +37,28 @@ pub enum WalRecord {
 const KIND_PUT: u8 = 1;
 const KIND_DELETE: u8 = 2;
 
+/// Filename of WAL number `id` within a database directory.
+pub fn wal_file_name(id: u64) -> String {
+    format!("wal-{id:08}.log")
+}
+
+/// Parse a WAL id back out of a file name produced by [`wal_file_name`].
+pub fn parse_wal_file_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    rest.parse().ok()
+}
+
 /// An append-only write-ahead log.
 pub struct Wal {
     path: PathBuf,
     writer: BufWriter<File>,
-    sync: bool,
     bytes_written: u64,
+    syncs: u64,
 }
 
 impl Wal {
-    /// Create (or truncate) the log at `path`. When `sync` is set every
-    /// append is fsynced (RocksDB's `sync=true`); otherwise durability is
-    /// left to the OS, which is the configuration the paper effectively runs
-    /// with on node-local SSDs.
-    pub fn create(path: &Path, sync: bool) -> std::io::Result<Wal> {
+    /// Create (or truncate) the log at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Wal> {
         let file = OpenOptions::new()
             .create(true)
             .write(true)
@@ -52,12 +67,13 @@ impl Wal {
         Ok(Wal {
             path: path.to_path_buf(),
             writer: BufWriter::new(file),
-            sync,
             bytes_written: 0,
+            syncs: 0,
         })
     }
 
-    /// Append one record.
+    /// Append one record (buffered; call [`Wal::flush`] or [`Wal::sync`] to
+    /// push it toward the disk).
     pub fn append(&mut self, rec: &WalRecord) -> std::io::Result<()> {
         let (kind, key, val): (u8, &[u8], &[u8]) = match rec {
             WalRecord::Put(k, v) => (KIND_PUT, k, v),
@@ -72,10 +88,6 @@ impl Wal {
         self.writer.write_all(&crc32(&body).to_le_bytes())?;
         self.writer.write_all(&body)?;
         self.bytes_written += 4 + body.len() as u64;
-        if self.sync {
-            self.writer.flush()?;
-            self.writer.get_ref().sync_data()?;
-        }
         Ok(())
     }
 
@@ -84,9 +96,23 @@ impl Wal {
         self.writer.flush()
     }
 
+    /// Flush and fsync — the durability point of `always` and `group`
+    /// commit modes.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        self.syncs += 1;
+        Ok(())
+    }
+
     /// Bytes appended since creation.
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written
+    }
+
+    /// fsyncs performed since creation.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
     }
 
     /// The log's path.
@@ -153,7 +179,7 @@ mod tests {
     #[test]
     fn append_and_replay() {
         let p = tmp("basic");
-        let mut w = Wal::create(&p, false).unwrap();
+        let mut w = Wal::create(&p).unwrap();
         w.append(&WalRecord::Put(b"a".to_vec(), b"1".to_vec()))
             .unwrap();
         w.append(&WalRecord::Delete(b"a".to_vec())).unwrap();
@@ -177,7 +203,7 @@ mod tests {
     #[test]
     fn replay_stops_at_truncation() {
         let p = tmp("trunc");
-        let mut w = Wal::create(&p, false).unwrap();
+        let mut w = Wal::create(&p).unwrap();
         w.append(&WalRecord::Put(b"keep".to_vec(), b"1".to_vec()))
             .unwrap();
         w.append(&WalRecord::Put(b"lost".to_vec(), b"2".to_vec()))
@@ -196,7 +222,7 @@ mod tests {
     #[test]
     fn replay_stops_at_corruption() {
         let p = tmp("corrupt");
-        let mut w = Wal::create(&p, false).unwrap();
+        let mut w = Wal::create(&p).unwrap();
         w.append(&WalRecord::Put(b"ok".to_vec(), b"1".to_vec()))
             .unwrap();
         w.append(&WalRecord::Put(b"bad".to_vec(), b"2".to_vec()))
@@ -215,7 +241,7 @@ mod tests {
     #[test]
     fn empty_key_and_value() {
         let p = tmp("empty");
-        let mut w = Wal::create(&p, false).unwrap();
+        let mut w = Wal::create(&p).unwrap();
         w.append(&WalRecord::Put(Vec::new(), Vec::new())).unwrap();
         w.flush().unwrap();
         let recs = Wal::replay(&p).unwrap();
@@ -224,12 +250,13 @@ mod tests {
     }
 
     #[test]
-    fn sync_mode_appends() {
+    fn sync_counts_and_persists() {
         let p = tmp("sync");
-        let mut w = Wal::create(&p, true).unwrap();
+        let mut w = Wal::create(&p).unwrap();
         w.append(&WalRecord::Put(b"k".to_vec(), b"v".to_vec()))
             .unwrap();
-        // No flush needed: sync mode flushed already.
+        w.sync().unwrap();
+        assert_eq!(w.syncs(), 1);
         let recs = Wal::replay(&p).unwrap();
         assert_eq!(recs.len(), 1);
         std::fs::remove_file(&p).ok();
@@ -238,12 +265,21 @@ mod tests {
     #[test]
     fn bytes_written_accounting() {
         let p = tmp("bytes");
-        let mut w = Wal::create(&p, false).unwrap();
+        let mut w = Wal::create(&p).unwrap();
         assert_eq!(w.bytes_written(), 0);
         w.append(&WalRecord::Put(b"ab".to_vec(), b"cde".to_vec()))
             .unwrap();
         // 4 (crc) + 1 (kind) + 4 + 4 (lens) + 2 + 3 = 18
         assert_eq!(w.bytes_written(), 18);
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn wal_file_names_round_trip() {
+        assert_eq!(wal_file_name(7), "wal-00000007.log");
+        assert_eq!(parse_wal_file_name("wal-00000007.log"), Some(7));
+        assert_eq!(parse_wal_file_name("wal-123456789.log"), Some(123456789));
+        assert_eq!(parse_wal_file_name("wal.log"), None);
+        assert_eq!(parse_wal_file_name("00000001.sst"), None);
     }
 }

@@ -41,10 +41,15 @@ fn tiny_opts() -> Options {
     Options {
         memtable_bytes: 256, // force frequent flushes
         l0_compaction_trigger: 2,
-        l1_target_bytes: 1024,
-        sync_wal: false,
+        max_levels: 4,
+        level_base_bytes: 1024,
+        level_multiplier: 4,
+        table_target_bytes: 1024,
+        grandparent_limit_bytes: 4096,
         bloom_bits_per_key: 8,
         read_cache_bytes: 64, // tiny, to exercise eviction under the model test
+        compaction: lsmdb::CompactionMode::Inline, // deterministic interleavings
+        ..Options::default()
     }
 }
 

@@ -1,0 +1,227 @@
+//! N-level structural property tests.
+//!
+//! `model.rs` checks that the engine *behaves* like a `BTreeMap`; this suite
+//! checks that the *leveling machinery itself* preserves that equivalence
+//! while it is stressed directly: targeted per-level compactions, the
+//! `compact_all` escape hatch, background workers racing foreground writes,
+//! and tombstone lifetimes (a delete must shadow older versions on every
+//! deeper level until it reaches the bottom of the tree, and must never
+//! resurrect a key once dropped).
+
+use lsmdb::{CompactionMode, Db, Options};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Flush,
+    CompactLevel(usize),
+    CompactAll,
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Narrow key space: heavy overwrite + delete churn across levels.
+    (0u32..48).prop_map(|i| format!("k{i:03}").into_bytes())
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (key_strategy(), proptest::collection::vec(any::<u8>(), 1..96))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        3 => key_strategy().prop_map(Op::Delete),
+        1 => Just(Op::Flush),
+        1 => (0usize..5).prop_map(Op::CompactLevel),
+        1 => Just(Op::CompactAll),
+    ]
+}
+
+/// Deeper and narrower than model.rs: 6 levels, small multiplier, so data
+/// actually reaches L3+ within a test case.
+fn deep_opts(mode: CompactionMode) -> Options {
+    Options {
+        memtable_bytes: 192,
+        l0_compaction_trigger: 2,
+        l0_slowdown_trigger: 6,
+        l0_stop_trigger: 10_000, // never shed in the property test
+        max_levels: 6,
+        level_base_bytes: 512,
+        level_multiplier: 2,
+        table_target_bytes: 512,
+        grandparent_limit_bytes: 2048,
+        bloom_bits_per_key: 8,
+        compaction: mode,
+        max_stall: std::time::Duration::from_millis(1),
+        ..Options::default()
+    }
+}
+
+fn fresh_dir(tag: &str, case: u64) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "lsmdb-levels-{tag}-{}-{case}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn check_against_model(db: &Db, model: &BTreeMap<Vec<u8>, Vec<u8>>) -> Result<(), TestCaseError> {
+    for i in 0u32..48 {
+        let k = format!("k{i:03}").into_bytes();
+        prop_assert_eq!(db.get(&k).unwrap(), model.get(&k).cloned());
+    }
+    let scanned = db.scan(b"", None, 0).unwrap();
+    let expected: Vec<(Vec<u8>, Vec<u8>)> =
+        model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    prop_assert_eq!(scanned, expected);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Inline mode: deterministic interleaving of writes with targeted
+    /// per-level compactions and the escape hatch.
+    #[test]
+    fn n_level_precedence_matches_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..150),
+        seed in any::<u64>(),
+    ) {
+        let dir = fresh_dir("inline", seed);
+        let db = Db::open(&dir, deep_opts(CompactionMode::Inline)).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    db.put(k, v).unwrap();
+                    model.insert(k.clone(), v.clone());
+                }
+                Op::Delete(k) => {
+                    db.delete(k).unwrap();
+                    model.remove(k);
+                }
+                Op::Flush => db.flush().unwrap(),
+                Op::CompactLevel(l) => db.compact_level(*l).unwrap(),
+                Op::CompactAll => db.compact_all().unwrap(),
+            }
+        }
+        check_against_model(&db, &model)?;
+
+        // After compact_all every key lives at the bottom and all shadowed
+        // versions/tombstones are gone: another full pass must be a no-op
+        // for visible state.
+        db.compact_all().unwrap();
+        check_against_model(&db, &model)?;
+        let stats = db.stats();
+        for (lvl, n) in stats.level_tables.iter().enumerate() {
+            if lvl + 1 < stats.level_tables.len() {
+                prop_assert_eq!((lvl, *n), (lvl, 0));
+            }
+        }
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Background mode: the worker flushes/compacts concurrently with the
+    /// write stream; after `wait_idle` the result must still match the
+    /// oracle, and tombstones must have been dropped only via bottom-level
+    /// compactions (never resurrecting a deleted key).
+    #[test]
+    fn background_compaction_matches_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..150),
+        seed in any::<u64>(),
+    ) {
+        let dir = fresh_dir("bg", seed);
+        let db = Db::open(&dir, deep_opts(CompactionMode::Background)).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    db.put(k, v).unwrap();
+                    model.insert(k.clone(), v.clone());
+                }
+                Op::Delete(k) => {
+                    db.delete(k).unwrap();
+                    model.remove(k);
+                }
+                Op::Flush => db.flush().unwrap(),
+                Op::CompactLevel(l) => db.compact_level(*l).unwrap(),
+                Op::CompactAll => db.compact_all().unwrap(),
+            }
+        }
+        db.wait_idle().unwrap();
+        check_against_model(&db, &model)?;
+
+        // Reopen: durability of the background-maintained tree.
+        drop(db);
+        let db = Db::open(&dir, deep_opts(CompactionMode::Inline)).unwrap();
+        check_against_model(&db, &model)?;
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Deterministic (non-proptest) check of the tombstone lifetime rule:
+/// a delete whose tombstone is compacted into a *middle* level must keep
+/// shadowing an older value that still lives at the bottom.
+#[test]
+fn tombstones_survive_until_bottom_level() {
+    let dir = fresh_dir("tomb", 0);
+    let db = Db::open(&dir, deep_opts(CompactionMode::Inline)).unwrap();
+
+    // Install old values and push them to the bottom of the tree.
+    for i in 0..48u32 {
+        db.put(format!("k{i:03}").as_bytes(), b"old-value").unwrap();
+    }
+    db.compact_all().unwrap();
+    let depth = db.stats().level_tables.len();
+    assert!(
+        db.stats().level_tables[depth - 1] > 0,
+        "setup: bottom level must hold the old values"
+    );
+
+    // Delete half the keys; flush the tombstones and compact them exactly
+    // one hop (L0 -> L1), which must NOT drop them: the bottom still holds
+    // shadowed values.
+    for i in (0..48u32).step_by(2) {
+        db.delete(format!("k{i:03}").as_bytes()).unwrap();
+    }
+    db.flush().unwrap();
+    let before = db.stats().tombstones_dropped;
+    db.compact_level(0).unwrap();
+    let stats = db.stats();
+    assert_eq!(
+        stats.tombstones_dropped, before,
+        "tombstones were dropped above the bottom level"
+    );
+    for i in 0..48u32 {
+        let k = format!("k{i:03}");
+        let expect = if i % 2 == 0 {
+            None
+        } else {
+            Some(b"old-value".to_vec())
+        };
+        assert_eq!(
+            db.get(k.as_bytes()).unwrap(),
+            expect,
+            "key {k} after mid-level compaction"
+        );
+    }
+
+    // Now drive the tombstones all the way down: they must be dropped (no
+    // tombstone bytes retained at the bottom) and the keys must stay gone.
+    db.compact_all().unwrap();
+    assert!(
+        db.stats().tombstones_dropped > before,
+        "bottom-level compaction should finally drop the tombstones"
+    );
+    for i in (0..48u32).step_by(2) {
+        let k = format!("k{i:03}");
+        assert_eq!(db.get(k.as_bytes()).unwrap(), None, "key {k} resurrected");
+    }
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}

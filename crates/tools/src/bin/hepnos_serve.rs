@@ -2,22 +2,27 @@
 //!
 //! ```text
 //! hepnos-serve [--config bedrock.json] [--port 0] [--backend map|lsm]
-//!              [--data-dir DIR] [--events N] [--products N]
+//!              [--data-dir DIR] [--wal-sync none|group|always]
+//!              [--events N] [--products N]
 //!              --descriptor-out FILE [--run-seconds N]
 //! ```
 //!
 //! Bootstraps a Bedrock service on a TCP socket, writes the node's
 //! connection descriptor (JSON) to `--descriptor-out` (clients concatenate
 //! the descriptors of all nodes into one array), and serves until killed
-//! (or for `--run-seconds`, for scripted tests).
+//! (or for `--run-seconds`, for scripted tests). With `--backend lsm` the
+//! node persists to `--data-dir` and survives restarts; `--wal-sync`
+//! selects the WAL durability mode, and per-database LSM counters (levels,
+//! compactions, stall/shed totals) are printed at exit.
 
-use bedrock::{BackendKind, DbCounts, ServiceConfig};
+use bedrock::{BackendKind, DbCounts, LsmConfig, ServiceConfig};
 use hepnos_tools::Args;
 use mercurio::tcp::TcpEndpoint;
 use std::path::PathBuf;
 
 const USAGE: &str = "hepnos-serve [--config bedrock.json] [--port N] [--backend map|lsm] \
-                     [--data-dir DIR] [--events N] [--products N] \
+                     [--data-dir DIR] [--wal-sync none|group|always] \
+                     [--events N] [--products N] \
                      --descriptor-out FILE [--run-seconds N]";
 
 fn main() {
@@ -58,7 +63,18 @@ fn main() {
                 events: args.get_or("events", "8").parse().unwrap_or(8),
                 products: args.get_or("products", "8").parse().unwrap_or(8),
             };
-            ServiceConfig::hepnos_topology(counts, backend, data_dir)
+            let mut cfg = ServiceConfig::hepnos_topology(counts, backend, data_dir);
+            if let Some(mode) = args.get("wal-sync") {
+                if lsmdb::WalSync::parse(mode).is_none() {
+                    eprintln!("unknown --wal-sync {mode} (want none|group|always)");
+                    std::process::exit(2);
+                }
+                cfg.lsm = Some(LsmConfig {
+                    wal_sync: mode.to_string(),
+                    ..LsmConfig::default()
+                });
+            }
+            cfg
         }
     };
     let out = args.require("descriptor-out", USAGE);
@@ -86,6 +102,7 @@ fn main() {
             let secs: u64 = s.parse().unwrap_or(1);
             std::thread::sleep(std::time::Duration::from_secs(secs));
             let ov = server.overload_stats();
+            print_lsm_stats(&server);
             server.shutdown();
             eprintln!(
                 "hepnos-serve: done after {secs}s \
@@ -103,5 +120,30 @@ fn main() {
                 std::thread::sleep(std::time::Duration::from_secs(3600));
             }
         }
+    }
+}
+
+/// One line of engine counters per `lsm` database, so a scripted run can
+/// see levels, amplification inputs and stall/shed totals without
+/// attaching a client.
+fn print_lsm_stats(server: &bedrock::BedrockServer) {
+    for (pid, name, stats) in server.yokan().backend_stats() {
+        let Some(lsm) = stats.lsm else { continue };
+        eprintln!(
+            "hepnos-serve: lsm provider{pid}/{name}: levels {:?} ({} tables, {} disk bytes), \
+             {} flushes, {} compactions (+{} trivial), wal {} bytes / {} syncs, \
+             {} stalls ({} us), {} sheds",
+            lsm.level_bytes,
+            lsm.total_tables(),
+            lsm.disk_bytes(),
+            lsm.flushes,
+            lsm.compactions,
+            lsm.trivial_moves,
+            lsm.wal_bytes,
+            lsm.wal_syncs,
+            lsm.write_stalls,
+            lsm.stall_micros,
+            lsm.write_sheds
+        );
     }
 }

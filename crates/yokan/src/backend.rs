@@ -5,7 +5,7 @@
 //! [`LsmBackend`] are their direct analogues.
 
 use crate::error::YokanError;
-use lsmdb::{Db, Options, WriteBatch};
+use lsmdb::{Db, DbError, DbStats, Options, WriteBatch};
 use mercurio::RpcError;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -32,10 +32,15 @@ pub struct BackendStats {
     pub cache_evictions: u64,
     /// Resident key+value payload bytes (memory backends with watermarks).
     pub mem_bytes: u64,
-    /// Mutations that stalled at the soft memory watermark.
+    /// Mutations that stalled at the soft memory watermark (for LSM
+    /// backends: writes that stalled on L0 buildup).
     pub soft_stalls: u64,
-    /// Mutations shed at the hard memory watermark.
+    /// Mutations shed at the hard memory watermark (for LSM backends:
+    /// writes rejected with `Busy` at the L0 stop trigger).
     pub hard_sheds: u64,
+    /// Full LSM engine counters (LSM backends only): levels, compactions,
+    /// WAL traffic, amplification inputs.
+    pub lsm: Option<DbStats>,
 }
 
 /// Memory watermark policy for [`MemBackend`] — the RocksDB-style write
@@ -533,6 +538,17 @@ pub struct LsmBackend {
     db: Db,
 }
 
+/// Translate engine errors into RPC-visible ones. `Busy` (the L0 write
+/// gate) must surface as [`RpcError::Busy`] so clients back off and retry
+/// exactly as they do for the in-memory hard watermark — the overload
+/// contract is backend-independent.
+fn lsm_err(e: DbError) -> YokanError {
+    match e {
+        DbError::Busy { retry_after } => YokanError::Rpc(RpcError::Busy { retry_after }),
+        other => YokanError::Backend(other.to_string()),
+    }
+}
+
 impl LsmBackend {
     /// Open (or create) a database under `dir`.
     pub fn open(dir: &Path) -> Result<LsmBackend, YokanError> {
@@ -541,7 +557,7 @@ impl LsmBackend {
 
     /// Open with explicit LSM options.
     pub fn open_with(dir: &Path, opts: Options) -> Result<LsmBackend, YokanError> {
-        let db = Db::open(dir, opts).map_err(|e| YokanError::Backend(e.to_string()))?;
+        let db = Db::open(dir, opts).map_err(lsm_err)?;
         Ok(LsmBackend { db })
     }
 
@@ -553,9 +569,7 @@ impl LsmBackend {
 
 impl Backend for LsmBackend {
     fn put(&self, key: &[u8], value: &[u8]) -> Result<(), YokanError> {
-        self.db
-            .put(key, value)
-            .map_err(|e| YokanError::Backend(e.to_string()))
+        self.db.put(key, value).map_err(lsm_err)
     }
 
     fn put_multi(&self, pairs: &[(Vec<u8>, Vec<u8>)]) -> Result<(), YokanError> {
@@ -563,21 +577,15 @@ impl Backend for LsmBackend {
         for (k, v) in pairs {
             batch.put(k, v);
         }
-        self.db
-            .write(&batch)
-            .map_err(|e| YokanError::Backend(e.to_string()))
+        self.db.write(&batch).map_err(lsm_err)
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
-        self.db
-            .get(key)
-            .map_err(|e| YokanError::Backend(e.to_string()))
+        self.db.get(key).map_err(lsm_err)
     }
 
     fn erase(&self, key: &[u8]) -> Result<(), YokanError> {
-        self.db
-            .delete(key)
-            .map_err(|e| YokanError::Backend(e.to_string()))
+        self.db.delete(key).map_err(lsm_err)
     }
 
     fn erase_multi(&self, keys: &[Vec<u8>]) -> Result<(), YokanError> {
@@ -585,15 +593,11 @@ impl Backend for LsmBackend {
         for k in keys {
             batch.delete(k);
         }
-        self.db
-            .write(&batch)
-            .map_err(|e| YokanError::Backend(e.to_string()))
+        self.db.write(&batch).map_err(lsm_err)
     }
 
     fn put_if_absent(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
-        self.db
-            .put_if_absent(key, value)
-            .map_err(|e| YokanError::Backend(e.to_string()))
+        self.db.put_if_absent(key, value).map_err(lsm_err)
     }
 
     fn list_keys(
@@ -629,7 +633,7 @@ impl Backend for LsmBackend {
         let got = self
             .db
             .scan(&lower, upper.as_deref(), limit)
-            .map_err(|e| YokanError::Backend(e.to_string()))?;
+            .map_err(lsm_err)?;
         Ok(got
             .into_iter()
             .filter(|(k, _)| k.starts_with(prefix))
@@ -640,7 +644,7 @@ impl Backend for LsmBackend {
         self.db
             .count_range(b"", None)
             .map(|n| n as u64)
-            .map_err(|e| YokanError::Backend(e.to_string()))
+            .map_err(lsm_err)
     }
 
     fn kind(&self) -> &'static str {
@@ -649,12 +653,16 @@ impl Backend for LsmBackend {
 
     fn stats(&self) -> BackendStats {
         let cache = self.db.read_cache_stats();
+        let lsm = self.db.stats();
         BackendStats {
             shards: cache.shard_entries.len(),
             shard_entries: cache.shard_entries,
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
+            soft_stalls: lsm.write_stalls,
+            hard_sheds: lsm.write_sheds,
+            lsm: Some(lsm),
             ..BackendStats::default()
         }
     }
@@ -892,6 +900,55 @@ mod tests {
         assert_eq!(b.count().unwrap(), 2);
         assert_eq!(b.stats().soft_stalls, 1);
         assert_eq!(b.stats().hard_sheds, 0);
+    }
+
+    #[test]
+    fn lsm_l0_stop_maps_to_rpc_busy() {
+        let d = tmpdir("lsmbusy");
+        let b = LsmBackend::open_with(
+            &d,
+            lsmdb::Options {
+                memtable_bytes: 128,
+                l0_compaction_trigger: 100, // compaction never keeps up
+                l0_slowdown_trigger: 2,
+                l0_stop_trigger: 3,
+                max_stall: Duration::from_millis(1),
+                retry_after_hint: Duration::from_millis(9),
+                compaction: lsmdb::CompactionMode::Background,
+                ..lsmdb::Options::default()
+            },
+        )
+        .unwrap();
+        b.db().pause_compaction(true);
+        // Fill memtables until L0 hits the stop trigger and writes shed.
+        let mut shed = None;
+        for i in 0..400u32 {
+            let k = format!("busy{i:05}").into_bytes();
+            match b.put(&k, &[0u8; 64]) {
+                Ok(()) => {}
+                Err(e) => {
+                    shed = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            shed.expect("L0 stop trigger should shed a write"),
+            YokanError::Rpc(RpcError::Busy {
+                retry_after: Duration::from_millis(9)
+            })
+        );
+        let stats = b.stats();
+        assert!(stats.hard_sheds >= 1, "shed must be counted");
+        let lsm = stats.lsm.expect("lsm backend reports engine stats");
+        assert!(lsm.l0_tables() >= 3);
+        // Draining L0 lets the engine accept writes again.
+        b.db().pause_compaction(false);
+        b.db().compact_all().unwrap();
+        b.put(b"after", b"ok").unwrap();
+        assert_eq!(b.get(b"after").unwrap(), Some(b"ok".to_vec()));
+        drop(b);
+        std::fs::remove_dir_all(&d).ok();
     }
 
     #[test]
