@@ -1,0 +1,296 @@
+//! PEP read-path scaling: the pipelined asynchronous reader vs the serial
+//! baseline over a real TCP deployment, sweeping {readers, workers,
+//! read_ahead, prefetch on/off}.
+//!
+//! Every configuration runs the same CAFAna-style selection over the same
+//! generated NOvA dataset, and the bench asserts byte-identical per-event
+//! products and exactly-once callback invocation against the serial
+//! reference before reporting a single number. The interesting columns are
+//! events/s, blocked-on-RPC milliseconds per reader, overlap ratio (RPC
+//! latency hidden behind pipeline work), steal counts and load imbalance.
+//! On a single-core host absolute events/s flattens (client and servers
+//! share the core), so the pipeline's effect shows up as the drop in
+//! blocked_ms_per_reader at equal results. Results are logged into
+//! `BENCH_pep.json`.
+//!
+//! Run: `cargo run --release -p hepnos-bench --bin pep_scaling [-- --smoke]`
+
+use bedrock::{BackendKind, ConnectionDescriptor, DbCounts, ServiceConfig};
+use hepnos::{DataStore, ParallelEventProcessor, PepOptions};
+use mercurio::tcp::TcpEndpoint;
+use nova::loader::{slice_label, slice_type_name, DataLoader};
+use nova::{select_slices, EventRecord, NovaGenerator, SelectionCuts, SliceQuantities};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+const NODES: usize = 2;
+
+fn node_counts() -> DbCounts {
+    // Per node: 2 event dbs and 4 product dbs, so the 2-node deployment
+    // serves 4 event databases (readers) fanning out over 8 product dbs.
+    DbCounts {
+        datasets: 1,
+        runs: 1,
+        subruns: 2,
+        events: 2,
+        products: 4,
+    }
+}
+
+struct Case {
+    name: &'static str,
+    pipeline: bool,
+    read_ahead: usize,
+    readers: usize,
+    workers: usize,
+    prefetch: bool,
+}
+
+fn cases(smoke: bool) -> Vec<Case> {
+    let mut v = vec![
+        Case {
+            name: "serial",
+            pipeline: false,
+            read_ahead: 1,
+            readers: 0,
+            workers: 4,
+            prefetch: true,
+        },
+        Case {
+            name: "pipelined-ra4",
+            pipeline: true,
+            read_ahead: 4,
+            readers: 0,
+            workers: 4,
+            prefetch: true,
+        },
+    ];
+    if !smoke {
+        v.extend([
+            Case {
+                name: "pipelined-ra2",
+                pipeline: true,
+                read_ahead: 2,
+                readers: 0,
+                workers: 4,
+                prefetch: true,
+            },
+            Case {
+                name: "pipelined-ra8",
+                pipeline: true,
+                read_ahead: 8,
+                readers: 0,
+                workers: 4,
+                prefetch: true,
+            },
+            Case {
+                name: "serial-1reader",
+                pipeline: false,
+                read_ahead: 1,
+                readers: 1,
+                workers: 4,
+                prefetch: true,
+            },
+            Case {
+                name: "pipelined-1reader",
+                pipeline: true,
+                read_ahead: 4,
+                readers: 1,
+                workers: 4,
+                prefetch: true,
+            },
+            Case {
+                name: "pipelined-2workers",
+                pipeline: true,
+                read_ahead: 4,
+                readers: 0,
+                workers: 2,
+                prefetch: true,
+            },
+            Case {
+                name: "serial-noprefetch",
+                pipeline: false,
+                read_ahead: 1,
+                readers: 0,
+                workers: 4,
+                prefetch: false,
+            },
+            Case {
+                name: "pipelined-noprefetch",
+                pipeline: true,
+                read_ahead: 4,
+                readers: 0,
+                workers: 4,
+                prefetch: false,
+            },
+        ]);
+    }
+    v
+}
+
+/// Per-event raw slice bytes plus the selected slice ids — the unit of the
+/// equal-results assertion.
+type Digest = BTreeMap<(u64, u64, u64), (Option<Vec<u8>>, Vec<u64>)>;
+
+fn run_case(
+    store: &DataStore,
+    ds: &hepnos::DataSet,
+    case: &Case,
+) -> (Digest, hepnos::PepStatistics) {
+    let label = slice_label();
+    let ty = slice_type_name();
+    let cuts = SelectionCuts::default();
+    let digest: Mutex<Digest> = Mutex::new(BTreeMap::new());
+    let pep = ParallelEventProcessor::new(
+        store.clone(),
+        PepOptions {
+            load_batch_size: 512,
+            dispatch_batch_size: 32,
+            num_readers: case.readers,
+            num_workers: case.workers,
+            prefetch: if case.prefetch {
+                vec![(label.clone(), ty.clone())]
+            } else {
+                Vec::new()
+            },
+            read_ahead_pages: case.read_ahead,
+            pipeline: case.pipeline,
+            ..Default::default()
+        },
+    );
+    let stats = pep
+        .process(ds, |_w, pe| {
+            let bytes = pe.load_raw(&label, &ty).unwrap().map(|b| b.to_vec());
+            let slices: Vec<SliceQuantities> = pe.load(&label).unwrap().unwrap_or_default();
+            let (run, subrun, event) = pe.event().coordinates();
+            let rec = EventRecord {
+                run,
+                subrun,
+                event,
+                slices,
+            };
+            let ids = select_slices(&rec, &cuts);
+            let prev = digest.lock().insert((run, subrun, event), (bytes, ids));
+            assert!(
+                prev.is_none(),
+                "event delivered twice in case {}",
+                case.name
+            );
+        })
+        .unwrap_or_else(|e| panic!("case {} failed: {e}", case.name));
+    (digest.into_inner(), stats)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_events, repeats) = if smoke { (600u64, 1) } else { (4000u64, 2) };
+
+    // ---------------------------------------------------- TCP deployment
+    let cfg = ServiceConfig::hepnos_topology(node_counts(), BackendKind::Map, None);
+    let servers: Vec<_> = (0..NODES)
+        .map(|_| bedrock::launch(TcpEndpoint::bind(0).expect("bind server"), &cfg).unwrap())
+        .collect();
+    let descriptors: Vec<ConnectionDescriptor> =
+        servers.iter().map(|s| s.descriptor().clone()).collect();
+    let store = DataStore::connect(TcpEndpoint::bind(0).expect("bind client"), &descriptors)
+        .expect("datastore connect");
+
+    // ---------------------------------------------------- ingest
+    let gen = NovaGenerator::new(7);
+    let mut events = Vec::with_capacity(n_events as usize);
+    for r in 0..2u64 {
+        for s in 0..4u64 {
+            for e in 0..n_events / 8 {
+                events.push(gen.generate(r, s, e));
+            }
+        }
+    }
+    let total_events = events.len() as u64;
+    let ds = store.root().create_dataset("pep-scaling").unwrap();
+    DataLoader::new(store.clone(), ds.clone())
+        .ingest_events(&events)
+        .unwrap();
+
+    println!(
+        "# PEP read-path scaling: {NODES}-node TCP deployment, {} event dbs / {} product dbs, \
+         {total_events} events, CAFAna selection per event",
+        store.num_event_databases(),
+        store.num_product_databases(),
+    );
+    println!(
+        "# equal-results: every case's per-event product bytes and selected slice ids are \
+         asserted byte-identical to the serial reference; exactly-once asserted per callback"
+    );
+
+    let mut reference: Option<Digest> = None;
+    let mut serial_blocked_per_reader = 0.0f64;
+    for case in cases(smoke) {
+        // Repeat and keep the best run (first run warms connections).
+        let mut best: Option<(Digest, hepnos::PepStatistics)> = None;
+        for _ in 0..repeats.max(1) {
+            let (digest, stats) = run_case(&store, &ds, &case);
+            if best
+                .as_ref()
+                .is_none_or(|(_, b)| stats.wall_time < b.wall_time)
+            {
+                best = Some((digest, stats));
+            }
+        }
+        let (digest, stats) = best.expect("at least one run");
+        assert_eq!(
+            stats.total_events, total_events,
+            "case {}: not every event was processed",
+            case.name
+        );
+        match &reference {
+            None => reference = Some(digest),
+            Some(want) => assert_eq!(
+                &digest, want,
+                "case {}: results diverged from the serial reference",
+                case.name
+            ),
+        }
+        let n_readers = stats.readers.len().max(1);
+        let blocked_ms_per_reader = stats.blocked_time().as_secs_f64() * 1e3 / n_readers as f64;
+        if case.name == "serial" {
+            serial_blocked_per_reader = blocked_ms_per_reader;
+        }
+        println!(
+            "{{ \"case\": \"{}\", \"pipeline\": {}, \"read_ahead\": {}, \"readers\": {}, \
+             \"workers\": {}, \"prefetch\": {}, \"events\": {}, \"elapsed_ms\": {}, \
+             \"events_per_s\": {:.0}, \"blocked_ms_per_reader\": {:.1}, \"overlap_ratio\": {:.3}, \
+             \"rpc_ms_total\": {:.1}, \"steals\": {}, \"load_imbalance\": {:.2}, \
+             \"read_ahead_hwm\": {} }}",
+            case.name,
+            case.pipeline,
+            case.read_ahead,
+            n_readers,
+            stats.workers.len(),
+            case.prefetch,
+            stats.total_events,
+            stats.wall_time.as_millis(),
+            stats.throughput(),
+            blocked_ms_per_reader,
+            stats.overlap_ratio(),
+            stats
+                .readers
+                .iter()
+                .map(|r| r.rpc_time.as_secs_f64() * 1e3)
+                .sum::<f64>(),
+            stats.total_steals(),
+            stats.load_imbalance(),
+            stats.read_ahead_hwm(),
+        );
+        if case.name == "pipelined-ra4" && serial_blocked_per_reader > 0.0 {
+            println!(
+                "# pipelined-ra4 vs serial: {:.1}x fewer blocked-on-RPC ms per reader",
+                serial_blocked_per_reader / blocked_ms_per_reader.max(1e-9)
+            );
+        }
+    }
+
+    drop(store);
+    for s in servers {
+        s.shutdown();
+    }
+}

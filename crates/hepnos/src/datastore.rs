@@ -156,10 +156,15 @@ impl DataStoreInner {
     }
 
     pub(crate) fn product_db(&self, container_key: &[u8]) -> &DbTarget {
-        let idx = self
-            .placement
-            .place(container_key, self.topo.product_dbs.len());
-        &self.topo.product_dbs[idx]
+        &self.topo.product_dbs[self.product_db_index(container_key)]
+    }
+
+    /// Index of the product database owning `container_key`'s products.
+    /// The PEP readers group per-page prefetch batches in a `Vec` indexed by
+    /// this value, avoiding a fresh `HashMap<DbTarget, _>` per page.
+    pub(crate) fn product_db_index(&self, container_key: &[u8]) -> usize {
+        self.placement
+            .place(container_key, self.topo.product_dbs.len())
     }
 }
 

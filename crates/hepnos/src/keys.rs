@@ -182,11 +182,19 @@ pub fn parse_event_key(key: &[u8]) -> Option<(Uuid, RunNumber, SubRunNumber, Eve
 /// `<container key><label>#<type>`.
 pub fn product_key(container_key: &[u8], label: &str, type_name: &str) -> Vec<u8> {
     let mut key = Vec::with_capacity(container_key.len() + label.len() + 1 + type_name.len());
-    key.extend_from_slice(container_key);
-    key.extend_from_slice(label.as_bytes());
-    key.push(PRODUCT_SEP);
-    key.extend_from_slice(type_name.as_bytes());
+    product_key_into(&mut key, container_key, label, type_name);
     key
+}
+
+/// Append a product key to `buf` (assumed cleared). The in-place twin of
+/// [`product_key`], used by the PEP readers to build per-page key batches
+/// out of recycled buffers instead of a fresh allocation per key.
+pub fn product_key_into(buf: &mut Vec<u8>, container_key: &[u8], label: &str, type_name: &str) {
+    buf.reserve(container_key.len() + label.len() + 1 + type_name.len());
+    buf.extend_from_slice(container_key);
+    buf.extend_from_slice(label.as_bytes());
+    buf.push(PRODUCT_SEP);
+    buf.extend_from_slice(type_name.as_bytes());
 }
 
 /// A stable, human-readable type name for product keys, derived from

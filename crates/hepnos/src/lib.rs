@@ -76,7 +76,7 @@ pub use error::HepnosError;
 pub use keys::{EventNumber, RunNumber, SubRunNumber};
 pub use pep::{
     EventDescriptor, ParallelEventProcessor, PepOptions, PepStatistics, PrefetchedEvent,
-    WorkerStats,
+    ReaderStats, WorkerStats,
 };
 pub use prefetch::Prefetcher;
 pub use uuid::Uuid;

@@ -52,7 +52,7 @@ impl Prefetcher {
     /// returning one [`PrefetchedEvent`] per input event (same order).
     pub fn fetch(&self, events: &[Event]) -> Result<Vec<PrefetchedEvent>, HepnosError> {
         let labels = std::sync::Arc::new(self.labels.clone());
-        let mut products: Vec<Vec<Option<Vec<u8>>>> =
+        let mut products: Vec<Vec<Option<bytes::Bytes>>> =
             vec![vec![None; self.labels.len()]; events.len()];
         if !self.labels.is_empty() {
             // Group product keys by home database.
@@ -69,7 +69,7 @@ impl Prefetcher {
                 let keys: Vec<Vec<u8>> = items.iter().map(|(_, _, k)| k.clone()).collect();
                 let values = self.store.inner.client.get_multi(&db, &keys)?;
                 for ((ev_idx, l_idx, _), value) in items.into_iter().zip(values) {
-                    products[ev_idx][l_idx] = value;
+                    products[ev_idx][l_idx] = value.map(bytes::Bytes::from);
                 }
             }
         }

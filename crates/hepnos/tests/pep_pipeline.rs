@@ -1,0 +1,303 @@
+//! Tests for the pipelined asynchronous PEP read path: exactly-once
+//! delivery under fault injection, work stealing under a slow callback,
+//! byte-identical pipelined-vs-serial results, and honest partial-progress
+//! reporting on the error path.
+
+use bedrock::DbCounts;
+use hepnos::testing::local_deployment;
+use hepnos::{
+    DataSet, DataStore, ParallelEventProcessor, PepOptions, ProductLabel, RetryPolicy, WriteBatch,
+};
+use mercurio::{FaultConfig, FaultPlan};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+struct Hit {
+    channel: u32,
+    adc: u16,
+}
+
+fn counts() -> DbCounts {
+    DbCounts {
+        datasets: 1,
+        runs: 1,
+        subruns: 2,
+        events: 4,
+        products: 4,
+    }
+}
+
+fn hit_label() -> ProductLabel {
+    ProductLabel::new("hits").unwrap()
+}
+
+fn hit_type() -> String {
+    hepnos::keys::short_type_name::<Vec<Hit>>()
+}
+
+/// Seeded, structured workload: `n_subruns * n_events` events across two
+/// runs, each with a deterministic `Vec<Hit>` product whose shape depends
+/// on the coordinates.
+fn ingest(store: &DataStore, name: &str, n_subruns: u64, n_events: u64) -> DataSet {
+    let ds = store.root().create_dataset(name).unwrap();
+    let uuid = ds.uuid().unwrap();
+    let label = hit_label();
+    for r in 0..2u64 {
+        let run = ds.create_run(r).unwrap();
+        for s in 0..n_subruns {
+            let sr = run.create_subrun(s).unwrap();
+            let mut batch = WriteBatch::new(store);
+            for e in 0..n_events {
+                let ev = batch.create_event(&sr, &uuid, e).unwrap();
+                let hits: Vec<Hit> = (0..(e % 7 + 1))
+                    .map(|i| Hit {
+                        channel: (r * 1000 + s * 100 + e + i) as u32,
+                        adc: (e * 31 + i) as u16,
+                    })
+                    .collect();
+                batch.store(&ev, &label, &hits).unwrap();
+            }
+        }
+    }
+    ds
+}
+
+/// Per-event raw product bytes keyed by coordinates, as observed by the
+/// PEP callbacks — the unit of the byte-identity comparisons.
+type Digest = BTreeMap<(u64, u64, u64), Option<Vec<u8>>>;
+
+fn run_pep(store: &DataStore, ds: &DataSet, opts: PepOptions) -> (Digest, hepnos::PepStatistics) {
+    let label = hit_label();
+    let ty = hit_type();
+    let digest: Mutex<Digest> = Mutex::new(BTreeMap::new());
+    let pep = ParallelEventProcessor::new(store.clone(), opts);
+    let stats = pep
+        .process(ds, |_w, pe| {
+            let bytes = pe.load_raw(&label, &ty).unwrap().map(|b| b.to_vec());
+            let prev = digest.lock().insert(pe.event().coordinates(), bytes);
+            assert!(prev.is_none(), "an event was delivered twice");
+        })
+        .unwrap();
+    (digest.into_inner(), stats)
+}
+
+fn pipeline_opts(num_workers: usize) -> PepOptions {
+    PepOptions {
+        load_batch_size: 64,
+        dispatch_batch_size: 8,
+        num_workers,
+        prefetch: vec![(hit_label(), hit_type())],
+        read_ahead_pages: 3,
+        ..Default::default()
+    }
+}
+
+/// Retry aggressively enough that a plan's worst-case streak of drops
+/// cannot exhaust the budget; `rpc_timeout` stays far above `delay_max` so
+/// injected delays never masquerade as lost frames.
+fn retry_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 8,
+        rpc_timeout: Duration::from_millis(250),
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(20),
+        jitter_seed: seed,
+    }
+}
+
+fn fault_config(seed: u64) -> FaultConfig {
+    let mut cfg = FaultConfig::new(seed);
+    cfg.drop_request = 0.03;
+    cfg.drop_response = 0.02;
+    cfg.duplicate_request = 0.02;
+    cfg.duplicate_response = 0.02;
+    cfg.delay_probability = 0.10;
+    cfg.delay_min = Duration::from_millis(1);
+    cfg.delay_max = Duration::from_millis(10);
+    cfg.disconnect_probability = 0.01;
+    cfg
+}
+
+/// 8 workers over 4 event databases with an active fault plan on every
+/// read RPC: each event's callback must run exactly once and the observed
+/// product bytes must match a fault-free run, with no RPC giving up.
+#[test]
+fn pipelined_read_is_exactly_once_under_faults() {
+    let dep = local_deployment(2, counts());
+    let ds = ingest(&dep.datastore(), "faulty", 3, 30);
+    let (clean, _) = run_pep(&dep.datastore(), &ds, pipeline_opts(8));
+    assert_eq!(clean.len(), 2 * 3 * 30);
+
+    for seed in [7u64, 1042] {
+        let store = dep.connect_client_with_retry(&format!("retry-{seed}"), retry_policy(seed));
+        let plan = Arc::new(FaultPlan::new(fault_config(seed)));
+        dep.fabric().install_fault_plan(plan.clone());
+        let (faulty, stats) = run_pep(&store, &ds, pipeline_opts(8));
+        dep.fabric().clear_fault_plan();
+        let retry = store.retry_stats();
+        assert_eq!(
+            retry.gave_up, 0,
+            "seed {seed}: {} read RPC(s) exhausted their retry budget ({retry:?})",
+            retry.gave_up
+        );
+        assert_eq!(
+            faulty,
+            clean,
+            "seed {seed}: results diverged under faults (injected: {:?})",
+            plan.counts()
+        );
+        assert_eq!(stats.total_events, stats.events_loaded);
+    }
+    dep.shutdown();
+}
+
+/// One worker sleeps in its callback while the rest are fast: the fast
+/// workers must steal the slow worker's backlog, keeping delivery
+/// exactly-once and the slow worker's share well under round-robin's 1/N.
+#[test]
+fn work_stealing_rescues_a_slow_worker() {
+    let dep = local_deployment(1, counts());
+    let store = dep.datastore();
+    let ds = ingest(&store, "steal", 4, 60);
+    let total = 2 * 4 * 60u64;
+    let seen = Mutex::new(HashSet::new());
+    let pep = ParallelEventProcessor::new(
+        store.clone(),
+        PepOptions {
+            load_batch_size: 64,
+            dispatch_batch_size: 4,
+            num_workers: 4,
+            ..Default::default()
+        },
+    );
+    let stats = pep
+        .process(&ds, |worker, pe| {
+            assert!(
+                seen.lock().insert(pe.event().coordinates()),
+                "an event was delivered twice"
+            );
+            if worker == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+        .unwrap();
+    assert_eq!(stats.total_events, total);
+    assert_eq!(seen.into_inner().len(), total as usize);
+    assert!(
+        stats.total_steals() > 0,
+        "no batches were stolen despite a slow worker"
+    );
+    // Round-robin alone would leave worker 0 with 1/4 of the events; with
+    // stealing the fast workers drain its deque instead.
+    let slow = stats.workers[0].events_processed;
+    assert!(
+        slow < total / 4,
+        "slow worker processed {slow} of {total} events — its backlog was not stolen \
+         (per-worker: {:?})",
+        stats
+            .workers
+            .iter()
+            .map(|w| w.events_processed)
+            .collect::<Vec<_>>()
+    );
+    dep.shutdown();
+}
+
+/// The pipelined reader must produce byte-identical per-event products to
+/// the serial baseline, and actually pipeline (read-ahead observed).
+#[test]
+fn pipelined_matches_serial_byte_for_byte() {
+    let dep = local_deployment(2, counts());
+    let store = dep.datastore();
+    let ds = ingest(&store, "ab", 3, 50);
+
+    let mut serial_opts = pipeline_opts(4);
+    serial_opts.pipeline = false;
+    let (serial, serial_stats) = run_pep(&store, &ds, serial_opts);
+
+    let (pipelined, stats) = run_pep(&store, &ds, pipeline_opts(4));
+
+    assert_eq!(serial.len(), 2 * 3 * 50);
+    assert_eq!(pipelined, serial, "pipelined products diverged from serial");
+    assert_eq!(stats.total_events, serial_stats.total_events);
+    assert_eq!(stats.events_loaded, stats.total_events);
+    assert!(
+        stats.read_ahead_hwm() >= 1,
+        "pipelined run never had a page in flight"
+    );
+    // Every event has a product, so prefetch must have served them all.
+    assert!(pipelined.values().all(|v| v.is_some()));
+    dep.shutdown();
+}
+
+/// Mid-run failure: a fault plan dropping every frame is installed after
+/// the first callback, with a small retry budget. `process_partial` must
+/// return the error *and* honest statistics — every dispatched event's
+/// callback ran exactly once, and events loaded before the failure are
+/// reported even though some were never dispatched.
+#[test]
+fn error_path_reports_partial_progress() {
+    let dep = local_deployment(1, counts());
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        rpc_timeout: Duration::from_millis(50),
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(5),
+        jitter_seed: 1,
+    };
+    let store = dep.connect_client_with_retry("partial", policy);
+    let ds = ingest(&store, "partial", 2, 100);
+    let total = 2 * 2 * 100u64;
+
+    let blackout = {
+        let mut cfg = FaultConfig::new(99);
+        cfg.drop_request = 1.0;
+        cfg
+    };
+    let tripped = std::sync::atomic::AtomicBool::new(false);
+    let calls = Mutex::new(HashSet::new());
+    let pep = ParallelEventProcessor::new(
+        store.clone(),
+        PepOptions {
+            load_batch_size: 16,
+            dispatch_batch_size: 4,
+            num_workers: 2,
+            read_ahead_pages: 2,
+            ..Default::default()
+        },
+    );
+    let (stats, err) = pep.process_partial(&ds, |_w, pe| {
+        if !tripped.swap(true, std::sync::atomic::Ordering::SeqCst) {
+            dep.fabric()
+                .install_fault_plan(Arc::new(FaultPlan::new(blackout.clone())));
+        }
+        assert!(
+            calls.lock().insert(pe.event().coordinates()),
+            "an event was delivered twice on the error path"
+        );
+    });
+    dep.fabric().clear_fault_plan();
+
+    assert!(err.is_some(), "blackout did not surface as an error");
+    let processed = calls.into_inner().len() as u64;
+    assert_eq!(
+        stats.total_events, processed,
+        "statistics disagree with the callbacks that actually ran"
+    );
+    assert!(
+        stats.total_events < total,
+        "blackout struck too late to interrupt the run"
+    );
+    assert!(
+        stats.events_loaded >= stats.total_events,
+        "loaded {} < processed {}",
+        stats.events_loaded,
+        stats.total_events
+    );
+    assert_eq!(stats.workers.len(), 2, "worker stats lost on error path");
+    dep.shutdown();
+}

@@ -51,6 +51,19 @@ pub fn load_slices(
     event.load(&slice_label())
 }
 
+/// The [`load_slices`] twin for PEP callbacks: serves from the prefetched
+/// bytes when the columnar/opaque slice labels were in
+/// [`hepnos::PepOptions::prefetch`] — zero-copy for the columnar blob —
+/// and falls back to a storage read otherwise.
+pub fn load_slices_prefetched(
+    pe: &hepnos::PrefetchedEvent,
+) -> Result<Option<Vec<crate::data::SliceQuantities>>, HepnosError> {
+    if let Some(blob) = pe.load_raw(&slice_label(), &crate::columnar::columnar_type_name())? {
+        return crate::columnar::decode_slices(&blob).map(Some);
+    }
+    pe.load(&slice_label())
+}
+
 /// Generate Rust source for the class stored in `schema` — the codegen
 /// half of HDF2HEPnOS. Index columns (`run`, `subrun`, `event`) identify
 /// the owning event and are not members.

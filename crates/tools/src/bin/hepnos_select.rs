@@ -87,13 +87,9 @@ fn main() {
     );
     let stats = pep
         .process(&ds, |_w, pe| {
-            let slices: Vec<SliceQuantities> = match pe
-                .load_raw(&slice_label(), &nova::columnar::columnar_type_name())
+            let slices: Vec<SliceQuantities> = nova::loader::load_slices_prefetched(pe)
                 .unwrap()
-            {
-                Some(blob) => nova::columnar::decode_slices(&blob).unwrap(),
-                None => pe.load(&slice_label()).unwrap().unwrap_or_default(),
-            };
+                .unwrap_or_default();
             let (run, subrun, event) = pe.event().coordinates();
             let rec = EventRecord {
                 run,
@@ -124,6 +120,14 @@ fn main() {
         stats.wall_time,
         slices_seen as f64 / stats.wall_time.as_secs_f64(),
         stats.load_imbalance()
+    );
+    println!(
+        "pipeline: overlap ratio {:.2} ({:.1?} blocked on storage), read-ahead hwm {}, \
+         {} dispatch batches stolen",
+        stats.overlap_ratio(),
+        stats.blocked_time(),
+        stats.read_ahead_hwm(),
+        stats.total_steals()
     );
     println!(
         "accepted {} candidate slices (rejection ratio {:.1e})",

@@ -405,6 +405,69 @@ impl YokanClient {
         decode_optionals(&mut resp)
     }
 
+    /// Encode and issue a read RPC whose payload is the database header
+    /// followed by a key block, returning the in-flight handle. Shared by
+    /// the asynchronous read path ([`YokanClient::get_multi_async`],
+    /// [`YokanClient::exists_multi_async`]).
+    fn read_call_async(&self, target: &DbTarget, op: u16, keys: &[Vec<u8>]) -> PendingRead {
+        let mut buf = Self::header(target, keys_encoded_len(keys));
+        encode_keys_into(&mut buf, keys);
+        self.issue_read(target, op, buf.freeze())
+    }
+
+    fn issue_read(&self, target: &DbTarget, op: u16, payload: Bytes) -> PendingRead {
+        let pending =
+            self.endpoint
+                .call_async(&target.addr, RpcId(op), target.provider_id, payload.clone());
+        PendingRead {
+            pending,
+            endpoint: Arc::clone(&self.endpoint),
+            addr: target.addr.clone(),
+            provider_id: target.provider_id,
+            op,
+            payload,
+            retry: self.retry.clone(),
+            session: Arc::clone(&self.session),
+        }
+    }
+
+    /// Asynchronous [`YokanClient::get_multi`]: the RPC is issued
+    /// immediately and the returned handle is waited on later, so many
+    /// batched reads (to different databases, or successive pages of the
+    /// same scan) can be in flight at once. The read-side twin of
+    /// [`YokanClient::put_multi_async`].
+    pub fn get_multi_async(&self, target: &DbTarget, keys: &[Vec<u8>]) -> PendingGetMulti {
+        PendingGetMulti {
+            inner: self.read_call_async(target, OP_GET_MULTI, keys),
+        }
+    }
+
+    /// Asynchronous [`YokanClient::exists_multi`].
+    pub fn exists_multi_async(&self, target: &DbTarget, keys: &[Vec<u8>]) -> PendingExistsMulti {
+        PendingExistsMulti {
+            inner: self.read_call_async(target, OP_EXISTS_MULTI, keys),
+            n_keys: keys.len(),
+        }
+    }
+
+    /// Asynchronous [`YokanClient::list_keys`]: page the next batch of keys
+    /// while the previous page is still being processed.
+    pub fn list_keys_async(
+        &self,
+        target: &DbTarget,
+        from: &[u8],
+        prefix: &[u8],
+        limit: usize,
+    ) -> PendingListKeys {
+        let mut buf = Self::header(target, 12 + from.len() + prefix.len());
+        put_bytes(&mut buf, from);
+        put_bytes(&mut buf, prefix);
+        buf.put_u32_le(limit as u32);
+        PendingListKeys {
+            inner: self.issue_read(target, OP_LIST_KEYS, buf.freeze()),
+        }
+    }
+
     /// Existence checks for a batch of keys in one round-trip; the server
     /// fans large batches out across the provider's pool.
     pub fn exists_multi(
@@ -572,6 +635,112 @@ impl YokanClient {
                 String::from_utf8(k).map_err(|_| YokanError::Protocol("db name not utf8".into()))
             })
             .collect()
+    }
+}
+
+/// An in-flight asynchronous read RPC: the pending response plus
+/// everything needed to re-issue the identical payload under the client's
+/// retry policy. Reads carry no mutation stamp and no replay marker, so
+/// retrying them is always safe.
+struct PendingRead {
+    pending: PendingResponse,
+    endpoint: Arc<dyn Endpoint>,
+    addr: String,
+    provider_id: u16,
+    op: u16,
+    payload: Bytes,
+    retry: Option<RetryPolicy>,
+    session: Arc<ClientSession>,
+}
+
+impl PendingRead {
+    fn wait_raw(self) -> Result<Bytes, YokanError> {
+        wait_with_retry(
+            &self.endpoint,
+            self.retry.as_ref(),
+            &self.session.counters,
+            &self.addr,
+            RpcId(self.op),
+            self.provider_id,
+            &self.payload,
+            self.pending,
+        )
+        .map_err(YokanError::from)
+    }
+
+    fn is_ready(&self) -> bool {
+        self.pending.is_ready()
+    }
+}
+
+/// In-flight asynchronous `get_multi` (see [`YokanClient::get_multi_async`]).
+pub struct PendingGetMulti {
+    inner: PendingRead,
+}
+
+impl PendingGetMulti {
+    /// Wait for the values: one slot per requested key, in request order.
+    /// Present values are zero-copy `Bytes` slices of the response buffer.
+    pub fn wait(self) -> Result<Vec<Option<Bytes>>, YokanError> {
+        let mut resp = self.inner.wait_raw()?;
+        decode_optionals_shared(&mut resp)
+    }
+
+    /// Wait for the values as owned vectors (the historical representation).
+    pub fn wait_owned(self) -> Result<Vec<Option<Vec<u8>>>, YokanError> {
+        let mut resp = self.inner.wait_raw()?;
+        decode_optionals(&mut resp)
+    }
+
+    /// Whether the response arrived.
+    pub fn is_ready(&self) -> bool {
+        self.inner.is_ready()
+    }
+}
+
+/// In-flight asynchronous `exists_multi`
+/// (see [`YokanClient::exists_multi_async`]).
+pub struct PendingExistsMulti {
+    inner: PendingRead,
+    n_keys: usize,
+}
+
+impl PendingExistsMulti {
+    /// Wait for the flags, one per requested key.
+    pub fn wait(self) -> Result<Vec<bool>, YokanError> {
+        let n_keys = self.n_keys;
+        let resp = self.inner.wait_raw()?;
+        if resp.len() != n_keys {
+            return Err(YokanError::Protocol(format!(
+                "exists_multi: expected {} flags, got {}",
+                n_keys,
+                resp.len()
+            )));
+        }
+        Ok(resp.iter().map(|&b| b == 1).collect())
+    }
+
+    /// Whether the response arrived.
+    pub fn is_ready(&self) -> bool {
+        self.inner.is_ready()
+    }
+}
+
+/// In-flight asynchronous `list_keys` (see [`YokanClient::list_keys_async`]).
+pub struct PendingListKeys {
+    inner: PendingRead,
+}
+
+impl PendingListKeys {
+    /// Wait for the key page.
+    pub fn wait(self) -> Result<Vec<Vec<u8>>, YokanError> {
+        let mut resp = self.inner.wait_raw()?;
+        decode_keys(&mut resp)
+    }
+
+    /// Whether the response arrived.
+    pub fn is_ready(&self) -> bool {
+        self.inner.is_ready()
     }
 }
 

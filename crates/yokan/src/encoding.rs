@@ -81,14 +81,24 @@ pub(crate) fn decode_pairs(buf: &mut Bytes) -> Result<Vec<crate::backend::KeyVal
     Ok(out)
 }
 
-/// Encode a list of keys.
-pub(crate) fn encode_keys(keys: &[Vec<u8>]) -> Bytes {
-    let total: usize = keys.iter().map(|k| 4 + k.len()).sum();
-    let mut buf = BytesMut::with_capacity(4 + total);
+/// Exact number of bytes [`encode_keys_into`] will append for `keys`.
+pub(crate) fn keys_encoded_len(keys: &[Vec<u8>]) -> usize {
+    4 + keys.iter().map(|k| 4 + k.len()).sum::<usize>()
+}
+
+/// Append the encoded key block to `buf`; callers reserve
+/// [`keys_encoded_len`] up front so encoding never reallocates.
+pub(crate) fn encode_keys_into(buf: &mut BytesMut, keys: &[Vec<u8>]) {
     buf.put_u32_le(keys.len() as u32);
     for k in keys {
-        put_bytes(&mut buf, k);
+        put_bytes(buf, k);
     }
+}
+
+/// Encode a list of keys.
+pub(crate) fn encode_keys(keys: &[Vec<u8>]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(keys_encoded_len(keys));
+    encode_keys_into(&mut buf, keys);
     buf.freeze()
 }
 
@@ -195,6 +205,24 @@ pub(crate) fn encode_optionals(vals: &[Option<Vec<u8>>]) -> Bytes {
         }
     }
     buf.freeze()
+}
+
+/// Zero-copy twin of [`decode_optionals`]: each present value is a `Bytes`
+/// slice sharing the response buffer instead of a fresh `Vec` copy. The
+/// asynchronous read path hands these slices all the way to the analysis
+/// callback, so a prefetched product is never copied after it leaves the
+/// socket buffer.
+pub(crate) fn decode_optionals_shared(buf: &mut Bytes) -> Result<Vec<Option<Bytes>>, YokanError> {
+    let n = get_u32(buf)? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        match get_u8(buf)? {
+            0 => out.push(None),
+            1 => out.push(Some(get_bytes(buf)?)),
+            t => return Err(YokanError::Protocol(format!("bad optional tag {t}"))),
+        }
+    }
+    Ok(out)
 }
 
 pub(crate) fn decode_optionals(buf: &mut Bytes) -> Result<Vec<Option<Vec<u8>>>, YokanError> {

@@ -35,7 +35,10 @@ mod retry;
 mod service;
 
 pub use backend::{Backend, BackendStats, LsmBackend, MemBackend, WatermarkConfig};
-pub use client::{DbTarget, FilterReply, PendingPut, YokanClient};
+pub use client::{
+    DbTarget, FilterReply, PendingExistsMulti, PendingGetMulti, PendingListKeys, PendingPut,
+    YokanClient,
+};
 pub use error::YokanError;
 pub use filter::{FilterOutput, Predicate, Program};
 pub use pages::{Column, PageReader};

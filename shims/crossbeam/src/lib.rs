@@ -1,9 +1,17 @@
-//! Offline shim for `crossbeam`: the `channel` module only.
+//! Offline shim for `crossbeam`: the `channel` and `deque` modules.
 //!
-//! Provides MPMC `bounded` / `unbounded` channels with cloneable senders
-//! and receivers, blocking `send` / `recv`, and disconnect semantics
-//! matching crossbeam-channel: `recv` fails once the queue is empty and
-//! every sender is gone; `send` fails once every receiver is gone.
+//! `channel` provides MPMC `bounded` / `unbounded` channels with cloneable
+//! senders and receivers, blocking `send` / `recv`, and disconnect
+//! semantics matching crossbeam-channel: `recv` fails once the queue is
+//! empty and every sender is gone; `send` fails once every receiver is
+//! gone.
+//!
+//! `deque` provides the crossbeam-deque work-stealing API subset
+//! ([`deque::Injector`], [`deque::Worker`], [`deque::Stealer`],
+//! [`deque::Steal`]) used by the ParallelEventProcessor's per-worker
+//! dispatch queues. The shim favours correctness over lock-freedom: each
+//! queue is a mutexed `VecDeque`, which preserves the exactly-once pop
+//! guarantee the callers rely on.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -287,6 +295,239 @@ pub mod channel {
             std::thread::sleep(Duration::from_millis(20));
             drop(rx);
             assert_eq!(t.join().unwrap(), Err(SendError(1)));
+        }
+    }
+}
+
+pub mod deque {
+    //! Work-stealing deques: the crossbeam-deque API subset.
+    //!
+    //! An [`Injector`] is a shared MPMC FIFO that any thread can push into
+    //! or steal from. A [`Worker`] is a single-owner FIFO whose owner pushes
+    //! and pops cheaply while other threads steal from it through cloned
+    //! [`Stealer`] handles. Every pop/steal removes a task exactly once.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race; retrying may succeed. The mutexed shim
+        /// never reports this, but callers written against crossbeam-deque
+        /// must handle it, so the variant exists.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A shared FIFO injection queue: many producers, many stealers.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Create an empty injector.
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Steal the task at the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap().len()
+        }
+    }
+
+    struct WorkerQueue<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    /// A FIFO deque owned by one worker thread; other threads steal through
+    /// [`Stealer`] handles obtained from [`Worker::stealer`].
+    pub struct Worker<T> {
+        inner: Arc<WorkerQueue<T>>,
+    }
+
+    /// A handle for stealing from another thread's [`Worker`].
+    pub struct Stealer<T> {
+        inner: Arc<WorkerQueue<T>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// Create a FIFO worker queue (tasks pop in push order).
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                inner: Arc::new(WorkerQueue {
+                    queue: Mutex::new(VecDeque::new()),
+                }),
+            }
+        }
+
+        /// A stealer handle for this queue.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+
+        /// Push a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.inner.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Pop the task at the front of the queue (FIFO order).
+        pub fn pop(&self) -> Option<T> {
+            self.inner.queue.lock().unwrap().pop_front()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.queue.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().unwrap().len()
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal the task at the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.queue.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().unwrap().len()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::collections::HashSet;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push(1);
+            inj.push(2);
+            inj.push(3);
+            assert_eq!(inj.len(), 3);
+            assert_eq!(inj.steal(), Steal::Success(1));
+            assert_eq!(inj.steal(), Steal::Success(2));
+            assert_eq!(inj.steal(), Steal::Success(3));
+            assert!(inj.steal().is_empty());
+        }
+
+        #[test]
+        fn worker_pop_and_stealer_agree_exactly_once() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            for i in 0..100 {
+                w.push(i);
+            }
+            let mut seen = HashSet::new();
+            loop {
+                let v = if seen.len() % 2 == 0 {
+                    w.pop()
+                } else {
+                    s.steal().success()
+                };
+                match v {
+                    Some(v) => assert!(seen.insert(v), "value {v} delivered twice"),
+                    None => break,
+                }
+            }
+            assert_eq!(seen.len(), 100);
+        }
+
+        #[test]
+        fn concurrent_stealing_delivers_each_task_once() {
+            let inj = Arc::new(Injector::new());
+            const N: usize = 10_000;
+            for i in 0..N {
+                inj.push(i);
+            }
+            let taken = Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            let all: Arc<Mutex<HashSet<usize>>> = Arc::new(Mutex::new(HashSet::new()));
+            for _ in 0..4 {
+                let inj = Arc::clone(&inj);
+                let taken = Arc::clone(&taken);
+                let all = Arc::clone(&all);
+                handles.push(std::thread::spawn(move || {
+                    while let Steal::Success(v) = inj.steal() {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                        assert!(all.lock().unwrap().insert(v), "duplicate steal of {v}");
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(taken.load(Ordering::Relaxed), N);
         }
     }
 }
