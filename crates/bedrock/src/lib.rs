@@ -360,6 +360,65 @@ impl LsmConfig {
     }
 }
 
+/// The optional `replication` section: per-database chain replication
+/// across servers. Absent, every database is single-copy and nothing
+/// forwards (the pre-replication behaviour); present, every knob has a
+/// serde default so handwritten configs set only what they care about.
+/// The section is advertised in the [`ConnectionDescriptor`] so clients
+/// and [`wire_replication`] compute the same chains.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicationConfig {
+    /// Replicas per logical database (clamped to the copies available);
+    /// `1` disables replication.
+    #[serde(default = "d_replication_factor")]
+    pub factor: usize,
+    /// Per-attempt deadline (milliseconds) for one chain-forward RPC.
+    #[serde(default = "d_forward_timeout_ms")]
+    pub forward_timeout_ms: u64,
+    /// Attempts per successor before a forward degrades to single-copy.
+    #[serde(default = "d_forward_attempts")]
+    pub forward_attempts: u32,
+    /// How long (milliseconds) an unreachable successor is skipped before
+    /// the next mutation probes it again.
+    #[serde(default = "d_suspend_ms")]
+    pub suspend_ms: u64,
+}
+
+fn d_replication_factor() -> usize {
+    2
+}
+fn d_forward_timeout_ms() -> u64 {
+    yokan::ForwardParams::default().timeout.as_millis() as u64
+}
+fn d_forward_attempts() -> u32 {
+    yokan::ForwardParams::default().attempts
+}
+fn d_suspend_ms() -> u64 {
+    yokan::ForwardParams::default().suspend.as_millis() as u64
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            factor: d_replication_factor(),
+            forward_timeout_ms: d_forward_timeout_ms(),
+            forward_attempts: d_forward_attempts(),
+            suspend_ms: d_suspend_ms(),
+        }
+    }
+}
+
+impl ReplicationConfig {
+    /// Convert to the service-side forwarding parameters.
+    pub fn forward_params(&self) -> yokan::ForwardParams {
+        yokan::ForwardParams {
+            timeout: std::time::Duration::from_millis(self.forward_timeout_ms),
+            attempts: self.forward_attempts.max(1),
+            suspend: std::time::Duration::from_millis(self.suspend_ms),
+        }
+    }
+}
+
 /// A full Bedrock service configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServiceConfig {
@@ -374,6 +433,10 @@ pub struct ServiceConfig {
     /// LSM engine tuning for `lsm` databases; `None` uses engine defaults.
     #[serde(default)]
     pub lsm: Option<LsmConfig>,
+    /// Chain replication; `None` (the default) keeps every database
+    /// single-copy.
+    #[serde(default)]
+    pub replication: Option<ReplicationConfig>,
 }
 
 /// Errors raised during bootstrap.
@@ -486,6 +549,7 @@ impl ServiceConfig {
             providers,
             overload: None,
             lsm: None,
+            replication: None,
         }
     }
 }
@@ -547,6 +611,7 @@ impl ServiceConfig {
             providers: Vec::new(),
             overload: None,
             lsm: None,
+            replication: None,
         };
         let mut provider_id = 0u16;
         for (label, n) in [
@@ -593,6 +658,14 @@ pub struct ProviderDescriptor {
     pub databases: Vec<String>,
 }
 
+/// Replication parameters a server advertises to clients so both sides
+/// compute identical chains.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ReplicationDescriptor {
+    /// Replicas per logical database.
+    pub factor: usize,
+}
+
 /// What a client needs to reach one server — the paper's
 /// `connect("config.json")` payload for a single node.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
@@ -601,6 +674,10 @@ pub struct ConnectionDescriptor {
     pub address: String,
     /// Providers on this server.
     pub providers: Vec<ProviderDescriptor>,
+    /// Replication advertisement; absent (older descriptors) means
+    /// single-copy.
+    #[serde(default)]
+    pub replication: Option<ReplicationDescriptor>,
 }
 
 impl ConnectionDescriptor {
@@ -726,15 +803,88 @@ pub fn launch(
         });
     }
     providers.sort_by_key(|p| p.provider_id);
+    let replication = match &config.replication {
+        Some(r) if r.factor > 1 => {
+            yokan.set_forward_params(r.forward_params());
+            Some(ReplicationDescriptor { factor: r.factor })
+        }
+        Some(_) | None => None,
+    };
     let descriptor = ConnectionDescriptor {
         address: margo.address(),
         providers,
+        replication,
     };
     Ok(BedrockServer {
         margo,
         yokan,
         descriptor,
     })
+}
+
+/// Every `(address, provider, database)` target a deployment serves.
+pub fn deployment_targets(descriptors: &[ConnectionDescriptor]) -> Vec<yokan::DbTarget> {
+    let mut targets = Vec::new();
+    for d in descriptors {
+        for p in &d.providers {
+            for db in &p.databases {
+                targets.push(yokan::DbTarget::new(d.address.clone(), p.provider_id, db));
+            }
+        }
+    }
+    targets
+}
+
+/// The deployment's replica chains: every database target grouped by name
+/// and chained with the largest advertised replication factor (1 — i.e.
+/// singleton chains — when no server advertises replication). Servers and
+/// clients both derive their routing from this, so they agree without
+/// coordination.
+pub fn deployment_chains(descriptors: &[ConnectionDescriptor]) -> Vec<Vec<yokan::DbTarget>> {
+    let factor = descriptors
+        .iter()
+        .filter_map(|d| d.replication.as_ref().map(|r| r.factor))
+        .max()
+        .unwrap_or(1);
+    yokan::build_chains(&deployment_targets(descriptors), factor)
+}
+
+/// Install chain-forward routes on one server from the deployment's
+/// descriptors. For every chain member hosted here, the successors are the
+/// rest of the chain in circular order (so a promoted backup keeps
+/// forwarding — degraded — toward the replaced head). Call it on every
+/// server after all descriptors are known; re-calling with a changed
+/// deployment replaces the routes.
+pub fn wire_replication_node(server: &BedrockServer, descriptors: &[ConnectionDescriptor]) {
+    let here = server.address();
+    for chain in deployment_chains(descriptors) {
+        if chain.len() < 2 {
+            continue;
+        }
+        let n = chain.len();
+        for (i, member) in chain.iter().enumerate() {
+            if member.addr != here {
+                continue;
+            }
+            let successors: Vec<yokan::DbTarget> =
+                (1..n).map(|k| chain[(i + k) % n].clone()).collect();
+            server
+                .yokan()
+                .set_forward_routes(member.provider_id, &member.db, &successors);
+        }
+    }
+}
+
+/// Wire chain-forward routes across a set of co-hosted servers (the
+/// single-process deployment used by tests and benchmarks). Equivalent to
+/// collecting every descriptor and calling [`wire_replication_node`] on
+/// each server.
+pub fn wire_replication(servers: &[&BedrockServer]) {
+    let descriptors: Vec<ConnectionDescriptor> =
+        servers.iter().map(|s| s.descriptor().clone()).collect();
+    for s in servers {
+        wire_replication_node(s, &descriptors);
+    }
 }
 
 #[cfg(test)]
@@ -992,6 +1142,94 @@ mod tests {
             "expected hard-watermark shed, got {err:?}"
         );
         server.shutdown();
+    }
+
+    #[test]
+    fn replication_section_parses_with_defaults() {
+        let text = r#"{
+            "margo": {
+                "argobots": {
+                    "pools": [{"name": "default", "kind": "fifo_wait"}],
+                    "xstreams": [{"name": "es0", "pools": ["default"]}]
+                }
+            },
+            "providers": [],
+            "replication": {}
+        }"#;
+        let cfg = ServiceConfig::from_json(text).unwrap();
+        let r = cfg.replication.as_ref().unwrap();
+        assert_eq!(r.factor, 2);
+        assert_eq!(
+            r.forward_params().timeout,
+            yokan::ForwardParams::default().timeout
+        );
+        // Configs without the section still parse (backward compatible).
+        let old = ServiceConfig::hepnos_node(1, 1, 0, BackendKind::Map, None).to_json();
+        assert!(ServiceConfig::from_json(&old)
+            .unwrap()
+            .replication
+            .is_none());
+        // ...and so do descriptors that never heard of replication.
+        let desc: ConnectionDescriptor =
+            serde_json::from_str(r#"{"address": "n0", "providers": []}"#).unwrap();
+        assert!(desc.replication.is_none());
+    }
+
+    #[test]
+    fn launch_advertises_replication_factor() {
+        let fabric = Fabric::new(Default::default());
+        let mut cfg = ServiceConfig::hepnos_node(1, 0, 0, BackendKind::Map, None);
+        cfg.replication = Some(ReplicationConfig::default());
+        let server = launch(fabric.endpoint("node0"), &cfg).unwrap();
+        assert_eq!(server.descriptor().replication.as_ref().unwrap().factor, 2);
+        // factor 1 is not an advertisement.
+        cfg.replication = Some(ReplicationConfig {
+            factor: 1,
+            ..Default::default()
+        });
+        let single = launch(fabric.endpoint("node1"), &cfg).unwrap();
+        assert!(single.descriptor().replication.is_none());
+        server.shutdown();
+        single.shutdown();
+    }
+
+    #[test]
+    fn wire_replication_forwards_mutations_to_both_replicas() {
+        let fabric = Fabric::new(Default::default());
+        let mut cfg = ServiceConfig::hepnos_node(2, 0, 0, BackendKind::Map, None);
+        cfg.replication = Some(ReplicationConfig::default());
+        let s0 = launch(fabric.endpoint("node0"), &cfg).unwrap();
+        let s1 = launch(fabric.endpoint("node1"), &cfg).unwrap();
+        wire_replication(&[&s0, &s1]);
+        let descriptors = vec![s0.descriptor().clone(), s1.descriptor().clone()];
+        let chains = deployment_chains(&descriptors);
+        assert_eq!(chains.len(), 2, "one chain per logical database");
+        for c in &chains {
+            assert_eq!(c.len(), 2);
+        }
+        // A routed client writes through the chain head...
+        let client = YokanClient::new(fabric.endpoint("client"));
+        client.install_replica_routes(&chains);
+        let head = chains[0][0].clone();
+        client.put(&head, b"k", b"v").unwrap();
+        // ...and a raw (un-routed) client sees the value on every replica.
+        let raw = YokanClient::new(fabric.endpoint("raw"));
+        for replica in &chains[0] {
+            assert_eq!(
+                raw.get(replica, b"k").unwrap(),
+                Some(b"v".to_vec()),
+                "replica {replica:?} missing the forwarded value"
+            );
+        }
+        let fwd = s0.yokan().forward_stats();
+        let fwd1 = s1.yokan().forward_stats();
+        assert_eq!(
+            fwd.forwards_sent + fwd1.forwards_sent,
+            1,
+            "exactly one chain hop for one mutation"
+        );
+        s0.shutdown();
+        s1.shutdown();
     }
 
     #[test]

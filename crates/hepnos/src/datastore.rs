@@ -56,6 +56,12 @@ impl std::fmt::Display for ProductLabel {
 
 /// The five database groups of a HEPnOS deployment, each sorted identically
 /// on every client so placement agrees everywhere.
+///
+/// When any server advertises replication, same-named databases on
+/// different servers are *copies* of one logical database: each group then
+/// holds one chain-head target per logical database (placement indexes
+/// logical databases, not physical copies) and `chains` carries the full
+/// replica sets the client routes through.
 #[derive(Debug, Clone)]
 pub(crate) struct Topology {
     pub(crate) dataset_dbs: Vec<DbTarget>,
@@ -63,6 +69,10 @@ pub(crate) struct Topology {
     pub(crate) subrun_dbs: Vec<DbTarget>,
     pub(crate) event_dbs: Vec<DbTarget>,
     pub(crate) product_dbs: Vec<DbTarget>,
+    /// Replica chains (empty when the deployment is unreplicated).
+    pub(crate) chains: Vec<Vec<DbTarget>>,
+    /// Advertised replication factor (1 = single-copy).
+    pub(crate) replication_factor: usize,
 }
 
 impl Topology {
@@ -73,26 +83,46 @@ impl Topology {
             subrun_dbs: Vec::new(),
             event_dbs: Vec::new(),
             product_dbs: Vec::new(),
+            chains: Vec::new(),
+            replication_factor: 1,
         };
-        for server in descriptors {
-            for prov in &server.providers {
-                for db in &prov.databases {
-                    let target = DbTarget::new(server.address.clone(), prov.provider_id, db);
-                    if db.starts_with("datasets") {
-                        topo.dataset_dbs.push(target);
-                    } else if db.starts_with("runs") {
-                        topo.run_dbs.push(target);
-                    } else if db.starts_with("subruns") {
-                        topo.subrun_dbs.push(target);
-                    } else if db.starts_with("events") {
-                        topo.event_dbs.push(target);
-                    } else if db.starts_with("products") {
-                        topo.product_dbs.push(target);
+        topo.replication_factor = descriptors
+            .iter()
+            .filter_map(|d| d.replication.as_ref().map(|r| r.factor))
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        // One addressable target per *logical* database: every physical
+        // target when unreplicated, each chain's head when replicated (the
+        // routed client fans reads/mutations over the rest of the chain).
+        let mut targets: Vec<DbTarget> = Vec::new();
+        if topo.replication_factor > 1 {
+            topo.chains = bedrock::deployment_chains(descriptors);
+            targets.extend(topo.chains.iter().map(|c| c[0].clone()));
+        } else {
+            for server in descriptors {
+                for prov in &server.providers {
+                    for db in &prov.databases {
+                        targets.push(DbTarget::new(server.address.clone(), prov.provider_id, db));
                     }
-                    // Unknown databases are simply not part of the HEPnOS
-                    // namespace; ignore them.
                 }
             }
+        }
+        for target in targets {
+            let db = &target.db;
+            if db.starts_with("datasets") {
+                topo.dataset_dbs.push(target);
+            } else if db.starts_with("runs") {
+                topo.run_dbs.push(target);
+            } else if db.starts_with("subruns") {
+                topo.subrun_dbs.push(target);
+            } else if db.starts_with("events") {
+                topo.event_dbs.push(target);
+            } else if db.starts_with("products") {
+                topo.product_dbs.push(target);
+            }
+            // Unknown databases are simply not part of the HEPnOS
+            // namespace; ignore them.
         }
         // A deterministic global order: every client must agree on the index
         // of each database or placement breaks.
@@ -240,6 +270,10 @@ impl DataStore {
         if let Some(policy) = retry {
             client = client.with_retry(policy);
         }
+        // Replicated deployments: route every chained database through its
+        // replica set (tail-first reads, head mutations, failover). A no-op
+        // when `chains` is empty.
+        client.install_replica_routes(&topo.chains);
         Ok(DataStore {
             inner: Arc::new(DataStoreInner {
                 client,
@@ -295,6 +329,20 @@ impl DataStore {
     /// Number of product databases in the deployment.
     pub fn num_product_databases(&self) -> usize {
         self.inner.topo.product_dbs.len()
+    }
+
+    /// Advertised replication factor (1 when the deployment is
+    /// single-copy).
+    pub fn replication_factor(&self) -> usize {
+        self.inner.topo.replication_factor
+    }
+
+    /// The deployment's replica chains, head first (empty when
+    /// unreplicated). The ordered replica set of a given container's
+    /// database is recovered with
+    /// [`crate::placement::place_replica_set`].
+    pub fn replica_chains(&self) -> &[Vec<DbTarget>] {
+        &self.inner.topo.chains
     }
 
     /// Resolve a dataset path to its UUID, using the client-side cache.

@@ -125,6 +125,21 @@ impl Placement for RingPlacement {
     }
 }
 
+/// Resolve the ordered replica set responsible for children of
+/// `parent_key` among a group of replica chains (one chain per logical
+/// database, as built by [`yokan::build_chains`]). The placement strategy
+/// picks the chain exactly as it picks a single database — placement is by
+/// *logical* database, so turning replication on or off never re-places a
+/// key — and the chain lists the replicas in chain order, head first.
+pub fn place_replica_set<'a>(
+    placement: &dyn Placement,
+    parent_key: &[u8],
+    chains: &'a [Vec<yokan::DbTarget>],
+) -> &'a [yokan::DbTarget] {
+    assert!(!chains.is_empty(), "placement needs at least one database");
+    &chains[placement.place(parent_key, chains.len())]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,5 +228,27 @@ mod tests {
     #[should_panic(expected = "at least one database")]
     fn zero_databases_panics() {
         ModuloPlacement.place(b"x", 0);
+    }
+
+    #[test]
+    fn replica_set_agrees_with_single_database_placement() {
+        // 4 logical databases, each a 2-member chain across two nodes.
+        let chains: Vec<Vec<yokan::DbTarget>> = (0..4)
+            .map(|db| {
+                vec![
+                    yokan::DbTarget::new("node0", db as u16, format!("events_{db}")),
+                    yokan::DbTarget::new("node1", db as u16, format!("events_{db}")),
+                ]
+            })
+            .collect();
+        let p = ModuloPlacement;
+        for key in [b"a".as_slice(), b"bb", b"some parent key"] {
+            let set = place_replica_set(&p, key, &chains);
+            assert_eq!(set.len(), 2);
+            // Same logical index as unreplicated placement over the heads.
+            assert_eq!(set[0], chains[p.place(key, chains.len())][0]);
+            // Head first, and every member serves the same logical database.
+            assert_eq!(set[0].db, set[1].db);
+        }
     }
 }

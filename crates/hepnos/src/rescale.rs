@@ -85,18 +85,47 @@ pub fn rescale_group(
     placement: &dyn Placement,
     input: PlacementInput,
 ) -> Result<RescaleStats, HepnosError> {
+    let singleton =
+        |ts: &[DbTarget]| -> Vec<Vec<DbTarget>> { ts.iter().map(|t| vec![t.clone()]).collect() };
+    rescale_group_replicated(client, &singleton(old), &singleton(new), placement, input)
+}
+
+/// Rescale a *replicated* database group: `old` and `new` are replica
+/// chains (head first, as the [`crate::DataStore`] stores them), and a
+/// re-homed key moves to **every** member of its new chain and is erased
+/// from every member of its old chain — so rescaling preserves the
+/// replication factor instead of quietly collapsing moved keys to one
+/// copy.
+///
+/// `client` must have **no replica routes installed**: rescale reads and
+/// writes physical replicas directly (the heads are the authoritative scan
+/// source), and a routed client would forward each write down the chain a
+/// second time. Chain members shared between a key's old and new chain are
+/// written, never erased.
+pub fn rescale_group_replicated(
+    client: &YokanClient,
+    old: &[Vec<DbTarget>],
+    new: &[Vec<DbTarget>],
+    placement: &dyn Placement,
+    input: PlacementInput,
+) -> Result<RescaleStats, HepnosError> {
     const PAGE: usize = 1024;
-    if old.is_empty() || new.is_empty() {
+    if old.is_empty()
+        || new.is_empty()
+        || old.iter().any(Vec::is_empty)
+        || new.iter().any(Vec::is_empty)
+    {
         return Err(HepnosError::Topology(
             "rescale needs non-empty old and new groups".into(),
         ));
     }
     let mut stats = RescaleStats::default();
-    // Phase 1: scan every old database and classify. Applying moves only
+    // Phase 1: scan every old chain head and classify. Applying moves only
     // after the full scan keeps the scan a consistent snapshot (a key moved
     // into a not-yet-scanned old database would otherwise be re-scanned).
     let mut moves: Vec<(usize, usize, Vec<u8>, Vec<u8>)> = Vec::new(); // (from, to, k, v)
-    for (old_idx, db) in old.iter().enumerate() {
+    for (old_idx, chain) in old.iter().enumerate() {
+        let db = &chain[0];
         let mut from: Vec<u8> = Vec::new();
         loop {
             let page = client.list_keyvals(db, &from, &[], PAGE)?;
@@ -122,7 +151,7 @@ pub fn rescale_group(
                     }
                 };
                 let new_idx = placement.place(parent, new.len());
-                if new[new_idx] != *db {
+                if new[new_idx] != *chain {
                     stats.keys_moved += 1;
                     stats.bytes_moved += (k.len() + v.len()) as u64;
                     moves.push((old_idx, new_idx, k, v));
@@ -130,9 +159,10 @@ pub fn rescale_group(
             }
         }
     }
-    // Phase 2: apply, grouped per destination (one put_multi each), then
-    // erase the originals. Write-before-erase means a crash in between
-    // leaves duplicates, never losses; re-running the rescale converges.
+    // Phase 2: apply, grouped per destination (one put_multi per replica of
+    // it), then erase the originals from every old replica. Write-before-
+    // erase means a crash in between leaves duplicates, never losses;
+    // re-running the rescale converges.
     moves.sort_by_key(|(_, to, _, _)| *to);
     let mut i = 0;
     while i < moves.len() {
@@ -143,15 +173,23 @@ pub fn rescale_group(
             batch.push((moves[i].2.clone(), moves[i].3.clone()));
             i += 1;
         }
-        client.put_multi(&new[to], &batch)?;
-        // Erase the originals, batched per source database.
+        for replica in &new[to] {
+            client.put_multi(replica, &batch)?;
+        }
+        // Erase the originals, batched per source chain; a replica that is
+        // also a member of the destination chain keeps the keys.
         let mut by_src: std::collections::HashMap<usize, Vec<Vec<u8>>> =
             std::collections::HashMap::new();
         for (from_idx, _, k, _) in &moves[start..i] {
             by_src.entry(*from_idx).or_default().push(k.clone());
         }
         for (from_idx, keys) in by_src {
-            client.erase_multi(&old[from_idx], &keys)?;
+            for replica in &old[from_idx] {
+                if new[to].contains(replica) {
+                    continue;
+                }
+                client.erase_multi(replica, &keys)?;
+            }
         }
     }
     Ok(stats)

@@ -15,9 +15,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static DEPLOYMENT_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// A running in-process HEPnOS deployment.
+///
+/// Server slots are individually killable ([`LocalDeployment::kill_server`])
+/// so chaos tests can take a node down mid-workload and replaceable
+/// ([`LocalDeployment::replace_server`]) so they can restore the
+/// replication factor afterwards.
 pub struct LocalDeployment {
     fabric: Fabric,
-    servers: Vec<BedrockServer>,
+    servers: Vec<Option<BedrockServer>>,
     datastore: DataStore,
     descriptors: Vec<ConnectionDescriptor>,
 }
@@ -30,6 +35,29 @@ pub fn local_deployment(n_nodes: usize, counts: DbCounts) -> LocalDeployment {
         BackendKind::Map,
         None,
         NetworkModel::default(),
+    )
+}
+
+/// Start `n_nodes` in-memory nodes with chain replication: every node
+/// serves the same database names, which replication groups into chains of
+/// `factor` replicas (forward routes wired, clients routed).
+pub fn local_deployment_replicated(
+    n_nodes: usize,
+    counts: DbCounts,
+    factor: usize,
+) -> LocalDeployment {
+    local_deployment_tuned(
+        n_nodes,
+        counts,
+        BackendKind::Map,
+        None,
+        NetworkModel::default(),
+        |cfg| {
+            cfg.replication = Some(bedrock::ReplicationConfig {
+                factor,
+                ..Default::default()
+            });
+        },
     )
 }
 
@@ -68,7 +96,13 @@ pub fn local_deployment_tuned(
         let server = bedrock::launch(fabric.endpoint(&format!("server{id}-{node}")), &cfg)
             .expect("deployment bootstrap failed");
         descriptors.push(server.descriptor().clone());
-        servers.push(server);
+        servers.push(Some(server));
+    }
+    // Replicated deployments need their chain-forward routes wired once
+    // every server's descriptor is known.
+    if descriptors.iter().any(|d| d.replication.is_some()) {
+        let refs: Vec<&BedrockServer> = servers.iter().flatten().collect();
+        bedrock::wire_replication(&refs);
     }
     let client_ep = fabric.endpoint(&format!("client{id}"));
     let datastore = DataStore::connect(client_ep, &descriptors).expect("datastore connect failed");
@@ -96,9 +130,50 @@ impl LocalDeployment {
         &self.descriptors
     }
 
-    /// Number of server nodes.
+    /// Number of server nodes (slots, including killed ones).
     pub fn num_servers(&self) -> usize {
         self.servers.len()
+    }
+
+    /// A live server by node index; `None` after [`LocalDeployment::kill_server`].
+    pub fn server(&self, node: usize) -> Option<&BedrockServer> {
+        self.servers[node].as_ref()
+    }
+
+    /// Kill server `node`: its endpoint stops answering (in-flight and
+    /// future RPCs fail with dead-node errors), exactly what clients of a
+    /// crashed provider observe. Panics if the node was already killed.
+    pub fn kill_server(&mut self, node: usize) {
+        let server = self.servers[node]
+            .take()
+            .expect("server was already killed");
+        server.shutdown();
+    }
+
+    /// Fill a killed server slot with a fresh node launched from `cfg` on a
+    /// new endpoint. Its databases start empty — resynchronise them from
+    /// the surviving replicas (e.g. [`yokan::resync_replicas`]) and rewire
+    /// with [`bedrock::wire_replication`] before routing clients at it. The
+    /// replacement's descriptor replaces the dead node's in
+    /// [`LocalDeployment::descriptors`]; returns the new descriptor.
+    pub fn replace_server(&mut self, node: usize, cfg: &ServiceConfig) -> ConnectionDescriptor {
+        assert!(self.servers[node].is_none(), "slot {node} is still live");
+        let name = format!("replacement-{node}-{}", self.descriptors.len());
+        let server = bedrock::launch(self.fabric.endpoint(&name), cfg)
+            .expect("replacement bootstrap failed");
+        let descriptor = server.descriptor().clone();
+        self.descriptors[node] = descriptor.clone();
+        self.servers[node] = Some(server);
+        descriptor
+    }
+
+    /// Re-wire chain-forward routes on every live server from the current
+    /// descriptors (after [`LocalDeployment::replace_server`]).
+    pub fn rewire_replication(&self) {
+        let refs: Vec<&BedrockServer> = self.servers.iter().flatten().collect();
+        for s in &refs {
+            bedrock::wire_replication_node(s, &self.descriptors);
+        }
     }
 
     /// Connect an additional, independent client (its own endpoint).
@@ -120,6 +195,7 @@ impl LocalDeployment {
     pub fn backend_stats(&self) -> Vec<(String, yokan::BackendStats)> {
         let mut out = Vec::new();
         for (n, server) in self.servers.iter().enumerate() {
+            let Some(server) = server else { continue };
             for (pid, name, stats) in server.yokan().backend_stats() {
                 out.push((format!("node{n}/provider{pid}/{name}"), stats));
             }
@@ -132,7 +208,7 @@ impl LocalDeployment {
     /// section).
     pub fn overload_stats(&self) -> margo::OverloadStats {
         let mut total = margo::OverloadStats::default();
-        for server in &self.servers {
+        for server in self.servers.iter().flatten() {
             total.merge(&server.overload_stats());
         }
         total
@@ -140,7 +216,7 @@ impl LocalDeployment {
 
     /// Tear everything down.
     pub fn shutdown(self) {
-        for s in self.servers {
+        for s in self.servers.into_iter().flatten() {
             s.shutdown();
         }
         self.fabric.stop();

@@ -1,0 +1,124 @@
+//! Read-from-replica consistency pin: a routed read must never observe a
+//! value whose acknowledgement the chain head still withholds.
+//!
+//! The chain protocol acks a mutation only after forwarding it down the
+//! chain, and routed reads are served tail-first — the tail is the commit
+//! point. The dangerous window is *during* forwarding: the head has applied
+//! the value locally but not yet forwarded it, so a read answered by the
+//! head would return data whose ack could still be lost with the head. The
+//! service's `set_forward_delay` test hook holds a mutation in exactly that
+//! window so the pin can be checked deterministically.
+
+use bedrock::DbCounts;
+use hepnos::testing::local_deployment_replicated;
+use yokan::YokanClient;
+
+fn counts() -> DbCounts {
+    DbCounts {
+        datasets: 1,
+        runs: 1,
+        subruns: 1,
+        events: 2,
+        products: 2,
+    }
+}
+
+#[test]
+fn read_never_observes_unacked_write() {
+    let dep = local_deployment_replicated(2, counts(), 2);
+    let chains = bedrock::deployment_chains(dep.descriptors());
+    let chain = chains
+        .iter()
+        .find(|c| c.len() == 2 && c[0].db.starts_with("events"))
+        .expect("an events chain with two replicas")
+        .clone();
+    let (head, tail) = (&chain[0], &chain[1]);
+
+    // Hold every forward on the head's node for 300 ms: mutations sit
+    // applied-but-unacked at the head for that long.
+    let head_node = (0..dep.num_servers())
+        .find(|&n| dep.server(n).is_some_and(|s| s.address() == head.addr))
+        .expect("head's node is live");
+    let delay = std::time::Duration::from_millis(300);
+    dep.server(head_node)
+        .unwrap()
+        .yokan()
+        .set_forward_delay(delay);
+
+    // A routed client (reads tail-first, mutations to the head) and a raw
+    // one (reads physical replicas directly).
+    let routed = YokanClient::new(dep.fabric().endpoint("routed"));
+    routed.install_replica_routes(std::slice::from_ref(&chain));
+    let raw = YokanClient::new(dep.fabric().endpoint("raw"));
+
+    // Issue the put asynchronously; it will not be acknowledged until the
+    // forward delay elapses and the tail applies the value.
+    let t0 = std::time::Instant::now();
+    let pending = routed
+        .put_multi_async(head, &[(b"k".to_vec(), b"unacked".to_vec())])
+        .expect("issue async put");
+    std::thread::sleep(delay / 3);
+
+    // Mid-forward: a routed read must not see the value (the ack is still
+    // withheld at the head), and the tail — the commit point the routed
+    // read is served from — must not hold it yet. The head is NOT read
+    // here: its provider stream is occupied by the delayed mutation, so a
+    // head read would block past the window and turn the pin vacuous.
+    assert_eq!(
+        routed.get(head, b"k").unwrap(),
+        None,
+        "routed read observed a value the head has not acked"
+    );
+    assert_eq!(raw.get(tail, b"k").unwrap(), None, "tail ahead of the ack");
+    assert!(
+        t0.elapsed() < delay,
+        "window reads outlasted the forward delay; pin checked nothing"
+    );
+
+    // This head read queues behind the held mutation, so it returning the
+    // value proves the head applied it before acking (apply-then-forward).
+    assert_eq!(raw.get(head, b"k").unwrap(), Some(b"unacked".to_vec()));
+
+    // Once the put acks, the value is on every replica and reads see it.
+    pending.wait().expect("replicated put failed");
+    assert_eq!(routed.get(head, b"k").unwrap(), Some(b"unacked".to_vec()));
+    assert_eq!(raw.get(tail, b"k").unwrap(), Some(b"unacked".to_vec()));
+
+    dep.server(head_node)
+        .unwrap()
+        .yokan()
+        .set_forward_delay(std::time::Duration::ZERO);
+    dep.shutdown();
+}
+
+/// Sanity companion: with no forward delay, a burst of routed writes is
+/// immediately readable through the routed client (read-your-acked-writes),
+/// and both replicas converge byte-identically.
+#[test]
+fn acked_writes_are_readable_and_replicated() {
+    let dep = local_deployment_replicated(2, counts(), 2);
+    let chains = bedrock::deployment_chains(dep.descriptors());
+    let chain = chains
+        .iter()
+        .find(|c| c.len() == 2 && c[0].db.starts_with("products"))
+        .expect("a products chain with two replicas")
+        .clone();
+    let routed = YokanClient::new(dep.fabric().endpoint("routed2"));
+    routed.install_replica_routes(std::slice::from_ref(&chain));
+    let head = &chain[0];
+    for i in 0u32..64 {
+        let k = format!("key-{i:03}").into_bytes();
+        routed.put(head, &k, &i.to_be_bytes()).unwrap();
+        assert_eq!(
+            routed.get(head, &k).unwrap(),
+            Some(i.to_be_bytes().to_vec()),
+            "acked write {i} not readable through the chain"
+        );
+    }
+    let raw = YokanClient::new(dep.fabric().endpoint("raw2"));
+    let a = raw.list_keyvals(&chain[0], &[], &[], 0).unwrap();
+    let b = raw.list_keyvals(&chain[1], &[], &[], 0).unwrap();
+    assert_eq!(a.len(), 64);
+    assert_eq!(a, b, "replicas diverged");
+    dep.shutdown();
+}

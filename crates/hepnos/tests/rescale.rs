@@ -241,3 +241,89 @@ fn ring_placement_moves_fewer_keys_than_modulo() {
         dep.shutdown();
     }
 }
+
+/// Replica-chain rescaling: growing a *replicated* event group must move
+/// every copy of a re-homed key — each new chain ends byte-identical
+/// across its members (replication factor preserved) and no stale copy
+/// survives on the old chains.
+#[test]
+fn replicated_rescale_preserves_replication_factor() {
+    use hepnos::rescale::{rescale_group_replicated, PlacementInput};
+    use hepnos::testing::local_deployment_replicated;
+
+    let dep = local_deployment_replicated(
+        2,
+        DbCounts {
+            datasets: 1,
+            runs: 1,
+            subruns: 1,
+            events: 4,
+            products: 1,
+        },
+        2,
+    );
+    let full = dep.descriptors().to_vec();
+    let small = shrink_descriptors(&full, 2, 1);
+    let event_chains = |descriptors: &[ConnectionDescriptor]| -> Vec<Vec<DbTarget>> {
+        bedrock::deployment_chains(descriptors)
+            .into_iter()
+            .filter(|c| c[0].db.starts_with("events"))
+            .collect()
+    };
+    let (old_chains, new_chains) = (event_chains(&small), event_chains(&full));
+    assert_eq!(old_chains.len(), 2);
+    assert_eq!(new_chains.len(), 4);
+    assert!(new_chains.iter().all(|c| c.len() == 2));
+
+    // Populate through the small replicated topology: every write lands on
+    // both members of its chain via chain forwarding.
+    let store_small = DataStore::connect(dep.fabric().endpoint("repl-small"), &small).unwrap();
+    assert_eq!(store_small.replication_factor(), 2);
+    let ds = store_small.root().create_dataset("repl-rescale").unwrap();
+    let run = ds.create_run(1).unwrap();
+    for s in 0..12u64 {
+        let sr = run.create_subrun(s).unwrap();
+        for e in 0..25u64 {
+            sr.create_event(e).unwrap();
+        }
+    }
+
+    // Rescale with a raw (un-routed) client, as the API requires.
+    let client = YokanClient::new(dep.fabric().endpoint("repl-rescale-client"));
+    let stats = rescale_group_replicated(
+        &client,
+        &old_chains,
+        &new_chains,
+        &ModuloPlacement,
+        PlacementInput::Prefix(32),
+    )
+    .unwrap();
+    assert_eq!(stats.keys_scanned, 300);
+    assert!(stats.keys_moved > 0, "growth moved nothing: {stats:?}");
+
+    // Replication factor preserved: each chain's members are byte-identical
+    // (a move that wrote one replica, or an erase that missed one, shows up
+    // here), and chain totals sum to the full population (a stale copy
+    // surviving on *both* members of an old chain would inflate this).
+    let mut total = 0usize;
+    let mut populated = 0usize;
+    for chain in &new_chains {
+        let a = client.list_keyvals(&chain[0], &[], &[], 0).unwrap();
+        let b = client.list_keyvals(&chain[1], &[], &[], 0).unwrap();
+        assert_eq!(a, b, "replicas of {} diverged after rescale", chain[0].db);
+        total += a.len();
+        populated += usize::from(!a.is_empty());
+    }
+    assert_eq!(total, 300, "stale or missing copies after rescale");
+    assert_eq!(populated, 4, "rescale left a grown chain empty");
+
+    // A client of the grown replicated topology reads everything back.
+    let store_full = DataStore::connect(dep.fabric().endpoint("repl-full"), &full).unwrap();
+    let run2 = store_full.dataset("repl-rescale").unwrap().run(1).unwrap();
+    let mut n = 0;
+    for sr in run2.subruns().unwrap() {
+        n += sr.events().unwrap().len();
+    }
+    assert_eq!(n, 300);
+    dep.shutdown();
+}

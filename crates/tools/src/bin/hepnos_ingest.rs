@@ -130,5 +130,18 @@ fn main() {
                 b.window_final
             );
         }
+        if b.retry.failovers > 0 || b.retry.deduped_replays > 0 {
+            println!(
+                "replication: {} failovers, {} replays suppressed by the dedup window",
+                b.retry.failovers, b.retry.deduped_replays
+            );
+        }
+    }
+    let r = store.retry_stats();
+    if r.failovers > 0 || r.read_fallbacks > 0 {
+        println!(
+            "replication (store client): {} failovers, {} read fallbacks",
+            r.failovers, r.read_fallbacks
+        );
     }
 }

@@ -134,6 +134,13 @@ fn main() {
         accepted.len(),
         slices_seen as f64 / accepted.len().max(1) as f64
     );
+    let r = store.retry_stats();
+    if r.failovers > 0 || r.read_fallbacks > 0 {
+        println!(
+            "replication: {} failovers, {} read fallbacks",
+            r.failovers, r.read_fallbacks
+        );
+    }
     if args.get("spectrum").is_some() {
         print!("{}", spectrum.into_inner().ascii());
     }

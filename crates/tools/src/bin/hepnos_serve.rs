@@ -3,7 +3,8 @@
 //! ```text
 //! hepnos-serve [--config bedrock.json] [--port 0] [--backend map|lsm]
 //!              [--data-dir DIR] [--wal-sync none|group|always]
-//!              [--events N] [--products N]
+//!              [--events N] [--products N] [--replication R]
+//!              [--wire-from FILE]
 //!              --descriptor-out FILE [--run-seconds N]
 //! ```
 //!
@@ -14,15 +15,21 @@
 //! node persists to `--data-dir` and survives restarts; `--wal-sync`
 //! selects the WAL durability mode, and per-database LSM counters (levels,
 //! compactions, stall/shed totals) are printed at exit.
+//!
+//! `--replication R` turns on chain replication: same-named databases on
+//! different nodes become R-replica chains. After every node has written
+//! its descriptor, point each node at the aggregated deployment file with
+//! `--wire-from`: the server polls for the file and installs its
+//! chain-forward routes once it parses.
 
-use bedrock::{BackendKind, DbCounts, LsmConfig, ServiceConfig};
+use bedrock::{BackendKind, ConnectionDescriptor, DbCounts, LsmConfig, ServiceConfig};
 use hepnos_tools::Args;
 use mercurio::tcp::TcpEndpoint;
 use std::path::PathBuf;
 
 const USAGE: &str = "hepnos-serve [--config bedrock.json] [--port N] [--backend map|lsm] \
                      [--data-dir DIR] [--wal-sync none|group|always] \
-                     [--events N] [--products N] \
+                     [--events N] [--products N] [--replication R] [--wire-from FILE] \
                      --descriptor-out FILE [--run-seconds N]";
 
 fn main() {
@@ -74,6 +81,16 @@ fn main() {
                     ..LsmConfig::default()
                 });
             }
+            if let Some(r) = args.get("replication") {
+                let factor: usize = r.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --replication {r} (want a replica count)");
+                    std::process::exit(2);
+                });
+                cfg.replication = Some(bedrock::ReplicationConfig {
+                    factor,
+                    ..Default::default()
+                });
+            }
             cfg
         }
     };
@@ -97,12 +114,42 @@ fn main() {
         server.address(),
         server.descriptor().providers.len()
     );
+    // Replication needs the whole deployment's descriptors before forward
+    // routes can be installed; poll for the aggregated file a job script
+    // assembles from every node's --descriptor-out.
+    if let Some(wire) = args.get("wire-from") {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        loop {
+            if let Ok(text) = std::fs::read_to_string(wire) {
+                if let Ok(descriptors) = ConnectionDescriptor::parse_deployment(&text) {
+                    bedrock::wire_replication_node(&server, &descriptors);
+                    eprintln!(
+                        "hepnos-serve: chain-forward routes wired from {wire} ({} nodes)",
+                        descriptors.len()
+                    );
+                    break;
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                eprintln!("hepnos-serve: gave up waiting for {wire}; serving unreplicated");
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(200));
+        }
+    }
     match args.get("run-seconds") {
         Some(s) => {
             let secs: u64 = s.parse().unwrap_or(1);
             std::thread::sleep(std::time::Duration::from_secs(secs));
             let ov = server.overload_stats();
             print_lsm_stats(&server);
+            let fwd = server.yokan().forward_stats();
+            if fwd.forwards_sent > 0 || fwd.forwards_applied > 0 || fwd.forward_degraded > 0 {
+                eprintln!(
+                    "hepnos-serve: replication: {} forwards sent, {} applied here, {} degraded",
+                    fwd.forwards_sent, fwd.forwards_applied, fwd.forward_degraded
+                );
+            }
             server.shutdown();
             eprintln!(
                 "hepnos-serve: done after {secs}s \

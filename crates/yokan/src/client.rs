@@ -3,10 +3,13 @@
 use crate::backend::KeyValue;
 use crate::encoding::*;
 use crate::error::YokanError;
+use crate::replica::{self, ChainState};
 use crate::retry::{RetryCounters, RetryPolicy, RetryStats};
 use crate::service::*;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mercurio::{Endpoint, PendingResponse, RpcError, RpcId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -178,6 +181,12 @@ pub struct YokanClient {
     bulk_threshold: usize,
     retry: Option<RetryPolicy>,
     session: Arc<ClientSession>,
+    /// Replica-chain routes keyed by database name (chain members share
+    /// one name across servers). Shared by clones, so a failover promoted
+    /// by one thread redirects them all. Empty unless
+    /// [`YokanClient::install_replica_routes`] ran — the unreplicated path
+    /// is untouched.
+    routes: Arc<RwLock<HashMap<String, Arc<ChainState>>>>,
 }
 
 impl YokanClient {
@@ -188,6 +197,7 @@ impl YokanClient {
             bulk_threshold: 8 << 10,
             retry: None,
             session: ClientSession::new(),
+            routes: Arc::new(RwLock::new(HashMap::new())),
         }
     }
 
@@ -198,7 +208,43 @@ impl YokanClient {
             bulk_threshold: threshold,
             retry: None,
             session: ClientSession::new(),
+            routes: Arc::new(RwLock::new(HashMap::new())),
         }
+    }
+
+    /// Install replica-chain routes (from [`crate::replica::build_chains`]).
+    /// Any [`DbTarget`] naming a routed database is thereafter resolved
+    /// through its chain: mutations go to the acting head and fail over to
+    /// the next member on dead-node errors (re-issuing the identical
+    /// stamped payload, so the promoted member's dedup window suppresses
+    /// anything the old head already forwarded); reads go to the tail —
+    /// the chain's commit point — falling back toward the head. Singleton
+    /// chains are skipped: they behave exactly like direct targets.
+    pub fn install_replica_routes(&self, chains: &[Vec<DbTarget>]) {
+        let mut routes = self.routes.write();
+        for chain in chains {
+            if chain.len() < 2 {
+                continue;
+            }
+            routes.insert(
+                chain[0].db.clone(),
+                Arc::new(ChainState::new(chain.clone())),
+            );
+        }
+    }
+
+    /// The replica chain a database name currently resolves through, if
+    /// routes are installed for it (in chain order, head first).
+    pub fn replica_chain(&self, db: &str) -> Option<Vec<DbTarget>> {
+        self.routes.read().get(db).map(|c| c.replicas.clone())
+    }
+
+    fn route_for(&self, db: &str) -> Option<Arc<ChainState>> {
+        let routes = self.routes.read();
+        if routes.is_empty() {
+            return None;
+        }
+        routes.get(db).cloned()
     }
 
     /// Enable transparent retries under `policy`. Each RPC attempt runs
@@ -262,18 +308,86 @@ impl YokanClient {
     }
 
     fn call(&self, target: &DbTarget, op: u16, payload: Bytes) -> Result<Bytes, YokanError> {
-        self.invoke(&target.addr, op, target.provider_id, payload)
+        match self.route_for(&target.db) {
+            None => self.invoke(&target.addr, op, target.provider_id, payload),
+            Some(chain) => self.call_read_chain(&chain, op, payload),
+        }
+    }
+
+    /// A read against a replica chain: tail-first (the tail is the commit
+    /// point — a value visible there has been applied chain-wide, so a
+    /// read can never observe a mutation the head has not acknowledged),
+    /// falling back toward the head when a replica is unreachable.
+    fn call_read_chain(
+        &self,
+        chain: &ChainState,
+        op: u16,
+        payload: Bytes,
+    ) -> Result<Bytes, YokanError> {
+        let n = chain.replicas.len();
+        let mut last: Option<RpcError> = None;
+        for k in 0..n {
+            let t = &chain.replicas[n - 1 - k];
+            match self.invoke(&t.addr, op, t.provider_id, payload.clone()) {
+                Ok(resp) => {
+                    if k > 0 {
+                        self.session
+                            .counters
+                            .read_fallbacks
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(resp);
+                }
+                Err(YokanError::Rpc(e)) if replica::is_dead_node(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(YokanError::Rpc(last.expect("chain is non-empty")))
     }
 
     /// A mutation call: like [`YokanClient::call`] but the response carries
-    /// a one-byte replay marker that is stripped (and counted) here.
+    /// a one-byte replay marker that is stripped (and counted) here. On a
+    /// replica chain the mutation goes to the acting head; if that node is
+    /// dead, the identical payload is re-issued to the next members in
+    /// chain order and the first that accepts is promoted.
     fn call_mutation(
         &self,
         target: &DbTarget,
         op: u16,
         payload: Bytes,
     ) -> Result<Bytes, YokanError> {
-        let resp = self.call(target, op, payload)?;
+        let resp = match self.route_for(&target.db) {
+            None => self.invoke(&target.addr, op, target.provider_id, payload)?,
+            Some(chain) => {
+                let n = chain.replicas.len();
+                let start = chain.cursor();
+                let mut out: Option<Bytes> = None;
+                let mut last: Option<RpcError> = None;
+                for k in 0..n {
+                    let idx = (start + k) % n;
+                    let t = &chain.replicas[idx];
+                    match self.invoke(&t.addr, op, t.provider_id, payload.clone()) {
+                        Ok(resp) => {
+                            if idx != start {
+                                chain.promote(idx);
+                                self.session
+                                    .counters
+                                    .failovers
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            out = Some(resp);
+                            break;
+                        }
+                        Err(YokanError::Rpc(e)) if replica::is_dead_node(&e) => last = Some(e),
+                        Err(e) => return Err(e),
+                    }
+                }
+                match out {
+                    Some(resp) => resp,
+                    None => return Err(YokanError::Rpc(last.expect("chain is non-empty"))),
+                }
+            }
+        };
         strip_replay_marker(resp, &self.session.counters)
     }
 
@@ -364,21 +478,32 @@ impl YokanClient {
                 scratch.split_to(header_len + block_len).freeze()
             }
         };
+        // On a replica chain the batch goes to the acting head; the chain
+        // handle rides along so `wait` can fail the identical payload over.
+        let (chain, first) = match self.route_for(&target.db) {
+            Some(c) => {
+                let start = c.cursor();
+                let t = c.replicas[start].clone();
+                (Some((c, start)), t)
+            }
+            None => (None, target.clone()),
+        };
         let pending = self.endpoint.call_async(
-            &target.addr,
+            &first.addr,
             RpcId(OP_PUT_MULTI),
-            target.provider_id,
+            first.provider_id,
             payload.clone(),
         );
         Ok(PendingPut {
             pending,
             bulk,
             endpoint: Arc::clone(&self.endpoint),
-            addr: target.addr.clone(),
-            provider_id: target.provider_id,
+            addr: first.addr,
+            provider_id: first.provider_id,
             payload,
             retry: self.retry.clone(),
             session: Arc::clone(&self.session),
+            chain,
         })
     }
 
@@ -416,18 +541,31 @@ impl YokanClient {
     }
 
     fn issue_read(&self, target: &DbTarget, op: u16, payload: Bytes) -> PendingRead {
+        // Routed databases are read tail-first (see `call_read_chain`);
+        // the remaining replicas, toward the head, become fallbacks.
+        let (first, fallbacks) = match self.route_for(&target.db) {
+            Some(chain) => {
+                let n = chain.replicas.len();
+                let first = chain.replicas[n - 1].clone();
+                let fallbacks: Vec<DbTarget> =
+                    (1..n).map(|k| chain.replicas[n - 1 - k].clone()).collect();
+                (first, fallbacks)
+            }
+            None => (target.clone(), Vec::new()),
+        };
         let pending =
             self.endpoint
-                .call_async(&target.addr, RpcId(op), target.provider_id, payload.clone());
+                .call_async(&first.addr, RpcId(op), first.provider_id, payload.clone());
         PendingRead {
             pending,
             endpoint: Arc::clone(&self.endpoint),
-            addr: target.addr.clone(),
-            provider_id: target.provider_id,
+            addr: first.addr,
+            provider_id: first.provider_id,
             op,
             payload,
             retry: self.retry.clone(),
             session: Arc::clone(&self.session),
+            fallbacks,
         }
     }
 
@@ -651,11 +789,14 @@ struct PendingRead {
     payload: Bytes,
     retry: Option<RetryPolicy>,
     session: Arc<ClientSession>,
+    /// Remaining replicas (tail toward head) to try when the issued
+    /// target turns out to be dead. Empty for unrouted databases.
+    fallbacks: Vec<DbTarget>,
 }
 
 impl PendingRead {
     fn wait_raw(self) -> Result<Bytes, YokanError> {
-        wait_with_retry(
+        let mut result = wait_with_retry(
             &self.endpoint,
             self.retry.as_ref(),
             &self.session.counters,
@@ -664,8 +805,36 @@ impl PendingRead {
             self.provider_id,
             &self.payload,
             self.pending,
-        )
-        .map_err(YokanError::from)
+        );
+        for t in &self.fallbacks {
+            let dead = matches!(&result, Err(e) if replica::is_dead_node(e));
+            if !dead {
+                break;
+            }
+            let pending = self.endpoint.call_async(
+                &t.addr,
+                RpcId(self.op),
+                t.provider_id,
+                self.payload.clone(),
+            );
+            result = wait_with_retry(
+                &self.endpoint,
+                self.retry.as_ref(),
+                &self.session.counters,
+                &t.addr,
+                RpcId(self.op),
+                t.provider_id,
+                &self.payload,
+                pending,
+            );
+            if result.is_ok() {
+                self.session
+                    .counters
+                    .read_fallbacks
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result.map_err(YokanError::from)
     }
 
     fn is_ready(&self) -> bool {
@@ -754,14 +923,22 @@ pub struct PendingPut {
     payload: Bytes,
     retry: Option<RetryPolicy>,
     session: Arc<ClientSession>,
+    /// The replica chain (and the head index the batch was issued to),
+    /// when the target database is routed: `wait` fails the identical
+    /// payload over to the next chain members on dead-node errors.
+    chain: Option<(Arc<ChainState>, usize)>,
 }
 
 impl PendingPut {
     /// Wait for the server to acknowledge the batch, retrying per the
     /// client's policy; releases the bulk region if one was exposed (only
-    /// after the last attempt, so retries can still pull it).
+    /// after the last attempt, so retries can still pull it). On a replica
+    /// chain, a dead head is failed over: the identical stamped payload is
+    /// re-issued to the next chain member (the bulk region, if any, stays
+    /// exposed on this client, so any replica can still pull it), and the
+    /// member that accepts is promoted.
     pub fn wait(self) -> Result<(), YokanError> {
-        let result = wait_with_retry(
+        let mut result = wait_with_retry(
             &self.endpoint,
             self.retry.as_ref(),
             &self.session.counters,
@@ -771,6 +948,40 @@ impl PendingPut {
             &self.payload,
             self.pending,
         );
+        if let Some((chain, start)) = &self.chain {
+            let n = chain.replicas.len();
+            for k in 1..n {
+                let dead = matches!(&result, Err(e) if replica::is_dead_node(e));
+                if !dead {
+                    break;
+                }
+                let idx = (start + k) % n;
+                let t = &chain.replicas[idx];
+                let pending = self.endpoint.call_async(
+                    &t.addr,
+                    RpcId(OP_PUT_MULTI),
+                    t.provider_id,
+                    self.payload.clone(),
+                );
+                result = wait_with_retry(
+                    &self.endpoint,
+                    self.retry.as_ref(),
+                    &self.session.counters,
+                    &t.addr,
+                    RpcId(OP_PUT_MULTI),
+                    t.provider_id,
+                    &self.payload,
+                    pending,
+                );
+                if result.is_ok() {
+                    chain.promote(idx);
+                    self.session
+                        .counters
+                        .failovers
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         if let Some(h) = &self.bulk {
             self.endpoint.release_bulk(h);
         }

@@ -31,6 +31,7 @@ mod encoding;
 mod error;
 pub mod filter;
 pub mod pages;
+pub mod replica;
 mod retry;
 mod service;
 
@@ -42,5 +43,6 @@ pub use client::{
 pub use error::YokanError;
 pub use filter::{FilterOutput, Predicate, Program};
 pub use pages::{Column, PageReader};
+pub use replica::{build_chains, resync_replicas, ForwardParams, ForwardStats, ResyncStats};
 pub use retry::{RetryPolicy, RetryStats};
 pub use service::{YokanService, PROVIDER_RPC_BASE};

@@ -107,6 +107,14 @@ pub struct RetryStats {
     /// `Busy` pushback responses received (overload shedding by the server,
     /// distinct from transport failures).
     pub busy_pushbacks: u64,
+    /// Mutations redirected to the next replica of their chain after the
+    /// acting head was unreachable (see [`crate::replica`]). A per-target
+    /// `gave_up` may precede a successful failover: the *target* was given
+    /// up on, not the logical request.
+    pub failovers: u64,
+    /// Reads answered by a non-tail replica after the tail (or a replica
+    /// closer to it) was unreachable.
+    pub read_fallbacks: u64,
 }
 
 impl RetryStats {
@@ -117,6 +125,8 @@ impl RetryStats {
         self.deduped_replays += other.deduped_replays;
         self.gave_up += other.gave_up;
         self.busy_pushbacks += other.busy_pushbacks;
+        self.failovers += other.failovers;
+        self.read_fallbacks += other.read_fallbacks;
     }
 
     /// The change relative to an earlier snapshot (saturating).
@@ -129,6 +139,8 @@ impl RetryStats {
                 .saturating_sub(baseline.deduped_replays),
             gave_up: self.gave_up.saturating_sub(baseline.gave_up),
             busy_pushbacks: self.busy_pushbacks.saturating_sub(baseline.busy_pushbacks),
+            failovers: self.failovers.saturating_sub(baseline.failovers),
+            read_fallbacks: self.read_fallbacks.saturating_sub(baseline.read_fallbacks),
         }
     }
 }
@@ -141,6 +153,8 @@ pub(crate) struct RetryCounters {
     pub(crate) deduped_replays: AtomicU64,
     pub(crate) gave_up: AtomicU64,
     pub(crate) busy_pushbacks: AtomicU64,
+    pub(crate) failovers: AtomicU64,
+    pub(crate) read_fallbacks: AtomicU64,
 }
 
 impl RetryCounters {
@@ -151,6 +165,8 @@ impl RetryCounters {
             deduped_replays: self.deduped_replays.load(Ordering::Relaxed),
             gave_up: self.gave_up.load(Ordering::Relaxed),
             busy_pushbacks: self.busy_pushbacks.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            read_fallbacks: self.read_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -235,6 +251,8 @@ mod tests {
             deduped_replays: 1,
             gave_up: 0,
             busy_pushbacks: 4,
+            failovers: 2,
+            read_fallbacks: 3,
         };
         let b = RetryStats {
             attempts: 5,
@@ -242,14 +260,19 @@ mod tests {
             deduped_replays: 0,
             gave_up: 1,
             busy_pushbacks: 1,
+            failovers: 1,
+            read_fallbacks: 0,
         };
         a.merge(&b);
         assert_eq!(a.attempts, 15);
         assert_eq!(a.gave_up, 1);
         assert_eq!(a.busy_pushbacks, 5);
+        assert_eq!(a.failovers, 3);
+        assert_eq!(a.read_fallbacks, 3);
         let d = a.delta_since(&b);
         assert_eq!(d.attempts, 10);
         assert_eq!(d.retried_rpcs, 2);
         assert_eq!(d.busy_pushbacks, 4);
+        assert_eq!(d.failovers, 2);
     }
 }

@@ -1,8 +1,11 @@
 //! Server side: the Yokan provider service.
 
 use crate::backend::Backend;
+use crate::client::DbTarget;
 use crate::encoding::*;
 use crate::error::YokanError;
+use crate::replica::{ForwardParams, ForwardStats};
+use crate::retry::RetryPolicy;
 use argos::Eventual;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use margo::MargoInstance;
@@ -11,8 +14,9 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Base RPC id of the Yokan protocol; ids `base..base+13` are used.
+/// Base RPC id of the Yokan protocol; ids `base..base+14` are used.
 pub const PROVIDER_RPC_BASE: u16 = 100;
 
 pub(crate) const OP_PUT: u16 = PROVIDER_RPC_BASE;
@@ -29,6 +33,13 @@ pub(crate) const OP_ERASE_MULTI: u16 = PROVIDER_RPC_BASE + 10;
 pub(crate) const OP_PUT_IF_ABSENT: u16 = PROVIDER_RPC_BASE + 11;
 pub(crate) const OP_EXISTS_MULTI: u16 = PROVIDER_RPC_BASE + 12;
 pub(crate) const OP_FILTER: u16 = PROVIDER_RPC_BASE + 13;
+/// A mutation forwarded down a replica chain. Payload after the (original
+/// client's) dedup stamp: the remaining chain as `count` then per hop a
+/// length-prefixed address and a `u32` provider id, the inner mutation op
+/// as `u32`, then the inner payload starting at the database name —
+/// always in inline form (bulk batches are re-encoded by the head, since a
+/// bulk handle is only pullable from its original exposer).
+pub(crate) const OP_REPL_FORWARD: u16 = PROVIDER_RPC_BASE + 14;
 
 /// Per-key reply tags for [`OP_FILTER`].
 pub(crate) const FILTER_MISSING: u8 = 0;
@@ -55,6 +66,30 @@ fn mark_replay(flag: u8, resp: &Bytes) -> Bytes {
     out.freeze()
 }
 
+/// Encode an [`OP_REPL_FORWARD`] payload: the original client's dedup
+/// stamp (forwards ride the normal mutation path on the receiver, which
+/// strips it), the remaining chain, the inner op, and the inline body.
+fn encode_forward(
+    client_id: u64,
+    seq: u64,
+    remaining: &[(String, u16)],
+    inner_op: u16,
+    body: &Bytes,
+) -> Bytes {
+    let hops_len: usize = remaining.iter().map(|(a, _)| 8 + a.len()).sum();
+    let mut buf = BytesMut::with_capacity(16 + 4 + hops_len + 4 + body.len());
+    buf.put_u64_le(client_id);
+    buf.put_u64_le(seq);
+    buf.put_u32_le(remaining.len() as u32);
+    for (addr, pid) in remaining {
+        put_bytes(&mut buf, addr.as_bytes());
+        buf.put_u32_le(*pid as u32);
+    }
+    buf.put_u32_le(inner_op as u32);
+    buf.put_slice(body);
+    buf.freeze()
+}
+
 /// Mutations carry the `(client id, seq)` dedup stamp and a replay-marked
 /// response; reads are idempotent and skip the machinery entirely.
 fn is_mutation(op: u16) -> bool {
@@ -65,6 +100,7 @@ fn is_mutation(op: u16) -> bool {
             || x == OP_ERASE
             || x == OP_ERASE_MULTI
             || x == OP_PUT_IF_ABSENT
+            || x == OP_REPL_FORWARD
     )
 }
 
@@ -135,6 +171,10 @@ struct ClientWindow {
     slots: BTreeMap<u64, Slot>,
 }
 
+/// Successor routes per provider: database name → the other chain members
+/// as `(address, provider)` pairs in circular order after this member.
+type ForwardRoutes = HashMap<u16, HashMap<String, Vec<(String, u16)>>>;
+
 struct ServiceInner {
     endpoint: Arc<dyn Endpoint>,
     providers: RwLock<HashMap<u16, ProviderState>>,
@@ -143,6 +183,24 @@ struct ServiceInner {
     dedup: Mutex<HashMap<u64, ClientWindow>>,
     dedup_window: AtomicUsize,
     deduped_replays: AtomicU64,
+    /// Chain-replication successor routes: for each locally-served
+    /// `(provider, database)` that is part of a replica chain, the other
+    /// chain members in circular order starting after this one. Empty (the
+    /// common case) means mutations are applied single-copy, exactly as
+    /// before replication existed.
+    forward_routes: RwLock<ForwardRoutes>,
+    forward_params: RwLock<ForwardParams>,
+    /// Test hook: sleep this long after the local apply, *before*
+    /// forwarding, so tests can observe the window in which the head has
+    /// applied a mutation it has not yet acknowledged.
+    forward_delay: RwLock<Duration>,
+    /// Successors that recently failed a forward, mapped to the instant
+    /// until which they are skipped (acks degrade to fewer copies) before
+    /// being probed again.
+    suspects: Mutex<HashMap<(String, u16), Instant>>,
+    forwards_sent: AtomicU64,
+    forwards_applied: AtomicU64,
+    forward_degraded: AtomicU64,
 }
 
 /// The server-side Yokan service: owns the providers and their databases,
@@ -165,6 +223,13 @@ impl YokanService {
             dedup: Mutex::new(HashMap::new()),
             dedup_window: AtomicUsize::new(DEFAULT_DEDUP_WINDOW),
             deduped_replays: AtomicU64::new(0),
+            forward_routes: RwLock::new(HashMap::new()),
+            forward_params: RwLock::new(ForwardParams::default()),
+            forward_delay: RwLock::new(Duration::ZERO),
+            suspects: Mutex::new(HashMap::new()),
+            forwards_sent: AtomicU64::new(0),
+            forwards_applied: AtomicU64::new(0),
+            forward_degraded: AtomicU64::new(0),
         });
         let svc = YokanService { inner };
         for op in [
@@ -182,6 +247,7 @@ impl YokanService {
             OP_PUT_IF_ABSENT,
             OP_EXISTS_MULTI,
             OP_FILTER,
+            OP_REPL_FORWARD,
         ] {
             let svc2 = svc.clone();
             margo.register_rpc(
@@ -259,6 +325,55 @@ impl YokanService {
     /// so `cap` should exceed a client's maximum in-flight requests.
     pub fn set_dedup_window(&self, cap: usize) {
         self.inner.dedup_window.store(cap.max(1), Ordering::Relaxed);
+    }
+
+    /// Install the chain-replication successors for one locally-served
+    /// database: the other members of its replica chain, in circular order
+    /// starting after this one. A mutation arriving directly from a client
+    /// (not via a forward) is applied locally and then forwarded to the
+    /// first live successor — which propagates it onward — before the ack.
+    /// An empty list removes the route.
+    pub fn set_forward_routes(&self, provider_id: u16, db: &str, successors: &[DbTarget]) {
+        let mut routes = self.inner.forward_routes.write();
+        if successors.is_empty() {
+            if let Some(by_db) = routes.get_mut(&provider_id) {
+                by_db.remove(db);
+                if by_db.is_empty() {
+                    routes.remove(&provider_id);
+                }
+            }
+            return;
+        }
+        let hops: Vec<(String, u16)> = successors
+            .iter()
+            .map(|t| (t.addr.clone(), t.provider_id))
+            .collect();
+        routes
+            .entry(provider_id)
+            .or_default()
+            .insert(db.to_string(), hops);
+    }
+
+    /// Tune the forwarding path (per-hop timeout, attempts, suspension).
+    pub fn set_forward_params(&self, params: ForwardParams) {
+        *self.inner.forward_params.write() = params;
+    }
+
+    /// Test hook: delay every chain forward by `delay` (after the local
+    /// apply, before the successor sees the mutation). Lets tests pin the
+    /// read-your-acked-writes property by reading a replica inside the
+    /// apply-to-ack window.
+    pub fn set_forward_delay(&self, delay: Duration) {
+        *self.inner.forward_delay.write() = delay;
+    }
+
+    /// Counters for the chain-replication forwarding path.
+    pub fn forward_stats(&self) -> ForwardStats {
+        ForwardStats {
+            forwards_sent: self.inner.forwards_sent.load(Ordering::Relaxed),
+            forwards_applied: self.inner.forwards_applied.load(Ordering::Relaxed),
+            forward_degraded: self.inner.forward_degraded.load(Ordering::Relaxed),
+        }
     }
 
     /// Names of the databases attached to one provider, sorted.
@@ -405,7 +520,7 @@ impl YokanService {
                 None => continue,
             }
         }
-        let result = self.apply_mutation(req, payload);
+        let result = self.apply_mutation(req, client_id, seq, payload);
         let mut dedup = self.inner.dedup.lock();
         let win = dedup.entry(client_id).or_default();
         match result {
@@ -435,23 +550,99 @@ impl YokanService {
     }
 
     /// Apply one mutation RPC. `p` starts at the database name (the dedup
-    /// stamp has been consumed by the caller).
-    fn apply_mutation(&self, req: &Request, mut p: Bytes) -> Result<Bytes, YokanError> {
-        match req.rpc_id.0 {
+    /// stamp has been consumed by the caller). If the target database has
+    /// forward routes installed (it is a replica-chain member receiving a
+    /// mutation directly from a client), the mutation is forwarded down the
+    /// chain — carrying the client's original dedup stamp — before this
+    /// returns, so the ack implies chain-wide application (unless a
+    /// successor was unreachable, which degrades the ack and is counted).
+    fn apply_mutation(
+        &self,
+        req: &Request,
+        client_id: u64,
+        seq: u64,
+        p: Bytes,
+    ) -> Result<Bytes, YokanError> {
+        if req.rpc_id.0 == OP_REPL_FORWARD {
+            return self.apply_forward(req, client_id, seq, p);
+        }
+        let successors = self.successors_for(req.provider_id, &p)?;
+        let want_inline = successors.is_some();
+        let (resp, inline) = self.apply_local(
+            req.rpc_id.0,
+            req.provider_id,
+            Some(&req.source),
+            p,
+            want_inline,
+        )?;
+        if let Some(successors) = successors {
+            let delay = *self.inner.forward_delay.read();
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            let body = inline.expect("inline body requested");
+            self.forward_down(&successors, req.rpc_id.0, client_id, seq, &body);
+        }
+        Ok(resp)
+    }
+
+    /// The chain successors of the database a mutation payload addresses,
+    /// if it has any. `p` starts at the database name and is only peeked.
+    fn successors_for(
+        &self,
+        provider_id: u16,
+        p: &Bytes,
+    ) -> Result<Option<Vec<(String, u16)>>, YokanError> {
+        let routes = self.inner.forward_routes.read();
+        let Some(by_db) = routes.get(&provider_id) else {
+            return Ok(None);
+        };
+        let mut q = p.clone();
+        let db = get_bytes(&mut q)?;
+        let name = std::str::from_utf8(&db)
+            .map_err(|_| YokanError::Protocol("db name not utf8".into()))?;
+        Ok(by_db.get(name).cloned())
+    }
+
+    /// Apply one mutation against the local backend. `p` starts at the
+    /// database name. `source` is the address bulk handles can be pulled
+    /// from; `None` forbids bulk mode (forwarded payloads are always
+    /// inline). When `want_inline` is set, the payload is also returned in
+    /// inline form for chain forwarding — the original bytes for inline
+    /// ops, a re-encoded batch for bulk `put_multi` (a successor cannot
+    /// pull the caller's bulk region through *this* node).
+    fn apply_local(
+        &self,
+        op: u16,
+        provider_id: u16,
+        source: Option<&str>,
+        mut p: Bytes,
+        want_inline: bool,
+    ) -> Result<(Bytes, Option<Bytes>), YokanError> {
+        let whole = p.clone();
+        let inline = if want_inline {
+            Some(whole.clone())
+        } else {
+            None
+        };
+        match op {
             x if x == OP_PUT => {
                 let db = get_bytes(&mut p)?;
                 let key = get_bytes(&mut p)?;
                 let val = get_bytes(&mut p)?;
-                self.db(req.provider_id, &db)?.put(&key, &val)?;
-                Ok(Bytes::new())
+                self.db(provider_id, &db)?.put(&key, &val)?;
+                Ok((Bytes::new(), inline))
             }
             x if x == OP_PUT_MULTI => {
                 let db = get_bytes(&mut p)?;
-                let backend = self.db(req.provider_id, &db)?;
+                let backend = self.db(provider_id, &db)?;
                 let mode = get_u8(&mut p)?;
                 let pairs = match mode {
                     MODE_INLINE => decode_pairs(&mut p)?,
                     MODE_BULK => {
+                        let source = source.ok_or_else(|| {
+                            YokanError::Protocol("bulk mode in forwarded mutation".into())
+                        })?;
                         // Pull the encoded pair block from the caller's
                         // exposed region (the RDMA path for batches).
                         let handle = BulkHandle::decode_from(&mut p)
@@ -459,37 +650,156 @@ impl YokanService {
                         let mut data = self
                             .inner
                             .endpoint
-                            .bulk_pull(&req.source, &handle, 0, handle.len)
+                            .bulk_pull(source, &handle, 0, handle.len)
                             .map_err(YokanError::Rpc)?;
                         decode_pairs(&mut data)?
                     }
                     m => return Err(YokanError::Protocol(format!("bad put mode {m}"))),
                 };
                 backend.put_multi(&pairs)?;
+                let inline = match (want_inline, mode) {
+                    (true, MODE_BULK) => {
+                        let mut buf =
+                            BytesMut::with_capacity(4 + db.len() + 1 + pairs_encoded_len(&pairs));
+                        put_bytes(&mut buf, &db);
+                        buf.put_u8(MODE_INLINE);
+                        encode_pairs_into(&mut buf, &pairs);
+                        Some(buf.freeze())
+                    }
+                    _ => inline,
+                };
                 let mut out = BytesMut::with_capacity(4);
                 out.put_u32_le(pairs.len() as u32);
-                Ok(out.freeze())
+                Ok((out.freeze(), inline))
             }
             x if x == OP_ERASE => {
                 let db = get_bytes(&mut p)?;
                 let key = get_bytes(&mut p)?;
-                self.db(req.provider_id, &db)?.erase(&key)?;
-                Ok(Bytes::new())
+                self.db(provider_id, &db)?.erase(&key)?;
+                Ok((Bytes::new(), inline))
             }
             x if x == OP_PUT_IF_ABSENT => {
                 let db = get_bytes(&mut p)?;
                 let key = get_bytes(&mut p)?;
                 let val = get_bytes(&mut p)?;
-                let existing = self.db(req.provider_id, &db)?.put_if_absent(&key, &val)?;
-                Ok(encode_optionals(&[existing]))
+                let existing = self.db(provider_id, &db)?.put_if_absent(&key, &val)?;
+                Ok((encode_optionals(&[existing]), inline))
             }
             x if x == OP_ERASE_MULTI => {
                 let db = get_bytes(&mut p)?;
                 let keys = decode_keys(&mut p)?;
-                self.db(req.provider_id, &db)?.erase_multi(&keys)?;
-                Ok(Bytes::new())
+                self.db(provider_id, &db)?.erase_multi(&keys)?;
+                Ok((Bytes::new(), inline))
             }
             other => Err(YokanError::Rpc(RpcError::NoSuchRpc(other))),
+        }
+    }
+
+    /// Handle a mutation forwarded from a chain predecessor: apply it
+    /// locally (under this service's own dedup window — the caller already
+    /// claimed the `(client, seq)` slot, so a client that later fails over
+    /// here and replays the original op is answered from cache), then pass
+    /// it on to the remaining chain members embedded in the payload.
+    fn apply_forward(
+        &self,
+        req: &Request,
+        client_id: u64,
+        seq: u64,
+        mut p: Bytes,
+    ) -> Result<Bytes, YokanError> {
+        let n = get_u32(&mut p)? as usize;
+        let mut remaining = Vec::with_capacity(n);
+        for _ in 0..n {
+            let addr = get_bytes(&mut p)?;
+            let addr = std::str::from_utf8(&addr)
+                .map_err(|_| YokanError::Protocol("hop address not utf8".into()))?
+                .to_string();
+            let pid = get_u32(&mut p)? as u16;
+            remaining.push((addr, pid));
+        }
+        let inner_op = get_u32(&mut p)? as u16;
+        if inner_op == OP_REPL_FORWARD || !is_mutation(inner_op) {
+            return Err(YokanError::Protocol(format!("bad forwarded op {inner_op}")));
+        }
+        let body = p;
+        let (resp, _) = self.apply_local(inner_op, req.provider_id, None, body.clone(), false)?;
+        self.inner.forwards_applied.fetch_add(1, Ordering::Relaxed);
+        if !remaining.is_empty() {
+            let delay = *self.inner.forward_delay.read();
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            self.forward_down(&remaining, inner_op, client_id, seq, &body);
+        }
+        Ok(resp)
+    }
+
+    /// Send a mutation to the first live member of `successors`, embedding
+    /// the rest of the chain for it to propagate to. Unreachable members
+    /// are skipped (counted as degraded acks) and suspended for
+    /// [`ForwardParams::suspend`] so a dead replica does not tax every
+    /// subsequent mutation with a full forward timeout.
+    fn forward_down(
+        &self,
+        successors: &[(String, u16)],
+        inner_op: u16,
+        client_id: u64,
+        seq: u64,
+        body: &Bytes,
+    ) {
+        let params = self.inner.forward_params.read().clone();
+        for (i, hop) in successors.iter().enumerate() {
+            if self.hop_suspended(hop) {
+                self.inner.forward_degraded.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let payload = encode_forward(client_id, seq, &successors[i + 1..], inner_op, body);
+            let mut delivered = false;
+            for _ in 0..params.attempts.max(1) {
+                let pending = self.inner.endpoint.call_async(
+                    &hop.0,
+                    RpcId(OP_REPL_FORWARD),
+                    hop.1,
+                    payload.clone(),
+                );
+                match pending.wait_timeout(params.timeout) {
+                    Ok(_) => {
+                        delivered = true;
+                        break;
+                    }
+                    Err(e) => {
+                        if !RetryPolicy::is_retryable(&e) {
+                            break;
+                        }
+                        if let Some(hint) = RetryPolicy::retry_hint(&e) {
+                            std::thread::sleep(hint.min(params.timeout));
+                        }
+                    }
+                }
+            }
+            if delivered {
+                self.inner.forwards_sent.fetch_add(1, Ordering::Relaxed);
+                self.inner.suspects.lock().remove(hop);
+                // The hop owns propagation to the rest of the chain.
+                return;
+            }
+            self.inner
+                .suspects
+                .lock()
+                .insert(hop.clone(), Instant::now() + params.suspend);
+            self.inner.forward_degraded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn hop_suspended(&self, hop: &(String, u16)) -> bool {
+        let mut suspects = self.inner.suspects.lock();
+        match suspects.get(hop) {
+            Some(until) if Instant::now() < *until => true,
+            Some(_) => {
+                suspects.remove(hop);
+                false
+            }
+            None => false,
         }
     }
 
