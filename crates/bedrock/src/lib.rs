@@ -419,6 +419,118 @@ impl ReplicationConfig {
     }
 }
 
+/// The optional `migration` section: tuning for live rescaling (the
+/// hepnos-side `Migrator` walks key ranges in bounded batches under
+/// traffic) and, optionally, the overload-driven autoscaler that triggers
+/// it. Absent, live rescaling uses the built-in defaults; every knob has a
+/// serde default so handwritten configs set only what they care about.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MigrationConfig {
+    /// Keys copied per migration range (the unit of freezing).
+    #[serde(default = "d_batch_keys")]
+    pub batch_keys: usize,
+    /// Source chains migrated concurrently.
+    #[serde(default = "d_max_inflight_ranges")]
+    pub max_inflight_ranges: usize,
+    /// `Busy { retry_after }` hint (milliseconds) returned to writers that
+    /// touch a frozen range.
+    #[serde(default = "d_freeze_retry_ms")]
+    pub freeze_retry_ms: u64,
+    /// Pause (milliseconds) between ranges of one source chain.
+    #[serde(default)]
+    pub range_pause_ms: u64,
+    /// Autoscale policy; `None` means decisions stay manual.
+    #[serde(default)]
+    pub autoscale: Option<AutoscaleConfig>,
+}
+
+fn d_batch_keys() -> usize {
+    256
+}
+fn d_max_inflight_ranges() -> usize {
+    4
+}
+fn d_freeze_retry_ms() -> u64 {
+    5
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            batch_keys: d_batch_keys(),
+            max_inflight_ranges: d_max_inflight_ranges(),
+            freeze_retry_ms: d_freeze_retry_ms(),
+            range_pause_ms: 0,
+            autoscale: None,
+        }
+    }
+}
+
+/// The `migration.autoscale` subsection: thresholds for overload-driven
+/// add-provider / drain-provider decisions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutoscaleConfig {
+    /// Queue-depth high-water mark at or above which a node counts as
+    /// overloaded.
+    #[serde(default = "d_queue_hwm_trigger")]
+    pub queue_hwm_trigger: u64,
+    /// Shed fraction (0..1) at or above which a node counts as overloaded.
+    #[serde(default = "d_shed_rate_trigger")]
+    pub shed_rate_trigger: f64,
+    /// LSM write stalls + sheds per interval at or above which a node
+    /// counts as overloaded.
+    #[serde(default = "d_stall_trigger")]
+    pub stall_trigger: u64,
+    /// Consecutive overloaded intervals before scaling out.
+    #[serde(default = "d_sustain_intervals")]
+    pub sustain_intervals: u32,
+    /// Minimum seconds between two scaling actions.
+    #[serde(default = "d_cooldown_secs")]
+    pub cooldown_secs: u64,
+    /// Seconds the whole deployment must stay idle before draining.
+    #[serde(default = "d_drain_idle_secs")]
+    pub drain_idle_secs: u64,
+    /// Never drain below this many nodes.
+    #[serde(default = "d_min_nodes")]
+    pub min_nodes: usize,
+}
+
+fn d_queue_hwm_trigger() -> u64 {
+    16
+}
+fn d_shed_rate_trigger() -> f64 {
+    0.05
+}
+fn d_stall_trigger() -> u64 {
+    8
+}
+fn d_sustain_intervals() -> u32 {
+    2
+}
+fn d_cooldown_secs() -> u64 {
+    30
+}
+fn d_drain_idle_secs() -> u64 {
+    120
+}
+fn d_min_nodes() -> usize {
+    1
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        AutoscaleConfig {
+            queue_hwm_trigger: d_queue_hwm_trigger(),
+            shed_rate_trigger: d_shed_rate_trigger(),
+            stall_trigger: d_stall_trigger(),
+            sustain_intervals: d_sustain_intervals(),
+            cooldown_secs: d_cooldown_secs(),
+            drain_idle_secs: d_drain_idle_secs(),
+            min_nodes: d_min_nodes(),
+        }
+    }
+}
+
 /// A full Bedrock service configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServiceConfig {
@@ -437,6 +549,10 @@ pub struct ServiceConfig {
     /// single-copy.
     #[serde(default)]
     pub replication: Option<ReplicationConfig>,
+    /// Live rescaling and autoscale tuning; `None` uses built-in defaults
+    /// and manual scaling.
+    #[serde(default)]
+    pub migration: Option<MigrationConfig>,
 }
 
 /// Errors raised during bootstrap.
@@ -550,6 +666,7 @@ impl ServiceConfig {
             overload: None,
             lsm: None,
             replication: None,
+            migration: None,
         }
     }
 }
@@ -612,6 +729,7 @@ impl ServiceConfig {
             overload: None,
             lsm: None,
             replication: None,
+            migration: None,
         };
         let mut provider_id = 0u16;
         for (label, n) in [

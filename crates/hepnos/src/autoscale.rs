@@ -1,0 +1,442 @@
+//! Overload-driven elastic scaling decisions.
+//!
+//! The autoscaler closes the loop between the service's pushback machinery
+//! and the live [`crate::rescale::Migrator`]: it consumes each node's
+//! admission-control counters ([`margo::OverloadStats`] — queue-depth
+//! high-water mark, queue-full and deadline sheds) and the LSM backend's
+//! write-stall counters (soft-watermark stalls and hard-watermark sheds,
+//! see [`yokan::BackendStats`]), and turns them into one of three
+//! decisions: *add a provider* (the deployment is persistently pushing
+//! back), *drain a provider* (the deployment has been idle long enough
+//! that shrinking is safe), or *hold*.
+//!
+//! The scaler is deliberately **deterministic and clockless**: callers
+//! feed it sample snapshots plus a logical timestamp, and it works on the
+//! *deltas* between consecutive snapshots of the same node. That keeps the
+//! policy unit-testable with synthetic samples and keeps decisions
+//! reproducible in the chaos suites. Acting on a decision — spinning up a
+//! [`bedrock`] node and running the migrator, or draining one — is the
+//! caller's job; the scaler only decides.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// One node's worth of load counters, sampled cumulatively (the scaler
+/// diffs consecutive samples itself).
+#[derive(Debug, Clone, Default)]
+pub struct NodeSample {
+    /// The node's address (stable identity across samples).
+    pub node: String,
+    /// Admission-control counters from the node's margo instance.
+    pub overload: margo::OverloadStats,
+    /// Cumulative LSM soft-watermark write stalls across the node's
+    /// databases (0 for memory backends).
+    pub lsm_write_stalls: u64,
+    /// Cumulative LSM hard-watermark write sheds across the node's
+    /// databases (0 for memory backends).
+    pub lsm_write_sheds: u64,
+}
+
+/// What the deployment should do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Sustained pushback: add a provider and migrate data onto it.
+    /// Carries the address of the hottest node (highest shed delta, then
+    /// highest queue HWM) as a placement hint.
+    AddProvider {
+        /// The node whose overload triggered the decision.
+        hottest: String,
+    },
+    /// Sustained idleness: drain a provider and migrate its data away.
+    /// Carries the address of the coldest node (lowest admitted delta).
+    DrainProvider {
+        /// The node least missed if removed.
+        coldest: String,
+    },
+    /// Neither trigger fired (or a cooldown is in effect).
+    Hold,
+}
+
+/// Thresholds and timings for [`AutoScaler`].
+#[derive(Debug, Clone)]
+pub struct AutoScalePolicy {
+    /// Queue-depth high-water mark at or above which a node counts as
+    /// overloaded for the interval.
+    pub queue_hwm_trigger: u64,
+    /// Fraction of requests shed (queue-full + deadline, relative to
+    /// admitted + shed) at or above which a node counts as overloaded.
+    pub shed_rate_trigger: f64,
+    /// LSM write stalls + sheds per interval at or above which a node
+    /// counts as overloaded (compaction cannot keep up).
+    pub stall_trigger: u64,
+    /// Consecutive overloaded intervals before `AddProvider` fires.
+    pub sustain_intervals: u32,
+    /// Minimum time between two non-`Hold` decisions.
+    pub cooldown: Duration,
+    /// How long the whole deployment must stay idle (no sheds, no stalls,
+    /// queue HWM below the trigger) before `DrainProvider` fires.
+    pub drain_idle: Duration,
+    /// Never drain below this many nodes.
+    pub min_nodes: usize,
+}
+
+impl Default for AutoScalePolicy {
+    fn default() -> Self {
+        AutoScalePolicy {
+            queue_hwm_trigger: 16,
+            shed_rate_trigger: 0.05,
+            stall_trigger: 8,
+            sustain_intervals: 2,
+            cooldown: Duration::from_secs(30),
+            drain_idle: Duration::from_secs(120),
+            min_nodes: 1,
+        }
+    }
+}
+
+impl AutoScalePolicy {
+    /// Build from a deployment's `migration.autoscale` config section.
+    pub fn from_bedrock(cfg: &bedrock::AutoscaleConfig) -> AutoScalePolicy {
+        AutoScalePolicy {
+            queue_hwm_trigger: cfg.queue_hwm_trigger,
+            shed_rate_trigger: cfg.shed_rate_trigger,
+            stall_trigger: cfg.stall_trigger,
+            sustain_intervals: cfg.sustain_intervals.max(1),
+            cooldown: Duration::from_secs(cfg.cooldown_secs),
+            drain_idle: Duration::from_secs(cfg.drain_idle_secs),
+            min_nodes: cfg.min_nodes.max(1),
+        }
+    }
+}
+
+/// Per-node interval delta, derived from two consecutive samples.
+#[derive(Debug, Clone, Copy, Default)]
+struct Delta {
+    admitted: u64,
+    shed: u64,
+    queue_hwm: u64,
+    stalls: u64,
+}
+
+impl Delta {
+    fn overloaded(&self, p: &AutoScalePolicy) -> bool {
+        if self.queue_hwm >= p.queue_hwm_trigger || self.stalls >= p.stall_trigger {
+            return true;
+        }
+        let total = self.admitted + self.shed;
+        total > 0 && self.shed as f64 / total as f64 >= p.shed_rate_trigger
+    }
+
+    fn idle(&self, p: &AutoScalePolicy) -> bool {
+        self.shed == 0 && self.stalls == 0 && self.queue_hwm < p.queue_hwm_trigger
+    }
+}
+
+/// Deterministic scaling-decision engine. Feed it one batch of
+/// [`NodeSample`]s per observation interval via [`AutoScaler::decide`];
+/// it diffs them against the previous batch and applies
+/// [`AutoScalePolicy`].
+pub struct AutoScaler {
+    policy: AutoScalePolicy,
+    prev: HashMap<String, NodeSample>,
+    hot_streak: u32,
+    idle_since: Option<Duration>,
+    last_action: Option<Duration>,
+}
+
+impl AutoScaler {
+    /// Create a scaler with the given policy.
+    pub fn new(policy: AutoScalePolicy) -> AutoScaler {
+        AutoScaler {
+            policy,
+            prev: HashMap::new(),
+            hot_streak: 0,
+            idle_since: None,
+            last_action: None,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &AutoScalePolicy {
+        &self.policy
+    }
+
+    /// Consume one interval's samples (all nodes, cumulative counters) at
+    /// logical time `now` and decide. The first sample of any node only
+    /// seeds its baseline — a node never triggers on its first appearance.
+    pub fn decide(&mut self, now: Duration, samples: &[NodeSample]) -> ScaleDecision {
+        let mut deltas: Vec<(String, Delta)> = Vec::with_capacity(samples.len());
+        for s in samples {
+            if let Some(prev) = self.prev.get(&s.node) {
+                deltas.push((
+                    s.node.clone(),
+                    Delta {
+                        admitted: s.overload.admitted.saturating_sub(prev.overload.admitted),
+                        shed: s.overload.shed().saturating_sub(prev.overload.shed()),
+                        // HWM is itself a high-water mark, not a counter:
+                        // compare the level, not the diff.
+                        queue_hwm: s.overload.queue_depth_hwm,
+                        stalls: (s.lsm_write_stalls + s.lsm_write_sheds)
+                            .saturating_sub(prev.lsm_write_stalls + prev.lsm_write_sheds),
+                    },
+                ));
+            }
+            self.prev.insert(s.node.clone(), s.clone());
+        }
+        if deltas.is_empty() {
+            return ScaleDecision::Hold;
+        }
+
+        let any_hot = deltas.iter().any(|(_, d)| d.overloaded(&self.policy));
+        let all_idle = deltas.iter().all(|(_, d)| d.idle(&self.policy));
+
+        if any_hot {
+            self.idle_since = None;
+            self.hot_streak = self.hot_streak.saturating_add(1);
+        } else {
+            self.hot_streak = 0;
+            if all_idle {
+                self.idle_since.get_or_insert(now);
+            } else {
+                self.idle_since = None;
+            }
+        }
+
+        if let Some(last) = self.last_action {
+            if now.saturating_sub(last) < self.policy.cooldown {
+                return ScaleDecision::Hold;
+            }
+        }
+
+        if self.hot_streak >= self.policy.sustain_intervals {
+            let hottest = deltas
+                .iter()
+                .max_by_key(|(_, d)| (d.shed, d.queue_hwm, d.stalls))
+                .map(|(n, _)| n.clone())
+                .expect("deltas non-empty");
+            self.hot_streak = 0;
+            self.last_action = Some(now);
+            return ScaleDecision::AddProvider { hottest };
+        }
+
+        if samples.len() > self.policy.min_nodes {
+            if let Some(since) = self.idle_since {
+                if now.saturating_sub(since) >= self.policy.drain_idle {
+                    let coldest = deltas
+                        .iter()
+                        .min_by_key(|(n, d)| (d.admitted, n.clone()))
+                        .map(|(n, _)| n.clone())
+                        .expect("deltas non-empty");
+                    self.idle_since = None;
+                    self.last_action = Some(now);
+                    return ScaleDecision::DrainProvider { coldest };
+                }
+            }
+        }
+
+        ScaleDecision::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(node: &str, admitted: u64, shed_qf: u64, hwm: u64, stalls: u64) -> NodeSample {
+        NodeSample {
+            node: node.into(),
+            overload: margo::OverloadStats {
+                admitted,
+                shed_queue_full: shed_qf,
+                shed_deadline: 0,
+                queue_depth_hwm: hwm,
+            },
+            lsm_write_stalls: stalls,
+            lsm_write_sheds: 0,
+        }
+    }
+
+    fn policy() -> AutoScalePolicy {
+        AutoScalePolicy {
+            queue_hwm_trigger: 16,
+            shed_rate_trigger: 0.05,
+            stall_trigger: 8,
+            sustain_intervals: 2,
+            cooldown: Duration::from_secs(10),
+            drain_idle: Duration::from_secs(20),
+            min_nodes: 1,
+        }
+    }
+
+    #[test]
+    fn first_sample_only_seeds() {
+        let mut sc = AutoScaler::new(policy());
+        // Massive counters on the very first observation: no baseline yet.
+        let s = vec![sample("a", 1000, 500, 99, 99)];
+        assert_eq!(sc.decide(Duration::from_secs(0), &s), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn sustained_shedding_adds_a_provider() {
+        let mut sc = AutoScaler::new(policy());
+        sc.decide(Duration::from_secs(0), &[sample("a", 100, 0, 2, 0)]);
+        // Interval 1: 50% shed — hot, but not sustained yet.
+        assert_eq!(
+            sc.decide(Duration::from_secs(1), &[sample("a", 200, 100, 2, 0)]),
+            ScaleDecision::Hold
+        );
+        // Interval 2: still shedding — fires.
+        assert_eq!(
+            sc.decide(Duration::from_secs(2), &[sample("a", 300, 200, 2, 0)]),
+            ScaleDecision::AddProvider {
+                hottest: "a".into()
+            }
+        );
+    }
+
+    #[test]
+    fn queue_hwm_and_lsm_stalls_also_trigger() {
+        for (hwm, stalls) in [(20u64, 0u64), (0, 10)] {
+            let mut sc = AutoScaler::new(policy());
+            sc.decide(Duration::from_secs(0), &[sample("a", 10, 0, 0, 0)]);
+            sc.decide(Duration::from_secs(1), &[sample("a", 20, 0, hwm, stalls)]);
+            let d = sc.decide(
+                Duration::from_secs(2),
+                &[sample("a", 30, 0, hwm, stalls * 2)],
+            );
+            assert_eq!(
+                d,
+                ScaleDecision::AddProvider {
+                    hottest: "a".into()
+                },
+                "hwm={hwm} stalls={stalls}"
+            );
+        }
+    }
+
+    #[test]
+    fn hottest_node_is_named() {
+        let mut sc = AutoScaler::new(policy());
+        sc.decide(
+            Duration::from_secs(0),
+            &[sample("a", 100, 0, 2, 0), sample("b", 100, 0, 2, 0)],
+        );
+        sc.decide(
+            Duration::from_secs(1),
+            &[sample("a", 200, 5, 2, 0), sample("b", 200, 80, 2, 0)],
+        );
+        let d = sc.decide(
+            Duration::from_secs(2),
+            &[sample("a", 300, 10, 2, 0), sample("b", 300, 160, 2, 0)],
+        );
+        assert_eq!(
+            d,
+            ScaleDecision::AddProvider {
+                hottest: "b".into()
+            }
+        );
+    }
+
+    #[test]
+    fn cooldown_suppresses_back_to_back_actions() {
+        let mut sc = AutoScaler::new(policy());
+        sc.decide(Duration::from_secs(0), &[sample("a", 100, 0, 2, 0)]);
+        sc.decide(Duration::from_secs(1), &[sample("a", 200, 100, 2, 0)]);
+        assert!(matches!(
+            sc.decide(Duration::from_secs(2), &[sample("a", 300, 200, 2, 0)]),
+            ScaleDecision::AddProvider { .. }
+        ));
+        // Still shedding hard, but inside the 10 s cooldown.
+        sc.decide(Duration::from_secs(3), &[sample("a", 400, 300, 2, 0)]);
+        assert_eq!(
+            sc.decide(Duration::from_secs(4), &[sample("a", 500, 400, 2, 0)]),
+            ScaleDecision::Hold
+        );
+        // The streak kept building under the cooldown, so the first decide
+        // past it fires again.
+        assert!(matches!(
+            sc.decide(Duration::from_secs(13), &[sample("a", 600, 500, 2, 0)]),
+            ScaleDecision::AddProvider { .. }
+        ));
+    }
+
+    #[test]
+    fn sustained_idleness_drains_the_coldest() {
+        let mut sc = AutoScaler::new(policy());
+        let t = Duration::from_secs;
+        sc.decide(t(0), &[sample("a", 100, 0, 2, 0), sample("b", 50, 0, 1, 0)]);
+        // Idle from t=1; drain_idle is 20 s.
+        for i in 1..=20 {
+            let d = sc.decide(
+                t(i),
+                &[
+                    sample("a", 100 + i, 0, 2, 0),
+                    sample("b", 50, 0, 1, 0), // b admits nothing: coldest
+                ],
+            );
+            if i < 21 && d != ScaleDecision::Hold {
+                assert_eq!(
+                    d,
+                    ScaleDecision::DrainProvider {
+                        coldest: "b".into()
+                    },
+                    "at t={i}"
+                );
+                assert!(i >= 20, "drained before drain_idle elapsed (t={i})");
+                return;
+            }
+        }
+        let d = sc.decide(
+            t(21),
+            &[sample("a", 122, 0, 2, 0), sample("b", 50, 0, 1, 0)],
+        );
+        assert_eq!(
+            d,
+            ScaleDecision::DrainProvider {
+                coldest: "b".into()
+            }
+        );
+    }
+
+    #[test]
+    fn never_drains_below_min_nodes() {
+        let mut sc = AutoScaler::new(AutoScalePolicy {
+            min_nodes: 2,
+            ..policy()
+        });
+        let t = Duration::from_secs;
+        let nodes = |adm: u64| vec![sample("a", adm, 0, 0, 0), sample("b", adm, 0, 0, 0)];
+        sc.decide(t(0), &nodes(10));
+        for i in 1..=60 {
+            assert_eq!(sc.decide(t(i), &nodes(10 + i)), ScaleDecision::Hold);
+        }
+    }
+
+    #[test]
+    fn a_burst_resets_the_idle_clock() {
+        let mut sc = AutoScaler::new(policy());
+        let t = Duration::from_secs;
+        sc.decide(t(0), &[sample("a", 100, 0, 2, 0), sample("b", 50, 0, 1, 0)]);
+        for i in 1..=15 {
+            sc.decide(
+                t(i),
+                &[sample("a", 100 + i, 0, 2, 0), sample("b", 50, 0, 1, 0)],
+            );
+        }
+        // One shed at t=16 resets idleness; t=25 is only 9 s idle again.
+        sc.decide(
+            t(16),
+            &[sample("a", 120, 1, 2, 0), sample("b", 50, 0, 1, 0)],
+        );
+        for i in 17..=25 {
+            assert_eq!(
+                sc.decide(
+                    t(i),
+                    &[sample("a", 120 + i, 0, 2, 0), sample("b", 50, 0, 1, 0)],
+                ),
+                ScaleDecision::Hold,
+                "at t={i}"
+            );
+        }
+    }
+}

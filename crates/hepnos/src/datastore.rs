@@ -274,14 +274,61 @@ impl DataStore {
         // replica set (tail-first reads, head mutations, failover). A no-op
         // when `chains` is empty.
         client.install_replica_routes(&topo.chains);
-        Ok(DataStore {
+        let store = DataStore {
             inner: Arc::new(DataStoreInner {
                 client,
                 topo,
                 placement,
                 uuid_cache: RwLock::new(HashMap::new()),
             }),
-        })
+        };
+        // Learn the deployment's topology epoch so every mutation this
+        // store issues is fenced: a rescale that completes behind our back
+        // bumps the service epoch and our stale writes are rejected with
+        // `WrongEpoch` instead of landing on the wrong owner. A failed
+        // fetch leaves the client unfenced (epoch 0) — the pre-rescale
+        // behaviour — so connecting to old servers still works.
+        let _ = store.refresh_topology_epoch();
+        Ok(store)
+    }
+
+    /// The topology epoch this store stamps into its mutations (0 =
+    /// unfenced; see [`yokan::YokanError::WrongEpoch`]).
+    pub fn topology_epoch(&self) -> u64 {
+        self.inner.client.topology_epoch()
+    }
+
+    /// Re-fetch the topology epoch from the deployment (first reachable
+    /// database) and adopt it. Returns the adopted epoch.
+    pub fn refresh_topology_epoch(&self) -> Result<u64, HepnosError> {
+        let topo = &self.inner.topo;
+        let probe = topo
+            .dataset_dbs
+            .first()
+            .or_else(|| topo.run_dbs.first())
+            .or_else(|| topo.event_dbs.first())
+            .or_else(|| topo.product_dbs.first())
+            .ok_or_else(|| HepnosError::Topology("deployment has no databases".into()))?;
+        let epoch = self
+            .inner
+            .client
+            .service_epoch(&probe.addr, probe.provider_id)?;
+        self.inner.client.set_topology_epoch(epoch);
+        Ok(epoch)
+    }
+
+    /// Install a dual-read fallback for `db`: point reads and listings that
+    /// miss on the current owner also consult `candidates` (the database's
+    /// *old* replica chain) while a live rescale is in flight. An empty
+    /// `candidates` removes the fallback; see
+    /// [`yokan::YokanClient::install_dual_read`].
+    pub fn install_dual_read(&self, db: &str, candidates: Vec<DbTarget>) {
+        self.inner.client.install_dual_read(db, candidates);
+    }
+
+    /// Drop every dual-read fallback (the migration finished).
+    pub fn clear_dual_read(&self) {
+        self.inner.client.clear_dual_read();
     }
 
     /// Retry counters of this store's client: attempts issued, logical

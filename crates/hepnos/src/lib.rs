@@ -58,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+pub mod autoscale;
 mod batch;
 pub mod binser;
 mod datastore;
@@ -70,6 +71,7 @@ pub mod rescale;
 pub mod testing;
 mod uuid;
 
+pub use autoscale::{AutoScalePolicy, AutoScaler, NodeSample, ScaleDecision};
 pub use batch::{AsyncWriteBatch, BatchStats, WriteBatch};
 pub use datastore::{DataSet, DataStore, Event, ProductLabel, Run, SubRun};
 pub use error::HepnosError;

@@ -176,6 +176,44 @@ impl LocalDeployment {
         }
     }
 
+    /// Grow the deployment: launch a fresh server node from `cfg` on a new
+    /// endpoint and append its descriptor. The new node serves empty
+    /// databases — it joins the *topology*, not the data; run a
+    /// [`crate::rescale::Migrator`] to move keys onto it. Returns the new
+    /// descriptor.
+    pub fn add_server(&mut self, cfg: &ServiceConfig) -> ConnectionDescriptor {
+        let node = self.servers.len();
+        let name = format!("joined-{node}-{}", self.descriptors.len());
+        let server =
+            bedrock::launch(self.fabric.endpoint(&name), cfg).expect("join bootstrap failed");
+        let descriptor = server.descriptor().clone();
+        self.descriptors.push(descriptor.clone());
+        self.servers.push(Some(server));
+        descriptor
+    }
+
+    /// One [`crate::autoscale::NodeSample`] per live server node: its
+    /// admission-control counters plus LSM write stalls/sheds summed over
+    /// its databases — the [`crate::autoscale::AutoScaler`] input.
+    pub fn autoscale_samples(&self) -> Vec<crate::autoscale::NodeSample> {
+        let mut out = Vec::new();
+        for server in self.servers.iter().flatten() {
+            let mut stalls = 0u64;
+            let mut sheds = 0u64;
+            for (_, _, stats) in server.yokan().backend_stats() {
+                stalls += stats.soft_stalls;
+                sheds += stats.hard_sheds;
+            }
+            out.push(crate::autoscale::NodeSample {
+                node: server.address().to_string(),
+                overload: server.overload_stats(),
+                lsm_write_stalls: stalls,
+                lsm_write_sheds: sheds,
+            });
+        }
+        out
+    }
+
     /// Connect an additional, independent client (its own endpoint).
     pub fn connect_client(&self, name: &str) -> DataStore {
         DataStore::connect(self.fabric.endpoint(name), &self.descriptors)

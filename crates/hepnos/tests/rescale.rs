@@ -300,6 +300,15 @@ fn replicated_rescale_preserves_replication_factor() {
     .unwrap();
     assert_eq!(stats.keys_scanned, 300);
     assert!(stats.keys_moved > 0, "growth moved nothing: {stats:?}");
+    // bytes_moved counts bytes per chain member actually written: with
+    // factor-2 destination chains every batch lands twice, so the total is
+    // even and at least twice the payload of any single moved key.
+    assert!(stats.bytes_moved > 0);
+    assert_eq!(
+        stats.bytes_moved % 2,
+        0,
+        "2-replica chains must count every byte twice: {stats:?}"
+    );
 
     // Replication factor preserved: each chain's members are byte-identical
     // (a move that wrote one replica, or an erase that missed one, shows up
@@ -325,5 +334,68 @@ fn replicated_rescale_preserves_replication_factor() {
         n += sr.events().unwrap().len();
     }
     assert_eq!(n, 300);
+    dep.shutdown();
+}
+
+/// A client with replica routes installed must be rejected: it would
+/// forward every rescale write down the chain a second time and scan
+/// through tails instead of the addressed member.
+#[test]
+fn routed_client_is_rejected() {
+    use hepnos::rescale::{rescale_group_replicated, PlacementInput};
+    use hepnos::testing::local_deployment_replicated;
+
+    let dep = local_deployment_replicated(
+        2,
+        DbCounts {
+            datasets: 1,
+            runs: 1,
+            subruns: 1,
+            events: 4,
+            products: 1,
+        },
+        2,
+    );
+    let full = dep.descriptors().to_vec();
+    let small = shrink_descriptors(&full, 2, 1);
+    let event_chains = |descriptors: &[ConnectionDescriptor]| -> Vec<Vec<DbTarget>> {
+        bedrock::deployment_chains(descriptors)
+            .into_iter()
+            .filter(|c| c[0].db.starts_with("events"))
+            .collect()
+    };
+    let (old_chains, new_chains) = (event_chains(&small), event_chains(&full));
+
+    let routed = YokanClient::new(dep.fabric().endpoint("routed-client"));
+    routed.install_replica_routes(&bedrock::deployment_chains(&full));
+    let err = rescale_group_replicated(
+        &routed,
+        &old_chains,
+        &new_chains,
+        &ModuloPlacement,
+        PlacementInput::Prefix(32),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, hepnos::HepnosError::Topology(_)),
+        "routed client must fail with Topology, got {err:?}"
+    );
+    // The live Migrator enforces the same contract at construction.
+    let routed2 = {
+        let c = YokanClient::new(dep.fabric().endpoint("routed-client-2"));
+        c.install_replica_routes(&bedrock::deployment_chains(&full));
+        c
+    };
+    let err = hepnos::rescale::Migrator::new(
+        routed2,
+        old_chains,
+        new_chains,
+        std::sync::Arc::new(ModuloPlacement),
+        PlacementInput::Prefix(32),
+        Default::default(),
+    )
+    .err()
+    .expect("Migrator must reject a routed client");
+    assert!(matches!(err, hepnos::HepnosError::Topology(_)));
     dep.shutdown();
 }

@@ -1,0 +1,143 @@
+//! Property tests pinning [`hepnos::rescale::product_parent`]: the
+//! longest-candidate tie-break must recover the *true* container key of a
+//! product even for adversarial keys where every candidate prefix length
+//! (24, 32 and 40 bytes) is followed by a [`hepnos::keys::PRODUCT_SEP`]
+//! somewhere — the ambiguity that makes the tie-break load-bearing — and
+//! the recovered parent must keep re-homing the key consistently across
+//! successive topology epochs (each rescale classifies with the *previous*
+//! epoch's database count).
+
+use hepnos::keys;
+use hepnos::placement::{ModuloPlacement, Placement, RingPlacement};
+use hepnos::rescale::product_parent;
+use hepnos::Uuid;
+use proptest::prelude::*;
+
+/// Build a product key whose label/type are salted with `#` bytes so that
+/// the 24-, 32- and 40-byte prefixes are *all* followed by a separator —
+/// every candidate length looks plausible to a naive parser.
+fn ambiguous_product_key(container_key: &[u8], label: &str, type_name: &str) -> Vec<u8> {
+    let key = keys::product_key(container_key, label, type_name);
+    assert!(
+        [40usize, 32, 24]
+            .iter()
+            .all(|&len| key.len() > len && key[len..].contains(&keys::PRODUCT_SEP)),
+        "test key failed to be ambiguous: {key:?}"
+    );
+    key
+}
+
+/// Labels guaranteed to contain `#` early, so shorter (wrong) prefix
+/// candidates still see a separator in their suffix.
+fn salted_label() -> impl Strategy<Value = String> {
+    // `#` is legal inside these tests (we construct keys directly); real
+    // ProductLabels forbid it, which makes these keys the worst case.
+    "[a-z]{0,3}"
+        .prop_flat_map(|s| ("[a-z]{0,3}", Just(s)))
+        .prop_map(|(a, b)| format!("{b}#x#{a}"))
+}
+
+fn uuid_from(seed: [u8; 16]) -> Uuid {
+    Uuid::from_bytes(seed)
+}
+
+proptest! {
+    /// For event-level products (40-byte container), all three candidate
+    /// lengths contain a separator in their suffix, yet the recovered
+    /// parent is exactly the event key — under both placements and any
+    /// old-topology size.
+    #[test]
+    fn recovers_event_parent_despite_ambiguity(
+        seed in any::<[u8; 16]>(),
+        run in 0u64..1000,
+        subrun in 0u64..1000,
+        event in 0u64..1000,
+        label in salted_label(),
+        n_old in 1usize..9,
+        ring in any::<bool>(),
+    ) {
+        let uuid = uuid_from(seed);
+        let container = keys::event_key(&uuid, run, subrun, event);
+        prop_assert_eq!(container.len(), 40);
+        let key = ambiguous_product_key(&container, &label, "Vec<Hit>");
+        let modulo = ModuloPlacement;
+        let ringp = RingPlacement::new(64);
+        let placement: &dyn Placement = if ring { &ringp } else { &modulo };
+        let current_db = placement.place(&container, n_old);
+        let parent = product_parent(&key, current_db, n_old, placement)
+            .expect("parent must be recoverable");
+        prop_assert_eq!(parent, container.as_slice());
+    }
+
+    /// For run-level products (24-byte container) the longer candidates
+    /// (32/40) are *wrong* — they would swallow part of the label — and
+    /// they only survive the longest-first order if placement coincides.
+    /// The recovered parent must still place the key onto its current
+    /// database, so a rescale moves it with its siblings, never onto a
+    /// third database.
+    #[test]
+    fn run_parent_keeps_placement_consistent(
+        seed in any::<[u8; 16]>(),
+        run in 0u64..1000,
+        label in salted_label(),
+        n_old in 1usize..9,
+    ) {
+        let uuid = uuid_from(seed);
+        let container = keys::run_key(&uuid, run);
+        prop_assert_eq!(container.len(), 24);
+        // The type name is salted so even the 40-byte candidate (inside the
+        // type's tail for a 24-byte container) sees a separator after it.
+        let key = ambiguous_product_key(&container, &label, "Vec<Track>#t#x#");
+        let placement = ModuloPlacement;
+        let current_db = placement.place(&container, n_old);
+        let parent = product_parent(&key, current_db, n_old, &placement)
+            .expect("parent must be recoverable");
+        // A longer candidate may win the tie only when it places the same
+        // way — so the *placement* (what rescale acts on) is always right.
+        prop_assert!(
+            placement.place(parent, n_old) == current_db,
+            "recovered parent places away from the key's home"
+        );
+    }
+
+    /// Re-homing across epochs: place with n1 databases, rescale to n2,
+    /// then to n3. At each step the parent recovered against the *current*
+    /// database count must land the product on the same database as its
+    /// true container — products and containers never separate, no matter
+    /// how many times the topology changes.
+    #[test]
+    fn rehoming_across_epochs_tracks_the_container(
+        seed in any::<[u8; 16]>(),
+        run in 0u64..1000,
+        subrun in 0u64..1000,
+        event in 0u64..1000,
+        label in salted_label(),
+        sizes in proptest::collection::vec(1usize..9, 2..5),
+        ring in any::<bool>(),
+    ) {
+        let uuid = uuid_from(seed);
+        let container = keys::event_key(&uuid, run, subrun, event);
+        let key = ambiguous_product_key(&container, &label, "Vec<Shower>");
+        let modulo = ModuloPlacement;
+        let ringp = RingPlacement::new(64);
+        let placement: &dyn Placement = if ring { &ringp } else { &modulo };
+        // Epoch 0: initial placement by the true container.
+        let mut current_db = placement.place(&container, sizes[0]);
+        let mut n_current = sizes[0];
+        // Each subsequent epoch rescales from n_current to n_next: the
+        // migrator recovers the parent under the *old* count and places it
+        // under the *new* count.
+        for &n_next in &sizes[1..] {
+            let parent = product_parent(&key, current_db, n_current, placement)
+                .expect("parent must be recoverable at every epoch");
+            let product_home = placement.place(parent, n_next);
+            let container_home = placement.place(&container, n_next);
+            prop_assert!(
+                product_home == container_home,
+                "epoch {n_current}->{n_next}: product separated from its container"
+            );
+            current_db = product_home;
+            n_current = n_next;
+        }
+    }
+}

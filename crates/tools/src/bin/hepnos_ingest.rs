@@ -144,4 +144,11 @@ fn main() {
             r.failovers, r.read_fallbacks
         );
     }
+    if r.dual_reads > 0 || store.topology_epoch() > 1 {
+        println!(
+            "migration: {} dual reads (old-owner fallbacks), topology epoch {}",
+            r.dual_reads,
+            store.topology_epoch()
+        );
+    }
 }

@@ -4,7 +4,7 @@
 //! hepnos-serve [--config bedrock.json] [--port 0] [--backend map|lsm]
 //!              [--data-dir DIR] [--wal-sync none|group|always]
 //!              [--events N] [--products N] [--replication R]
-//!              [--wire-from FILE]
+//!              [--wire-from FILE] [--join [EPOCH]] [--drain]
 //!              --descriptor-out FILE [--run-seconds N]
 //! ```
 //!
@@ -21,6 +21,13 @@
 //! its descriptor, point each node at the aggregated deployment file with
 //! `--wire-from`: the server polls for the file and installs its
 //! chain-forward routes once it parses.
+//!
+//! `--join EPOCH` marks the node as joining an already-running deployment
+//! mid-rescale: the node adopts the given topology epoch (stale writers
+//! fenced from the first request) and prints the epoch it joined at.
+//! `--drain` marks the node as leaving: at exit it prints the epoch it
+//! left at plus its live-migration counters, so deployment scripts can
+//! log the handoff boundary.
 
 use bedrock::{BackendKind, ConnectionDescriptor, DbCounts, LsmConfig, ServiceConfig};
 use hepnos_tools::Args;
@@ -30,7 +37,7 @@ use std::path::PathBuf;
 const USAGE: &str = "hepnos-serve [--config bedrock.json] [--port N] [--backend map|lsm] \
                      [--data-dir DIR] [--wal-sync none|group|always] \
                      [--events N] [--products N] [--replication R] [--wire-from FILE] \
-                     --descriptor-out FILE [--run-seconds N]";
+                     [--join [EPOCH]] [--drain] --descriptor-out FILE [--run-seconds N]";
 
 fn main() {
     let args = Args::from_env();
@@ -137,6 +144,23 @@ fn main() {
             std::thread::sleep(std::time::Duration::from_millis(200));
         }
     }
+    // A node joining a live deployment mid-rescale adopts the deployment's
+    // topology epoch up front, so a writer still stamping the pre-rescale
+    // epoch is fenced from this node's very first request.
+    if let Some(j) = args.get("join") {
+        if j != "true" {
+            let epoch: u64 = j.parse().unwrap_or_else(|_| {
+                eprintln!("bad --join {j} (want an epoch number)");
+                std::process::exit(2);
+            });
+            server.yokan().set_topology_epoch(epoch);
+        }
+        eprintln!(
+            "hepnos-serve: joined topology at epoch {}",
+            server.yokan().topology_epoch()
+        );
+    }
+    let draining = args.get("drain").is_some();
     match args.get("run-seconds") {
         Some(s) => {
             let secs: u64 = s.parse().unwrap_or(1);
@@ -148,6 +172,23 @@ fn main() {
                 eprintln!(
                     "hepnos-serve: replication: {} forwards sent, {} applied here, {} degraded",
                     fwd.forwards_sent, fwd.forwards_applied, fwd.forward_degraded
+                );
+            }
+            let mig = server.yokan().migration_stats();
+            if mig != Default::default() {
+                eprintln!(
+                    "hepnos-serve: migration: {} forwarded writes, {} handoff keys, \
+                     {} frozen rejects, {} stale-epoch rejects",
+                    mig.forwarded_writes,
+                    mig.handoff_keys,
+                    mig.frozen_rejects,
+                    mig.wrong_epoch_rejects
+                );
+            }
+            if draining {
+                eprintln!(
+                    "hepnos-serve: drained, left topology at epoch {}",
+                    server.yokan().topology_epoch()
                 );
             }
             server.shutdown();

@@ -43,6 +43,11 @@ fn client_id_base() -> u64 {
 pub(crate) struct ClientSession {
     pub(crate) client_id: u64,
     pub(crate) next_seq: AtomicU64,
+    /// Topology epoch stamped into mutation headers. 0 means unfenced —
+    /// the service accepts the mutation regardless of its own epoch (raw
+    /// tooling addressing physical replicas). Routed clients learn the
+    /// deployment's epoch at connect time and are fenced from then on.
+    pub(crate) epoch: AtomicU64,
     pub(crate) counters: RetryCounters,
 }
 
@@ -52,6 +57,7 @@ impl ClientSession {
             client_id: client_id_base()
                 .wrapping_add(NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed)),
             next_seq: AtomicU64::new(1),
+            epoch: AtomicU64::new(0),
             counters: RetryCounters::default(),
         })
     }
@@ -187,6 +193,13 @@ pub struct YokanClient {
     /// [`YokanClient::install_replica_routes`] ran — the unreplicated path
     /// is untouched.
     routes: Arc<RwLock<HashMap<String, Arc<ChainState>>>>,
+    /// Dual-read fallbacks of a live migration, keyed by database name:
+    /// a read of a migrating database that *misses* on the new owner falls
+    /// back to these old-owner candidates until the migration is Done (the
+    /// old owner stays complete — handed-off keys are dual-written — so a
+    /// key acked before the rescale is always found on one side). Shared
+    /// by clones; empty in steady state.
+    dual: Arc<RwLock<HashMap<String, Vec<DbTarget>>>>,
 }
 
 impl YokanClient {
@@ -198,6 +211,7 @@ impl YokanClient {
             retry: None,
             session: ClientSession::new(),
             routes: Arc::new(RwLock::new(HashMap::new())),
+            dual: Arc::new(RwLock::new(HashMap::new())),
         }
     }
 
@@ -209,6 +223,7 @@ impl YokanClient {
             retry: None,
             session: ClientSession::new(),
             routes: Arc::new(RwLock::new(HashMap::new())),
+            dual: Arc::new(RwLock::new(HashMap::new())),
         }
     }
 
@@ -247,6 +262,151 @@ impl YokanClient {
         routes.get(db).cloned()
     }
 
+    /// Stamp subsequent mutations with topology `epoch`. Services reject a
+    /// non-zero epoch that does not match their own with
+    /// [`YokanError::WrongEpoch`] — an explicit redirect to refresh
+    /// routing. Epoch 0 (the default) is exempt from fencing.
+    pub fn set_topology_epoch(&self, epoch: u64) {
+        self.session.epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// The topology epoch this client stamps into mutations (0 = unfenced).
+    pub fn topology_epoch(&self) -> u64 {
+        self.session.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Read the topology epoch a service currently accepts.
+    pub fn service_epoch(&self, addr: &str, provider_id: u16) -> Result<u64, YokanError> {
+        let mut resp = self.invoke(addr, OP_MIG_EPOCH_GET, provider_id, Bytes::new())?;
+        get_u64(&mut resp)
+    }
+
+    /// Advance a service's topology epoch (monotonic — the service keeps
+    /// the max of its own and `epoch`). Returns the resulting epoch.
+    pub fn advance_service_epoch(
+        &self,
+        addr: &str,
+        provider_id: u16,
+        epoch: u64,
+    ) -> Result<u64, YokanError> {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u64_le(epoch);
+        let mut resp = self.invoke(addr, OP_MIG_EPOCH_SET, provider_id, buf.freeze())?;
+        get_u64(&mut resp)
+    }
+
+    /// Freeze the key interval `[lo, hi]` of `target` (addressed as a
+    /// physical replica, bypassing routes): mutations touching it are shed
+    /// `Busy { retry_after }` until the interval is unfrozen or replaced.
+    pub fn migration_freeze(
+        &self,
+        target: &DbTarget,
+        lo: &[u8],
+        hi: &[u8],
+        retry_after: std::time::Duration,
+    ) -> Result<(), YokanError> {
+        let mut buf = Self::header(target, 12 + lo.len() + hi.len());
+        put_bytes(&mut buf, lo);
+        put_bytes(&mut buf, hi);
+        buf.put_u32_le(retry_after.as_millis().min(u32::MAX as u128) as u32);
+        self.invoke(
+            &target.addr,
+            OP_MIG_FREEZE,
+            target.provider_id,
+            buf.freeze(),
+        )?;
+        Ok(())
+    }
+
+    /// Clear the frozen interval of `target` (the range moved to Handoff).
+    pub fn migration_unfreeze(&self, target: &DbTarget) -> Result<(), YokanError> {
+        self.migration_freeze(target, &[], &[], std::time::Duration::ZERO)
+    }
+
+    /// Install handoff state on `target` (a physical old-owner replica):
+    /// each `(key, chain index)` entry maps a copied key to its
+    /// destination chain in `chains`. Mutations touching such a key are
+    /// thereafter applied locally *and* re-issued at the destination with
+    /// the original dedup stamp, until [`YokanClient::migration_complete`].
+    pub fn migration_handoff(
+        &self,
+        target: &DbTarget,
+        chains: &[Vec<DbTarget>],
+        entries: &[(Vec<u8>, usize)],
+    ) -> Result<(), YokanError> {
+        let chains_len: usize = chains
+            .iter()
+            .map(|c| {
+                4 + c
+                    .iter()
+                    .map(|t| 12 + t.addr.len() + t.db.len())
+                    .sum::<usize>()
+            })
+            .sum();
+        let keys_len: usize = entries.iter().map(|(k, _)| 8 + k.len()).sum();
+        let mut buf = Self::header(target, 8 + chains_len + keys_len);
+        buf.put_u32_le(chains.len() as u32);
+        for chain in chains {
+            buf.put_u32_le(chain.len() as u32);
+            for t in chain {
+                put_bytes(&mut buf, t.addr.as_bytes());
+                buf.put_u32_le(t.provider_id as u32);
+                put_bytes(&mut buf, t.db.as_bytes());
+            }
+        }
+        buf.put_u32_le(entries.len() as u32);
+        for (key, idx) in entries {
+            put_bytes(&mut buf, key);
+            buf.put_u32_le(*idx as u32);
+        }
+        self.invoke(
+            &target.addr,
+            OP_MIG_HANDOFF,
+            target.provider_id,
+            buf.freeze(),
+        )?;
+        Ok(())
+    }
+
+    /// Tear down all migration state (frozen interval and handoff map) of
+    /// `target`'s database on the addressed replica: the range is Done.
+    pub fn migration_complete(&self, target: &DbTarget) -> Result<(), YokanError> {
+        let buf = Self::header(target, 0);
+        self.invoke(
+            &target.addr,
+            OP_MIG_COMPLETE,
+            target.provider_id,
+            buf.freeze(),
+        )?;
+        Ok(())
+    }
+
+    /// Install dual-read fallbacks for a migrating database: a read of
+    /// `db` that misses on its (new) owner falls back to `candidates` —
+    /// the old-owner targets — until [`YokanClient::clear_dual_read`].
+    /// Listings merge both sides (deduplicated per call, newest owner
+    /// winning on key collisions). Shared across clones of this client.
+    pub fn install_dual_read(&self, db: &str, candidates: Vec<DbTarget>) {
+        if candidates.is_empty() {
+            self.dual.write().remove(db);
+        } else {
+            self.dual.write().insert(db.to_string(), candidates);
+        }
+    }
+
+    /// Remove every dual-read fallback (the migration is Done everywhere).
+    pub fn clear_dual_read(&self) {
+        self.dual.write().clear();
+    }
+
+    fn dual_candidates(&self, db: &str) -> Option<Vec<DbTarget>> {
+        let dual = self.dual.read();
+        if dual.is_empty() {
+            return None;
+        }
+        dual.get(db).cloned()
+    }
+
     /// Enable transparent retries under `policy`. Each RPC attempt runs
     /// under the policy's per-attempt deadline; retryable transport failures
     /// are re-issued with the same payload (and, for mutations, the same
@@ -272,13 +432,16 @@ impl YokanClient {
         buf
     }
 
-    /// Header for mutation RPCs: the `(client id, sequence number)` dedup
-    /// stamp followed by the database name. Reused verbatim across retries
-    /// of the same logical request.
+    /// Header for mutation RPCs: the `(client id, sequence number,
+    /// topology epoch)` stamp followed by the database name. Reused
+    /// verbatim across retries of the same logical request — including the
+    /// epoch, so a rescale completing mid-retry rejects every attempt of
+    /// the stale request identically.
     fn mutation_header(&self, target: &DbTarget, extra: usize) -> BytesMut {
-        let mut buf = BytesMut::with_capacity(16 + 4 + target.db.len() + extra);
+        let mut buf = BytesMut::with_capacity(24 + 4 + target.db.len() + extra);
         buf.put_u64_le(self.session.client_id);
         buf.put_u64_le(self.session.next_seq.fetch_add(1, Ordering::Relaxed));
+        buf.put_u64_le(self.session.epoch.load(Ordering::Relaxed));
         put_bytes(&mut buf, target.db.as_bytes());
         buf
     }
@@ -456,13 +619,15 @@ impl YokanClient {
             None
         };
         let seq = self.session.next_seq.fetch_add(1, Ordering::Relaxed);
-        // 16-byte dedup stamp + length-prefixed db name + mode byte.
-        let header_len = 16 + 4 + target.db.len() + 1;
+        let epoch = self.session.epoch.load(Ordering::Relaxed);
+        // 24-byte dedup+epoch stamp + length-prefixed db name + mode byte.
+        let header_len = 24 + 4 + target.db.len() + 1;
         let payload = match &bulk {
             Some(handle) => {
                 let mut buf = BytesMut::with_capacity(header_len + 24);
                 buf.put_u64_le(self.session.client_id);
                 buf.put_u64_le(seq);
+                buf.put_u64_le(epoch);
                 put_bytes(&mut buf, target.db.as_bytes());
                 buf.put_u8(MODE_BULK);
                 handle.encode_into(&mut buf);
@@ -472,6 +637,7 @@ impl YokanClient {
                 scratch.reserve(header_len + block_len);
                 scratch.put_u64_le(self.session.client_id);
                 scratch.put_u64_le(seq);
+                scratch.put_u64_le(epoch);
                 put_bytes(scratch, target.db.as_bytes());
                 scratch.put_u8(MODE_INLINE);
                 encode_pairs_into(scratch, pairs);
@@ -507,8 +673,29 @@ impl YokanClient {
         })
     }
 
-    /// Fetch one value.
+    /// Fetch one value. During a live migration a miss falls back to the
+    /// old-owner candidates (see [`YokanClient::install_dual_read`]) — a
+    /// key acked before the rescale is found on one side or the other.
     pub fn get(&self, target: &DbTarget, key: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
+        if let Some(v) = self.get_raw(target, key)? {
+            return Ok(Some(v));
+        }
+        if let Some(cands) = self.dual_candidates(&target.db) {
+            for c in &cands {
+                if let Some(v) = self.get_raw(c, key)? {
+                    self.session
+                        .counters
+                        .dual_reads
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some(v));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// [`YokanClient::get`] without the dual-read fallback.
+    fn get_raw(&self, target: &DbTarget, key: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
         let mut buf = Self::header(target, 4 + key.len());
         put_bytes(&mut buf, key);
         let mut resp = self.call(target, OP_GET, buf.freeze())?;
@@ -517,8 +704,45 @@ impl YokanClient {
             .ok_or_else(|| YokanError::Protocol("empty get response".into()))
     }
 
-    /// Fetch a batch of values; one slot per requested key.
+    /// Fetch a batch of values; one slot per requested key. Missing slots
+    /// fall back to the dual-read candidates during a live migration.
     pub fn get_multi(
+        &self,
+        target: &DbTarget,
+        keys: &[Vec<u8>],
+    ) -> Result<Vec<Option<Vec<u8>>>, YokanError> {
+        let mut vals = self.get_multi_raw(target, keys)?;
+        if vals.iter().all(|v| v.is_some()) {
+            return Ok(vals);
+        }
+        if let Some(cands) = self.dual_candidates(&target.db) {
+            for c in &cands {
+                let missing: Vec<usize> = vals
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| v.is_none().then_some(i))
+                    .collect();
+                if missing.is_empty() {
+                    break;
+                }
+                let miss_keys: Vec<Vec<u8>> = missing.iter().map(|&i| keys[i].clone()).collect();
+                let filled = self.get_multi_raw(c, &miss_keys)?;
+                for (&i, v) in missing.iter().zip(filled) {
+                    if v.is_some() {
+                        vals[i] = v;
+                        self.session
+                            .counters
+                            .dual_reads
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        Ok(vals)
+    }
+
+    /// [`YokanClient::get_multi`] without the dual-read fallback.
+    fn get_multi_raw(
         &self,
         target: &DbTarget,
         keys: &[Vec<u8>],
@@ -607,8 +831,45 @@ impl YokanClient {
     }
 
     /// Existence checks for a batch of keys in one round-trip; the server
-    /// fans large batches out across the provider's pool.
+    /// fans large batches out across the provider's pool. Absent keys fall
+    /// back to the dual-read candidates during a live migration.
     pub fn exists_multi(
+        &self,
+        target: &DbTarget,
+        keys: &[Vec<u8>],
+    ) -> Result<Vec<bool>, YokanError> {
+        let mut flags = self.exists_multi_raw(target, keys)?;
+        if flags.iter().all(|&f| f) {
+            return Ok(flags);
+        }
+        if let Some(cands) = self.dual_candidates(&target.db) {
+            for c in &cands {
+                let missing: Vec<usize> = flags
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &f)| (!f).then_some(i))
+                    .collect();
+                if missing.is_empty() {
+                    break;
+                }
+                let miss_keys: Vec<Vec<u8>> = missing.iter().map(|&i| keys[i].clone()).collect();
+                let found = self.exists_multi_raw(c, &miss_keys)?;
+                for (&i, f) in missing.iter().zip(found) {
+                    if f {
+                        flags[i] = true;
+                        self.session
+                            .counters
+                            .dual_reads
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        Ok(flags)
+    }
+
+    /// [`YokanClient::exists_multi`] without the dual-read fallback.
+    fn exists_multi_raw(
         &self,
         target: &DbTarget,
         keys: &[Vec<u8>],
@@ -681,8 +942,27 @@ impl YokanClient {
         Ok(out)
     }
 
-    /// Whether a key exists.
+    /// Whether a key exists (with dual-read fallback during a migration).
     pub fn exists(&self, target: &DbTarget, key: &[u8]) -> Result<bool, YokanError> {
+        if self.exists_raw(target, key)? {
+            return Ok(true);
+        }
+        if let Some(cands) = self.dual_candidates(&target.db) {
+            for c in &cands {
+                if self.exists_raw(c, key)? {
+                    self.session
+                        .counters
+                        .dual_reads
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// [`YokanClient::exists`] without the dual-read fallback.
+    fn exists_raw(&self, target: &DbTarget, key: &[u8]) -> Result<bool, YokanError> {
         let mut buf = Self::header(target, 4 + key.len());
         put_bytes(&mut buf, key);
         let resp = self.call(target, OP_EXISTS, buf.freeze())?;
@@ -725,8 +1005,40 @@ impl YokanClient {
     }
 
     /// Keys strictly greater than `from` matching `prefix`, up to `limit`
-    /// (`0` = unlimited).
+    /// (`0` = unlimited). During a live migration the page is merged with
+    /// the dual-read candidates' pages (deduplicated, sorted), so a key
+    /// acked before the rescale appears no matter which side holds it.
     pub fn list_keys(
+        &self,
+        target: &DbTarget,
+        from: &[u8],
+        prefix: &[u8],
+        limit: usize,
+    ) -> Result<Vec<Vec<u8>>, YokanError> {
+        let keys = self.list_keys_raw(target, from, prefix, limit)?;
+        let Some(cands) = self.dual_candidates(&target.db) else {
+            return Ok(keys);
+        };
+        let mut merged: std::collections::BTreeSet<Vec<u8>> = keys.iter().cloned().collect();
+        let n_new = merged.len();
+        for c in &cands {
+            merged.extend(self.list_keys_raw(c, from, prefix, limit)?);
+        }
+        if merged.len() > n_new {
+            self.session
+                .counters
+                .dual_reads
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let mut out: Vec<Vec<u8>> = merged.into_iter().collect();
+        if limit > 0 {
+            out.truncate(limit);
+        }
+        Ok(out)
+    }
+
+    /// [`YokanClient::list_keys`] without the dual-read merge.
+    fn list_keys_raw(
         &self,
         target: &DbTarget,
         from: &[u8],
@@ -741,8 +1053,52 @@ impl YokanClient {
         decode_keys(&mut resp)
     }
 
-    /// Like [`YokanClient::list_keys`] with values.
+    /// Like [`YokanClient::list_keys`] with values (dual-read pages merge
+    /// the same way; on a key held by both sides the new owner wins).
     pub fn list_keyvals(
+        &self,
+        target: &DbTarget,
+        from: &[u8],
+        prefix: &[u8],
+        limit: usize,
+    ) -> Result<Vec<KeyValue>, YokanError> {
+        let kvs = self.list_keyvals_raw(target, from, prefix, limit)?;
+        let Some(cands) = self.dual_candidates(&target.db) else {
+            return Ok(kvs);
+        };
+        let mut merged: std::collections::BTreeMap<Vec<u8>, Vec<u8>> =
+            std::collections::BTreeMap::new();
+        for c in &cands {
+            for (k, v) in self.list_keyvals_raw(c, from, prefix, limit)? {
+                merged.insert(k, v);
+            }
+        }
+        let n_old_only = {
+            let new_keys: std::collections::BTreeSet<&[u8]> =
+                kvs.iter().map(|(k, _)| k.as_slice()).collect();
+            merged
+                .keys()
+                .filter(|k| !new_keys.contains(k.as_slice()))
+                .count()
+        };
+        if n_old_only > 0 {
+            self.session
+                .counters
+                .dual_reads
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        for (k, v) in kvs {
+            merged.insert(k, v);
+        }
+        let mut out: Vec<KeyValue> = merged.into_iter().collect();
+        if limit > 0 {
+            out.truncate(limit);
+        }
+        Ok(out)
+    }
+
+    /// [`YokanClient::list_keyvals`] without the dual-read merge.
+    fn list_keyvals_raw(
         &self,
         target: &DbTarget,
         from: &[u8],

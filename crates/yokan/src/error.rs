@@ -14,6 +14,16 @@ pub enum YokanError {
     Backend(String),
     /// A request or response could not be decoded.
     Protocol(String),
+    /// The mutation carried a stale topology epoch: the deployment has
+    /// rescaled since the client learned its routing. The mutation was
+    /// **not** applied; the carried epoch is the service's current one, so
+    /// the client can refresh its routing and re-place the key. This is an
+    /// explicit redirect, never a retry — the same payload would be
+    /// rejected again.
+    WrongEpoch {
+        /// The service's current topology epoch.
+        current: u64,
+    },
     /// The underlying RPC failed.
     Rpc(RpcError),
 }
@@ -25,6 +35,10 @@ impl fmt::Display for YokanError {
             YokanError::NoSuchProvider(p) => write!(f, "no such provider: {p}"),
             YokanError::Backend(m) => write!(f, "backend error: {m}"),
             YokanError::Protocol(m) => write!(f, "protocol error: {m}"),
+            YokanError::WrongEpoch { current } => write!(
+                f,
+                "stale topology epoch: service is at epoch {current}, refresh routing"
+            ),
             YokanError::Rpc(e) => write!(f, "rpc error: {e}"),
         }
     }
@@ -49,6 +63,11 @@ impl From<RpcError> for YokanError {
             if let Some(rest) = msg.strip_prefix("yokan:protocol:") {
                 return YokanError::Protocol(rest.to_string());
             }
+            if let Some(rest) = msg.strip_prefix("yokan:epoch:") {
+                return YokanError::WrongEpoch {
+                    current: rest.parse().unwrap_or(0),
+                };
+            }
         }
         YokanError::Rpc(e)
     }
@@ -62,6 +81,9 @@ impl YokanError {
             YokanError::NoSuchProvider(p) => RpcError::Handler(format!("yokan:noprov:{p}")),
             YokanError::Backend(m) => RpcError::Handler(format!("yokan:backend:{m}")),
             YokanError::Protocol(m) => RpcError::Handler(format!("yokan:protocol:{m}")),
+            YokanError::WrongEpoch { current } => {
+                RpcError::Handler(format!("yokan:epoch:{current}"))
+            }
             YokanError::Rpc(e) => e.clone(),
         }
     }
@@ -78,6 +100,7 @@ mod tests {
             YokanError::NoSuchProvider(7),
             YokanError::Backend("disk on fire".into()),
             YokanError::Protocol("short frame".into()),
+            YokanError::WrongEpoch { current: 42 },
         ];
         for e in cases {
             assert_eq!(YokanError::from(e.to_rpc()), e);

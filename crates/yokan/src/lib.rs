@@ -45,4 +45,4 @@ pub use filter::{FilterOutput, Predicate, Program};
 pub use pages::{Column, PageReader};
 pub use replica::{build_chains, resync_replicas, ForwardParams, ForwardStats, ResyncStats};
 pub use retry::{RetryPolicy, RetryStats};
-pub use service::{YokanService, PROVIDER_RPC_BASE};
+pub use service::{MigrationStats, YokanService, PROVIDER_RPC_BASE};

@@ -100,7 +100,7 @@ impl ChainState {
 /// `Busy` is excluded on purpose: an overloaded replica is alive, and
 /// failing over a stamped mutation to its peer would just shift load while
 /// the dedup window absorbs the duplicate anyway.
-pub(crate) fn is_dead_node(err: &RpcError) -> bool {
+pub fn is_dead_node(err: &RpcError) -> bool {
     matches!(
         err,
         RpcError::Timeout

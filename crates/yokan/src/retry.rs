@@ -115,6 +115,10 @@ pub struct RetryStats {
     /// Reads answered by a non-tail replica after the tail (or a replica
     /// closer to it) was unreachable.
     pub read_fallbacks: u64,
+    /// Reads answered by the *old* owner of a migrating database after the
+    /// new owner had no value yet (the dual-read window of a live rescale,
+    /// see [`crate::YokanClient::install_dual_read`]).
+    pub dual_reads: u64,
 }
 
 impl RetryStats {
@@ -127,6 +131,7 @@ impl RetryStats {
         self.busy_pushbacks += other.busy_pushbacks;
         self.failovers += other.failovers;
         self.read_fallbacks += other.read_fallbacks;
+        self.dual_reads += other.dual_reads;
     }
 
     /// The change relative to an earlier snapshot (saturating).
@@ -141,6 +146,7 @@ impl RetryStats {
             busy_pushbacks: self.busy_pushbacks.saturating_sub(baseline.busy_pushbacks),
             failovers: self.failovers.saturating_sub(baseline.failovers),
             read_fallbacks: self.read_fallbacks.saturating_sub(baseline.read_fallbacks),
+            dual_reads: self.dual_reads.saturating_sub(baseline.dual_reads),
         }
     }
 }
@@ -155,6 +161,7 @@ pub(crate) struct RetryCounters {
     pub(crate) busy_pushbacks: AtomicU64,
     pub(crate) failovers: AtomicU64,
     pub(crate) read_fallbacks: AtomicU64,
+    pub(crate) dual_reads: AtomicU64,
 }
 
 impl RetryCounters {
@@ -167,6 +174,7 @@ impl RetryCounters {
             busy_pushbacks: self.busy_pushbacks.load(Ordering::Relaxed),
             failovers: self.failovers.load(Ordering::Relaxed),
             read_fallbacks: self.read_fallbacks.load(Ordering::Relaxed),
+            dual_reads: self.dual_reads.load(Ordering::Relaxed),
         }
     }
 }
@@ -253,6 +261,7 @@ mod tests {
             busy_pushbacks: 4,
             failovers: 2,
             read_fallbacks: 3,
+            dual_reads: 2,
         };
         let b = RetryStats {
             attempts: 5,
@@ -262,6 +271,7 @@ mod tests {
             busy_pushbacks: 1,
             failovers: 1,
             read_fallbacks: 0,
+            dual_reads: 1,
         };
         a.merge(&b);
         assert_eq!(a.attempts, 15);
@@ -269,6 +279,7 @@ mod tests {
         assert_eq!(a.busy_pushbacks, 5);
         assert_eq!(a.failovers, 3);
         assert_eq!(a.read_fallbacks, 3);
+        assert_eq!(a.dual_reads, 3);
         let d = a.delta_since(&b);
         assert_eq!(d.attempts, 10);
         assert_eq!(d.retried_rpcs, 2);

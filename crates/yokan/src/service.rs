@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Base RPC id of the Yokan protocol; ids `base..base+14` are used.
+/// Base RPC id of the Yokan protocol; ids `base..base+19` are used.
 pub const PROVIDER_RPC_BASE: u16 = 100;
 
 pub(crate) const OP_PUT: u16 = PROVIDER_RPC_BASE;
@@ -40,6 +40,21 @@ pub(crate) const OP_FILTER: u16 = PROVIDER_RPC_BASE + 13;
 /// always in inline form (bulk batches are re-encoded by the head, since a
 /// bulk handle is only pullable from its original exposer).
 pub(crate) const OP_REPL_FORWARD: u16 = PROVIDER_RPC_BASE + 14;
+/// Read the service's current topology epoch (reply: `u64`).
+pub(crate) const OP_MIG_EPOCH_GET: u16 = PROVIDER_RPC_BASE + 15;
+/// Advance the topology epoch (monotonic max; reply: the resulting `u64`).
+/// Idempotent — re-sending an already-installed epoch is a no-op.
+pub(crate) const OP_MIG_EPOCH_SET: u16 = PROVIDER_RPC_BASE + 16;
+/// Freeze one key interval of a migrating database: mutations touching
+/// `[lo, hi]` are shed `Busy` while the migrator copies it. Empty `lo` and
+/// `hi` clears the frozen interval (the range moved on to Handoff).
+pub(crate) const OP_MIG_FREEZE: u16 = PROVIDER_RPC_BASE + 17;
+/// Install handoff state for copied keys: each key maps to its destination
+/// replica chain, and mutations touching it are applied locally *and*
+/// re-issued at the destination (dual-write) until the migration completes.
+pub(crate) const OP_MIG_HANDOFF: u16 = PROVIDER_RPC_BASE + 18;
+/// Tear down all migration state for one database (the range is Done).
+pub(crate) const OP_MIG_COMPLETE: u16 = PROVIDER_RPC_BASE + 19;
 
 /// Per-key reply tags for [`OP_FILTER`].
 pub(crate) const FILTER_MISSING: u8 = 0;
@@ -69,6 +84,8 @@ fn mark_replay(flag: u8, resp: &Bytes) -> Bytes {
 /// Encode an [`OP_REPL_FORWARD`] payload: the original client's dedup
 /// stamp (forwards ride the normal mutation path on the receiver, which
 /// strips it), the remaining chain, the inner op, and the inline body.
+/// Forwards stamp topology epoch 0 — exempt from epoch fencing, because
+/// the epoch was already validated where the mutation entered the chain.
 fn encode_forward(
     client_id: u64,
     seq: u64,
@@ -77,9 +94,10 @@ fn encode_forward(
     body: &Bytes,
 ) -> Bytes {
     let hops_len: usize = remaining.iter().map(|(a, _)| 8 + a.len()).sum();
-    let mut buf = BytesMut::with_capacity(16 + 4 + hops_len + 4 + body.len());
+    let mut buf = BytesMut::with_capacity(24 + 4 + hops_len + 4 + body.len());
     buf.put_u64_le(client_id);
     buf.put_u64_le(seq);
+    buf.put_u64_le(0);
     buf.put_u32_le(remaining.len() as u32);
     for (addr, pid) in remaining {
         put_bytes(&mut buf, addr.as_bytes());
@@ -175,6 +193,41 @@ struct ClientWindow {
 /// as `(address, provider)` pairs in circular order after this member.
 type ForwardRoutes = HashMap<u16, HashMap<String, Vec<(String, u16)>>>;
 
+/// One destination replica chain of a live migration, as
+/// `(address, provider, database)` members in chain order.
+type DestChain = Vec<(String, u16, String)>;
+
+/// Live-migration state of one locally-served database, installed on the
+/// *old* owner while a [`Migrator`](crate) walks its key ranges.
+struct MigrationState {
+    /// The interval `[lo, hi]` currently being copied: mutations touching
+    /// it are shed `Busy` (bounded by the migrator's batch size) so the
+    /// copy observes a stable snapshot. `None` outside the Copying phase.
+    frozen: Option<(Vec<u8>, Vec<u8>)>,
+    /// Backoff hint returned with the `Busy` shed.
+    retry_after: Duration,
+    /// Keys already copied out (Handoff): each maps to an index into
+    /// `destinations`. Mutations touching one are applied locally *and*
+    /// re-issued at the destination chain with the original dedup stamp,
+    /// keeping both copies coherent until the migration completes.
+    moved: HashMap<Vec<u8>, usize>,
+    /// The destination replica chains moved keys re-home to.
+    destinations: Vec<DestChain>,
+}
+
+/// Counters for the live-migration path on one service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Mutations re-issued at a new owner during Handoff (dual-writes).
+    pub forwarded_writes: u64,
+    /// Mutations shed `Busy` because they touched a frozen interval.
+    pub frozen_rejects: u64,
+    /// Mutations rejected with [`YokanError::WrongEpoch`].
+    pub wrong_epoch_rejects: u64,
+    /// Keys currently in Handoff across all migrating databases.
+    pub handoff_keys: u64,
+}
+
 struct ServiceInner {
     endpoint: Arc<dyn Endpoint>,
     providers: RwLock<HashMap<u16, ProviderState>>,
@@ -201,6 +254,17 @@ struct ServiceInner {
     forwards_sent: AtomicU64,
     forwards_applied: AtomicU64,
     forward_degraded: AtomicU64,
+    /// The topology epoch this service believes current. Starts at 1 so
+    /// fencing is always armed; clients stamping epoch 0 are legacy/exempt
+    /// (raw tooling, chain forwards, migration dual-writes).
+    epoch: AtomicU64,
+    /// Live-migration state per locally-served `(provider, database)`.
+    /// Empty in steady state — the mutation path checks emptiness before
+    /// decoding anything.
+    migrations: RwLock<HashMap<(u16, String), MigrationState>>,
+    mig_forwarded: AtomicU64,
+    mig_frozen_rejects: AtomicU64,
+    wrong_epoch_rejects: AtomicU64,
 }
 
 /// The server-side Yokan service: owns the providers and their databases,
@@ -230,6 +294,11 @@ impl YokanService {
             forwards_sent: AtomicU64::new(0),
             forwards_applied: AtomicU64::new(0),
             forward_degraded: AtomicU64::new(0),
+            epoch: AtomicU64::new(1),
+            migrations: RwLock::new(HashMap::new()),
+            mig_forwarded: AtomicU64::new(0),
+            mig_frozen_rejects: AtomicU64::new(0),
+            wrong_epoch_rejects: AtomicU64::new(0),
         });
         let svc = YokanService { inner };
         for op in [
@@ -248,6 +317,11 @@ impl YokanService {
             OP_EXISTS_MULTI,
             OP_FILTER,
             OP_REPL_FORWARD,
+            OP_MIG_EPOCH_GET,
+            OP_MIG_EPOCH_SET,
+            OP_MIG_FREEZE,
+            OP_MIG_HANDOFF,
+            OP_MIG_COMPLETE,
         ] {
             let svc2 = svc.clone();
             margo.register_rpc(
@@ -376,6 +450,38 @@ impl YokanService {
         }
     }
 
+    /// The topology epoch this service currently accepts in mutation
+    /// stamps (besides the always-exempt epoch 0).
+    pub fn topology_epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Advance the topology epoch (monotonic: the stored epoch never moves
+    /// backwards). Returns the resulting epoch. Writers stamping the old
+    /// epoch are rejected with [`YokanError::WrongEpoch`] from this point
+    /// on.
+    pub fn set_topology_epoch(&self, epoch: u64) -> u64 {
+        self.inner.epoch.fetch_max(epoch, Ordering::Relaxed);
+        self.inner.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Counters for the live-migration path.
+    pub fn migration_stats(&self) -> MigrationStats {
+        let handoff_keys = self
+            .inner
+            .migrations
+            .read()
+            .values()
+            .map(|m| m.moved.len() as u64)
+            .sum();
+        MigrationStats {
+            forwarded_writes: self.inner.mig_forwarded.load(Ordering::Relaxed),
+            frozen_rejects: self.inner.mig_frozen_rejects.load(Ordering::Relaxed),
+            wrong_epoch_rejects: self.inner.wrong_epoch_rejects.load(Ordering::Relaxed),
+            handoff_keys,
+        }
+    }
+
     /// Names of the databases attached to one provider, sorted.
     pub fn database_names(&self, provider_id: u16) -> Vec<String> {
         let provs = self.inner.providers.read();
@@ -469,11 +575,26 @@ impl YokanService {
     fn handle(&self, req: Request) -> Result<Bytes, YokanError> {
         if is_mutation(req.rpc_id.0) {
             let mut p = req.payload.clone();
-            if p.remaining() < 16 {
+            if p.remaining() < 24 {
                 return Err(YokanError::Protocol("short mutation header".into()));
             }
             let client_id = p.get_u64_le();
             let seq = p.get_u64_le();
+            // Epoch fence, *before* the dedup slot claim: a stale writer is
+            // redirected with no side effect at all. Epoch 0 is exempt (raw
+            // tooling, chain forwards, migration dual-writes — the epoch was
+            // validated where the mutation entered the deployment, or the
+            // caller deliberately addresses a physical replica).
+            let epoch = p.get_u64_le();
+            if epoch != 0 {
+                let current = self.inner.epoch.load(Ordering::Relaxed);
+                if epoch != current {
+                    self.inner
+                        .wrong_epoch_rejects
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(YokanError::WrongEpoch { current });
+                }
+            }
             return self.handle_mutation(&req, client_id, seq, p);
         }
         self.handle_read(req)
@@ -566,13 +687,19 @@ impl YokanService {
         if req.rpc_id.0 == OP_REPL_FORWARD {
             return self.apply_forward(req, client_id, seq, p);
         }
+        // Live-migration gate: mutations touching a frozen interval are
+        // shed `Busy`; mutations touching keys already handed off are
+        // dual-written to their destination chains below. Bulk batches of a
+        // migrating database come back inlined (the gate had to pull them
+        // to see the keys, and the dual-write needs the pairs anyway).
+        let (p, dests) = self.migration_gate(req.rpc_id.0, req.provider_id, &req.source, p)?;
         let successors = self.successors_for(req.provider_id, &p)?;
         let want_inline = successors.is_some();
         let (resp, inline) = self.apply_local(
             req.rpc_id.0,
             req.provider_id,
             Some(&req.source),
-            p,
+            p.clone(),
             want_inline,
         )?;
         if let Some(successors) = successors {
@@ -583,7 +710,201 @@ impl YokanService {
             let body = inline.expect("inline body requested");
             self.forward_down(&successors, req.rpc_id.0, client_id, seq, &body);
         }
+        if !dests.is_empty() {
+            // Re-issue at the new owners *before* acknowledging: a failed
+            // dual-write withholds the ack, the slot is released, and the
+            // client's retry re-applies (idempotently) and re-forwards.
+            self.migration_forward(req.rpc_id.0, client_id, seq, &dests)?;
+        }
         Ok(resp)
+    }
+
+    /// Inspect one direct client mutation against the live-migration state
+    /// of its target database. Returns the (possibly inlined) payload and,
+    /// for every destination chain a touched handed-off key re-homes to,
+    /// the op body restricted to *that chain's* keys (sending the full
+    /// batch would plant foreign keys in the destination database).
+    ///
+    /// Errors with `Busy` when a touched key lies in the frozen interval —
+    /// the migrator is copying it right now; the shed is bounded by one
+    /// batch and absorbed by the client's retry policy.
+    fn migration_gate(
+        &self,
+        op: u16,
+        provider_id: u16,
+        source: &str,
+        p: Bytes,
+    ) -> Result<(Bytes, Vec<(DestChain, Bytes)>), YokanError> {
+        {
+            let migs = self.inner.migrations.read();
+            if migs.is_empty() {
+                return Ok((p, Vec::new()));
+            }
+            let mut q = p.clone();
+            let db = get_bytes(&mut q)?;
+            let name = std::str::from_utf8(&db)
+                .map_err(|_| YokanError::Protocol("db name not utf8".into()))?;
+            if !migs.contains_key(&(provider_id, name.to_string())) {
+                return Ok((p, Vec::new()));
+            }
+        }
+        // The target database is migrating: decode the touched keys,
+        // inlining a bulk batch first so the gate sees the actual pairs.
+        let mut q = p.clone();
+        let db = get_bytes(&mut q)?;
+        let name = std::str::from_utf8(&db)
+            .expect("validated above")
+            .to_string();
+        let mut pairs: Vec<crate::backend::KeyValue> = Vec::new();
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        let mut payload = p.clone();
+        match op {
+            x if x == OP_PUT || x == OP_PUT_IF_ABSENT || x == OP_ERASE => {
+                keys.push(get_bytes(&mut q)?.to_vec());
+            }
+            x if x == OP_ERASE_MULTI => keys = decode_keys(&mut q)?,
+            x if x == OP_PUT_MULTI => {
+                let mode = get_u8(&mut q)?;
+                pairs = match mode {
+                    MODE_INLINE => decode_pairs(&mut q)?,
+                    MODE_BULK => {
+                        let handle = BulkHandle::decode_from(&mut q)
+                            .ok_or_else(|| YokanError::Protocol("bad bulk handle".into()))?;
+                        let mut data = self
+                            .inner
+                            .endpoint
+                            .bulk_pull(source, &handle, 0, handle.len)
+                            .map_err(YokanError::Rpc)?;
+                        decode_pairs(&mut data)?
+                    }
+                    m => return Err(YokanError::Protocol(format!("bad put mode {m}"))),
+                };
+                keys = pairs.iter().map(|(k, _)| k.clone()).collect();
+                let mut buf = BytesMut::with_capacity(4 + db.len() + 1 + pairs_encoded_len(&pairs));
+                put_bytes(&mut buf, &db);
+                buf.put_u8(MODE_INLINE);
+                encode_pairs_into(&mut buf, &pairs);
+                payload = buf.freeze();
+            }
+            _ => {}
+        }
+        let migs = self.inner.migrations.read();
+        let Some(state) = migs.get(&(provider_id, name)) else {
+            // The migration completed between the two lock acquisitions.
+            return Ok((payload, Vec::new()));
+        };
+        if let Some((lo, hi)) = &state.frozen {
+            if keys
+                .iter()
+                .any(|k| k.as_slice() >= lo.as_slice() && k.as_slice() <= hi.as_slice())
+            {
+                self.inner
+                    .mig_frozen_rejects
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(YokanError::Rpc(RpcError::Busy {
+                    retry_after: state.retry_after,
+                }));
+            }
+        }
+        // Group the touched handed-off keys by destination chain and build
+        // one op body (everything after the database name) per chain.
+        let mut by_dest: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            if let Some(&d) = state.moved.get(k) {
+                by_dest.entry(d).or_default().push(i);
+            }
+        }
+        if by_dest.is_empty() {
+            return Ok((payload, Vec::new()));
+        }
+        let mut dests = Vec::with_capacity(by_dest.len());
+        for (d, idxs) in by_dest {
+            let body: Bytes = match op {
+                x if x == OP_PUT || x == OP_PUT_IF_ABSENT || x == OP_ERASE => {
+                    // Single-key op: the original body (key[, value]) is
+                    // already exactly this destination's share.
+                    let mut q = payload.clone();
+                    let _db = get_bytes(&mut q)?;
+                    q
+                }
+                x if x == OP_ERASE_MULTI => {
+                    let sub: Vec<Vec<u8>> = idxs.iter().map(|&i| keys[i].clone()).collect();
+                    encode_keys(&sub)
+                }
+                x if x == OP_PUT_MULTI => {
+                    let sub: Vec<crate::backend::KeyValue> =
+                        idxs.iter().map(|&i| pairs[i].clone()).collect();
+                    let mut buf = BytesMut::with_capacity(1 + pairs_encoded_len(&sub));
+                    buf.put_u8(MODE_INLINE);
+                    encode_pairs_into(&mut buf, &sub);
+                    buf.freeze()
+                }
+                _ => unreachable!("by_dest only fills for key-bearing ops"),
+            };
+            dests.push((state.destinations[d].clone(), body));
+        }
+        Ok((payload, dests))
+    }
+
+    /// Dual-write one mutation at the destination chains of its handed-off
+    /// keys: re-issue the op with the original `(client, seq)` dedup stamp
+    /// (epoch 0 — validated at entry) and the database name rewritten to
+    /// the destination's, at the first live member of each chain (whose own
+    /// forward routes propagate it down). A client retry after a partial
+    /// failure re-forwards the identical stamp, so destinations that
+    /// already applied answer from their dedup window.
+    fn migration_forward(
+        &self,
+        op: u16,
+        client_id: u64,
+        seq: u64,
+        dests: &[(DestChain, Bytes)],
+    ) -> Result<(), YokanError> {
+        let params = self.inner.forward_params.read().clone();
+        let self_addr = self.inner.endpoint.address();
+        for (chain, body) in dests {
+            let mut delivered = false;
+            let mut last_err = YokanError::Protocol("empty destination chain".into());
+            for (addr, pid, dest_db) in chain {
+                if *addr == self_addr {
+                    // The destination lives on this very service (grown
+                    // in-place): apply directly instead of calling self.
+                    let mut buf = BytesMut::with_capacity(4 + dest_db.len() + body.len());
+                    put_bytes(&mut buf, dest_db.as_bytes());
+                    buf.put_slice(body);
+                    self.apply_local(op, *pid, None, buf.freeze(), false)?;
+                    delivered = true;
+                    break;
+                }
+                let mut buf = BytesMut::with_capacity(24 + 4 + dest_db.len() + body.len());
+                buf.put_u64_le(client_id);
+                buf.put_u64_le(seq);
+                buf.put_u64_le(0);
+                put_bytes(&mut buf, dest_db.as_bytes());
+                buf.put_slice(body);
+                let payload = buf.freeze();
+                let pending =
+                    self.inner
+                        .endpoint
+                        .call_async(addr, RpcId(op), *pid, payload.clone());
+                match pending.wait_timeout(params.timeout) {
+                    Ok(_) => {
+                        delivered = true;
+                        break;
+                    }
+                    Err(e) if crate::replica::is_dead_node(&e) => {
+                        last_err = YokanError::Rpc(e);
+                        continue;
+                    }
+                    Err(e) => return Err(YokanError::from(e)),
+                }
+            }
+            if !delivered {
+                return Err(last_err);
+            }
+            self.inner.mig_forwarded.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     /// The chain successors of the database a mutation payload addresses,
@@ -890,6 +1211,118 @@ impl YokanService {
                 let mut out = BytesMut::with_capacity(8);
                 out.put_u64_le(n);
                 Ok(out.freeze())
+            }
+            x if x == OP_MIG_EPOCH_GET => {
+                let mut out = BytesMut::with_capacity(8);
+                out.put_u64_le(self.inner.epoch.load(Ordering::Relaxed));
+                Ok(out.freeze())
+            }
+            x if x == OP_MIG_EPOCH_SET => {
+                let epoch = get_u64(&mut p)?;
+                let mut out = BytesMut::with_capacity(8);
+                out.put_u64_le(self.set_topology_epoch(epoch));
+                Ok(out.freeze())
+            }
+            x if x == OP_MIG_FREEZE => {
+                let db = get_bytes(&mut p)?;
+                // Fail loudly if the database does not exist here.
+                self.db(req.provider_id, &db)?;
+                let name = std::str::from_utf8(&db)
+                    .map_err(|_| YokanError::Protocol("db name not utf8".into()))?
+                    .to_string();
+                let lo = get_bytes(&mut p)?.to_vec();
+                let hi = get_bytes(&mut p)?.to_vec();
+                let retry_after = Duration::from_millis(get_u32(&mut p)? as u64);
+                let mut migs = self.inner.migrations.write();
+                let state = migs
+                    .entry((req.provider_id, name))
+                    .or_insert_with(|| MigrationState {
+                        frozen: None,
+                        retry_after,
+                        moved: HashMap::new(),
+                        destinations: Vec::new(),
+                    });
+                state.retry_after = retry_after;
+                state.frozen = if lo.is_empty() && hi.is_empty() {
+                    None
+                } else {
+                    Some((lo, hi))
+                };
+                Ok(Bytes::new())
+            }
+            x if x == OP_MIG_HANDOFF => {
+                let db = get_bytes(&mut p)?;
+                self.db(req.provider_id, &db)?;
+                let name = std::str::from_utf8(&db)
+                    .map_err(|_| YokanError::Protocol("db name not utf8".into()))?
+                    .to_string();
+                let nchains = get_u32(&mut p)? as usize;
+                let mut chains = Vec::with_capacity(nchains);
+                for _ in 0..nchains {
+                    let nmembers = get_u32(&mut p)? as usize;
+                    let mut chain = Vec::with_capacity(nmembers);
+                    for _ in 0..nmembers {
+                        let addr = get_bytes(&mut p)?;
+                        let addr = std::str::from_utf8(&addr)
+                            .map_err(|_| YokanError::Protocol("dest addr not utf8".into()))?
+                            .to_string();
+                        let pid = get_u32(&mut p)? as u16;
+                        let dest_db = get_bytes(&mut p)?;
+                        let dest_db = std::str::from_utf8(&dest_db)
+                            .map_err(|_| YokanError::Protocol("dest db not utf8".into()))?
+                            .to_string();
+                        chain.push((addr, pid, dest_db));
+                    }
+                    chains.push(chain);
+                }
+                let nkeys = get_u32(&mut p)? as usize;
+                let mut moved = Vec::with_capacity(nkeys);
+                for _ in 0..nkeys {
+                    let key = get_bytes(&mut p)?.to_vec();
+                    let idx = get_u32(&mut p)? as usize;
+                    if idx >= chains.len() {
+                        return Err(YokanError::Protocol(format!(
+                            "handoff chain index {idx} out of range"
+                        )));
+                    }
+                    moved.push((key, idx));
+                }
+                let mut migs = self.inner.migrations.write();
+                let state = migs
+                    .entry((req.provider_id, name))
+                    .or_insert_with(|| MigrationState {
+                        frozen: None,
+                        retry_after: Duration::from_millis(5),
+                        moved: HashMap::new(),
+                        destinations: Vec::new(),
+                    });
+                // Append this batch's chains; re-installed chains are
+                // deduplicated so repeated handoffs stay bounded.
+                let mut chain_idx = Vec::with_capacity(chains.len());
+                for chain in chains {
+                    match state.destinations.iter().position(|c| *c == chain) {
+                        Some(i) => chain_idx.push(i),
+                        None => {
+                            state.destinations.push(chain);
+                            chain_idx.push(state.destinations.len() - 1);
+                        }
+                    }
+                }
+                for (key, idx) in moved {
+                    state.moved.insert(key, chain_idx[idx]);
+                }
+                Ok(Bytes::new())
+            }
+            x if x == OP_MIG_COMPLETE => {
+                let db = get_bytes(&mut p)?;
+                let name = std::str::from_utf8(&db)
+                    .map_err(|_| YokanError::Protocol("db name not utf8".into()))?
+                    .to_string();
+                self.inner
+                    .migrations
+                    .write()
+                    .remove(&(req.provider_id, name));
+                Ok(Bytes::new())
             }
             other => Err(YokanError::Rpc(RpcError::NoSuchRpc(other))),
         }
