@@ -921,6 +921,20 @@ pub fn launch(
         });
     }
     providers.sort_by_key(|p| p.provider_id);
+    // Persist the topology epoch beside the durable databases: a node
+    // relaunched on the same data directory resumes at the epoch it had
+    // installed, instead of coming back at epoch 1 and fencing every
+    // current-epoch client until traffic re-teaches it.
+    if let Some(dir) = config
+        .providers
+        .iter()
+        .flat_map(|p| p.databases.iter())
+        .filter_map(|db| db.path.as_ref().and_then(|path| path.parent()))
+        .next()
+    {
+        let _ = std::fs::create_dir_all(dir);
+        yokan.set_epoch_persistence(dir.join("topology_epoch"));
+    }
     let replication = match &config.replication {
         Some(r) if r.factor > 1 => {
             yokan.set_forward_params(r.forward_params());

@@ -298,21 +298,40 @@ impl DataStore {
         self.inner.client.topology_epoch()
     }
 
-    /// Re-fetch the topology epoch from the deployment (first reachable
-    /// database) and adopt it. Returns the adopted epoch.
+    /// Re-fetch the topology epoch from the deployment and adopt the
+    /// maximum across every reachable node. Probing all nodes — not just
+    /// the first — matters after a rescale with casualties: a node that
+    /// restarted or was skipped by finalize may still answer a stale
+    /// epoch, and adopting it would get this store fenced by the rest of
+    /// the deployment. Errors only if *no* node answers; the max is
+    /// adopted and returned otherwise.
     pub fn refresh_topology_epoch(&self) -> Result<u64, HepnosError> {
         let topo = &self.inner.topo;
-        let probe = topo
+        let mut nodes: std::collections::BTreeMap<String, u16> = std::collections::BTreeMap::new();
+        for t in topo
             .dataset_dbs
-            .first()
-            .or_else(|| topo.run_dbs.first())
-            .or_else(|| topo.event_dbs.first())
-            .or_else(|| topo.product_dbs.first())
-            .ok_or_else(|| HepnosError::Topology("deployment has no databases".into()))?;
-        let epoch = self
-            .inner
-            .client
-            .service_epoch(&probe.addr, probe.provider_id)?;
+            .iter()
+            .chain(topo.run_dbs.iter())
+            .chain(topo.subrun_dbs.iter())
+            .chain(topo.event_dbs.iter())
+            .chain(topo.product_dbs.iter())
+        {
+            nodes.entry(t.addr.clone()).or_insert(t.provider_id);
+        }
+        if nodes.is_empty() {
+            return Err(HepnosError::Topology("deployment has no databases".into()));
+        }
+        let mut best: Option<u64> = None;
+        let mut last_err: Option<HepnosError> = None;
+        for (addr, pid) in &nodes {
+            match self.inner.client.service_epoch(addr, *pid) {
+                Ok(e) => best = Some(best.map_or(e, |b| b.max(e))),
+                Err(e) => last_err = Some(e.into()),
+            }
+        }
+        let Some(epoch) = best else {
+            return Err(last_err.expect("at least one node probed"));
+        };
         self.inner.client.set_topology_epoch(epoch);
         Ok(epoch)
     }

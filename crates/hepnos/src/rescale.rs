@@ -30,6 +30,7 @@
 use crate::error::HepnosError;
 use crate::keys;
 use crate::placement::Placement;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -92,6 +93,11 @@ pub struct RescaleStats {
     /// Mutations re-issued old→new owner during Handoff (service-side;
     /// filled in by the tools from the service's migration stats).
     pub forwarded_writes: u64,
+    /// Re-homed keys whose old copy was retained by the convergence pass
+    /// because the destination chain could not be verified at full
+    /// strength (a member dead or disagreeing). Non-zero means the move
+    /// is under-replicated until finalize is re-run with every member up.
+    pub under_replicated: u64,
 }
 
 impl RescaleStats {
@@ -414,6 +420,7 @@ struct MigratorProgress {
     keys_moved: AtomicU64,
     bytes_moved: AtomicU64,
     ranges_migrated: AtomicU64,
+    under_replicated: AtomicU64,
 }
 
 /// Background live migration of one database group (see the module docs
@@ -432,6 +439,13 @@ pub struct Migrator {
     input: PlacementInput,
     cfg: MigratorConfig,
     progress: Arc<MigratorProgress>,
+    /// Keys handed off per old chain index, recorded as each range's
+    /// handoff state is installed. The convergence pass uses this to tell
+    /// keys the new owner already holds — dual-written until the handoff
+    /// teardown, so the destination is authoritative and must never be
+    /// overwritten with the old owner's (possibly stale) copy — from
+    /// stragglers written behind the copier, which are copied if-absent.
+    handed_off: Mutex<HashMap<usize, HashSet<Vec<u8>>>>,
 }
 
 impl Migrator {
@@ -464,6 +478,7 @@ impl Migrator {
             input,
             cfg,
             progress: Arc::new(MigratorProgress::default()),
+            handed_off: Mutex::new(HashMap::new()),
         })
     }
 
@@ -477,6 +492,7 @@ impl Migrator {
             ranges_migrated: self.progress.ranges_migrated.load(Ordering::Relaxed),
             dual_reads: 0,
             forwarded_writes: 0,
+            under_replicated: self.progress.under_replicated.load(Ordering::Relaxed),
         }
     }
 
@@ -539,12 +555,19 @@ impl Migrator {
             let Some(hi) = keys.last().cloned() else {
                 return Ok(());
             };
-            let lo = keys.first().cloned().expect("non-empty page");
-            // Frozen: mutations touching [lo, hi] shed Busy on every
-            // reachable old member from here until the unfreeze.
+            // Frozen: mutations touching [from, hi] shed Busy on every
+            // reachable old member from here until the unfreeze. The full
+            // scanned interval is frozen — not just the listed keys' span —
+            // because the copy below re-lists from `from`: a key inserted
+            // in (from, first-listed-key) after the bounding listing would
+            // otherwise be copied and handed off with no shed protection,
+            // so a concurrent update would land only on the old owner and
+            // a concurrent erase would be resurrected by the convergence
+            // pass. Re-freezing the already-migrated `from` boundary key
+            // costs at most one bounded Busy shed.
             self.on_old_members(chain, |t| {
                 self.client
-                    .migration_freeze(t, &lo, &hi, self.cfg.freeze_retry_after)
+                    .migration_freeze(t, &from, &hi, self.cfg.freeze_retry_after)
             })?;
             let outcome = self.copy_range(old_idx, &from, &hi);
             // Always unfreeze, even on a failed copy — an abandoned frozen
@@ -654,6 +677,14 @@ impl Migrator {
         self.on_old_members(chain, |t| {
             self.client.migration_handoff(t, &chains, &entries)
         })?;
+        // From here the destination copy tracks client traffic (dual-write)
+        // and the old copy can go stale — remember these keys so converge
+        // never writes the old copy back over the new owner.
+        let mut handed = self.handed_off.lock().expect("handed_off poisoned");
+        let set = handed.entry(old_idx).or_default();
+        for (k, _) in entries {
+            set.insert(k);
+        }
         Ok(())
     }
 
@@ -661,9 +692,11 @@ impl Migrator {
     /// the deployment (old and new groups) to `new_epoch` — from this
     /// instant stale writers are fenced with `WrongEpoch` — then tear down
     /// the handoff state and run an idempotent convergence pass (copying
-    /// keys that were written behind the copier and erasing every re-homed
-    /// key from old members that are not also members of the destination
-    /// chain, write-before-erase). Handoff is torn down *before* the
+    /// stragglers written behind the copier if-absent, auditing handed-off
+    /// keys without ever overwriting the new owner, and erasing verified
+    /// re-homed keys from old members that are not also members of the
+    /// destination chain — see [`Migrator::converge`]). Handoff is torn
+    /// down *before* the
     /// convergence erase: with dual-writes still live, the old owner would
     /// forward the erase itself to the new owner and delete the copy it is
     /// meant to preserve — and the epoch bump has already fenced every
@@ -705,12 +738,34 @@ impl Migrator {
         Ok(installed)
     }
 
-    /// The convergence pass of [`Migrator::finalize`] — a re-scan that
-    /// copies any re-homed key still (or newly) on an old owner and then
-    /// erases re-homed keys from old members not shared with the
-    /// destination chain. Idempotent.
+    /// The convergence pass of [`Migrator::finalize`] — a re-scan of each
+    /// old chain that finishes the move without ever overwriting the new
+    /// owner. Idempotent; safe to re-run.
+    ///
+    /// Re-homed keys found on an old owner fall in two classes:
+    ///
+    /// * **Handed off** (recorded in `handed_off` during the copy): the
+    ///   destination copy is authoritative — it tracked client traffic via
+    ///   dual-writes until the handoff teardown and has taken fresh
+    ///   epoch-N traffic directly since. The old copy may be stale, so it
+    ///   is *never* written back (a fresh overwrite would be clobbered and
+    ///   a fresh erase resurrected); it is only erased, and only once
+    ///   every destination member reports a consistent view — all holding
+    ///   the key, or all having seen it erased.
+    /// * **Stragglers** (written behind the copier, never handed off): the
+    ///   old copy is the only one, but a fresh writer placing by the new
+    ///   topology may have already recreated the key on its new owner —
+    ///   so the copy is `put_if_absent` per destination member, and the
+    ///   old copy erased only when every member holds the key.
+    ///
+    /// Keys whose destination chain cannot be verified at full strength (a
+    /// member dead or disagreeing) keep their old copy — still reachable
+    /// through the dual-read fallback — and bump the `under_replicated`
+    /// counter so operators can re-run finalize once the chain heals.
     fn converge(&self) -> Result<(), HepnosError> {
+        let handed_all = self.handed_off.lock().expect("handed_off poisoned").clone();
         for (old_idx, chain) in self.old.iter().enumerate() {
+            let handed = handed_all.get(&old_idx);
             let new_self = self.new.iter().position(|c| c[0].db == chain[0].db);
             let mut from: Vec<u8> = Vec::new();
             loop {
@@ -737,42 +792,95 @@ impl Migrator {
                     }
                 }
                 for (&to, batch) in &by_dest {
-                    let batch_bytes: u64 =
-                        batch.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
-                    let mut accepted = 0usize;
-                    let mut last_err: Option<YokanError> = None;
-                    for replica in &self.new[to] {
-                        // Converge holds no freeze of its own, so waiting
-                        // out another worker's bounded `Busy` window
-                        // in place cannot deadlock.
-                        match retry_busy(|| self.client.put_multi(replica, batch)) {
-                            Ok(()) => {
-                                accepted += 1;
-                                self.progress
-                                    .bytes_moved
-                                    .fetch_add(batch_bytes, Ordering::Relaxed);
+                    let dest = &self.new[to];
+                    let mut erasable: Vec<Vec<u8>> = Vec::new();
+                    let mut retained = 0u64;
+                    let (moved, stragglers): (Vec<_>, Vec<_>) = batch
+                        .iter()
+                        .partition(|kv| handed.is_some_and(|s| s.contains(&kv.0)));
+                    // Handed-off keys: audit, never write. Every member
+                    // must agree (all present, or all erased by fresh
+                    // traffic) before the old copy goes.
+                    if !moved.is_empty() {
+                        let keys: Vec<Vec<u8>> = moved.iter().map(|kv| kv.0.clone()).collect();
+                        let mut present = vec![0usize; keys.len()];
+                        let mut live = 0usize;
+                        let mut dead = false;
+                        for replica in dest {
+                            match self.client.exists_multi_direct(replica, &keys) {
+                                Ok(flags) => {
+                                    live += 1;
+                                    for (i, f) in flags.into_iter().enumerate() {
+                                        if f {
+                                            present[i] += 1;
+                                        }
+                                    }
+                                }
+                                Err(YokanError::Rpc(e)) if yokan::replica::is_dead_node(&e) => {
+                                    dead = true;
+                                }
+                                Err(e) => return Err(e.into()),
                             }
-                            Err(YokanError::Rpc(e)) if yokan::replica::is_dead_node(&e) => {
-                                last_err = Some(YokanError::Rpc(e));
+                        }
+                        for (i, k) in keys.into_iter().enumerate() {
+                            if !dead && live > 0 && (present[i] == live || present[i] == 0) {
+                                erasable.push(k);
+                            } else {
+                                retained += 1;
                             }
-                            Err(e) => return Err(e.into()),
                         }
                     }
-                    if accepted == 0 {
-                        return Err(last_err.expect("chain non-empty").into());
+                    // Stragglers: copy if-absent — a fresh epoch-N write
+                    // already routed to the new owner wins over the old
+                    // copy. Converge holds no freeze of its own, so
+                    // waiting out another worker's bounded `Busy` window
+                    // in place cannot deadlock.
+                    if !stragglers.is_empty() {
+                        let mut ok = vec![0usize; stragglers.len()];
+                        for replica in dest {
+                            for (i, (k, v)) in stragglers.iter().enumerate() {
+                                match retry_busy(|| self.client.put_if_absent(replica, k, v)) {
+                                    Ok(prior) => {
+                                        if prior.is_none() {
+                                            self.progress.bytes_moved.fetch_add(
+                                                (k.len() + v.len()) as u64,
+                                                Ordering::Relaxed,
+                                            );
+                                        }
+                                        ok[i] += 1;
+                                    }
+                                    Err(YokanError::Rpc(e)) if yokan::replica::is_dead_node(&e) => {
+                                    }
+                                    Err(e) => return Err(e.into()),
+                                }
+                            }
+                        }
+                        for (i, kv) in stragglers.iter().enumerate() {
+                            if ok[i] == dest.len() {
+                                erasable.push(kv.0.clone());
+                            } else {
+                                retained += 1;
+                            }
+                        }
                     }
-                    // Erase this destination's keys from the old members
+                    // Erase the fully-verified keys from the old members
                     // that are not also members of the new chain.
-                    let keys: Vec<Vec<u8>> = batch.iter().map(|(k, _)| k.clone()).collect();
-                    for replica in chain {
-                        if self.new[to].contains(replica) {
-                            continue;
+                    if !erasable.is_empty() {
+                        for replica in chain {
+                            if dest.contains(replica) {
+                                continue;
+                            }
+                            match retry_busy(|| self.client.erase_multi(replica, &erasable)) {
+                                Ok(()) => {}
+                                Err(YokanError::Rpc(e)) if yokan::replica::is_dead_node(&e) => {}
+                                Err(e) => return Err(e.into()),
+                            }
                         }
-                        match retry_busy(|| self.client.erase_multi(replica, &keys)) {
-                            Ok(()) => {}
-                            Err(YokanError::Rpc(e)) if yokan::replica::is_dead_node(&e) => {}
-                            Err(e) => return Err(e.into()),
-                        }
+                    }
+                    if retained > 0 {
+                        self.progress
+                            .under_replicated
+                            .fetch_add(retained, Ordering::Relaxed);
                     }
                 }
             }

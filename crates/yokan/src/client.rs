@@ -868,6 +868,20 @@ impl YokanClient {
         Ok(flags)
     }
 
+    /// [`YokanClient::exists_multi`] without the dual-read fallback: the
+    /// flags reflect exactly what the probed member holds. The migrator's
+    /// convergence pass uses this to audit destination replicas one by
+    /// one — with the fallback, a key missing on the destination would be
+    /// reported present from the old owner's copy, the very copy whose
+    /// erase the audit is deciding.
+    pub fn exists_multi_direct(
+        &self,
+        target: &DbTarget,
+        keys: &[Vec<u8>],
+    ) -> Result<Vec<bool>, YokanError> {
+        self.exists_multi_raw(target, keys)
+    }
+
     /// [`YokanClient::exists_multi`] without the dual-read fallback.
     fn exists_multi_raw(
         &self,

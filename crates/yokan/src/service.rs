@@ -12,6 +12,7 @@ use margo::MargoInstance;
 use mercurio::{BulkHandle, Endpoint, Request, RpcError, RpcId};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -258,6 +259,10 @@ struct ServiceInner {
     /// fencing is always armed; clients stamping epoch 0 are legacy/exempt
     /// (raw tooling, chain forwards, migration dual-writes).
     epoch: AtomicU64,
+    /// Where the epoch is persisted across restarts (see
+    /// [`YokanService::set_epoch_persistence`]); `None` keeps it
+    /// memory-only. Also serializes persist operations.
+    epoch_path: Mutex<Option<PathBuf>>,
     /// Live-migration state per locally-served `(provider, database)`.
     /// Empty in steady state — the mutation path checks emptiness before
     /// decoding anything.
@@ -295,6 +300,7 @@ impl YokanService {
             forwards_applied: AtomicU64::new(0),
             forward_degraded: AtomicU64::new(0),
             epoch: AtomicU64::new(1),
+            epoch_path: Mutex::new(None),
             migrations: RwLock::new(HashMap::new()),
             mig_forwarded: AtomicU64::new(0),
             mig_frozen_rejects: AtomicU64::new(0),
@@ -459,10 +465,47 @@ impl YokanService {
     /// Advance the topology epoch (monotonic: the stored epoch never moves
     /// backwards). Returns the resulting epoch. Writers stamping the old
     /// epoch are rejected with [`YokanError::WrongEpoch`] from this point
-    /// on.
+    /// on. If persistence is armed ([`YokanService::set_epoch_persistence`])
+    /// an actual advance is written out before returning.
     pub fn set_topology_epoch(&self, epoch: u64) -> u64 {
-        self.inner.epoch.fetch_max(epoch, Ordering::Relaxed);
-        self.inner.epoch.load(Ordering::Relaxed)
+        let prev = self.inner.epoch.fetch_max(epoch, Ordering::Relaxed);
+        let now = self.inner.epoch.load(Ordering::Relaxed);
+        if now != prev {
+            self.persist_epoch();
+        }
+        now
+    }
+
+    /// Persist the topology epoch at `path` and reload any epoch a previous
+    /// incarnation stored there. Without this, a node restarted after a
+    /// rescale comes back at epoch 1 and fences every current-epoch client
+    /// with `WrongEpoch{current: 1}` until traffic re-teaches it.
+    ///
+    /// The file holds the epoch as decimal text, replaced atomically
+    /// (tmp-write + rename). Persistence is best-effort: an unwritable
+    /// path degrades to memory-only rather than failing the mutation path.
+    pub fn set_epoch_persistence(&self, path: PathBuf) {
+        let mut guard = self.inner.epoch_path.lock();
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(stored) = text.trim().parse::<u64>() {
+                self.inner.epoch.fetch_max(stored, Ordering::Relaxed);
+            }
+        }
+        *guard = Some(path);
+        drop(guard);
+        // Write the (possibly adopted) current value back so the file
+        // exists from the first boot on.
+        self.persist_epoch();
+    }
+
+    fn persist_epoch(&self) {
+        let guard = self.inner.epoch_path.lock();
+        let Some(path) = guard.as_ref() else { return };
+        let cur = self.inner.epoch.load(Ordering::Relaxed);
+        let tmp = path.with_extension("tmp");
+        if std::fs::write(&tmp, format!("{cur}\n")).is_ok() {
+            let _ = std::fs::rename(&tmp, path);
+        }
     }
 
     /// Counters for the live-migration path.
@@ -588,11 +631,19 @@ impl YokanService {
             let epoch = p.get_u64_le();
             if epoch != 0 {
                 let current = self.inner.epoch.load(Ordering::Relaxed);
-                if epoch != current {
+                if epoch < current {
                     self.inner
                         .wrong_epoch_rejects
                         .fetch_add(1, Ordering::Relaxed);
                     return Err(YokanError::WrongEpoch { current });
+                }
+                if epoch > current {
+                    // A stamp ahead of us is proof the bump happened —
+                    // clients only learn an epoch from a service that
+                    // installed it. Adopt it instead of rejecting: this is
+                    // the anti-entropy path that re-converges a node that
+                    // restarted, or was unreachable, during finalize.
+                    self.set_topology_epoch(epoch);
                 }
             }
             return self.handle_mutation(&req, client_id, seq, p);
@@ -868,11 +919,25 @@ impl YokanService {
             for (addr, pid, dest_db) in chain {
                 if *addr == self_addr {
                     // The destination lives on this very service (grown
-                    // in-place): apply directly instead of calling self.
+                    // in-place): apply directly instead of calling self —
+                    // re-entering handle_mutation would deadlock on the
+                    // in-flight dedup slot of the very mutation being
+                    // dual-written. The destination database's chain
+                    // successors still get the forward, exactly as a
+                    // remote delivery would propagate it: without it the
+                    // dual-write strands on this one member and tail or
+                    // failover reads of the destination chain go stale.
                     let mut buf = BytesMut::with_capacity(4 + dest_db.len() + body.len());
                     put_bytes(&mut buf, dest_db.as_bytes());
                     buf.put_slice(body);
-                    self.apply_local(op, *pid, None, buf.freeze(), false)?;
+                    let payload = buf.freeze();
+                    let successors = self.successors_for(*pid, &payload)?;
+                    let (_, inline) =
+                        self.apply_local(op, *pid, None, payload, successors.is_some())?;
+                    if let Some(successors) = successors {
+                        let body = inline.expect("inline body requested");
+                        self.forward_down(&successors, op, client_id, seq, &body);
+                    }
                     delivered = true;
                     break;
                 }

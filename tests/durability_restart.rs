@@ -226,6 +226,42 @@ fn double_restart_with_interleaved_writes() {
     std::fs::remove_dir_all(&base).ok();
 }
 
+/// The topology epoch survives a restart: a node relaunched on its data
+/// directory must resume at the epoch a rescale installed, not fall back
+/// to the boot default (epoch 1) and fence every current-epoch client with
+/// `WrongEpoch{current: 1}`.
+#[test]
+fn restart_preserves_topology_epoch() {
+    let base = std::env::temp_dir().join(format!("hepnos-durable-{}-epoch", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let data_dir = base.join("data");
+
+    let dep = lsm_deployment(&data_dir, LsmConfig::default());
+    let store = dep.datastore();
+    store.root().create_dataset("nova").unwrap();
+    // A rescale finalizes: every node installs epoch 7.
+    for n in 0..NODES {
+        assert_eq!(dep.server(n).unwrap().yokan().set_topology_epoch(7), 7);
+    }
+    dep.shutdown();
+
+    // Relaunch on the same directories: the nodes resume at epoch 7 and a
+    // connecting client learns it, so fenced traffic keeps flowing.
+    let dep = lsm_deployment(&data_dir, LsmConfig::default());
+    for n in 0..NODES {
+        assert_eq!(
+            dep.server(n).unwrap().yokan().topology_epoch(),
+            7,
+            "node {n} lost its topology epoch across the restart"
+        );
+    }
+    let store = dep.datastore();
+    assert_eq!(store.topology_epoch(), 7);
+    store.root().create_dataset("post-restart").unwrap();
+    dep.shutdown();
+    std::fs::remove_dir_all(&base).ok();
+}
+
 /// Slices for every event (summary may be absent for hand-added events).
 fn harvest_slices_only(
     store: &hepnos::DataStore,

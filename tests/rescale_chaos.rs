@@ -28,7 +28,7 @@
 //! epoch.
 
 use bedrock::{BackendKind, BedrockServer, ConnectionDescriptor, DbCounts, ServiceConfig};
-use hepnos::placement::ModuloPlacement;
+use hepnos::placement::{ModuloPlacement, Placement};
 use hepnos::rescale::{Migrator, MigratorConfig, PlacementInput};
 use hepnos::testing::local_deployment;
 use hepnos::{DataStore, HepnosError, ProductLabel, WriteBatch};
@@ -638,6 +638,191 @@ fn dual_reads_never_miss_acked_keys_during_handoff() {
     let exempt = YokanClient::new(dep.fabric().endpoint("pin-exempt"));
     exempt.put(&target, b"__exempt_probe", b"x").unwrap();
     exempt.erase(&target, b"__exempt_probe").unwrap();
+    dep.shutdown();
+}
+
+/// The teardown→converge window inside finalize: once `migration_complete`
+/// stops the dual-writes, fresh clients own the destination copy outright.
+/// A convergence pass that blindly re-copied the old owner's values would
+/// clobber a fresh overwrite and resurrect a fresh erase — so converge must
+/// treat handed-off keys as destination-authoritative (audit and erase the
+/// old copy, never write it back) while still moving stragglers written
+/// behind the copier, if-absent.
+#[test]
+fn finalize_window_preserves_fresh_writes_and_erases() {
+    let dep = local_deployment(1, counts_full());
+    let full = dep.descriptors().to_vec();
+    let small = shrink_descriptors(&full, 2, 2);
+    let old_ev = group_targets(&small, "events");
+    let new_ev = group_targets(&full, "events");
+    let place = ModuloPlacement;
+    let raw = YokanClient::new(dep.fabric().endpoint("fin-raw"));
+
+    // Synthetic event-style keys: a unique 32-byte prefix (the placement
+    // input under `PlacementInput::Prefix(32)`) plus a short suffix. The
+    // racing keys are picked to re-home onto a *brand-new* database
+    // (index >= 2), so the post-teardown mutations below hit services with
+    // no residual migration state of their own.
+    let key = |i: usize| -> Vec<u8> {
+        let mut k = format!("{i:032}").into_bytes();
+        k.extend_from_slice(b"/p");
+        k
+    };
+    let v1 = |i: usize| format!("v1-{i:04}").into_bytes();
+    let homes = |k: &[u8]| {
+        (
+            place.place(&k[..32], old_ev.len()),
+            place.place(&k[..32], new_ev.len()),
+        )
+    };
+    const N: usize = 64;
+    let mut fresh_keys: Vec<usize> = (0..N).filter(|&i| homes(&key(i)).1 >= 2).collect();
+    let overwrite = fresh_keys.pop().expect("a re-homed key to overwrite");
+    let erased = fresh_keys.pop().expect("a re-homed key to erase");
+    let straggler = fresh_keys.pop().expect("a re-homed straggler key");
+    let resident = (0..N)
+        .find(|&i| {
+            let (o, n) = homes(&key(i));
+            new_ev[n].db == old_ev[o].db
+        })
+        .expect("a key that stays put");
+
+    // Populate everything except the straggler, each key on its correct
+    // old owner.
+    for i in 0..N {
+        if i == straggler {
+            continue;
+        }
+        let k = key(i);
+        let (o, _) = homes(&k);
+        raw.put(&old_ev[o], &k, &v1(i)).unwrap();
+    }
+
+    let to_chains = |ts: Vec<DbTarget>| ts.into_iter().map(|t| vec![t]).collect::<Vec<_>>();
+    let mig = Migrator::new(
+        YokanClient::new(dep.fabric().endpoint("fin-mig")),
+        to_chains(old_ev.clone()),
+        to_chains(new_ev.clone()),
+        Arc::new(ModuloPlacement),
+        PlacementInput::Prefix(32),
+        live_migrator_config(),
+    )
+    .unwrap();
+    mig.run().unwrap();
+
+    // Reproduce the window finalize itself opens: handoff torn down (the
+    // dual-writes stop), convergence not yet run — and a fresh client
+    // mutates re-homed keys on their new owners while a straggler lands
+    // behind the copier on an old owner.
+    for t in &old_ev {
+        raw.migration_complete(t).unwrap();
+    }
+    let (k_ow, (o_ow, n_ow)) = (key(overwrite), homes(&key(overwrite)));
+    let (k_er, (o_er, n_er)) = (key(erased), homes(&key(erased)));
+    let (k_st, (o_st, n_st)) = (key(straggler), homes(&key(straggler)));
+    raw.put(&new_ev[n_ow], &k_ow, b"fresh-v2").unwrap();
+    raw.erase(&new_ev[n_er], &k_er).unwrap();
+    raw.put(&old_ev[o_st], &k_st, &v1(straggler)).unwrap();
+
+    assert_eq!(mig.finalize(2).unwrap(), 2);
+    assert_eq!(
+        mig.progress().under_replicated,
+        0,
+        "single-copy chains, all members up: nothing may be retained"
+    );
+
+    // The fresh overwrite survives converge and its old copy is gone.
+    assert_eq!(
+        raw.get(&new_ev[n_ow], &k_ow).unwrap().as_deref(),
+        Some(&b"fresh-v2"[..]),
+        "converge clobbered a fresh post-teardown overwrite"
+    );
+    assert_eq!(raw.get(&old_ev[o_ow], &k_ow).unwrap(), None);
+    // The fresh erase stays erased — converge must not resurrect it from
+    // the old owner's stale copy, and the stale copy itself is retired.
+    assert_eq!(
+        raw.get(&new_ev[n_er], &k_er).unwrap(),
+        None,
+        "converge resurrected a fresh post-teardown erase"
+    );
+    assert_eq!(raw.get(&old_ev[o_er], &k_er).unwrap(), None);
+    // The straggler reached its new home and left the old one.
+    assert_eq!(
+        raw.get(&new_ev[n_st], &k_st).unwrap().as_deref(),
+        Some(v1(straggler).as_slice()),
+        "converge lost a straggler written behind the copier"
+    );
+    assert_eq!(raw.get(&old_ev[o_st], &k_st).unwrap(), None);
+    // Bystanders: the resident never moved, and every other re-homed key
+    // serves its original value from its new owner.
+    let (o_rs, _) = homes(&key(resident));
+    assert_eq!(
+        raw.get(&old_ev[o_rs], &key(resident)).unwrap().as_deref(),
+        Some(v1(resident).as_slice())
+    );
+    for i in fresh_keys {
+        let k = key(i);
+        let (_, n) = homes(&k);
+        assert_eq!(
+            raw.get(&new_ev[n], &k).unwrap().as_deref(),
+            Some(v1(i).as_slice()),
+            "re-homed key {i} lost in the finalize window"
+        );
+    }
+    dep.shutdown();
+}
+
+/// A node that missed the finalize epoch bump (dead, partitioned, or
+/// restarted since) re-converges from traffic: a mutation stamped with a
+/// *newer* epoch than the node's own is proof the bump happened — clients
+/// only learn epochs from services that installed them — so the node
+/// adopts it instead of fencing the writer. And a recovering client must
+/// learn the deployment's *max* epoch, not whatever the first node it
+/// probes happens to believe.
+#[test]
+fn lagging_node_adopts_newer_epoch_from_traffic() {
+    let dep = local_deployment(2, counts_small());
+    let store = dep.datastore();
+    assert_eq!(store.topology_epoch(), 1);
+
+    // A finalize node 0 never saw: node 1 installs epoch 4.
+    dep.server(1).unwrap().yokan().set_topology_epoch(4);
+
+    // The refresh probes every node and adopts the max — probing only
+    // node 0 would adopt the stale epoch 1 and get fenced by node 1.
+    assert_eq!(store.refresh_topology_epoch().unwrap(), 4);
+
+    // A stamped mutation at the lagging node is accepted and teaches it.
+    let addr0 = dep.server(0).unwrap().address();
+    let d0 = dep
+        .descriptors()
+        .iter()
+        .find(|d| d.address == addr0)
+        .expect("node 0 descriptor");
+    let t0 = DbTarget::new(
+        d0.address.clone(),
+        d0.providers[0].provider_id,
+        &d0.providers[0].databases[0],
+    );
+    let writer = YokanClient::new(dep.fabric().endpoint("adopt"));
+    writer.set_topology_epoch(4);
+    writer.put(&t0, b"__adopt_probe", b"x").unwrap();
+    assert_eq!(
+        dep.server(0).unwrap().yokan().topology_epoch(),
+        4,
+        "the lagging node must adopt the newer epoch it was shown"
+    );
+    writer.erase(&t0, b"__adopt_probe").unwrap();
+
+    // Genuinely stale writers stay fenced — with the adopted epoch.
+    let stale = YokanClient::new(dep.fabric().endpoint("adopt-stale"));
+    stale.set_topology_epoch(2);
+    match stale.put(&t0, b"__stale_probe", b"x") {
+        Err(yokan::YokanError::WrongEpoch { current }) => assert_eq!(current, 4),
+        other => panic!("stale writer must be fenced, got {other:?}"),
+    }
+    // The refreshed store keeps working against either node.
+    store.root().create_dataset("post-adopt").unwrap();
     dep.shutdown();
 }
 
